@@ -1,0 +1,39 @@
+//! Per-algorithm runtime on a fixed random scenario (backs X2's effort
+//! column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosc_bench::{run_algorithm, Algorithm};
+use qosc_core::SelectOptions;
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let config = GeneratorConfig {
+        layers: 3,
+        services_per_layer: 5,
+        formats_per_layer: 3,
+        ..GeneratorConfig::default()
+    };
+    let scenario = random_scenario(&config, 11);
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let mut group = c.benchmark_group("baselines");
+    for algorithm in Algorithm::ALL {
+        group.bench_function(algorithm.name(), |b| {
+            b.iter(|| run_algorithm(&scenario, algorithm, &options).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_algorithms
+}
+criterion_main!(benches);

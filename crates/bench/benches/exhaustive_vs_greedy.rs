@@ -1,0 +1,49 @@
+//! Greedy vs exhaustive runtime: where the exponential ground truth
+//! stops being affordable (backs X1 and the Figure-5 verification, E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosc_bench::{run_algorithm, Algorithm};
+use qosc_core::SelectOptions;
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn bench_crossover(c: &mut Criterion) {
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    for algorithm in [Algorithm::Greedy, Algorithm::Exhaustive] {
+        let mut group = c.benchmark_group(format!(
+            "vs/{}",
+            match algorithm {
+                Algorithm::Greedy => "greedy",
+                _ => "exhaustive",
+            }
+        ));
+        for &per_layer in &[3usize, 5, 7] {
+            let config = GeneratorConfig {
+                layers: 3,
+                services_per_layer: per_layer,
+                formats_per_layer: 3,
+                ..GeneratorConfig::default()
+            };
+            let scenario = random_scenario(&config, 11);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(per_layer * 3),
+                &scenario,
+                |b, s| b.iter(|| run_algorithm(s, algorithm, &options).expect("runs")),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_crossover
+}
+criterion_main!(benches);

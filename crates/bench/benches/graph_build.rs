@@ -1,0 +1,78 @@
+//! Adaptation-graph construction and pruning throughput (Section 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosc_core::graph::prune::prune;
+use qosc_core::graph::{build, BuildInput};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn bench_build_and_prune(c: &mut Criterion) {
+    let mut build_group = c.benchmark_group("graph/build");
+    for &size in &[50usize, 200, 500] {
+        let config = GeneratorConfig {
+            layers: 4,
+            formats_per_layer: 4,
+            ..GeneratorConfig::default()
+        }
+        .with_total_services(size);
+        let scenario = random_scenario(&config, 3);
+        let variants = scenario
+            .profiles
+            .content
+            .resolve(&scenario.formats)
+            .expect("variants resolve");
+        let decoders = scenario
+            .profiles
+            .device
+            .resolve_decoders(&scenario.formats)
+            .expect("decoders resolve");
+        let caps = scenario.profiles.device.hardware.quality_caps();
+        build_group.bench_with_input(BenchmarkId::from_parameter(size), &(), |b, _| {
+            b.iter(|| {
+                build::build(&BuildInput {
+                    formats: &scenario.formats,
+                    services: &scenario.services,
+                    network: &scenario.network,
+                    variants: &variants,
+                    sender_host: scenario.sender_host,
+                    receiver_host: scenario.receiver_host,
+                    decoders: &decoders,
+                    receiver_caps: caps,
+                })
+                .expect("builds")
+            })
+        });
+    }
+    build_group.finish();
+
+    let mut prune_group = c.benchmark_group("graph/prune");
+    for &size in &[50usize, 200, 500] {
+        let config = GeneratorConfig {
+            layers: 4,
+            formats_per_layer: 4,
+            ..GeneratorConfig::default()
+        }
+        .with_total_services(size);
+        let scenario = random_scenario(&config, 3);
+        let composition = scenario
+            .compose(&qosc_core::SelectOptions { record_trace: false, ..Default::default() })
+            .expect("composes");
+        prune_group.bench_with_input(BenchmarkId::from_parameter(size), &composition.graph, |b, g| {
+            b.iter(|| prune(g).expect("prunes"))
+        });
+    }
+    prune_group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build_and_prune
+}
+criterion_main!(benches);

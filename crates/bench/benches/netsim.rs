@@ -1,0 +1,61 @@
+//! Network-substrate throughput: routing, bandwidth queries,
+//! reservations and event-queue operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosc_netsim::generators::{random_waxman, LinkTemplate};
+use qosc_netsim::{EventQueue, Network, SimTime};
+
+fn bench_routing_and_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    for &n in &[50usize, 200] {
+        let (topo, nodes) = random_waxman(n, 0.4, 0.3, LinkTemplate::default(), 5);
+        let network = Network::new(topo);
+        let (a, b) = (nodes[0], nodes[n - 1]);
+        group.bench_with_input(BenchmarkId::new("available_between", n), &network, |bch, net| {
+            bch.iter(|| net.available_between(a, b).expect("connected"))
+        });
+
+        let (topo2, nodes2) = random_waxman(n, 0.4, 0.3, LinkTemplate::default(), 5);
+        group.bench_with_input(BenchmarkId::new("reserve_release", n), &(), |bch, _| {
+            let mut net = Network::new(topo2.clone());
+            bch.iter(|| {
+                let id = net
+                    .reserve_between(nodes2[0], nodes2[n - 1], 100.0)
+                    .expect("headroom");
+                net.release(id).expect("active");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("netsim/event_queue_10k", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times deterministically.
+                queue.schedule(SimTime((i * 7919) % 100_000), i);
+            }
+            let mut drained = 0u64;
+            while queue.pop().is_some() {
+                drained += 1;
+            }
+            drained
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_routing_and_bandwidth, bench_event_queue
+}
+criterion_main!(benches);

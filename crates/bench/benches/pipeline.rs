@@ -1,0 +1,70 @@
+//! Streaming-pipeline throughput: frames simulated per second of a
+//! clean session and of a resilient run with one failure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosc_core::SelectOptions;
+use qosc_netsim::SimTime;
+use qosc_pipeline::{
+    run_resilient, run_session, FailureEvent, FailureSchedule, ResilienceConfig, SessionConfig,
+};
+use qosc_workload::paper;
+
+fn bench_session(c: &mut Criterion) {
+    c.bench_function("pipeline/session_10s", |b| {
+        let scenario = paper::figure6_scenario(true);
+        let composition = scenario.compose(&SelectOptions::default()).expect("composes");
+        let plan = composition.plan.expect("chain");
+        let profile = scenario.profiles.effective_satisfaction();
+        b.iter(|| {
+            let mut scenario = paper::figure6_scenario(true);
+            run_session(
+                &mut scenario.network,
+                &scenario.services,
+                &plan,
+                &profile,
+                &SessionConfig::default(),
+            )
+            .expect("session runs")
+        })
+    });
+}
+
+fn bench_resilient(c: &mut Criterion) {
+    c.bench_function("pipeline/resilient_30s_one_failure", |b| {
+        b.iter(|| {
+            let mut scenario = paper::figure6_scenario(true);
+            let t7 = scenario
+                .network
+                .topology()
+                .node_by_name("host-T7")
+                .expect("named host");
+            let schedule = FailureSchedule::new()
+                .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+            run_resilient(
+                &scenario.formats,
+                &scenario.services,
+                &mut scenario.network,
+                &scenario.profiles,
+                scenario.sender_host,
+                scenario.receiver_host,
+                &schedule,
+                &ResilienceConfig::default(),
+            )
+            .expect("resilient run completes")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_session, bench_resilient
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Service-registry throughput: registration, format-indexed lookup and
+//! lease expiry at population sizes the discovery substrate must sustain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosc_media::{DomainVector, FormatRegistry, MediaKind};
+use qosc_netsim::{Node, SimTime, Topology};
+use qosc_profiles::{ConversionSpec, ServiceSpec};
+use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+fn descriptors(n: usize) -> (FormatRegistry, Vec<TranscoderDescriptor>) {
+    let mut formats = FormatRegistry::new();
+    let mut topo = Topology::new();
+    let host = topo.add_node(Node::unconstrained("host"));
+    let descriptors = (0..n)
+        .map(|i| {
+            let input = format!("in{}", i % 16);
+            let output = format!("out{}", i % 16);
+            formats.register_abstract(&input, MediaKind::Video);
+            formats.register_abstract(&output, MediaKind::Video);
+            let spec = ServiceSpec::new(
+                format!("svc{i}"),
+                vec![ConversionSpec::new(input, output, DomainVector::new())],
+            );
+            TranscoderDescriptor::resolve(&spec, &formats, host).expect("resolves")
+        })
+        .collect();
+    (formats, descriptors)
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    for &n in &[100usize, 1000] {
+        let (formats, descriptors) = descriptors(n);
+        group.bench_with_input(BenchmarkId::new("register", n), &descriptors, |b, d| {
+            b.iter(|| {
+                let mut registry = ServiceRegistry::new();
+                for descriptor in d {
+                    registry.register(descriptor.clone(), SimTime::ZERO, 1_000_000);
+                }
+                registry
+            })
+        });
+
+        let mut registry = ServiceRegistry::new();
+        for descriptor in &descriptors {
+            registry.register(descriptor.clone(), SimTime::ZERO, 1_000_000);
+        }
+        let format = formats.lookup("in3").expect("registered");
+        group.bench_with_input(BenchmarkId::new("accepting", n), &registry, |b, r| {
+            b.iter(|| r.accepting(format))
+        });
+        group.bench_with_input(BenchmarkId::new("expire_sweep", n), &registry, |b, r| {
+            b.iter(|| r.clone().expire_leases(SimTime(2_000_000)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_registry
+}
+criterion_main!(benches);

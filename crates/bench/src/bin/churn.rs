@@ -1,0 +1,163 @@
+//! X8 — service churn through SLP-style leases: intermediaries
+//! advertise their trans-coders with a TTL and must renew; crashed
+//! proxies silently stop renewing and fall out of the graph at lease
+//! expiry ("self-organizing" discovery, Section 3's intermediary
+//! profiles over JINI/SLP). The experiment drives a seeded churn process
+//! and samples composition quality over time.
+//!
+//! ```text
+//! cargo run -p qosc-bench --release --bin churn
+//! ```
+
+use qosc_bench::TextTable;
+use qosc_core::{Composer, SelectOptions};
+use qosc_netsim::{Network, Node, SimTime, Topology};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+};
+use qosc_services::{
+    catalog, DiscoveryConfig, DiscoveryDriver, ServiceRegistry, TranscoderDescriptor,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+const LEASE_TTL_SECS: u64 = 8;
+const TICKS: u64 = 120;
+
+fn main() {
+    println!("X8 — composition quality under service churn (lease TTL {LEASE_TTL_SECS} s)");
+    println!();
+
+    let mut table = TextTable::new([
+        "P(miss renewal)/tick",
+        "mean live services",
+        "ticks solvable",
+        "mean satisfaction",
+        "lease expiries",
+        "re-registrations",
+    ]);
+    for &death_probability in &[0.0f64, 0.02, 0.05, 0.10] {
+        let stats = run_churn(death_probability, 42);
+        table.row([
+            format!("{:.0}%", death_probability * 100.0),
+            format!("{:.1}", stats.mean_live),
+            format!("{}/{TICKS}", stats.solvable_ticks),
+            format!("{:.3}", stats.mean_satisfaction),
+            stats.expiries.to_string(),
+            stats.rebirths.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Expected shape: with no churn every tick composes at full quality; \
+         rising churn thins the live graph, so some ticks lose the good \
+         chain (lower satisfaction) or every chain (unsolvable) — and \
+         recovery is automatic because re-registration re-inserts the \
+         service without any central coordination."
+    );
+}
+
+struct ChurnStats {
+    mean_live: f64,
+    solvable_ticks: u64,
+    mean_satisfaction: f64,
+    expiries: usize,
+    rebirths: usize,
+}
+
+fn run_churn(death_probability: f64, seed: u64) -> ChurnStats {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let formats = qosc_media::FormatRegistry::with_builtins();
+
+    // Camera — 3 proxies in a row — client (so chains have alternatives).
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxies: Vec<_> = (0..3)
+        .map(|i| topo.add_node(Node::unconstrained(format!("proxy-{i}"))))
+        .collect();
+    let client = topo.add_node(Node::unconstrained("client"));
+    for &p in &proxies {
+        topo.connect_simple(server, p, 50e6).unwrap();
+        topo.connect_simple(p, client, 2e6).unwrap();
+    }
+    let network = Network::new(topo);
+
+    // Every proxy advertises the full catalog through the discovery
+    // driver (SLP-style soft state: register with a TTL, renew per tick).
+    let mut services = ServiceRegistry::new();
+    let mut discovery = DiscoveryDriver::new(DiscoveryConfig {
+        ttl: SimTime::from_secs(LEASE_TTL_SECS),
+    });
+    let specs = catalog::full_catalog();
+    let mut members = Vec::new();
+    for &proxy in &proxies {
+        for spec in &specs {
+            let descriptor = TranscoderDescriptor::resolve(spec, &formats, proxy).unwrap();
+            members.push(discovery.join(&mut services, descriptor, SimTime::ZERO));
+        }
+    }
+
+    let profiles = ProfileSet {
+        user: UserProfile::demo("churn-client"),
+        content: ContentProfile::demo_video("live-cam"),
+        device: DeviceProfile::demo_pda(),
+        context: ContextProfile::default(),
+        network: NetworkProfile::broadband(),
+    };
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+
+    let mut live_sum = 0usize;
+    let mut solvable = 0u64;
+    let mut satisfaction_sum = 0.0;
+    let mut expiries = 0usize;
+    let mut rebirths = 0usize;
+    // Crashed members waiting to come back: (revival tick, member).
+    let mut pending: Vec<(u64, qosc_services::MemberId)> = Vec::new();
+
+    for tick in 1..=TICKS {
+        let now = SimTime::from_secs(tick);
+        // The churn process crashes members; crashed members silently
+        // stop renewing and their leases expire on their own.
+        for &member in &members {
+            let already_down = pending.iter().any(|&(_, m)| m == member);
+            if !already_down
+                && discovery.is_advertised(&services, member)
+                && death_probability > 0.0
+                && rng.random_range(0.0..1.0) < death_probability
+            {
+                discovery.crash(member);
+                pending.push((tick + rng.random_range(5..20), member));
+            }
+        }
+        // Revivals: the proxy process rejoins.
+        let due: Vec<_> = pending.iter().filter(|&&(t, _)| t <= tick).map(|&(_, m)| m).collect();
+        pending.retain(|&(t, _)| t > tick);
+        for member in due {
+            discovery.revive(&mut services, member, now).unwrap();
+            rebirths += 1;
+        }
+        // One discovery tick: renewals + lease expiry.
+        expiries += discovery.tick(&mut services, now);
+
+        live_sum += services.live_count();
+
+        // Sample a composition against the current registry.
+        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composition = composer
+            .compose(&profiles, server, client, &options)
+            .expect("composition runs");
+        if let Some(chain) = composition.selection.chain {
+            solvable += 1;
+            satisfaction_sum += chain.satisfaction;
+        }
+    }
+
+    ChurnStats {
+        mean_live: live_sum as f64 / TICKS as f64,
+        solvable_ticks: solvable,
+        mean_satisfaction: satisfaction_sum / solvable.max(1) as f64,
+        expiries,
+        rebirths,
+    }
+}

@@ -1,0 +1,108 @@
+//! X5 — predicted vs delivered: run streaming sessions over the plans
+//! the algorithm produced and compare the algorithm's *predicted*
+//! satisfaction against the *measured* satisfaction at the receiver,
+//! with increasing link loss and background-traffic fluctuation.
+//!
+//! ```text
+//! cargo run -p qosc-bench --release --bin fidelity
+//! ```
+
+use qosc_bench::TextTable;
+use qosc_core::SelectOptions;
+use qosc_pipeline::{run_session, SessionConfig};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn main() {
+    println!("X5 — predicted vs measured satisfaction under loss");
+    println!();
+
+    let loss_levels = [0.0, 0.01, 0.05, 0.1, 0.2];
+    let seeds: Vec<u64> = (0..10).collect();
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+
+    let mut table = TextTable::new([
+        "link loss",
+        "sessions",
+        "admission-rejected",
+        "mean predicted",
+        "mean measured",
+        "mean loss frac",
+        "mean |Δ|",
+    ]);
+    for &loss in &loss_levels {
+        let mut predicted_sum = 0.0;
+        let mut measured_sum = 0.0;
+        let mut loss_sum = 0.0;
+        let mut gap_sum = 0.0;
+        let mut sessions = 0usize;
+        let mut rejected = 0usize;
+        for &seed in &seeds {
+            let config = GeneratorConfig {
+                bandwidth_range: (20_000.0, 60_000.0),
+                ..GeneratorConfig::default()
+            };
+            let mut scenario = random_scenario(&config, seed);
+            // Inject uniform loss on every link by rebuilding loss via the
+            // generator is invasive; instead run the plan on a network
+            // whose links carry the configured loss. The generator gives
+            // lossless links, so we patch the topology in place.
+            // (Topology mutation is test/bench-only surface.)
+            let composition = scenario.compose(&options).expect("composes");
+            let plan = match composition.plan {
+                Some(p) => p,
+                None => continue,
+            };
+            let profile = scenario.profiles.effective_satisfaction();
+            patch_loss(&mut scenario.network, loss);
+            // Selection's per-hop Equa. 2 can jointly overcommit a shared
+            // access link; admission rejection is the honest outcome.
+            let report = match run_session(
+                &mut scenario.network,
+                &scenario.services,
+                &plan,
+                &profile,
+                &SessionConfig { seed, ..SessionConfig::default() },
+            ) {
+                Ok(r) => r,
+                Err(qosc_pipeline::PipelineError::AdmissionRejected(_)) => {
+                    rejected += 1;
+                    continue;
+                }
+                Err(e) => panic!("session failed: {e}"),
+            };
+            predicted_sum += plan.predicted_satisfaction;
+            measured_sum += report.measured_satisfaction;
+            loss_sum += report.loss_fraction();
+            gap_sum += (plan.predicted_satisfaction - report.measured_satisfaction).abs();
+            sessions += 1;
+        }
+        let n = sessions.max(1) as f64;
+        table.row([
+            format!("{:.0}%", loss * 100.0),
+            sessions.to_string(),
+            rejected.to_string(),
+            format!("{:.3}", predicted_sum / n),
+            format!("{:.3}", measured_sum / n),
+            format!("{:.3}", loss_sum / n),
+            format!("{:.3}", gap_sum / n),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Expected shape: at zero loss the measured satisfaction tracks the \
+         prediction closely (the selection's bandwidth model is honest); \
+         rising loss erodes delivered frame rate and opens a gap the \
+         selection cannot see — motivating the re-selection loop of X4."
+    );
+}
+
+/// Set every link's loss probability (bench-only network surgery).
+fn patch_loss(network: &mut qosc_netsim::Network, loss: f64) {
+    let link_ids: Vec<_> = network.topology().link_ids().collect();
+    for link in link_ids {
+        if let Ok(spec) = network.topology_mut().link_mut(link) {
+            spec.loss = loss;
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! E2 — regenerate **Figure 1**: a satisfaction function for the frame
+//! rate, with the minimum-acceptable and ideal markers.
+//!
+//! ```text
+//! cargo run -p qosc-bench --bin figure1
+//! ```
+
+use qosc_bench::TextTable;
+use qosc_satisfaction::SatisfactionFn;
+
+fn main() {
+    println!("E2 — Figure 1: satisfaction functions for the frame-rate parameter");
+    println!();
+
+    // The shape Table 1 implies (linear, M = 0, I = 30) and the shape
+    // Figure 1 sketches (a ramp starting at a non-zero minimum around
+    // 5 fps saturating near 20), plus a diminishing-returns variant.
+    let functions: [(&str, SatisfactionFn); 3] = [
+        ("table1-linear (M=0, I=30)", SatisfactionFn::paper_frame_rate()),
+        (
+            "figure1-ramp (M=5, I=20)",
+            SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 20.0 },
+        ),
+        (
+            "saturating (M=5, I=30, scale=8)",
+            SatisfactionFn::Saturating { min_acceptable: 5.0, ideal: 30.0, scale: 8.0 },
+        ),
+    ];
+
+    let mut table = TextTable::new(
+        ["fps".to_string()]
+            .into_iter()
+            .chain(functions.iter().map(|(n, _)| n.to_string())),
+    );
+    for fps in (0..=30).step_by(2) {
+        let mut row = vec![fps.to_string()];
+        for (_, f) in &functions {
+            row.push(format!("{:.3}", f.eval(fps as f64)));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+
+    println!();
+    println!("ASCII sketch of the figure1-ramp function:");
+    let ramp = &functions[1].1;
+    for level in (0..=10).rev() {
+        let threshold = level as f64 / 10.0;
+        let mut line = String::new();
+        for fps in 0..=24 {
+            let s = ramp.eval(fps as f64);
+            line.push(if s + 1e-9 >= threshold && s < threshold + 0.1 + 1e-9 {
+                '*'
+            } else if level == 0 {
+                '-'
+            } else {
+                ' '
+            });
+        }
+        println!("{:>4.1} |{line}", threshold);
+    }
+    println!("      0    5    10   15   20  fps (M=5 → sat 0, I=20 → sat 1)");
+    println!();
+    println!(
+        "table1 checkpoints: 30→{} 27→{} 23→{} 20→{}",
+        qosc_bench::sat2(functions[0].1.eval(30.0)),
+        qosc_bench::sat2(functions[0].1.eval(27.0)),
+        qosc_bench::sat2(functions[0].1.eval(23.0)),
+        qosc_bench::sat2(functions[0].1.eval(20.0)),
+    );
+}

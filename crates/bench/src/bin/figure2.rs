@@ -1,0 +1,54 @@
+//! E3 — regenerate **Figure 2**: a trans-coding service T1 with input
+//! formats {F5, F6} and output formats {F10, F11, F12, F13}, shown as a
+//! service descriptor and as a DOT fragment.
+//!
+//! ```text
+//! cargo run -p qosc-bench --bin figure2
+//! ```
+
+use qosc_media::{DomainVector, FormatRegistry, MediaKind};
+use qosc_netsim::{Node, Topology};
+use qosc_profiles::{ConversionSpec, ServiceSpec};
+use qosc_services::TranscoderDescriptor;
+
+fn main() {
+    println!("E3 — Figure 2: trans-coding service with multiple input and output links");
+    println!();
+
+    let mut formats = FormatRegistry::new();
+    for name in ["F5", "F6", "F10", "F11", "F12", "F13"] {
+        formats.register_abstract(name, MediaKind::Video);
+    }
+    let mut topo = Topology::new();
+    let host = topo.add_node(Node::unconstrained("proxy"));
+
+    let mut conversions = Vec::new();
+    for input in ["F5", "F6"] {
+        for output in ["F10", "F11", "F12", "F13"] {
+            conversions.push(ConversionSpec::new(input, output, DomainVector::new()));
+        }
+    }
+    let spec = ServiceSpec::new("T1", conversions);
+    let t1 = TranscoderDescriptor::resolve(&spec, &formats, host).expect("formats interned");
+
+    let inputs: Vec<&str> = t1.input_formats().iter().map(|&f| formats.name(f)).collect();
+    let outputs: Vec<&str> = t1.output_formats().iter().map(|&f| formats.name(f)).collect();
+    println!("service: {}", t1.name);
+    println!("  input links : {}", inputs.join(", "));
+    println!("  output links: {}", outputs.join(", "));
+    println!("  conversions : {}", t1.conversions.len());
+    assert_eq!(inputs, ["F5", "F6"], "paper's Figure 2 inputs");
+    assert_eq!(outputs, ["F10", "F11", "F12", "F13"], "paper's Figure 2 outputs");
+
+    println!();
+    println!("DOT fragment (paper's visual language — formats on edges):");
+    println!("digraph figure2 {{");
+    println!("  rankdir=LR; T1 [shape=circle];");
+    for input in &inputs {
+        println!("  in_{input} [shape=point]; in_{input} -> T1 [label=\"{input}\"];");
+    }
+    for output in &outputs {
+        println!("  out_{output} [shape=point]; T1 -> out_{output} [label=\"{output}\"];");
+    }
+    println!("}}");
+}

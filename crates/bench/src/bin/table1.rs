@@ -1,0 +1,34 @@
+//! E1 — regenerate **Table 1** of the paper: the round-by-round run of
+//! the QoS selection algorithm on the Figure-6 scenario.
+//!
+//! ```text
+//! cargo run -p qosc-bench --bin table1
+//! ```
+
+use qosc_core::SelectOptions;
+use qosc_workload::paper;
+
+fn main() {
+    let scenario = paper::figure6_scenario(true);
+    let composition = scenario
+        .compose(&SelectOptions::default())
+        .expect("paper scenario composes");
+
+    println!("E1 — Table 1: results for each step of the path selection algorithm");
+    println!();
+    print!("{}", composition.selection.trace.to_table1_string());
+    println!();
+
+    match paper::verify_table1(&composition.selection.trace) {
+        None => println!("VERDICT: trace matches the paper's Table 1 row-for-row."),
+        Some(mismatch) => println!("VERDICT: MISMATCH — {mismatch}"),
+    }
+
+    let chain = composition.selection.chain.expect("receiver reached");
+    println!(
+        "final chain: {} @ {:.0} fps, satisfaction {} (paper: sender,T7,receiver @ 20 fps, 0.66)",
+        chain.names().join(","),
+        chain.steps.last().unwrap().params.get(qosc_media::Axis::FrameRate).unwrap_or(0.0),
+        qosc_bench::sat2(chain.satisfaction),
+    );
+}

@@ -1,0 +1,240 @@
+//! The exhaustive exact optimum.
+//!
+//! Enumerates every simple (vertex-distinct), format-distinct chain from
+//! the sender to the receiver, labels each with the shared extension
+//! semantics, and returns the chain with the maximum final satisfaction
+//! (ties: lower cost, then fewer hops). Exponential — this is the ground
+//! truth the Figure-5 optimality property is verified against, not a
+//! production algorithm.
+
+use crate::baseline::{chain_from_labels, BaselineResult};
+use crate::graph::{AdaptationGraph, EdgeId, VertexId};
+use crate::select::label::{ExtendContext, Label};
+use crate::{CoreError, Result};
+
+/// Options for the exhaustive search.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveOptions {
+    /// Enforce the paper's formats-distinct-along-a-path rule.
+    pub formats_distinct: bool,
+    /// Abort after exploring this many extensions (safety valve).
+    pub max_expansions: usize,
+}
+
+impl Default for ExhaustiveOptions {
+    fn default() -> ExhaustiveOptions {
+        ExhaustiveOptions {
+            formats_distinct: true,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+struct Search<'a, 'b> {
+    ctx: &'a ExtendContext<'b>,
+    receiver: VertexId,
+    options: ExhaustiveOptions,
+    expansions: usize,
+    best: Option<(Vec<Label>, Vec<EdgeId>)>,
+}
+
+/// Run the exhaustive search. Returns `None` when no feasible chain
+/// exists; errors if the expansion budget trips.
+pub fn exhaustive_optimum(
+    ctx: &ExtendContext<'_>,
+    options: ExhaustiveOptions,
+) -> Result<Option<BaselineResult>> {
+    let receiver = match ctx.graph.receiver() {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let mut search = Search {
+        ctx,
+        receiver,
+        options,
+        expansions: 0,
+        best: None,
+    };
+    for sender_label in ctx.sender_labels()? {
+        let mut on_path = vec![sender_label.state.vertex];
+        let mut formats_seen = Vec::new();
+        let mut labels = vec![sender_label];
+        let mut edges = Vec::new();
+        search.dfs(&mut labels, &mut edges, &mut on_path, &mut formats_seen)?;
+    }
+    match search.best {
+        Some((labels, edges)) => {
+            let chain = chain_from_labels(ctx.graph, &labels)?;
+            Ok(Some(BaselineResult {
+                chain,
+                edges,
+                explored: search.expansions,
+            }))
+        }
+        None => Ok(None),
+    }
+}
+
+impl Search<'_, '_> {
+    fn dfs(
+        &mut self,
+        labels: &mut Vec<Label>,
+        edges: &mut Vec<EdgeId>,
+        on_path: &mut Vec<VertexId>,
+        formats_seen: &mut Vec<qosc_media::FormatId>,
+    ) -> Result<()> {
+        let current = labels.last().expect("path starts at the sender").clone();
+        let graph: &AdaptationGraph = self.ctx.graph;
+        for &edge_id in graph.out_edges(current.state.vertex) {
+            let edge = graph.edge(edge_id)?;
+            if edge.format != current.state.output_format {
+                continue;
+            }
+            if on_path.contains(&edge.to) {
+                continue; // simple paths only
+            }
+            if self.options.formats_distinct && formats_seen.contains(&edge.format) {
+                continue;
+            }
+            self.expansions += 1;
+            if self.expansions > self.options.max_expansions {
+                return Err(CoreError::SearchBudgetExceeded {
+                    explored: self.expansions,
+                });
+            }
+            for extension in self.ctx.extend(&current, edge_id)? {
+                labels.push(extension.clone());
+                edges.push(edge_id);
+                if extension.state.vertex == self.receiver {
+                    self.consider(labels, edges);
+                } else {
+                    on_path.push(edge.to);
+                    formats_seen.push(edge.format);
+                    self.dfs(labels, edges, on_path, formats_seen)?;
+                    formats_seen.pop();
+                    on_path.pop();
+                }
+                edges.pop();
+                labels.pop();
+            }
+        }
+        Ok(())
+    }
+
+    fn consider(&mut self, labels: &[Label], edges: &[EdgeId]) {
+        let candidate = labels.last().expect("non-empty");
+        let better = match &self.best {
+            None => true,
+            Some((best_labels, best_edges)) => {
+                let best = best_labels.last().expect("non-empty");
+                candidate.satisfaction > best.satisfaction
+                    || (candidate.satisfaction == best.satisfaction
+                        && (candidate.accumulated_cost < best.accumulated_cost
+                            || (candidate.accumulated_cost == best.accumulated_cost
+                                && edges.len() < best_edges.len())))
+            }
+        };
+        if better {
+            self.best = Some((labels.to_vec(), edges.to_vec()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build::build;
+    use crate::graph::BuildInput;
+    use crate::select::{select_chain, SelectOptions};
+    use qosc_media::{
+        Axis, AxisDomain, BitrateModel, ContentVariant, DomainVector, FormatRegistry, FormatSpec,
+        MediaKind, ParamVector,
+    };
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+    use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
+    use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+    /// A diamond with caps 30/20 on the two middle services.
+    fn diamond() -> (FormatRegistry, crate::graph::AdaptationGraph) {
+        let mut formats = FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m1 = topo.add_node(Node::unconstrained("m1"));
+        let m2 = topo.add_node(Node::unconstrained("m2"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        for (a, b) in [(s, m1), (s, m2), (m1, r), (m2, r)] {
+            topo.connect_simple(a, b, 1e9).unwrap();
+        }
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let cap = |c: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: c },
+            )
+        };
+        for (name, host, c) in [("T1", m1, 20.0), ("T2", m2, 30.0)] {
+            let spec = ServiceSpec::new(name, vec![ConversionSpec::new("A", "B", cap(c))]);
+            services.register_static(TranscoderDescriptor::resolve(&spec, &formats, host).unwrap());
+        }
+        let variants = vec![ContentVariant::new(fa, cap(30.0))];
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fb],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        (formats, graph)
+    }
+
+    #[test]
+    fn exhaustive_matches_greedy_on_diamond() {
+        let (formats, graph) = diamond();
+        let profile = SatisfactionProfile::paper_table1();
+        let ctx = ExtendContext {
+            graph: &graph,
+            formats: &formats,
+            profile: &profile,
+            budget: f64::INFINITY,
+            optimizer: OptimizeOptions::default(),
+        };
+        let exact = exhaustive_optimum(&ctx, ExhaustiveOptions::default())
+            .unwrap()
+            .expect("feasible");
+        let greedy =
+            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
+                .unwrap()
+                .chain
+                .expect("feasible");
+        assert_eq!(exact.chain.satisfaction, greedy.satisfaction);
+        assert_eq!(exact.chain.names(), vec!["sender", "T2", "receiver"]);
+        assert!(exact.explored >= 2, "both branches explored");
+    }
+
+    #[test]
+    fn expansion_budget_trips() {
+        let (formats, graph) = diamond();
+        let profile = SatisfactionProfile::paper_table1();
+        let ctx = ExtendContext {
+            graph: &graph,
+            formats: &formats,
+            profile: &profile,
+            budget: f64::INFINITY,
+            optimizer: OptimizeOptions::default(),
+        };
+        let err = exhaustive_optimum(
+            &ctx,
+            ExhaustiveOptions { formats_distinct: true, max_expansions: 1 },
+        );
+        assert!(matches!(err, Err(CoreError::SearchBudgetExceeded { .. })));
+    }
+}

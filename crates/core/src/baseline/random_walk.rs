@@ -1,0 +1,180 @@
+//! A seeded random feasible chain.
+//!
+//! The weakest baseline: walk from the sender, at each step picking a
+//! uniformly random feasible extension, restarting on dead ends. Shows
+//! how much of the greedy algorithm's satisfaction comes from *choosing*
+//! rather than merely *reaching*.
+
+use crate::baseline::{chain_from_labels, BaselineResult};
+use crate::graph::EdgeId;
+use crate::select::label::{ExtendContext, Label};
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for the random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalkOptions {
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+    /// Restarts before giving up.
+    pub max_restarts: usize,
+    /// Step cap per walk (cycle guard).
+    pub max_steps: usize,
+}
+
+impl Default for RandomWalkOptions {
+    fn default() -> RandomWalkOptions {
+        RandomWalkOptions { seed: 0, max_restarts: 64, max_steps: 256 }
+    }
+}
+
+/// Walk randomly until the receiver is reached or the restart budget is
+/// spent. Returns the first successful chain.
+pub fn random_walk(
+    ctx: &ExtendContext<'_>,
+    options: RandomWalkOptions,
+) -> Result<Option<BaselineResult>> {
+    let receiver = match ctx.graph.receiver() {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let sender_labels = ctx.sender_labels()?;
+    if sender_labels.is_empty() {
+        return Ok(None);
+    }
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut explored = 0usize;
+
+    for _ in 0..options.max_restarts {
+        let start = sender_labels[rng.random_range(0..sender_labels.len())].clone();
+        let mut labels: Vec<Label> = vec![start];
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut visited = vec![labels[0].state.vertex];
+
+        for _ in 0..options.max_steps {
+            let current = labels.last().expect("non-empty").clone();
+            if current.state.vertex == receiver {
+                let chain = chain_from_labels(ctx.graph, &labels)?;
+                return Ok(Some(BaselineResult { chain, edges, explored }));
+            }
+            // Collect feasible extensions.
+            let mut moves: Vec<(EdgeId, Label)> = Vec::new();
+            for &edge_id in ctx.graph.out_edges(current.state.vertex) {
+                let edge = ctx.graph.edge(edge_id)?;
+                if edge.format != current.state.output_format || visited.contains(&edge.to) {
+                    continue;
+                }
+                explored += 1;
+                for label in ctx.extend(&current, edge_id)? {
+                    moves.push((edge_id, label));
+                }
+            }
+            if moves.is_empty() {
+                break; // dead end → restart
+            }
+            let (edge_id, label) = moves.swap_remove(rng.random_range(0..moves.len()));
+            visited.push(label.state.vertex);
+            edges.push(edge_id);
+            labels.push(label);
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build::build;
+    use crate::graph::BuildInput;
+    use qosc_media::{
+        Axis, AxisDomain, BitrateModel, ContentVariant, DomainVector, FormatRegistry, FormatSpec,
+        MediaKind, ParamVector,
+    };
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+    use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
+    use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+    fn fixture() -> (FormatRegistry, crate::graph::AdaptationGraph) {
+        let mut formats = FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m1 = topo.add_node(Node::unconstrained("m1"));
+        let m2 = topo.add_node(Node::unconstrained("m2"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        for (a, b) in [(s, m1), (s, m2), (m1, r), (m2, r)] {
+            topo.connect_simple(a, b, 1e9).unwrap();
+        }
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let cap = |c: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: c },
+            )
+        };
+        for (name, host, c) in [("T1", m1, 20.0), ("T2", m2, 30.0)] {
+            let spec = ServiceSpec::new(name, vec![ConversionSpec::new("A", "B", cap(c))]);
+            services.register_static(TranscoderDescriptor::resolve(&spec, &formats, host).unwrap());
+        }
+        let variants = vec![ContentVariant::new(fa, cap(30.0))];
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fb],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        (formats, graph)
+    }
+
+    #[test]
+    fn random_walk_reaches_receiver_deterministically() {
+        let (formats, graph) = fixture();
+        let profile = SatisfactionProfile::paper_table1();
+        let ctx = ExtendContext {
+            graph: &graph,
+            formats: &formats,
+            profile: &profile,
+            budget: f64::INFINITY,
+            optimizer: OptimizeOptions::default(),
+        };
+        let a = random_walk(&ctx, RandomWalkOptions::default()).unwrap().unwrap();
+        let b = random_walk(&ctx, RandomWalkOptions::default()).unwrap().unwrap();
+        assert_eq!(a.chain.names(), b.chain.names(), "same seed, same walk");
+        assert_eq!(a.chain.names().first().copied(), Some("sender"));
+        assert_eq!(a.chain.names().last().copied(), Some("receiver"));
+    }
+
+    #[test]
+    fn different_seeds_can_pick_different_branches() {
+        let (formats, graph) = fixture();
+        let profile = SatisfactionProfile::paper_table1();
+        let ctx = ExtendContext {
+            graph: &graph,
+            formats: &formats,
+            profile: &profile,
+            budget: f64::INFINITY,
+            optimizer: OptimizeOptions::default(),
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..16 {
+            let result = random_walk(
+                &ctx,
+                RandomWalkOptions { seed, ..RandomWalkOptions::default() },
+            )
+            .unwrap()
+            .unwrap();
+            seen.insert(result.chain.names().join(","));
+        }
+        assert!(seen.len() > 1, "sixteen seeds should explore both branches");
+    }
+}

@@ -1,0 +1,319 @@
+//! Structural baselines: pick a chain by a network metric, then label it.
+//!
+//! These are the algorithms the paper implicitly compares against when it
+//! notes that its optimization criterion "is the user's satisfaction, and
+//! not the available bandwidth or the number of hops" (Section 4.4).
+//! Each runs over the same `(vertex, output format)` state graph the
+//! greedy search uses, but ranks paths by a network metric; the chosen
+//! chain is then labelled with the shared semantics, so its satisfaction
+//! is directly comparable. A structurally chosen chain may turn out
+//! infeasible (bandwidth/budget) — that is part of the comparison.
+
+use crate::baseline::{chain_from_labels, label_edge_path, BaselineResult};
+use crate::graph::{EdgeId, VertexId};
+use crate::select::label::ExtendContext;
+use crate::Result;
+use std::collections::{BTreeMap, VecDeque};
+
+type State = (VertexId, qosc_media::FormatId);
+
+/// Fewest-hops chain (BFS over states), labelled. Returns `None` when the
+/// receiver is structurally unreachable or the shortest chain is
+/// infeasible under the QoS constraints.
+pub fn fewest_hops(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
+    let graph = ctx.graph;
+    let receiver = match graph.receiver() {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let mut parents: BTreeMap<State, (State, EdgeId)> = BTreeMap::new();
+    let mut visited: Vec<State> = Vec::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    for label in ctx.sender_labels()? {
+        let state = (label.state.vertex, label.state.output_format);
+        if !visited.contains(&state) {
+            visited.push(state);
+            queue.push_back(state);
+        }
+    }
+    let mut explored = 0usize;
+    let mut target: Option<State> = None;
+    'bfs: while let Some((vertex, format)) = queue.pop_front() {
+        for &edge_id in graph.out_edges(vertex) {
+            let edge = graph.edge(edge_id)?;
+            if edge.format != format {
+                continue;
+            }
+            explored += 1;
+            for conversion in graph.vertex(edge.to)?.conversions_from(format) {
+                let next: State = (edge.to, conversion.output);
+                if visited.contains(&next) {
+                    continue;
+                }
+                visited.push(next);
+                parents.insert(next, ((vertex, format), edge_id));
+                if edge.to == receiver {
+                    target = Some(next);
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    finish(ctx, parents, target, explored)
+}
+
+/// Widest chain: maximize the bottleneck `available_bps` along the chain
+/// (a max-min Dijkstra over states), labelled.
+pub fn widest_path(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
+    best_first(ctx, |width, edge_bps| width.min(edge_bps), f64::INFINITY, |a, b| a > b)
+}
+
+/// Cheapest chain by the structural price proxy
+/// `Σ (price_flat + price_per_mbit)` along the edges, labelled.
+pub fn cheapest_path(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
+    best_first(
+        ctx,
+        |cost, edge_price| cost + edge_price,
+        0.0,
+        |a, b| a < b,
+    )
+}
+
+/// Generic best-first structural search over states. `combine` folds the
+/// metric along a path; `better` orders two metric values.
+fn best_first(
+    ctx: &ExtendContext<'_>,
+    combine: fn(f64, f64) -> f64,
+    initial: f64,
+    better: fn(f64, f64) -> bool,
+) -> Result<Option<BaselineResult>> {
+    let graph = ctx.graph;
+    let receiver = match graph.receiver() {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let mut best_metric: BTreeMap<State, f64> = BTreeMap::new();
+    let mut parents: BTreeMap<State, (State, EdgeId)> = BTreeMap::new();
+    let mut settled: Vec<State> = Vec::new();
+    for label in ctx.sender_labels()? {
+        best_metric.insert((label.state.vertex, label.state.output_format), initial);
+    }
+    let mut explored = 0usize;
+    let mut target: Option<State> = None;
+    loop {
+        // Pick the unsettled state with the best metric (linear scan —
+        // baseline graphs are test/bench sized).
+        let current = best_metric
+            .iter()
+            .filter(|(s, _)| !settled.contains(s))
+            .max_by(|(_, a), (_, b)| {
+                if better(**a, **b) {
+                    std::cmp::Ordering::Greater
+                } else if better(**b, **a) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .map(|(s, m)| (*s, *m));
+        let ((vertex, format), metric) = match current {
+            Some(c) => c,
+            None => break,
+        };
+        settled.push((vertex, format));
+        if vertex == receiver {
+            target = Some((vertex, format));
+            break;
+        }
+        for &edge_id in graph.out_edges(vertex) {
+            let edge = graph.edge(edge_id)?;
+            if edge.format != format {
+                continue;
+            }
+            explored += 1;
+            let edge_value = match () {
+                // widest uses bandwidth; cheapest uses the price proxy.
+                _ if initial.is_infinite() => edge.available_bps,
+                _ => edge.price_flat + edge.price_per_mbit,
+            };
+            let candidate_metric = combine(metric, edge_value);
+            for conversion in graph.vertex(edge.to)?.conversions_from(format) {
+                let next: State = (edge.to, conversion.output);
+                if settled.contains(&next) {
+                    continue;
+                }
+                let improves = match best_metric.get(&next) {
+                    Some(&existing) => better(candidate_metric, existing),
+                    None => true,
+                };
+                if improves {
+                    best_metric.insert(next, candidate_metric);
+                    parents.insert(next, ((vertex, format), edge_id));
+                }
+            }
+        }
+    }
+    finish(ctx, parents, target, explored)
+}
+
+/// Reconstruct edges from the parent table and label the chain.
+fn finish(
+    ctx: &ExtendContext<'_>,
+    parents: BTreeMap<State, (State, EdgeId)>,
+    target: Option<State>,
+    explored: usize,
+) -> Result<Option<BaselineResult>> {
+    let target = match target {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut edges = Vec::new();
+    let mut cursor = target;
+    while let Some((parent, edge)) = parents.get(&cursor) {
+        edges.push(*edge);
+        cursor = *parent;
+    }
+    edges.reverse();
+    let labels = match label_edge_path(ctx, &edges)? {
+        Some(l) => l,
+        None => return Ok(None), // structurally fine, QoS-infeasible
+    };
+    let chain = chain_from_labels(ctx.graph, &labels)?;
+    Ok(Some(BaselineResult { chain, edges, explored }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build::build;
+    use crate::graph::{AdaptationGraph, BuildInput};
+    use qosc_media::{
+        Axis, AxisDomain, BitrateModel, ContentVariant, DomainVector, FormatRegistry, FormatSpec,
+        MediaKind, ParamVector,
+    };
+    use qosc_netsim::{Link, Network, Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+    use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
+    use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+    /// Two routes to the receiver:
+    /// * direct:   sender —A→ receiver        (1 hop, narrow 10 kbit/s link)
+    /// * indirect: sender —A→ T —B→ receiver  (2 hops, wide links, cap 30)
+    fn fixture() -> (FormatRegistry, AdaptationGraph) {
+        let mut formats = FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m = topo.add_node(Node::unconstrained("m"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        // Narrow, pricey direct link.
+        topo.connect(Link {
+            a: s,
+            b: r,
+            capacity_bps: 10_000.0,
+            delay_us: 100,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 5.0,
+        })
+        .unwrap();
+        // Wide cheap two-hop route. Delays chosen so routing prefers the
+        // direct link for s→r (100 < 2 × 1000), keeping the two
+        // adaptation-graph paths on distinct network routes.
+        topo.connect(Link {
+            a: s,
+            b: m,
+            capacity_bps: 1e9,
+            delay_us: 1_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 1.0,
+        })
+        .unwrap();
+        topo.connect(Link {
+            a: m,
+            b: r,
+            capacity_bps: 1e9,
+            delay_us: 1_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 1.0,
+        })
+        .unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let cap = |c: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: c },
+            )
+        };
+        let spec = ServiceSpec::new("T", vec![ConversionSpec::new("A", "B", cap(30.0))]);
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, m).unwrap());
+        let variants = vec![ContentVariant::new(fa, cap(30.0))];
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fa, fb],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        (formats, graph)
+    }
+
+    fn ctx<'a>(
+        formats: &'a FormatRegistry,
+        graph: &'a AdaptationGraph,
+        profile: &'a SatisfactionProfile,
+    ) -> ExtendContext<'a> {
+        ExtendContext {
+            graph,
+            formats,
+            profile,
+            budget: f64::INFINITY,
+            optimizer: OptimizeOptions::default(),
+        }
+    }
+
+    #[test]
+    fn fewest_hops_takes_the_narrow_direct_path() {
+        let (formats, graph) = fixture();
+        let profile = SatisfactionProfile::paper_table1();
+        let result = fewest_hops(&ctx(&formats, &graph, &profile))
+            .unwrap()
+            .expect("direct path is feasible");
+        assert_eq!(result.chain.names(), vec!["sender", "receiver"]);
+        // 10 kbit/s → 10 fps → satisfaction 1/3: hop count is a bad metric.
+        assert!((result.chain.satisfaction - 1.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn widest_path_takes_the_wide_route() {
+        let (formats, graph) = fixture();
+        let profile = SatisfactionProfile::paper_table1();
+        let result = widest_path(&ctx(&formats, &graph, &profile))
+            .unwrap()
+            .expect("wide route feasible");
+        assert_eq!(result.chain.names(), vec!["sender", "T", "receiver"]);
+        assert!((result.chain.satisfaction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheapest_path_minimizes_price_proxy() {
+        let (formats, graph) = fixture();
+        let profile = SatisfactionProfile::paper_table1();
+        let result = cheapest_path(&ctx(&formats, &graph, &profile))
+            .unwrap()
+            .expect("cheap route feasible");
+        // Proxy: direct = 5, via T = 1 + 1 = 2 → the indirect route wins.
+        assert_eq!(result.chain.names(), vec!["sender", "T", "receiver"]);
+        assert!((result.chain.total_cost - 2.0).abs() < 1e-9);
+    }
+}

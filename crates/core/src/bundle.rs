@@ -1,0 +1,358 @@
+//! Multi-stream bundles and the degradation policy.
+//!
+//! Section 3 gives the user profile "policies for application
+//! adaptations, such as the preference of the user to drop the audio
+//! quality of a sport-clip before degrading the video quality when
+//! resources are limited". A bundle is one session carrying several
+//! media streams (e.g. the video track and the audio track of a clip);
+//! the shared resource is the user's budget.
+//!
+//! [`compose_bundle`] allocates the budget by the policy's priority:
+//! streams the user protects (later in `degrade_first`, or unlisted)
+//! compose first against the full remaining budget; streams the user is
+//! willing to degrade compose against whatever is left. A stream that
+//! cannot compose within its leftover is *dropped* (its plan is `None`)
+//! — degrading to nothing before touching the protected streams.
+
+use crate::composer::Composer;
+use crate::plan::AdaptationPlan;
+use crate::select::SelectOptions;
+use crate::Result;
+use qosc_media::MediaKind;
+use qosc_netsim::NodeId;
+use qosc_profiles::{ContentProfile, ProfileSet};
+
+/// One stream of a composed bundle.
+#[derive(Debug)]
+pub struct BundleStream {
+    /// Title of the content this stream carries.
+    pub title: String,
+    /// Media kind used for policy ranking (`None` if unresolvable).
+    pub kind: Option<MediaKind>,
+    /// The plan, or `None` when the stream was dropped for lack of
+    /// budget (or is unsolvable).
+    pub plan: Option<AdaptationPlan>,
+}
+
+/// A composed bundle.
+#[derive(Debug)]
+pub struct BundleComposition {
+    /// Streams in the *request* order (not allocation order).
+    pub streams: Vec<BundleStream>,
+    /// Total cost across composed streams.
+    pub total_cost: f64,
+    /// Mean predicted satisfaction across composed streams (dropped
+    /// streams count as zero).
+    pub mean_satisfaction: f64,
+}
+
+impl BundleComposition {
+    /// Number of streams that received a plan.
+    pub fn composed_count(&self) -> usize {
+        self.streams.iter().filter(|s| s.plan.is_some()).count()
+    }
+}
+
+/// Compose several content streams for one user, sharing the user's
+/// budget according to the profile's
+/// [`AdaptationPolicy`](qosc_profiles::AdaptationPolicy).
+///
+/// `base` supplies the user, device, context and network profiles; its
+/// own `content` is ignored in favour of `contents`.
+pub fn compose_bundle(
+    composer: &Composer<'_>,
+    base: &ProfileSet,
+    contents: &[ContentProfile],
+    sender_host: NodeId,
+    receiver_host: NodeId,
+    options: &SelectOptions,
+) -> Result<BundleComposition> {
+    // Allocation order: protected streams first. `degrade_rank` is low
+    // for degrade-first kinds, so we allocate in descending rank;
+    // original index breaks ties to stay deterministic.
+    let mut order: Vec<usize> = (0..contents.len()).collect();
+    let kind_of = |content: &ContentProfile| content.primary_kind(composer.formats);
+    order.sort_by_key(|&i| {
+        let rank = kind_of(&contents[i])
+            .map(|k| base.user.policy.degrade_rank(k))
+            .unwrap_or(usize::MAX);
+        (std::cmp::Reverse(rank), i)
+    });
+
+    let mut remaining_budget = base.user.budget_or_infinite();
+    let mut plans: Vec<Option<AdaptationPlan>> = vec![None; contents.len()];
+    for &i in &order {
+        let mut profiles = base.clone();
+        profiles.content = contents[i].clone();
+        profiles.user.budget = if remaining_budget.is_finite() {
+            Some(remaining_budget.max(0.0))
+        } else {
+            None
+        };
+        let composition = composer.compose(&profiles, sender_host, receiver_host, options)?;
+        if let Some(plan) = composition.plan {
+            remaining_budget -= plan.total_cost;
+            plans[i] = Some(plan);
+        }
+    }
+
+    let total_cost = plans
+        .iter()
+        .flatten()
+        .map(|p| p.total_cost)
+        .sum();
+    let mean_satisfaction = if contents.is_empty() {
+        0.0
+    } else {
+        plans
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.predicted_satisfaction).unwrap_or(0.0))
+            .sum::<f64>()
+            / contents.len() as f64
+    };
+    let streams = contents
+        .iter()
+        .zip(plans)
+        .map(|(content, plan)| BundleStream {
+            title: content.title.clone(),
+            kind: kind_of(content),
+            plan,
+        })
+        .collect();
+    Ok(BundleComposition { streams, total_cost, mean_satisfaction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, VariantSpec};
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{
+        AdaptationPolicy, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+        UserProfile,
+    };
+    use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+    use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+    struct Fixture {
+        formats: FormatRegistry,
+        services: ServiceRegistry,
+        network: Network,
+        server: NodeId,
+        client: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let formats = FormatRegistry::with_builtins();
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        topo.connect_simple(proxy, client, 5e6).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        for spec in catalog::full_catalog() {
+            services
+                .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+        }
+        Fixture { formats, services, network, server, client }
+    }
+
+    fn av_request() -> (ProfileSet, Vec<ContentProfile>) {
+        // The sport-clip of Section 3: a video track and an audio track.
+        let video = ContentProfile::new(
+            "sport-clip-video",
+            vec![VariantSpec {
+                format: "video/mpeg2".to_string(),
+                offered: DomainVector::new()
+                    .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
+                    .with(
+                        Axis::PixelCount,
+                        AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 },
+                    )
+                    .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 }),
+            }],
+        );
+        let audio = ContentProfile::new(
+            "sport-clip-audio",
+            vec![VariantSpec {
+                format: "audio/pcm".to_string(),
+                offered: DomainVector::new()
+                    .with(
+                        Axis::SampleRate,
+                        AxisDomain::Discrete(vec![8_000.0, 22_050.0, 44_100.0]),
+                    )
+                    .with(Axis::Channels, AxisDomain::Discrete(vec![1.0, 2.0]))
+                    .with(Axis::SampleDepth, AxisDomain::Discrete(vec![8.0, 16.0])),
+            }],
+        );
+        let satisfaction = SatisfactionProfile::new()
+            .with(AxisPreference::new(
+                Axis::FrameRate,
+                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+            ))
+            .with(AxisPreference::new(
+                Axis::SampleRate,
+                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44_100.0 },
+            ));
+        // Drop audio before video, as Section 3's example demands.
+        let user = UserProfile::new("sports-fan", satisfaction)
+            .with_policy(AdaptationPolicy { degrade_first: vec![MediaKind::Audio] });
+        let device = DeviceProfile::new(
+            "media-box",
+            vec![
+                "video/h263".to_string(),
+                "video/mpeg1".to_string(),
+                "audio/mp3".to_string(),
+                "audio/amr".to_string(),
+            ],
+            HardwareCaps::desktop(),
+        );
+        let base = ProfileSet {
+            user,
+            content: video.clone(), // placeholder, ignored by the bundle
+            device,
+            context: ContextProfile::default(),
+            network: NetworkProfile::broadband(),
+        };
+        (base, vec![video, audio])
+    }
+
+    #[test]
+    fn ample_budget_composes_both_streams() {
+        let f = fixture();
+        let (base, contents) = av_request();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let bundle = compose_bundle(
+            &composer,
+            &base,
+            &contents,
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bundle.composed_count(), 2);
+        assert!(bundle.total_cost > 0.0, "catalog services are priced");
+        assert!(bundle.mean_satisfaction > 0.5);
+        assert_eq!(bundle.streams[0].kind, Some(MediaKind::Video));
+        assert_eq!(bundle.streams[1].kind, Some(MediaKind::Audio));
+    }
+
+    #[test]
+    fn tight_budget_drops_audio_before_video() {
+        let f = fixture();
+        let (mut base, contents) = av_request();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        // Find the video-only cost, then grant just enough for it.
+        let unconstrained = compose_bundle(
+            &composer,
+            &base,
+            &contents,
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        let video_cost = unconstrained.streams[0].plan.as_ref().unwrap().total_cost;
+
+        base.user.budget = Some(video_cost * 1.01);
+        let squeezed = compose_bundle(
+            &composer,
+            &base,
+            &contents,
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        let video = &squeezed.streams[0];
+        let audio = &squeezed.streams[1];
+        assert!(video.plan.is_some(), "the protected video stream survives");
+        // The audio stream is degraded (cheaper than unconstrained) or
+        // dropped entirely — never the other way around.
+        match &audio.plan {
+            None => {}
+            Some(plan) => {
+                let unconstrained_audio =
+                    unconstrained.streams[1].plan.as_ref().unwrap().total_cost;
+                assert!(plan.total_cost <= unconstrained_audio + 1e-9);
+                assert!(
+                    squeezed.total_cost <= base.user.budget.unwrap() * (1.0 + 1e-6) + 1e-6,
+                    "bundle overspent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_policy_protects_audio() {
+        let f = fixture();
+        let (mut base, contents) = av_request();
+        base.user.policy = AdaptationPolicy { degrade_first: vec![MediaKind::Video] };
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let unconstrained = compose_bundle(
+            &composer,
+            &base,
+            &contents,
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        let audio_cost = unconstrained.streams[1].plan.as_ref().unwrap().total_cost;
+        base.user.budget = Some(audio_cost * 1.01);
+        let squeezed = compose_bundle(
+            &composer,
+            &base,
+            &contents,
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        assert!(squeezed.streams[1].plan.is_some(), "audio is protected now");
+        // Video gets at most the leftovers.
+        if let Some(plan) = &squeezed.streams[0].plan {
+            assert!(
+                plan.total_cost
+                    <= base.user.budget.unwrap() - audio_cost + 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn empty_bundle_is_trivial() {
+        let f = fixture();
+        let (base, _) = av_request();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let bundle = compose_bundle(
+            &composer,
+            &base,
+            &[],
+            f.server,
+            f.client,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bundle.composed_count(), 0);
+        assert_eq!(bundle.total_cost, 0.0);
+    }
+}

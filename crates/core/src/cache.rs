@@ -1,0 +1,326 @@
+//! Composition caching.
+//!
+//! The paper's related work (its reference [7], Chang & Chen, ICDE 2002)
+//! studies caching in trans-coding proxies; a composition front-end
+//! naturally wants the same: most requests repeat a (content, device
+//! class, preference) combination, and re-running graph construction +
+//! selection for each is wasted work while nothing changed.
+//!
+//! [`CompositionCache`] memoizes [`AdaptationPlan`]s keyed by the
+//! request's observable inputs. A hit is *revalidated* before reuse:
+//! every service on the cached chain must still be live in the registry
+//! and every hop must still have the bandwidth the plan needs — the
+//! same liveness condition the resilience monitor checks. Stale entries
+//! are recomposed transparently.
+
+use crate::composer::Composer;
+use crate::plan::AdaptationPlan;
+use crate::select::SelectOptions;
+use crate::Result;
+use qosc_netsim::NodeId;
+use qosc_profiles::ProfileSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from cache after successful revalidation.
+    pub hits: usize,
+    /// Requests with no usable cache entry (first sight or key miss).
+    pub misses: usize,
+    /// Cached entries that failed revalidation and were recomposed.
+    pub stale: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all requests, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoizing front-end over [`Composer::compose`].
+#[derive(Debug, Default)]
+pub struct CompositionCache {
+    entries: HashMap<u64, AdaptationPlan>,
+    stats: CacheStats,
+}
+
+impl CompositionCache {
+    /// An empty cache.
+    pub fn new() -> CompositionCache {
+        CompositionCache::default()
+    }
+
+    /// Compose through the cache: return a revalidated cached plan when
+    /// one exists for this request, otherwise compose, store and return.
+    /// `None` means the request is currently unsolvable (negative
+    /// results are *not* cached — the graph may heal).
+    pub fn compose(
+        &mut self,
+        composer: &Composer<'_>,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+    ) -> Result<Option<AdaptationPlan>> {
+        let key = request_key(profiles, sender_host, receiver_host)?;
+        if let Some(plan) = self.entries.get(&key) {
+            if plan_still_valid(composer, plan) {
+                self.stats.hits += 1;
+                return Ok(Some(plan.clone()));
+            }
+            self.entries.remove(&key);
+            self.stats.stale += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        let composition = composer.compose(profiles, sender_host, receiver_host, options)?;
+        if let Some(plan) = &composition.plan {
+            self.entries.insert(key, plan.clone());
+        }
+        Ok(composition.plan)
+    }
+
+    /// Drop every cached entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/stale counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Key a request by its serialized profile set plus the endpoints. The
+/// JSON form is canonical for our profile types (struct field order is
+/// fixed), so equal requests collide and different requests do not
+/// (modulo 64-bit hashing).
+fn request_key(profiles: &ProfileSet, sender: NodeId, receiver: NodeId) -> Result<u64> {
+    let json = profiles.to_json().map_err(crate::CoreError::Profile)?;
+    let mut hasher = DefaultHasher::new();
+    json.hash(&mut hasher);
+    sender.index().hash(&mut hasher);
+    receiver.index().hash(&mut hasher);
+    Ok(hasher.finish())
+}
+
+/// Revalidate a cached plan against the current registry and network:
+/// every trans-coding stage still live, every hop still routable with
+/// the plan's rate.
+fn plan_still_valid(composer: &Composer<'_>, plan: &AdaptationPlan) -> bool {
+    for step in &plan.steps {
+        if let Some(service) = step.service {
+            if !composer.services.is_live(service) {
+                return false;
+            }
+        }
+        if composer.network.node_failed(step.host) {
+            return false;
+        }
+    }
+    for pair in plan.steps.windows(2) {
+        match composer.network.available_between(pair[0].host, pair[1].host) {
+            Ok(available) => {
+                if available * (1.0 + 1e-6) + 1e-6 < pair[1].input_bps {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::FormatRegistry;
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, UserProfile,
+    };
+    use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+    struct Fixture {
+        formats: FormatRegistry,
+        services: ServiceRegistry,
+        network: Network,
+        profiles: ProfileSet,
+        server: NodeId,
+        client: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let formats = FormatRegistry::with_builtins();
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        topo.connect_simple(proxy, client, 1e6).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        for spec in catalog::full_catalog() {
+            services
+                .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+        }
+        let profiles = ProfileSet {
+            user: UserProfile::demo("cache-user"),
+            content: ContentProfile::demo_video("clip"),
+            device: DeviceProfile::demo_pda(),
+            context: ContextProfile::default(),
+            network: NetworkProfile::broadband(),
+        };
+        Fixture { formats, services, network, profiles, server, client }
+    }
+
+    #[test]
+    fn second_identical_request_hits() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let mut cache = CompositionCache::new();
+        let options = SelectOptions::default();
+        let a = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap()
+            .expect("solvable");
+        let b = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap()
+            .expect("solvable");
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, stale: 0 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_user_preferences_miss() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let mut cache = CompositionCache::new();
+        let options = SelectOptions::default();
+        cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap();
+        let mut other = f.profiles.clone();
+        other.user = UserProfile::paper_table1();
+        cache
+            .compose(&composer, &other, f.server, f.client, &options)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn dead_service_invalidates_entry() {
+        let mut f = fixture();
+        let options = SelectOptions::default();
+        let first = {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            let mut cache = CompositionCache::new();
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap()
+                .expect("solvable")
+        };
+        // Kill every service on the cached chain, then re-request.
+        let mut cache = CompositionCache::new();
+        {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap();
+        }
+        for step in &first.steps {
+            if let Some(id) = step.service {
+                f.services.deregister(id).unwrap();
+            }
+        }
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let replacement = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap();
+        assert_eq!(cache.stats().stale, 1);
+        if let Some(plan) = replacement {
+            for step in &plan.steps {
+                if let Some(id) = step.service {
+                    assert!(f.services.is_live(id), "cached-through dead service");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_node_invalidates_entry() {
+        let mut f = fixture();
+        let options = SelectOptions::default();
+        let mut cache = CompositionCache::new();
+        let first = {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap()
+                .expect("solvable")
+        };
+        let proxy_host = first
+            .steps
+            .iter()
+            .find(|s| s.service.is_some())
+            .expect("has a transcoder")
+            .host;
+        f.network.fail_node(proxy_host).unwrap();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let after = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap();
+        assert_eq!(cache.stats().stale, 1);
+        assert!(after.is_none(), "single proxy dead → unsolvable");
+    }
+}

@@ -1,0 +1,182 @@
+//! Acyclicity and the formats-distinct invariant.
+//!
+//! "To make sure that the graph is acyclic, the algorithm continuously
+//! verifies that all the formats along any path are distinct." —
+//! Section 4.2. In our state-based search a vertex is settled at most
+//! once per output format, so the *selected* chain is automatically
+//! simple; this module provides the checks the paper phrases as graph
+//! invariants, for validation and for the exhaustive baseline.
+
+use crate::graph::model::{AdaptationGraph, EdgeId, VertexId};
+use crate::Result;
+use qosc_media::FormatId;
+
+/// Whether the formats along a chain of edges are pairwise distinct.
+pub fn formats_distinct(graph: &AdaptationGraph, edges: &[EdgeId]) -> Result<bool> {
+    let mut seen: Vec<FormatId> = Vec::with_capacity(edges.len());
+    for &edge_id in edges {
+        let format = graph.edge(edge_id)?.format;
+        if seen.contains(&format) {
+            return Ok(false);
+        }
+        seen.push(format);
+    }
+    Ok(true)
+}
+
+/// Whether the graph (ignoring formats) contains a directed cycle.
+/// The paper's construction aims for a DAG; in-format reducer services
+/// (JPEG→JPEG) legitimately create cycles, which the format-distinct
+/// rule then excludes from any path.
+pub fn has_cycle(graph: &AdaptationGraph) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = graph.vertex_count();
+    let mut marks = vec![Mark::White; n];
+    // Iterative DFS with an explicit stack.
+    for start in graph.vertex_ids() {
+        if marks[start.index()] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(VertexId, usize)> = vec![(start, 0)];
+        marks[start.index()] = Mark::Grey;
+        while let Some(&mut (vertex, ref mut next)) = stack.last_mut() {
+            let out = graph.out_edges(vertex);
+            if *next < out.len() {
+                let edge = out[*next];
+                *next += 1;
+                let to = graph.edge(edge).expect("edge ids are dense").to;
+                match marks[to.index()] {
+                    Mark::Grey => return true,
+                    Mark::White => {
+                        marks[to.index()] = Mark::Grey;
+                        stack.push((to, 0));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[vertex.index()] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// A topological order of the vertices, or `None` if the graph has a
+/// cycle. Useful for DAG-only analyses and DOT layout hints.
+pub fn topological_order(graph: &AdaptationGraph) -> Option<Vec<VertexId>> {
+    let n = graph.vertex_count();
+    let mut indegree = vec![0usize; n];
+    for edge_id in graph.edge_ids() {
+        let edge = graph.edge(edge_id).expect("edge ids are dense");
+        indegree[edge.to.index()] += 1;
+    }
+    let mut queue: std::collections::VecDeque<VertexId> = graph
+        .vertex_ids()
+        .filter(|v| indegree[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(vertex) = queue.pop_front() {
+        order.push(vertex);
+        for &edge_id in graph.out_edges(vertex) {
+            let to = graph.edge(edge_id).expect("edge ids are dense").to;
+            indegree[to.index()] -= 1;
+            if indegree[to.index()] == 0 {
+                queue.push_back(to);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::model::{Edge, Vertex, VertexKind};
+    use qosc_media::{FormatRegistry, MediaKind};
+    use qosc_netsim::{Node, Topology};
+
+    fn host() -> qosc_netsim::NodeId {
+        let mut t = Topology::new();
+        t.add_node(Node::unconstrained("h"))
+    }
+
+    fn bare(kind: VertexKind, name: &str) -> Vertex {
+        Vertex {
+            kind,
+            name: name.to_string(),
+            host: host(),
+            conversions: vec![],
+            price_per_second: 0.0,
+            price_per_mbit: 0.0,
+        }
+    }
+
+    fn e(from: VertexId, to: VertexId, format: FormatId) -> Edge {
+        Edge {
+            from,
+            to,
+            format,
+            available_bps: f64::INFINITY,
+            delay_us: 0,
+            price_flat: 0.0,
+            price_per_mbit: 0.0,
+        }
+    }
+
+    fn two_formats() -> (FormatId, FormatId) {
+        let mut reg = FormatRegistry::new();
+        (
+            reg.register_abstract("A", MediaKind::Video),
+            reg.register_abstract("B", MediaKind::Video),
+        )
+    }
+
+    #[test]
+    fn distinct_formats_detected() {
+        let (fa, fb) = two_formats();
+        let mut g = AdaptationGraph::new();
+        let s = g.add_vertex(bare(VertexKind::Sender, "s"));
+        let m = g.add_vertex(bare(VertexKind::Receiver, "m"));
+        let r = g.add_vertex(bare(VertexKind::Receiver, "r"));
+        let e1 = g.add_edge(e(s, m, fa)).unwrap();
+        let e2 = g.add_edge(e(m, r, fb)).unwrap();
+        let e3 = g.add_edge(e(m, r, fa)).unwrap();
+        assert!(formats_distinct(&g, &[e1, e2]).unwrap());
+        assert!(!formats_distinct(&g, &[e1, e3]).unwrap());
+        assert!(formats_distinct(&g, &[]).unwrap());
+    }
+
+    #[test]
+    fn dag_has_no_cycle_and_topo_order() {
+        let (fa, fb) = two_formats();
+        let mut g = AdaptationGraph::new();
+        let s = g.add_vertex(bare(VertexKind::Sender, "s"));
+        let m = g.add_vertex(bare(VertexKind::Receiver, "m"));
+        let r = g.add_vertex(bare(VertexKind::Receiver, "r"));
+        g.add_edge(e(s, m, fa)).unwrap();
+        g.add_edge(e(m, r, fb)).unwrap();
+        assert!(!has_cycle(&g));
+        let order = topological_order(&g).unwrap();
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(s) < pos(m));
+        assert!(pos(m) < pos(r));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let (fa, fb) = two_formats();
+        let mut g = AdaptationGraph::new();
+        let a = g.add_vertex(bare(VertexKind::Sender, "a"));
+        let b = g.add_vertex(bare(VertexKind::Receiver, "b"));
+        g.add_edge(e(a, b, fa)).unwrap();
+        g.add_edge(e(b, a, fb)).unwrap();
+        assert!(has_cycle(&g));
+        assert!(topological_order(&g).is_none());
+    }
+}

@@ -1,0 +1,386 @@
+//! Graph construction (Section 4.2).
+//!
+//! "To construct the adaptation graph, we start with the sender node, and
+//! then connect the outgoing edges of the sender with all the input edges
+//! of all other vertices that have the same format. The same process is
+//! repeated for all vertices."
+//!
+//! Inputs: the content profile's resolved variants (sender output links),
+//! the device profile's resolved decoders (receiver input links), the
+//! live services in the registry (intermediate vertices) and the network
+//! (edge bandwidth/delay/price annotations, Section 4.3).
+
+use crate::graph::model::{
+    AdaptationGraph, Edge, Vertex, VertexConversion, VertexId, VertexKind,
+};
+use crate::{CoreError, Result};
+use qosc_media::{ContentVariant, DomainVector, FormatId, FormatRegistry, ParamVector};
+use qosc_netsim::{Network, NodeId, PathAnnotation};
+use qosc_services::ServiceRegistry;
+use std::collections::HashMap;
+
+/// Everything graph construction needs.
+pub struct BuildInput<'a> {
+    /// The scenario's format registry.
+    pub formats: &'a FormatRegistry,
+    /// Live trans-coding services (intermediary profiles, resolved).
+    pub services: &'a ServiceRegistry,
+    /// The network, for edge annotations.
+    pub network: &'a Network,
+    /// Resolved content variants (sender output links), in listing order.
+    pub variants: &'a [ContentVariant],
+    /// Node the sender runs on.
+    pub sender_host: NodeId,
+    /// Node the receiver runs on.
+    pub receiver_host: NodeId,
+    /// Resolved receiver decoders (receiver input links), listing order.
+    pub decoders: &'a [FormatId],
+    /// Hardware caps of the receiver device.
+    pub receiver_caps: ParamVector,
+}
+
+/// Construct the adaptation graph.
+///
+/// Edge insertion order is deterministic and *is* the listing order the
+/// selection algorithm's tie-breaking sees: sources are processed sender
+/// first then services in registration order; for each source, output
+/// formats in first-appearance order; for each format, accepting services
+/// in registration order, then the receiver.
+pub fn build(input: &BuildInput<'_>) -> Result<AdaptationGraph> {
+    if input.variants.is_empty() {
+        return Err(CoreError::DegenerateEndpoints(
+            "content profile offers no variants".to_string(),
+        ));
+    }
+    if input.decoders.is_empty() {
+        return Err(CoreError::DegenerateEndpoints(
+            "device profile lists no decoders".to_string(),
+        ));
+    }
+
+    let mut graph = AdaptationGraph::new();
+    graph.set_receiver_caps(input.receiver_caps);
+
+    // Sender vertex: one pseudo-conversion per variant.
+    let sender = graph.add_vertex(Vertex {
+        kind: VertexKind::Sender,
+        name: "sender".to_string(),
+        host: input.sender_host,
+        conversions: input
+            .variants
+            .iter()
+            .map(|v| VertexConversion {
+                input: v.format,
+                output: v.format,
+                output_domain: v.offered.clone(),
+            })
+            .collect(),
+        price_per_second: 0.0,
+        price_per_mbit: 0.0,
+    });
+
+    // Receiver vertex: one identity pseudo-conversion per decoder.
+    let receiver = graph.add_vertex(Vertex {
+        kind: VertexKind::Receiver,
+        name: "receiver".to_string(),
+        host: input.receiver_host,
+        conversions: input
+            .decoders
+            .iter()
+            .map(|&d| VertexConversion {
+                input: d,
+                output: d,
+                output_domain: DomainVector::new(),
+            })
+            .collect(),
+        price_per_second: 0.0,
+        price_per_mbit: 0.0,
+    });
+
+    // One vertex per live service, in registration order.
+    let mut service_vertices: Vec<(qosc_services::ServiceId, VertexId)> = Vec::new();
+    let mut vertex_of: HashMap<qosc_services::ServiceId, VertexId> = HashMap::new();
+    for (id, descriptor) in input.services.live_services() {
+        let vertex = graph.add_vertex(Vertex {
+            kind: VertexKind::Transcoder(id),
+            name: descriptor.name.clone(),
+            host: descriptor.host,
+            conversions: descriptor
+                .conversions
+                .iter()
+                .map(|c| VertexConversion {
+                    input: c.input,
+                    output: c.output,
+                    output_domain: c.output_domain.clone(),
+                })
+                .collect(),
+            price_per_second: descriptor.price.per_second,
+            price_per_mbit: descriptor.price.per_mbit,
+        });
+        service_vertices.push((id, vertex));
+        vertex_of.insert(id, vertex);
+    }
+
+    // Edge annotation: one single-source Dijkstra per distinct source
+    // host, yielding the bandwidth/delay/price annotations for every
+    // possible target in bulk (the naive per-edge query is a Dijkstra
+    // per edge and dominates construction time on dense graphs).
+    let mut annotation_tables: HashMap<NodeId, Vec<Option<PathAnnotation>>> = HashMap::new();
+    let mut annotate = |from: NodeId, to: NodeId| -> Option<(f64, u64, f64, f64)> {
+        let table = annotation_tables
+            .entry(from)
+            .or_insert_with(|| {
+                input
+                    .network
+                    .path_annotations_from(from)
+                    .unwrap_or_default()
+            });
+        table
+            .get(to.index())
+            .copied()
+            .flatten()
+            .map(|a| (a.available_bps, a.delay_us, a.price_flat, a.price_per_mbit))
+    };
+
+    // Connect: sources in vertex order (sender first, then services).
+    let mut sources: Vec<VertexId> = Vec::with_capacity(1 + service_vertices.len());
+    sources.push(sender);
+    sources.extend(service_vertices.iter().map(|&(_, v)| v));
+
+    for &source in &sources {
+        let from_host = graph.vertex(source)?.host;
+        let outputs = graph.vertex(source)?.output_formats();
+        for format in outputs {
+            // Services accepting this format, in registration order
+            // (index-backed lookup on the registry).
+            let accepting: Vec<VertexId> = input
+                .services
+                .accepting(format)
+                .into_iter()
+                .filter_map(|id| vertex_of.get(&id).copied())
+                .filter(|&v| v != source)
+                .collect();
+            for target in accepting {
+                let to_host = graph.vertex(target)?.host;
+                if let Some((available_bps, delay_us, price_flat, price_per_mbit)) =
+                    annotate(from_host, to_host)
+                {
+                    graph.add_edge(Edge {
+                        from: source,
+                        to: target,
+                        format,
+                        available_bps,
+                        delay_us,
+                        price_flat,
+                        price_per_mbit,
+                    })?;
+                }
+            }
+            // The receiver, if it can decode this format.
+            if input.decoders.contains(&format) && source != receiver {
+                if let Some((available_bps, delay_us, price_flat, price_per_mbit)) =
+                    annotate(from_host, input.receiver_host)
+                {
+                    graph.add_edge(Edge {
+                        from: source,
+                        to: receiver,
+                        format,
+                        available_bps,
+                        delay_us,
+                        price_flat,
+                        price_per_mbit,
+                    })?;
+                }
+            }
+        }
+    }
+
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::{Axis, AxisDomain, MediaKind};
+    use qosc_netsim::{Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+    use qosc_services::TranscoderDescriptor;
+
+    /// A linear sender → T → receiver scenario on three nodes.
+    fn tiny() -> (FormatRegistry, ServiceRegistry, Network, Vec<ContentVariant>, NodeId, NodeId, Vec<FormatId>)
+    {
+        let mut formats = FormatRegistry::new();
+        let fa = formats.register_abstract("A", MediaKind::Video);
+        let fb = formats.register_abstract("B", MediaKind::Video);
+
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m = topo.add_node(Node::unconstrained("m"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        topo.connect_simple(s, m, 1e6).unwrap();
+        topo.connect_simple(m, r, 1e6).unwrap();
+        let network = Network::new(topo);
+
+        let mut services = ServiceRegistry::new();
+        let spec = ServiceSpec::new(
+            "T",
+            vec![ConversionSpec::new(
+                "A",
+                "B",
+                DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                ),
+            )],
+        );
+        let descriptor = TranscoderDescriptor::resolve(&spec, &formats, m).unwrap();
+        services.register_static(descriptor);
+
+        let variants = vec![ContentVariant::new(
+            fa,
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: 30.0 },
+            ),
+        )];
+        (formats, services, network, variants, s, r, vec![fb])
+    }
+
+    #[test]
+    fn builds_linear_chain() {
+        let (formats, services, network, variants, s, r, decoders) = tiny();
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &decoders,
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+
+        assert_eq!(graph.vertex_count(), 3);
+        assert_eq!(graph.edge_count(), 2);
+        let sender = graph.sender().unwrap();
+        let receiver = graph.receiver().unwrap();
+        let t = graph.vertex_by_name("T").unwrap();
+
+        let out_s = graph.out_edges(sender);
+        assert_eq!(out_s.len(), 1);
+        assert_eq!(graph.edge(out_s[0]).unwrap().to, t);
+        let out_t = graph.out_edges(t);
+        assert_eq!(out_t.len(), 1);
+        assert_eq!(graph.edge(out_t[0]).unwrap().to, receiver);
+        assert!(graph.out_edges(receiver).is_empty(), "receiver has only input links");
+        assert!(graph.in_edges(sender).is_empty(), "sender has only output links");
+    }
+
+    #[test]
+    fn direct_sender_to_receiver_edge_when_decodable() {
+        let (formats, services, network, variants, s, r, _) = tiny();
+        let fa = formats.lookup("A").unwrap();
+        // Receiver can decode the sender's variant directly.
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fa],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        let sender = graph.sender().unwrap();
+        let receiver = graph.receiver().unwrap();
+        assert!(graph
+            .out_edges(sender)
+            .iter()
+            .any(|&e| graph.edge(e).unwrap().to == receiver));
+    }
+
+    #[test]
+    fn empty_variants_or_decoders_fail() {
+        let (formats, services, network, variants, s, r, decoders) = tiny();
+        let err = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &[],
+            sender_host: s,
+            receiver_host: r,
+            decoders: &decoders,
+            receiver_caps: ParamVector::new(),
+        });
+        assert!(matches!(err, Err(CoreError::DegenerateEndpoints(_))));
+        let err = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[],
+            receiver_caps: ParamVector::new(),
+        });
+        assert!(matches!(err, Err(CoreError::DegenerateEndpoints(_))));
+    }
+
+    #[test]
+    fn partitioned_host_gets_no_edges() {
+        let (formats, services, _, variants, _, _, decoders) = tiny();
+        // Rebuild the network with no links at all.
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        topo.add_node(Node::unconstrained("m"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        let network = Network::new(topo);
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &decoders,
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        assert_eq!(graph.edge_count(), 0, "no route, no edges");
+    }
+
+    #[test]
+    fn same_host_edges_have_unlimited_bandwidth() {
+        let (formats, _, _, variants, _, _, decoders) = tiny();
+        // Service co-located with the sender.
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        topo.connect_simple(s, r, 1e6).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let spec = ServiceSpec::new(
+            "T",
+            vec![ConversionSpec::new("A", "B", DomainVector::new())],
+        );
+        let descriptor = TranscoderDescriptor::resolve(&spec, &formats, s).unwrap();
+        services.register_static(descriptor);
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &decoders,
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        let sender = graph.sender().unwrap();
+        let e = graph.out_edges(sender)[0];
+        assert_eq!(graph.edge(e).unwrap().available_bps, f64::INFINITY);
+        assert_eq!(graph.edge(e).unwrap().delay_us, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Graphviz export.
+//!
+//! Regenerates the paper's graph figures (Figures 2, 3 and 6) as DOT
+//! artifacts: vertices labelled with service names, edges labelled with
+//! the format they carry — exactly the visual language of the paper.
+
+use crate::graph::model::{AdaptationGraph, VertexKind};
+use crate::Result;
+use qosc_media::FormatRegistry;
+
+/// Render the graph as a Graphviz `digraph`, optionally highlighting a
+/// chain of vertex names (the selected path is drawn bold).
+pub fn to_dot(
+    graph: &AdaptationGraph,
+    formats: &FormatRegistry,
+    highlight: &[String],
+) -> Result<String> {
+    let mut out = String::from("digraph adaptation {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for id in graph.vertex_ids() {
+        let vertex = graph.vertex(id)?;
+        let (shape, style) = match vertex.kind {
+            VertexKind::Sender => ("doublecircle", ", style=filled, fillcolor=lightblue"),
+            VertexKind::Receiver => ("doublecircle", ", style=filled, fillcolor=lightgreen"),
+            VertexKind::Transcoder(_) => ("circle", ""),
+        };
+        let emphasis = if highlight.contains(&vertex.name) {
+            ", penwidth=2.5"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  v{} [label=\"{}\", shape={shape}{style}{emphasis}];\n",
+            id.index(),
+            vertex.name
+        ));
+    }
+    for edge_id in graph.edge_ids() {
+        let edge = graph.edge(edge_id)?;
+        let from_name = &graph.vertex(edge.from)?.name;
+        let to_name = &graph.vertex(edge.to)?.name;
+        let on_path = highlight
+            .windows(2)
+            .any(|w| &w[0] == from_name && &w[1] == to_name);
+        let emphasis = if on_path { ", penwidth=2.5, color=red" } else { "" };
+        out.push_str(&format!(
+            "  v{} -> v{} [label=\"{}\"{emphasis}];\n",
+            edge.from.index(),
+            edge.to.index(),
+            formats.name(edge.format)
+        ));
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::model::{Edge, Vertex, VertexId};
+    use qosc_media::MediaKind;
+    use qosc_netsim::{Node, Topology};
+
+    #[test]
+    fn dot_contains_vertices_edges_and_highlight() {
+        let mut formats = FormatRegistry::new();
+        let f5 = formats.register_abstract("F5", MediaKind::Video);
+        let mut g = AdaptationGraph::new();
+        let host = {
+            let mut t = Topology::new();
+            t.add_node(Node::unconstrained("h"))
+        };
+        let s = g.add_vertex(Vertex {
+            kind: VertexKind::Sender,
+            name: "sender".to_string(),
+            host,
+            conversions: vec![],
+            price_per_second: 0.0,
+            price_per_mbit: 0.0,
+        });
+        let r = g.add_vertex(Vertex {
+            kind: VertexKind::Receiver,
+            name: "receiver".to_string(),
+            host,
+            conversions: vec![],
+            price_per_second: 0.0,
+            price_per_mbit: 0.0,
+        });
+        let _ = g
+            .add_edge(Edge {
+                from: s,
+                to: r,
+                format: f5,
+                available_bps: 1.0,
+                delay_us: 0,
+                price_flat: 0.0,
+                price_per_mbit: 0.0,
+            })
+            .unwrap();
+        let _ = VertexId(0);
+        let dot = to_dot(&g, &formats, &["sender".to_string(), "receiver".to_string()]).unwrap();
+        assert!(dot.contains("digraph adaptation"));
+        assert!(dot.contains("label=\"sender\""));
+        assert!(dot.contains("label=\"F5\""));
+        assert!(dot.contains("penwidth=2.5, color=red"), "highlighted edge");
+    }
+}

@@ -1,0 +1,11 @@
+//! The directed adaptation graph (Sections 4.2–4.3).
+
+pub mod acyclic;
+pub mod build;
+pub mod dot;
+pub mod model;
+pub mod prune;
+
+pub use build::BuildInput;
+pub use model::{AdaptationGraph, Edge, EdgeId, Vertex, VertexId, VertexKind};
+pub use prune::PruneStats;

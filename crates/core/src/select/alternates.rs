@@ -1,0 +1,290 @@
+//! Backup chains: k alternates that avoid the primary's single points of
+//! failure.
+//!
+//! The abstract's "resilient data distribution" gets much cheaper when a
+//! session carries a pre-computed fallback: instead of re-running the
+//! selection algorithm after a failure is detected, the session switches
+//! to a chain known to avoid the dead component. [`alternates`] computes
+//! them the simple, deterministic way: for each trans-coding vertex of
+//! the primary chain, re-run the selection with that vertex removed, and
+//! keep the distinct best results, ordered by satisfaction.
+
+use crate::graph::{AdaptationGraph, VertexId};
+use crate::select::greedy::{select_chain, SelectOptions};
+use crate::select::SelectedChain;
+use crate::Result;
+use qosc_media::FormatRegistry;
+use qosc_satisfaction::SatisfactionProfile;
+
+/// A fallback chain and what it protects against.
+#[derive(Debug, Clone)]
+pub struct Alternate {
+    /// The vertex of the primary chain whose loss this alternate
+    /// survives (by construction it does not use that vertex).
+    pub survives_loss_of: VertexId,
+    /// Display name of that vertex.
+    pub survives_loss_of_name: String,
+    /// The fallback chain.
+    pub chain: SelectedChain,
+}
+
+/// Compute fallbacks for `primary`: one candidate per trans-coding
+/// vertex on the chain (skipping the endpoints), deduplicated, best
+/// first, truncated to `k`.
+///
+/// A vertex with no feasible alternate (a true single point of failure)
+/// simply yields no entry — callers can diff
+/// `primary.transcoder_count()` against the result to find SPOFs.
+pub fn alternates(
+    graph: &AdaptationGraph,
+    formats: &FormatRegistry,
+    profile: &SatisfactionProfile,
+    budget: f64,
+    primary: &SelectedChain,
+    k: usize,
+    options: &SelectOptions,
+) -> Result<Vec<Alternate>> {
+    let mut found: Vec<Alternate> = Vec::new();
+    let options = SelectOptions { record_trace: false, ..*options };
+    for step in &primary.steps {
+        let vertex = graph.vertex(step.vertex)?;
+        if !matches!(vertex.kind, crate::graph::VertexKind::Transcoder(_)) {
+            continue;
+        }
+        let reduced = remove_vertex(graph, step.vertex)?;
+        let outcome = select_chain(&reduced, formats, profile, budget, &options)?;
+        if let Some(mut chain) = outcome.chain {
+            // The reduced graph re-indexes vertices; rebind steps to the
+            // original graph by name so callers can act on them.
+            for chain_step in &mut chain.steps {
+                if let Some(original) = graph.vertex_by_name(&chain_step.name) {
+                    chain_step.vertex = original;
+                }
+            }
+            let duplicate = found
+                .iter()
+                .any(|a| a.chain.names() == chain.names());
+            if !duplicate || found.iter().all(|a| a.survives_loss_of != step.vertex) {
+                found.push(Alternate {
+                    survives_loss_of: step.vertex,
+                    survives_loss_of_name: step.name.clone(),
+                    chain,
+                });
+            }
+        }
+    }
+    found.sort_by(|a, b| {
+        b.chain
+            .satisfaction
+            .partial_cmp(&a.chain.satisfaction)
+            .expect("satisfactions are finite")
+            .then(a.survives_loss_of.cmp(&b.survives_loss_of))
+    });
+    found.truncate(k);
+    Ok(found)
+}
+
+/// A copy of `graph` without `victim` (and its edges), preserving the
+/// relative order of everything else.
+fn remove_vertex(graph: &AdaptationGraph, victim: VertexId) -> Result<AdaptationGraph> {
+    let mut out = AdaptationGraph::new();
+    out.set_receiver_caps(*graph.receiver_caps());
+    let mut remap: Vec<Option<VertexId>> = vec![None; graph.vertex_count()];
+    for id in graph.vertex_ids() {
+        if id == victim {
+            continue;
+        }
+        remap[id.index()] = Some(out.add_vertex(graph.vertex(id)?.clone()));
+    }
+    for edge_id in graph.edge_ids() {
+        let edge = graph.edge(edge_id)?;
+        if let (Some(from), Some(to)) = (remap[edge.from.index()], remap[edge.to.index()]) {
+            out.add_edge(crate::graph::Edge { from, to, ..edge.clone() })?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::greedy::select_chain;
+
+    /// On the Figure-6 graph the primary is sender→T7→receiver; the only
+    /// alternate (without T7) is the degraded sender→T10→receiver chain.
+    #[test]
+    fn figure6_alternate_is_the_t10_fallback() {
+        let scenario = test_scenario();
+        let composition = scenario.compose(&SelectOptions::default()).unwrap();
+        let primary = composition.selection.chain.unwrap();
+        let profile = scenario.profiles.effective_satisfaction();
+        let backups = alternates(
+            &composition.graph,
+            &scenario.formats,
+            &profile,
+            f64::INFINITY,
+            &primary,
+            3,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(backups.len(), 1, "one trans-coder on the chain → one alternate");
+        assert_eq!(backups[0].survives_loss_of_name, "T7");
+        assert_eq!(backups[0].chain.names(), vec!["sender", "T10", "receiver"]);
+        assert!(backups[0].chain.satisfaction < primary.satisfaction);
+    }
+
+    /// The alternate really avoids the vertex it protects against, and
+    /// selecting on the full graph still prefers the primary.
+    #[test]
+    fn alternates_avoid_their_vertex() {
+        let scenario = test_scenario();
+        let composition = scenario.compose(&SelectOptions::default()).unwrap();
+        let primary = composition.selection.chain.unwrap();
+        let profile = scenario.profiles.effective_satisfaction();
+        let backups = alternates(
+            &composition.graph,
+            &scenario.formats,
+            &profile,
+            f64::INFINITY,
+            &primary,
+            3,
+            &SelectOptions::default(),
+        )
+        .unwrap();
+        for backup in &backups {
+            assert!(
+                !backup
+                    .chain
+                    .names()
+                    .contains(&backup.survives_loss_of_name.as_str()),
+                "alternate routes through the vertex it should avoid"
+            );
+        }
+        // Sanity: the primary still wins on the intact graph.
+        let again = select_chain(
+            &composition.graph,
+            &scenario.formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap()
+        .chain
+        .unwrap();
+        assert_eq!(again.names(), primary.names());
+    }
+
+    fn test_scenario() -> qosc_workload_shim::Scenario {
+        qosc_workload_shim::figure6()
+    }
+
+    /// `qosc-core` cannot depend on `qosc-workload` (cycle); rebuild the
+    /// tiny slice of the Figure-6 scenario the tests need.
+    mod qosc_workload_shim {
+        use crate::{Composer, Composition, SelectOptions};
+        use qosc_media::{
+            Axis, AxisDomain, BitrateModel, DomainVector, FormatRegistry, FormatSpec, MediaKind,
+            VariantSpec,
+        };
+        use qosc_netsim::{Link, Network, Node, NodeId, Topology};
+        use qosc_profiles::{
+            ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps,
+            NetworkProfile, ProfileSet, ServiceSpec, UserProfile,
+        };
+        use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+        pub struct Scenario {
+            pub formats: FormatRegistry,
+            pub services: ServiceRegistry,
+            pub network: Network,
+            pub profiles: ProfileSet,
+            pub sender: NodeId,
+            pub receiver: NodeId,
+        }
+
+        impl Scenario {
+            pub fn compose(&self, options: &SelectOptions) -> crate::Result<Composition> {
+                Composer {
+                    formats: &self.formats,
+                    services: &self.services,
+                    network: &self.network,
+                }
+                .compose(&self.profiles, self.sender, self.receiver, options)
+            }
+        }
+
+        /// A reduced Figure-6: sender, T7 (good, 20 fps), T10 (30 fps but
+        /// 18 kbit/s receiver link), receiver.
+        pub fn figure6() -> Scenario {
+            let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+            let mut formats = FormatRegistry::new();
+            for name in ["F7", "F10", "G7", "G10"] {
+                formats.register(FormatSpec::new(name, MediaKind::Video, linear));
+            }
+            let mut topo = Topology::new();
+            let s = topo.add_node(Node::unconstrained("s"));
+            let n7 = topo.add_node(Node::unconstrained("n7"));
+            let n10 = topo.add_node(Node::unconstrained("n10"));
+            let r = topo.add_node(Node::unconstrained("r"));
+            let mut connect = |a, b, cap| {
+                topo.connect(Link {
+                    a,
+                    b,
+                    capacity_bps: cap,
+                    delay_us: 1_000,
+                    loss: 0.0,
+                    price_per_mbit: 0.0,
+                    price_flat: 1.0,
+                })
+                .unwrap();
+            };
+            connect(s, n7, 1e9);
+            connect(s, n10, 1e9);
+            connect(n7, r, 1e9);
+            connect(n10, r, 18_000.0);
+            let network = Network::new(topo);
+
+            let domain = |cap: f64| {
+                DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous { min: 0.0, max: cap },
+                )
+            };
+            let mut services = ServiceRegistry::new();
+            let t7 = ServiceSpec::new("T7", vec![ConversionSpec::new("F7", "G7", domain(20.0))]);
+            let t10 =
+                ServiceSpec::new("T10", vec![ConversionSpec::new("F10", "G10", domain(30.0))]);
+            services.register_static(TranscoderDescriptor::resolve(&t7, &formats, n7).unwrap());
+            services
+                .register_static(TranscoderDescriptor::resolve(&t10, &formats, n10).unwrap());
+
+            let content = ContentProfile::new(
+                "clip",
+                vec![
+                    VariantSpec { format: "F7".to_string(), offered: domain(30.0) },
+                    VariantSpec { format: "F10".to_string(), offered: domain(30.0) },
+                ],
+            );
+            let device = DeviceProfile::new(
+                "rx",
+                vec!["G7".to_string(), "G10".to_string()],
+                HardwareCaps::desktop(),
+            );
+            Scenario {
+                formats,
+                services,
+                network,
+                profiles: ProfileSet {
+                    user: UserProfile::paper_table1(),
+                    content,
+                    device,
+                    context: ContextProfile::default(),
+                    network: NetworkProfile::lan(),
+                },
+                sender: s,
+                receiver: r,
+            }
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! The greedy QoS selection algorithm — Figure 4 of the paper.
+//!
+//! ```text
+//! Step 1: VT = {sender}; CS = neighbor(sender)
+//! Step 2: for each Ti in CS: Optimize(...)           → candidate labels
+//! Step 3: if is_empty(CS): TERMINATE(FAILURE)
+//! Step 4: select Ti with the highest Sat_T[i]; CS -= {Ti}
+//! Step 5: VT += {Ti}
+//! Step 6: Ti.previous = Tprev; accumulate cost
+//! Step 7: if Ti = receiver: GOTO Step 10
+//! Step 8: for each Tj in neighbors(Ti): Optimize(...); CS ∪= {Tj}
+//! Step 9: GOTO Step 3
+//! Step 10: print the reverse path from the receiver
+//! ```
+//!
+//! The search runs over `(vertex, output format)` states (see
+//! [`StateKey`](crate::select::label::StateKey)); each round settles the
+//! candidate with the highest constrained-optimal satisfaction. Because
+//! extension never increases satisfaction (quality monotonicity), the
+//! first settled receiver state carries the maximum achievable
+//! satisfaction — the Figure-5 optimality argument.
+
+use crate::graph::AdaptationGraph;
+use crate::select::label::{ExtendContext, Label, StateKey};
+use crate::select::trace::{SelectionTrace, TraceRow};
+use crate::select::{ChainStep, SelectedChain};
+use crate::Result;
+use qosc_media::FormatRegistry;
+use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Deterministic tie-breaking among equally satisfying candidates.
+///
+/// The primary key is always satisfaction (descending). The policy picks
+/// among exact ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Cheaper accumulated cost first, then the most recently discovered
+    /// candidate (DFS-flavoured freshness). This is the unique policy
+    /// consistent with all 15 rounds of the paper's Table 1.
+    #[default]
+    PaperOrder,
+    /// First discovered first (BFS-flavoured).
+    Fifo,
+    /// Lowest vertex index first (arbitrary but stable).
+    ByVertexIndex,
+}
+
+/// How Step 4's argmax over the candidate set is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateStore {
+    /// A lazy-deletion binary heap keyed by an order-encoding of the
+    /// tie-break policy: O(log n) per round. Produces *exactly* the same
+    /// selection sequence as [`CandidateStore::LinearScan`] (asserted by
+    /// tests); the default.
+    #[default]
+    BinaryHeap,
+    /// A linear scan over the candidate map: the reference
+    /// implementation, O(n) per round — "textbook Dijkstra without a
+    /// heap".
+    LinearScan,
+}
+
+/// Options for [`select_chain`].
+#[derive(Debug, Clone, Copy)]
+pub struct SelectOptions {
+    /// Tie-breaking policy.
+    pub tie_break: TieBreak,
+    /// Candidate-set data structure.
+    pub candidate_store: CandidateStore,
+    /// Parameter-optimizer tuning.
+    pub optimizer: OptimizeOptions,
+    /// Record the full Table-1 trace (costs VT/CS snapshots per round).
+    pub record_trace: bool,
+    /// Safety valve on rounds (defaults to effectively unlimited).
+    pub max_rounds: usize,
+}
+
+impl Default for SelectOptions {
+    fn default() -> SelectOptions {
+        SelectOptions {
+            tie_break: TieBreak::default(),
+            candidate_store: CandidateStore::default(),
+            optimizer: OptimizeOptions::default(),
+            record_trace: true,
+            max_rounds: usize::MAX,
+        }
+    }
+}
+
+/// A heap entry: the order-encoded key plus enough to validate against
+/// the candidate map on pop (lazy deletion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    key: [u64; 4],
+    seq: u64,
+    state: StateKey,
+}
+
+/// Encode (label, policy) into a lexicographically max-ordered key that
+/// reproduces the linear scan's selection order exactly. Satisfaction
+/// and cost are non-negative finite floats, so `f64::to_bits` is
+/// monotone; descending components are bit-complemented.
+fn heap_key(tie_break: TieBreak, label: &Label, seq: u64) -> [u64; 4] {
+    let sat = label.satisfaction.to_bits();
+    let state_code = ((label.state.vertex.index() as u64) << 32)
+        | label.state.output_format.index() as u64;
+    match tie_break {
+        TieBreak::PaperOrder => [sat, !label.accumulated_cost.to_bits(), seq, !state_code],
+        TieBreak::Fifo => [sat, !seq, !state_code, 0],
+        TieBreak::ByVertexIndex => [
+            sat,
+            !(label.state.vertex.index() as u64),
+            !(label.state.output_format.index() as u64),
+            !seq,
+        ],
+    }
+}
+
+/// Why a selection run returned no chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectFailure {
+    /// Step 3: the candidate set ran empty before the receiver was
+    /// reached — "TERMINATE(FAILURE)".
+    CandidatesExhausted,
+    /// The graph has no sender or no receiver vertex.
+    MissingEndpoints,
+    /// The round safety valve tripped.
+    RoundLimit,
+}
+
+impl std::fmt::Display for SelectFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectFailure::CandidatesExhausted => {
+                write!(f, "TERMINATE(FAILURE): candidate set exhausted before the receiver")
+            }
+            SelectFailure::MissingEndpoints => write!(f, "graph lacks a sender or receiver"),
+            SelectFailure::RoundLimit => write!(f, "round limit exceeded"),
+        }
+    }
+}
+
+/// The outcome of one selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The selected chain, if the receiver was reached.
+    pub chain: Option<SelectedChain>,
+    /// Why no chain was produced (when `chain` is `None`).
+    pub failure: Option<SelectFailure>,
+    /// The round-by-round trace (empty unless `record_trace`).
+    pub trace: SelectionTrace,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Number of candidate optimizations performed (Step 2/8 calls).
+    pub optimizations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    label: Label,
+    /// Global discovery sequence; later relaxations get a fresh number.
+    seq: u64,
+}
+
+/// Run the QoS selection algorithm of Figure 4 on `graph`.
+///
+/// `budget` is "the amount of money the user is willing to pay" (Step 1);
+/// pass `f64::INFINITY` when the user profile has none.
+pub fn select_chain(
+    graph: &AdaptationGraph,
+    formats: &FormatRegistry,
+    profile: &SatisfactionProfile,
+    budget: f64,
+    options: &SelectOptions,
+) -> Result<SelectionOutcome> {
+    let context = ExtendContext {
+        graph,
+        formats,
+        profile,
+        budget,
+        optimizer: options.optimizer,
+    };
+
+    let (sender, receiver) = match (graph.sender(), graph.receiver()) {
+        (Some(s), Some(r)) => (s, r),
+        _ => {
+            return Ok(SelectionOutcome {
+                chain: None,
+                failure: Some(SelectFailure::MissingEndpoints),
+                trace: SelectionTrace::default(),
+                rounds: 0,
+                optimizations: 0,
+            })
+        }
+    };
+
+    // Settled labels per state, plus the display order of VT.
+    let mut settled: BTreeMap<StateKey, Label> = BTreeMap::new();
+    let mut vt_names: Vec<String> = vec![graph.vertex(sender)?.name.clone()];
+    // Candidate set: best label per state.
+    let mut candidates: BTreeMap<StateKey, Candidate> = BTreeMap::new();
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut cs_discovery: Vec<StateKey> = Vec::new(); // discovery display order
+    let mut next_seq: u64 = 0;
+    let mut optimizations: usize = 0;
+
+    // Step 1: settle the sender states, seed CS with its neighbors.
+    let sender_labels = context.sender_labels()?;
+    for label in &sender_labels {
+        settled.insert(label.state, label.clone());
+    }
+    for label in &sender_labels {
+        expand(
+            &context,
+            options,
+            label,
+            &settled,
+            &mut candidates,
+            &mut heap,
+            &mut cs_discovery,
+            &mut next_seq,
+            &mut optimizations,
+        )?;
+    }
+
+    let mut trace = SelectionTrace::default();
+    let mut rounds = 0usize;
+
+    loop {
+        // Step 3.
+        if candidates.is_empty() {
+            return Ok(SelectionOutcome {
+                chain: None,
+                failure: Some(SelectFailure::CandidatesExhausted),
+                trace,
+                rounds,
+                optimizations,
+            });
+        }
+        if rounds >= options.max_rounds {
+            return Ok(SelectionOutcome {
+                chain: None,
+                failure: Some(SelectFailure::RoundLimit),
+                trace,
+                rounds,
+                optimizations,
+            });
+        }
+        rounds += 1;
+
+        // Step 4: select the candidate with the highest satisfaction.
+        let best_state = match options.candidate_store {
+            CandidateStore::LinearScan => pick_best(&candidates, options.tie_break),
+            CandidateStore::BinaryHeap => pick_best_heap(&mut heap, &candidates),
+        };
+        let Candidate { label, .. } = candidates.remove(&best_state).expect("picked from map");
+
+        if options.record_trace {
+            trace.rows.push(make_row(
+                graph,
+                rounds,
+                &vt_names,
+                &cs_discovery,
+                &candidates,
+                &label,
+                &settled,
+                receiver,
+            )?);
+        }
+
+        // Step 5 / Step 6.
+        let vertex_name = graph.vertex(label.state.vertex)?.name.clone();
+        if !vt_names.contains(&vertex_name) {
+            vt_names.push(vertex_name);
+        }
+        settled.insert(label.state, label.clone());
+        cs_discovery.retain(|s| candidates.contains_key(s));
+
+        // Step 7.
+        if label.state.vertex == receiver {
+            let chain = reconstruct(graph, &settled, &label)?;
+            return Ok(SelectionOutcome {
+                chain: Some(chain),
+                failure: None,
+                trace,
+                rounds,
+                optimizations,
+            });
+        }
+
+        // Step 8.
+        expand(
+            &context,
+            options,
+            &label,
+            &settled,
+            &mut candidates,
+            &mut heap,
+            &mut cs_discovery,
+            &mut next_seq,
+            &mut optimizations,
+        )?;
+    }
+}
+
+/// Step 2 / Step 8: evaluate every neighbor of `label` and relax it into
+/// the candidate set.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    context: &ExtendContext<'_>,
+    options: &SelectOptions,
+    label: &Label,
+    settled: &BTreeMap<StateKey, Label>,
+    candidates: &mut BTreeMap<StateKey, Candidate>,
+    heap: &mut BinaryHeap<HeapEntry>,
+    cs_discovery: &mut Vec<StateKey>,
+    next_seq: &mut u64,
+    optimizations: &mut usize,
+) -> Result<()> {
+    let graph = context.graph;
+    for &edge_id in graph.out_edges(label.state.vertex) {
+        let edge = graph.edge(edge_id)?;
+        if edge.format != label.state.output_format {
+            continue; // the vertex committed to a different output format
+        }
+        *optimizations += 1;
+        for candidate in context.extend(label, edge_id)? {
+            let state = candidate.state;
+            if settled.contains_key(&state) {
+                continue;
+            }
+            let seq = *next_seq;
+            *next_seq += 1;
+            match candidates.get_mut(&state) {
+                Some(existing) => {
+                    let better = candidate.satisfaction > existing.label.satisfaction
+                        || (candidate.satisfaction == existing.label.satisfaction
+                            && candidate.accumulated_cost < existing.label.accumulated_cost);
+                    if better {
+                        if options.candidate_store == CandidateStore::BinaryHeap {
+                            heap.push(HeapEntry {
+                                key: heap_key(options.tie_break, &candidate, seq),
+                                seq,
+                                state,
+                            });
+                        }
+                        existing.label = candidate;
+                        existing.seq = seq;
+                    }
+                }
+                None => {
+                    if options.candidate_store == CandidateStore::BinaryHeap {
+                        heap.push(HeapEntry {
+                            key: heap_key(options.tie_break, &candidate, seq),
+                            seq,
+                            state,
+                        });
+                    }
+                    candidates.insert(state, Candidate { label: candidate, seq });
+                    cs_discovery.push(state);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Step 4's argmax via the lazy-deletion heap: pop entries until one
+/// still matches the candidate map's current generation for its state.
+fn pick_best_heap(
+    heap: &mut BinaryHeap<HeapEntry>,
+    candidates: &BTreeMap<StateKey, Candidate>,
+) -> StateKey {
+    while let Some(entry) = heap.pop() {
+        if let Some(current) = candidates.get(&entry.state) {
+            if current.seq == entry.seq {
+                return entry.state;
+            }
+        }
+        // Stale: superseded by relaxation or already settled.
+    }
+    unreachable!("heap drained while candidates remain — generations out of sync")
+}
+
+/// Step 4's argmax with the configured tie-break.
+fn pick_best(candidates: &BTreeMap<StateKey, Candidate>, tie_break: TieBreak) -> StateKey {
+    let mut best: Option<(&StateKey, &Candidate)> = None;
+    for (state, candidate) in candidates {
+        let better = match best {
+            None => true,
+            Some((best_state, current)) => {
+                let sat = candidate.label.satisfaction;
+                let best_sat = current.label.satisfaction;
+                if sat != best_sat {
+                    sat > best_sat
+                } else {
+                    match tie_break {
+                        TieBreak::PaperOrder => {
+                            let cost = candidate.label.accumulated_cost;
+                            let best_cost = current.label.accumulated_cost;
+                            if cost != best_cost {
+                                cost < best_cost
+                            } else {
+                                candidate.seq > current.seq
+                            }
+                        }
+                        TieBreak::Fifo => candidate.seq < current.seq,
+                        TieBreak::ByVertexIndex => state.vertex < best_state.vertex,
+                    }
+                }
+            }
+        };
+        if better {
+            best = Some((state, candidate));
+        }
+    }
+    *best.expect("candidates not empty").0
+}
+
+/// Build one Table-1 row for the round that settles `selected`.
+#[allow(clippy::too_many_arguments)]
+fn make_row(
+    graph: &AdaptationGraph,
+    round: usize,
+    vt_names: &[String],
+    cs_discovery: &[StateKey],
+    remaining: &BTreeMap<StateKey, Candidate>,
+    selected: &Label,
+    settled: &BTreeMap<StateKey, Label>,
+    receiver: crate::graph::VertexId,
+) -> Result<TraceRow> {
+    // CS display: discovery order, receiver pinned last, deduplicated,
+    // including the about-to-be-selected candidate (the paper shows the
+    // CS at the *start* of the round).
+    let mut cs_names: Vec<String> = Vec::new();
+    let mut receiver_present = false;
+    let mut push_state = |state: &StateKey, names: &mut Vec<String>| -> Result<()> {
+        if state.vertex == receiver {
+            receiver_present = true;
+            return Ok(());
+        }
+        let name = &graph.vertex(state.vertex)?.name;
+        if !names.contains(name) {
+            names.push(name.clone());
+        }
+        Ok(())
+    };
+    for state in cs_discovery {
+        if *state == selected.state || remaining.contains_key(state) {
+            push_state(state, &mut cs_names)?;
+        }
+    }
+    if selected.state.vertex == receiver {
+        receiver_present = true;
+    }
+    if receiver_present {
+        cs_names.push(graph.vertex(receiver)?.name.clone());
+    }
+
+    let path = path_names(graph, settled, selected)?;
+    Ok(TraceRow {
+        round,
+        considered: vt_names.to_vec(),
+        candidates: cs_names,
+        selected: graph.vertex(selected.state.vertex)?.name.clone(),
+        selected_path: path,
+        params: selected.params,
+        satisfaction: selected.satisfaction,
+        accumulated_cost: selected.accumulated_cost,
+    })
+}
+
+/// Names of the chain from the sender to `label`, via parent links
+/// (Step 10's reverse walk).
+fn path_names(
+    graph: &AdaptationGraph,
+    settled: &BTreeMap<StateKey, Label>,
+    label: &Label,
+) -> Result<Vec<String>> {
+    let mut names = vec![graph.vertex(label.state.vertex)?.name.clone()];
+    let mut parent = label.parent;
+    while let Some(state) = parent {
+        names.push(graph.vertex(state.vertex)?.name.clone());
+        parent = settled
+            .get(&state)
+            .and_then(|l| l.parent);
+    }
+    names.reverse();
+    Ok(names)
+}
+
+/// Step 10: materialize the full chain from the receiver's label.
+fn reconstruct(
+    graph: &AdaptationGraph,
+    settled: &BTreeMap<StateKey, Label>,
+    receiver_label: &Label,
+) -> Result<SelectedChain> {
+    let mut steps: Vec<ChainStep> = Vec::new();
+    let mut cursor: Option<&Label> = Some(receiver_label);
+    while let Some(label) = cursor {
+        steps.push(ChainStep {
+            vertex: label.state.vertex,
+            name: graph.vertex(label.state.vertex)?.name.clone(),
+            output_format: label.state.output_format,
+            params: label.params,
+            satisfaction: label.satisfaction,
+            accumulated_cost: label.accumulated_cost,
+        });
+        cursor = label.parent.and_then(|p| settled.get(&p));
+    }
+    steps.reverse();
+    Ok(SelectedChain {
+        satisfaction: receiver_label.satisfaction,
+        total_cost: receiver_label.accumulated_cost,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build::build;
+    use crate::graph::{BuildInput, VertexKind};
+    use qosc_media::{
+        Axis, AxisDomain, BitrateModel, ContentVariant, DomainVector, FormatSpec, MediaKind,
+        ParamVector,
+    };
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+    use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+    /// sender —A→ {T_fast(cap 30), T_slow(cap 20)} —B→ receiver.
+    fn fork_fixture() -> (FormatRegistry, AdaptationGraph) {
+        let mut formats = FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m1 = topo.add_node(Node::unconstrained("m1"));
+        let m2 = topo.add_node(Node::unconstrained("m2"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        topo.connect_simple(s, m1, 1e9).unwrap();
+        topo.connect_simple(s, m2, 1e9).unwrap();
+        topo.connect_simple(m1, r, 1e9).unwrap();
+        topo.connect_simple(m2, r, 1e9).unwrap();
+        let network = Network::new(topo);
+
+        let mut services = ServiceRegistry::new();
+        let cap_domain = |cap: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: cap },
+            )
+        };
+        let slow = ServiceSpec::new("T_slow", vec![ConversionSpec::new("A", "B", cap_domain(20.0))]);
+        let fast = ServiceSpec::new("T_fast", vec![ConversionSpec::new("A", "B", cap_domain(30.0))]);
+        services.register_static(TranscoderDescriptor::resolve(&slow, &formats, m1).unwrap());
+        services.register_static(TranscoderDescriptor::resolve(&fast, &formats, m2).unwrap());
+
+        let variants = vec![ContentVariant::new(fa, cap_domain(30.0))];
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fb],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        (formats, graph)
+    }
+
+    #[test]
+    fn picks_the_higher_satisfaction_branch() {
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let outcome =
+            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
+                .unwrap();
+        let chain = outcome.chain.expect("receiver reachable");
+        assert_eq!(chain.names(), vec!["sender", "T_fast", "receiver"]);
+        assert!((chain.satisfaction - 1.0).abs() < 1e-9);
+        assert_eq!(chain.transcoder_count(), 1);
+        assert!(outcome.failure.is_none());
+    }
+
+    #[test]
+    fn trace_records_rounds() {
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let outcome =
+            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
+                .unwrap();
+        assert_eq!(outcome.trace.rows.len(), outcome.rounds);
+        let first = &outcome.trace.rows[0];
+        assert_eq!(first.considered, vec!["sender".to_string()]);
+        assert_eq!(first.selected, "T_fast");
+        assert!(first.candidates.contains(&"T_slow".to_string()));
+        // Final row selects the receiver.
+        let last = outcome.trace.last().unwrap();
+        assert_eq!(last.selected, "receiver");
+        assert_eq!(last.selected_path, vec!["sender", "T_fast", "receiver"]);
+    }
+
+    #[test]
+    fn unreachable_receiver_terminates_failure() {
+        let (formats, _) = fork_fixture();
+        // A graph with only a sender and a receiver and no edges: the
+        // candidate set starts empty.
+        let graph = {
+            let mut g = AdaptationGraph::new();
+            g.add_vertex(crate::graph::Vertex {
+                kind: VertexKind::Sender,
+                name: "sender".to_string(),
+                host: {
+                    let mut t = Topology::new();
+                    t.add_node(Node::unconstrained("x"))
+                },
+                conversions: vec![],
+                price_per_second: 0.0,
+                price_per_mbit: 0.0,
+            });
+            g.add_vertex(crate::graph::Vertex {
+                kind: VertexKind::Receiver,
+                name: "receiver".to_string(),
+                host: {
+                    let mut t = Topology::new();
+                    t.add_node(Node::unconstrained("y"))
+                },
+                conversions: vec![],
+                price_per_second: 0.0,
+                price_per_mbit: 0.0,
+            });
+            g
+        };
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let outcome =
+            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
+                .unwrap();
+        assert!(outcome.chain.is_none());
+        assert_eq!(outcome.failure, Some(SelectFailure::CandidatesExhausted));
+    }
+
+    #[test]
+    fn budget_zero_with_paid_links_fails() {
+        // Rebuild the fork fixture with paid links.
+        let mut formats = FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m = topo.add_node(Node::unconstrained("m"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        for (a, b) in [(s, m), (m, r)] {
+            topo.connect(qosc_netsim::Link {
+                a,
+                b,
+                capacity_bps: 1e9,
+                delay_us: 1_000,
+                loss: 0.0,
+                price_per_mbit: 0.0,
+                price_flat: 1.0,
+            })
+            .unwrap();
+        }
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let spec = ServiceSpec::new(
+            "T",
+            vec![ConversionSpec::new(
+                "A",
+                "B",
+                DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                ),
+            )],
+        );
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, m).unwrap());
+        let variants = vec![ContentVariant::new(
+            fa,
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 0.0, max: 30.0 },
+            ),
+        )];
+        let graph = build(&BuildInput {
+            formats: &formats,
+            services: &services,
+            network: &network,
+            variants: &variants,
+            sender_host: s,
+            receiver_host: r,
+            decoders: &[fb],
+            receiver_caps: ParamVector::new(),
+        })
+        .unwrap();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+
+        // Budget 2 covers both hops; budget 0.5 covers neither.
+        let ok = select_chain(&graph, &formats, &profile, 2.0, &SelectOptions::default()).unwrap();
+        assert!(ok.chain.is_some());
+        assert!((ok.chain.unwrap().total_cost - 2.0).abs() < 1e-9);
+
+        let broke =
+            select_chain(&graph, &formats, &profile, 0.5, &SelectOptions::default()).unwrap();
+        assert!(broke.chain.is_none());
+        assert_eq!(broke.failure, Some(SelectFailure::CandidatesExhausted));
+    }
+
+    #[test]
+    fn round_limit_trips() {
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let options = SelectOptions { max_rounds: 1, ..SelectOptions::default() };
+        let outcome = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
+        assert_eq!(outcome.failure, Some(SelectFailure::RoundLimit));
+    }
+}

@@ -1,0 +1,124 @@
+//! Round-by-round selection traces (the columns of the paper's Table 1).
+
+use qosc_media::{Axis, ParamVector};
+
+/// One round of the selection algorithm: the paper's Table-1 columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Round number, 1-based.
+    pub round: usize,
+    /// "Considered Set (VT)" at the start of the round: display names in
+    /// settlement order, starting with `sender`.
+    pub considered: Vec<String>,
+    /// "Candidate set (CS)" at the start of the round: display names in
+    /// discovery order, `receiver` pinned last, deduplicated.
+    pub candidates: Vec<String>,
+    /// "Selected trans-coding service" of this round.
+    pub selected: String,
+    /// "Selected Path": sender → … → selected vertex.
+    pub selected_path: Vec<String>,
+    /// Configured parameters of the selected label.
+    pub params: ParamVector,
+    /// "User satisfaction" of the selected label.
+    pub satisfaction: f64,
+    /// Accumulated cost of the selected label (Figure 4, Step 6).
+    pub accumulated_cost: f64,
+}
+
+impl TraceRow {
+    /// "Delivered Frame Rate" column: the frame-rate parameter, if any.
+    pub fn delivered_frame_rate(&self) -> Option<f64> {
+        self.params.get(Axis::FrameRate)
+    }
+}
+
+/// The full trace of one selection run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionTrace {
+    /// One row per round, in order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl SelectionTrace {
+    /// Truncate (not round) to two decimals — the paper prints 23/30 as
+    /// `0.76` and 20/30 as `0.66`.
+    pub fn truncate2(x: f64) -> f64 {
+        (x * 100.0).floor() / 100.0
+    }
+
+    /// Render the trace in the shape of the paper's Table 1.
+    pub fn to_table1_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Round | Considered Set (VT) | Candidate set (CS) | Selected | Selected Path | Delivered Frame Rate | User satisfaction\n",
+        );
+        for row in &self.rows {
+            let fps = row
+                .delivered_frame_rate()
+                .map(|f| format!("{}", f.round() as i64))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{} | {{ {} }} | {{ {} }} | {} | {} | {} | {:.2}\n",
+                row.round,
+                row.considered.join(", "),
+                row.candidates.join(", "),
+                row.selected,
+                row.selected_path.join(","),
+                fps,
+                SelectionTrace::truncate2(row.satisfaction),
+            ));
+        }
+        out
+    }
+
+    /// The final row, if any round ran.
+    pub fn last(&self) -> Option<&TraceRow> {
+        self.rows.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_matches_paper_rounding() {
+        assert_eq!(SelectionTrace::truncate2(23.0 / 30.0), 0.76);
+        assert_eq!(SelectionTrace::truncate2(20.0 / 30.0), 0.66);
+        assert_eq!(SelectionTrace::truncate2(0.9), 0.90);
+        assert_eq!(SelectionTrace::truncate2(1.0), 1.00);
+    }
+
+    #[test]
+    fn table_rendering_contains_rows() {
+        let trace = SelectionTrace {
+            rows: vec![TraceRow {
+                round: 1,
+                considered: vec!["sender".to_string()],
+                candidates: vec!["T1".to_string(), "T2".to_string()],
+                selected: "T1".to_string(),
+                selected_path: vec!["sender".to_string(), "T1".to_string()],
+                params: ParamVector::from_pairs([(Axis::FrameRate, 30.0)]),
+                satisfaction: 1.0,
+                accumulated_cost: 1.0,
+            }],
+        };
+        let table = trace.to_table1_string();
+        assert!(table.contains("1 | { sender } | { T1, T2 } | T1 | sender,T1 | 30 | 1.00"));
+    }
+
+    #[test]
+    fn delivered_frame_rate_absent_for_non_video() {
+        let row = TraceRow {
+            round: 1,
+            considered: vec![],
+            candidates: vec![],
+            selected: String::new(),
+            selected_path: vec![],
+            params: ParamVector::from_pairs([(Axis::Fidelity, 40.0)]),
+            satisfaction: 0.5,
+            accumulated_cost: 0.0,
+        };
+        assert_eq!(row.delivered_frame_rate(), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Bandwidth requirement models.
+//!
+//! Equa. 2 of the paper constrains the optimizer with
+//! `bandwidth_requirement(x1..xn) <= Bandwidth_AvailableBetween(Ti, Tprev)`.
+//! A [`BitrateModel`] is that left-hand side: a closed-form mapping from a
+//! QoS parameter configuration to sustained bits per second, attached to
+//! each media format.
+
+use crate::kind::MediaKind;
+use crate::params::{Axis, ParamVector};
+use serde::{Deserialize, Serialize};
+
+/// How a parameter configuration translates into bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BitrateModel {
+    /// Uncompressed video: `frame_rate × pixel_count × color_depth`.
+    RawVideo,
+    /// Compressed video: raw video bits divided by a constant
+    /// format-specific compression ratio.
+    CompressedVideo {
+        /// Raw-to-compressed ratio (e.g. ~80 for MPEG-2). Must be > 0.
+        compression_ratio: f64,
+    },
+    /// Uncompressed audio: `sample_rate × channels × sample_depth`.
+    RawAudio,
+    /// Compressed audio: raw audio bits divided by a constant ratio.
+    CompressedAudio {
+        /// Raw-to-compressed ratio (e.g. ~11 for MP3). Must be > 0.
+        compression_ratio: f64,
+    },
+    /// A still image viewed for a nominal interval: the one-shot size
+    /// `pixel_count × color_depth / compression_ratio` is amortized over
+    /// `per_view_seconds` to obtain an equivalent sustained rate.
+    Image {
+        /// Raw-to-compressed ratio. Must be > 0.
+        compression_ratio: f64,
+        /// Nominal viewing interval the transfer is amortized over.
+        per_view_seconds: f64,
+    },
+    /// Text: size scales linearly with the fidelity knob (summarization
+    /// level), amortized over a nominal 10-second reading interval.
+    Text {
+        /// Bits contributed by one fidelity point (fidelity is in 0..=100).
+        bits_per_fidelity_point: f64,
+    },
+    /// A constant rate, independent of parameters. Useful for abstract
+    /// formats in synthetic scenarios where bandwidth is modelled on a
+    /// single axis elsewhere.
+    Constant {
+        /// The constant rate in bits per second.
+        bits_per_second: f64,
+    },
+    /// A direct linear model on one axis: `rate = slope × value`. The
+    /// paper's worked example is single-axis (frame rate), and this model
+    /// lets a scenario express "bandwidth caps the deliverable frame rate
+    /// at X fps" exactly.
+    LinearOnAxis {
+        /// The axis whose value drives the rate.
+        axis: Axis,
+        /// Bits per second contributed per unit of the axis value.
+        slope: f64,
+    },
+}
+
+impl BitrateModel {
+    /// A sensible default model for each media kind, used for abstract
+    /// formats (`F1`, `F2`, …) when a scenario does not specify one.
+    pub fn default_for(kind: MediaKind) -> BitrateModel {
+        match kind {
+            MediaKind::Video => BitrateModel::CompressedVideo { compression_ratio: 80.0 },
+            MediaKind::Audio => BitrateModel::CompressedAudio { compression_ratio: 11.0 },
+            MediaKind::Image => BitrateModel::Image {
+                compression_ratio: 10.0,
+                per_view_seconds: 5.0,
+            },
+            MediaKind::Text => BitrateModel::Text { bits_per_fidelity_point: 2000.0 },
+        }
+    }
+
+    /// Sustained bits per second required by `params` under this model.
+    ///
+    /// Axes missing from `params` contribute their neutral value (1 for
+    /// multiplicative factors, 0 for additive ones), so a partially
+    /// specified configuration still yields a finite, conservative rate.
+    pub fn bits_per_second(&self, params: &ParamVector) -> f64 {
+        let get = |axis: Axis, default: f64| params.get(axis).unwrap_or(default);
+        match *self {
+            BitrateModel::RawVideo => {
+                get(Axis::FrameRate, 0.0) * get(Axis::PixelCount, 1.0) * get(Axis::ColorDepth, 1.0)
+            }
+            BitrateModel::CompressedVideo { compression_ratio } => {
+                BitrateModel::RawVideo.bits_per_second(params) / compression_ratio.max(f64::MIN_POSITIVE)
+            }
+            BitrateModel::RawAudio => {
+                get(Axis::SampleRate, 0.0) * get(Axis::Channels, 1.0) * get(Axis::SampleDepth, 1.0)
+            }
+            BitrateModel::CompressedAudio { compression_ratio } => {
+                BitrateModel::RawAudio.bits_per_second(params) / compression_ratio.max(f64::MIN_POSITIVE)
+            }
+            BitrateModel::Image { compression_ratio, per_view_seconds } => {
+                get(Axis::PixelCount, 0.0) * get(Axis::ColorDepth, 1.0)
+                    / compression_ratio.max(f64::MIN_POSITIVE)
+                    / per_view_seconds.max(f64::MIN_POSITIVE)
+            }
+            BitrateModel::Text { bits_per_fidelity_point } => {
+                get(Axis::Fidelity, 0.0) * bits_per_fidelity_point / 10.0
+            }
+            BitrateModel::Constant { bits_per_second } => bits_per_second,
+            BitrateModel::LinearOnAxis { axis, slope } => get(axis, 0.0) * slope,
+        }
+    }
+
+    /// Whether the model is monotone non-decreasing in every axis — true
+    /// for all variants by construction (ratios and slopes are positive).
+    /// Exposed for property tests.
+    pub fn is_monotone(&self) -> bool {
+        match *self {
+            BitrateModel::CompressedVideo { compression_ratio }
+            | BitrateModel::CompressedAudio { compression_ratio } => compression_ratio > 0.0,
+            BitrateModel::Image { compression_ratio, per_view_seconds } => {
+                compression_ratio > 0.0 && per_view_seconds > 0.0
+            }
+            BitrateModel::Text { bits_per_fidelity_point } => bits_per_fidelity_point >= 0.0,
+            BitrateModel::LinearOnAxis { slope, .. } => slope >= 0.0,
+            BitrateModel::RawVideo | BitrateModel::RawAudio | BitrateModel::Constant { .. } => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamVector;
+
+    fn video_params(fps: f64, pixels: f64, depth: f64) -> ParamVector {
+        ParamVector::from_pairs([
+            (Axis::FrameRate, fps),
+            (Axis::PixelCount, pixels),
+            (Axis::ColorDepth, depth),
+        ])
+    }
+
+    #[test]
+    fn raw_video_is_product_of_axes() {
+        let p = video_params(30.0, 320.0 * 240.0, 24.0);
+        assert_eq!(
+            BitrateModel::RawVideo.bits_per_second(&p),
+            30.0 * 320.0 * 240.0 * 24.0
+        );
+    }
+
+    #[test]
+    fn compression_divides() {
+        let p = video_params(30.0, 1000.0, 8.0);
+        let raw = BitrateModel::RawVideo.bits_per_second(&p);
+        let c = BitrateModel::CompressedVideo { compression_ratio: 50.0 }.bits_per_second(&p);
+        assert!((c - raw / 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audio_model() {
+        let p = ParamVector::from_pairs([
+            (Axis::SampleRate, 44100.0),
+            (Axis::Channels, 2.0),
+            (Axis::SampleDepth, 16.0),
+        ]);
+        assert_eq!(
+            BitrateModel::RawAudio.bits_per_second(&p),
+            44100.0 * 2.0 * 16.0
+        );
+    }
+
+    #[test]
+    fn image_amortizes_over_view_time() {
+        let p = ParamVector::from_pairs([(Axis::PixelCount, 1000.0), (Axis::ColorDepth, 8.0)]);
+        let m = BitrateModel::Image { compression_ratio: 8.0, per_view_seconds: 5.0 };
+        assert!((m.bits_per_second(&p) - 1000.0 * 8.0 / 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_on_axis_matches_slope() {
+        let p = ParamVector::from_pairs([(Axis::FrameRate, 23.0)]);
+        let m = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        assert_eq!(m.bits_per_second(&p), 23_000.0);
+    }
+
+    #[test]
+    fn missing_driving_axis_gives_zero_rate() {
+        let empty = ParamVector::new();
+        assert_eq!(BitrateModel::RawVideo.bits_per_second(&empty), 0.0);
+        assert_eq!(BitrateModel::RawAudio.bits_per_second(&empty), 0.0);
+        assert_eq!(
+            BitrateModel::LinearOnAxis { axis: Axis::Fidelity, slope: 10.0 }
+                .bits_per_second(&empty),
+            0.0
+        );
+    }
+
+    #[test]
+    fn constant_ignores_params() {
+        let m = BitrateModel::Constant { bits_per_second: 64_000.0 };
+        assert_eq!(m.bits_per_second(&ParamVector::new()), 64_000.0);
+        assert_eq!(m.bits_per_second(&video_params(30.0, 1e6, 24.0)), 64_000.0);
+    }
+
+    #[test]
+    fn defaults_are_monotone() {
+        for kind in MediaKind::ALL {
+            assert!(BitrateModel::default_for(kind).is_monotone());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Coarse media classes.
+
+use serde::{Deserialize, Serialize};
+
+/// The coarse class of a media format.
+///
+/// The paper's motivating adaptations span all four kinds: "text
+/// summarization, format change, reduction of image quality, … audio to
+/// text conversion, video to key frame or video to text conversion"
+/// (Section 1). A trans-coding service may change the kind (e.g. a
+/// video-to-text converter has a `Video` input format and a `Text` output
+/// format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Moving pictures (frame rate, resolution and colour depth apply).
+    Video,
+    /// Sound (sample rate, channels and sample depth apply).
+    Audio,
+    /// Still pictures (resolution and colour depth apply).
+    Image,
+    /// Written content (fidelity — e.g. summarization level — applies).
+    Text,
+}
+
+impl MediaKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [MediaKind; 4] = [
+        MediaKind::Video,
+        MediaKind::Audio,
+        MediaKind::Image,
+        MediaKind::Text,
+    ];
+
+    /// Short lowercase name (`"video"`, `"audio"`, `"image"`, `"text"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MediaKind::Video => "video",
+            MediaKind::Audio => "audio",
+            MediaKind::Image => "image",
+            MediaKind::Text => "text",
+        }
+    }
+
+    /// Parse a kind from its short name (case-insensitive).
+    pub fn parse(name: &str) -> Option<MediaKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "video" => Some(MediaKind::Video),
+            "audio" => Some(MediaKind::Audio),
+            "image" => Some(MediaKind::Image),
+            "text" => Some(MediaKind::Text),
+            _ => None,
+        }
+    }
+
+    /// Whether content of this kind is consumed continuously (streamed)
+    /// rather than delivered once. Streamed kinds are subject to sustained
+    /// bandwidth constraints; one-shot kinds to transfer-time constraints.
+    pub fn is_streamed(self) -> bool {
+        matches!(self, MediaKind::Video | MediaKind::Audio)
+    }
+}
+
+impl std::fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in MediaKind::ALL {
+            assert_eq!(MediaKind::parse(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(MediaKind::parse("VIDEO"), Some(MediaKind::Video));
+        assert_eq!(MediaKind::parse("Text"), Some(MediaKind::Text));
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert_eq!(MediaKind::parse("smellovision"), None);
+    }
+
+    #[test]
+    fn streamed_kinds() {
+        assert!(MediaKind::Video.is_streamed());
+        assert!(MediaKind::Audio.is_streamed());
+        assert!(!MediaKind::Image.is_streamed());
+        assert!(!MediaKind::Text.is_streamed());
+    }
+}

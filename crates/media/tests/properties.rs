@@ -1,0 +1,170 @@
+//! Property tests for the media format algebra: the lattice-like
+//! operations on parameter vectors and domains that quality monotonicity
+//! (Section 4.4) rests on.
+
+use proptest::prelude::*;
+use qosc_media::{Axis, AxisDomain, BitrateModel, DomainVector, ParamVector};
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    (0..Axis::COUNT).prop_map(|i| Axis::from_index(i).expect("index in range"))
+}
+
+fn arb_value() -> impl Strategy<Value = f64> {
+    0.0f64..1e7
+}
+
+fn arb_param_vector() -> impl Strategy<Value = ParamVector> {
+    proptest::collection::vec((arb_axis(), arb_value()), 0..Axis::COUNT)
+        .prop_map(ParamVector::from_pairs)
+}
+
+fn arb_axis_domain() -> impl Strategy<Value = AxisDomain> {
+    prop_oneof![
+        (arb_value(), arb_value()).prop_map(|(a, b)| AxisDomain::Continuous {
+            min: a.min(b),
+            max: a.max(b),
+        }),
+        proptest::collection::vec(arb_value(), 1..6).prop_map(|mut values| {
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            values.dedup();
+            AxisDomain::Discrete(values)
+        }),
+        arb_value().prop_map(AxisDomain::Fixed),
+    ]
+}
+
+fn arb_domain_vector() -> impl Strategy<Value = DomainVector> {
+    proptest::collection::vec((arb_axis(), arb_axis_domain()), 0..Axis::COUNT).prop_map(|pairs| {
+        let mut dv = DomainVector::new();
+        for (axis, domain) in pairs {
+            dv.set(axis, domain);
+        }
+        dv
+    })
+}
+
+proptest! {
+    /// meet is idempotent, commutative on common axes, and dominated by
+    /// its left operand.
+    #[test]
+    fn meet_properties(a in arb_param_vector(), b in arb_param_vector()) {
+        let m = a.meet(&b);
+        // Axes of the result are exactly the axes of `a`.
+        prop_assert_eq!(m.axes().count(), a.axes().count());
+        // Result never exceeds `a`, nor `b` on common axes.
+        prop_assert!(m.le_on_common_axes(&a));
+        prop_assert!(m.le_on_common_axes(&b));
+        // Idempotent.
+        prop_assert_eq!(m.meet(&b), m);
+    }
+
+    /// le_on_common_axes is reflexive, and meet(a, b) ≤ both.
+    #[test]
+    fn le_is_reflexive(a in arb_param_vector()) {
+        prop_assert!(a.le_on_common_axes(&a));
+    }
+
+    /// floor(limit) returns an admissible value ≤ limit (or nothing).
+    #[test]
+    fn floor_is_admissible(domain in arb_axis_domain(), limit in arb_value()) {
+        if let Some(v) = domain.floor(limit) {
+            prop_assert!(v <= limit * (1.0 + 1e-9) + 1e-9);
+            prop_assert!(domain.contains(v), "floor produced {v} outside the domain");
+        } else {
+            prop_assert!(domain.min() > limit, "floor failed although min ≤ limit");
+        }
+    }
+
+    /// capped(c) never raises the max, never lowers the min, and is empty
+    /// exactly when min > cap.
+    #[test]
+    fn capped_shrinks(domain in arb_axis_domain(), cap in arb_value()) {
+        match domain.capped(cap) {
+            Some(capped) => {
+                prop_assert!(capped.max() <= domain.max() + 1e-9);
+                prop_assert!(capped.max() <= cap * (1.0 + 1e-9) + 1e-9);
+                prop_assert!(capped.min() >= domain.min() - 1e-9);
+            }
+            None => prop_assert!(domain.min() > cap - 1e-9),
+        }
+    }
+
+    /// sample() values all live in the domain and are sorted ascending.
+    #[test]
+    fn samples_are_admissible(domain in arb_axis_domain(), n in 2usize..12) {
+        let samples = domain.sample(n);
+        prop_assert!(!samples.is_empty());
+        for pair in samples.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        for &v in &samples {
+            // Continuous sampling can land between representable steps;
+            // containment holds up to floating tolerance.
+            prop_assert!(v >= domain.min() - 1e-9 && v <= domain.max() + 1e-9);
+        }
+    }
+
+    /// top() and bottom() are admissible and ordered.
+    #[test]
+    fn top_bottom_are_admissible(dv in arb_domain_vector()) {
+        let top = dv.top();
+        let bottom = dv.bottom();
+        prop_assert!(dv.contains(&top));
+        prop_assert!(dv.contains(&bottom));
+        prop_assert!(bottom.le_on_common_axes(&top));
+    }
+
+    /// capped_by never *adds* feasible quality: the capped top is ≤ both
+    /// the original top and the caps.
+    #[test]
+    fn capped_by_is_monotone(dv in arb_domain_vector(), caps in arb_param_vector()) {
+        if let Some(capped) = dv.capped_by(&caps) {
+            let t = capped.top();
+            prop_assert!(t.le_on_common_axes(&dv.top()));
+            prop_assert!(t.le_on_common_axes(&caps));
+        }
+    }
+
+    /// clamp() always lands inside the domain.
+    #[test]
+    fn clamp_lands_inside(dv in arb_domain_vector(), p in arb_param_vector()) {
+        let clamped = dv.clamp(&p);
+        // Same axes as the domain.
+        prop_assert_eq!(clamped.axes().count(), dv.axes().count());
+        for (axis, domain) in dv.iter() {
+            let v = clamped.get(axis).expect("axis filled");
+            prop_assert!(v >= domain.min() - 1e-9 && v <= domain.max() + 1e-9);
+        }
+    }
+
+    /// Every bitrate model is monotone: raising any single axis never
+    /// lowers the rate.
+    #[test]
+    fn bitrate_models_are_monotone(
+        p in arb_param_vector(),
+        axis in arb_axis(),
+        bump in 0.0f64..1e5,
+        ratio in 1.0f64..200.0,
+    ) {
+        let models = [
+            BitrateModel::RawVideo,
+            BitrateModel::CompressedVideo { compression_ratio: ratio },
+            BitrateModel::RawAudio,
+            BitrateModel::CompressedAudio { compression_ratio: ratio },
+            BitrateModel::Image { compression_ratio: ratio, per_view_seconds: 5.0 },
+            BitrateModel::Text { bits_per_fidelity_point: ratio },
+            BitrateModel::LinearOnAxis { axis, slope: ratio },
+        ];
+        let mut raised = p;
+        let base_value = p.get(axis).unwrap_or(0.0);
+        raised.set(axis, base_value + bump);
+        for model in models {
+            let low = model.bits_per_second(&p);
+            let high = model.bits_per_second(&raised);
+            prop_assert!(
+                high >= low - 1e-6,
+                "{model:?} decreased from {low} to {high} when {axis} rose"
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Bandwidth accounting: directional reservations against link capacity.
+//!
+//! Links are **full duplex**: the two directions of a link have
+//! independent capacity pools (a proxy's access link carries its inbound
+//! stream and its outbound stream simultaneously). Admitted streaming
+//! sessions consume capacity in the direction they cross each link; the
+//! headroom the selection algorithm sees is `capacity − reserved −
+//! background` for that direction. This module owns the reservation
+//! ledger; background traffic lives in [`crate::dynamics`] and the facade
+//! combining them is [`crate::network::Network`].
+
+use crate::topology::LinkId;
+use crate::{NetError, Result};
+use std::collections::HashMap;
+
+/// Direction of travel across an (undirected) link: `true` when going
+/// from the link's `a` endpoint towards its `b` endpoint.
+pub type LinkDirection = bool;
+
+/// Handle to an active reservation, returned by
+/// [`BandwidthLedger::reserve`]. Dropping the id without releasing leaks
+/// the bandwidth deliberately — sessions are torn down explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReservationId(pub(crate) u64);
+
+/// One admitted reservation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservation {
+    /// Directed link crossings the reservation holds capacity on.
+    pub hops: Vec<(LinkId, LinkDirection)>,
+    /// Bits per second held on each crossing.
+    pub rate_bps: f64,
+}
+
+/// The reservation ledger: per-direction totals plus per-reservation
+/// records.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthLedger {
+    reserved: HashMap<(LinkId, LinkDirection), f64>,
+    reservations: HashMap<ReservationId, Reservation>,
+    next_id: u64,
+}
+
+impl BandwidthLedger {
+    /// An empty ledger.
+    pub fn new() -> BandwidthLedger {
+        BandwidthLedger::default()
+    }
+
+    /// Total bits per second currently reserved on `link` in `direction`.
+    pub fn reserved_on(&self, link: LinkId, direction: LinkDirection) -> f64 {
+        self.reserved.get(&(link, direction)).copied().unwrap_or(0.0)
+    }
+
+    /// Record a reservation of `rate_bps` on every directed crossing in
+    /// `hops`.
+    ///
+    /// The caller (the [`crate::network::Network`] facade) is responsible
+    /// for checking headroom first; the ledger enforces only
+    /// non-negativity of the rate.
+    pub fn reserve(
+        &mut self,
+        hops: Vec<(LinkId, LinkDirection)>,
+        rate_bps: f64,
+    ) -> Result<ReservationId> {
+        // Deliberate negated comparison: NaN rates must be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(rate_bps >= 0.0) {
+            return Err(NetError::InvalidParameter(format!(
+                "reservation rate must be non-negative, got {rate_bps}"
+            )));
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        for &hop in &hops {
+            *self.reserved.entry(hop).or_insert(0.0) += rate_bps;
+        }
+        self.reservations.insert(id, Reservation { hops, rate_bps });
+        Ok(id)
+    }
+
+    /// Release a reservation, returning the record. Errors on double
+    /// release.
+    pub fn release(&mut self, id: ReservationId) -> Result<Reservation> {
+        let reservation = self
+            .reservations
+            .remove(&id)
+            .ok_or(NetError::UnknownReservation(id))?;
+        for &hop in &reservation.hops {
+            if let Some(total) = self.reserved.get_mut(&hop) {
+                *total = (*total - reservation.rate_bps).max(0.0);
+                if *total == 0.0 {
+                    self.reserved.remove(&hop);
+                }
+            }
+        }
+        Ok(reservation)
+    }
+
+    /// The record for an active reservation.
+    pub fn get(&self, id: ReservationId) -> Option<&Reservation> {
+        self.reservations.get(&id)
+    }
+
+    /// Number of active reservations.
+    pub fn active_count(&self) -> usize {
+        self.reservations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_accumulates_and_release_restores() {
+        let mut ledger = BandwidthLedger::new();
+        let l0 = LinkId(0);
+        let l1 = LinkId(1);
+        let a = ledger.reserve(vec![(l0, true), (l1, true)], 100.0).unwrap();
+        let b = ledger.reserve(vec![(l0, true)], 50.0).unwrap();
+        assert_eq!(ledger.reserved_on(l0, true), 150.0);
+        assert_eq!(ledger.reserved_on(l1, true), 100.0);
+        assert_eq!(ledger.active_count(), 2);
+
+        ledger.release(a).unwrap();
+        assert_eq!(ledger.reserved_on(l0, true), 50.0);
+        assert_eq!(ledger.reserved_on(l1, true), 0.0);
+
+        ledger.release(b).unwrap();
+        assert_eq!(ledger.reserved_on(l0, true), 0.0);
+        assert_eq!(ledger.active_count(), 0);
+    }
+
+    #[test]
+    fn directions_are_independent_pools() {
+        let mut ledger = BandwidthLedger::new();
+        let l = LinkId(0);
+        ledger.reserve(vec![(l, true)], 100.0).unwrap();
+        ledger.reserve(vec![(l, false)], 70.0).unwrap();
+        assert_eq!(ledger.reserved_on(l, true), 100.0);
+        assert_eq!(ledger.reserved_on(l, false), 70.0);
+    }
+
+    #[test]
+    fn double_release_errors() {
+        let mut ledger = BandwidthLedger::new();
+        let id = ledger.reserve(vec![(LinkId(0), true)], 10.0).unwrap();
+        ledger.release(id).unwrap();
+        assert!(matches!(
+            ledger.release(id),
+            Err(NetError::UnknownReservation(_))
+        ));
+    }
+
+    #[test]
+    fn negative_rate_rejected() {
+        let mut ledger = BandwidthLedger::new();
+        assert!(ledger.reserve(vec![(LinkId(0), true)], -1.0).is_err());
+    }
+
+    #[test]
+    fn zero_rate_reservation_is_fine() {
+        let mut ledger = BandwidthLedger::new();
+        let id = ledger.reserve(vec![(LinkId(0), true)], 0.0).unwrap();
+        assert_eq!(ledger.reserved_on(LinkId(0), true), 0.0);
+        ledger.release(id).unwrap();
+    }
+}

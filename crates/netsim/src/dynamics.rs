@@ -1,0 +1,185 @@
+//! Background-traffic dynamics.
+//!
+//! Section 3 ("Network Profile") motivates adapting to "the fluctuating
+//! network resources". We model fluctuation as per-link background
+//! utilization following a seeded, mean-reverting bounded random walk:
+//! each call to [`BackgroundTraffic::advance`] moves every link's
+//! utilization toward its long-run mean plus deterministic seeded noise.
+//! The walk is clamped to `[0, max_utilization]` so a link never starves
+//! completely unless configured to.
+
+use crate::topology::{LinkId, Topology};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the background-traffic process.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Long-run mean utilization fraction of each link.
+    pub mean_utilization: f64,
+    /// Upper clamp on utilization (headroom floor is `1 - max`).
+    pub max_utilization: f64,
+    /// Mean-reversion strength per step, in `[0, 1]`.
+    pub reversion: f64,
+    /// Noise amplitude per step (uniform in `±amplitude`).
+    pub amplitude: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            mean_utilization: 0.2,
+            max_utilization: 0.9,
+            reversion: 0.3,
+            amplitude: 0.1,
+        }
+    }
+}
+
+/// The per-link background-utilization process.
+#[derive(Debug, Clone)]
+pub struct BackgroundTraffic {
+    config: TrafficConfig,
+    utilization: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl BackgroundTraffic {
+    /// A process over `link_count` links, all starting at the mean, with
+    /// a deterministic seed.
+    pub fn new(link_count: usize, config: TrafficConfig, seed: u64) -> BackgroundTraffic {
+        BackgroundTraffic {
+            utilization: vec![config.mean_utilization.clamp(0.0, config.max_utilization); link_count],
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A quiescent process: zero utilization forever. Used by scenarios
+    /// (like the paper's worked example) where bandwidth is static.
+    pub fn quiescent(link_count: usize) -> BackgroundTraffic {
+        BackgroundTraffic {
+            config: TrafficConfig {
+                mean_utilization: 0.0,
+                max_utilization: 0.0,
+                reversion: 0.0,
+                amplitude: 0.0,
+            },
+            utilization: vec![0.0; link_count],
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// Grow the tracked link set when the topology gained links.
+    pub fn sync_with(&mut self, topology: &Topology) {
+        let start = self.config.mean_utilization.clamp(0.0, self.config.max_utilization);
+        self.utilization.resize(topology.link_count(), start);
+    }
+
+    /// Current background utilization fraction of `link`.
+    pub fn utilization(&self, link: LinkId) -> f64 {
+        self.utilization.get(link.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Advance every link one step of the mean-reverting walk.
+    pub fn advance(&mut self) {
+        let c = self.config;
+        if c.amplitude == 0.0 && c.reversion == 0.0 {
+            return;
+        }
+        for u in &mut self.utilization {
+            let noise: f64 = if c.amplitude > 0.0 {
+                self.rng.random_range(-c.amplitude..=c.amplitude)
+            } else {
+                0.0
+            };
+            *u += c.reversion * (c.mean_utilization - *u) + noise;
+            *u = u.clamp(0.0, c.max_utilization);
+        }
+    }
+
+    /// Force a link's utilization (failure injection uses 1.0-capacity
+    /// degradation through the topology instead, but tests use this).
+    pub fn set_utilization(&mut self, link: LinkId, utilization: f64) {
+        if let Some(u) = self.utilization.get_mut(link.index()) {
+            *u = utilization.clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_never_moves() {
+        let mut bg = BackgroundTraffic::quiescent(3);
+        for _ in 0..100 {
+            bg.advance();
+        }
+        for i in 0..3 {
+            assert_eq!(bg.utilization(LinkId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn stays_within_bounds() {
+        let config = TrafficConfig {
+            mean_utilization: 0.5,
+            max_utilization: 0.8,
+            reversion: 0.2,
+            amplitude: 0.3,
+        };
+        let mut bg = BackgroundTraffic::new(5, config, 42);
+        for _ in 0..1000 {
+            bg.advance();
+            for i in 0..5 {
+                let u = bg.utilization(LinkId(i));
+                assert!((0.0..=0.8).contains(&u), "utilization {u} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let config = TrafficConfig::default();
+        let mut a = BackgroundTraffic::new(4, config, 7);
+        let mut b = BackgroundTraffic::new(4, config, 7);
+        for _ in 0..50 {
+            a.advance();
+            b.advance();
+        }
+        for i in 0..4 {
+            assert_eq!(a.utilization(LinkId(i)), b.utilization(LinkId(i)));
+        }
+    }
+
+    #[test]
+    fn different_seed_diverges() {
+        let config = TrafficConfig::default();
+        let mut a = BackgroundTraffic::new(4, config, 1);
+        let mut b = BackgroundTraffic::new(4, config, 2);
+        for _ in 0..10 {
+            a.advance();
+            b.advance();
+        }
+        let differs = (0..4).any(|i| a.utilization(LinkId(i)) != b.utilization(LinkId(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn reverts_toward_mean() {
+        let config = TrafficConfig {
+            mean_utilization: 0.5,
+            max_utilization: 1.0,
+            reversion: 0.5,
+            amplitude: 0.0,
+        };
+        let mut bg = BackgroundTraffic::new(1, config, 0);
+        bg.set_utilization(LinkId(0), 1.0);
+        for _ in 0..30 {
+            bg.advance();
+        }
+        assert!((bg.utilization(LinkId(0)) - 0.5).abs() < 1e-3);
+    }
+}

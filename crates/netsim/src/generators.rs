@@ -1,0 +1,258 @@
+//! Topology generators for experiments.
+//!
+//! Every generator is seeded and deterministic. Link parameters are drawn
+//! from a [`LinkTemplate`]: fixed values by default, uniform ranges when
+//! the experiment wants heterogeneity.
+
+use crate::topology::{Link, Node, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ranges link parameters are drawn from.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTemplate {
+    /// Capacity range in bits per second (inclusive).
+    pub capacity_bps: (f64, f64),
+    /// Delay range in microseconds (inclusive).
+    pub delay_us: (u64, u64),
+    /// Loss-probability range.
+    pub loss: (f64, f64),
+    /// Price range in monetary units per megabit.
+    pub price_per_mbit: (f64, f64),
+}
+
+impl Default for LinkTemplate {
+    fn default() -> LinkTemplate {
+        LinkTemplate {
+            capacity_bps: (10e6, 100e6),
+            delay_us: (1_000, 20_000),
+            loss: (0.0, 0.0),
+            price_per_mbit: (0.0, 0.0),
+        }
+    }
+}
+
+impl LinkTemplate {
+    /// A homogeneous template: every link identical.
+    pub fn fixed(capacity_bps: f64, delay_us: u64) -> LinkTemplate {
+        LinkTemplate {
+            capacity_bps: (capacity_bps, capacity_bps),
+            delay_us: (delay_us, delay_us),
+            loss: (0.0, 0.0),
+            price_per_mbit: (0.0, 0.0),
+        }
+    }
+
+    fn draw(&self, rng: &mut StdRng, a: NodeId, b: NodeId) -> Link {
+        let range_f = |(lo, hi): (f64, f64), rng: &mut StdRng| {
+            if hi > lo {
+                rng.random_range(lo..=hi)
+            } else {
+                lo
+            }
+        };
+        let delay = if self.delay_us.1 > self.delay_us.0 {
+            rng.random_range(self.delay_us.0..=self.delay_us.1)
+        } else {
+            self.delay_us.0
+        };
+        Link {
+            a,
+            b,
+            capacity_bps: range_f(self.capacity_bps, rng),
+            delay_us: delay,
+            loss: range_f(self.loss, rng),
+            price_per_mbit: range_f(self.price_per_mbit, rng),
+            price_flat: 0.0,
+        }
+    }
+}
+
+/// A chain `n0 — n1 — … — n(k-1)`: the paper's sender→proxies→receiver
+/// delivery path in its simplest shape.
+pub fn chain(k: usize, template: LinkTemplate, seed: u64) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let nodes: Vec<NodeId> = (0..k)
+        .map(|i| t.add_node(Node::new(format!("chain-{i}"), 2_000.0, 4e9)))
+        .collect();
+    for w in nodes.windows(2) {
+        let link = template.draw(&mut rng, w[0], w[1]);
+        t.connect(link).expect("valid generated link");
+    }
+    (t, nodes)
+}
+
+/// A star: one hub connected to `leaves` leaf nodes. Models a single
+/// well-connected adaptation proxy serving many edge devices.
+pub fn star(leaves: usize, template: LinkTemplate, seed: u64) -> (Topology, NodeId, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let hub = t.add_node(Node::new("hub", 10_000.0, 16e9));
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|i| t.add_node(Node::new(format!("leaf-{i}"), 500.0, 1e9)))
+        .collect();
+    for &leaf in &leaf_ids {
+        let link = template.draw(&mut rng, hub, leaf);
+        t.connect(link).expect("valid generated link");
+    }
+    (t, hub, leaf_ids)
+}
+
+/// A complete `fanout`-ary tree of the given `depth` (depth 0 = root
+/// only). Models a hierarchical CDN / ISP aggregation network.
+pub fn tree(depth: usize, fanout: usize, template: LinkTemplate, seed: u64) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let root = t.add_node(Node::new("tree-0", 8_000.0, 16e9));
+    let mut all = vec![root];
+    let mut frontier = vec![root];
+    for level in 1..=depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let child = t.add_node(Node::new(
+                    format!("tree-{}", all.len()),
+                    (8_000.0 / level as f64).max(500.0),
+                    4e9,
+                ));
+                let link = template.draw(&mut rng, parent, child);
+                t.connect(link).expect("valid generated link");
+                all.push(child);
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    (t, all)
+}
+
+/// A Waxman-style random graph: `n` nodes at random unit-square
+/// positions, each pair connected with probability
+/// `alpha × exp(−distance / (beta × √2))`. A spanning chain is added
+/// first so the result is always connected.
+pub fn random_waxman(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    template: LinkTemplate,
+    seed: u64,
+) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| t.add_node(Node::new(format!("w{i}"), 2_000.0, 4e9)))
+        .collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    // Connectivity backbone.
+    for w in nodes.windows(2) {
+        let link = template.draw(&mut rng, w[0], w[1]);
+        t.connect(link).expect("valid generated link");
+    }
+    // Waxman extra edges.
+    let max_dist = std::f64::consts::SQRT_2;
+    for i in 0..n {
+        for j in (i + 2)..n {
+            let (xi, yi) = positions[i];
+            let (xj, yj) = positions[j];
+            let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            let p = alpha * (-d / (beta * max_dist)).exp();
+            if rng.random_range(0.0..1.0) < p {
+                let link = template.draw(&mut rng, nodes[i], nodes[j]);
+                t.connect(link).expect("valid generated link");
+            }
+        }
+    }
+    (t, nodes)
+}
+
+/// A dumbbell: `side` nodes on each end of a single shared bottleneck
+/// link. The classic congestion topology.
+pub fn dumbbell(
+    side: usize,
+    access_template: LinkTemplate,
+    bottleneck_bps: f64,
+    seed: u64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let left_router = t.add_node(Node::new("router-L", 4_000.0, 8e9));
+    let right_router = t.add_node(Node::new("router-R", 4_000.0, 8e9));
+    t.connect(Link {
+        a: left_router,
+        b: right_router,
+        capacity_bps: bottleneck_bps,
+        delay_us: 10_000,
+        loss: 0.0,
+        price_per_mbit: 0.0,
+        price_flat: 0.0,
+    })
+    .expect("valid bottleneck");
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..side {
+        let l = t.add_node(Node::new(format!("L{i}"), 1_000.0, 2e9));
+        let link = access_template.draw(&mut rng, l, left_router);
+        t.connect(link).expect("valid generated link");
+        left.push(l);
+        let r = t.add_node(Node::new(format!("R{i}"), 1_000.0, 2e9));
+        let link = access_template.draw(&mut rng, r, right_router);
+        t.connect(link).expect("valid generated link");
+        right.push(r);
+    }
+    (t, left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::min_delay_route;
+
+    #[test]
+    fn chain_shape() {
+        let (t, nodes) = chain(5, LinkTemplate::fixed(1e6, 1_000), 0);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        let r = min_delay_route(&t, nodes[0], nodes[4]).unwrap();
+        assert_eq!(r.hop_count(), 4);
+    }
+
+    #[test]
+    fn star_shape() {
+        let (t, hub, leaves) = star(6, LinkTemplate::default(), 1);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.link_count(), 6);
+        for leaf in leaves {
+            let r = min_delay_route(&t, leaf, hub).unwrap();
+            assert_eq!(r.hop_count(), 1);
+        }
+    }
+
+    #[test]
+    fn tree_shape() {
+        let (t, nodes) = tree(3, 2, LinkTemplate::default(), 2);
+        assert_eq!(nodes.len(), 1 + 2 + 4 + 8);
+        assert_eq!(t.link_count(), nodes.len() - 1);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let (t1, nodes) = random_waxman(20, 0.6, 0.4, LinkTemplate::default(), 9);
+        let (t2, _) = random_waxman(20, 0.6, 0.4, LinkTemplate::default(), 9);
+        assert_eq!(t1.link_count(), t2.link_count(), "same seed, same graph");
+        assert!(t1.link_count() >= 19, "backbone guarantees connectivity");
+        for &n in &nodes {
+            assert!(min_delay_route(&t1, nodes[0], n).is_ok());
+        }
+    }
+
+    #[test]
+    fn dumbbell_shares_bottleneck() {
+        let (t, left, right) = dumbbell(3, LinkTemplate::fixed(10e6, 500), 1e6, 4);
+        assert_eq!(t.node_count(), 2 + 6);
+        let r = min_delay_route(&t, left[0], right[0]).unwrap();
+        assert_eq!(r.hop_count(), 3, "access + bottleneck + access");
+    }
+}

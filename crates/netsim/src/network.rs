@@ -1,0 +1,417 @@
+//! The network facade.
+//!
+//! [`Network`] combines the static [`Topology`], the reservation ledger,
+//! the background-traffic process and a failure set into the two queries
+//! the rest of the framework needs:
+//!
+//! * [`Network::available_between`] — `Bandwidth_AvailableBetween(a, b)`
+//!   of Equa. 2: ∞ on the same host, otherwise the bottleneck headroom
+//!   along the current minimum-delay route, avoiding failed elements;
+//! * [`Network::reserve_between`] — admit a session at a rate, consuming
+//!   headroom for subsequent queries.
+
+use crate::bandwidth::{BandwidthLedger, ReservationId};
+use crate::dynamics::{BackgroundTraffic, TrafficConfig};
+use crate::routing::{min_delay_route_filtered, Route};
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::{NetError, Result};
+use std::collections::HashSet;
+
+/// Everything the composer needs to know about the min-delay path from
+/// one node to another, computed in bulk by
+/// [`Network::path_annotations_from`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathAnnotation {
+    /// Bottleneck available bandwidth along the path, bits per second.
+    pub available_bps: f64,
+    /// Total one-way delay, microseconds.
+    pub delay_us: u64,
+    /// Sum of flat per-session link prices.
+    pub price_flat: f64,
+    /// Sum of per-megabit link prices.
+    pub price_per_mbit: f64,
+}
+
+/// Live network state: topology + reservations + background traffic +
+/// failures.
+///
+/// ```
+/// use qosc_netsim::{Network, Node, Topology};
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_node(Node::unconstrained("a"));
+/// let b = topo.add_node(Node::unconstrained("b"));
+/// topo.connect_simple(a, b, 1_000_000.0).unwrap();
+/// let mut net = Network::new(topo);
+///
+/// assert_eq!(net.available_between(a, b).unwrap(), 1_000_000.0);
+/// assert_eq!(net.available_between(a, a).unwrap(), f64::INFINITY); // same host
+/// let session = net.reserve_between(a, b, 600_000.0).unwrap();
+/// assert_eq!(net.available_between(a, b).unwrap(), 400_000.0);
+/// net.release(session).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    ledger: BandwidthLedger,
+    background: BackgroundTraffic,
+    failed_nodes: HashSet<NodeId>,
+    failed_links: HashSet<LinkId>,
+}
+
+impl Network {
+    /// A network over `topology` with no background traffic (static
+    /// bandwidth, like the paper's worked example).
+    pub fn new(topology: Topology) -> Network {
+        let background = BackgroundTraffic::quiescent(topology.link_count());
+        Network {
+            topology,
+            ledger: BandwidthLedger::new(),
+            background,
+            failed_nodes: HashSet::new(),
+            failed_links: HashSet::new(),
+        }
+    }
+
+    /// A network with seeded background-traffic fluctuation.
+    pub fn with_background(topology: Topology, config: TrafficConfig, seed: u64) -> Network {
+        let background = BackgroundTraffic::new(topology.link_count(), config, seed);
+        Network {
+            topology,
+            ledger: BandwidthLedger::new(),
+            background,
+            failed_nodes: HashSet::new(),
+            failed_links: HashSet::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access, for experiments that degrade links in
+    /// place (loss injection, capacity changes). Reservations and
+    /// failure state are unaffected.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Headroom of one link direction right now: `capacity × (1 −
+    /// background) − reserved`, floored at zero; zero if the link (or an
+    /// endpoint) has failed. Links are full duplex: each direction has
+    /// its own capacity pool.
+    pub fn link_headroom(&self, link: LinkId, direction: bool) -> Result<f64> {
+        let spec = self.topology.link(link)?;
+        if self.failed_links.contains(&link)
+            || self.failed_nodes.contains(&spec.a)
+            || self.failed_nodes.contains(&spec.b)
+        {
+            return Ok(0.0);
+        }
+        let usable = spec.capacity_bps * (1.0 - self.background.utilization(link));
+        Ok((usable - self.ledger.reserved_on(link, direction)).max(0.0))
+    }
+
+    /// The current minimum-delay route between two nodes, avoiding failed
+    /// nodes and links.
+    pub fn route_between(&self, a: NodeId, b: NodeId) -> Result<Route> {
+        min_delay_route_filtered(
+            &self.topology,
+            a,
+            b,
+            &|l| !self.failed_links.contains(&l),
+            &|n| !self.failed_nodes.contains(&n),
+        )
+    }
+
+    /// `Bandwidth_AvailableBetween(a, b)`: infinite on the same host
+    /// (Section 4.3), otherwise the bottleneck headroom along the
+    /// current route. Errors when no route survives the failure set.
+    pub fn available_between(&self, a: NodeId, b: NodeId) -> Result<f64> {
+        if a == b {
+            self.topology.node(a)?;
+            return Ok(f64::INFINITY);
+        }
+        let route = self.route_between(a, b)?;
+        let mut bottleneck = f64::INFINITY;
+        for (link, direction) in route.directed_hops(&self.topology) {
+            bottleneck = bottleneck.min(self.link_headroom(link, direction)?);
+        }
+        Ok(bottleneck)
+    }
+
+    /// One-way delay between two nodes along the current route, in
+    /// microseconds. Zero on the same host.
+    pub fn delay_between_us(&self, a: NodeId, b: NodeId) -> Result<u64> {
+        if a == b {
+            self.topology.node(a)?;
+            return Ok(0);
+        }
+        Ok(self.route_between(a, b)?.delay_us)
+    }
+
+    /// Transmission price between two nodes: the sum of per-link prices
+    /// along the route, in monetary units per megabit. Zero on the same
+    /// host.
+    pub fn price_per_mbit_between(&self, a: NodeId, b: NodeId) -> Result<f64> {
+        if a == b {
+            self.topology.node(a)?;
+            return Ok(0.0);
+        }
+        let route = self.route_between(a, b)?;
+        let mut price = 0.0;
+        for &link in &route.links {
+            price += self.topology.link(link)?.price_per_mbit;
+        }
+        Ok(price)
+    }
+
+    /// Transmission price between two nodes as `(flat, per_mbit)`: the
+    /// session crossing the route pays `flat + per_mbit × rate/10⁶` per
+    /// second. `(0, 0)` on the same host.
+    pub fn transmission_price_between(&self, a: NodeId, b: NodeId) -> Result<(f64, f64)> {
+        if a == b {
+            self.topology.node(a)?;
+            return Ok((0.0, 0.0));
+        }
+        let route = self.route_between(a, b)?;
+        let mut flat = 0.0;
+        let mut per_mbit = 0.0;
+        for &link in &route.links {
+            let spec = self.topology.link(link)?;
+            flat += spec.price_flat;
+            per_mbit += spec.price_per_mbit;
+        }
+        Ok((flat, per_mbit))
+    }
+
+    /// Single-source path annotations: for every reachable node, the
+    /// bottleneck available bandwidth, delay and transmission prices of
+    /// the minimum-delay route from `from` — in one Dijkstra run.
+    ///
+    /// Produces exactly the values the per-pair queries
+    /// ([`Network::available_between`] etc.) would return (same
+    /// tie-breaking), but amortized: graph construction annotates all
+    /// edges out of one host with a single call instead of one Dijkstra
+    /// per edge. Unreachable nodes are `None`; the `from` entry is
+    /// `(∞, 0, 0, 0)` (same host, Section 4.3).
+    pub fn path_annotations_from(&self, from: NodeId) -> Result<Vec<Option<PathAnnotation>>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        self.topology.node(from)?;
+        let n = self.topology.node_count();
+        let mut out: Vec<Option<PathAnnotation>> = vec![None; n];
+        if self.failed_nodes.contains(&from) {
+            return Ok(out);
+        }
+        let mut dist = vec![u64::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[from.index()] = 0;
+        out[from.index()] = Some(PathAnnotation {
+            available_bps: f64::INFINITY,
+            delay_us: 0,
+            price_flat: 0.0,
+            price_per_mbit: 0.0,
+        });
+        heap.push(Reverse((0, from.index() as u32)));
+        while let Some(Reverse((d, node_raw))) = heap.pop() {
+            let node_index = node_raw as usize;
+            if d > dist[node_index] {
+                continue;
+            }
+            let annotation = out[node_index].expect("settled nodes are annotated");
+            let node = NodeId(node_raw);
+            for &(neighbor, link) in self.topology.neighbors(node) {
+                if self.failed_links.contains(&link) || self.failed_nodes.contains(&neighbor) {
+                    continue;
+                }
+                let spec = self.topology.link(link)?;
+                let next = d.saturating_add(spec.delay_us);
+                if next < dist[neighbor.index()] {
+                    dist[neighbor.index()] = next;
+                    let direction = spec.a == node;
+                    out[neighbor.index()] = Some(PathAnnotation {
+                        available_bps: annotation
+                            .available_bps
+                            .min(self.link_headroom(link, direction)?),
+                        delay_us: next,
+                        price_flat: annotation.price_flat + spec.price_flat,
+                        price_per_mbit: annotation.price_per_mbit + spec.price_per_mbit,
+                    });
+                    heap.push(Reverse((next, neighbor.index() as u32)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Admit a session of `rate_bps` between `a` and `b` along the
+    /// current route. Errors (without side effects) if any route link
+    /// lacks headroom. Same-host sessions reserve nothing and succeed.
+    pub fn reserve_between(&mut self, a: NodeId, b: NodeId, rate_bps: f64) -> Result<ReservationId> {
+        if a == b {
+            self.topology.node(a)?;
+            return self.ledger.reserve(Vec::new(), rate_bps);
+        }
+        let route = self.route_between(a, b)?;
+        let hops = route.directed_hops(&self.topology);
+        for &(link, direction) in &hops {
+            let headroom = self.link_headroom(link, direction)?;
+            if rate_bps > headroom * (1.0 + 1e-9) + 1e-9 {
+                return Err(NetError::InsufficientBandwidth {
+                    link,
+                    requested: rate_bps,
+                    available: headroom,
+                });
+            }
+        }
+        self.ledger.reserve(hops, rate_bps)
+    }
+
+    /// Release an admitted session.
+    pub fn release(&mut self, id: ReservationId) -> Result<()> {
+        self.ledger.release(id).map(|_| ())
+    }
+
+    /// Number of admitted sessions.
+    pub fn active_reservations(&self) -> usize {
+        self.ledger.active_count()
+    }
+
+    /// Advance the background-traffic process one step.
+    pub fn advance_background(&mut self) {
+        self.background.advance();
+    }
+
+    /// Mark a node failed: all its links report zero headroom and routing
+    /// avoids it.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
+        self.topology.node(node)?;
+        self.failed_nodes.insert(node);
+        Ok(())
+    }
+
+    /// Mark a link failed.
+    pub fn fail_link(&mut self, link: LinkId) -> Result<()> {
+        self.topology.link(link)?;
+        self.failed_links.insert(link);
+        Ok(())
+    }
+
+    /// Restore a failed node.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.failed_nodes.remove(&node);
+    }
+
+    /// Restore a failed link.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.failed_links.remove(&link);
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.failed_nodes.contains(&node)
+    }
+
+    /// Direct access to the background process (tests, experiments).
+    pub fn background_mut(&mut self) -> &mut BackgroundTraffic {
+        &mut self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Link, Node};
+
+    fn two_hop() -> (Network, NodeId, NodeId, NodeId, LinkId, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("a"));
+        let b = t.add_node(Node::unconstrained("b"));
+        let c = t.add_node(Node::unconstrained("c"));
+        let l1 = t
+            .connect(Link { a, b, capacity_bps: 1000.0, delay_us: 100, loss: 0.0, price_per_mbit: 2.0, price_flat: 0.0 })
+            .unwrap();
+        let l2 = t
+            .connect(Link { a: b, b: c, capacity_bps: 500.0, delay_us: 200, loss: 0.0, price_per_mbit: 3.0, price_flat: 0.0 })
+            .unwrap();
+        (Network::new(t), a, b, c, l1, l2)
+    }
+
+    #[test]
+    fn same_host_is_unlimited() {
+        let (net, a, ..) = two_hop();
+        assert_eq!(net.available_between(a, a).unwrap(), f64::INFINITY);
+        assert_eq!(net.delay_between_us(a, a).unwrap(), 0);
+        assert_eq!(net.price_per_mbit_between(a, a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_is_min_headroom() {
+        let (net, a, _, c, ..) = two_hop();
+        assert_eq!(net.available_between(a, c).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn delay_and_price_accumulate() {
+        let (net, a, _, c, ..) = two_hop();
+        assert_eq!(net.delay_between_us(a, c).unwrap(), 300);
+        assert_eq!(net.price_per_mbit_between(a, c).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn reservation_consumes_headroom() {
+        let (mut net, a, _, c, ..) = two_hop();
+        let id = net.reserve_between(a, c, 300.0).unwrap();
+        assert_eq!(net.available_between(a, c).unwrap(), 200.0);
+        net.release(id).unwrap();
+        assert_eq!(net.available_between(a, c).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn over_reservation_fails_atomically() {
+        let (mut net, a, _, c, _, l2) = two_hop();
+        let err = net.reserve_between(a, c, 700.0).unwrap_err();
+        assert!(matches!(err, NetError::InsufficientBandwidth { link, .. } if link == l2));
+        // Nothing was reserved on the first link either.
+        assert_eq!(net.available_between(a, c).unwrap(), 500.0);
+        assert_eq!(net.active_reservations(), 0);
+    }
+
+    #[test]
+    fn failed_node_blocks_routing() {
+        let (mut net, a, b, c, ..) = two_hop();
+        net.fail_node(b).unwrap();
+        assert!(matches!(
+            net.available_between(a, c),
+            Err(NetError::NoRoute { .. })
+        ));
+        net.restore_node(b);
+        assert_eq!(net.available_between(a, c).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn failed_link_reroutes_or_blocks() {
+        let (mut net, a, _, c, l1, _) = two_hop();
+        net.fail_link(l1).unwrap();
+        assert!(net.available_between(a, c).is_err());
+        net.restore_link(l1);
+        assert!(net.available_between(a, c).is_ok());
+    }
+
+    #[test]
+    fn background_reduces_headroom() {
+        let (mut net, a, _, c, _, l2) = two_hop();
+        net.background_mut().set_utilization(l2, 0.5);
+        assert_eq!(net.available_between(a, c).unwrap(), 250.0);
+    }
+
+    #[test]
+    fn same_host_reservation_succeeds() {
+        let (mut net, a, ..) = two_hop();
+        let id = net.reserve_between(a, a, 1e9).unwrap();
+        assert_eq!(net.available_between(a, a).unwrap(), f64::INFINITY);
+        net.release(id).unwrap();
+    }
+}

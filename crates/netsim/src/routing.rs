@@ -1,0 +1,240 @@
+//! Minimum-delay routing.
+//!
+//! Content between two trans-coding services crosses the network along a
+//! route; the bandwidth available between the two services is the
+//! bottleneck headroom along that route. We route by minimum accumulated
+//! propagation delay (Dijkstra), which matches how the paper treats the
+//! network as a given delivery path rather than something the composition
+//! algorithm chooses.
+
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::{NetError, Result};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A route between two nodes: the links crossed, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Origin node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Links crossed in order from `from` to `to`; empty iff `from == to`.
+    pub links: Vec<LinkId>,
+    /// Nodes visited, `from` first and `to` last (`links.len() + 1`
+    /// entries, or a single entry when `from == to`).
+    pub nodes: Vec<NodeId>,
+    /// Total propagation delay in microseconds.
+    pub delay_us: u64,
+}
+
+impl Route {
+    /// Number of hops.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The directed link crossings of this route: for each link, `true`
+    /// when crossed from its `a` endpoint towards its `b` endpoint.
+    /// Links are full duplex, so bandwidth accounting is per direction.
+    pub fn directed_hops(&self, topology: &Topology) -> Vec<(LinkId, bool)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| {
+                let spec = topology.link(link).expect("route links are valid");
+                (link, spec.a == self.nodes[i])
+            })
+            .collect()
+    }
+}
+
+/// Compute the minimum-delay route between two nodes, or
+/// [`NetError::NoRoute`] if the topology is partitioned between them.
+///
+/// Deterministic: ties are broken by node index via the heap's secondary
+/// key.
+pub fn min_delay_route(topology: &Topology, from: NodeId, to: NodeId) -> Result<Route> {
+    min_delay_route_filtered(topology, from, to, &|_| true, &|_| true)
+}
+
+/// [`min_delay_route`] restricted to links and nodes the predicates admit.
+/// Used by the failure-aware [`crate::network::Network`] facade: a failed
+/// node or link is simply filtered out of the search.
+pub fn min_delay_route_filtered(
+    topology: &Topology,
+    from: NodeId,
+    to: NodeId,
+    link_ok: &dyn Fn(LinkId) -> bool,
+    node_ok: &dyn Fn(NodeId) -> bool,
+) -> Result<Route> {
+    topology.node(from)?;
+    topology.node(to)?;
+    if from == to {
+        return Ok(Route { from, to, links: Vec::new(), nodes: vec![from], delay_us: 0 });
+    }
+    if !node_ok(from) || !node_ok(to) {
+        return Err(NetError::NoRoute { from, to });
+    }
+
+    let n = topology.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[from.index()] = 0;
+    heap.push(Reverse((0, from.0)));
+
+    while let Some(Reverse((d, node_raw))) = heap.pop() {
+        let node = NodeId(node_raw);
+        if d > dist[node.index()] {
+            continue;
+        }
+        if node == to {
+            break;
+        }
+        for &(neighbor, link) in topology.neighbors(node) {
+            if !link_ok(link) || !node_ok(neighbor) {
+                continue;
+            }
+            let delay = topology.link(link).expect("adjacency is consistent").delay_us;
+            let next = d.saturating_add(delay);
+            if next < dist[neighbor.index()] {
+                dist[neighbor.index()] = next;
+                prev[neighbor.index()] = Some((node, link));
+                heap.push(Reverse((next, neighbor.0)));
+            }
+        }
+    }
+
+    if dist[to.index()] == u64::MAX {
+        return Err(NetError::NoRoute { from, to });
+    }
+
+    let mut links = Vec::new();
+    let mut nodes = vec![to];
+    let mut cursor = to;
+    while cursor != from {
+        let (parent, link) = prev[cursor.index()].expect("reached node has a parent");
+        links.push(link);
+        nodes.push(parent);
+        cursor = parent;
+    }
+    links.reverse();
+    nodes.reverse();
+    Ok(Route { from, to, links, nodes, delay_us: dist[to.index()] })
+}
+
+/// All-pairs minimum-delay routes from one origin (single Dijkstra run),
+/// as a parent table. Used by experiment sweeps that query many
+/// destinations.
+pub fn route_table(topology: &Topology, from: NodeId) -> Result<Vec<Option<(NodeId, LinkId)>>> {
+    topology.node(from)?;
+    let n = topology.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[from.index()] = 0;
+    heap.push(Reverse((0, from.0)));
+    while let Some(Reverse((d, node_raw))) = heap.pop() {
+        let node = NodeId(node_raw);
+        if d > dist[node.index()] {
+            continue;
+        }
+        for &(neighbor, link) in topology.neighbors(node) {
+            let delay = topology.link(link).expect("adjacency is consistent").delay_us;
+            let next = d.saturating_add(delay);
+            if next < dist[neighbor.index()] {
+                dist[neighbor.index()] = next;
+                prev[neighbor.index()] = Some((node, link));
+                heap.push(Reverse((next, neighbor.0)));
+            }
+        }
+    }
+    Ok(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Link, Node};
+
+    fn line(n: usize, delay_us: u64) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(Node::unconstrained(format!("n{i}"))))
+            .collect();
+        for w in nodes.windows(2) {
+            t.connect(Link {
+                a: w[0],
+                b: w[1],
+                capacity_bps: 1e6,
+                delay_us,
+                loss: 0.0,
+                price_per_mbit: 0.0,
+                price_flat: 0.0,
+            })
+            .unwrap();
+        }
+        (t, nodes)
+    }
+
+    #[test]
+    fn trivial_route_to_self() {
+        let (t, nodes) = line(2, 100);
+        let r = min_delay_route(&t, nodes[0], nodes[0]).unwrap();
+        assert_eq!(r.hop_count(), 0);
+        assert_eq!(r.delay_us, 0);
+    }
+
+    #[test]
+    fn line_route_accumulates_delay() {
+        let (t, nodes) = line(4, 250);
+        let r = min_delay_route(&t, nodes[0], nodes[3]).unwrap();
+        assert_eq!(r.hop_count(), 3);
+        assert_eq!(r.delay_us, 750);
+    }
+
+    #[test]
+    fn prefers_lower_delay_over_fewer_hops() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("a"));
+        let b = t.add_node(Node::unconstrained("b"));
+        let c = t.add_node(Node::unconstrained("c"));
+        // Direct a-c link is slow; a-b-c is faster in total.
+        t.connect(Link { a, b: c, capacity_bps: 1e6, delay_us: 10_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
+            .unwrap();
+        t.connect(Link { a, b, capacity_bps: 1e6, delay_us: 2_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
+            .unwrap();
+        t.connect(Link { a: b, b: c, capacity_bps: 1e6, delay_us: 2_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
+            .unwrap();
+        let r = min_delay_route(&t, a, c).unwrap();
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.delay_us, 4_000);
+    }
+
+    #[test]
+    fn partition_is_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("a"));
+        let b = t.add_node(Node::unconstrained("b"));
+        assert_eq!(
+            min_delay_route(&t, a, b),
+            Err(NetError::NoRoute { from: a, to: b })
+        );
+    }
+
+    #[test]
+    fn route_table_matches_single_route() {
+        let (t, nodes) = line(5, 100);
+        let table = route_table(&t, nodes[0]).unwrap();
+        // Walk back from node 4.
+        let mut hops = 0;
+        let mut cursor = nodes[4];
+        while cursor != nodes[0] {
+            let (parent, _) = table[cursor.index()].unwrap();
+            cursor = parent;
+            hops += 1;
+        }
+        assert_eq!(hops, 4);
+    }
+}

@@ -1,0 +1,278 @@
+//! Nodes, links and the topology graph.
+
+use crate::{NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a node within one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index (valid only for the topology that produced it).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense identifier of a link within one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Raw index (valid only for the topology that produced it).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An intermediate server (or end host) that can run trans-coding
+/// services. The resource fields back the intermediary-profile entries
+/// "available resources at the intermediary (such as CPU cycles, memory)"
+/// (Section 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name, e.g. `"proxy-3"`.
+    pub name: String,
+    /// Processing capacity in abstract MIPS (millions of instructions per
+    /// second); trans-coding stages consume this.
+    pub cpu_mips: f64,
+    /// Memory capacity in bytes.
+    pub memory_bytes: f64,
+}
+
+impl Node {
+    /// A node with the given name and resources.
+    pub fn new(name: impl Into<String>, cpu_mips: f64, memory_bytes: f64) -> Node {
+        Node { name: name.into(), cpu_mips, memory_bytes }
+    }
+
+    /// A generously provisioned node for scenarios where host resources
+    /// are not the constraint under study.
+    pub fn unconstrained(name: impl Into<String>) -> Node {
+        Node::new(name, f64::INFINITY, f64::INFINITY)
+    }
+}
+
+/// An undirected network link between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+    /// One-way propagation delay in microseconds.
+    pub delay_us: u64,
+    /// Packet-loss probability in `[0, 1]` (used by the pipeline, not by
+    /// selection).
+    pub loss: f64,
+    /// Transmission price in monetary units per megabit, feeding the
+    /// `transcoding_and_transmission_cost` of Figure 4, Step 6.
+    pub price_per_mbit: f64,
+    /// Flat transmission price per session crossing this link (connection
+    /// set-up fee), same cost pool as `price_per_mbit`.
+    pub price_flat: f64,
+}
+
+/// The network graph: nodes plus undirected links, with an adjacency
+/// index for routing.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency[node] = (neighbor, link) pairs in insertion order.
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("fewer than 2^32 nodes"));
+        self.nodes.push(node);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Connect two nodes with a link. Errors on unknown endpoints, a
+    /// self-loop, or non-physical parameters.
+    pub fn connect(&mut self, link: Link) -> Result<LinkId> {
+        self.check_node(link.a)?;
+        self.check_node(link.b)?;
+        if link.a == link.b {
+            return Err(NetError::InvalidParameter(format!(
+                "self-loop on node {:?}",
+                link.a
+            )));
+        }
+        // Deliberate negated comparison: NaN capacities must be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(link.capacity_bps > 0.0) {
+            return Err(NetError::InvalidParameter(format!(
+                "link capacity must be positive, got {}",
+                link.capacity_bps
+            )));
+        }
+        if !(0.0..=1.0).contains(&link.loss) {
+            return Err(NetError::InvalidParameter(format!(
+                "loss must be in [0, 1], got {}",
+                link.loss
+            )));
+        }
+        if link.price_per_mbit < 0.0 || link.price_flat < 0.0 {
+            return Err(NetError::InvalidParameter(format!(
+                "prices must be non-negative, got per_mbit {} flat {}",
+                link.price_per_mbit, link.price_flat
+            )));
+        }
+        let id = LinkId(u32::try_from(self.links.len()).expect("fewer than 2^32 links"));
+        self.adjacency[link.a.index()].push((link.b, id));
+        self.adjacency[link.b.index()].push((link.a, id));
+        self.links.push(link);
+        Ok(id)
+    }
+
+    /// Convenience: connect with default delay (1 ms), no loss, free
+    /// transmission.
+    pub fn connect_simple(&mut self, a: NodeId, b: NodeId, capacity_bps: f64) -> Result<LinkId> {
+        self.connect(Link {
+            a,
+            b,
+            capacity_bps,
+            delay_us: 1_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 0.0,
+        })
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.index()).ok_or(NetError::UnknownNode(id))
+    }
+
+    /// The link for `id`.
+    pub fn link(&self, id: LinkId) -> Result<&Link> {
+        self.links.get(id.index()).ok_or(NetError::UnknownLink(id))
+    }
+
+    /// Mutable link access (used by failure injection to degrade links).
+    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link> {
+        self.links.get_mut(id.index()).ok_or(NetError::UnknownLink(id))
+    }
+
+    /// Neighbors of `node` as `(neighbor, link)` pairs, in insertion order.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        self.adjacency
+            .get(node.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All link ids in index order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Find a node by name (linear scan; topologies are small).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<()> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(NetError::UnknownNode(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_connect() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("a"));
+        let b = t.add_node(Node::unconstrained("b"));
+        let l = t.connect_simple(a, b, 1e6).unwrap();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.neighbors(a), &[(b, l)]);
+        assert_eq!(t.neighbors(b), &[(a, l)]);
+        assert_eq!(t.link(l).unwrap().capacity_bps, 1e6);
+    }
+
+    #[test]
+    fn connect_rejects_bad_links() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("a"));
+        let b = t.add_node(Node::unconstrained("b"));
+        assert!(t.connect_simple(a, a, 1e6).is_err(), "self loop");
+        assert!(t.connect_simple(a, NodeId(9), 1e6).is_err(), "unknown node");
+        assert!(t.connect_simple(a, b, 0.0).is_err(), "zero capacity");
+        assert!(t
+            .connect(Link {
+                a,
+                b,
+                capacity_bps: 1.0,
+                delay_us: 0,
+                loss: 1.5,
+                price_per_mbit: 0.0,
+                price_flat: 0.0
+            })
+            .is_err());
+        assert!(t
+            .connect(Link {
+                a,
+                b,
+                capacity_bps: 1.0,
+                delay_us: 0,
+                loss: 0.0,
+                price_per_mbit: -2.0,
+                price_flat: 0.0
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn node_by_name() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::unconstrained("alpha"));
+        assert_eq!(t.node_by_name("alpha"), Some(a));
+        assert_eq!(t.node_by_name("beta"), None);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let t = Topology::new();
+        assert!(t.node(NodeId(0)).is_err());
+        assert!(t.link(LinkId(0)).is_err());
+        assert!(t.neighbors(NodeId(3)).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the network substrate: routing optimality,
+//! reservation conservation, and failure semantics on random topologies.
+
+use proptest::prelude::*;
+use qosc_netsim::generators::{random_waxman, LinkTemplate};
+use qosc_netsim::routing::min_delay_route;
+use qosc_netsim::{Network, NodeId};
+
+fn arb_topo_params() -> impl Strategy<Value = (usize, u64)> {
+    (4usize..20, 0u64..500)
+}
+
+proptest! {
+    /// Dijkstra's output is consistent: the route's delay equals the sum
+    /// of its link delays, endpoints line up, and the node list walks the
+    /// links.
+    #[test]
+    fn routes_are_self_consistent((n, seed) in arb_topo_params()) {
+        let (topo, nodes) = random_waxman(n, 0.5, 0.4, LinkTemplate::default(), seed);
+        let (from, to) = (nodes[0], nodes[n - 1]);
+        let route = min_delay_route(&topo, from, to).expect("backbone keeps it connected");
+        prop_assert_eq!(route.from, from);
+        prop_assert_eq!(route.to, to);
+        prop_assert_eq!(route.nodes.len(), route.links.len() + 1);
+        prop_assert_eq!(*route.nodes.first().unwrap(), from);
+        prop_assert_eq!(*route.nodes.last().unwrap(), to);
+        let mut delay = 0u64;
+        for (i, &link) in route.links.iter().enumerate() {
+            let spec = topo.link(link).unwrap();
+            let (a, b) = (route.nodes[i], route.nodes[i + 1]);
+            prop_assert!(
+                (spec.a == a && spec.b == b) || (spec.a == b && spec.b == a),
+                "link {i} does not connect its route nodes"
+            );
+            delay += spec.delay_us;
+        }
+        prop_assert_eq!(delay, route.delay_us);
+    }
+
+    /// Triangle-ish optimality: no single detour node gives a strictly
+    /// shorter delay than the Dijkstra result.
+    #[test]
+    fn no_one_stop_shortcut((n, seed) in arb_topo_params()) {
+        let (topo, nodes) = random_waxman(n, 0.5, 0.4, LinkTemplate::default(), seed);
+        let (from, to) = (nodes[0], nodes[n - 1]);
+        let direct = min_delay_route(&topo, from, to).unwrap().delay_us;
+        for &via in nodes.iter().take(6) {
+            let a = min_delay_route(&topo, from, via).unwrap().delay_us;
+            let b = min_delay_route(&topo, via, to).unwrap().delay_us;
+            prop_assert!(direct <= a + b, "detour via {via:?} beats Dijkstra");
+        }
+    }
+
+    /// Reservation conservation: reserve then release restores the exact
+    /// available bandwidth on every queried pair.
+    #[test]
+    fn reserve_release_conserves((n, seed) in arb_topo_params(), rate in 1.0f64..1e6) {
+        let (topo, nodes) = random_waxman(n, 0.5, 0.4, LinkTemplate::default(), seed);
+        let mut network = Network::new(topo);
+        let (from, to) = (nodes[0], nodes[n - 1]);
+        let before = network.available_between(from, to).unwrap();
+        prop_assume!(rate <= before);
+        let id = network.reserve_between(from, to, rate).unwrap();
+        let during = network.available_between(from, to).unwrap();
+        prop_assert!(during <= before - rate + 1e-6);
+        network.release(id).unwrap();
+        let after = network.available_between(from, to).unwrap();
+        prop_assert!((after - before).abs() < 1e-6);
+        prop_assert_eq!(network.active_reservations(), 0);
+    }
+
+    /// Failing and restoring a node is an exact involution for
+    /// availability queries.
+    #[test]
+    fn fail_restore_is_involution((n, seed) in arb_topo_params()) {
+        let (topo, nodes) = random_waxman(n, 0.5, 0.4, LinkTemplate::default(), seed);
+        let mut network = Network::new(topo);
+        let (from, to) = (nodes[0], nodes[n - 1]);
+        let victim = nodes[n / 2];
+        prop_assume!(victim != from && victim != to);
+        let before = network.available_between(from, to).unwrap();
+        network.fail_node(victim).unwrap();
+        // The route may degrade or vanish, but never report the failed
+        // node as usable.
+        if let Ok(route) = network.route_between(from, to) {
+            prop_assert!(!route.nodes.contains(&victim));
+        }
+        network.restore_node(victim);
+        let after = network.available_between(from, to).unwrap();
+        prop_assert!((after - before).abs() < 1e-9);
+    }
+
+    /// Bulk path annotations agree with the per-pair queries for every
+    /// reachable destination.
+    #[test]
+    fn bulk_annotations_match_pairwise((n, seed) in arb_topo_params()) {
+        let (topo, nodes) = random_waxman(n, 0.5, 0.4, LinkTemplate::default(), seed);
+        let network = Network::new(topo);
+        let from = nodes[0];
+        let table = network.path_annotations_from(from).unwrap();
+        for &to in &nodes {
+            let annotation = table[to.index()].expect("connected topology");
+            let available = network.available_between(from, to).unwrap();
+            let delay = network.delay_between_us(from, to).unwrap();
+            let (flat, per_mbit) = network.transmission_price_between(from, to).unwrap();
+            prop_assert!(
+                (annotation.available_bps - available).abs() < 1e-6
+                    || (annotation.available_bps.is_infinite() && available.is_infinite()),
+                "bandwidth mismatch to {to:?}: bulk {} vs pairwise {available}",
+                annotation.available_bps
+            );
+            prop_assert_eq!(annotation.delay_us, delay);
+            prop_assert!((annotation.price_flat - flat).abs() < 1e-9);
+            prop_assert!((annotation.price_per_mbit - per_mbit).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn node_id_index_is_stable() {
+    // NodeId indices match insertion order — the annotations table
+    // depends on it.
+    let (topo, nodes) = random_waxman(5, 0.5, 0.4, LinkTemplate::default(), 1);
+    for (i, node) in nodes.iter().enumerate() {
+        assert_eq!(node.index(), i);
+    }
+    assert_eq!(topo.node_count(), 5);
+    let _ = NodeId::index; // silence "unused import" pedantry if any
+}

@@ -1,0 +1,88 @@
+//! Failure injection schedules.
+
+use qosc_netsim::{LinkId, NodeId, SimTime};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// A node (and every service hosted on it) goes dark.
+    NodeDown(NodeId),
+    /// A node comes back.
+    NodeUp(NodeId),
+    /// A link is severed.
+    LinkDown(LinkId),
+    /// A link is restored.
+    LinkUp(LinkId),
+}
+
+/// A time-ordered schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSchedule {
+    events: Vec<(SimTime, FailureEvent)>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule.
+    pub fn new() -> FailureSchedule {
+        FailureSchedule::default()
+    }
+
+    /// Add an event; the schedule keeps itself time-sorted (stable).
+    pub fn at(mut self, time: SimTime, event: FailureEvent) -> FailureSchedule {
+        self.events.push((time, event));
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Events in time order.
+    pub fn events(&self) -> &[(SimTime, FailureEvent)] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Apply one event to the network.
+    pub fn apply(event: FailureEvent, network: &mut qosc_netsim::Network) {
+        match event {
+            FailureEvent::NodeDown(n) => {
+                let _ = network.fail_node(n);
+            }
+            FailureEvent::NodeUp(n) => network.restore_node(n),
+            FailureEvent::LinkDown(l) => {
+                let _ = network.fail_link(l);
+            }
+            FailureEvent::LinkUp(l) => network.restore_link(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_netsim::{Network, Node, Topology};
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let mut topo = Topology::new();
+        let n = topo.add_node(Node::unconstrained("n"));
+        let schedule = FailureSchedule::new()
+            .at(SimTime::from_secs(5), FailureEvent::NodeUp(n))
+            .at(SimTime::from_secs(1), FailureEvent::NodeDown(n));
+        assert_eq!(schedule.events()[0].0, SimTime::from_secs(1));
+        assert_eq!(schedule.events()[1].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn apply_toggles_node_state() {
+        let mut topo = Topology::new();
+        let n = topo.add_node(Node::unconstrained("n"));
+        let mut network = Network::new(topo);
+        FailureSchedule::apply(FailureEvent::NodeDown(n), &mut network);
+        assert!(network.node_failed(n));
+        FailureSchedule::apply(FailureEvent::NodeUp(n), &mut network);
+        assert!(!network.node_failed(n));
+    }
+}

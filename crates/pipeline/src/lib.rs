@@ -1,0 +1,80 @@
+//! # qosc-pipeline
+//!
+//! Executes the plans produced by `qosc-core` as simulated streaming
+//! sessions, closing the loop the paper's abstract promises: "a framework
+//! for trans-coding multimedia streams [using] self-organizing, resilient
+//! data distribution".
+//!
+//! * [`session`] — an event-driven, per-frame simulation of one
+//!   [`AdaptationPlan`](qosc_core::AdaptationPlan): the sender emits
+//!   frames at the configured rate, each trans-coding stage adds
+//!   processing delay proportional to its CPU demand, each network hop
+//!   adds serialization + propagation delay and seeded loss, and the
+//!   receiver measures what actually arrived,
+//! * [`report`] — delivery metrics and the *measured* satisfaction,
+//!   comparable against the algorithm's *predicted* satisfaction,
+//! * [`failure`] — a schedule of node/link failures to inject,
+//! * [`resilience`] — the self-organizing part: stream, detect starvation
+//!   caused by an injected failure, re-compose on the surviving graph,
+//!   resume, and report the recovery gap.
+
+pub mod failure;
+pub mod report;
+pub mod resilience;
+pub mod session;
+
+pub use failure::{FailureEvent, FailureSchedule};
+pub use report::SessionReport;
+pub use resilience::{run_resilient, ResilienceConfig, ResilientRun, SegmentReport};
+pub use session::{run_session, SessionConfig};
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Propagated composition error.
+    Core(qosc_core::CoreError),
+    /// Propagated network error.
+    Net(qosc_netsim::NetError),
+    /// The plan has fewer than two steps (no sender→receiver pair).
+    DegeneratePlan,
+    /// Session admission failed (bandwidth reservation rejected).
+    AdmissionRejected(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Core(e) => write!(f, "composition error: {e}"),
+            PipelineError::Net(e) => write!(f, "network error: {e}"),
+            PipelineError::DegeneratePlan => write!(f, "plan has no stages to execute"),
+            PipelineError::AdmissionRejected(detail) => {
+                write!(f, "session admission rejected: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Core(e) => Some(e),
+            PipelineError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qosc_core::CoreError> for PipelineError {
+    fn from(e: qosc_core::CoreError) -> PipelineError {
+        PipelineError::Core(e)
+    }
+}
+
+impl From<qosc_netsim::NetError> for PipelineError {
+    fn from(e: qosc_netsim::NetError) -> PipelineError {
+        PipelineError::Net(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PipelineError>;

@@ -1,0 +1,131 @@
+//! Delivery measurement.
+
+use qosc_media::{Axis, ParamVector};
+use qosc_satisfaction::SatisfactionProfile;
+
+/// What the receiver measured over one streaming session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionReport {
+    /// Frames the sender emitted.
+    pub frames_sent: u64,
+    /// Frames the receiver rendered.
+    pub frames_delivered: u64,
+    /// Frames lost to link loss, failed nodes or overload drops.
+    pub frames_lost: u64,
+    /// Wall-clock stream duration, seconds.
+    pub duration_secs: f64,
+    /// Delivered frame rate (frames delivered / duration).
+    pub delivered_fps: f64,
+    /// Mean end-to-end frame latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Standard deviation of inter-arrival times, microseconds (jitter).
+    pub jitter_us: f64,
+    /// The configured parameters at the receiver stage, with the frame
+    /// rate replaced by the measured rate.
+    pub delivered_params: ParamVector,
+    /// The user's satisfaction with `delivered_params` — the measured
+    /// counterpart of the algorithm's predicted satisfaction.
+    pub measured_satisfaction: f64,
+}
+
+impl SessionReport {
+    /// Loss fraction in `[0, 1]`.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.frames_lost as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Fill the derived fields from raw counters and arrival samples.
+    pub(crate) fn finalize(
+        &mut self,
+        profile: &SatisfactionProfile,
+        planned_params: ParamVector,
+        arrivals_us: &[u64],
+        latencies_us: &[u64],
+    ) {
+        self.frames_lost = self.frames_sent.saturating_sub(self.frames_delivered);
+        self.delivered_fps = if self.duration_secs > 0.0 {
+            self.frames_delivered as f64 / self.duration_secs
+        } else {
+            0.0
+        };
+        self.mean_latency_us = mean(latencies_us);
+        self.jitter_us = inter_arrival_stddev(arrivals_us);
+        self.delivered_params = planned_params;
+        if planned_params.get(Axis::FrameRate).is_some() {
+            self.delivered_params.set(Axis::FrameRate, self.delivered_fps);
+        }
+        self.measured_satisfaction = profile.score(&self.delivered_params);
+    }
+}
+
+fn mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64
+    }
+}
+
+fn inter_arrival_stddev(arrivals_us: &[u64]) -> f64 {
+    if arrivals_us.len() < 3 {
+        return 0.0;
+    }
+    let gaps: Vec<f64> = arrivals_us
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64)
+        .collect();
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let variance = gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
+    variance.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_satisfaction::SatisfactionProfile;
+
+    #[test]
+    fn finalize_computes_metrics() {
+        let profile = SatisfactionProfile::paper_table1();
+        let mut report = SessionReport {
+            frames_sent: 100,
+            frames_delivered: 90,
+            duration_secs: 3.0,
+            ..SessionReport::default()
+        };
+        let planned = ParamVector::from_pairs([(Axis::FrameRate, 30.0)]);
+        // Perfectly periodic arrivals → zero jitter.
+        let arrivals: Vec<u64> = (0..90).map(|i| i * 33_333).collect();
+        let latencies: Vec<u64> = vec![5_000; 90];
+        report.finalize(&profile, planned, &arrivals, &latencies);
+        assert_eq!(report.frames_lost, 10);
+        assert!((report.delivered_fps - 30.0).abs() < 1e-9);
+        assert!((report.mean_latency_us - 5_000.0).abs() < 1e-9);
+        assert!(report.jitter_us < 1.0);
+        assert!((report.loss_fraction() - 0.1).abs() < 1e-12);
+        assert!((report.measured_satisfaction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_detects_irregularity() {
+        let regular: Vec<u64> = (0..10).map(|i| i * 1000).collect();
+        let mut irregular = regular.clone();
+        irregular[5] += 900;
+        assert_eq!(inter_arrival_stddev(&regular), 0.0);
+        assert!(inter_arrival_stddev(&irregular) > 100.0);
+    }
+
+    #[test]
+    fn empty_session_is_safe() {
+        let profile = SatisfactionProfile::paper_table1();
+        let mut report = SessionReport::default();
+        report.finalize(&profile, ParamVector::new(), &[], &[]);
+        assert_eq!(report.delivered_fps, 0.0);
+        assert_eq!(report.loss_fraction(), 0.0);
+        assert_eq!(report.measured_satisfaction, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Intermediary (proxy) profiles.
+//!
+//! "For the purpose of content adaptation, the profile of an intermediary
+//! would usually include a description of all the adaptation services
+//! that an intermediary can provide. … The intermediary profile would
+//! also include information about the available resources at the
+//! intermediary (such as CPU cycles, memory) to carry out the services."
+//! — Section 3.
+
+use crate::service_spec::ServiceSpec;
+use crate::{ProfileError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One adaptation proxy: its host identity, resources and advertised
+/// services.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntermediaryProfile {
+    /// Name of the network node this intermediary runs on (resolved
+    /// against the scenario topology by name).
+    pub node: String,
+    /// CPU available for adaptation work, abstract MIPS.
+    pub cpu_mips: f64,
+    /// Memory available for adaptation work, bytes.
+    pub memory_bytes: f64,
+    /// Advertised trans-coding services, in listing order.
+    pub services: Vec<ServiceSpec>,
+}
+
+impl IntermediaryProfile {
+    /// An intermediary on `node` with the given services and generous
+    /// resources.
+    pub fn new(node: impl Into<String>, services: Vec<ServiceSpec>) -> IntermediaryProfile {
+        IntermediaryProfile {
+            node: node.into(),
+            cpu_mips: 4_000.0,
+            memory_bytes: 8e9,
+            services,
+        }
+    }
+
+    /// Builder-style resources.
+    pub fn with_resources(mut self, cpu_mips: f64, memory_bytes: f64) -> IntermediaryProfile {
+        self.cpu_mips = cpu_mips;
+        self.memory_bytes = memory_bytes;
+        self
+    }
+
+    /// Validate every advertised service and check name uniqueness.
+    pub fn validate(&self) -> Result<()> {
+        for (i, s) in self.services.iter().enumerate() {
+            s.validate()?;
+            if self.services[..i].iter().any(|other| other.name == s.name) {
+                return Err(ProfileError::Invalid(format!(
+                    "intermediary `{}` advertises service `{}` twice",
+                    self.node, s.name
+                )));
+            }
+        }
+        if self.cpu_mips < 0.0 || self.memory_bytes < 0.0 {
+            return Err(ProfileError::Invalid(format!(
+                "intermediary `{}` has negative resources",
+                self.node
+            )));
+        }
+        Ok(())
+    }
+
+    /// Look up an advertised service by name.
+    pub fn service(&self, name: &str) -> Option<&ServiceSpec> {
+        self.services.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service_spec::ConversionSpec;
+    use qosc_media::DomainVector;
+
+    fn proxy() -> IntermediaryProfile {
+        IntermediaryProfile::new(
+            "proxy-1",
+            vec![
+                ServiceSpec::new(
+                    "T1",
+                    vec![ConversionSpec::new("F5", "F10", DomainVector::new())],
+                ),
+                ServiceSpec::new(
+                    "T2",
+                    vec![ConversionSpec::new("F3", "F8", DomainVector::new())],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = proxy();
+        assert!(p.service("T1").is_some());
+        assert!(p.service("T9").is_none());
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let mut p = proxy();
+        p.services.push(ServiceSpec::new(
+            "T1",
+            vec![ConversionSpec::new("a", "b", DomainVector::new())],
+        ));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_ok_and_resources() {
+        proxy().validate().unwrap();
+        let p = proxy().with_resources(-1.0, 0.0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = proxy().with_resources(2_000.0, 1e9);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(
+            serde_json::from_str::<IntermediaryProfile>(&json).unwrap(),
+            p
+        );
+    }
+}

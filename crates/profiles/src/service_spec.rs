@@ -1,0 +1,245 @@
+//! Serializable trans-coding service descriptions.
+//!
+//! "A description of an adaptation service would include, for instance,
+//! the possible input and output format to the service, the required
+//! processing and computation power of the service, and maybe the cost
+//! for using the service." — Section 3.
+//!
+//! The paper names JINI / SLP / WSDL as carrier description languages;
+//! [`ServiceSpec`] is our typed JSON substitute. `qosc-services` resolves
+//! these wire descriptions into runtime descriptors bound to a host node.
+
+use crate::{ProfileError, Result};
+use qosc_media::DomainVector;
+use serde::{Deserialize, Serialize};
+
+/// Pricing of a service, in monetary units per second of streaming.
+///
+/// The total price of running one service at an output rate `r` (bits/s)
+/// for one second is `per_second + per_mbit × r / 10⁶`. The user budget
+/// (Figure 4) is denominated in the same per-second units, so the
+/// accumulated cost along a chain compares directly against it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PriceModel {
+    /// Fixed price per second of use.
+    pub per_second: f64,
+    /// Price per megabit of output produced.
+    pub per_mbit: f64,
+}
+
+impl PriceModel {
+    /// A free service.
+    pub fn free() -> PriceModel {
+        PriceModel::default()
+    }
+
+    /// A flat per-second price.
+    pub fn flat(per_second: f64) -> PriceModel {
+        PriceModel { per_second, per_mbit: 0.0 }
+    }
+
+    /// Price per second of producing output at `bits_per_second`.
+    pub fn cost_at_rate(&self, bits_per_second: f64) -> f64 {
+        self.per_second + self.per_mbit * bits_per_second / 1e6
+    }
+
+    /// Validate non-negativity.
+    pub fn validate(&self) -> Result<()> {
+        if self.per_second < 0.0 || self.per_mbit < 0.0 {
+            return Err(ProfileError::Invalid(format!(
+                "price model must be non-negative: {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One input-format → output-format capability of a service.
+///
+/// A service with several inputs and outputs (the paper's Figure 2 shows
+/// T1 with inputs {F5, F6} and outputs {F10..F13}) lists one
+/// `ConversionSpec` per (input, output) pair it supports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionSpec {
+    /// Input format name.
+    pub input: String,
+    /// Output format name.
+    pub output: String,
+    /// Output quality configurations the service can produce. At
+    /// composition time this domain is additionally capped by the quality
+    /// arriving on the input (quality monotonicity, Section 4.4).
+    pub output_domain: DomainVector,
+}
+
+impl ConversionSpec {
+    /// A conversion with the given formats and output domain.
+    pub fn new(
+        input: impl Into<String>,
+        output: impl Into<String>,
+        output_domain: DomainVector,
+    ) -> ConversionSpec {
+        ConversionSpec { input: input.into(), output: output.into(), output_domain }
+    }
+}
+
+/// The wire description of one trans-coding service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Service name, unique within an intermediary (e.g. `"T7"` or
+    /// `"jpeg-to-gif"`).
+    pub name: String,
+    /// Supported conversions, in listing order (the deterministic
+    /// tie-break order of the selection algorithm).
+    pub conversions: Vec<ConversionSpec>,
+    /// CPU demand in MIPS per Mbit/s of input processed ("the required
+    /// processing and computation power of the service").
+    pub cpu_mips_per_mbps: f64,
+    /// Resident memory required to run the service, bytes.
+    pub memory_bytes: f64,
+    /// "The cost for using the service."
+    pub price: PriceModel,
+}
+
+impl ServiceSpec {
+    /// A free, lightweight service with the given conversions.
+    pub fn new(name: impl Into<String>, conversions: Vec<ConversionSpec>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            conversions,
+            cpu_mips_per_mbps: 10.0,
+            memory_bytes: 32e6,
+            price: PriceModel::free(),
+        }
+    }
+
+    /// Builder-style price.
+    pub fn with_price(mut self, price: PriceModel) -> ServiceSpec {
+        self.price = price;
+        self
+    }
+
+    /// Builder-style resource requirements.
+    pub fn with_resources(mut self, cpu_mips_per_mbps: f64, memory_bytes: f64) -> ServiceSpec {
+        self.cpu_mips_per_mbps = cpu_mips_per_mbps;
+        self.memory_bytes = memory_bytes;
+        self
+    }
+
+    /// Distinct input format names, in first-appearance order.
+    pub fn input_formats(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for c in &self.conversions {
+            if !seen.contains(&c.input.as_str()) {
+                seen.push(c.input.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Distinct output format names, in first-appearance order.
+    pub fn output_formats(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for c in &self.conversions {
+            if !seen.contains(&c.output.as_str()) {
+                seen.push(c.output.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Validate structure: at least one conversion, no identity
+    /// conversions with an identical format on both sides is *allowed*
+    /// (a pure relay/filter), but every conversion must have non-empty
+    /// names; resources and price must be non-negative.
+    pub fn validate(&self) -> Result<()> {
+        if self.conversions.is_empty() {
+            return Err(ProfileError::Invalid(format!(
+                "service `{}` supports no conversions",
+                self.name
+            )));
+        }
+        for c in &self.conversions {
+            if c.input.is_empty() || c.output.is_empty() {
+                return Err(ProfileError::Invalid(format!(
+                    "service `{}` has a conversion with an empty format name",
+                    self.name
+                )));
+            }
+        }
+        if self.cpu_mips_per_mbps < 0.0 || self.memory_bytes < 0.0 {
+            return Err(ProfileError::Invalid(format!(
+                "service `{}` has negative resource requirements",
+                self.name
+            )));
+        }
+        self.price.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::{Axis, AxisDomain};
+
+    fn spec() -> ServiceSpec {
+        ServiceSpec::new(
+            "T1",
+            vec![
+                ConversionSpec::new("F5", "F10", DomainVector::new()),
+                ConversionSpec::new("F5", "F11", DomainVector::new()),
+                ConversionSpec::new("F6", "F10", DomainVector::new()),
+            ],
+        )
+    }
+
+    #[test]
+    fn distinct_io_formats_in_order() {
+        let s = spec();
+        assert_eq!(s.input_formats(), vec!["F5", "F6"]);
+        assert_eq!(s.output_formats(), vec!["F10", "F11"]);
+    }
+
+    #[test]
+    fn price_model_cost() {
+        let p = PriceModel { per_second: 0.5, per_mbit: 0.1 };
+        assert!((p.cost_at_rate(2e6) - 0.7).abs() < 1e-12);
+        assert_eq!(PriceModel::free().cost_at_rate(1e9), 0.0);
+        assert_eq!(PriceModel::flat(2.0).cost_at_rate(5e6), 2.0);
+    }
+
+    #[test]
+    fn validation() {
+        spec().validate().unwrap();
+        assert!(ServiceSpec::new("empty", vec![]).validate().is_err());
+        let bad_price = spec().with_price(PriceModel { per_second: -1.0, per_mbit: 0.0 });
+        assert!(bad_price.validate().is_err());
+        let bad_res = spec().with_resources(-1.0, 0.0);
+        assert!(bad_res.validate().is_err());
+        let empty_name = ServiceSpec::new(
+            "x",
+            vec![ConversionSpec::new("", "F1", DomainVector::new())],
+        );
+        assert!(empty_name.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec().with_price(PriceModel::flat(1.0)).with_resources(5.0, 1e6);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<ServiceSpec>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn conversion_with_domain_round_trips() {
+        let c = ConversionSpec::new(
+            "video/mpeg2",
+            "video/h263",
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 1.0, max: 30.0 },
+            ),
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ConversionSpec>(&json).unwrap(), c);
+    }
+}

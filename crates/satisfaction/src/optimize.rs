@@ -1,0 +1,431 @@
+//! The constrained parameter optimizer.
+//!
+//! Step 2 / Step 8 of Figure 4 call
+//! `Optimize(user_profile, input_format, output_format, Sat_T[i],
+//! user_budget, cost, available_bandwidth)`: for a candidate trans-coding
+//! service, pick the QoS parameter values `xi` that maximize the combined
+//! satisfaction (Equa. 1) subject to
+//!
+//! * `bandwidth_requirement(x1..xn) <= Bandwidth_AvailableBetween(Ti, Tprev)`
+//!   (Equa. 2), and
+//! * the remaining user budget.
+//!
+//! Monotonicity does the heavy lifting: satisfaction functions increase
+//! and bitrate models increase in every axis, so the feasible set is
+//! *downward closed* and the unconstrained optimum is the domain's top.
+//! When the top is infeasible we fall back to a deterministic grid search
+//! followed by coordinate-ascent refinement (exact bisection per axis).
+//! For single-axis problems — like the paper's worked example — the result
+//! is exact to floating-point tolerance.
+
+use crate::profile::SatisfactionProfile;
+use qosc_media::{Axis, AxisDomain, BitrateModel, DomainVector, ParamVector};
+
+/// Tuning knobs for [`optimize`]. The defaults are deterministic and fast
+/// enough for graphs with thousands of candidate evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizeOptions {
+    /// Grid samples per axis in the fallback search.
+    pub grid_per_axis: usize,
+    /// Hard cap on the total number of grid points evaluated.
+    pub max_grid_points: usize,
+    /// Coordinate-ascent passes after the grid phase.
+    pub refine_passes: usize,
+    /// Bisection iterations per continuous-axis refinement.
+    pub bisect_iters: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> OptimizeOptions {
+        OptimizeOptions {
+            grid_per_axis: 9,
+            max_grid_points: 40_000,
+            refine_passes: 3,
+            bisect_iters: 60,
+        }
+    }
+}
+
+/// One constrained optimization instance.
+pub struct Problem<'a> {
+    /// The user's satisfaction preferences (objective).
+    pub profile: &'a SatisfactionProfile,
+    /// Feasible output configurations of the candidate service, already
+    /// capped by the quality delivered upstream (quality monotonicity).
+    pub domain: &'a DomainVector,
+    /// Bandwidth-requirement model of the candidate's *output* format.
+    pub bitrate: &'a BitrateModel,
+    /// `Bandwidth_AvailableBetween(Ti, Tprev)` in bits per second;
+    /// `f64::INFINITY` when the two services share a host (Section 4.3).
+    pub bandwidth_limit: f64,
+    /// Incremental monetary cost of delivering a configuration through
+    /// this candidate (service price + transmission price).
+    pub cost: &'a dyn Fn(&ParamVector) -> f64,
+    /// Remaining user budget; `f64::INFINITY` when unconstrained.
+    pub budget: f64,
+}
+
+impl<'a> Problem<'a> {
+    /// Whether `params` satisfies both constraints.
+    pub fn is_feasible(&self, params: &ParamVector) -> bool {
+        const REL_TOL: f64 = 1e-9;
+        let rate = self.bitrate.bits_per_second(params);
+        if rate > self.bandwidth_limit * (1.0 + REL_TOL) + REL_TOL {
+            return false;
+        }
+        let cost = (self.cost)(params);
+        cost <= self.budget * (1.0 + REL_TOL) + REL_TOL
+    }
+}
+
+/// The result of a successful optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimum {
+    /// The chosen configuration.
+    pub params: ParamVector,
+    /// Combined satisfaction of the configuration (Equa. 1).
+    pub satisfaction: f64,
+    /// Bandwidth the configuration requires, bits per second.
+    pub bits_per_second: f64,
+    /// Incremental cost of the configuration.
+    pub cost: f64,
+}
+
+/// Maximize combined satisfaction over `problem.domain` subject to the
+/// bandwidth and budget constraints. Returns `None` when no configuration
+/// in the domain is feasible — the candidate service cannot be used at
+/// all from its tentative parent.
+pub fn optimize(problem: &Problem<'_>, options: &OptimizeOptions) -> Option<Optimum> {
+    // Fast path: the top of the domain is the unconstrained optimum.
+    let top = problem.domain.top();
+    if problem.is_feasible(&top) {
+        return Some(finish(problem, top));
+    }
+    // If even the bottom is infeasible, bail early only when the domain is
+    // fully degenerate (a single point); otherwise intermediate points may
+    // still be feasible on some axes even though the bottom is not —
+    // impossible under monotone models, so the bottom check is sound.
+    let bottom = problem.domain.bottom();
+    if !problem.is_feasible(&bottom) {
+        return None;
+    }
+
+    let axes: Vec<Axis> = problem.domain.axes().collect();
+    if axes.is_empty() {
+        // Empty domain: the only configuration is the empty vector, whose
+        // feasibility equals the bottom's (already checked).
+        return Some(finish(problem, ParamVector::new()));
+    }
+
+    // Grid phase: deterministic cartesian sweep, capped in size.
+    let per_axis = grid_resolution(axes.len(), options);
+    let samples: Vec<Vec<f64>> = axes
+        .iter()
+        .map(|&axis| problem.domain.get(axis).expect("axis from domain").sample(per_axis))
+        .collect();
+    let mut best: Option<(f64, f64, ParamVector)> = None; // (sat, -rate, params)
+    let mut index = vec![0usize; axes.len()];
+    loop {
+        let mut point = ParamVector::new();
+        for (slot, &axis) in axes.iter().enumerate() {
+            point.set(axis, samples[slot][index[slot]]);
+        }
+        if problem.is_feasible(&point) {
+            consider(problem, &mut best, point);
+        }
+        // Odometer increment.
+        let mut slot = 0;
+        loop {
+            if slot == axes.len() {
+                break;
+            }
+            index[slot] += 1;
+            if index[slot] < samples[slot].len() {
+                break;
+            }
+            index[slot] = 0;
+            slot += 1;
+        }
+        if slot == axes.len() {
+            break;
+        }
+    }
+
+    let (_, _, mut current) = best?;
+
+    // Refinement: per-axis exact maximization with the other axes fixed.
+    // Feasibility is monotone per axis, so bisection (continuous) or a
+    // descending scan (discrete) finds the largest feasible value.
+    for _ in 0..options.refine_passes {
+        let mut improved = false;
+        for &axis in &axes {
+            let domain = problem.domain.get(axis).expect("axis from domain");
+            let old = current.get(axis).expect("grid set all axes");
+            let lifted = max_feasible_on_axis(problem, &current, axis, domain, options);
+            if lifted > old * (1.0 + 1e-12) + 1e-15 {
+                let candidate = current.with(axis, lifted);
+                // Lift only when it buys satisfaction — otherwise keep the
+                // grid's lower-bitrate choice (don't waste bandwidth past
+                // the user's ideal).
+                if problem.profile.score(&candidate) > problem.profile.score(&current) + 1e-15 {
+                    current = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Some(finish(problem, current))
+}
+
+/// Choose the per-axis grid resolution so the cartesian product stays
+/// under `max_grid_points`.
+fn grid_resolution(axis_count: usize, options: &OptimizeOptions) -> usize {
+    let mut per_axis = options.grid_per_axis.max(2);
+    while per_axis > 2 && per_axis.pow(axis_count as u32) > options.max_grid_points {
+        per_axis -= 1;
+    }
+    per_axis
+}
+
+fn consider(
+    problem: &Problem<'_>,
+    best: &mut Option<(f64, f64, ParamVector)>,
+    point: ParamVector,
+) {
+    let sat = problem.profile.score(&point);
+    let neg_rate = -problem.bitrate.bits_per_second(&point);
+    let better = match best {
+        None => true,
+        Some((bs, bnr, _)) => sat > *bs + 1e-15 || (sat >= *bs - 1e-15 && neg_rate > *bnr),
+    };
+    if better {
+        *best = Some((sat, neg_rate, point));
+    }
+}
+
+/// Largest feasible value on `axis` holding the other axes of `current`
+/// fixed.
+fn max_feasible_on_axis(
+    problem: &Problem<'_>,
+    current: &ParamVector,
+    axis: Axis,
+    domain: &AxisDomain,
+    options: &OptimizeOptions,
+) -> f64 {
+    let feasible_at = |v: f64| {
+        let mut p = *current;
+        p.set(axis, v);
+        problem.is_feasible(&p)
+    };
+    let lo_value = current.get(axis).expect("axis set");
+    match domain {
+        AxisDomain::Continuous { max, .. } => {
+            if feasible_at(*max) {
+                return *max;
+            }
+            let (mut lo, mut hi) = (lo_value, *max);
+            for _ in 0..options.bisect_iters {
+                let mid = 0.5 * (lo + hi);
+                if feasible_at(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        }
+        AxisDomain::Discrete(values) => values
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v >= lo_value && feasible_at(v))
+            .unwrap_or(lo_value),
+        AxisDomain::Fixed(v) => *v,
+    }
+}
+
+fn finish(problem: &Problem<'_>, params: ParamVector) -> Optimum {
+    Optimum {
+        satisfaction: problem.profile.score(&params),
+        bits_per_second: problem.bitrate.bits_per_second(&params),
+        cost: (problem.cost)(&params),
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::SatisfactionFn;
+    use crate::profile::{AxisPreference, SatisfactionProfile};
+
+    fn free_cost() -> impl Fn(&ParamVector) -> f64 {
+        |_: &ParamVector| 0.0
+    }
+
+    fn frame_rate_problem<'a>(
+        profile: &'a SatisfactionProfile,
+        domain: &'a DomainVector,
+        bitrate: &'a BitrateModel,
+        cost: &'a dyn Fn(&ParamVector) -> f64,
+        bandwidth: f64,
+        budget: f64,
+    ) -> Problem<'a> {
+        Problem { profile, domain, bitrate, bandwidth_limit: bandwidth, cost, budget }
+    }
+
+    #[test]
+    fn unconstrained_picks_domain_top() {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::continuous(Axis::FrameRate, 0.0, 27.0).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = free_cost();
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, f64::INFINITY, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        assert_eq!(opt.params.get(Axis::FrameRate), Some(27.0));
+        assert!((opt.satisfaction - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_caps_single_axis_exactly() {
+        // 1000 bits per fps; 18_000 bits/s available → exactly 18 fps.
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = free_cost();
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 18_000.0, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        let fps = opt.params.get(Axis::FrameRate).unwrap();
+        assert!((fps - 18.0).abs() < 1e-6, "got {fps}");
+        assert!((opt.satisfaction - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_binds() {
+        // Cost = 1 monetary unit per fps, budget 12 → 12 fps.
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = |p: &ParamVector| p.get(Axis::FrameRate).unwrap_or(0.0);
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, f64::INFINITY, 12.0);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        let fps = opt.params.get(Axis::FrameRate).unwrap();
+        assert!((fps - 12.0).abs() < 1e-6, "got {fps}");
+        assert!(opt.cost <= 12.0 + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::continuous(Axis::FrameRate, 10.0, 30.0).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = free_cost();
+        // Even 10 fps needs 10_000 bits/s; only 5_000 available.
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 5_000.0, f64::INFINITY);
+        assert!(optimize(&p, &OptimizeOptions::default()).is_none());
+    }
+
+    #[test]
+    fn discrete_domain_respects_membership() {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::discrete(Axis::FrameRate, vec![5.0, 15.0, 25.0, 30.0]).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = free_cost();
+        // 27_000 bits/s admits 25 but not 30.
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 27_000.0, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        assert_eq!(opt.params.get(Axis::FrameRate), Some(25.0));
+    }
+
+    #[test]
+    fn two_axis_tradeoff_stays_feasible_and_beats_bottom() {
+        // Video: rate = fps × pixels; both axes matter to the user.
+        let profile = SatisfactionProfile::new()
+            .with(AxisPreference::new(
+                Axis::FrameRate,
+                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+            ))
+            .with(AxisPreference::new(
+                Axis::PixelCount,
+                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+            ));
+        let domain = DomainVector::new()
+            .with(Axis::FrameRate, AxisDomain::continuous(Axis::FrameRate, 1.0, 30.0).unwrap())
+            .with(
+                Axis::PixelCount,
+                AxisDomain::continuous(Axis::PixelCount, 19_200.0, 307_200.0).unwrap(),
+            );
+        let bitrate = BitrateModel::CompressedVideo { compression_ratio: 100.0 };
+        let cost = free_cost();
+        // Top needs 30×307200×1/100 ≈ 92 kbit/s (no depth axis → ×1).
+        // Give half of that.
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 46_080.0, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        assert!(p.is_feasible(&opt.params));
+        let bottom_sat = profile.score(&domain.bottom());
+        assert!(
+            opt.satisfaction > bottom_sat + 0.05,
+            "optimizer should beat the bottom: {} vs {bottom_sat}",
+            opt.satisfaction
+        );
+    }
+
+    #[test]
+    fn tie_breaks_prefer_lower_bitrate() {
+        // Satisfaction saturates at 20 fps; domain allows 30. The optimizer
+        // should not waste bandwidth past the ideal when the top is
+        // infeasible... but when the top IS feasible it returns the top
+        // (documented fast path). Constrain so top is infeasible and the
+        // grid sees equal-satisfaction points.
+        let profile = SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 20.0 },
+        ));
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::discrete(Axis::FrameRate, vec![10.0, 20.0, 25.0, 30.0]).unwrap(),
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = free_cost();
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 26_000.0, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        // 20 and 25 both give satisfaction 1.0; refinement lifts to the
+        // max feasible (25) only if satisfaction improves — it does not,
+        // so the grid's lower-bitrate preference stands at 20.
+        assert_eq!(opt.params.get(Axis::FrameRate), Some(20.0));
+        assert!((opt.satisfaction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_domain_scores_zero_but_succeeds_when_free() {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new();
+        let bitrate = BitrateModel::Constant { bits_per_second: 100.0 };
+        let cost = free_cost();
+        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 200.0, f64::INFINITY);
+        let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
+        assert_eq!(opt.satisfaction, 0.0);
+
+        let p2 = frame_rate_problem(&profile, &domain, &bitrate, &cost, 50.0, f64::INFINITY);
+        assert!(optimize(&p2, &OptimizeOptions::default()).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the satisfaction model: the Section-4.1 contract
+//! ("range [0..1] … must increase monotonically") and the optimizer's
+//! constraint discipline.
+
+use proptest::prelude::*;
+use qosc_media::{Axis, AxisDomain, BitrateModel, DomainVector, ParamVector};
+use qosc_satisfaction::{
+    optimize, AxisPreference, Combiner, OptimizeOptions, Problem, SatisfactionFn,
+    SatisfactionProfile,
+};
+
+fn arb_fn() -> impl Strategy<Value = SatisfactionFn> {
+    prop_oneof![
+        (0.0f64..100.0, 1.0f64..100.0).prop_map(|(m, span)| SatisfactionFn::Linear {
+            min_acceptable: m,
+            ideal: m + span,
+        }),
+        (0.0f64..100.0, 1.0f64..100.0, 0.1f64..50.0).prop_map(|(m, span, scale)| {
+            SatisfactionFn::Saturating { min_acceptable: m, ideal: m + span, scale }
+        }),
+        (0.0f64..100.0).prop_map(|t| SatisfactionFn::Step { threshold: t }),
+        proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 1..5).prop_map(|mut knots| {
+            knots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // Make satisfactions non-decreasing too.
+            let mut best = 0.0f64;
+            for knot in &mut knots {
+                best = best.max(knot.1);
+                knot.1 = best;
+            }
+            SatisfactionFn::Piecewise { knots }
+        }),
+        Just(SatisfactionFn::Indifferent),
+    ]
+}
+
+proptest! {
+    /// Section 4.1: range [0, 1] and monotone non-decreasing.
+    #[test]
+    fn functions_are_monotone_in_range(f in arb_fn(), a in -10.0f64..200.0, b in -10.0f64..200.0) {
+        prop_assume!(f.validate().is_ok());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s_lo = f.eval(lo);
+        let s_hi = f.eval(hi);
+        prop_assert!((0.0..=1.0).contains(&s_lo));
+        prop_assert!((0.0..=1.0).contains(&s_hi));
+        prop_assert!(s_lo <= s_hi + 1e-12, "monotonicity violated: {s_lo} > {s_hi}");
+    }
+
+    /// inverse() round-trips within tolerance wherever the target is
+    /// reachable.
+    #[test]
+    fn inverse_round_trips(f in arb_fn(), target in 0.01f64..0.99) {
+        prop_assume!(f.validate().is_ok());
+        if let Some(x) = f.inverse(target) {
+            if x.is_finite() {
+                prop_assert!(
+                    f.eval(x) + 1e-6 >= target,
+                    "inverse({target}) = {x} but eval gives {}",
+                    f.eval(x)
+                );
+            }
+        }
+    }
+
+    /// The harmonic mean (Equa. 1) is bounded by min and arithmetic mean,
+    /// and every combiner stays within [0, 1].
+    #[test]
+    fn combiner_bounds(values in proptest::collection::vec(0.0f64..=1.0, 1..6)) {
+        let min = Combiner::Min.combine(&values).unwrap();
+        let har = Combiner::HarmonicMean.combine(&values).unwrap();
+        let geo = Combiner::GeometricMean.combine(&values).unwrap();
+        let ari = Combiner::ArithmeticMean.combine(&values).unwrap();
+        prop_assert!(min <= har + 1e-12);
+        prop_assert!(har <= geo + 1e-12);
+        prop_assert!(geo <= ari + 1e-12);
+        for c in [min, har, geo, ari] {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// Weighted harmonic with equal weights equals Equa. 1.
+    #[test]
+    fn weighted_harmonic_reduces(values in proptest::collection::vec(0.01f64..=1.0, 1..6)) {
+        let w = Combiner::WeightedHarmonic { weights: vec![2.5; values.len()] };
+        let h = Combiner::HarmonicMean;
+        prop_assert!((w.combine(&values).unwrap() - h.combine(&values).unwrap()).abs() < 1e-9);
+    }
+
+    /// Profile scores are monotone: raising any parameter value never
+    /// lowers the total satisfaction.
+    #[test]
+    fn profile_score_is_monotone(
+        f1 in arb_fn(),
+        f2 in arb_fn(),
+        x in 0.0f64..150.0,
+        y in 0.0f64..150.0,
+        bump in 0.0f64..50.0,
+    ) {
+        prop_assume!(f1.validate().is_ok() && f2.validate().is_ok());
+        let profile = SatisfactionProfile::new()
+            .with(AxisPreference::new(Axis::FrameRate, f1))
+            .with(AxisPreference::new(Axis::Fidelity, f2));
+        let p = ParamVector::from_pairs([(Axis::FrameRate, x), (Axis::Fidelity, y)]);
+        let p_up = ParamVector::from_pairs([(Axis::FrameRate, x + bump), (Axis::Fidelity, y)]);
+        prop_assert!(profile.score(&p) <= profile.score(&p_up) + 1e-12);
+    }
+
+    /// The optimizer never violates its constraints and never loses to
+    /// the domain bottom.
+    #[test]
+    fn optimizer_respects_constraints(
+        cap in 5.0f64..40.0,
+        bandwidth in 1_000.0f64..50_000.0,
+        budget in 0.1f64..10.0,
+        price_per_mbit in 0.0f64..100.0,
+    ) {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::Continuous { min: 0.0, max: cap },
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let cost = move |p: &ParamVector| {
+            price_per_mbit * bitrate.bits_per_second(p) / 1e6
+        };
+        let problem = Problem {
+            profile: &profile,
+            domain: &domain,
+            bitrate: &bitrate,
+            bandwidth_limit: bandwidth,
+            cost: &cost,
+            budget,
+        };
+        let optimum = optimize(&problem, &OptimizeOptions::default())
+            .expect("a 0-fps configuration is always feasible here");
+        prop_assert!(optimum.bits_per_second <= bandwidth * (1.0 + 1e-6) + 1e-6);
+        prop_assert!(optimum.cost <= budget * (1.0 + 1e-6) + 1e-6);
+        prop_assert!(domain.contains(&optimum.params));
+        let bottom_sat = profile.score(&domain.bottom());
+        prop_assert!(optimum.satisfaction + 1e-9 >= bottom_sat);
+    }
+
+    /// The single-axis optimizer is exact: it delivers
+    /// min(cap, bandwidth-implied rate, budget-implied rate) fps.
+    #[test]
+    fn single_axis_optimum_is_exact(
+        cap in 5.0f64..40.0,
+        bandwidth in 1_000.0f64..50_000.0,
+    ) {
+        let profile = SatisfactionProfile::paper_table1();
+        let domain = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::Continuous { min: 0.0, max: cap },
+        );
+        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let free = |_: &ParamVector| 0.0;
+        let problem = Problem {
+            profile: &profile,
+            domain: &domain,
+            bitrate: &bitrate,
+            bandwidth_limit: bandwidth,
+            cost: &free,
+            budget: f64::INFINITY,
+        };
+        let optimum = optimize(&problem, &OptimizeOptions::default()).expect("feasible");
+        let limit = cap.min(bandwidth / 1000.0);
+        let got = optimum.params.get(Axis::FrameRate).expect("axis set");
+        if limit <= 30.0 {
+            // Below the ideal, the optimizer rides the binding constraint
+            // exactly.
+            prop_assert!((got - limit).abs() < 1e-4, "expected {limit} fps, got {got}");
+        } else {
+            // Past the ideal every configuration in [30, limit] is fully
+            // satisfying; the optimizer picks one of them (and prefers
+            // not to waste bandwidth beyond it).
+            prop_assert!((optimum.satisfaction - 1.0).abs() < 1e-9);
+            prop_assert!(got <= limit * (1.0 + 1e-9) + 1e-6);
+            prop_assert!(got + 1e-6 >= 30.0);
+        }
+    }
+}

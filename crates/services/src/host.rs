@@ -1,0 +1,178 @@
+//! Host resource admission.
+//!
+//! "Other factors that can affect the user's satisfaction are the
+//! required amount of memory and computing power to carry out the
+//! trans-coding operation. Each of these two factors is a function of
+//! the amount of input data to the trans-coding service." — Section 4.3.
+//!
+//! [`HostResources`] tracks per-node CPU and memory commitments against
+//! the capacities declared in the topology, and admits or rejects a
+//! trans-coding stage accordingly.
+
+use crate::{Result, ServiceError};
+use qosc_netsim::{NodeId, Topology};
+use std::collections::HashMap;
+
+/// Handle to one admitted workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AdmissionId(u64);
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Usage {
+    cpu_mips: f64,
+    memory_bytes: f64,
+}
+
+/// Per-node resource ledger.
+#[derive(Debug, Clone, Default)]
+pub struct HostResources {
+    usage: HashMap<NodeId, Usage>,
+    admissions: HashMap<AdmissionId, (NodeId, Usage)>,
+    next_id: u64,
+}
+
+impl HostResources {
+    /// An empty ledger.
+    pub fn new() -> HostResources {
+        HostResources::default()
+    }
+
+    /// CPU (MIPS) currently committed on `node`.
+    pub fn cpu_used(&self, node: NodeId) -> f64 {
+        self.usage.get(&node).map(|u| u.cpu_mips).unwrap_or(0.0)
+    }
+
+    /// Memory (bytes) currently committed on `node`.
+    pub fn memory_used(&self, node: NodeId) -> f64 {
+        self.usage.get(&node).map(|u| u.memory_bytes).unwrap_or(0.0)
+    }
+
+    /// CPU headroom of `node` given the topology's declared capacity.
+    pub fn cpu_headroom(&self, topology: &Topology, node: NodeId) -> f64 {
+        let capacity = topology.node(node).map(|n| n.cpu_mips).unwrap_or(0.0);
+        (capacity - self.cpu_used(node)).max(0.0)
+    }
+
+    /// Memory headroom of `node`.
+    pub fn memory_headroom(&self, topology: &Topology, node: NodeId) -> f64 {
+        let capacity = topology.node(node).map(|n| n.memory_bytes).unwrap_or(0.0);
+        (capacity - self.memory_used(node)).max(0.0)
+    }
+
+    /// Whether `node` could admit the given load right now.
+    pub fn can_admit(
+        &self,
+        topology: &Topology,
+        node: NodeId,
+        cpu_mips: f64,
+        memory_bytes: f64,
+    ) -> bool {
+        cpu_mips <= self.cpu_headroom(topology, node) * (1.0 + 1e-9) + 1e-9
+            && memory_bytes <= self.memory_headroom(topology, node) * (1.0 + 1e-9) + 1e-9
+    }
+
+    /// Admit a workload on `node`, or fail without side effects.
+    pub fn admit(
+        &mut self,
+        topology: &Topology,
+        node: NodeId,
+        cpu_mips: f64,
+        memory_bytes: f64,
+    ) -> Result<AdmissionId> {
+        if !self.can_admit(topology, node, cpu_mips, memory_bytes) {
+            return Err(ServiceError::InsufficientResources {
+                node,
+                detail: format!(
+                    "need {cpu_mips} MIPS / {memory_bytes} B, have {} MIPS / {} B",
+                    self.cpu_headroom(topology, node),
+                    self.memory_headroom(topology, node)
+                ),
+            });
+        }
+        let usage = self.usage.entry(node).or_default();
+        usage.cpu_mips += cpu_mips;
+        usage.memory_bytes += memory_bytes;
+        let id = AdmissionId(self.next_id);
+        self.next_id += 1;
+        self.admissions
+            .insert(id, (node, Usage { cpu_mips, memory_bytes }));
+        Ok(id)
+    }
+
+    /// Release an admitted workload. Errors on double release.
+    pub fn release(&mut self, id: AdmissionId) -> Result<()> {
+        let (node, released) = self
+            .admissions
+            .remove(&id)
+            .ok_or(ServiceError::UnknownAdmission(id))?;
+        if let Some(usage) = self.usage.get_mut(&node) {
+            usage.cpu_mips = (usage.cpu_mips - released.cpu_mips).max(0.0);
+            usage.memory_bytes = (usage.memory_bytes - released.memory_bytes).max(0.0);
+        }
+        Ok(())
+    }
+
+    /// Number of active admissions.
+    pub fn active_count(&self) -> usize {
+        self.admissions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_netsim::Node;
+
+    fn topo() -> (Topology, NodeId) {
+        let mut t = Topology::new();
+        let n = t.add_node(Node::new("proxy", 1_000.0, 1e9));
+        (t, n)
+    }
+
+    #[test]
+    fn admit_within_capacity() {
+        let (t, n) = topo();
+        let mut h = HostResources::new();
+        let id = h.admit(&t, n, 600.0, 0.5e9).unwrap();
+        assert_eq!(h.cpu_used(n), 600.0);
+        assert!((h.cpu_headroom(&t, n) - 400.0).abs() < 1e-9);
+        h.release(id).unwrap();
+        assert_eq!(h.cpu_used(n), 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_over_cpu() {
+        let (t, n) = topo();
+        let mut h = HostResources::new();
+        h.admit(&t, n, 900.0, 1e6).unwrap();
+        assert!(h.admit(&t, n, 200.0, 1e6).is_err());
+        assert_eq!(h.active_count(), 1, "failed admission has no side effects");
+    }
+
+    #[test]
+    fn admission_rejects_over_memory() {
+        let (t, n) = topo();
+        let mut h = HostResources::new();
+        assert!(h.admit(&t, n, 1.0, 2e9).is_err());
+    }
+
+    #[test]
+    fn double_release_errors() {
+        let (t, n) = topo();
+        let mut h = HostResources::new();
+        let id = h.admit(&t, n, 1.0, 1.0).unwrap();
+        h.release(id).unwrap();
+        assert!(h.release(id).is_err());
+    }
+
+    #[test]
+    fn unconstrained_node_admits_everything() {
+        let mut t = Topology::new();
+        let n = t.add_node(Node::unconstrained("big"));
+        let mut h = HostResources::new();
+        for _ in 0..100 {
+            h.admit(&t, n, 1e9, 1e12).unwrap();
+        }
+        assert_eq!(h.active_count(), 100);
+    }
+}

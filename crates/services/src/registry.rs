@@ -1,0 +1,281 @@
+//! The service registry: discovery with SLP-style leases.
+//!
+//! The paper assumes trans-coding services "can be described using any
+//! service description language such as JINI, SLP, or WSDL" and that the
+//! framework discovers them from intermediary profiles. The behaviour
+//! composition needs from that middleware is:
+//!
+//! * registration of a service description, returning a handle,
+//! * *leases*: a registration carries a time-to-live and disappears
+//!   unless renewed (this is what makes the system "self-organizing" —
+//!   dead proxies fall out of the graph automatically),
+//! * lookup by input/output format (graph construction asks "who accepts
+//!   format F?"),
+//! * an event log, so experiments can observe churn.
+//!
+//! Time here is [`SimTime`] — the registry lives inside the simulation.
+
+use crate::descriptor::{ServiceId, TranscoderDescriptor};
+use crate::{Result, ServiceError};
+use qosc_media::FormatId;
+use qosc_netsim::SimTime;
+use std::collections::HashMap;
+
+/// Registry life-cycle events, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryEvent {
+    /// A service was registered.
+    Registered(ServiceId),
+    /// A lease was renewed.
+    Renewed(ServiceId),
+    /// A lease ran out during [`ServiceRegistry::expire_leases`].
+    Expired(ServiceId),
+    /// A service was explicitly removed.
+    Deregistered(ServiceId),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    descriptor: TranscoderDescriptor,
+    lease_until: SimTime,
+    alive: bool,
+}
+
+/// The service registry.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    entries: Vec<Entry>,
+    events: Vec<RegistryEvent>,
+    /// Format-indexed lookup: input format → service ids in registration
+    /// order (live and dead; liveness is filtered on query). Graph
+    /// construction calls [`ServiceRegistry::accepting`] once per
+    /// (vertex, output-format) pair, so this index is what keeps builds
+    /// linear in the edge count rather than quadratic in services.
+    by_input: HashMap<FormatId, Vec<ServiceId>>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Register a service with a lease lasting until `now + ttl_us`.
+    /// Registration order is the deterministic listing order the
+    /// selection algorithm's tie-breaking uses.
+    pub fn register(
+        &mut self,
+        descriptor: TranscoderDescriptor,
+        now: SimTime,
+        ttl_us: u64,
+    ) -> ServiceId {
+        let id = ServiceId(u32::try_from(self.entries.len()).expect("fewer than 2^32 services"));
+        for format in descriptor.input_formats() {
+            self.by_input.entry(format).or_default().push(id);
+        }
+        self.entries.push(Entry {
+            descriptor,
+            lease_until: now.plus_micros(ttl_us),
+            alive: true,
+        });
+        self.events.push(RegistryEvent::Registered(id));
+        id
+    }
+
+    /// Register with an effectively infinite lease — for static scenarios
+    /// (like the paper's worked example) where churn is not under study.
+    pub fn register_static(&mut self, descriptor: TranscoderDescriptor) -> ServiceId {
+        self.register(descriptor, SimTime::ZERO, u64::MAX / 2)
+    }
+
+    /// Renew a live service's lease until `now + ttl_us`.
+    pub fn renew(&mut self, id: ServiceId, now: SimTime, ttl_us: u64) -> Result<()> {
+        let entry = self.live_entry_mut(id)?;
+        entry.lease_until = now.plus_micros(ttl_us);
+        self.events.push(RegistryEvent::Renewed(id));
+        Ok(())
+    }
+
+    /// Explicitly remove a service.
+    pub fn deregister(&mut self, id: ServiceId) -> Result<()> {
+        let entry = self.live_entry_mut(id)?;
+        entry.alive = false;
+        self.events.push(RegistryEvent::Deregistered(id));
+        Ok(())
+    }
+
+    /// Expire every lease older than `now`. Returns the expired ids in
+    /// registration order.
+    pub fn expire_leases(&mut self, now: SimTime) -> Vec<ServiceId> {
+        let mut expired = Vec::new();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if entry.alive && entry.lease_until < now {
+                entry.alive = false;
+                let id = ServiceId(i as u32);
+                expired.push(id);
+            }
+        }
+        for &id in &expired {
+            self.events.push(RegistryEvent::Expired(id));
+        }
+        expired
+    }
+
+    /// The descriptor of a live service.
+    pub fn get(&self, id: ServiceId) -> Result<&TranscoderDescriptor> {
+        match self.entries.get(id.index()) {
+            Some(e) if e.alive => Ok(&e.descriptor),
+            _ => Err(ServiceError::UnknownService(id)),
+        }
+    }
+
+    /// Whether `id` refers to a live service.
+    pub fn is_live(&self, id: ServiceId) -> bool {
+        self.entries.get(id.index()).map(|e| e.alive).unwrap_or(false)
+    }
+
+    /// All live services, in registration order.
+    pub fn live_services(&self) -> impl Iterator<Item = (ServiceId, &TranscoderDescriptor)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, e)| (ServiceId(i as u32), &e.descriptor))
+    }
+
+    /// Live services accepting `format` as input, in registration order.
+    /// This is the lookup graph construction performs for every frontier
+    /// format; it is index-backed and O(matches).
+    pub fn accepting(&self, format: FormatId) -> Vec<ServiceId> {
+        self.by_input
+            .get(&format)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.is_live(id))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Live services producing `format` as output, in registration order.
+    pub fn producing(&self, format: FormatId) -> Vec<ServiceId> {
+        self.live_services()
+            .filter(|(_, d)| d.produces(format))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of live services.
+    pub fn live_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.alive).count()
+    }
+
+    /// The event log since construction.
+    pub fn events(&self) -> &[RegistryEvent] {
+        &self.events
+    }
+
+    fn live_entry_mut(&mut self, id: ServiceId) -> Result<&mut Entry> {
+        match self.entries.get_mut(id.index()) {
+            Some(e) if e.alive => Ok(e),
+            _ => Err(ServiceError::UnknownService(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::{DomainVector, FormatRegistry, MediaKind};
+    use qosc_netsim::{Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+
+    fn setup() -> (ServiceRegistry, FormatRegistry, TranscoderDescriptor) {
+        let mut formats = FormatRegistry::new();
+        formats.register_abstract("in", MediaKind::Video);
+        formats.register_abstract("out", MediaKind::Video);
+        let mut topo = Topology::new();
+        let node = topo.add_node(Node::unconstrained("host"));
+        let spec = ServiceSpec::new(
+            "svc",
+            vec![ConversionSpec::new("in", "out", DomainVector::new())],
+        );
+        let descriptor = TranscoderDescriptor::resolve(&spec, &formats, node).unwrap();
+        (ServiceRegistry::new(), formats, descriptor)
+    }
+
+    #[test]
+    fn register_and_lookup_by_format() {
+        let (mut reg, formats, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        let fin = formats.lookup("in").unwrap();
+        let fout = formats.lookup("out").unwrap();
+        assert_eq!(reg.accepting(fin), vec![id]);
+        assert!(reg.accepting(fout).is_empty());
+        assert_eq!(reg.producing(fout), vec![id]);
+        assert_eq!(reg.live_count(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_removes_service() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor, SimTime::ZERO, 1_000);
+        assert!(reg.is_live(id));
+        let expired = reg.expire_leases(SimTime(2_000));
+        assert_eq!(expired, vec![id]);
+        assert!(!reg.is_live(id));
+        assert!(reg.get(id).is_err());
+        // Idempotent.
+        assert!(reg.expire_leases(SimTime(3_000)).is_empty());
+    }
+
+    #[test]
+    fn renewal_extends_lease() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor, SimTime::ZERO, 1_000);
+        reg.renew(id, SimTime(900), 10_000).unwrap();
+        assert!(reg.expire_leases(SimTime(5_000)).is_empty());
+        assert!(reg.is_live(id));
+    }
+
+    #[test]
+    fn deregister_and_double_ops_error() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.deregister(id).unwrap();
+        assert!(reg.deregister(id).is_err());
+        assert!(reg.renew(id, SimTime::ZERO, 1).is_err());
+    }
+
+    #[test]
+    fn event_log_records_lifecycle() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor.clone(), SimTime::ZERO, 1_000);
+        reg.renew(id, SimTime(500), 1_000).unwrap();
+        reg.expire_leases(SimTime(10_000));
+        let id2 = reg.register_static(descriptor);
+        reg.deregister(id2).unwrap();
+        assert_eq!(
+            reg.events(),
+            &[
+                RegistryEvent::Registered(id),
+                RegistryEvent::Renewed(id),
+                RegistryEvent::Expired(id),
+                RegistryEvent::Registered(id2),
+                RegistryEvent::Deregistered(id2),
+            ]
+        );
+    }
+
+    #[test]
+    fn registration_order_is_stable() {
+        let (mut reg, _, descriptor) = setup();
+        let a = reg.register_static(descriptor.clone());
+        let b = reg.register_static(descriptor.clone());
+        let c = reg.register_static(descriptor);
+        reg.deregister(b).unwrap();
+        let ids: Vec<ServiceId> = reg.live_services().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+}

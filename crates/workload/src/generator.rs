@@ -1,0 +1,308 @@
+//! Seeded random scenario generators.
+//!
+//! The experiments beyond the paper's worked example (scalability,
+//! baseline comparison, optimality property, budget sweeps) run on
+//! randomly generated — but fully reproducible — scenarios. The
+//! generator emits *layered* service meshes: formats are organized in
+//! layers, every service converts a layer-`i` format into a layer-`i+1`
+//! format, the sender offers layer-0 variants and the receiver decodes
+//! layer-`L` formats. Layering guarantees the graph is a DAG and that
+//! formats along any path are distinct (Section 4.2's invariant holds by
+//! construction).
+
+use crate::Scenario;
+use qosc_media::{
+    Axis, AxisDomain, BitrateModel, DomainVector, FormatSpec, MediaKind, VariantSpec,
+};
+use qosc_netsim::{Link, Network, Node, NodeId, Topology};
+use qosc_profiles::{
+    ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+    ServiceSpec, UserProfile,
+};
+use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape of a generated scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of service layers between sender and receiver.
+    pub layers: usize,
+    /// Services per layer.
+    pub services_per_layer: usize,
+    /// Distinct formats between consecutive layers.
+    pub formats_per_layer: usize,
+    /// Conversions each service advertises (distinct input/output pairs).
+    pub conversions_per_service: usize,
+    /// Frame-rate cap range for service output domains.
+    pub cap_range: (f64, f64),
+    /// Link capacity range, bits per second.
+    pub bandwidth_range: (f64, f64),
+    /// Flat price per link (cost ≈ hops when > 0).
+    pub link_flat_price: f64,
+    /// Per-service flat price per second.
+    pub service_price: f64,
+    /// Optional user budget.
+    pub budget: Option<f64>,
+    /// Add a pixel-count axis (multi-parameter optimization) when true.
+    pub multi_axis: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            layers: 3,
+            services_per_layer: 4,
+            formats_per_layer: 3,
+            conversions_per_service: 2,
+            cap_range: (10.0, 30.0),
+            bandwidth_range: (15_000.0, 60_000.0),
+            link_flat_price: 1.0,
+            service_price: 0.0,
+            budget: None,
+            multi_axis: false,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration suitable for exhaustive-search comparison.
+    pub fn tiny() -> GeneratorConfig {
+        GeneratorConfig {
+            layers: 2,
+            services_per_layer: 3,
+            formats_per_layer: 2,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Scale the mesh to roughly `n` services (for scalability sweeps).
+    pub fn with_total_services(mut self, n: usize) -> GeneratorConfig {
+        self.services_per_layer = (n / self.layers).max(1);
+        self
+    }
+
+    /// Total services generated.
+    pub fn total_services(&self) -> usize {
+        self.layers * self.services_per_layer
+    }
+}
+
+/// Generate a scenario from `config` with a deterministic `seed`.
+pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut formats = qosc_media::FormatRegistry::new();
+    let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+
+    // Formats per layer boundary: layer 0 feeds the first services,
+    // layer `layers` feeds the receiver.
+    let layer_formats: Vec<Vec<qosc_media::FormatId>> = (0..=config.layers)
+        .map(|layer| {
+            (0..config.formats_per_layer)
+                .map(|i| {
+                    formats.register(FormatSpec::new(
+                        format!("L{layer}_{i}"),
+                        MediaKind::Video,
+                        bitrate,
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Topology: a backbone router; the sender, every service host and
+    // the receiver hang off it with random-capacity links.
+    let mut topo = Topology::new();
+    let backbone = topo.add_node(Node::unconstrained("backbone"));
+    let attach = |topo: &mut Topology, name: String, rng: &mut SmallRng| -> NodeId {
+        let node = topo.add_node(Node::unconstrained(name));
+        let (lo, hi) = config.bandwidth_range;
+        let capacity = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        topo.connect(Link {
+            a: backbone,
+            b: node,
+            capacity_bps: capacity,
+            delay_us: 1_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: config.link_flat_price,
+        })
+        .expect("valid generated link");
+        node
+    };
+    let sender_host = attach(&mut topo, "host-sender".to_string(), &mut rng);
+
+    // Services: layer by layer, numeric order.
+    let mut service_hosts: Vec<NodeId> = Vec::new();
+    let mut services = ServiceRegistry::new();
+    let mut service_index = 0usize;
+    let mut pending: Vec<(ServiceSpec, NodeId)> = Vec::new();
+    for layer in 0..config.layers {
+        for _ in 0..config.services_per_layer {
+            service_index += 1;
+            let host = attach(&mut topo, format!("host-S{service_index}"), &mut rng);
+            let mut conversions = Vec::new();
+            for _ in 0..config.conversions_per_service.max(1) {
+                let input = layer_formats[layer][rng.random_range(0..config.formats_per_layer)];
+                let output =
+                    layer_formats[layer + 1][rng.random_range(0..config.formats_per_layer)];
+                let (lo, hi) = config.cap_range;
+                let cap = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+                let mut domain = DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous { min: 0.0, max: cap },
+                );
+                if config.multi_axis {
+                    let px_cap = rng.random_range(19_200.0..=307_200.0);
+                    domain.set(
+                        Axis::PixelCount,
+                        AxisDomain::Continuous { min: 4_800.0, max: px_cap },
+                    );
+                }
+                conversions.push(ConversionSpec {
+                    input: formats.name(input).to_string(),
+                    output: formats.name(output).to_string(),
+                    output_domain: domain,
+                });
+            }
+            let spec = ServiceSpec::new(format!("S{service_index}"), conversions).with_price(
+                qosc_profiles::PriceModel {
+                    per_second: config.service_price,
+                    per_mbit: 0.0,
+                },
+            );
+            pending.push((spec, host));
+            service_hosts.push(host);
+        }
+    }
+    let receiver_host = attach(&mut topo, "host-receiver".to_string(), &mut rng);
+    let network = Network::new(topo);
+    for (spec, host) in pending {
+        services.register_static(
+            TranscoderDescriptor::resolve(&spec, &formats, host)
+                .expect("generated formats are interned"),
+        );
+    }
+    let _ = service_hosts;
+
+    // Content: a variant per layer-0 format.
+    let mut offered = DomainVector::new().with(
+        Axis::FrameRate,
+        AxisDomain::Continuous { min: 0.0, max: 30.0 },
+    );
+    if config.multi_axis {
+        offered.set(
+            Axis::PixelCount,
+            AxisDomain::Continuous { min: 4_800.0, max: 307_200.0 },
+        );
+    }
+    let content = ContentProfile::new(
+        "generated-content",
+        layer_formats[0]
+            .iter()
+            .map(|&f| VariantSpec {
+                format: formats.name(f).to_string(),
+                offered: offered.clone(),
+            })
+            .collect(),
+    );
+
+    // Device: decodes every final-layer format.
+    let device = DeviceProfile::new(
+        "generated-device",
+        layer_formats[config.layers]
+            .iter()
+            .map(|&f| formats.name(f).to_string())
+            .collect(),
+        HardwareCaps::desktop(),
+    );
+
+    let mut satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
+        Axis::FrameRate,
+        SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+    ));
+    if config.multi_axis {
+        satisfaction.insert(AxisPreference::new(
+            Axis::PixelCount,
+            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+        ));
+    }
+    let mut user = UserProfile::new("generated-user", satisfaction);
+    user.budget = config.budget;
+
+    Scenario {
+        formats,
+        services,
+        network,
+        profiles: qosc_profiles::ProfileSet {
+            user,
+            content,
+            device,
+            context: ContextProfile::default(),
+            network: NetworkProfile::lan(),
+        },
+        sender_host,
+        receiver_host,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_core::SelectOptions;
+
+    #[test]
+    fn generated_scenario_is_deterministic() {
+        let config = GeneratorConfig::default();
+        let a = random_scenario(&config, 42);
+        let b = random_scenario(&config, 42);
+        let ca = a.compose(&SelectOptions::default()).unwrap();
+        let cb = b.compose(&SelectOptions::default()).unwrap();
+        match (ca.selection.chain, cb.selection.chain) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.names(), y.names());
+                assert_eq!(x.satisfaction, y.satisfaction);
+            }
+            (None, None) => {}
+            _ => panic!("same seed should give the same outcome"),
+        }
+    }
+
+    #[test]
+    fn most_seeds_are_solvable() {
+        let config = GeneratorConfig::default();
+        let mut solved = 0;
+        for seed in 0..20 {
+            let scenario = random_scenario(&config, seed);
+            if scenario
+                .compose(&SelectOptions::default())
+                .unwrap()
+                .selection
+                .chain
+                .is_some()
+            {
+                solved += 1;
+            }
+        }
+        assert!(solved >= 15, "only {solved}/20 seeds solvable");
+    }
+
+    #[test]
+    fn scaling_changes_service_count() {
+        let config = GeneratorConfig::default().with_total_services(60);
+        assert_eq!(config.total_services(), 60);
+        let scenario = random_scenario(&config, 1);
+        assert_eq!(scenario.services.live_count(), 60);
+    }
+
+    #[test]
+    fn multi_axis_scenarios_compose() {
+        let config = GeneratorConfig { multi_axis: true, ..GeneratorConfig::default() };
+        let scenario = random_scenario(&config, 7);
+        let composition = scenario.compose(&SelectOptions::default()).unwrap();
+        if let Some(chain) = composition.selection.chain {
+            assert!(chain.satisfaction > 0.0);
+        }
+    }
+}

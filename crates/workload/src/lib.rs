@@ -1,0 +1,86 @@
+//! # qosc-workload
+//!
+//! Ready-made scenarios for the `qosc` reproduction of *"A QoS-based
+//! Service Composition for Content Adaptation"* (ICDE 2007):
+//!
+//! * [`Scenario`] — a self-contained bundle of everything one
+//!   composition request needs (formats, services, network, profiles,
+//!   endpoints),
+//! * [`paper`] — the paper's own evaluation artifacts: the Figure-3
+//!   construction example and the Figure-6 graph whose selection run is
+//!   Table 1 (reverse-engineered from the table; see the module docs),
+//! * [`generator`] — seeded random scenario generators for the
+//!   scalability, baseline-comparison and optimality experiments,
+//! * [`profiles_gen`] — seeded heterogeneous user/device populations
+//!   (the client diversity the paper's introduction motivates).
+
+pub mod generator;
+pub mod paper;
+pub mod profiles_gen;
+
+use qosc_core::{Composer, Composition, SelectOptions};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, NodeId};
+use qosc_profiles::ProfileSet;
+use qosc_services::ServiceRegistry;
+
+/// A self-contained composition scenario.
+///
+/// ```
+/// use qosc_core::SelectOptions;
+/// use qosc_workload::generator::{random_scenario, GeneratorConfig};
+///
+/// let scenario = random_scenario(&GeneratorConfig::default(), 42);
+/// let composition = scenario.compose(&SelectOptions::default()).unwrap();
+/// // Seeded generation is deterministic: same seed, same outcome.
+/// let again = random_scenario(&GeneratorConfig::default(), 42)
+///     .compose(&SelectOptions::default())
+///     .unwrap();
+/// assert_eq!(
+///     composition.selection.chain.map(|c| c.satisfaction),
+///     again.selection.chain.map(|c| c.satisfaction),
+/// );
+/// ```
+pub struct Scenario {
+    /// The scenario's format registry.
+    pub formats: FormatRegistry,
+    /// The live service registry.
+    pub services: ServiceRegistry,
+    /// The network.
+    pub network: Network,
+    /// The request's profile set.
+    pub profiles: ProfileSet,
+    /// Node the sender runs on.
+    pub sender_host: NodeId,
+    /// Node the receiver runs on.
+    pub receiver_host: NodeId,
+}
+
+impl Scenario {
+    /// A composer borrowing this scenario's state.
+    pub fn composer(&self) -> Composer<'_> {
+        Composer {
+            formats: &self.formats,
+            services: &self.services,
+            network: &self.network,
+        }
+    }
+
+    /// Compose the scenario's request.
+    pub fn compose(&self, options: &SelectOptions) -> qosc_core::Result<Composition> {
+        self.composer()
+            .compose(&self.profiles, self.sender_host, self.receiver_host, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_composes() {
+        let scenario = paper::figure6_scenario(true);
+        let composition = scenario.compose(&SelectOptions::default()).unwrap();
+        assert!(composition.plan.is_some());
+    }
+}

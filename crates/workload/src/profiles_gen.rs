@@ -1,0 +1,205 @@
+//! Random profile generators: heterogeneous users and devices.
+//!
+//! The paper's whole motivation is *diversity* — "clients range from a
+//! small single-task audio player to a complex … desktop computer" with
+//! equally diverse user preferences. These generators produce that
+//! diversity deterministically (seeded) for the population experiments:
+//! each draw is a coherent user (preference shapes, weights, optional
+//! budget) or device (a hardware class with per-unit variation).
+
+use qosc_media::Axis;
+use qosc_profiles::{DeviceProfile, HardwareCaps, UserProfile};
+use qosc_satisfaction::{AxisPreference, Combiner, SatisfactionFn, SatisfactionProfile};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw a random video-watching user: a frame-rate preference always,
+/// a resolution preference usually, with varied shapes, weights and an
+/// occasional budget.
+pub fn random_user(seed: u64) -> UserProfile {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut satisfaction = SatisfactionProfile::new();
+
+    // Frame rate: everyone cares, shapes differ.
+    let fps_ideal = rng.random_range(15.0..=30.0);
+    let fps_fn = if rng.random_bool(0.6) {
+        SatisfactionFn::Linear { min_acceptable: rng.random_range(0.0..=5.0), ideal: fps_ideal }
+    } else {
+        SatisfactionFn::Saturating {
+            min_acceptable: rng.random_range(0.0..=5.0),
+            ideal: fps_ideal,
+            scale: rng.random_range(3.0..=12.0),
+        }
+    };
+    satisfaction.insert(AxisPreference::weighted(
+        Axis::FrameRate,
+        fps_fn,
+        rng.random_range(0.5..=3.0),
+    ));
+
+    // Resolution: most users care.
+    if rng.random_bool(0.8) {
+        let px_ideal = rng.random_range(76_800.0..=307_200.0);
+        satisfaction.insert(AxisPreference::weighted(
+            Axis::PixelCount,
+            SatisfactionFn::Linear { min_acceptable: 4_800.0, ideal: px_ideal },
+            rng.random_range(0.5..=2.0),
+        ));
+    }
+
+    // A minority uses the weighted extension of [29].
+    if rng.random_bool(0.3) {
+        satisfaction.use_weighted_combination();
+    } else {
+        satisfaction.combiner = Combiner::HarmonicMean;
+    }
+
+    let mut user = UserProfile::new(format!("user-{seed}"), satisfaction);
+    if rng.random_bool(0.25) {
+        user.budget = Some(rng.random_range(0.5..=5.0));
+    }
+    user
+}
+
+/// Device classes spanning the paper's diversity axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceClass {
+    /// A 2007-era PDA: QVGA, one speaker, H.263 only.
+    Pda,
+    /// A smartphone-class handset: HVGA, H.263 + MPEG-1.
+    Handset,
+    /// A laptop: XGA, most video codecs.
+    Laptop,
+    /// A desktop: full HD, everything.
+    Desktop,
+}
+
+impl DeviceClass {
+    /// All classes, small to large.
+    pub const ALL: [DeviceClass; 4] = [
+        DeviceClass::Pda,
+        DeviceClass::Handset,
+        DeviceClass::Laptop,
+        DeviceClass::Desktop,
+    ];
+}
+
+/// Draw a device of a random class with ±10 % per-unit CPU variation.
+pub fn random_device(seed: u64) -> DeviceProfile {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95));
+    let class = DeviceClass::ALL[rng.random_range(0..DeviceClass::ALL.len())];
+    device_of_class(class, &mut rng)
+}
+
+fn device_of_class(class: DeviceClass, rng: &mut SmallRng) -> DeviceProfile {
+    let jitter = rng.random_range(0.9..=1.1);
+    let (name, decoders, mut caps) = match class {
+        DeviceClass::Pda => (
+            "pda",
+            vec!["video/h263".to_string()],
+            HardwareCaps::pda(),
+        ),
+        DeviceClass::Handset => (
+            "handset",
+            vec!["video/h263".to_string(), "video/mpeg1".to_string()],
+            HardwareCaps {
+                screen_width: 480,
+                screen_height: 320,
+                color_depth: 24,
+                audio_channels: 2,
+                max_sample_rate: 44_100,
+                cpu_mips: 800.0,
+                memory_bytes: 256e6,
+            },
+        ),
+        DeviceClass::Laptop => (
+            "laptop",
+            vec![
+                "video/h263".to_string(),
+                "video/mpeg1".to_string(),
+                "video/mpeg2".to_string(),
+            ],
+            HardwareCaps {
+                screen_width: 1024,
+                screen_height: 768,
+                color_depth: 24,
+                audio_channels: 2,
+                max_sample_rate: 48_000,
+                cpu_mips: 4_000.0,
+                memory_bytes: 2e9,
+            },
+        ),
+        DeviceClass::Desktop => (
+            "desktop",
+            vec![
+                "video/h263".to_string(),
+                "video/mpeg1".to_string(),
+                "video/mpeg2".to_string(),
+                "video/mpeg4".to_string(),
+            ],
+            HardwareCaps::desktop(),
+        ),
+    };
+    caps.cpu_mips *= jitter;
+    DeviceProfile::new(format!("{name}-{jitter:.2}"), decoders, caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_are_deterministic_and_valid() {
+        for seed in 0..50 {
+            let a = random_user(seed);
+            let b = random_user(seed);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate().unwrap();
+            assert!(!a.satisfaction.is_empty());
+        }
+    }
+
+    #[test]
+    fn users_are_diverse() {
+        let users: Vec<_> = (0..20).map(random_user).collect();
+        let budgets = users.iter().filter(|u| u.budget.is_some()).count();
+        assert!(budgets > 0 && budgets < 20, "budget mix expected, got {budgets}");
+        let weighted = users
+            .iter()
+            .filter(|u| {
+                matches!(
+                    u.satisfaction.combiner,
+                    qosc_satisfaction::Combiner::WeightedHarmonic { .. }
+                )
+            })
+            .count();
+        assert!(weighted > 0, "some users should use the weighted extension");
+    }
+
+    #[test]
+    fn devices_are_deterministic_and_valid() {
+        for seed in 0..50 {
+            let a = random_device(seed);
+            let b = random_device(seed);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn devices_cover_multiple_classes() {
+        let mut decoder_counts: Vec<usize> =
+            (0..30).map(|s| random_device(s).decoders.len()).collect();
+        decoder_counts.sort_unstable();
+        decoder_counts.dedup();
+        assert!(decoder_counts.len() >= 2, "expected class diversity");
+    }
+
+    #[test]
+    fn devices_resolve_against_builtins() {
+        let formats = qosc_media::FormatRegistry::with_builtins();
+        for seed in 0..20 {
+            random_device(seed).resolve_decoders(&formats).unwrap();
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Mobile web browsing, the paper's motivating adaptation scenario:
+//! an HTML page with a large JPEG photo, requested by a WAP phone that
+//! renders WML and 8-colour GIF over a metered GPRS link.
+//!
+//! Two compositions run: one for the page text (HTML → WML, possibly via
+//! the summarizer) and one for the photo (JPEG colour reduction → GIF,
+//! the paper's own two-stage example from the introduction).
+//!
+//! ```text
+//! cargo run -p qosc-bench --example mobile_browsing
+//! ```
+
+use qosc_core::{Composer, SelectOptions};
+use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, VariantSpec};
+use qosc_netsim::{Link, Network, Node, Topology};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile, ProfileSet,
+    UserProfile,
+};
+use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+fn main() {
+    let formats = FormatRegistry::with_builtins();
+
+    // Web server — carrier proxy — WAP phone over GPRS (metered!).
+    let mut topo = Topology::new();
+    let web = topo.add_node(Node::unconstrained("web-server"));
+    let proxy = topo.add_node(Node::new("carrier-proxy", 2_000.0, 4e9));
+    let phone = topo.add_node(Node::unconstrained("wap-phone"));
+    topo.connect_simple(web, proxy, 100e6).unwrap();
+    topo.connect(Link {
+        a: proxy,
+        b: phone,
+        capacity_bps: 40_000.0, // GPRS-class
+        delay_us: 300_000,
+        loss: 0.01,
+        price_per_mbit: 0.05, // metered
+        price_flat: 0.0,
+    })
+    .unwrap();
+    let network = Network::new(topo);
+
+    let mut services = ServiceRegistry::new();
+    for spec in catalog::full_catalog() {
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+
+    let phone_device = DeviceProfile::new(
+        "wap-phone",
+        vec!["text/wml".to_string(), "image/gif".to_string()],
+        HardwareCaps {
+            screen_width: 128,
+            screen_height: 160,
+            color_depth: 8,
+            audio_channels: 1,
+            max_sample_rate: 8_000,
+            cpu_mips: 50.0,
+            memory_bytes: 8e6,
+        },
+    )
+    .with_os("WAP 1.2");
+
+    // --- Request 1: the page text ---
+    let text_user = UserProfile::new(
+        "commuter",
+        SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::Fidelity,
+            SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 60.0 },
+        )),
+    )
+    .with_budget(0.01);
+    let page = ContentProfile::new(
+        "news-article",
+        vec![VariantSpec {
+            format: "text/html".to_string(),
+            offered: DomainVector::new().with(
+                Axis::Fidelity,
+                AxisDomain::Continuous { min: 5.0, max: 100.0 },
+            ),
+        }],
+    );
+    compose_and_print(
+        "page text (HTML → WML)",
+        &formats,
+        &services,
+        &network,
+        ProfileSet {
+            user: text_user,
+            content: page,
+            device: phone_device.clone(),
+            context: ContextProfile::noisy_commute(),
+            network: NetworkProfile::cellular(),
+        },
+        web,
+        phone,
+    );
+
+    // --- Request 2: the photo (the paper's 256-colour JPEG → GIF case) ---
+    let photo_user = UserProfile::new(
+        "commuter",
+        SatisfactionProfile::new()
+            .with(AxisPreference::new(
+                Axis::PixelCount,
+                SatisfactionFn::Linear { min_acceptable: 1_024.0, ideal: 128.0 * 160.0 },
+            ))
+            .with(AxisPreference::new(
+                Axis::ColorDepth,
+                SatisfactionFn::Linear { min_acceptable: 1.0, ideal: 8.0 },
+            )),
+    );
+    let photo = ContentProfile::new(
+        "headline-photo",
+        vec![VariantSpec {
+            format: "image/jpeg".to_string(),
+            offered: DomainVector::new()
+                .with(
+                    Axis::PixelCount,
+                    AxisDomain::Continuous { min: 1_024.0, max: 2_073_600.0 },
+                )
+                .with(Axis::ColorDepth, AxisDomain::Continuous { min: 1.0, max: 24.0 }),
+        }],
+    );
+    compose_and_print(
+        "photo (JPEG → GIF, colour-reduced)",
+        &formats,
+        &services,
+        &network,
+        ProfileSet {
+            user: photo_user,
+            content: photo,
+            device: phone_device,
+            context: ContextProfile::noisy_commute(),
+            network: NetworkProfile::cellular(),
+        },
+        web,
+        phone,
+    );
+}
+
+fn compose_and_print(
+    label: &str,
+    formats: &FormatRegistry,
+    services: &ServiceRegistry,
+    network: &Network,
+    profiles: ProfileSet,
+    from: qosc_netsim::NodeId,
+    to: qosc_netsim::NodeId,
+) {
+    let composer = Composer { formats, services, network };
+    let composition = composer
+        .compose(&profiles, from, to, &SelectOptions::default())
+        .expect("composition runs");
+    println!("=== {label} ===");
+    match composition.plan {
+        Some(plan) => print!("{}", plan.describe(formats)),
+        None => println!(
+            "no chain: {}",
+            composition
+                .selection
+                .failure
+                .map(|f| f.to_string())
+                .unwrap_or_default()
+        ),
+    }
+    println!();
+}

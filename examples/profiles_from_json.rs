@@ -1,0 +1,80 @@
+//! Profile interchange: load a complete request (user + content +
+//! device + context + network profiles) from JSON — our stand-in for
+//! the MPEG-21 / UAProf descriptions the paper cites — and compose for
+//! it.
+//!
+//! The request is a rugged tablet streaming an inspection camera in a
+//! very noisy turbine hall: the context profile downweights audio, the
+//! budget is metered, and the device only decodes H.263/MPEG-1.
+//!
+//! ```text
+//! cargo run -p qosc-bench --example profiles_from_json
+//! ```
+
+use qosc_core::{Composer, SelectOptions};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, Node, Topology};
+use qosc_profiles::ProfileSet;
+use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+const REQUEST_JSON: &str = include_str!("data/request.json");
+
+fn main() {
+    // The wire form, exactly as a client would submit it.
+    let profiles = ProfileSet::from_json(REQUEST_JSON).expect("request.json parses");
+    profiles.validate().expect("request validates");
+    println!(
+        "loaded request: user `{}` wants `{}` on `{}` over {} (budget {:?}/s)",
+        profiles.user.name,
+        profiles.content.title,
+        profiles.device.name,
+        profiles.network.technology,
+        profiles.user.budget,
+    );
+
+    // Scenario substrate: camera — plant proxy — tablet.
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let camera = topo.add_node(Node::unconstrained("camera"));
+    let proxy = topo.add_node(Node::new("plant-proxy", 4_000.0, 8e9));
+    let tablet = topo.add_node(Node::unconstrained("tablet"));
+    topo.connect_simple(camera, proxy, 50e6).unwrap();
+    topo.connect_simple(proxy, tablet, profiles.network.downlink_bps)
+        .unwrap();
+    let mut network = Network::new(topo);
+    let mut services = ServiceRegistry::new();
+    for spec in catalog::full_catalog() {
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+
+    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composition = composer
+        .compose(&profiles, camera, tablet, &SelectOptions::default())
+        .expect("composition runs");
+    let plan = composition.plan.expect("the catalog reaches the tablet");
+    println!();
+    print!("{}", plan.describe(&formats));
+
+    // Round-trip check: serialize the profiles back out — byte-stable
+    // interchange is what lets intermediaries forward requests.
+    let json = profiles.to_json().expect("serializes");
+    let again = ProfileSet::from_json(&json).expect("round-trips");
+    assert_eq!(again, profiles);
+    println!();
+    println!("profile set round-trips through JSON ({} bytes)", json.len());
+
+    // And stream it.
+    let profile = profiles.effective_satisfaction();
+    let report = qosc_pipeline::run_session(
+        &mut network,
+        &services,
+        &plan,
+        &profile,
+        &qosc_pipeline::SessionConfig::default(),
+    )
+    .expect("session runs");
+    println!(
+        "delivered {:.1} fps, measured satisfaction {:.3} (predicted {:.3})",
+        report.delivered_fps, report.measured_satisfaction, plan.predicted_satisfaction
+    );
+}

@@ -1,0 +1,132 @@
+//! The Section-3 policy example, end to end: "the preference of the
+//! user to drop the audio quality of a sport-clip before degrading the
+//! video quality when resources are limited".
+//!
+//! A sport clip is a bundle of a video track and an audio track; the
+//! user's budget is swept from ample to starved and the degradation
+//! policy decides which track gives way.
+//!
+//! ```text
+//! cargo run -p qosc-bench --example sport_clip_bundle
+//! ```
+
+use qosc_core::{compose_bundle, Composer, SelectOptions};
+use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, MediaKind, VariantSpec};
+use qosc_netsim::{Network, Node, Topology};
+use qosc_profiles::{
+    AdaptationPolicy, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps,
+    NetworkProfile, ProfileSet, UserProfile,
+};
+use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+fn main() {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("stadium-feed"));
+    let proxy = topo.add_node(Node::unconstrained("cdn-proxy"));
+    let client = topo.add_node(Node::unconstrained("viewer"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    topo.connect_simple(proxy, client, 5e6).unwrap();
+    let network = Network::new(topo);
+    let mut services = ServiceRegistry::new();
+    for spec in catalog::full_catalog() {
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+
+    let video = ContentProfile::new(
+        "sport-clip/video",
+        vec![VariantSpec {
+            format: "video/mpeg2".to_string(),
+            offered: DomainVector::new()
+                .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
+                .with(
+                    Axis::PixelCount,
+                    AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 },
+                )
+                .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 }),
+        }],
+    );
+    let audio = ContentProfile::new(
+        "sport-clip/audio",
+        vec![VariantSpec {
+            format: "audio/pcm".to_string(),
+            offered: DomainVector::new()
+                .with(
+                    Axis::SampleRate,
+                    AxisDomain::Discrete(vec![8_000.0, 22_050.0, 44_100.0]),
+                )
+                .with(Axis::Channels, AxisDomain::Discrete(vec![1.0, 2.0]))
+                .with(Axis::SampleDepth, AxisDomain::Discrete(vec![8.0, 16.0])),
+        }],
+    );
+
+    let satisfaction = SatisfactionProfile::new()
+        .with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+        ))
+        .with(AxisPreference::new(
+            Axis::SampleRate,
+            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44_100.0 },
+        ));
+    let base = ProfileSet {
+        user: UserProfile::new("sports-fan", satisfaction)
+            .with_policy(AdaptationPolicy { degrade_first: vec![MediaKind::Audio] }),
+        content: video.clone(),
+        device: DeviceProfile::new(
+            "media-box",
+            vec![
+                "video/h263".to_string(),
+                "video/mpeg1".to_string(),
+                "audio/mp3".to_string(),
+                "audio/amr".to_string(),
+            ],
+            HardwareCaps::desktop(),
+        ),
+        context: ContextProfile::default(),
+        network: NetworkProfile::broadband(),
+    };
+    let contents = [video, audio];
+    let composer = Composer { formats: &formats, services: &services, network: &network };
+
+    println!("sport clip = video track + audio track; policy: degrade AUDIO first");
+    println!();
+    for budget in [None, Some(0.02), Some(0.0033), Some(0.002), Some(0.001)] {
+        let mut request = base.clone();
+        request.user.budget = budget;
+        let bundle = compose_bundle(
+            &composer,
+            &request,
+            &contents,
+            server,
+            client,
+            &SelectOptions::default(),
+        )
+        .expect("bundle composes");
+        let describe = |stream: &qosc_core::BundleStream| match &stream.plan {
+            Some(plan) => format!(
+                "sat {:.2} (cost {:.4}/s)",
+                plan.predicted_satisfaction, plan.total_cost
+            ),
+            None => "DROPPED".to_string(),
+        };
+        println!(
+            "budget {}: video {}, audio {} → bundle cost {:.4}/s, mean sat {:.2}",
+            budget
+                .map(|b| format!("{b:.3}/s"))
+                .unwrap_or_else(|| "   ∞  ".to_string()),
+            describe(&bundle.streams[0]),
+            describe(&bundle.streams[1]),
+            bundle.total_cost,
+            bundle.mean_satisfaction,
+        );
+    }
+    println!();
+    println!(
+        "As the budget tightens, the audio track is sacrificed first while \
+         the video track holds — Section 3's policy, executed. At the very \
+         bottom (0.001/s) even the cheapest video chain is unaffordable, so \
+         the bundle falls back to audio-only rather than deliver nothing."
+    );
+}

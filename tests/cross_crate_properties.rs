@@ -1,0 +1,131 @@
+//! Property-based cross-crate invariants (proptest): the structural
+//! guarantees the paper states hold over randomized scenarios.
+
+use proptest::prelude::*;
+use qosc_core::graph::acyclic;
+use qosc_core::SelectOptions;
+use qosc_media::Axis;
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..=3,      // layers
+        2usize..=5,      // services per layer
+        2usize..=3,      // formats per layer
+        1usize..=3,      // conversions per service
+        10_000f64..=80_000f64,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(layers, spl, fpl, cps, bw, multi_axis)| GeneratorConfig {
+            layers,
+            services_per_layer: spl,
+            formats_per_layer: fpl,
+            conversions_per_service: cps,
+            bandwidth_range: (bw * 0.5, bw),
+            multi_axis,
+            ..GeneratorConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every edge of a constructed graph is format-matched: the producing
+    /// vertex can output the edge format and the consuming vertex accepts
+    /// it (Section 4.2's construction rule).
+    #[test]
+    fn edges_are_format_matched((config, seed) in (arb_config(), 0u64..1000)) {
+        let scenario = random_scenario(&config, seed);
+        let composition = scenario.compose(&SelectOptions { record_trace: false, ..Default::default() }).unwrap();
+        let graph = &composition.graph;
+        for edge_id in graph.edge_ids() {
+            let edge = graph.edge(edge_id).unwrap();
+            let from = graph.vertex(edge.from).unwrap();
+            let to = graph.vertex(edge.to).unwrap();
+            prop_assert!(from.conversions.iter().any(|c| c.output == edge.format));
+            prop_assert!(to.accepts(edge.format));
+        }
+    }
+
+    /// Layered generation yields DAGs, and the selected chain's edge
+    /// formats are pairwise distinct (the paper's acyclicity rule).
+    #[test]
+    fn selected_chains_have_distinct_formats((config, seed) in (arb_config(), 0u64..1000)) {
+        let scenario = random_scenario(&config, seed);
+        let composition = scenario.compose(&SelectOptions { record_trace: false, ..Default::default() }).unwrap();
+        prop_assert!(!acyclic::has_cycle(&composition.graph));
+        if let Some(chain) = &composition.selection.chain {
+            let mut formats: Vec<_> = chain.steps[..chain.steps.len() - 1]
+                .iter()
+                .map(|s| s.output_format)
+                .collect();
+            let before = formats.len();
+            formats.sort();
+            formats.dedup();
+            prop_assert_eq!(formats.len(), before, "repeated format along the chain");
+        }
+    }
+
+    /// Selection invariants: satisfaction in [0, 1] and non-increasing
+    /// along the chain; accumulated cost non-decreasing and within any
+    /// configured budget.
+    #[test]
+    fn chain_labels_are_monotone((config, seed, budget) in (arb_config(), 0u64..1000, proptest::option::of(1.0f64..20.0))) {
+        let mut config = config;
+        config.budget = budget;
+        let scenario = random_scenario(&config, seed);
+        let composition = scenario.compose(&SelectOptions { record_trace: false, ..Default::default() }).unwrap();
+        if let Some(chain) = &composition.selection.chain {
+            for step in &chain.steps {
+                prop_assert!((0.0..=1.0).contains(&step.satisfaction));
+            }
+            for pair in chain.steps.windows(2) {
+                prop_assert!(pair[1].satisfaction <= pair[0].satisfaction + 1e-9);
+                prop_assert!(pair[1].accumulated_cost >= pair[0].accumulated_cost - 1e-9);
+            }
+            if let Some(b) = budget {
+                prop_assert!(chain.total_cost <= b * (1.0 + 1e-6) + 1e-6);
+            }
+        }
+    }
+
+    /// The delivered parameters never exceed what the sender offered
+    /// (quality monotonicity end to end).
+    #[test]
+    fn delivered_quality_never_exceeds_offer((config, seed) in (arb_config(), 0u64..1000)) {
+        let scenario = random_scenario(&config, seed);
+        let composition = scenario.compose(&SelectOptions { record_trace: false, ..Default::default() }).unwrap();
+        if let Some(chain) = &composition.selection.chain {
+            let delivered = chain.steps.last().unwrap().params;
+            if let Some(fps) = delivered.get(Axis::FrameRate) {
+                prop_assert!(fps <= 30.0 + 1e-9, "offer caps at 30 fps");
+            }
+            if let Some(px) = delivered.get(Axis::PixelCount) {
+                prop_assert!(px <= 307_200.0 + 1e-6);
+            }
+        }
+    }
+
+    /// The plan's hop rates satisfy Equa. 2 against the graph edges the
+    /// chain used (no plan ever promises more than the network snapshot
+    /// allowed).
+    #[test]
+    fn plan_rates_respect_edge_bandwidth((config, seed) in (arb_config(), 0u64..1000)) {
+        let scenario = random_scenario(&config, seed);
+        let composition = scenario.compose(&SelectOptions { record_trace: false, ..Default::default() }).unwrap();
+        if let Some(plan) = &composition.plan {
+            for pair in plan.steps.windows(2) {
+                let available = scenario
+                    .network
+                    .available_between(pair[0].host, pair[1].host)
+                    .unwrap();
+                prop_assert!(
+                    pair[1].input_bps <= available * (1.0 + 1e-6) + 1e-6,
+                    "hop rate {} exceeds available {}",
+                    pair[1].input_bps,
+                    available
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! E4 integration test: graph construction reproduces the structure of
+//! the paper's Figure 3 from the profiles alone.
+
+use qosc_core::graph::acyclic;
+use qosc_core::SelectOptions;
+use qosc_workload::paper;
+
+#[test]
+fn figure3_structure() {
+    let scenario = paper::figure3_scenario();
+    let composition = scenario.compose(&SelectOptions::default()).unwrap();
+    let graph = &composition.graph;
+
+    // One sender, seven intermediaries, one receiver.
+    assert_eq!(graph.vertex_count(), 9);
+    let sender = graph.sender().unwrap();
+    let receiver = graph.receiver().unwrap();
+
+    // "The sender node is connected to the trans-coding service T1 along
+    //  the edge labeled F5."
+    let t1 = graph.vertex_by_name("T1").unwrap();
+    let f5 = scenario.formats.lookup("F5").unwrap();
+    assert!(graph.out_edges(sender).iter().any(|&e| {
+        let edge = graph.edge(e).unwrap();
+        edge.to == t1 && edge.format == f5
+    }));
+
+    // T1 has two input formats and four output formats (Figure 2).
+    let t1_vertex = graph.vertex(t1).unwrap();
+    let mut inputs: Vec<_> = t1_vertex.conversions.iter().map(|c| c.input).collect();
+    inputs.sort();
+    inputs.dedup();
+    assert_eq!(inputs.len(), 2);
+    assert_eq!(t1_vertex.output_formats().len(), 4);
+
+    // The receiver's input links are exactly its decoders.
+    let decoders: Vec<_> = ["F14", "F15", "F16"]
+        .iter()
+        .map(|n| scenario.formats.lookup(n).unwrap())
+        .collect();
+    for &e in graph.in_edges(receiver) {
+        let edge = graph.edge(e).unwrap();
+        assert!(decoders.contains(&edge.format));
+    }
+    assert!(!graph.in_edges(receiver).is_empty());
+
+    // Sender: only output links; receiver: only input links.
+    assert!(graph.in_edges(sender).is_empty());
+    assert!(graph.out_edges(receiver).is_empty());
+}
+
+#[test]
+fn figure3_graph_is_acyclic_with_distinct_formats_on_paths() {
+    let scenario = paper::figure3_scenario();
+    let composition = scenario.compose(&SelectOptions::default()).unwrap();
+    let graph = &composition.graph;
+    assert!(!acyclic::has_cycle(graph), "Figure 3 is a DAG");
+    assert!(acyclic::topological_order(graph).is_some());
+}
+
+#[test]
+fn figure3_selection_reaches_receiver() {
+    let scenario = paper::figure3_scenario();
+    let composition = scenario.compose(&SelectOptions::default()).unwrap();
+    let chain = composition.selection.chain.expect("receiver reachable");
+    let names = chain.names();
+    assert_eq!(names.first().copied(), Some("sender"));
+    assert_eq!(names.last().copied(), Some("receiver"));
+    assert!(chain.satisfaction > 0.9, "uncapped example delivers near-ideal quality");
+}
+
+#[test]
+fn figure3_prune_is_lossless_here() {
+    // Figure 3 has no dead ends: pruning should keep everything that
+    // selection uses and never change the outcome.
+    let scenario = paper::figure3_scenario();
+    let composition = scenario.compose(&SelectOptions::default()).unwrap();
+    let (pruned, _) = qosc_core::graph::prune::prune(&composition.graph).unwrap();
+    let profile = scenario.profiles.effective_satisfaction();
+    let outcome = qosc_core::select_chain(
+        &pruned,
+        &scenario.formats,
+        &profile,
+        f64::INFINITY,
+        &SelectOptions::default(),
+    )
+    .unwrap();
+    let original = composition.selection.chain.unwrap();
+    let after = outcome.chain.expect("still solvable after pruning");
+    assert_eq!(original.satisfaction, after.satisfaction);
+    assert_eq!(original.names(), after.names());
+}

@@ -1,0 +1,135 @@
+//! E6 integration test: the Figure-5 optimality argument — the greedy
+//! selection equals the exhaustive optimum on every solvable scenario —
+//! plus pruning-preserves-the-optimum.
+
+use qosc_core::baseline::exhaustive::{exhaustive_optimum, ExhaustiveOptions};
+use qosc_core::graph::prune::prune;
+use qosc_core::select::label::ExtendContext;
+use qosc_core::{select_chain, SelectOptions};
+use qosc_satisfaction::OptimizeOptions;
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn compare_on(config: &GeneratorConfig, seeds: std::ops::Range<u64>) -> (usize, usize) {
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let mut solvable = 0usize;
+    let mut equal = 0usize;
+    for seed in seeds {
+        let scenario = random_scenario(config, seed);
+        let composition = scenario.compose(&options).unwrap();
+        let profile = scenario.profiles.effective_satisfaction();
+        let ctx = ExtendContext {
+            graph: &composition.graph,
+            formats: &scenario.formats,
+            profile: &profile,
+            budget: scenario.profiles.user.budget_or_infinite(),
+            optimizer: OptimizeOptions::default(),
+        };
+        let exact = exhaustive_optimum(&ctx, ExhaustiveOptions::default()).unwrap();
+        match (&composition.selection.chain, &exact) {
+            (Some(greedy), Some(exact)) => {
+                solvable += 1;
+                if (greedy.satisfaction - exact.chain.satisfaction).abs() < 1e-9 {
+                    equal += 1;
+                } else {
+                    panic!(
+                        "seed {seed}: greedy {} < exact {}",
+                        greedy.satisfaction, exact.chain.satisfaction
+                    );
+                }
+            }
+            (None, None) => {}
+            (g, e) => panic!(
+                "seed {seed}: reachability mismatch greedy={} exact={}",
+                g.is_some(),
+                e.is_some()
+            ),
+        }
+    }
+    (solvable, equal)
+}
+
+#[test]
+fn greedy_equals_exhaustive_tiny() {
+    let (solvable, equal) = compare_on(&GeneratorConfig::tiny(), 0..40);
+    assert!(solvable >= 20, "want a meaningful sample, got {solvable}");
+    assert_eq!(solvable, equal);
+}
+
+#[test]
+fn greedy_equals_exhaustive_default() {
+    let (solvable, equal) = compare_on(&GeneratorConfig::default(), 0..25);
+    assert!(solvable >= 15, "want a meaningful sample, got {solvable}");
+    assert_eq!(solvable, equal);
+}
+
+#[test]
+fn greedy_equals_exhaustive_with_budget() {
+    let config = GeneratorConfig { budget: Some(3.0), ..GeneratorConfig::tiny() };
+    let (solvable, equal) = compare_on(&config, 0..30);
+    assert_eq!(solvable, equal);
+}
+
+#[test]
+fn greedy_equals_exhaustive_multi_axis() {
+    let config = GeneratorConfig {
+        multi_axis: true,
+        bandwidth_range: (50_000.0, 200_000.0),
+        ..GeneratorConfig::tiny()
+    };
+    let (solvable, equal) = compare_on(&config, 0..15);
+    assert_eq!(solvable, equal);
+}
+
+#[test]
+fn pruning_preserves_the_optimum() {
+    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    for seed in 0..20u64 {
+        let scenario = random_scenario(&GeneratorConfig::default(), seed);
+        let composition = scenario.compose(&options).unwrap();
+        let (pruned, stats) = prune(&composition.graph).unwrap();
+        assert!(pruned.vertex_count() <= composition.graph.vertex_count());
+        let profile = scenario.profiles.effective_satisfaction();
+        let after = select_chain(
+            &pruned,
+            &scenario.formats,
+            &profile,
+            scenario.profiles.user.budget_or_infinite(),
+            &options,
+        )
+        .unwrap();
+        match (&composition.selection.chain, &after.chain) {
+            (Some(a), Some(b)) => assert!(
+                (a.satisfaction - b.satisfaction).abs() < 1e-9,
+                "seed {seed}: pruning changed the optimum ({} removed vertices)",
+                stats.vertices_removed
+            ),
+            (None, None) => {}
+            _ => panic!("seed {seed}: pruning changed solvability"),
+        }
+    }
+}
+
+#[test]
+fn pruning_shrinks_the_paper_graph() {
+    // T4, T9, T11..T20's dead branches disappear; the outcome does not
+    // change.
+    let scenario = qosc_workload::paper::figure6_scenario(true);
+    let composition = scenario.compose(&SelectOptions::default()).unwrap();
+    let (pruned, stats) = prune(&composition.graph).unwrap();
+    assert!(
+        stats.vertices_removed >= 10,
+        "the Figure-6 graph is mostly dead ends, removed {}",
+        stats.vertices_removed
+    );
+    let profile = scenario.profiles.effective_satisfaction();
+    let after = select_chain(
+        &pruned,
+        &scenario.formats,
+        &profile,
+        f64::INFINITY,
+        &SelectOptions::default(),
+    )
+    .unwrap();
+    let chain = after.chain.unwrap();
+    assert_eq!(chain.names(), vec!["sender", "T7", "receiver"]);
+}

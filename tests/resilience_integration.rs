@@ -1,0 +1,183 @@
+//! X4 integration: the self-organizing recovery loop on the paper
+//! scenario and on random scenarios.
+
+use qosc_netsim::SimTime;
+use qosc_pipeline::{run_resilient, FailureEvent, FailureSchedule, ResilienceConfig};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::paper;
+
+#[test]
+fn recovery_beats_no_recovery_on_the_paper_scenario() {
+    let run = |recompose: bool| {
+        let mut scenario = paper::figure6_scenario(true);
+        let t7 = scenario
+            .network
+            .topology()
+            .node_by_name("host-T7")
+            .unwrap();
+        let schedule = FailureSchedule::new()
+            .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+        run_resilient(
+            &scenario.formats,
+            &scenario.services,
+            &mut scenario.network,
+            &scenario.profiles,
+            scenario.sender_host,
+            scenario.receiver_host,
+            &schedule,
+            &ResilienceConfig {
+                total_duration: SimTime::from_secs(30),
+                recompose,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with.mean_satisfaction > without.mean_satisfaction + 0.2,
+        "recovery should be worth a lot: {} vs {}",
+        with.mean_satisfaction,
+        without.mean_satisfaction
+    );
+    assert_eq!(with.recompositions, 1);
+    assert!(with.recovery_gap.unwrap() <= SimTime::from_secs(2));
+}
+
+#[test]
+fn node_restoration_allows_recomposition_back() {
+    // Fail T7 at 5 s, restore it at 15 s: the second fault event is a
+    // restore, which does not kill the active (fallback) chain, so one
+    // recomposition happens in total and streaming never stops after the
+    // detection gap.
+    let mut scenario = paper::figure6_scenario(true);
+    let t7 = scenario.network.topology().node_by_name("host-T7").unwrap();
+    let schedule = FailureSchedule::new()
+        .at(SimTime::from_secs(5), FailureEvent::NodeDown(t7))
+        .at(SimTime::from_secs(15), FailureEvent::NodeUp(t7));
+    let run = run_resilient(
+        &scenario.formats,
+        &scenario.services,
+        &mut scenario.network,
+        &scenario.profiles,
+        scenario.sender_host,
+        scenario.receiver_host,
+        &schedule,
+        &ResilienceConfig {
+            total_duration: SimTime::from_secs(25),
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(run.recompositions, 1);
+    let delivered_segments = run
+        .segments
+        .iter()
+        .filter(|s| s.report.frames_delivered > 0)
+        .count();
+    assert!(delivered_segments >= 2);
+}
+
+#[test]
+fn random_scenarios_recover_when_possible() {
+    let config = GeneratorConfig {
+        layers: 2,
+        services_per_layer: 4,
+        formats_per_layer: 2,
+        bandwidth_range: (40_000.0, 80_000.0),
+        ..GeneratorConfig::default()
+    };
+    let mut recovered = 0usize;
+    let mut attempted = 0usize;
+    for seed in 0..10u64 {
+        let mut scenario = random_scenario(&config, seed);
+        let composition = scenario
+            .compose(&qosc_core::SelectOptions::default())
+            .unwrap();
+        let plan = match composition.plan {
+            Some(p) => p,
+            None => continue,
+        };
+        // Kill the first trans-coding host on the chain.
+        let victim = match plan.steps.iter().find(|s| s.service.is_some()) {
+            Some(step) => step.host,
+            None => continue,
+        };
+        attempted += 1;
+        let schedule = FailureSchedule::new()
+            .at(SimTime::from_secs(5), FailureEvent::NodeDown(victim));
+        let run = run_resilient(
+            &scenario.formats,
+            &scenario.services,
+            &mut scenario.network,
+            &scenario.profiles,
+            scenario.sender_host,
+            scenario.receiver_host,
+            &schedule,
+            &ResilienceConfig {
+                total_duration: SimTime::from_secs(15),
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+        let post_fault_delivery = run
+            .segments
+            .iter()
+            .filter(|s| s.start >= SimTime::from_secs(6))
+            .any(|s| s.report.frames_delivered > 0);
+        if post_fault_delivery {
+            recovered += 1;
+        }
+    }
+    assert!(attempted >= 5, "want a meaningful sample");
+    assert!(
+        recovered * 2 >= attempted,
+        "at least half the scenarios should have an alternate chain: {recovered}/{attempted}"
+    );
+}
+
+/// Pre-planned backups cut the recovery gap from the detection timeout
+/// (1 s) to the switch-over delay (100 ms).
+#[test]
+fn preplanned_backup_fails_over_instantly() {
+    let run = |preplan: bool| {
+        let mut scenario = paper::figure6_scenario(true);
+        let t7 = scenario.network.topology().node_by_name("host-T7").unwrap();
+        let schedule = FailureSchedule::new()
+            .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+        run_resilient(
+            &scenario.formats,
+            &scenario.services,
+            &mut scenario.network,
+            &scenario.profiles,
+            scenario.sender_host,
+            scenario.receiver_host,
+            &schedule,
+            &ResilienceConfig {
+                total_duration: SimTime::from_secs(30),
+                preplan_backups: preplan,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let preplanned = run(true);
+    let reactive = run(false);
+
+    assert_eq!(preplanned.failovers, 1);
+    assert_eq!(preplanned.recompositions, 0, "no re-composition needed");
+    assert_eq!(preplanned.recovery_gap, Some(SimTime::from_millis(100)));
+    assert_eq!(reactive.recovery_gap, Some(SimTime::from_secs(1)));
+    assert!(
+        preplanned.mean_satisfaction > reactive.mean_satisfaction,
+        "the shorter gap must show up in time-weighted satisfaction: {} vs {}",
+        preplanned.mean_satisfaction,
+        reactive.mean_satisfaction
+    );
+    // Both recover onto the T10 fallback chain.
+    for run in [&preplanned, &reactive] {
+        let last = &run.segments.last().unwrap().chain;
+        assert!(last.contains(&"T10".to_string()), "{last:?}");
+    }
+}
