@@ -14,7 +14,10 @@ fn bench_algorithms(c: &mut Criterion) {
         ..GeneratorConfig::default()
     };
     let scenario = random_scenario(&config, 11);
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     let mut group = c.benchmark_group("baselines");
     for algorithm in Algorithm::ALL {
         group.bench_function(algorithm.name(), |b| {

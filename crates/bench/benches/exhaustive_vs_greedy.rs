@@ -7,7 +7,10 @@ use qosc_core::SelectOptions;
 use qosc_workload::generator::{random_scenario, GeneratorConfig};
 
 fn bench_crossover(c: &mut Criterion) {
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     for algorithm in [Algorithm::Greedy, Algorithm::Exhaustive] {
         let mut group = c.benchmark_group(format!(
             "vs/{}",

@@ -54,11 +54,16 @@ fn bench_build_and_prune(c: &mut Criterion) {
         .with_total_services(size);
         let scenario = random_scenario(&config, 3);
         let composition = scenario
-            .compose(&qosc_core::SelectOptions { record_trace: false, ..Default::default() })
+            .compose(&qosc_core::SelectOptions {
+                record_trace: false,
+                ..Default::default()
+            })
             .expect("composes");
-        prune_group.bench_with_input(BenchmarkId::from_parameter(size), &composition.graph, |b, g| {
-            b.iter(|| prune(g).expect("prunes"))
-        });
+        prune_group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &composition.graph,
+            |b, g| b.iter(|| prune(g).expect("prunes")),
+        );
     }
     prune_group.finish();
 }

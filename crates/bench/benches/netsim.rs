@@ -11,9 +11,11 @@ fn bench_routing_and_bandwidth(c: &mut Criterion) {
         let (topo, nodes) = random_waxman(n, 0.4, 0.3, LinkTemplate::default(), 5);
         let network = Network::new(topo);
         let (a, b) = (nodes[0], nodes[n - 1]);
-        group.bench_with_input(BenchmarkId::new("available_between", n), &network, |bch, net| {
-            bch.iter(|| net.available_between(a, b).expect("connected"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("available_between", n),
+            &network,
+            |bch, net| bch.iter(|| net.available_between(a, b).expect("connected")),
+        );
 
         let (topo2, nodes2) = random_waxman(n, 0.4, 0.3, LinkTemplate::default(), 5);
         group.bench_with_input(BenchmarkId::new("reserve_release", n), &(), |bch, _| {

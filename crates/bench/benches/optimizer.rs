@@ -15,15 +15,24 @@ fn multi_axis_profile() -> SatisfactionProfile {
     SatisfactionProfile::new()
         .with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 30.0,
+            },
         ))
         .with(AxisPreference::new(
             Axis::PixelCount,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 307_200.0,
+            },
         ))
         .with(AxisPreference::new(
             Axis::ColorDepth,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 24.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 24.0,
+            },
         ))
 }
 
@@ -35,9 +44,15 @@ fn bench_optimizer(c: &mut Criterion) {
     let profile = single_axis_profile();
     let domain = DomainVector::new().with(
         Axis::FrameRate,
-        AxisDomain::Continuous { min: 0.0, max: 30.0 },
+        AxisDomain::Continuous {
+            min: 0.0,
+            max: 30.0,
+        },
     );
-    let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+    let bitrate = BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    };
     c.bench_function("optimizer/fast_path", |b| {
         let p = Problem {
             profile: &profile,
@@ -66,10 +81,30 @@ fn bench_optimizer(c: &mut Criterion) {
     // Constrained three-axis video: grid + coordinate ascent.
     let profile3 = multi_axis_profile();
     let domain3 = DomainVector::new()
-        .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
-        .with(Axis::PixelCount, AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 })
-        .with(Axis::ColorDepth, AxisDomain::Continuous { min: 4.0, max: 24.0 });
-    let video = BitrateModel::CompressedVideo { compression_ratio: 100.0 };
+        .with(
+            Axis::FrameRate,
+            AxisDomain::Continuous {
+                min: 1.0,
+                max: 30.0,
+            },
+        )
+        .with(
+            Axis::PixelCount,
+            AxisDomain::Continuous {
+                min: 19_200.0,
+                max: 307_200.0,
+            },
+        )
+        .with(
+            Axis::ColorDepth,
+            AxisDomain::Continuous {
+                min: 4.0,
+                max: 24.0,
+            },
+        );
+    let video = BitrateModel::CompressedVideo {
+        compression_ratio: 100.0,
+    };
     c.bench_function("optimizer/three_axis_constrained", |b| {
         let p = Problem {
             profile: &profile3,

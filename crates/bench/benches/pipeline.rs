@@ -12,7 +12,9 @@ use qosc_workload::paper;
 fn bench_session(c: &mut Criterion) {
     c.bench_function("pipeline/session_10s", |b| {
         let scenario = paper::figure6_scenario(true);
-        let composition = scenario.compose(&SelectOptions::default()).expect("composes");
+        let composition = scenario
+            .compose(&SelectOptions::default())
+            .expect("composes");
         let plan = composition.plan.expect("chain");
         let profile = scenario.profiles.effective_satisfaction();
         b.iter(|| {
@@ -38,8 +40,8 @@ fn bench_resilient(c: &mut Criterion) {
                 .topology()
                 .node_by_name("host-T7")
                 .expect("named host");
-            let schedule = FailureSchedule::new()
-                .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+            let schedule =
+                FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
             run_resilient(
                 &scenario.formats,
                 &scenario.services,

@@ -20,7 +20,10 @@ fn bench_paper_scenario(c: &mut Criterion) {
 
 fn bench_random_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection/services");
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     for &size in &[20usize, 50, 100, 200] {
         let config = GeneratorConfig {
             layers: 4,
@@ -38,7 +41,10 @@ fn bench_random_scaling(c: &mut Criterion) {
 
 fn bench_composition_cache(c: &mut Criterion) {
     let scenario = paper::figure6_scenario(true);
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     let composer = Composer {
         formats: &scenario.formats,
         services: &scenario.services,

@@ -22,7 +22,10 @@ fn main() {
         ..GeneratorConfig::default()
     };
     let seeds: Vec<u64> = (0..30).collect();
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     struct Tally {
         satisfaction_sum: f64,
@@ -31,7 +34,16 @@ fn main() {
     }
     let mut tallies: Vec<(Algorithm, Tally)> = Algorithm::ALL
         .iter()
-        .map(|&a| (a, Tally { satisfaction_sum: 0.0, solved: 0, wins: 0 }))
+        .map(|&a| {
+            (
+                a,
+                Tally {
+                    satisfaction_sum: 0.0,
+                    solved: 0,
+                    wins: 0,
+                },
+            )
+        })
         .collect();
 
     for &seed in &seeds {
@@ -57,12 +69,7 @@ fn main() {
         }
     }
 
-    let mut table = TextTable::new([
-        "algorithm",
-        "solved",
-        "mean satisfaction",
-        "ties-for-best",
-    ]);
+    let mut table = TextTable::new(["algorithm", "solved", "mean satisfaction", "ties-for-best"]);
     for (algorithm, tally) in &tallies {
         let mean = if tally.solved > 0 {
             tally.satisfaction_sum / tally.solved as f64

@@ -74,7 +74,11 @@ fn request_class(i: usize) -> ProfileSet {
     let users = ["alice", "bob", "carol", "dave"];
     ProfileSet {
         user: UserProfile::demo(users[i % users.len()]),
-        content: ContentProfile::demo_video(if i < 4 { "headline-video" } else { "archive-clip" }),
+        content: ContentProfile::demo_video(if i < 4 {
+            "headline-video"
+        } else {
+            "archive-clip"
+        }),
         device: devices[i % devices.len()].clone(),
         context: ContextProfile::default(),
         network: NetworkProfile::broadband(),
@@ -109,7 +113,10 @@ fn replay(churn_per_request: f64, use_cache: bool) -> (f64, f64, usize) {
     }
 
     let mut rng = SmallRng::seed_from_u64(99);
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     let mut cache = CompositionCache::new();
     let start = Instant::now();
     for request in 0..REQUESTS {
@@ -141,7 +148,11 @@ fn replay(churn_per_request: f64, use_cache: bool) -> (f64, f64, usize) {
             rng.random_range(1..8)
         };
         let profiles = request_class(class);
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let plan = if use_cache {
             cache
                 .compose(&composer, &profiles, server, client, &options)
@@ -152,7 +163,10 @@ fn replay(churn_per_request: f64, use_cache: bool) -> (f64, f64, usize) {
                 .expect("composition runs")
                 .plan
         };
-        assert!(plan.is_some(), "redundant proxies keep every class solvable");
+        assert!(
+            plan.is_some(),
+            "redundant proxies keep every class solvable"
+        );
     }
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     let stats = cache.stats();

@@ -105,7 +105,10 @@ fn run_churn(death_probability: f64, seed: u64) -> ChurnStats {
         context: ContextProfile::default(),
         network: NetworkProfile::broadband(),
     };
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     let mut live_sum = 0usize;
     let mut solvable = 0u64;
@@ -127,11 +130,15 @@ fn run_churn(death_probability: f64, seed: u64) -> ChurnStats {
                 && rng.random_range(0.0..1.0) < death_probability
             {
                 discovery.crash(member);
-                pending.push((tick + rng.random_range(5..20), member));
+                pending.push((tick + rng.random_range(5u64..20), member));
             }
         }
         // Revivals: the proxy process rejoins.
-        let due: Vec<_> = pending.iter().filter(|&&(t, _)| t <= tick).map(|&(_, m)| m).collect();
+        let due: Vec<_> = pending
+            .iter()
+            .filter(|&&(t, _)| t <= tick)
+            .map(|&(_, m)| m)
+            .collect();
         pending.retain(|&(t, _)| t > tick);
         for member in due {
             discovery.revive(&mut services, member, now).unwrap();
@@ -143,7 +150,11 @@ fn run_churn(death_probability: f64, seed: u64) -> ChurnStats {
         live_sum += services.live_count();
 
         // Sample a composition against the current registry.
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, server, client, &options)
             .expect("composition runs");

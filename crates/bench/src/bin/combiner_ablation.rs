@@ -23,7 +23,10 @@ fn main() {
         ("arithmetic (strawman)", Combiner::ArithmeticMean),
     ];
     let seeds: Vec<u64> = (0..15).collect();
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     let mut table = TextTable::new([
         "fcomb",

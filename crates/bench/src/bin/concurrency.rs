@@ -17,10 +17,12 @@
 
 use qosc_bench::TextTable;
 use qosc_core::{Composer, SelectOptions};
-use qosc_media::{Axis, AxisDomain, BitrateModel, DomainVector, FormatSpec, MediaKind, VariantSpec};
+use qosc_media::{
+    Axis, AxisDomain, BitrateModel, DomainVector, FormatSpec, MediaKind, VariantSpec,
+};
 use qosc_netsim::{Link, Network, Node, Topology};
 use qosc_profiles::{
-    ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+    ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps, NetworkProfile,
     ProfileSet, ServiceSpec, UserProfile,
 };
 use qosc_services::{ServiceRegistry, TranscoderDescriptor};
@@ -28,7 +30,11 @@ use qosc_services::{ServiceRegistry, TranscoderDescriptor};
 fn main() {
     println!("X7 — concurrent clients sharing one 300 kbit/s proxy uplink");
     println!();
-    run_phase("phase A: unconstrained users (individual optimum)", None, 0.0);
+    run_phase(
+        "phase A: unconstrained users (individual optimum)",
+        None,
+        0.0,
+    );
     println!();
     run_phase(
         "phase B: budgeted users (0.018/s against a 1.0/Mbit metered uplink → ≤18 fps each)",
@@ -50,7 +56,10 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
     println!("=== {label} ===");
     // server —(100 Mbit/s)— proxy —(300 kbit/s shared)— access — clients.
     let mut formats = qosc_media::FormatRegistry::new();
-    let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+    let linear = BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    };
     formats.register(FormatSpec::new("master", MediaKind::Video, linear));
     formats.register(FormatSpec::new("mobile", MediaKind::Video, linear));
 
@@ -87,7 +96,10 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
             "mobile",
             DomainVector::new().with(
                 Axis::FrameRate,
-                AxisDomain::Continuous { min: 1.0, max: 30.0 },
+                AxisDomain::Continuous {
+                    min: 1.0,
+                    max: 30.0,
+                },
             ),
         )],
     );
@@ -105,7 +117,10 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
                 format: "master".to_string(),
                 offered: DomainVector::new().with(
                     Axis::FrameRate,
-                    AxisDomain::Continuous { min: 1.0, max: 30.0 },
+                    AxisDomain::Continuous {
+                        min: 1.0,
+                        max: 30.0,
+                    },
                 ),
             }],
         ),
@@ -114,7 +129,10 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
         network: NetworkProfile::cellular(),
     };
 
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     let mut table = TextTable::new([
         "client",
         "admitted",
@@ -125,7 +143,11 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
     let mut admitted = 0usize;
     let mut satisfaction_sum = 0.0;
     for (i, &client) in clients.iter().enumerate() {
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles(format!("client-{i}")), server, client, &options)
             .expect("composition runs");
@@ -155,7 +177,10 @@ fn run_phase(label: &str, budget: Option<f64>, uplink_price_per_mbit: f64) {
                         .params
                         .get(Axis::FrameRate)
                         .unwrap_or(0.0);
-                    (format!("{fps:.1}"), format!("{:.3}", plan.predicted_satisfaction))
+                    (
+                        format!("{fps:.1}"),
+                        format!("{:.3}", plan.predicted_satisfaction),
+                    )
                 } else {
                     ("-".to_string(), "admission failed".to_string())
                 }

@@ -18,7 +18,10 @@ fn main() {
 
     let loss_levels = [0.0, 0.01, 0.05, 0.1, 0.2];
     let seeds: Vec<u64> = (0..10).collect();
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     let mut table = TextTable::new([
         "link loss",
@@ -61,7 +64,10 @@ fn main() {
                 &scenario.services,
                 &plan,
                 &profile,
-                &SessionConfig { seed, ..SessionConfig::default() },
+                &SessionConfig {
+                    seed,
+                    ..SessionConfig::default()
+                },
             ) {
                 Ok(r) => r,
                 Err(qosc_pipeline::PipelineError::AdmissionRejected(_)) => {

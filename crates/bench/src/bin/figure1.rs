@@ -16,14 +16,24 @@ fn main() {
     // Figure 1 sketches (a ramp starting at a non-zero minimum around
     // 5 fps saturating near 20), plus a diminishing-returns variant.
     let functions: [(&str, SatisfactionFn); 3] = [
-        ("table1-linear (M=0, I=30)", SatisfactionFn::paper_frame_rate()),
+        (
+            "table1-linear (M=0, I=30)",
+            SatisfactionFn::paper_frame_rate(),
+        ),
         (
             "figure1-ramp (M=5, I=20)",
-            SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 20.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 5.0,
+                ideal: 20.0,
+            },
         ),
         (
             "saturating (M=5, I=30, scale=8)",
-            SatisfactionFn::Saturating { min_acceptable: 5.0, ideal: 30.0, scale: 8.0 },
+            SatisfactionFn::Saturating {
+                min_acceptable: 5.0,
+                ideal: 30.0,
+                scale: 8.0,
+            },
         ),
     ];
 

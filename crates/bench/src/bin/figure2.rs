@@ -31,14 +31,26 @@ fn main() {
     let spec = ServiceSpec::new("T1", conversions);
     let t1 = TranscoderDescriptor::resolve(&spec, &formats, host).expect("formats interned");
 
-    let inputs: Vec<&str> = t1.input_formats().iter().map(|&f| formats.name(f)).collect();
-    let outputs: Vec<&str> = t1.output_formats().iter().map(|&f| formats.name(f)).collect();
+    let inputs: Vec<&str> = t1
+        .input_formats()
+        .iter()
+        .map(|&f| formats.name(f))
+        .collect();
+    let outputs: Vec<&str> = t1
+        .output_formats()
+        .iter()
+        .map(|&f| formats.name(f))
+        .collect();
     println!("service: {}", t1.name);
     println!("  input links : {}", inputs.join(", "));
     println!("  output links: {}", outputs.join(", "));
     println!("  conversions : {}", t1.conversions.len());
     assert_eq!(inputs, ["F5", "F6"], "paper's Figure 2 inputs");
-    assert_eq!(outputs, ["F10", "F11", "F12", "F13"], "paper's Figure 2 outputs");
+    assert_eq!(
+        outputs,
+        ["F10", "F11", "F12", "F13"],
+        "paper's Figure 2 outputs"
+    );
 
     println!();
     println!("DOT fragment (paper's visual language — formats on edges):");

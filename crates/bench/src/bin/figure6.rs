@@ -25,8 +25,8 @@ fn run(include_t7: bool) -> (Vec<String>, f64, f64, String) {
         .params
         .get(Axis::FrameRate)
         .unwrap_or(0.0);
-    let dot_text = dot::to_dot(&composition.graph, &scenario.formats, &names)
-        .expect("graph renders");
+    let dot_text =
+        dot::to_dot(&composition.graph, &scenario.formats, &names).expect("graph renders");
     (names, fps, chain.satisfaction, dot_text)
 }
 

@@ -27,13 +27,34 @@ const POPULATION: u64 = 100;
 
 fn video_offer(max_px: f64) -> DomainVector {
     DomainVector::new()
-        .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
-        .with(Axis::PixelCount, AxisDomain::Continuous { min: 4_800.0, max: max_px })
-        .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 })
+        .with(
+            Axis::FrameRate,
+            AxisDomain::Continuous {
+                min: 1.0,
+                max: 30.0,
+            },
+        )
+        .with(
+            Axis::PixelCount,
+            AxisDomain::Continuous {
+                min: 4_800.0,
+                max: max_px,
+            },
+        )
+        .with(
+            Axis::ColorDepth,
+            AxisDomain::Continuous {
+                min: 8.0,
+                max: 24.0,
+            },
+        )
 }
 
 fn variant(format: &str, max_px: f64) -> VariantSpec {
-    VariantSpec { format: format.to_string(), offered: video_offer(max_px) }
+    VariantSpec {
+        format: format.to_string(),
+        offered: video_offer(max_px),
+    }
 }
 
 /// A storage proxy for one stored variant: one second of its best
@@ -41,7 +62,11 @@ fn variant(format: &str, max_px: f64) -> VariantSpec {
 fn storage_bits(formats: &FormatRegistry, spec: &VariantSpec) -> f64 {
     let id = formats.lookup(&spec.format).expect("known format");
     let top = spec.offered.top();
-    formats.spec(id).expect("known id").bitrate.bits_per_second(&top)
+    formats
+        .spec(id)
+        .expect("known id")
+        .bitrate
+        .bits_per_second(&top)
 }
 
 fn main() {
@@ -106,7 +131,10 @@ fn main() {
         let mut served = 0usize;
         let mut satisfaction_sum = 0.0;
         let mut hops_sum = 0usize;
-        let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+        let options = SelectOptions {
+            record_trace: false,
+            ..SelectOptions::default()
+        };
         for seed in 0..POPULATION {
             let profiles = ProfileSet {
                 user: random_user(seed),
@@ -115,7 +143,11 @@ fn main() {
                 context: ContextProfile::default(),
                 network: NetworkProfile::broadband(),
             };
-            let composer = Composer { formats: &formats, services: &services, network: &network };
+            let composer = Composer {
+                formats: &formats,
+                services: &services,
+                network: &network,
+            };
             let composition = composer
                 .compose(&profiles, server, client, &options)
                 .expect("composition runs");

@@ -44,7 +44,10 @@ fn main() {
         chains: BTreeMap<String, usize>,
     }
     let mut buckets: BTreeMap<String, Bucket> = BTreeMap::new();
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     for seed in 0..POPULATION {
         let user = random_user(seed);
@@ -62,7 +65,11 @@ fn main() {
             context: ContextProfile::default(),
             network: NetworkProfile::broadband(),
         };
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, server, client_node, &options)
             .expect("composition runs");

@@ -116,8 +116,10 @@ fn compose(args: &[String]) -> ExitCode {
     let server = topo.add_node(Node::unconstrained("server"));
     let proxy = topo.add_node(Node::new("proxy", 4_000.0, 8e9));
     let client = topo.add_node(Node::unconstrained("client"));
-    topo.connect_simple(server, proxy, 100e6).expect("valid link");
-    topo.connect_simple(proxy, client, downlink).expect("valid link");
+    topo.connect_simple(server, proxy, 100e6)
+        .expect("valid link");
+    topo.connect_simple(proxy, client, downlink)
+        .expect("valid link");
     let network = Network::new(topo);
     let mut services = ServiceRegistry::new();
     for spec in catalog::full_catalog() {
@@ -126,15 +128,18 @@ fn compose(args: &[String]) -> ExitCode {
         );
     }
 
-    let composer = Composer { formats: &formats, services: &services, network: &network };
-    let composition =
-        match composer.compose(&profiles, server, client, &SelectOptions::default()) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("composition failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
+    let composition = match composer.compose(&profiles, server, client, &SelectOptions::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("composition failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if show_trace {
         print!("{}", composition.selection.trace.to_table1_string());

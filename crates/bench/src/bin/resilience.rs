@@ -17,8 +17,8 @@ fn run(recompose: bool, preplan: bool) -> qosc_pipeline::ResilientRun {
         .topology()
         .node_by_name("host-T7")
         .expect("figure-6 hosts are named");
-    let schedule = FailureSchedule::new()
-        .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7_host));
+    let schedule =
+        FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(t7_host));
     let config = ResilienceConfig {
         total_duration: SimTime::from_secs(30),
         detection_timeout: SimTime::from_secs(1),
@@ -50,12 +50,8 @@ fn main() {
     ] {
         let run = run(recompose, preplan);
         println!("=== {label} ===");
-        let mut table = TextTable::new([
-            "t (s)",
-            "chain",
-            "delivered fps",
-            "measured satisfaction",
-        ]);
+        let mut table =
+            TextTable::new(["t (s)", "chain", "delivered fps", "measured satisfaction"]);
         for segment in &run.segments {
             table.row([
                 format!(

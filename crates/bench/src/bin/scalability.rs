@@ -18,7 +18,10 @@ fn main() {
 
     let sizes = [10usize, 20, 50, 100, 200, 500, 1000, 2000];
     let repeats = 3;
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
 
     let mut table = TextTable::new([
         "services",

@@ -28,7 +28,13 @@ fn main() {
     println!(
         "final chain: {} @ {:.0} fps, satisfaction {} (paper: sender,T7,receiver @ 20 fps, 0.66)",
         chain.names().join(","),
-        chain.steps.last().unwrap().params.get(qosc_media::Axis::FrameRate).unwrap_or(0.0),
+        chain
+            .steps
+            .last()
+            .unwrap()
+            .params
+            .get(qosc_media::Axis::FrameRate)
+            .unwrap_or(0.0),
         qosc_bench::sat2(chain.satisfaction),
     );
 }

@@ -1,0 +1,177 @@
+//! E7: aggregate composition throughput of the concurrent front-end.
+//!
+//! Sweeps the [`serve_batch`] worker count over request mixes with
+//! controllable repeat rates (the fraction of requests whose key was
+//! already requested — i.e. cache-hit candidates), against one shared
+//! [`ShardedCompositionCache`]. Emits a machine-readable summary to
+//! `BENCH_throughput.json` (first CLI argument overrides the path) and
+//! a human-readable table on stdout.
+//!
+//! Interpretation note: worker scaling is hardware-dependent. On a
+//! single-core host the sweep measures scheduling overhead only — the
+//! useful signals there are the cache columns (repeat traffic turning
+//! into hits) and the absence of a *large* slowdown from sharing one
+//! cache across workers.
+
+use qosc_bench::TextTable;
+use qosc_core::{
+    serve_batch, Composer, CompositionRequest, EngineConfig, SelectOptions, ShardedCompositionCache,
+};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::Scenario;
+use std::time::Instant;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const REPEAT_RATES: [f64; 3] = [0.0, 0.5, 0.9];
+const REQUESTS_PER_CELL: usize = 48;
+const SEED: u64 = 7;
+
+/// A request mix with `repeat_rate` of the requests re-using an earlier
+/// key: `distinct = ceil(n * (1 - repeat_rate))` profile variants,
+/// round-robined. Every variant differs only in the user name, so all
+/// requests cost the same to compose and differ only in cache key.
+fn request_mix(scenario: &Scenario, n: usize, repeat_rate: f64) -> Vec<CompositionRequest> {
+    let distinct = ((n as f64) * (1.0 - repeat_rate)).ceil().max(1.0) as usize;
+    (0..n)
+        .map(|i| {
+            let mut profiles = scenario.profiles.clone();
+            profiles.user.name = format!("throughput-user-{}", i % distinct);
+            CompositionRequest {
+                profiles,
+                sender_host: scenario.sender_host,
+                receiver_host: scenario.receiver_host,
+            }
+        })
+        .collect()
+}
+
+struct Cell {
+    workers: usize,
+    repeat_rate: f64,
+    requests: usize,
+    solved: usize,
+    seconds: f64,
+    throughput_rps: f64,
+    hits: usize,
+    misses: usize,
+    stale: usize,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let config = GeneratorConfig {
+        layers: 3,
+        services_per_layer: 6,
+        formats_per_layer: 3,
+        conversions_per_service: 2,
+        ..GeneratorConfig::default()
+    };
+    let scenario = random_scenario(&config, SEED);
+    let composer = Composer {
+        formats: &scenario.formats,
+        services: &scenario.services,
+        network: &scenario.network,
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &repeat_rate in &REPEAT_RATES {
+        let requests = request_mix(&scenario, REQUESTS_PER_CELL, repeat_rate);
+        for &workers in &WORKERS {
+            let engine = EngineConfig {
+                workers,
+                options: SelectOptions::default(),
+            };
+            // Untimed warm-up against a throwaway cache: page in code
+            // and per-thread allocator state.
+            let _ = serve_batch(
+                &composer,
+                &ShardedCompositionCache::default(),
+                &requests,
+                &engine,
+            );
+
+            let cache = ShardedCompositionCache::default();
+            let start = Instant::now();
+            let served = serve_batch(&composer, &cache, &requests, &engine);
+            let seconds = start.elapsed().as_secs_f64();
+            let solved = served.iter().filter(|r| matches!(r, Ok(Some(_)))).count();
+            let stats = cache.stats();
+            assert_eq!(
+                stats.hits + stats.misses + stats.stale,
+                requests.len(),
+                "stats must aggregate exactly"
+            );
+            cells.push(Cell {
+                workers,
+                repeat_rate,
+                requests: requests.len(),
+                solved,
+                seconds,
+                throughput_rps: requests.len() as f64 / seconds,
+                hits: stats.hits,
+                misses: stats.misses,
+                stale: stats.stale,
+            });
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "repeat rate",
+        "workers",
+        "requests",
+        "solved",
+        "seconds",
+        "req/s",
+        "hits",
+        "misses",
+    ]);
+    for cell in &cells {
+        table.row(vec![
+            format!("{:.1}", cell.repeat_rate),
+            cell.workers.to_string(),
+            cell.requests.to_string(),
+            cell.solved.to_string(),
+            format!("{:.4}", cell.seconds),
+            format!("{:.1}", cell.throughput_rps),
+            cell.hits.to_string(),
+            cell.misses.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"throughput\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{\"seed\": {SEED}, \"layers\": {}, \"services_per_layer\": {}, \"formats_per_layer\": {}}},\n",
+        config.layers, config.services_per_layer, config.formats_per_layer
+    ));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str("  \"note\": \"worker scaling is hardware-dependent; on a single-core host the sweep measures scheduling overhead, not speedup\",\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"repeat_rate\": {:.1}, \"workers\": {}, \"requests\": {}, \"solved\": {}, \"seconds\": {:.6}, \"throughput_rps\": {:.2}, \"hits\": {}, \"misses\": {}, \"stale\": {}}}{}\n",
+            cell.repeat_rate,
+            cell.workers,
+            cell.requests,
+            cell.solved,
+            cell.seconds,
+            cell.throughput_rps,
+            cell.hits,
+            cell.misses,
+            cell.stale,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("wrote {out_path}");
+}

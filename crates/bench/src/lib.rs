@@ -165,8 +165,16 @@ pub fn run_algorithm(
         Algorithm::Greedy => unreachable!("handled above"),
     };
     Ok(match result {
-        Some(r) => AlgoOutcome { algorithm, chain: Some(r.chain), explored: r.explored },
-        None => AlgoOutcome { algorithm, chain: None, explored: 0 },
+        Some(r) => AlgoOutcome {
+            algorithm,
+            chain: Some(r.chain),
+            explored: r.explored,
+        },
+        None => AlgoOutcome {
+            algorithm,
+            chain: None,
+            explored: 0,
+        },
     })
 }
 

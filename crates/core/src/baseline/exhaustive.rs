@@ -158,7 +158,10 @@ mod tests {
     /// A diamond with caps 30/20 on the two middle services.
     fn diamond() -> (FormatRegistry, crate::graph::AdaptationGraph) {
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
         let mut topo = Topology::new();
@@ -172,10 +175,7 @@ mod tests {
         let network = Network::new(topo);
         let mut services = ServiceRegistry::new();
         let cap = |c: f64| {
-            DomainVector::new().with(
-                Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: c },
-            )
+            DomainVector::new().with(Axis::FrameRate, AxisDomain::Continuous { min: 0.0, max: c })
         };
         for (name, host, c) in [("T1", m1, 20.0), ("T2", m2, 30.0)] {
             let spec = ServiceSpec::new(name, vec![ConversionSpec::new("A", "B", cap(c))]);
@@ -210,11 +210,16 @@ mod tests {
         let exact = exhaustive_optimum(&ctx, ExhaustiveOptions::default())
             .unwrap()
             .expect("feasible");
-        let greedy =
-            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
-                .unwrap()
-                .chain
-                .expect("feasible");
+        let greedy = select_chain(
+            &graph,
+            &formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap()
+        .chain
+        .expect("feasible");
         assert_eq!(exact.chain.satisfaction, greedy.satisfaction);
         assert_eq!(exact.chain.names(), vec!["sender", "T2", "receiver"]);
         assert!(exact.explored >= 2, "both branches explored");
@@ -233,7 +238,10 @@ mod tests {
         };
         let err = exhaustive_optimum(
             &ctx,
-            ExhaustiveOptions { formats_distinct: true, max_expansions: 1 },
+            ExhaustiveOptions {
+                formats_distinct: true,
+                max_expansions: 1,
+            },
         );
         assert!(matches!(err, Err(CoreError::SearchBudgetExceeded { .. })));
     }

@@ -39,10 +39,7 @@ pub struct BaselineResult {
 /// Label a concrete chain of edges from the sender, returning the chain
 /// of labels, or `None` if some step is infeasible (bandwidth/budget) or
 /// the edges do not connect.
-pub fn label_edge_path(
-    ctx: &ExtendContext<'_>,
-    edges: &[EdgeId],
-) -> Result<Option<Vec<Label>>> {
+pub fn label_edge_path(ctx: &ExtendContext<'_>, edges: &[EdgeId]) -> Result<Option<Vec<Label>>> {
     let first = match edges.first() {
         Some(&e) => ctx.graph.edge(e)?,
         None => return Ok(None),

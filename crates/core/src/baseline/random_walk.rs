@@ -25,7 +25,11 @@ pub struct RandomWalkOptions {
 
 impl Default for RandomWalkOptions {
     fn default() -> RandomWalkOptions {
-        RandomWalkOptions { seed: 0, max_restarts: 64, max_steps: 256 }
+        RandomWalkOptions {
+            seed: 0,
+            max_restarts: 64,
+            max_steps: 256,
+        }
     }
 }
 
@@ -56,7 +60,11 @@ pub fn random_walk(
             let current = labels.last().expect("non-empty").clone();
             if current.state.vertex == receiver {
                 let chain = chain_from_labels(ctx.graph, &labels)?;
-                return Ok(Some(BaselineResult { chain, edges, explored }));
+                return Ok(Some(BaselineResult {
+                    chain,
+                    edges,
+                    explored,
+                }));
             }
             // Collect feasible extensions.
             let mut moves: Vec<(EdgeId, Label)> = Vec::new();
@@ -98,7 +106,10 @@ mod tests {
 
     fn fixture() -> (FormatRegistry, crate::graph::AdaptationGraph) {
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
         let mut topo = Topology::new();
@@ -112,10 +123,7 @@ mod tests {
         let network = Network::new(topo);
         let mut services = ServiceRegistry::new();
         let cap = |c: f64| {
-            DomainVector::new().with(
-                Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: c },
-            )
+            DomainVector::new().with(Axis::FrameRate, AxisDomain::Continuous { min: 0.0, max: c })
         };
         for (name, host, c) in [("T1", m1, 20.0), ("T2", m2, 30.0)] {
             let spec = ServiceSpec::new(name, vec![ConversionSpec::new("A", "B", cap(c))]);
@@ -147,8 +155,12 @@ mod tests {
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
         };
-        let a = random_walk(&ctx, RandomWalkOptions::default()).unwrap().unwrap();
-        let b = random_walk(&ctx, RandomWalkOptions::default()).unwrap().unwrap();
+        let a = random_walk(&ctx, RandomWalkOptions::default())
+            .unwrap()
+            .unwrap();
+        let b = random_walk(&ctx, RandomWalkOptions::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(a.chain.names(), b.chain.names(), "same seed, same walk");
         assert_eq!(a.chain.names().first().copied(), Some("sender"));
         assert_eq!(a.chain.names().last().copied(), Some("receiver"));
@@ -169,7 +181,10 @@ mod tests {
         for seed in 0..16 {
             let result = random_walk(
                 &ctx,
-                RandomWalkOptions { seed, ..RandomWalkOptions::default() },
+                RandomWalkOptions {
+                    seed,
+                    ..RandomWalkOptions::default()
+                },
             )
             .unwrap()
             .unwrap();

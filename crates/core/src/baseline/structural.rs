@@ -66,18 +66,18 @@ pub fn fewest_hops(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
 /// Widest chain: maximize the bottleneck `available_bps` along the chain
 /// (a max-min Dijkstra over states), labelled.
 pub fn widest_path(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
-    best_first(ctx, |width, edge_bps| width.min(edge_bps), f64::INFINITY, |a, b| a > b)
+    best_first(
+        ctx,
+        |width, edge_bps| width.min(edge_bps),
+        f64::INFINITY,
+        |a, b| a > b,
+    )
 }
 
 /// Cheapest chain by the structural price proxy
 /// `Σ (price_flat + price_per_mbit)` along the edges, labelled.
 pub fn cheapest_path(ctx: &ExtendContext<'_>) -> Result<Option<BaselineResult>> {
-    best_first(
-        ctx,
-        |cost, edge_price| cost + edge_price,
-        0.0,
-        |a, b| a < b,
-    )
+    best_first(ctx, |cost, edge_price| cost + edge_price, 0.0, |a, b| a < b)
 }
 
 /// Generic best-first structural search over states. `combine` folds the
@@ -180,7 +180,11 @@ fn finish(
         None => return Ok(None), // structurally fine, QoS-infeasible
     };
     let chain = chain_from_labels(ctx.graph, &labels)?;
-    Ok(Some(BaselineResult { chain, edges, explored }))
+    Ok(Some(BaselineResult {
+        chain,
+        edges,
+        explored,
+    }))
 }
 
 #[cfg(test)]
@@ -202,7 +206,10 @@ mod tests {
     /// * indirect: sender —A→ T —B→ receiver  (2 hops, wide links, cap 30)
     fn fixture() -> (FormatRegistry, AdaptationGraph) {
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
         let mut topo = Topology::new();
@@ -246,10 +253,7 @@ mod tests {
         let network = Network::new(topo);
         let mut services = ServiceRegistry::new();
         let cap = |c: f64| {
-            DomainVector::new().with(
-                Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: c },
-            )
+            DomainVector::new().with(Axis::FrameRate, AxisDomain::Continuous { min: 0.0, max: c })
         };
         let spec = ServiceSpec::new("T", vec![ConversionSpec::new("A", "B", cap(30.0))]);
         services.register_static(TranscoderDescriptor::resolve(&spec, &formats, m).unwrap());

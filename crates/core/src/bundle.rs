@@ -96,11 +96,7 @@ pub fn compose_bundle(
         }
     }
 
-    let total_cost = plans
-        .iter()
-        .flatten()
-        .map(|p| p.total_cost)
-        .sum();
+    let total_cost = plans.iter().flatten().map(|p| p.total_cost).sum();
     let mean_satisfaction = if contents.is_empty() {
         0.0
     } else {
@@ -119,7 +115,11 @@ pub fn compose_bundle(
             plan,
         })
         .collect();
-    Ok(BundleComposition { streams, total_cost, mean_satisfaction })
+    Ok(BundleComposition {
+        streams,
+        total_cost,
+        mean_satisfaction,
+    })
 }
 
 #[cfg(test)]
@@ -128,8 +128,7 @@ mod tests {
     use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, VariantSpec};
     use qosc_netsim::{Network, Node, Topology};
     use qosc_profiles::{
-        AdaptationPolicy, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
-        UserProfile,
+        AdaptationPolicy, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile, UserProfile,
     };
     use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
     use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
@@ -156,7 +155,13 @@ mod tests {
             services
                 .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
         }
-        Fixture { formats, services, network, server, client }
+        Fixture {
+            formats,
+            services,
+            network,
+            server,
+            client,
+        }
     }
 
     fn av_request() -> (ProfileSet, Vec<ContentProfile>) {
@@ -166,12 +171,27 @@ mod tests {
             vec![VariantSpec {
                 format: "video/mpeg2".to_string(),
                 offered: DomainVector::new()
-                    .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
+                    .with(
+                        Axis::FrameRate,
+                        AxisDomain::Continuous {
+                            min: 1.0,
+                            max: 30.0,
+                        },
+                    )
                     .with(
                         Axis::PixelCount,
-                        AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 },
+                        AxisDomain::Continuous {
+                            min: 19_200.0,
+                            max: 307_200.0,
+                        },
                     )
-                    .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 }),
+                    .with(
+                        Axis::ColorDepth,
+                        AxisDomain::Continuous {
+                            min: 8.0,
+                            max: 24.0,
+                        },
+                    ),
             }],
         );
         let audio = ContentProfile::new(
@@ -190,15 +210,22 @@ mod tests {
         let satisfaction = SatisfactionProfile::new()
             .with(AxisPreference::new(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
             ))
             .with(AxisPreference::new(
                 Axis::SampleRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44_100.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 44_100.0,
+                },
             ));
         // Drop audio before video, as Section 3's example demands.
-        let user = UserProfile::new("sports-fan", satisfaction)
-            .with_policy(AdaptationPolicy { degrade_first: vec![MediaKind::Audio] });
+        let user = UserProfile::new("sports-fan", satisfaction).with_policy(AdaptationPolicy {
+            degrade_first: vec![MediaKind::Audio],
+        });
         let device = DeviceProfile::new(
             "media-box",
             vec![
@@ -298,7 +325,9 @@ mod tests {
     fn reversed_policy_protects_audio() {
         let f = fixture();
         let (mut base, contents) = av_request();
-        base.user.policy = AdaptationPolicy { degrade_first: vec![MediaKind::Video] };
+        base.user.policy = AdaptationPolicy {
+            degrade_first: vec![MediaKind::Video],
+        };
         let composer = Composer {
             formats: &f.formats,
             services: &f.services,
@@ -327,10 +356,7 @@ mod tests {
         assert!(squeezed.streams[1].plan.is_some(), "audio is protected now");
         // Video gets at most the leftovers.
         if let Some(plan) = &squeezed.streams[0].plan {
-            assert!(
-                plan.total_cost
-                    <= base.user.budget.unwrap() - audio_cost + 1e-6
-            );
+            assert!(plan.total_cost <= base.user.budget.unwrap() - audio_cost + 1e-6);
         }
     }
 

@@ -6,22 +6,38 @@
 //! class, preference) combination, and re-running graph construction +
 //! selection for each is wasted work while nothing changed.
 //!
-//! [`CompositionCache`] memoizes [`AdaptationPlan`]s keyed by the
-//! request's observable inputs. A hit is *revalidated* before reuse:
-//! every service on the cached chain must still be live in the registry
-//! and every hop must still have the bandwidth the plan needs — the
-//! same liveness condition the resilience monitor checks. Stale entries
-//! are recomposed transparently.
+//! [`ShardedCompositionCache`] memoizes [`AdaptationPlan`]s keyed by
+//! the request's observable inputs. A hit is *revalidated* before
+//! reuse: every service on the cached chain must still be live in the
+//! registry and every hop must still have the bandwidth the plan needs
+//! — the same liveness condition the resilience monitor checks. Stale
+//! entries are recomposed transparently.
+//!
+//! The store is split into power-of-two **shards**, each guarded by its
+//! own `RwLock`, selected by the low bits of the request key. Requests
+//! for different shards never contend; requests for the same shard
+//! contend only on the short map lookup/insert, not on composition
+//! itself (which always runs outside any lock). Counters are per-shard
+//! atomics, so [`stats`](ShardedCompositionCache::stats) aggregates
+//! exactly: every `compose` call increments exactly one of
+//! hits/misses/stale, and `hits + misses + stale` equals the number of
+//! requests served no matter how the requests interleave.
+//!
+//! [`CompositionCache`] remains as the single-threaded facade: the same
+//! API as before, now a thin wrapper over a one-shard
+//! [`ShardedCompositionCache`].
 
 use crate::composer::Composer;
 use crate::plan::AdaptationPlan;
 use crate::select::SelectOptions;
 use crate::Result;
+use parking_lot::RwLock;
 use qosc_netsim::NodeId;
 use qosc_profiles::ProfileSet;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,11 +62,148 @@ impl CacheStats {
     }
 }
 
-/// A memoizing front-end over [`Composer::compose`].
+/// One lock-guarded slice of the cache, with its own exact counters.
 #[derive(Debug, Default)]
+struct Shard {
+    entries: RwLock<HashMap<u64, AdaptationPlan>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    stale: AtomicUsize,
+}
+
+/// A concurrent memoizing front-end over [`Composer::compose`].
+///
+/// Shared by reference across worker threads: `compose` takes `&self`.
+/// The entry map is split across power-of-two shards selected by the
+/// low bits of the request key; statistics are per-shard atomics that
+/// aggregate exactly (see the module docs).
+#[derive(Debug)]
+pub struct ShardedCompositionCache {
+    shards: Vec<Shard>,
+    mask: usize,
+}
+
+impl Default for ShardedCompositionCache {
+    fn default() -> ShardedCompositionCache {
+        ShardedCompositionCache::new(ShardedCompositionCache::DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedCompositionCache {
+    /// Shard count used by [`default`](ShardedCompositionCache::default):
+    /// comfortably above any worker count the engine runs with, so
+    /// same-shard collisions stay rare.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// An empty cache with `shards` shards (rounded up to the next
+    /// power of two, minimum 1).
+    pub fn new(shards: usize) -> ShardedCompositionCache {
+        let count = shards.max(1).next_power_of_two();
+        ShardedCompositionCache {
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            mask: count - 1,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: u64) -> &Shard {
+        // The low bits pick the shard; the full key stays the map key,
+        // which is fine for HashMap (it re-hashes anyway).
+        &self.shards[(key as usize) & self.mask]
+    }
+
+    /// Compose through the cache: return a revalidated cached plan when
+    /// one exists for this request, otherwise compose, store and return.
+    /// `None` means the request is currently unsolvable (negative
+    /// results are *not* cached — the graph may heal).
+    ///
+    /// Composition and revalidation both run outside the shard lock, so
+    /// concurrent requests only contend on the map lookup/insert. Two
+    /// threads racing on the same cold key may both compose; both count
+    /// as misses and the insert is idempotent (composition is
+    /// deterministic for a given snapshot).
+    pub fn compose(
+        &self,
+        composer: &Composer<'_>,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+    ) -> Result<Option<AdaptationPlan>> {
+        let key = request_key(profiles, sender_host, receiver_host)?;
+        let shard = self.shard_for(key);
+        let cached = shard.entries.read().get(&key).cloned();
+        match cached {
+            Some(plan) => {
+                if plan_still_valid(composer, &plan) {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(plan));
+                }
+                shard.entries.write().remove(&key);
+                shard.stale.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let composition = composer.compose(profiles, sender_host, receiver_host, options)?;
+        if let Some(plan) = &composition.plan {
+            shard.entries.write().insert(key, plan.clone());
+        }
+        Ok(composition.plan)
+    }
+
+    /// Drop every cached entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.entries.write().clear();
+        }
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.read().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/stale counters since construction, summed over shards.
+    /// Exact: each `compose` call increments exactly one counter, so
+    /// `hits + misses + stale` equals the number of requests served.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.stale += shard.stale.load(Ordering::Relaxed);
+        }
+        stats
+    }
+}
+
+/// A memoizing front-end over [`Composer::compose`].
+///
+/// The single-threaded facade kept for existing callers: one shard, the
+/// historical `&mut self` API, same semantics as always. Concurrent
+/// callers use [`ShardedCompositionCache`] directly.
+#[derive(Debug)]
 pub struct CompositionCache {
-    entries: HashMap<u64, AdaptationPlan>,
-    stats: CacheStats,
+    inner: ShardedCompositionCache,
+}
+
+impl Default for CompositionCache {
+    fn default() -> CompositionCache {
+        CompositionCache {
+            inner: ShardedCompositionCache::new(1),
+        }
+    }
 }
 
 impl CompositionCache {
@@ -59,10 +212,7 @@ impl CompositionCache {
         CompositionCache::default()
     }
 
-    /// Compose through the cache: return a revalidated cached plan when
-    /// one exists for this request, otherwise compose, store and return.
-    /// `None` means the request is currently unsolvable (negative
-    /// results are *not* cached — the graph may heal).
+    /// See [`ShardedCompositionCache::compose`].
     pub fn compose(
         &mut self,
         composer: &Composer<'_>,
@@ -71,42 +221,28 @@ impl CompositionCache {
         receiver_host: NodeId,
         options: &SelectOptions,
     ) -> Result<Option<AdaptationPlan>> {
-        let key = request_key(profiles, sender_host, receiver_host)?;
-        if let Some(plan) = self.entries.get(&key) {
-            if plan_still_valid(composer, plan) {
-                self.stats.hits += 1;
-                return Ok(Some(plan.clone()));
-            }
-            self.entries.remove(&key);
-            self.stats.stale += 1;
-        } else {
-            self.stats.misses += 1;
-        }
-        let composition = composer.compose(profiles, sender_host, receiver_host, options)?;
-        if let Some(plan) = &composition.plan {
-            self.entries.insert(key, plan.clone());
-        }
-        Ok(composition.plan)
+        self.inner
+            .compose(composer, profiles, sender_host, receiver_host, options)
     }
 
     /// Drop every cached entry.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.inner.clear();
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.inner.is_empty()
     }
 
     /// Hit/miss/stale counters since construction.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.inner.stats()
     }
 }
 
@@ -138,7 +274,10 @@ fn plan_still_valid(composer: &Composer<'_>, plan: &AdaptationPlan) -> bool {
         }
     }
     for pair in plan.steps.windows(2) {
-        match composer.network.available_between(pair[0].host, pair[1].host) {
+        match composer
+            .network
+            .available_between(pair[0].host, pair[1].host)
+        {
             Ok(available) => {
                 if available * (1.0 + 1e-6) + 1e-6 < pair[1].input_bps {
                     return false;
@@ -190,7 +329,56 @@ mod tests {
             context: ContextProfile::default(),
             network: NetworkProfile::broadband(),
         };
-        Fixture { formats, services, network, profiles, server, client }
+        Fixture {
+            formats,
+            services,
+            network,
+            profiles,
+            server,
+            client,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedCompositionCache::new(0).shard_count(), 1);
+        assert_eq!(ShardedCompositionCache::new(3).shard_count(), 4);
+        assert_eq!(ShardedCompositionCache::new(16).shard_count(), 16);
+        assert_eq!(ShardedCompositionCache::default().shard_count(), 16);
+    }
+
+    #[test]
+    fn sharded_cache_serves_through_shared_reference() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let cache = ShardedCompositionCache::default();
+        let options = SelectOptions::default();
+        let a = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap()
+            .expect("solvable");
+        let b = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap()
+            .expect("solvable");
+        assert_eq!(a, b);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stale: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        // Counters survive a clear.
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
@@ -212,7 +400,14 @@ mod tests {
             .unwrap()
             .expect("solvable");
         assert_eq!(a, b);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, stale: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stale: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 

@@ -73,7 +73,11 @@ impl Composer<'_> {
             Some(chain) => Some(AdaptationPlan::from_chain(&graph, self.formats, chain)?),
             None => None,
         };
-        Ok(Composition { graph, selection, plan })
+        Ok(Composition {
+            graph,
+            selection,
+            plan,
+        })
     }
 }
 
@@ -102,9 +106,8 @@ mod tests {
 
         let mut services = qosc_services::ServiceRegistry::new();
         for spec in catalog::full_catalog() {
-            services.register_static(
-                TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap(),
-            );
+            services
+                .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
         }
 
         let profiles = ProfileSet {
@@ -115,7 +118,11 @@ mod tests {
             network: NetworkProfile::cellular(),
         };
 
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, server, pda, &SelectOptions::default())
             .unwrap();
@@ -157,7 +164,11 @@ mod tests {
             context: ContextProfile::default(),
             network: NetworkProfile::cellular(),
         };
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, server, client, &SelectOptions::default())
             .unwrap();
@@ -176,8 +187,7 @@ mod tests {
         let network = Network::new(topo);
         let mut services = qosc_services::ServiceRegistry::new();
         for spec in catalog::full_catalog() {
-            services
-                .register_static(TranscoderDescriptor::resolve(&spec, &formats, a).unwrap());
+            services.register_static(TranscoderDescriptor::resolve(&spec, &formats, a).unwrap());
         }
         let content = ContentProfile::new(
             "page",
@@ -185,7 +195,10 @@ mod tests {
                 format: "text/html".to_string(),
                 offered: DomainVector::new().with(
                     Axis::Fidelity,
-                    AxisDomain::Continuous { min: 5.0, max: 100.0 },
+                    AxisDomain::Continuous {
+                        min: 5.0,
+                        max: 100.0,
+                    },
                 ),
             }],
         );
@@ -198,7 +211,10 @@ mod tests {
         user.satisfaction = qosc_satisfaction::SatisfactionProfile::new().with(
             qosc_satisfaction::AxisPreference::new(
                 Axis::Fidelity,
-                qosc_satisfaction::SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 60.0 },
+                qosc_satisfaction::SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 60.0,
+                },
             ),
         );
         let profiles = ProfileSet {
@@ -208,7 +224,11 @@ mod tests {
             context: ContextProfile::noisy_commute(),
             network: NetworkProfile::cellular(),
         };
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, a, b, &SelectOptions::default())
             .unwrap();

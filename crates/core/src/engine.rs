@@ -1,0 +1,228 @@
+//! Concurrent composition serving.
+//!
+//! The paper frames the composition algorithm as something an
+//! infrastructure runs per request ("whenever a user requests a
+//! multimedia document…", Section 4). A front-end therefore has to
+//! serve many requests against one registry and one network snapshot.
+//! [`serve_batch`] does exactly that: it fans a vector of
+//! [`CompositionRequest`]s across a scoped worker pool in which every
+//! worker shares the same [`Composer`] (immutable borrows of registry,
+//! format table and network) and one [`ShardedCompositionCache`].
+//!
+//! Determinism: workers pull requests off a shared atomic index, so
+//! *scheduling* is nondeterministic, but each request's outcome depends
+//! only on the shared snapshot — composition never mutates it — and the
+//! result vector is written by request index. `serve_batch` therefore
+//! returns exactly what a sequential loop over the same requests would
+//! return, in the same order, for any worker count. Only the cache's
+//! hit/miss split may differ (a racing pair of identical cold requests
+//! counts two misses instead of a miss and a hit); the total
+//! `hits + misses + stale` always equals the number of requests.
+
+use crate::cache::ShardedCompositionCache;
+use crate::composer::Composer;
+use crate::plan::AdaptationPlan;
+use crate::select::SelectOptions;
+use crate::Result;
+use qosc_netsim::NodeId;
+use qosc_profiles::ProfileSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One composition request: who is sending what to whom, under which
+/// profiles.
+#[derive(Debug, Clone)]
+pub struct CompositionRequest {
+    /// The five CC/PP profiles describing the request.
+    pub profiles: ProfileSet,
+    /// Node hosting the content server.
+    pub sender_host: NodeId,
+    /// Node hosting the receiving client.
+    pub receiver_host: NodeId,
+}
+
+/// Tuning for [`serve_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads to spawn (clamped to at least 1; `1` serves the
+    /// batch on the spawned worker without any sharing races).
+    pub workers: usize,
+    /// Selection options applied to every request in the batch.
+    pub options: SelectOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 1,
+            options: SelectOptions::default(),
+        }
+    }
+}
+
+/// Serve a batch of requests concurrently through a shared cache.
+///
+/// Results arrive in request order, one per request: `Ok(Some(plan))`
+/// for a solvable request, `Ok(None)` for a currently unsolvable one,
+/// `Err` when profile serialization or graph construction failed for
+/// that request (one request's failure does not abort the batch).
+pub fn serve_batch(
+    composer: &Composer<'_>,
+    cache: &ShardedCompositionCache,
+    requests: &[CompositionRequest],
+    config: &EngineConfig,
+) -> Vec<Result<Option<AdaptationPlan>>> {
+    let workers = config.workers.max(1).min(requests.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Result<Option<AdaptationPlan>>)> =
+        Vec::with_capacity(requests.len());
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(index) else {
+                            return local;
+                        };
+                        let outcome = cache.compose(
+                            composer,
+                            &request.profiles,
+                            request.sender_host,
+                            request.receiver_host,
+                            &config.options,
+                        );
+                        local.push((index, outcome));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            collected.extend(handle.join().expect("composition worker panicked"));
+        }
+    });
+
+    collected.sort_by_key(|(index, _)| *index);
+    debug_assert_eq!(collected.len(), requests.len());
+    collected.into_iter().map(|(_, outcome)| outcome).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::FormatRegistry;
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, UserProfile,
+    };
+    use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+    struct Fixture {
+        formats: FormatRegistry,
+        services: ServiceRegistry,
+        network: Network,
+        server: NodeId,
+        client: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let formats = FormatRegistry::with_builtins();
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        topo.connect_simple(proxy, client, 1e6).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        for spec in catalog::full_catalog() {
+            services
+                .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+        }
+        Fixture {
+            formats,
+            services,
+            network,
+            server,
+            client,
+        }
+    }
+
+    fn requests(f: &Fixture, n: usize) -> Vec<CompositionRequest> {
+        (0..n)
+            .map(|i| CompositionRequest {
+                profiles: ProfileSet {
+                    user: UserProfile::demo(&format!("user-{}", i % 3)),
+                    content: ContentProfile::demo_video("clip"),
+                    device: DeviceProfile::demo_pda(),
+                    context: ContextProfile::default(),
+                    network: NetworkProfile::broadband(),
+                },
+                sender_host: f.server,
+                receiver_host: f.client,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_worker_count() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let batch = requests(&f, 12);
+        let reference: Vec<_> = {
+            let cache = ShardedCompositionCache::new(1);
+            batch
+                .iter()
+                .map(|r| {
+                    cache
+                        .compose(
+                            &composer,
+                            &r.profiles,
+                            r.sender_host,
+                            r.receiver_host,
+                            &SelectOptions::default(),
+                        )
+                        .unwrap()
+                })
+                .collect()
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let cache = ShardedCompositionCache::default();
+            let config = EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            };
+            let served = serve_batch(&composer, &cache, &batch, &config);
+            assert_eq!(served.len(), batch.len());
+            for (got, want) in served.iter().zip(&reference) {
+                assert_eq!(got.as_ref().unwrap(), want, "workers={workers}");
+            }
+            let stats = cache.stats();
+            assert_eq!(
+                stats.hits + stats.misses + stats.stale,
+                batch.len(),
+                "exact stats at workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let cache = ShardedCompositionCache::default();
+        let served = serve_batch(&composer, &cache, &[], &EngineConfig::default());
+        assert!(served.is_empty());
+        assert_eq!(cache.stats(), crate::CacheStats::default());
+    }
+}

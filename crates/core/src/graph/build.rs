@@ -10,9 +10,7 @@
 //! live services in the registry (intermediate vertices) and the network
 //! (edge bandwidth/delay/price annotations, Section 4.3).
 
-use crate::graph::model::{
-    AdaptationGraph, Edge, Vertex, VertexConversion, VertexId, VertexKind,
-};
+use crate::graph::model::{AdaptationGraph, Edge, Vertex, VertexConversion, VertexId, VertexKind};
 use crate::{CoreError, Result};
 use qosc_media::{ContentVariant, DomainVector, FormatId, FormatRegistry, ParamVector};
 use qosc_netsim::{Network, NodeId, PathAnnotation};
@@ -127,14 +125,12 @@ pub fn build(input: &BuildInput<'_>) -> Result<AdaptationGraph> {
     // per edge and dominates construction time on dense graphs).
     let mut annotation_tables: HashMap<NodeId, Vec<Option<PathAnnotation>>> = HashMap::new();
     let mut annotate = |from: NodeId, to: NodeId| -> Option<(f64, u64, f64, f64)> {
-        let table = annotation_tables
-            .entry(from)
-            .or_insert_with(|| {
-                input
-                    .network
-                    .path_annotations_from(from)
-                    .unwrap_or_default()
-            });
+        let table = annotation_tables.entry(from).or_insert_with(|| {
+            input
+                .network
+                .path_annotations_from(from)
+                .unwrap_or_default()
+        });
         table
             .get(to.index())
             .copied()
@@ -207,8 +203,15 @@ mod tests {
     use qosc_services::TranscoderDescriptor;
 
     /// A linear sender → T → receiver scenario on three nodes.
-    fn tiny() -> (FormatRegistry, ServiceRegistry, Network, Vec<ContentVariant>, NodeId, NodeId, Vec<FormatId>)
-    {
+    fn tiny() -> (
+        FormatRegistry,
+        ServiceRegistry,
+        Network,
+        Vec<ContentVariant>,
+        NodeId,
+        NodeId,
+        Vec<FormatId>,
+    ) {
         let mut formats = FormatRegistry::new();
         let fa = formats.register_abstract("A", MediaKind::Video);
         let fb = formats.register_abstract("B", MediaKind::Video);
@@ -229,7 +232,10 @@ mod tests {
                 "B",
                 DomainVector::new().with(
                     Axis::FrameRate,
-                    AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                    AxisDomain::Continuous {
+                        min: 0.0,
+                        max: 30.0,
+                    },
                 ),
             )],
         );
@@ -240,7 +246,10 @@ mod tests {
             fa,
             DomainVector::new().with(
                 Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                AxisDomain::Continuous {
+                    min: 0.0,
+                    max: 30.0,
+                },
             ),
         )];
         (formats, services, network, variants, s, r, vec![fb])
@@ -273,8 +282,14 @@ mod tests {
         let out_t = graph.out_edges(t);
         assert_eq!(out_t.len(), 1);
         assert_eq!(graph.edge(out_t[0]).unwrap().to, receiver);
-        assert!(graph.out_edges(receiver).is_empty(), "receiver has only input links");
-        assert!(graph.in_edges(sender).is_empty(), "sender has only output links");
+        assert!(
+            graph.out_edges(receiver).is_empty(),
+            "receiver has only input links"
+        );
+        assert!(
+            graph.in_edges(sender).is_empty(),
+            "sender has only output links"
+        );
     }
 
     #[test]

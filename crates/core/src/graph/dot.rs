@@ -41,7 +41,11 @@ pub fn to_dot(
         let on_path = highlight
             .windows(2)
             .any(|w| &w[0] == from_name && &w[1] == to_name);
-        let emphasis = if on_path { ", penwidth=2.5, color=red" } else { "" };
+        let emphasis = if on_path {
+            ", penwidth=2.5, color=red"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  v{} -> v{} [label=\"{}\"{emphasis}];\n",
             edge.from.index(),
@@ -97,7 +101,12 @@ mod tests {
             })
             .unwrap();
         let _ = VertexId(0);
-        let dot = to_dot(&g, &formats, &["sender".to_string(), "receiver".to_string()]).unwrap();
+        let dot = to_dot(
+            &g,
+            &formats,
+            &["sender".to_string(), "receiver".to_string()],
+        )
+        .unwrap();
         assert!(dot.contains("digraph adaptation"));
         assert!(dot.contains("label=\"sender\""));
         assert!(dot.contains("label=\"F5\""));

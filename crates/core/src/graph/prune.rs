@@ -124,7 +124,11 @@ pub fn prune(graph: &AdaptationGraph) -> Result<(AdaptationGraph, PruneStats)> {
         if let (Some(from), Some(to)) = (remap[edge.from.index()], remap[edge.to.index()]) {
             // Keep only edges whose format is actually deliverable.
             if forward_states.contains(&(edge.from, edge.format)) {
-                pruned.add_edge(Edge { from, to, ..edge.clone() })?;
+                pruned.add_edge(Edge {
+                    from,
+                    to,
+                    ..edge.clone()
+                })?;
                 edges_kept += 1;
             }
         }
@@ -196,16 +200,8 @@ mod tests {
             output_domain: DomainVector::new(),
         };
         let mut g = AdaptationGraph::new();
-        let s = g.add_vertex(vertex(
-            VertexKind::Sender,
-            "sender",
-            vec![conv(fa, fa)],
-        ));
-        let r = g.add_vertex(vertex(
-            VertexKind::Receiver,
-            "receiver",
-            vec![conv(fb, fb)],
-        ));
+        let s = g.add_vertex(vertex(VertexKind::Sender, "sender", vec![conv(fa, fa)]));
+        let r = g.add_vertex(vertex(VertexKind::Receiver, "receiver", vec![conv(fb, fb)]));
         let t1 = g.add_vertex(vertex(
             VertexKind::Transcoder(dummy_service_id(&mut formats)),
             "T1",

@@ -48,13 +48,15 @@ pub mod baseline;
 pub mod bundle;
 pub mod cache;
 pub mod composer;
+pub mod engine;
 pub mod graph;
 pub mod plan;
 pub mod select;
 
 pub use bundle::{compose_bundle, BundleComposition, BundleStream};
-pub use cache::{CacheStats, CompositionCache};
+pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
 pub use composer::{Composer, Composition};
+pub use engine::{serve_batch, CompositionRequest, EngineConfig};
 pub use graph::{AdaptationGraph, BuildInput, Edge, EdgeId, Vertex, VertexId, VertexKind};
 pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
@@ -95,7 +97,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "degenerate endpoints: {detail}")
             }
             CoreError::SearchBudgetExceeded { explored } => {
-                write!(f, "exhaustive search budget exceeded after {explored} paths")
+                write!(
+                    f,
+                    "exhaustive search budget exceeded after {explored} paths"
+                )
             }
         }
     }

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn plan_reflects_chain() {
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
         let mut topo = Topology::new();
@@ -151,7 +154,10 @@ mod tests {
         let mut services = ServiceRegistry::new();
         let domain = DomainVector::new().with(
             Axis::FrameRate,
-            AxisDomain::Continuous { min: 0.0, max: 25.0 },
+            AxisDomain::Continuous {
+                min: 0.0,
+                max: 25.0,
+            },
         );
         let spec = ServiceSpec::new("T", vec![ConversionSpec::new("A", "B", domain.clone())]);
         services.register_static(TranscoderDescriptor::resolve(&spec, &formats, m).unwrap());
@@ -168,11 +174,16 @@ mod tests {
         })
         .unwrap();
         let profile = SatisfactionProfile::paper_table1();
-        let chain =
-            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
-                .unwrap()
-                .chain
-                .unwrap();
+        let chain = select_chain(
+            &graph,
+            &formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap()
+        .chain
+        .unwrap();
         let plan = AdaptationPlan::from_chain(&graph, &formats, &chain).unwrap();
         assert_eq!(plan.steps.len(), 3);
         assert_eq!(plan.transcoder_count(), 1);

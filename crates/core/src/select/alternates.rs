@@ -45,7 +45,10 @@ pub fn alternates(
     options: &SelectOptions,
 ) -> Result<Vec<Alternate>> {
     let mut found: Vec<Alternate> = Vec::new();
-    let options = SelectOptions { record_trace: false, ..*options };
+    let options = SelectOptions {
+        record_trace: false,
+        ..*options
+    };
     for step in &primary.steps {
         let vertex = graph.vertex(step.vertex)?;
         if !matches!(vertex.kind, crate::graph::VertexKind::Transcoder(_)) {
@@ -61,9 +64,7 @@ pub fn alternates(
                     chain_step.vertex = original;
                 }
             }
-            let duplicate = found
-                .iter()
-                .any(|a| a.chain.names() == chain.names());
+            let duplicate = found.iter().any(|a| a.chain.names() == chain.names());
             if !duplicate || found.iter().all(|a| a.survives_loss_of != step.vertex) {
                 found.push(Alternate {
                     survives_loss_of: step.vertex,
@@ -99,7 +100,11 @@ fn remove_vertex(graph: &AdaptationGraph, victim: VertexId) -> Result<Adaptation
     for edge_id in graph.edge_ids() {
         let edge = graph.edge(edge_id)?;
         if let (Some(from), Some(to)) = (remap[edge.from.index()], remap[edge.to.index()]) {
-            out.add_edge(crate::graph::Edge { from, to, ..edge.clone() })?;
+            out.add_edge(crate::graph::Edge {
+                from,
+                to,
+                ..edge.clone()
+            })?;
         }
     }
     Ok(out)
@@ -128,7 +133,11 @@ mod tests {
             &SelectOptions::default(),
         )
         .unwrap();
-        assert_eq!(backups.len(), 1, "one trans-coder on the chain → one alternate");
+        assert_eq!(
+            backups.len(),
+            1,
+            "one trans-coder on the chain → one alternate"
+        );
         assert_eq!(backups[0].survives_loss_of_name, "T7");
         assert_eq!(backups[0].chain.names(), vec!["sender", "T10", "receiver"]);
         assert!(backups[0].chain.satisfaction < primary.satisfaction);
@@ -189,7 +198,7 @@ mod tests {
         };
         use qosc_netsim::{Link, Network, Node, NodeId, Topology};
         use qosc_profiles::{
-            ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps,
+            ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps,
             NetworkProfile, ProfileSet, ServiceSpec, UserProfile,
         };
         use qosc_services::{ServiceRegistry, TranscoderDescriptor};
@@ -217,7 +226,10 @@ mod tests {
         /// A reduced Figure-6: sender, T7 (good, 20 fps), T10 (30 fps but
         /// 18 kbit/s receiver link), receiver.
         pub fn figure6() -> Scenario {
-            let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+            let linear = BitrateModel::LinearOnAxis {
+                axis: Axis::FrameRate,
+                slope: 1000.0,
+            };
             let mut formats = FormatRegistry::new();
             for name in ["F7", "F10", "G7", "G10"] {
                 formats.register(FormatSpec::new(name, MediaKind::Video, linear));
@@ -256,14 +268,19 @@ mod tests {
             let t10 =
                 ServiceSpec::new("T10", vec![ConversionSpec::new("F10", "G10", domain(30.0))]);
             services.register_static(TranscoderDescriptor::resolve(&t7, &formats, n7).unwrap());
-            services
-                .register_static(TranscoderDescriptor::resolve(&t10, &formats, n10).unwrap());
+            services.register_static(TranscoderDescriptor::resolve(&t10, &formats, n10).unwrap());
 
             let content = ContentProfile::new(
                 "clip",
                 vec![
-                    VariantSpec { format: "F7".to_string(), offered: domain(30.0) },
-                    VariantSpec { format: "F10".to_string(), offered: domain(30.0) },
+                    VariantSpec {
+                        format: "F7".to_string(),
+                        offered: domain(30.0),
+                    },
+                    VariantSpec {
+                        format: "F10".to_string(),
+                        offered: domain(30.0),
+                    },
                 ],
             );
             let device = DeviceProfile::new(

@@ -20,7 +20,7 @@
 //! first settled receiver state carries the maximum achievable
 //! satisfaction — the Figure-5 optimality argument.
 
-use crate::graph::AdaptationGraph;
+use crate::graph::{AdaptationGraph, EdgeId};
 use crate::select::label::{ExtendContext, Label, StateKey};
 use crate::select::trace::{SelectionTrace, TraceRow};
 use crate::select::{ChainStep, SelectedChain};
@@ -28,6 +28,7 @@ use crate::Result;
 use qosc_media::FormatRegistry;
 use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Deterministic tie-breaking among equally satisfying candidates.
 ///
@@ -74,6 +75,16 @@ pub struct SelectOptions {
     pub record_trace: bool,
     /// Safety valve on rounds (defaults to effectively unlimited).
     pub max_rounds: usize,
+    /// Evaluate the Step-2/Step-8 `Optimize()` calls for a settled
+    /// label's out-edges on a scoped thread pool instead of in edge
+    /// order. The per-edge evaluations are independent (they read only
+    /// the settled label and the shared graph), and their results are
+    /// merged back *in edge order*, so the candidate relaxation
+    /// sequence — and with it the selection trace — is bitwise
+    /// identical to the sequential mode (asserted by tests). Off by
+    /// default; worthwhile only when single-edge optimization is
+    /// expensive relative to thread handoff.
+    pub parallel_expand: bool,
 }
 
 impl Default for SelectOptions {
@@ -84,6 +95,7 @@ impl Default for SelectOptions {
             optimizer: OptimizeOptions::default(),
             record_trace: true,
             max_rounds: usize::MAX,
+            parallel_expand: false,
         }
     }
 }
@@ -103,8 +115,8 @@ struct HeapEntry {
 /// monotone; descending components are bit-complemented.
 fn heap_key(tie_break: TieBreak, label: &Label, seq: u64) -> [u64; 4] {
     let sat = label.satisfaction.to_bits();
-    let state_code = ((label.state.vertex.index() as u64) << 32)
-        | label.state.output_format.index() as u64;
+    let state_code =
+        ((label.state.vertex.index() as u64) << 32) | label.state.output_format.index() as u64;
     match tie_break {
         TieBreak::PaperOrder => [sat, !label.accumulated_cost.to_bits(), seq, !state_code],
         TieBreak::Fifo => [sat, !seq, !state_code, 0],
@@ -133,7 +145,10 @@ impl std::fmt::Display for SelectFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SelectFailure::CandidatesExhausted => {
-                write!(f, "TERMINATE(FAILURE): candidate set exhausted before the receiver")
+                write!(
+                    f,
+                    "TERMINATE(FAILURE): candidate set exhausted before the receiver"
+                )
             }
             SelectFailure::MissingEndpoints => write!(f, "graph lacks a sender or receiver"),
             SelectFailure::RoundLimit => write!(f, "round limit exceeded"),
@@ -319,13 +334,32 @@ fn expand(
     optimizations: &mut usize,
 ) -> Result<()> {
     let graph = context.graph;
+    let mut matching: Vec<EdgeId> = Vec::new();
     for &edge_id in graph.out_edges(label.state.vertex) {
         let edge = graph.edge(edge_id)?;
         if edge.format != label.state.output_format {
             continue; // the vertex committed to a different output format
         }
+        matching.push(edge_id);
+    }
+
+    // Evaluate Optimize() per edge — in parallel when asked — then merge
+    // in edge order. Each evaluation reads only the shared graph and the
+    // settled label, so parallel evaluation changes scheduling, never
+    // results; the in-order merge keeps seq numbering (and the trace)
+    // bitwise identical to sequential mode.
+    let evaluated: Vec<Result<Vec<Label>>> = if options.parallel_expand && matching.len() > 1 {
+        evaluate_edges_parallel(context, label, &matching)
+    } else {
+        matching
+            .iter()
+            .map(|&edge_id| context.extend(label, edge_id))
+            .collect()
+    };
+
+    for batch in evaluated {
         *optimizations += 1;
-        for candidate in context.extend(label, edge_id)? {
+        for candidate in batch? {
             let state = candidate.state;
             if settled.contains_key(&state) {
                 continue;
@@ -357,13 +391,60 @@ fn expand(
                             state,
                         });
                     }
-                    candidates.insert(state, Candidate { label: candidate, seq });
+                    candidates.insert(
+                        state,
+                        Candidate {
+                            label: candidate,
+                            seq,
+                        },
+                    );
                     cs_discovery.push(state);
                 }
             }
         }
     }
     Ok(())
+}
+
+/// Evaluate `context.extend(label, edge)` for every edge on a scoped
+/// worker pool, returning results indexed by the edge's position in
+/// `edges` (so the caller can merge in edge order).
+fn evaluate_edges_parallel(
+    context: &ExtendContext<'_>,
+    label: &Label,
+    edges: &[EdgeId],
+) -> Vec<Result<Vec<Label>>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(edges.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<Result<Vec<Label>>>> = (0..edges.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&edge_id) = edges.get(index) else {
+                            return local;
+                        };
+                        local.push((index, context.extend(label, edge_id)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("edge evaluation worker panicked") {
+                out[index] = Some(result);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every edge index claimed by exactly one worker"))
+        .collect()
 }
 
 /// Step 4's argmax via the lazy-deletion heap: pop entries until one
@@ -482,9 +563,7 @@ fn path_names(
     let mut parent = label.parent;
     while let Some(state) = parent {
         names.push(graph.vertex(state.vertex)?.name.clone());
-        parent = settled
-            .get(&state)
-            .and_then(|l| l.parent);
+        parent = settled.get(&state).and_then(|l| l.parent);
     }
     names.reverse();
     Ok(names)
@@ -533,7 +612,10 @@ mod tests {
     /// sender —A→ {T_fast(cap 30), T_slow(cap 20)} —B→ receiver.
     fn fork_fixture() -> (FormatRegistry, AdaptationGraph) {
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
 
@@ -555,8 +637,14 @@ mod tests {
                 AxisDomain::Continuous { min: 0.0, max: cap },
             )
         };
-        let slow = ServiceSpec::new("T_slow", vec![ConversionSpec::new("A", "B", cap_domain(20.0))]);
-        let fast = ServiceSpec::new("T_fast", vec![ConversionSpec::new("A", "B", cap_domain(30.0))]);
+        let slow = ServiceSpec::new(
+            "T_slow",
+            vec![ConversionSpec::new("A", "B", cap_domain(20.0))],
+        );
+        let fast = ServiceSpec::new(
+            "T_fast",
+            vec![ConversionSpec::new("A", "B", cap_domain(30.0))],
+        );
         services.register_static(TranscoderDescriptor::resolve(&slow, &formats, m1).unwrap());
         services.register_static(TranscoderDescriptor::resolve(&fast, &formats, m2).unwrap());
 
@@ -579,9 +667,14 @@ mod tests {
     fn picks_the_higher_satisfaction_branch() {
         let (formats, graph) = fork_fixture();
         let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
-        let outcome =
-            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
-                .unwrap();
+        let outcome = select_chain(
+            &graph,
+            &formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap();
         let chain = outcome.chain.expect("receiver reachable");
         assert_eq!(chain.names(), vec!["sender", "T_fast", "receiver"]);
         assert!((chain.satisfaction - 1.0).abs() < 1e-9);
@@ -593,9 +686,14 @@ mod tests {
     fn trace_records_rounds() {
         let (formats, graph) = fork_fixture();
         let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
-        let outcome =
-            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
-                .unwrap();
+        let outcome = select_chain(
+            &graph,
+            &formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap();
         assert_eq!(outcome.trace.rows.len(), outcome.rounds);
         let first = &outcome.trace.rows[0];
         assert_eq!(first.considered, vec!["sender".to_string()]);
@@ -639,9 +737,14 @@ mod tests {
             g
         };
         let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
-        let outcome =
-            select_chain(&graph, &formats, &profile, f64::INFINITY, &SelectOptions::default())
-                .unwrap();
+        let outcome = select_chain(
+            &graph,
+            &formats,
+            &profile,
+            f64::INFINITY,
+            &SelectOptions::default(),
+        )
+        .unwrap();
         assert!(outcome.chain.is_none());
         assert_eq!(outcome.failure, Some(SelectFailure::CandidatesExhausted));
     }
@@ -650,7 +753,10 @@ mod tests {
     fn budget_zero_with_paid_links_fails() {
         // Rebuild the fork fixture with paid links.
         let mut formats = FormatRegistry::new();
-        let linear = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let fa = formats.register(FormatSpec::new("A", MediaKind::Video, linear));
         let fb = formats.register(FormatSpec::new("B", MediaKind::Video, linear));
         let mut topo = Topology::new();
@@ -678,7 +784,10 @@ mod tests {
                 "B",
                 DomainVector::new().with(
                     Axis::FrameRate,
-                    AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                    AxisDomain::Continuous {
+                        min: 0.0,
+                        max: 30.0,
+                    },
                 ),
             )],
         );
@@ -687,7 +796,10 @@ mod tests {
             fa,
             DomainVector::new().with(
                 Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                AxisDomain::Continuous {
+                    min: 0.0,
+                    max: 30.0,
+                },
             ),
         )];
         let graph = build(&BuildInput {
@@ -718,7 +830,10 @@ mod tests {
     fn round_limit_trips() {
         let (formats, graph) = fork_fixture();
         let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
-        let options = SelectOptions { max_rounds: 1, ..SelectOptions::default() };
+        let options = SelectOptions {
+            max_rounds: 1,
+            ..SelectOptions::default()
+        };
         let outcome = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
         assert_eq!(outcome.failure, Some(SelectFailure::RoundLimit));
     }

@@ -72,7 +72,10 @@ impl ExtendContext<'_> {
         for conversion in &vertex.conversions {
             let params = conversion.output_domain.top();
             labels.push(Label {
-                state: StateKey { vertex: sender, output_format: conversion.output },
+                state: StateKey {
+                    vertex: sender,
+                    output_format: conversion.output,
+                },
                 // The master content is the reference: downstream labels
                 // are capped by the variant's *parameters* (and by their
                 // own scores), so scoring the master here would only
@@ -114,9 +117,7 @@ impl ExtendContext<'_> {
                 // The receiver renders what arrives: its feasible
                 // "output" is anything up to the delivered quality,
                 // capped by its hardware (device profile).
-                VertexKind::Receiver => {
-                    receiver_domain(&parent.params, self.graph.receiver_caps())
-                }
+                VertexKind::Receiver => receiver_domain(&parent.params, self.graph.receiver_caps()),
                 _ => match conversion.output_domain.capped_by(&parent.params) {
                     Some(d) => d,
                     None => continue, // upstream already below this service's floor
@@ -146,7 +147,10 @@ impl ExtendContext<'_> {
             // reduce the quality (Section 4.4).
             let satisfaction = optimum.satisfaction.min(parent.satisfaction);
             let candidate = Label {
-                state: StateKey { vertex: edge.to, output_format: conversion.output },
+                state: StateKey {
+                    vertex: edge.to,
+                    output_format: conversion.output,
+                },
                 params: optimum.params,
                 satisfaction,
                 accumulated_cost: parent.accumulated_cost + optimum.cost,
@@ -179,7 +183,13 @@ fn receiver_domain(delivered: &ParamVector, hardware_caps: &ParamVector) -> Doma
     let capped = delivered.meet(hardware_caps);
     let mut domain = DomainVector::new();
     for (axis, value) in capped.iter() {
-        domain.set(axis, AxisDomain::Continuous { min: 0.0, max: value });
+        domain.set(
+            axis,
+            AxisDomain::Continuous {
+                min: 0.0,
+                max: value,
+            },
+        );
     }
     domain
 }
@@ -228,7 +238,10 @@ mod tests {
                 "B",
                 DomainVector::new().with(
                     Axis::FrameRate,
-                    AxisDomain::Continuous { min: 0.0, max: t_cap },
+                    AxisDomain::Continuous {
+                        min: 0.0,
+                        max: t_cap,
+                    },
                 ),
             )],
         );
@@ -238,7 +251,10 @@ mod tests {
             fa,
             DomainVector::new().with(
                 Axis::FrameRate,
-                AxisDomain::Continuous { min: 0.0, max: 30.0 },
+                AxisDomain::Continuous {
+                    min: 0.0,
+                    max: 30.0,
+                },
             ),
         )];
         let graph = build(&BuildInput {

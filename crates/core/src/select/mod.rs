@@ -6,7 +6,9 @@ pub mod label;
 pub mod trace;
 
 pub use alternates::{alternates, Alternate};
-pub use greedy::{select_chain, SelectFailure, SelectOptions, SelectionOutcome, TieBreak};
+pub use greedy::{
+    select_chain, CandidateStore, SelectFailure, SelectOptions, SelectionOutcome, TieBreak,
+};
 pub use label::{ExtendContext, Label, StateKey};
 pub use trace::{SelectionTrace, TraceRow};
 

@@ -67,13 +67,19 @@ impl BitrateModel {
     /// formats (`F1`, `F2`, …) when a scenario does not specify one.
     pub fn default_for(kind: MediaKind) -> BitrateModel {
         match kind {
-            MediaKind::Video => BitrateModel::CompressedVideo { compression_ratio: 80.0 },
-            MediaKind::Audio => BitrateModel::CompressedAudio { compression_ratio: 11.0 },
+            MediaKind::Video => BitrateModel::CompressedVideo {
+                compression_ratio: 80.0,
+            },
+            MediaKind::Audio => BitrateModel::CompressedAudio {
+                compression_ratio: 11.0,
+            },
             MediaKind::Image => BitrateModel::Image {
                 compression_ratio: 10.0,
                 per_view_seconds: 5.0,
             },
-            MediaKind::Text => BitrateModel::Text { bits_per_fidelity_point: 2000.0 },
+            MediaKind::Text => BitrateModel::Text {
+                bits_per_fidelity_point: 2000.0,
+            },
         }
     }
 
@@ -89,22 +95,27 @@ impl BitrateModel {
                 get(Axis::FrameRate, 0.0) * get(Axis::PixelCount, 1.0) * get(Axis::ColorDepth, 1.0)
             }
             BitrateModel::CompressedVideo { compression_ratio } => {
-                BitrateModel::RawVideo.bits_per_second(params) / compression_ratio.max(f64::MIN_POSITIVE)
+                BitrateModel::RawVideo.bits_per_second(params)
+                    / compression_ratio.max(f64::MIN_POSITIVE)
             }
             BitrateModel::RawAudio => {
                 get(Axis::SampleRate, 0.0) * get(Axis::Channels, 1.0) * get(Axis::SampleDepth, 1.0)
             }
             BitrateModel::CompressedAudio { compression_ratio } => {
-                BitrateModel::RawAudio.bits_per_second(params) / compression_ratio.max(f64::MIN_POSITIVE)
+                BitrateModel::RawAudio.bits_per_second(params)
+                    / compression_ratio.max(f64::MIN_POSITIVE)
             }
-            BitrateModel::Image { compression_ratio, per_view_seconds } => {
+            BitrateModel::Image {
+                compression_ratio,
+                per_view_seconds,
+            } => {
                 get(Axis::PixelCount, 0.0) * get(Axis::ColorDepth, 1.0)
                     / compression_ratio.max(f64::MIN_POSITIVE)
                     / per_view_seconds.max(f64::MIN_POSITIVE)
             }
-            BitrateModel::Text { bits_per_fidelity_point } => {
-                get(Axis::Fidelity, 0.0) * bits_per_fidelity_point / 10.0
-            }
+            BitrateModel::Text {
+                bits_per_fidelity_point,
+            } => get(Axis::Fidelity, 0.0) * bits_per_fidelity_point / 10.0,
             BitrateModel::Constant { bits_per_second } => bits_per_second,
             BitrateModel::LinearOnAxis { axis, slope } => get(axis, 0.0) * slope,
         }
@@ -117,10 +128,13 @@ impl BitrateModel {
         match *self {
             BitrateModel::CompressedVideo { compression_ratio }
             | BitrateModel::CompressedAudio { compression_ratio } => compression_ratio > 0.0,
-            BitrateModel::Image { compression_ratio, per_view_seconds } => {
-                compression_ratio > 0.0 && per_view_seconds > 0.0
-            }
-            BitrateModel::Text { bits_per_fidelity_point } => bits_per_fidelity_point >= 0.0,
+            BitrateModel::Image {
+                compression_ratio,
+                per_view_seconds,
+            } => compression_ratio > 0.0 && per_view_seconds > 0.0,
+            BitrateModel::Text {
+                bits_per_fidelity_point,
+            } => bits_per_fidelity_point >= 0.0,
             BitrateModel::LinearOnAxis { slope, .. } => slope >= 0.0,
             BitrateModel::RawVideo | BitrateModel::RawAudio | BitrateModel::Constant { .. } => true,
         }
@@ -153,7 +167,10 @@ mod tests {
     fn compression_divides() {
         let p = video_params(30.0, 1000.0, 8.0);
         let raw = BitrateModel::RawVideo.bits_per_second(&p);
-        let c = BitrateModel::CompressedVideo { compression_ratio: 50.0 }.bits_per_second(&p);
+        let c = BitrateModel::CompressedVideo {
+            compression_ratio: 50.0,
+        }
+        .bits_per_second(&p);
         assert!((c - raw / 50.0).abs() < 1e-9);
     }
 
@@ -173,14 +190,20 @@ mod tests {
     #[test]
     fn image_amortizes_over_view_time() {
         let p = ParamVector::from_pairs([(Axis::PixelCount, 1000.0), (Axis::ColorDepth, 8.0)]);
-        let m = BitrateModel::Image { compression_ratio: 8.0, per_view_seconds: 5.0 };
+        let m = BitrateModel::Image {
+            compression_ratio: 8.0,
+            per_view_seconds: 5.0,
+        };
         assert!((m.bits_per_second(&p) - 1000.0 * 8.0 / 8.0 / 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn linear_on_axis_matches_slope() {
         let p = ParamVector::from_pairs([(Axis::FrameRate, 23.0)]);
-        let m = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let m = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         assert_eq!(m.bits_per_second(&p), 23_000.0);
     }
 
@@ -190,15 +213,20 @@ mod tests {
         assert_eq!(BitrateModel::RawVideo.bits_per_second(&empty), 0.0);
         assert_eq!(BitrateModel::RawAudio.bits_per_second(&empty), 0.0);
         assert_eq!(
-            BitrateModel::LinearOnAxis { axis: Axis::Fidelity, slope: 10.0 }
-                .bits_per_second(&empty),
+            BitrateModel::LinearOnAxis {
+                axis: Axis::Fidelity,
+                slope: 10.0
+            }
+            .bits_per_second(&empty),
             0.0
         );
     }
 
     #[test]
     fn constant_ignores_params() {
-        let m = BitrateModel::Constant { bits_per_second: 64_000.0 };
+        let m = BitrateModel::Constant {
+            bits_per_second: 64_000.0,
+        };
         assert_eq!(m.bits_per_second(&ParamVector::new()), 64_000.0);
         assert_eq!(m.bits_per_second(&video_params(30.0, 1e6, 24.0)), 64_000.0);
     }

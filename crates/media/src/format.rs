@@ -153,8 +153,12 @@ impl FormatRegistry {
     /// …). Idempotent.
     pub fn install_builtins(&mut self) {
         use MediaKind::*;
-        let video = |r| BitrateModel::CompressedVideo { compression_ratio: r };
-        let audio = |r| BitrateModel::CompressedAudio { compression_ratio: r };
+        let video = |r| BitrateModel::CompressedVideo {
+            compression_ratio: r,
+        };
+        let audio = |r| BitrateModel::CompressedAudio {
+            compression_ratio: r,
+        };
         let image = |r| BitrateModel::Image {
             compression_ratio: r,
             per_view_seconds: 5.0,
@@ -176,8 +180,20 @@ impl FormatRegistry {
             ("image/jpeg", Image, image(10.0)),
             ("image/gif", Image, image(4.0)),
             ("image/png", Image, image(2.0)),
-            ("text/html", Text, BitrateModel::Text { bits_per_fidelity_point: 4000.0 }),
-            ("text/wml", Text, BitrateModel::Text { bits_per_fidelity_point: 800.0 }),
+            (
+                "text/html",
+                Text,
+                BitrateModel::Text {
+                    bits_per_fidelity_point: 4000.0,
+                },
+            ),
+            (
+                "text/wml",
+                Text,
+                BitrateModel::Text {
+                    bits_per_fidelity_point: 800.0,
+                },
+            ),
         ];
         for (name, kind, bitrate) in entries {
             self.register(FormatSpec::new(name, kind, bitrate));
@@ -201,14 +217,22 @@ mod tests {
     #[test]
     fn register_is_idempotent_first_wins() {
         let mut reg = FormatRegistry::new();
-        let a = reg.register(FormatSpec::new("x", MediaKind::Video, BitrateModel::RawVideo));
+        let a = reg.register(FormatSpec::new(
+            "x",
+            MediaKind::Video,
+            BitrateModel::RawVideo,
+        ));
         let b = reg.register(FormatSpec::new(
             "x",
             MediaKind::Audio,
             BitrateModel::RawAudio,
         ));
         assert_eq!(a, b);
-        assert_eq!(reg.spec(a).unwrap().kind, MediaKind::Video, "first registration wins");
+        assert_eq!(
+            reg.spec(a).unwrap().kind,
+            MediaKind::Video,
+            "first registration wins"
+        );
         assert_eq!(reg.len(), 1);
     }
 

@@ -166,7 +166,8 @@ impl ParamVector {
 
     /// `(axis, value)` pairs, in index order.
     pub fn iter(&self) -> impl Iterator<Item = (Axis, f64)> + '_ {
-        self.axes().map(move |a| (a, self.values[a.index()].unwrap()))
+        self.axes()
+            .map(move |a| (a, self.values[a.index()].unwrap()))
     }
 
     /// Number of axes set.
@@ -200,12 +201,12 @@ impl ParamVector {
     /// than or equal to `other`'s (i.e. `self` is a degraded-or-equal
     /// configuration). Axes present in only one vector are ignored.
     pub fn le_on_common_axes(&self, other: &ParamVector) -> bool {
-        Axis::ALL.iter().all(|&axis| {
-            match (self.get(axis), other.get(axis)) {
+        Axis::ALL
+            .iter()
+            .all(|&axis| match (self.get(axis), other.get(axis)) {
                 (Some(a), Some(b)) => a <= b + 1e-12,
                 _ => true,
-            }
-        })
+            })
     }
 
     /// Validate that every value is finite and non-negative.
@@ -297,9 +298,9 @@ impl AxisDomain {
     pub fn contains(&self, value: f64) -> bool {
         match self {
             AxisDomain::Continuous { min, max } => (*min..=*max).contains(&value),
-            AxisDomain::Discrete(values) => {
-                values.iter().any(|v| (v - value).abs() <= 1e-9 * v.abs().max(1.0))
-            }
+            AxisDomain::Discrete(values) => values
+                .iter()
+                .any(|v| (v - value).abs() <= 1e-9 * v.abs().max(1.0)),
             AxisDomain::Fixed(v) => (v - value).abs() <= 1e-9 * v.abs().max(1.0),
         }
     }
@@ -337,7 +338,11 @@ impl AxisDomain {
                 }
             }
             AxisDomain::Discrete(values) => {
-                let kept: Vec<f64> = values.iter().copied().filter(|&v| v <= cap + 1e-12).collect();
+                let kept: Vec<f64> = values
+                    .iter()
+                    .copied()
+                    .filter(|&v| v <= cap + 1e-12)
+                    .collect();
                 if kept.is_empty() {
                     None
                 } else {
@@ -359,7 +364,9 @@ impl AxisDomain {
                     return vec![*min];
                 }
                 (0..n)
-                    .map(|i| min + (max - min) * i as f64 / (n - 1) as f64)
+                    // The interpolation can overshoot `max` by an ulp at
+                    // large magnitudes; samples must stay admissible.
+                    .map(|i| (min + (max - min) * i as f64 / (n - 1) as f64).clamp(*min, *max))
                     .collect()
             }
             AxisDomain::Discrete(values) => {
@@ -426,7 +433,8 @@ impl DomainVector {
 
     /// `(axis, domain)` pairs, in index order.
     pub fn iter(&self) -> impl Iterator<Item = (Axis, &AxisDomain)> + '_ {
-        self.axes().map(move |a| (a, self.domains[a.index()].as_ref().unwrap()))
+        self.axes()
+            .map(move |a| (a, self.domains[a.index()].as_ref().unwrap()))
     }
 
     /// Number of axes with a domain.
@@ -576,7 +584,10 @@ mod tests {
         v.values[Axis::FrameRate.index()] = Some(-1.0);
         assert!(matches!(
             v.validate(),
-            Err(MediaError::InvalidValue { axis: Axis::FrameRate, .. })
+            Err(MediaError::InvalidValue {
+                axis: Axis::FrameRate,
+                ..
+            })
         ));
     }
 
@@ -592,10 +603,7 @@ mod tests {
     fn discrete_domain_sorts_and_dedups() {
         let d = AxisDomain::discrete(Axis::SampleRate, vec![44100.0, 8000.0, 44100.0, 22050.0])
             .unwrap();
-        assert_eq!(
-            d,
-            AxisDomain::Discrete(vec![8000.0, 22050.0, 44100.0])
-        );
+        assert_eq!(d, AxisDomain::Discrete(vec![8000.0, 22050.0, 44100.0]));
         assert_eq!(d.min(), 8000.0);
         assert_eq!(d.max(), 44100.0);
     }
@@ -618,7 +626,10 @@ mod tests {
         let c = AxisDomain::continuous(Axis::FrameRate, 5.0, 30.0).unwrap();
         assert_eq!(
             c.capped(20.0),
-            Some(AxisDomain::Continuous { min: 5.0, max: 20.0 })
+            Some(AxisDomain::Continuous {
+                min: 5.0,
+                max: 20.0
+            })
         );
         assert_eq!(c.capped(4.0), None);
 
@@ -642,7 +653,10 @@ mod tests {
     #[test]
     fn domain_vector_top_bottom_contains() {
         let dv = DomainVector::new()
-            .with(Axis::FrameRate, AxisDomain::continuous(Axis::FrameRate, 5.0, 30.0).unwrap())
+            .with(
+                Axis::FrameRate,
+                AxisDomain::continuous(Axis::FrameRate, 5.0, 30.0).unwrap(),
+            )
             .with(
                 Axis::PixelCount,
                 AxisDomain::discrete(Axis::PixelCount, vec![76800.0, 307200.0]).unwrap(),
@@ -660,8 +674,10 @@ mod tests {
 
     #[test]
     fn domain_vector_capped_by() {
-        let dv = DomainVector::new()
-            .with(Axis::FrameRate, AxisDomain::continuous(Axis::FrameRate, 5.0, 30.0).unwrap());
+        let dv = DomainVector::new().with(
+            Axis::FrameRate,
+            AxisDomain::continuous(Axis::FrameRate, 5.0, 30.0).unwrap(),
+        );
         let caps = ParamVector::from_pairs([(Axis::FrameRate, 23.0)]);
         let capped = dv.capped_by(&caps).unwrap();
         assert_eq!(capped.get(Axis::FrameRate).unwrap().max(), 23.0);
@@ -677,19 +693,25 @@ mod tests {
                 Axis::FrameRate,
                 AxisDomain::discrete(Axis::FrameRate, vec![10.0, 20.0, 30.0]).unwrap(),
             )
-            .with(Axis::ColorDepth, AxisDomain::continuous(Axis::ColorDepth, 1.0, 24.0).unwrap());
+            .with(
+                Axis::ColorDepth,
+                AxisDomain::continuous(Axis::ColorDepth, 1.0, 24.0).unwrap(),
+            );
         let p = ParamVector::from_pairs([(Axis::FrameRate, 25.0)]);
         let clamped = dv.clamp(&p);
         assert_eq!(clamped.get(Axis::FrameRate), Some(20.0));
-        assert_eq!(clamped.get(Axis::ColorDepth), Some(24.0), "missing axis fills with max");
+        assert_eq!(
+            clamped.get(Axis::ColorDepth),
+            Some(24.0),
+            "missing axis fills with max"
+        );
     }
 
     #[test]
     fn display_formats() {
         let v = ParamVector::from_pairs([(Axis::FrameRate, 30.0)]);
         assert_eq!(v.to_string(), "{frame_rate=30}");
-        let dv = DomainVector::new()
-            .with(Axis::FrameRate, AxisDomain::Fixed(30.0));
+        let dv = DomainVector::new().with(Axis::FrameRate, AxisDomain::Fixed(30.0));
         assert_eq!(dv.to_string(), "{frame_rate=30}");
     }
 }

@@ -58,8 +58,10 @@ mod tests {
         let f = reg.register_abstract("F1", MediaKind::Video);
         let v = ContentVariant::new(
             f,
-            DomainVector::new()
-                .with(Axis::FrameRate, AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap()),
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap(),
+            ),
         );
         assert_eq!(v.best().get(Axis::FrameRate), Some(30.0));
     }
@@ -68,8 +70,7 @@ mod tests {
     fn variant_spec_serde_round_trip() {
         let spec = VariantSpec {
             format: "video/mpeg2".to_string(),
-            offered: DomainVector::new()
-                .with(Axis::FrameRate, AxisDomain::Fixed(25.0)),
+            offered: DomainVector::new().with(Axis::FrameRate, AxisDomain::Fixed(25.0)),
         };
         let json = serde_json::to_string(&spec).unwrap();
         let back: VariantSpec = serde_json::from_str(&json).unwrap();

@@ -49,7 +49,10 @@ impl BandwidthLedger {
 
     /// Total bits per second currently reserved on `link` in `direction`.
     pub fn reserved_on(&self, link: LinkId, direction: LinkDirection) -> f64 {
-        self.reserved.get(&(link, direction)).copied().unwrap_or(0.0)
+        self.reserved
+            .get(&(link, direction))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Record a reservation of `rate_bps` on every directed crossing in

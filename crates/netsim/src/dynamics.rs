@@ -49,7 +49,10 @@ impl BackgroundTraffic {
     /// a deterministic seed.
     pub fn new(link_count: usize, config: TrafficConfig, seed: u64) -> BackgroundTraffic {
         BackgroundTraffic {
-            utilization: vec![config.mean_utilization.clamp(0.0, config.max_utilization); link_count],
+            utilization: vec![
+                config.mean_utilization.clamp(0.0, config.max_utilization);
+                link_count
+            ],
             config,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -72,7 +75,10 @@ impl BackgroundTraffic {
 
     /// Grow the tracked link set when the topology gained links.
     pub fn sync_with(&mut self, topology: &Topology) {
-        let start = self.config.mean_utilization.clamp(0.0, self.config.max_utilization);
+        let start = self
+            .config
+            .mean_utilization
+            .clamp(0.0, self.config.max_utilization);
         self.utilization.resize(topology.link_count(), start);
     }
 

@@ -101,7 +101,12 @@ pub fn star(leaves: usize, template: LinkTemplate, seed: u64) -> (Topology, Node
 
 /// A complete `fanout`-ary tree of the given `depth` (depth 0 = root
 /// only). Models a hierarchical CDN / ISP aggregation network.
-pub fn tree(depth: usize, fanout: usize, template: LinkTemplate, seed: u64) -> (Topology, Vec<NodeId>) {
+pub fn tree(
+    depth: usize,
+    fanout: usize,
+    template: LinkTemplate,
+    seed: u64,
+) -> (Topology, Vec<NodeId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Topology::new();
     let root = t.add_node(Node::new("tree-0", 8_000.0, 16e9));

@@ -75,7 +75,11 @@ impl std::fmt::Display for NetError {
             NetError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
             NetError::UnknownLink(id) => write!(f, "unknown link {id:?}"),
             NetError::NoRoute { from, to } => write!(f, "no route from {from:?} to {to:?}"),
-            NetError::InsufficientBandwidth { link, requested, available } => write!(
+            NetError::InsufficientBandwidth {
+                link,
+                requested,
+                available,
+            } => write!(
                 f,
                 "link {link:?} cannot fit {requested} bit/s (available {available} bit/s)"
             ),

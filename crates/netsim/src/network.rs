@@ -249,7 +249,12 @@ impl Network {
     /// Admit a session of `rate_bps` between `a` and `b` along the
     /// current route. Errors (without side effects) if any route link
     /// lacks headroom. Same-host sessions reserve nothing and succeed.
-    pub fn reserve_between(&mut self, a: NodeId, b: NodeId, rate_bps: f64) -> Result<ReservationId> {
+    pub fn reserve_between(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        rate_bps: f64,
+    ) -> Result<ReservationId> {
         if a == b {
             self.topology.node(a)?;
             return self.ledger.reserve(Vec::new(), rate_bps);
@@ -331,10 +336,26 @@ mod tests {
         let b = t.add_node(Node::unconstrained("b"));
         let c = t.add_node(Node::unconstrained("c"));
         let l1 = t
-            .connect(Link { a, b, capacity_bps: 1000.0, delay_us: 100, loss: 0.0, price_per_mbit: 2.0, price_flat: 0.0 })
+            .connect(Link {
+                a,
+                b,
+                capacity_bps: 1000.0,
+                delay_us: 100,
+                loss: 0.0,
+                price_per_mbit: 2.0,
+                price_flat: 0.0,
+            })
             .unwrap();
         let l2 = t
-            .connect(Link { a: b, b: c, capacity_bps: 500.0, delay_us: 200, loss: 0.0, price_per_mbit: 3.0, price_flat: 0.0 })
+            .connect(Link {
+                a: b,
+                b: c,
+                capacity_bps: 500.0,
+                delay_us: 200,
+                loss: 0.0,
+                price_per_mbit: 3.0,
+                price_flat: 0.0,
+            })
             .unwrap();
         (Network::new(t), a, b, c, l1, l2)
     }

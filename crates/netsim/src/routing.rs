@@ -71,7 +71,13 @@ pub fn min_delay_route_filtered(
     topology.node(from)?;
     topology.node(to)?;
     if from == to {
-        return Ok(Route { from, to, links: Vec::new(), nodes: vec![from], delay_us: 0 });
+        return Ok(Route {
+            from,
+            to,
+            links: Vec::new(),
+            nodes: vec![from],
+            delay_us: 0,
+        });
     }
     if !node_ok(from) || !node_ok(to) {
         return Err(NetError::NoRoute { from, to });
@@ -96,7 +102,10 @@ pub fn min_delay_route_filtered(
             if !link_ok(link) || !node_ok(neighbor) {
                 continue;
             }
-            let delay = topology.link(link).expect("adjacency is consistent").delay_us;
+            let delay = topology
+                .link(link)
+                .expect("adjacency is consistent")
+                .delay_us;
             let next = d.saturating_add(delay);
             if next < dist[neighbor.index()] {
                 dist[neighbor.index()] = next;
@@ -121,7 +130,13 @@ pub fn min_delay_route_filtered(
     }
     links.reverse();
     nodes.reverse();
-    Ok(Route { from, to, links, nodes, delay_us: dist[to.index()] })
+    Ok(Route {
+        from,
+        to,
+        links,
+        nodes,
+        delay_us: dist[to.index()],
+    })
 }
 
 /// All-pairs minimum-delay routes from one origin (single Dijkstra run),
@@ -141,7 +156,10 @@ pub fn route_table(topology: &Topology, from: NodeId) -> Result<Vec<Option<(Node
             continue;
         }
         for &(neighbor, link) in topology.neighbors(node) {
-            let delay = topology.link(link).expect("adjacency is consistent").delay_us;
+            let delay = topology
+                .link(link)
+                .expect("adjacency is consistent")
+                .delay_us;
             let next = d.saturating_add(delay);
             if next < dist[neighbor.index()] {
                 dist[neighbor.index()] = next;
@@ -201,12 +219,36 @@ mod tests {
         let b = t.add_node(Node::unconstrained("b"));
         let c = t.add_node(Node::unconstrained("c"));
         // Direct a-c link is slow; a-b-c is faster in total.
-        t.connect(Link { a, b: c, capacity_bps: 1e6, delay_us: 10_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
-            .unwrap();
-        t.connect(Link { a, b, capacity_bps: 1e6, delay_us: 2_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
-            .unwrap();
-        t.connect(Link { a: b, b: c, capacity_bps: 1e6, delay_us: 2_000, loss: 0.0, price_per_mbit: 0.0, price_flat: 0.0 })
-            .unwrap();
+        t.connect(Link {
+            a,
+            b: c,
+            capacity_bps: 1e6,
+            delay_us: 10_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 0.0,
+        })
+        .unwrap();
+        t.connect(Link {
+            a,
+            b,
+            capacity_bps: 1e6,
+            delay_us: 2_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 0.0,
+        })
+        .unwrap();
+        t.connect(Link {
+            a: b,
+            b: c,
+            capacity_bps: 1e6,
+            delay_us: 2_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 0.0,
+        })
+        .unwrap();
         let r = min_delay_route(&t, a, c).unwrap();
         assert_eq!(r.hop_count(), 2);
         assert_eq!(r.delay_us, 4_000);

@@ -43,7 +43,11 @@ pub struct Node {
 impl Node {
     /// A node with the given name and resources.
     pub fn new(name: impl Into<String>, cpu_mips: f64, memory_bytes: f64) -> Node {
-        Node { name: name.into(), cpu_mips, memory_bytes }
+        Node {
+            name: name.into(),
+            cpu_mips,
+            memory_bytes,
+        }
     }
 
     /// A generously provisioned node for scenarios where host resources
@@ -163,7 +167,9 @@ impl Topology {
 
     /// Mutable link access (used by failure injection to degrade links).
     pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link> {
-        self.links.get_mut(id.index()).ok_or(NetError::UnknownLink(id))
+        self.links
+            .get_mut(id.index())
+            .ok_or(NetError::UnknownLink(id))
     }
 
     /// Neighbors of `node` as `(neighbor, link)` pairs, in insertion order.

@@ -56,7 +56,8 @@ impl SessionReport {
         self.jitter_us = inter_arrival_stddev(arrivals_us);
         self.delivered_params = planned_params;
         if planned_params.get(Axis::FrameRate).is_some() {
-            self.delivered_params.set(Axis::FrameRate, self.delivered_fps);
+            self.delivered_params
+                .set(Axis::FrameRate, self.delivered_fps);
         }
         self.measured_satisfaction = profile.score(&self.delivered_params);
     }

@@ -116,7 +116,11 @@ pub fn run_resilient(
         Option<qosc_core::AdaptationPlan>,
         Vec<qosc_core::AdaptationPlan>,
     )> {
-        let composer = Composer { formats, services, network };
+        let composer = Composer {
+            formats,
+            services,
+            network,
+        };
         let composition = composer.compose(profiles, sender_host, receiver_host, &config.select)?;
         let mut backups = Vec::new();
         if config.preplan_backups {
@@ -150,7 +154,10 @@ pub fn run_resilient(
     let mut segment_index = 0u64;
 
     while now < config.total_duration {
-        let next_fault_time = faults.first().map(|&(t, _)| t).unwrap_or(config.total_duration);
+        let next_fault_time = faults
+            .first()
+            .map(|&(t, _)| t)
+            .unwrap_or(config.total_duration);
         let segment_end = next_fault_time.min(config.total_duration).max(now);
 
         match &plan {
@@ -172,9 +179,8 @@ pub fn run_resilient(
                     Ok(report) => {
                         if report.frames_delivered > 0 {
                             if let Some(fault_at) = pending_fault_at.take() {
-                                recovery_gap.get_or_insert(SimTime(
-                                    now.as_micros() - fault_at.as_micros(),
-                                ));
+                                recovery_gap
+                                    .get_or_insert(SimTime(now.as_micros() - fault_at.as_micros()));
                             }
                         }
                         segments.push(SegmentReport {
@@ -222,9 +228,7 @@ pub fn run_resilient(
                     pending_fault_at = Some(now);
                     // Instant switch-over to a surviving pre-planned
                     // backup, when one exists.
-                    let backup = backups
-                        .iter()
-                        .position(|b| !plan_affected(network, b));
+                    let backup = backups.iter().position(|b| !plan_affected(network, b));
                     if let Some(index) = backup {
                         let gap_end = now
                             .plus_micros(config.failover_timeout.as_micros())
@@ -325,8 +329,8 @@ mod tests {
     fn recomposes_after_chain_killing_fault() {
         let mut scenario = paper::figure6_scenario(true);
         let failed = t7_host(&scenario);
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(10), FailureEvent::NodeDown(failed));
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(failed));
         let config = ResilienceConfig {
             total_duration: SimTime::from_secs(30),
             ..ResilienceConfig::default()
@@ -360,8 +364,8 @@ mod tests {
     fn without_recomposition_the_stream_stays_dark() {
         let mut scenario = paper::figure6_scenario(true);
         let failed = t7_host(&scenario);
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(10), FailureEvent::NodeDown(failed));
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(failed));
         let config = ResilienceConfig {
             total_duration: SimTime::from_secs(30),
             recompose: false,
@@ -387,13 +391,9 @@ mod tests {
     #[test]
     fn unrelated_fault_keeps_the_chain() {
         let mut scenario = paper::figure6_scenario(true);
-        let unrelated = scenario
-            .network
-            .topology()
-            .node_by_name("host-T9")
-            .unwrap();
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(10), FailureEvent::NodeDown(unrelated));
+        let unrelated = scenario.network.topology().node_by_name("host-T9").unwrap();
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(unrelated));
         let run = run_resilient(
             &scenario.formats,
             &scenario.services,

@@ -201,7 +201,13 @@ pub fn run_session(
                     .plus_micros(processing_us)
                     .plus_micros(serialization_us)
                     .plus_micros(hop.prop_delay_us);
-                queue.schedule(arrival, Event::Arrive { frame, stage: stage + 1 });
+                queue.schedule(
+                    arrival,
+                    Event::Arrive {
+                        frame,
+                        stage: stage + 1,
+                    },
+                );
             }
             Event::Fault(fault) => {
                 FailureSchedule::apply(fault, network);
@@ -229,9 +235,7 @@ mod tests {
     use qosc_core::SelectOptions;
     use qosc_workload::paper;
 
-    fn figure6_session(
-        config: &SessionConfig,
-    ) -> (SessionReport, f64) {
+    fn figure6_session(config: &SessionConfig) -> (SessionReport, f64) {
         let mut scenario = paper::figure6_scenario(true);
         let composition = scenario.compose(&SelectOptions::default()).unwrap();
         let plan = composition.plan.unwrap();
@@ -324,8 +328,7 @@ mod tests {
         use qosc_core::{Composer, SelectOptions};
         use qosc_netsim::Topology;
         use qosc_profiles::{
-            ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet,
-            UserProfile,
+            ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
         };
         use qosc_services::{catalog, TranscoderDescriptor};
 
@@ -362,9 +365,15 @@ mod tests {
                 .plan
                 .expect("solvable");
             let profile = profiles.effective_satisfaction();
-            run_session(&mut network, &services, &plan, &profile, &SessionConfig::default())
-                .unwrap()
-                .mean_latency_us
+            run_session(
+                &mut network,
+                &services,
+                &plan,
+                &profile,
+                &SessionConfig::default(),
+            )
+            .unwrap()
+            .mean_latency_us
         };
 
         let weak = run_with_cpu(40.0);

@@ -104,14 +104,38 @@ impl ContentProfile {
     /// A demo 30 fps VGA MPEG-2 video with an MPEG-1 fallback variant.
     pub fn demo_video(title: &str) -> ContentProfile {
         let offered = DomainVector::new()
-            .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
-            .with(Axis::PixelCount, AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 })
-            .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 });
+            .with(
+                Axis::FrameRate,
+                AxisDomain::Continuous {
+                    min: 1.0,
+                    max: 30.0,
+                },
+            )
+            .with(
+                Axis::PixelCount,
+                AxisDomain::Continuous {
+                    min: 19_200.0,
+                    max: 307_200.0,
+                },
+            )
+            .with(
+                Axis::ColorDepth,
+                AxisDomain::Continuous {
+                    min: 8.0,
+                    max: 24.0,
+                },
+            );
         ContentProfile::new(
             title,
             vec![
-                VariantSpec { format: "video/mpeg2".to_string(), offered: offered.clone() },
-                VariantSpec { format: "video/mpeg1".to_string(), offered },
+                VariantSpec {
+                    format: "video/mpeg2".to_string(),
+                    offered: offered.clone(),
+                },
+                VariantSpec {
+                    format: "video/mpeg1".to_string(),
+                    offered,
+                },
             ],
         )
         .with_author("demo studio")
@@ -164,8 +188,14 @@ mod tests {
         let dup = ContentProfile::new(
             "y",
             vec![
-                VariantSpec { format: "f".to_string(), offered: DomainVector::new() },
-                VariantSpec { format: "f".to_string(), offered: DomainVector::new() },
+                VariantSpec {
+                    format: "f".to_string(),
+                    offered: DomainVector::new(),
+                },
+                VariantSpec {
+                    format: "f".to_string(),
+                    offered: DomainVector::new(),
+                },
             ],
         );
         assert!(dup.validate().is_err());

@@ -94,7 +94,10 @@ impl ContextProfile {
             ));
         }
         // Preserve the weighted-combination marker by refreshing weights.
-        if matches!(profile.combiner, qosc_satisfaction::Combiner::WeightedHarmonic { .. }) {
+        if matches!(
+            profile.combiner,
+            qosc_satisfaction::Combiner::WeightedHarmonic { .. }
+        ) {
             adjusted.use_weighted_combination();
         }
         adjusted
@@ -111,12 +114,18 @@ mod tests {
         let mut p = SatisfactionProfile::new()
             .with(AxisPreference::weighted(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
                 1.0,
             ))
             .with(AxisPreference::weighted(
                 Axis::SampleRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44_100.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 44_100.0,
+                },
                 1.0,
             ));
         p.use_weighted_combination();
@@ -145,12 +154,12 @@ mod tests {
         // Poor audio, great video: the noisy context should judge this
         // configuration *less harshly* than the quiet one.
         let profile = av_profile();
-        let config = ParamVector::from_pairs([
-            (Axis::FrameRate, 30.0),
-            (Axis::SampleRate, 8_000.0),
-        ]);
+        let config =
+            ParamVector::from_pairs([(Axis::FrameRate, 30.0), (Axis::SampleRate, 8_000.0)]);
         let quiet = ContextProfile::default().adjust(&profile).score(&config);
-        let noisy = ContextProfile::noisy_commute().adjust(&profile).score(&config);
+        let noisy = ContextProfile::noisy_commute()
+            .adjust(&profile)
+            .score(&config);
         assert!(noisy > quiet, "noisy {noisy} should exceed quiet {quiet}");
     }
 
@@ -158,7 +167,10 @@ mod tests {
     fn sunlight_downweights_color_depth() {
         let profile = SatisfactionProfile::new().with(AxisPreference::weighted(
             Axis::ColorDepth,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 24.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 24.0,
+            },
             2.0,
         ));
         let context = ContextProfile {

@@ -63,7 +63,10 @@ impl HardwareCaps {
     /// channels, sample rate.
     pub fn quality_caps(&self) -> ParamVector {
         ParamVector::from_pairs([
-            (Axis::PixelCount, f64::from(self.screen_width) * f64::from(self.screen_height)),
+            (
+                Axis::PixelCount,
+                f64::from(self.screen_width) * f64::from(self.screen_height),
+            ),
             (Axis::ColorDepth, f64::from(self.color_depth)),
             (Axis::Channels, f64::from(self.audio_channels)),
             (Axis::SampleRate, f64::from(self.max_sample_rate)),
@@ -157,7 +160,11 @@ mod tests {
         assert_eq!(caps.get(Axis::ColorDepth), Some(16.0));
         assert_eq!(caps.get(Axis::Channels), Some(1.0));
         assert_eq!(caps.get(Axis::SampleRate), Some(22_050.0));
-        assert_eq!(caps.get(Axis::FrameRate), None, "hardware does not cap frame rate");
+        assert_eq!(
+            caps.get(Axis::FrameRate),
+            None,
+            "hardware does not cap frame rate"
+        );
     }
 
     #[test]
@@ -173,7 +180,9 @@ mod tests {
     #[test]
     fn unknown_decoder_fails() {
         let registry = FormatRegistry::new();
-        assert!(DeviceProfile::demo_pda().resolve_decoders(&registry).is_err());
+        assert!(DeviceProfile::demo_pda()
+            .resolve_decoders(&registry)
+            .is_err());
     }
 
     #[test]
@@ -192,6 +201,9 @@ mod tests {
     fn serde_round_trip() {
         let device = DeviceProfile::demo_pda();
         let json = serde_json::to_string(&device).unwrap();
-        assert_eq!(serde_json::from_str::<DeviceProfile>(&json).unwrap(), device);
+        assert_eq!(
+            serde_json::from_str::<DeviceProfile>(&json).unwrap(),
+            device
+        );
     }
 }

@@ -35,7 +35,10 @@ impl PriceModel {
 
     /// A flat per-second price.
     pub fn flat(per_second: f64) -> PriceModel {
-        PriceModel { per_second, per_mbit: 0.0 }
+        PriceModel {
+            per_second,
+            per_mbit: 0.0,
+        }
     }
 
     /// Price per second of producing output at `bits_per_second`.
@@ -78,7 +81,11 @@ impl ConversionSpec {
         output: impl Into<String>,
         output_domain: DomainVector,
     ) -> ConversionSpec {
-        ConversionSpec { input: input.into(), output: output.into(), output_domain }
+        ConversionSpec {
+            input: input.into(),
+            output: output.into(),
+            output_domain,
+        }
     }
 }
 
@@ -201,7 +208,10 @@ mod tests {
 
     #[test]
     fn price_model_cost() {
-        let p = PriceModel { per_second: 0.5, per_mbit: 0.1 };
+        let p = PriceModel {
+            per_second: 0.5,
+            per_mbit: 0.1,
+        };
         assert!((p.cost_at_rate(2e6) - 0.7).abs() < 1e-12);
         assert_eq!(PriceModel::free().cost_at_rate(1e9), 0.0);
         assert_eq!(PriceModel::flat(2.0).cost_at_rate(5e6), 2.0);
@@ -211,7 +221,10 @@ mod tests {
     fn validation() {
         spec().validate().unwrap();
         assert!(ServiceSpec::new("empty", vec![]).validate().is_err());
-        let bad_price = spec().with_price(PriceModel { per_second: -1.0, per_mbit: 0.0 });
+        let bad_price = spec().with_price(PriceModel {
+            per_second: -1.0,
+            per_mbit: 0.0,
+        });
         assert!(bad_price.validate().is_err());
         let bad_res = spec().with_resources(-1.0, 0.0);
         assert!(bad_res.validate().is_err());
@@ -224,7 +237,9 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let s = spec().with_price(PriceModel::flat(1.0)).with_resources(5.0, 1e6);
+        let s = spec()
+            .with_price(PriceModel::flat(1.0))
+            .with_resources(5.0, 1e6);
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<ServiceSpec>(&json).unwrap(), s);
     }
@@ -236,7 +251,10 @@ mod tests {
             "video/h263",
             DomainVector::new().with(
                 Axis::FrameRate,
-                AxisDomain::Continuous { min: 1.0, max: 30.0 },
+                AxisDomain::Continuous {
+                    min: 1.0,
+                    max: 30.0,
+                },
             ),
         );
         let json = serde_json::to_string(&c).unwrap();

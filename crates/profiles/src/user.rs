@@ -81,11 +81,17 @@ impl UserProfile {
         let satisfaction = SatisfactionProfile::new()
             .with(AxisPreference::new(
                 qosc_media::Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
             ))
             .with(AxisPreference::new(
                 qosc_media::Axis::PixelCount,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 307_200.0,
+                },
             ));
         UserProfile::new(name, satisfaction)
     }
@@ -139,7 +145,9 @@ mod tests {
 
     #[test]
     fn degrade_rank_defaults_to_last() {
-        let policy = AdaptationPolicy { degrade_first: vec![MediaKind::Audio] };
+        let policy = AdaptationPolicy {
+            degrade_first: vec![MediaKind::Audio],
+        };
         assert_eq!(policy.degrade_rank(MediaKind::Audio), 0);
         assert_eq!(policy.degrade_rank(MediaKind::Video), 1);
     }

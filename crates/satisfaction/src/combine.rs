@@ -92,13 +92,12 @@ impl Combiner {
                 {
                     0.0
                 } else {
-                    wsum
-                        / values
-                            .iter()
-                            .zip(weights)
-                            .filter(|&(_, &w)| w > 0.0)
-                            .map(|(&v, &w)| w / v)
-                            .sum::<f64>()
+                    wsum / values
+                        .iter()
+                        .zip(weights)
+                        .filter(|&(_, &w)| w > 0.0)
+                        .map(|(&v, &w)| w / v)
+                        .sum::<f64>()
                 }
             }
             Combiner::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
@@ -161,7 +160,9 @@ mod tests {
 
     #[test]
     fn weighted_harmonic_equal_weights_reduces_to_equa_1() {
-        let w = Combiner::WeightedHarmonic { weights: vec![1.0, 1.0, 1.0] };
+        let w = Combiner::WeightedHarmonic {
+            weights: vec![1.0, 1.0, 1.0],
+        };
         let h = Combiner::HarmonicMean;
         let vals = [0.3, 0.6, 0.9];
         assert!((w.combine(&vals).unwrap() - h.combine(&vals).unwrap()).abs() < 1e-12);
@@ -169,7 +170,9 @@ mod tests {
 
     #[test]
     fn weighted_harmonic_ignores_zero_weight_params() {
-        let w = Combiner::WeightedHarmonic { weights: vec![1.0, 0.0] };
+        let w = Combiner::WeightedHarmonic {
+            weights: vec![1.0, 0.0],
+        };
         // The second parameter is zero-satisfaction but zero-weight.
         assert!((w.combine(&[0.8, 0.0]).unwrap() - 0.8).abs() < 1e-12);
     }
@@ -179,13 +182,18 @@ mod tests {
         let w = Combiner::WeightedHarmonic { weights: vec![1.0] };
         assert!(matches!(
             w.combine(&[0.5, 0.5]),
-            Err(SatisfactionError::WeightMismatch { values: 2, weights: 1 })
+            Err(SatisfactionError::WeightMismatch {
+                values: 2,
+                weights: 1
+            })
         ));
     }
 
     #[test]
     fn weighted_harmonic_rejects_zero_weight_sum() {
-        let w = Combiner::WeightedHarmonic { weights: vec![0.0, 0.0] };
+        let w = Combiner::WeightedHarmonic {
+            weights: vec![0.0, 0.0],
+        };
         assert!(w.combine(&[0.5, 0.5]).is_err());
     }
 

@@ -74,15 +74,25 @@ pub enum SatisfactionFn {
 impl SatisfactionFn {
     /// The paper's Table-1 frame-rate function: linear with M=0, I=30.
     pub fn paper_frame_rate() -> SatisfactionFn {
-        SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 }
+        SatisfactionFn::Linear {
+            min_acceptable: 0.0,
+            ideal: 30.0,
+        }
     }
 
     /// Validate shape invariants (finite bounds, `min < ideal`,
     /// piecewise knots ascending with satisfactions in [0, 1]).
     pub fn validate(&self) -> Result<()> {
         match self {
-            SatisfactionFn::Linear { min_acceptable, ideal }
-            | SatisfactionFn::Saturating { min_acceptable, ideal, .. } => {
+            SatisfactionFn::Linear {
+                min_acceptable,
+                ideal,
+            }
+            | SatisfactionFn::Saturating {
+                min_acceptable,
+                ideal,
+                ..
+            } => {
                 if !min_acceptable.is_finite() || !ideal.is_finite() || min_acceptable >= ideal {
                     return Err(SatisfactionError::InvalidFunction(format!(
                         "requires min_acceptable < ideal, got [{min_acceptable}, {ideal}]"
@@ -114,7 +124,10 @@ impl SatisfactionFn {
                         )));
                     }
                 }
-                if knots.iter().any(|&(x, s)| !x.is_finite() || !(0.0..=1.0).contains(&s)) {
+                if knots
+                    .iter()
+                    .any(|&(x, s)| !x.is_finite() || !(0.0..=1.0).contains(&s))
+                {
                     return Err(SatisfactionError::InvalidFunction(
                         "knot satisfactions must be finite and within [0, 1]".to_string(),
                     ));
@@ -137,9 +150,10 @@ impl SatisfactionFn {
     /// Evaluate the function at `x`. Always in `[0, 1]`.
     pub fn eval(&self, x: f64) -> f64 {
         let s = match self {
-            SatisfactionFn::Linear { min_acceptable, ideal } => {
-                (x - min_acceptable) / (ideal - min_acceptable)
-            }
+            SatisfactionFn::Linear {
+                min_acceptable,
+                ideal,
+            } => (x - min_acceptable) / (ideal - min_acceptable),
             SatisfactionFn::Piecewise { knots } => {
                 match knots.iter().position(|&(kx, _)| kx >= x) {
                     Some(0) => knots[0].1,
@@ -162,7 +176,11 @@ impl SatisfactionFn {
                     0.0
                 }
             }
-            SatisfactionFn::Saturating { min_acceptable, ideal, scale } => {
+            SatisfactionFn::Saturating {
+                min_acceptable,
+                ideal,
+                scale,
+            } => {
                 if x <= *min_acceptable {
                     0.0
                 } else {
@@ -183,9 +201,10 @@ impl SatisfactionFn {
     pub fn inverse(&self, target: f64) -> Option<f64> {
         let target = target.clamp(0.0, 1.0);
         match self {
-            SatisfactionFn::Linear { min_acceptable, ideal } => {
-                Some(min_acceptable + target * (ideal - min_acceptable))
-            }
+            SatisfactionFn::Linear {
+                min_acceptable,
+                ideal,
+            } => Some(min_acceptable + target * (ideal - min_acceptable)),
             SatisfactionFn::Step { threshold } => {
                 if target <= 0.0 {
                     Some(f64::NEG_INFINITY)
@@ -211,7 +230,11 @@ impl SatisfactionFn {
                     Some(x0 + (x1 - x0) * (target - s0) / (s1 - s0))
                 }
             }
-            SatisfactionFn::Saturating { min_acceptable, ideal, .. } => {
+            SatisfactionFn::Saturating {
+                min_acceptable,
+                ideal,
+                ..
+            } => {
                 if target <= 0.0 {
                     return Some(*min_acceptable);
                 }
@@ -265,9 +288,24 @@ mod tests {
 
     #[test]
     fn linear_validation() {
-        assert!(SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 30.0 }.validate().is_ok());
-        assert!(SatisfactionFn::Linear { min_acceptable: 30.0, ideal: 5.0 }.validate().is_err());
-        assert!(SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 5.0 }.validate().is_err());
+        assert!(SatisfactionFn::Linear {
+            min_acceptable: 5.0,
+            ideal: 30.0
+        }
+        .validate()
+        .is_ok());
+        assert!(SatisfactionFn::Linear {
+            min_acceptable: 30.0,
+            ideal: 5.0
+        }
+        .validate()
+        .is_err());
+        assert!(SatisfactionFn::Linear {
+            min_acceptable: 5.0,
+            ideal: 5.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -306,7 +344,11 @@ mod tests {
 
     #[test]
     fn saturating_is_monotone_and_normalized() {
-        let f = SatisfactionFn::Saturating { min_acceptable: 0.0, ideal: 30.0, scale: 10.0 };
+        let f = SatisfactionFn::Saturating {
+            min_acceptable: 0.0,
+            ideal: 30.0,
+            scale: 10.0,
+        };
         f.validate().unwrap();
         assert_eq!(f.eval(0.0), 0.0);
         assert!((f.eval(30.0) - 1.0).abs() < 1e-12);
@@ -323,9 +365,18 @@ mod tests {
     #[test]
     fn inverse_round_trips() {
         let fns = [
-            SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 30.0 },
-            SatisfactionFn::Piecewise { knots: vec![(5.0, 0.0), (10.0, 0.5), (20.0, 1.0)] },
-            SatisfactionFn::Saturating { min_acceptable: 5.0, ideal: 30.0, scale: 8.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 5.0,
+                ideal: 30.0,
+            },
+            SatisfactionFn::Piecewise {
+                knots: vec![(5.0, 0.0), (10.0, 0.5), (20.0, 1.0)],
+            },
+            SatisfactionFn::Saturating {
+                min_acceptable: 5.0,
+                ideal: 30.0,
+                scale: 8.0,
+            },
         ];
         for f in fns {
             for target in [0.1, 0.5, 0.9] {
@@ -341,7 +392,9 @@ mod tests {
 
     #[test]
     fn inverse_unreachable_target() {
-        let f = SatisfactionFn::Piecewise { knots: vec![(5.0, 0.0), (10.0, 0.5)] };
+        let f = SatisfactionFn::Piecewise {
+            knots: vec![(5.0, 0.0), (10.0, 0.5)],
+        };
         assert_eq!(f.inverse(0.9), None);
     }
 
@@ -356,7 +409,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let f = SatisfactionFn::Saturating { min_acceptable: 1.0, ideal: 2.0, scale: 0.5 };
+        let f = SatisfactionFn::Saturating {
+            min_acceptable: 1.0,
+            ideal: 2.0,
+            scale: 0.5,
+        };
         let json = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<SatisfactionFn>(&json).unwrap(), f);
     }

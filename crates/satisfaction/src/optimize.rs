@@ -121,7 +121,13 @@ pub fn optimize(problem: &Problem<'_>, options: &OptimizeOptions) -> Option<Opti
     let per_axis = grid_resolution(axes.len(), options);
     let samples: Vec<Vec<f64>> = axes
         .iter()
-        .map(|&axis| problem.domain.get(axis).expect("axis from domain").sample(per_axis))
+        .map(|&axis| {
+            problem
+                .domain
+                .get(axis)
+                .expect("axis from domain")
+                .sample(per_axis)
+        })
         .collect();
     let mut best: Option<(f64, f64, ParamVector)> = None; // (sat, -rate, params)
     let mut index = vec![0usize; axes.len()];
@@ -191,11 +197,7 @@ fn grid_resolution(axis_count: usize, options: &OptimizeOptions) -> usize {
     per_axis
 }
 
-fn consider(
-    problem: &Problem<'_>,
-    best: &mut Option<(f64, f64, ParamVector)>,
-    point: ParamVector,
-) {
+fn consider(problem: &Problem<'_>, best: &mut Option<(f64, f64, ParamVector)>, point: ParamVector) {
     let sat = problem.profile.score(&point);
     let neg_rate = -problem.bitrate.bits_per_second(&point);
     let better = match best {
@@ -275,7 +277,14 @@ mod tests {
         bandwidth: f64,
         budget: f64,
     ) -> Problem<'a> {
-        Problem { profile, domain, bitrate, bandwidth_limit: bandwidth, cost, budget }
+        Problem {
+            profile,
+            domain,
+            bitrate,
+            bandwidth_limit: bandwidth,
+            cost,
+            budget,
+        }
     }
 
     #[test]
@@ -285,9 +294,19 @@ mod tests {
             Axis::FrameRate,
             AxisDomain::continuous(Axis::FrameRate, 0.0, 27.0).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = free_cost();
-        let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, f64::INFINITY, f64::INFINITY);
+        let p = frame_rate_problem(
+            &profile,
+            &domain,
+            &bitrate,
+            &cost,
+            f64::INFINITY,
+            f64::INFINITY,
+        );
         let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
         assert_eq!(opt.params.get(Axis::FrameRate), Some(27.0));
         assert!((opt.satisfaction - 0.9).abs() < 1e-12);
@@ -301,7 +320,10 @@ mod tests {
             Axis::FrameRate,
             AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = free_cost();
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 18_000.0, f64::INFINITY);
         let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
@@ -318,7 +340,10 @@ mod tests {
             Axis::FrameRate,
             AxisDomain::continuous(Axis::FrameRate, 0.0, 30.0).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = |p: &ParamVector| p.get(Axis::FrameRate).unwrap_or(0.0);
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, f64::INFINITY, 12.0);
         let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
@@ -334,7 +359,10 @@ mod tests {
             Axis::FrameRate,
             AxisDomain::continuous(Axis::FrameRate, 10.0, 30.0).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = free_cost();
         // Even 10 fps needs 10_000 bits/s; only 5_000 available.
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 5_000.0, f64::INFINITY);
@@ -348,7 +376,10 @@ mod tests {
             Axis::FrameRate,
             AxisDomain::discrete(Axis::FrameRate, vec![5.0, 15.0, 25.0, 30.0]).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = free_cost();
         // 27_000 bits/s admits 25 but not 30.
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 27_000.0, f64::INFINITY);
@@ -362,19 +393,30 @@ mod tests {
         let profile = SatisfactionProfile::new()
             .with(AxisPreference::new(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
             ))
             .with(AxisPreference::new(
                 Axis::PixelCount,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 307_200.0,
+                },
             ));
         let domain = DomainVector::new()
-            .with(Axis::FrameRate, AxisDomain::continuous(Axis::FrameRate, 1.0, 30.0).unwrap())
+            .with(
+                Axis::FrameRate,
+                AxisDomain::continuous(Axis::FrameRate, 1.0, 30.0).unwrap(),
+            )
             .with(
                 Axis::PixelCount,
                 AxisDomain::continuous(Axis::PixelCount, 19_200.0, 307_200.0).unwrap(),
             );
-        let bitrate = BitrateModel::CompressedVideo { compression_ratio: 100.0 };
+        let bitrate = BitrateModel::CompressedVideo {
+            compression_ratio: 100.0,
+        };
         let cost = free_cost();
         // Top needs 30×307200×1/100 ≈ 92 kbit/s (no depth axis → ×1).
         // Give half of that.
@@ -398,13 +440,19 @@ mod tests {
         // grid sees equal-satisfaction points.
         let profile = SatisfactionProfile::new().with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 20.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 20.0,
+            },
         ));
         let domain = DomainVector::new().with(
             Axis::FrameRate,
             AxisDomain::discrete(Axis::FrameRate, vec![10.0, 20.0, 25.0, 30.0]).unwrap(),
         );
-        let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+        let bitrate = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
         let cost = free_cost();
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 26_000.0, f64::INFINITY);
         let opt = optimize(&p, &OptimizeOptions::default()).unwrap();
@@ -419,7 +467,9 @@ mod tests {
     fn empty_domain_scores_zero_but_succeeds_when_free() {
         let profile = SatisfactionProfile::paper_table1();
         let domain = DomainVector::new();
-        let bitrate = BitrateModel::Constant { bits_per_second: 100.0 };
+        let bitrate = BitrateModel::Constant {
+            bits_per_second: 100.0,
+        };
         let cost = free_cost();
         let p = frame_rate_problem(&profile, &domain, &bitrate, &cost, 200.0, f64::INFINITY);
         let opt = optimize(&p, &OptimizeOptions::default()).unwrap();

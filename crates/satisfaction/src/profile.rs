@@ -27,12 +27,20 @@ pub struct AxisPreference {
 impl AxisPreference {
     /// A preference with the default weight of 1.
     pub fn new(axis: Axis, function: SatisfactionFn) -> AxisPreference {
-        AxisPreference { axis, function, weight: 1.0 }
+        AxisPreference {
+            axis,
+            function,
+            weight: 1.0,
+        }
     }
 
     /// A preference with an explicit weight.
     pub fn weighted(axis: Axis, function: SatisfactionFn, weight: f64) -> AxisPreference {
-        AxisPreference { axis, function, weight }
+        AxisPreference {
+            axis,
+            function,
+            weight,
+        }
     }
 }
 
@@ -50,14 +58,19 @@ pub struct SatisfactionProfile {
 impl SatisfactionProfile {
     /// An empty profile with the paper's default combiner (Equa. 1).
     pub fn new() -> SatisfactionProfile {
-        SatisfactionProfile { preferences: Vec::new(), combiner: Combiner::default() }
+        SatisfactionProfile {
+            preferences: Vec::new(),
+            combiner: Combiner::default(),
+        }
     }
 
     /// The paper's Table-1 profile: a single linear frame-rate preference
     /// with minimum 0 and ideal 30 fps.
     pub fn paper_table1() -> SatisfactionProfile {
-        SatisfactionProfile::new()
-            .with(AxisPreference::new(Axis::FrameRate, SatisfactionFn::paper_frame_rate()))
+        SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::paper_frame_rate(),
+        ))
     }
 
     /// Builder-style insert; replaces any existing preference on the axis.
@@ -182,7 +195,10 @@ mod tests {
     fn score_skips_preferences_content_lacks() {
         let profile = SatisfactionProfile::paper_table1().with(AxisPreference::new(
             Axis::SampleRate,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44100.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 44100.0,
+            },
         ));
         // Video-only content: only the frame-rate preference applies.
         let p = ParamVector::from_pairs([(Axis::FrameRate, 30.0)]);
@@ -201,11 +217,17 @@ mod tests {
         let profile = SatisfactionProfile::new()
             .with(AxisPreference::new(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
             ))
             .with(AxisPreference::new(
                 Axis::ColorDepth,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 24.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 24.0,
+                },
             ));
         // s = (15/30, 24/24) = (0.5, 1.0) → harmonic 2/3.
         let p = ParamVector::from_pairs([(Axis::FrameRate, 15.0), (Axis::ColorDepth, 24.0)]);
@@ -217,12 +239,18 @@ mod tests {
         let mut profile = SatisfactionProfile::new()
             .with(AxisPreference::weighted(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
                 3.0,
             ))
             .with(AxisPreference::weighted(
                 Axis::ColorDepth,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 24.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 24.0,
+                },
                 1.0,
             ));
         profile.use_weighted_combination();
@@ -247,7 +275,10 @@ mod tests {
     fn validate_propagates_function_errors() {
         let profile = SatisfactionProfile::new().with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Linear { min_acceptable: 9.0, ideal: 3.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 9.0,
+                ideal: 3.0,
+            },
         ));
         assert!(profile.validate().is_err());
     }

@@ -68,11 +68,17 @@ mod tests {
         SatisfactionProfile::new()
             .with(AxisPreference::new(
                 Axis::FrameRate,
-                SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
             ))
             .with(AxisPreference::new(
                 Axis::SampleRate,
-                SatisfactionFn::Linear { min_acceptable: 8_000.0, ideal: 44_100.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 8_000.0,
+                    ideal: 44_100.0,
+                },
             ))
     }
 
@@ -100,7 +106,9 @@ mod tests {
     fn unreachable_level_is_none() {
         let profile = SatisfactionProfile::new().with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Piecewise { knots: vec![(5.0, 0.0), (20.0, 0.6)] },
+            SatisfactionFn::Piecewise {
+                knots: vec![(5.0, 0.0), (20.0, 0.6)],
+            },
         ));
         assert!(params_for_level(&profile, 0.5).is_some());
         assert!(params_for_level(&profile, 0.9).is_none(), "tops out at 0.6");
@@ -125,7 +133,10 @@ mod tests {
         assert_eq!(presets.len(), 5);
         for pair in presets.windows(2) {
             assert!(pair[0].0 < pair[1].0);
-            assert!(pair[0].1.le_on_common_axes(&pair[1].1), "params grow with the dial");
+            assert!(
+                pair[0].1.le_on_common_axes(&pair[1].1),
+                "params grow with the dial"
+            );
         }
     }
 

@@ -16,7 +16,11 @@ fn arb_fn() -> impl Strategy<Value = SatisfactionFn> {
             ideal: m + span,
         }),
         (0.0f64..100.0, 1.0f64..100.0, 0.1f64..50.0).prop_map(|(m, span, scale)| {
-            SatisfactionFn::Saturating { min_acceptable: m, ideal: m + span, scale }
+            SatisfactionFn::Saturating {
+                min_acceptable: m,
+                ideal: m + span,
+                scale,
+            }
         }),
         (0.0f64..100.0).prop_map(|t| SatisfactionFn::Step { threshold: t }),
         proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 1..5).prop_map(|mut knots| {

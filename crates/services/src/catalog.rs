@@ -19,23 +19,50 @@ use qosc_profiles::{ConversionSpec, PriceModel, ServiceSpec};
 
 fn video_domain(max_fps: f64, max_pixels: f64, max_depth: f64) -> DomainVector {
     DomainVector::new()
-        .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: max_fps })
-        .with(Axis::PixelCount, AxisDomain::Continuous { min: 4_800.0, max: max_pixels })
-        .with(Axis::ColorDepth, AxisDomain::Continuous { min: 4.0, max: max_depth })
+        .with(
+            Axis::FrameRate,
+            AxisDomain::Continuous {
+                min: 1.0,
+                max: max_fps,
+            },
+        )
+        .with(
+            Axis::PixelCount,
+            AxisDomain::Continuous {
+                min: 4_800.0,
+                max: max_pixels,
+            },
+        )
+        .with(
+            Axis::ColorDepth,
+            AxisDomain::Continuous {
+                min: 4.0,
+                max: max_depth,
+            },
+        )
 }
 
 fn image_domain(max_pixels: f64, max_depth: f64) -> DomainVector {
     DomainVector::new()
-        .with(Axis::PixelCount, AxisDomain::Continuous { min: 1_024.0, max: max_pixels })
-        .with(Axis::ColorDepth, AxisDomain::Continuous { min: 1.0, max: max_depth })
+        .with(
+            Axis::PixelCount,
+            AxisDomain::Continuous {
+                min: 1_024.0,
+                max: max_pixels,
+            },
+        )
+        .with(
+            Axis::ColorDepth,
+            AxisDomain::Continuous {
+                min: 1.0,
+                max: max_depth,
+            },
+        )
 }
 
 fn audio_domain(rates: &[f64], max_channels: f64) -> DomainVector {
     DomainVector::new()
-        .with(
-            Axis::SampleRate,
-            AxisDomain::Discrete(rates.to_vec()),
-        )
+        .with(Axis::SampleRate, AxisDomain::Discrete(rates.to_vec()))
         .with(
             Axis::Channels,
             AxisDomain::Discrete((1..=max_channels as i64).map(|c| c as f64).collect()),
@@ -46,7 +73,10 @@ fn audio_domain(rates: &[f64], max_channels: f64) -> DomainVector {
 fn text_domain(max_fidelity: f64) -> DomainVector {
     DomainVector::new().with(
         Axis::Fidelity,
-        AxisDomain::Continuous { min: 5.0, max: max_fidelity },
+        AxisDomain::Continuous {
+            min: 5.0,
+            max: max_fidelity,
+        },
     )
 }
 
@@ -61,7 +91,10 @@ pub fn mpeg2_to_h263() -> ServiceSpec {
         )],
     )
     .with_resources(120.0, 256e6)
-    .with_price(PriceModel { per_second: 0.002, per_mbit: 0.001 })
+    .with_price(PriceModel {
+        per_second: 0.002,
+        per_mbit: 0.001,
+    })
 }
 
 /// MPEG-2 → MPEG-1 re-encoder (compatibility down-coding).
@@ -75,7 +108,10 @@ pub fn mpeg2_to_mpeg1() -> ServiceSpec {
         )],
     )
     .with_resources(90.0, 192e6)
-    .with_price(PriceModel { per_second: 0.0015, per_mbit: 0.001 })
+    .with_price(PriceModel {
+        per_second: 0.0015,
+        per_mbit: 0.001,
+    })
 }
 
 /// MPEG-1 → H.261 down-coder (legacy conferencing formats).
@@ -89,7 +125,10 @@ pub fn mpeg1_to_h261() -> ServiceSpec {
         )],
     )
     .with_resources(70.0, 128e6)
-    .with_price(PriceModel { per_second: 0.001, per_mbit: 0.0005 })
+    .with_price(PriceModel {
+        per_second: 0.001,
+        per_mbit: 0.0005,
+    })
 }
 
 /// In-format video quality reducer (frame-rate / resolution dropper):
@@ -98,12 +137,23 @@ pub fn video_reducer() -> ServiceSpec {
     ServiceSpec::new(
         "video-reducer",
         vec![
-            ConversionSpec::new("video/mpeg2", "video/mpeg2", video_domain(30.0, 307_200.0, 24.0)),
-            ConversionSpec::new("video/mpeg1", "video/mpeg1", video_domain(30.0, 307_200.0, 24.0)),
+            ConversionSpec::new(
+                "video/mpeg2",
+                "video/mpeg2",
+                video_domain(30.0, 307_200.0, 24.0),
+            ),
+            ConversionSpec::new(
+                "video/mpeg1",
+                "video/mpeg1",
+                video_domain(30.0, 307_200.0, 24.0),
+            ),
         ],
     )
     .with_resources(40.0, 96e6)
-    .with_price(PriceModel { per_second: 0.0008, per_mbit: 0.0004 })
+    .with_price(PriceModel {
+        per_second: 0.0008,
+        per_mbit: 0.0004,
+    })
 }
 
 /// JPEG → GIF with colour-depth reduction — the paper's own two-stage
@@ -119,7 +169,10 @@ pub fn jpeg_to_gif() -> ServiceSpec {
         )],
     )
     .with_resources(20.0, 64e6)
-    .with_price(PriceModel { per_second: 0.0004, per_mbit: 0.0002 })
+    .with_price(PriceModel {
+        per_second: 0.0004,
+        per_mbit: 0.0002,
+    })
 }
 
 /// In-format JPEG colour/resolution reducer ("reduction of image
@@ -134,7 +187,10 @@ pub fn jpeg_color_reducer() -> ServiceSpec {
         )],
     )
     .with_resources(15.0, 48e6)
-    .with_price(PriceModel { per_second: 0.0003, per_mbit: 0.0002 })
+    .with_price(PriceModel {
+        per_second: 0.0003,
+        per_mbit: 0.0002,
+    })
 }
 
 /// HTML → WML conversion for WAP devices.
@@ -148,7 +204,10 @@ pub fn html_to_wml() -> ServiceSpec {
         )],
     )
     .with_resources(5.0, 16e6)
-    .with_price(PriceModel { per_second: 0.0001, per_mbit: 0.0001 })
+    .with_price(PriceModel {
+        per_second: 0.0001,
+        per_mbit: 0.0001,
+    })
 }
 
 /// Text summarizer (in-format fidelity reduction).
@@ -162,7 +221,10 @@ pub fn text_summarizer() -> ServiceSpec {
         )],
     )
     .with_resources(8.0, 32e6)
-    .with_price(PriceModel { per_second: 0.0002, per_mbit: 0.0001 })
+    .with_price(PriceModel {
+        per_second: 0.0002,
+        per_mbit: 0.0001,
+    })
 }
 
 /// PCM → MP3 encoder.
@@ -176,7 +238,10 @@ pub fn pcm_to_mp3() -> ServiceSpec {
         )],
     )
     .with_resources(30.0, 64e6)
-    .with_price(PriceModel { per_second: 0.0005, per_mbit: 0.0003 })
+    .with_price(PriceModel {
+        per_second: 0.0005,
+        per_mbit: 0.0003,
+    })
 }
 
 /// MP3 → AMR narrow-band re-encoder for cellular handsets.
@@ -190,7 +255,10 @@ pub fn mp3_to_amr() -> ServiceSpec {
         )],
     )
     .with_resources(25.0, 48e6)
-    .with_price(PriceModel { per_second: 0.0004, per_mbit: 0.0002 })
+    .with_price(PriceModel {
+        per_second: 0.0004,
+        per_mbit: 0.0002,
+    })
 }
 
 /// Video → key-frame extraction ("video to key frame conversion").
@@ -204,7 +272,10 @@ pub fn video_to_keyframes() -> ServiceSpec {
         )],
     )
     .with_resources(60.0, 128e6)
-    .with_price(PriceModel { per_second: 0.001, per_mbit: 0.0005 })
+    .with_price(PriceModel {
+        per_second: 0.001,
+        per_mbit: 0.0005,
+    })
 }
 
 /// Video → text transcript ("video to text conversion").
@@ -218,7 +289,10 @@ pub fn video_to_text() -> ServiceSpec {
         )],
     )
     .with_resources(200.0, 512e6)
-    .with_price(PriceModel { per_second: 0.004, per_mbit: 0.002 })
+    .with_price(PriceModel {
+        per_second: 0.004,
+        per_mbit: 0.002,
+    })
 }
 
 /// Audio → text transcript ("audio to text conversion").
@@ -232,7 +306,10 @@ pub fn audio_to_text() -> ServiceSpec {
         )],
     )
     .with_resources(150.0, 384e6)
-    .with_price(PriceModel { per_second: 0.003, per_mbit: 0.002 })
+    .with_price(PriceModel {
+        per_second: 0.003,
+        per_mbit: 0.002,
+    })
 }
 
 /// The full catalog, in a stable order.
@@ -264,7 +341,8 @@ mod tests {
     #[test]
     fn every_catalog_entry_validates() {
         for spec in full_catalog() {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

@@ -55,7 +55,11 @@ pub struct TranscoderDescriptor {
 impl TranscoderDescriptor {
     /// Resolve a wire [`ServiceSpec`] against `registry`, binding it to
     /// `host`. Format names must already be interned.
-    pub fn resolve(spec: &ServiceSpec, registry: &FormatRegistry, host: NodeId) -> Result<TranscoderDescriptor> {
+    pub fn resolve(
+        spec: &ServiceSpec,
+        registry: &FormatRegistry,
+        host: NodeId,
+    ) -> Result<TranscoderDescriptor> {
         let conversions = spec
             .conversions
             .iter()
@@ -178,12 +182,7 @@ mod tests {
     #[test]
     fn resolve_unknown_format_fails() {
         let reg = FormatRegistry::new();
-        assert!(TranscoderDescriptor::resolve(
-            &figure2_spec(),
-            &reg,
-            test_node()
-        )
-        .is_err());
+        assert!(TranscoderDescriptor::resolve(&figure2_spec(), &reg, test_node()).is_err());
     }
 
     #[test]
@@ -194,4 +193,3 @@ mod tests {
         assert!((t.cpu_load(2e6) - 100.0).abs() < 1e-9);
     }
 }
-

@@ -28,7 +28,9 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> DiscoveryConfig {
-        DiscoveryConfig { ttl: SimTime::from_secs(10) }
+        DiscoveryConfig {
+            ttl: SimTime::from_secs(10),
+        }
     }
 }
 
@@ -49,7 +51,10 @@ pub struct DiscoveryDriver {
 impl DiscoveryDriver {
     /// A driver with the given lease configuration.
     pub fn new(config: DiscoveryConfig) -> DiscoveryDriver {
-        DiscoveryDriver { config, members: Vec::new() }
+        DiscoveryDriver {
+            config,
+            members: Vec::new(),
+        }
     }
 
     /// Track (and register) a new member.
@@ -154,7 +159,9 @@ mod tests {
     fn alive_members_survive_ticks() {
         let mut formats = FormatRegistry::new();
         let mut registry = ServiceRegistry::new();
-        let mut driver = DiscoveryDriver::new(DiscoveryConfig { ttl: SimTime::from_secs(5) });
+        let mut driver = DiscoveryDriver::new(DiscoveryConfig {
+            ttl: SimTime::from_secs(5),
+        });
         let member = driver.join(&mut registry, descriptor(&mut formats), SimTime::ZERO);
         for t in 1..=20 {
             driver.tick(&mut registry, SimTime::from_secs(t));
@@ -167,7 +174,9 @@ mod tests {
     fn crashed_member_expires_at_ttl() {
         let mut formats = FormatRegistry::new();
         let mut registry = ServiceRegistry::new();
-        let mut driver = DiscoveryDriver::new(DiscoveryConfig { ttl: SimTime::from_secs(5) });
+        let mut driver = DiscoveryDriver::new(DiscoveryConfig {
+            ttl: SimTime::from_secs(5),
+        });
         let member = driver.join(&mut registry, descriptor(&mut formats), SimTime::ZERO);
         driver.crash(member);
         // Still visible inside the staleness window…
@@ -184,7 +193,9 @@ mod tests {
     fn revival_reregisters() {
         let mut formats = FormatRegistry::new();
         let mut registry = ServiceRegistry::new();
-        let mut driver = DiscoveryDriver::new(DiscoveryConfig { ttl: SimTime::from_secs(5) });
+        let mut driver = DiscoveryDriver::new(DiscoveryConfig {
+            ttl: SimTime::from_secs(5),
+        });
         let member = driver.join(&mut registry, descriptor(&mut formats), SimTime::ZERO);
         driver.crash(member);
         driver.tick(&mut registry, SimTime::from_secs(10));

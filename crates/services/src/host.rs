@@ -94,8 +94,16 @@ impl HostResources {
         usage.memory_bytes += memory_bytes;
         let id = AdmissionId(self.next_id);
         self.next_id += 1;
-        self.admissions
-            .insert(id, (node, Usage { cpu_mips, memory_bytes }));
+        self.admissions.insert(
+            id,
+            (
+                node,
+                Usage {
+                    cpu_mips,
+                    memory_bytes,
+                },
+            ),
+        );
         Ok(id)
     }
 

@@ -131,7 +131,10 @@ impl ServiceRegistry {
 
     /// Whether `id` refers to a live service.
     pub fn is_live(&self, id: ServiceId) -> bool {
-        self.entries.get(id.index()).map(|e| e.alive).unwrap_or(false)
+        self.entries
+            .get(id.index())
+            .map(|e| e.alive)
+            .unwrap_or(false)
     }
 
     /// All live services, in registration order.
@@ -149,12 +152,7 @@ impl ServiceRegistry {
     pub fn accepting(&self, format: FormatId) -> Vec<ServiceId> {
         self.by_input
             .get(&format)
-            .map(|ids| {
-                ids.iter()
-                    .copied()
-                    .filter(|&id| self.is_live(id))
-                    .collect()
-            })
+            .map(|ids| ids.iter().copied().filter(|&id| self.is_live(id)).collect())
             .unwrap_or_default()
     }
 

@@ -16,7 +16,7 @@ use qosc_media::{
 };
 use qosc_netsim::{Link, Network, Node, NodeId, Topology};
 use qosc_profiles::{
-    ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+    ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps, NetworkProfile,
     ServiceSpec, UserProfile,
 };
 use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
@@ -93,7 +93,10 @@ impl GeneratorConfig {
 pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut formats = qosc_media::FormatRegistry::new();
-    let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+    let bitrate = BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    };
 
     // Formats per layer boundary: layer 0 feeds the first services,
     // layer `layers` feeds the receiver.
@@ -118,7 +121,11 @@ pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
     let attach = |topo: &mut Topology, name: String, rng: &mut SmallRng| -> NodeId {
         let node = topo.add_node(Node::unconstrained(name));
         let (lo, hi) = config.bandwidth_range;
-        let capacity = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        let capacity = if hi > lo {
+            rng.random_range(lo..=hi)
+        } else {
+            lo
+        };
         topo.connect(Link {
             a: backbone,
             b: node,
@@ -148,7 +155,11 @@ pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
                 let output =
                     layer_formats[layer + 1][rng.random_range(0..config.formats_per_layer)];
                 let (lo, hi) = config.cap_range;
-                let cap = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+                let cap = if hi > lo {
+                    rng.random_range(lo..=hi)
+                } else {
+                    lo
+                };
                 let mut domain = DomainVector::new().with(
                     Axis::FrameRate,
                     AxisDomain::Continuous { min: 0.0, max: cap },
@@ -157,7 +168,10 @@ pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
                     let px_cap = rng.random_range(19_200.0..=307_200.0);
                     domain.set(
                         Axis::PixelCount,
-                        AxisDomain::Continuous { min: 4_800.0, max: px_cap },
+                        AxisDomain::Continuous {
+                            min: 4_800.0,
+                            max: px_cap,
+                        },
                     );
                 }
                 conversions.push(ConversionSpec {
@@ -189,12 +203,18 @@ pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
     // Content: a variant per layer-0 format.
     let mut offered = DomainVector::new().with(
         Axis::FrameRate,
-        AxisDomain::Continuous { min: 0.0, max: 30.0 },
+        AxisDomain::Continuous {
+            min: 0.0,
+            max: 30.0,
+        },
     );
     if config.multi_axis {
         offered.set(
             Axis::PixelCount,
-            AxisDomain::Continuous { min: 4_800.0, max: 307_200.0 },
+            AxisDomain::Continuous {
+                min: 4_800.0,
+                max: 307_200.0,
+            },
         );
     }
     let content = ContentProfile::new(
@@ -220,12 +240,18 @@ pub fn random_scenario(config: &GeneratorConfig, seed: u64) -> Scenario {
 
     let mut satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
         Axis::FrameRate,
-        SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+        SatisfactionFn::Linear {
+            min_acceptable: 0.0,
+            ideal: 30.0,
+        },
     ));
     if config.multi_axis {
         satisfaction.insert(AxisPreference::new(
             Axis::PixelCount,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 307_200.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 307_200.0,
+            },
         ));
     }
     let mut user = UserProfile::new("generated-user", satisfaction);
@@ -298,7 +324,10 @@ mod tests {
 
     #[test]
     fn multi_axis_scenarios_compose() {
-        let config = GeneratorConfig { multi_axis: true, ..GeneratorConfig::default() };
+        let config = GeneratorConfig {
+            multi_axis: true,
+            ..GeneratorConfig::default()
+        };
         let scenario = random_scenario(&config, 7);
         let composition = scenario.compose(&SelectOptions::default()).unwrap();
         if let Some(chain) = composition.selection.chain {

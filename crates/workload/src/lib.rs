@@ -68,8 +68,12 @@ impl Scenario {
 
     /// Compose the scenario's request.
     pub fn compose(&self, options: &SelectOptions) -> qosc_core::Result<Composition> {
-        self.composer()
-            .compose(&self.profiles, self.sender_host, self.receiver_host, options)
+        self.composer().compose(
+            &self.profiles,
+            self.sender_host,
+            self.receiver_host,
+            options,
+        )
     }
 }
 

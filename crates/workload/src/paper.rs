@@ -47,7 +47,7 @@ use qosc_media::{
 };
 use qosc_netsim::{Link, Network, Node, NodeId, Topology};
 use qosc_profiles::{
-    ConversionSpec, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+    ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps, NetworkProfile,
     ServiceSpec, UserProfile,
 };
 use qosc_services::{ServiceRegistry, TranscoderDescriptor};
@@ -55,7 +55,10 @@ use qosc_services::{ServiceRegistry, TranscoderDescriptor};
 /// Frame-rate bitrate: 1000 bit/s per fps, used for every format in the
 /// paper scenarios (the example is single-axis).
 fn linear_fps() -> BitrateModel {
-    BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 }
+    BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    }
 }
 
 fn fps_domain(cap: f64) -> DomainVector {
@@ -95,9 +98,8 @@ fn open_hardware() -> HardwareCaps {
 /// ```
 pub fn figure6_scenario(include_t7: bool) -> Scenario {
     let mut formats = qosc_media::FormatRegistry::new();
-    let mut register = |name: &str| {
-        formats.register(FormatSpec::new(name, MediaKind::Video, linear_fps()))
-    };
+    let mut register =
+        |name: &str| formats.register(FormatSpec::new(name, MediaKind::Video, linear_fps()));
     // Sender variant formats F1..F10 (inputs of T1..T10).
     let f: Vec<_> = (1..=10).map(|k| register(&format!("F{k}"))).collect();
     // First-stage outputs G1..G10.
@@ -241,7 +243,13 @@ pub fn table1_expected() -> Vec<ExpectedRow> {
         frame_rate: f64,
         satisfaction: f64,
     ) -> ExpectedRow {
-        ExpectedRow { round, selected, path, frame_rate, satisfaction }
+        ExpectedRow {
+            round,
+            selected,
+            path,
+            frame_rate,
+            satisfaction,
+        }
     }
     vec![
         row(1, "T10", &["sender", "T10"], 30.0, 1.00),
@@ -276,15 +284,33 @@ pub fn table1_expected() -> Vec<ExpectedRow> {
 pub fn table1_expected_candidates() -> Vec<Vec<&'static str>> {
     vec![
         vec!["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10"],
-        vec!["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T19", "T20", "receiver"],
-        vec!["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T19", "receiver"],
-        vec!["T1", "T2", "T3", "T4", "T6", "T7", "T8", "T9", "T19", "T15", "receiver"],
-        vec!["T1", "T2", "T3", "T6", "T7", "T8", "T9", "T19", "T15", "receiver"],
-        vec!["T1", "T2", "T6", "T7", "T8", "T9", "T19", "T15", "T14", "receiver"],
-        vec!["T1", "T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "receiver"],
-        vec!["T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "T11", "receiver"],
-        vec!["T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "receiver"],
-        vec!["T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "receiver"],
+        vec![
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T19", "T20", "receiver",
+        ],
+        vec![
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T19", "receiver",
+        ],
+        vec![
+            "T1", "T2", "T3", "T4", "T6", "T7", "T8", "T9", "T19", "T15", "receiver",
+        ],
+        vec![
+            "T1", "T2", "T3", "T6", "T7", "T8", "T9", "T19", "T15", "receiver",
+        ],
+        vec![
+            "T1", "T2", "T6", "T7", "T8", "T9", "T19", "T15", "T14", "receiver",
+        ],
+        vec![
+            "T1", "T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "receiver",
+        ],
+        vec![
+            "T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "T11", "receiver",
+        ],
+        vec![
+            "T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "T13", "receiver",
+        ],
+        vec![
+            "T6", "T7", "T8", "T9", "T19", "T15", "T14", "T12", "receiver",
+        ],
         vec!["T6", "T7", "T8", "T9", "T19", "T15", "T14", "receiver"],
         vec!["T6", "T7", "T8", "T9", "T19", "T15", "receiver"],
         vec!["T6", "T7", "T9", "T19", "T15", "receiver"],
@@ -379,8 +405,19 @@ pub fn figure3_scenario() -> Scenario {
         )
     };
     let specs = [
-        service("T1", &[("F5", "F10"), ("F5", "F11"), ("F5", "F12"), ("F5", "F13"),
-                        ("F6", "F10"), ("F6", "F11"), ("F6", "F12"), ("F6", "F13")]),
+        service(
+            "T1",
+            &[
+                ("F5", "F10"),
+                ("F5", "F11"),
+                ("F5", "F12"),
+                ("F5", "F13"),
+                ("F6", "F10"),
+                ("F6", "F11"),
+                ("F6", "F12"),
+                ("F6", "F13"),
+            ],
+        ),
         service("T2", &[("F3", "F6")]),
         service("T3", &[("F4", "F8"), ("F4", "F9")]),
         service("T4", &[("F4", "F9"), ("F4", "F10")]),
@@ -471,13 +508,10 @@ mod tests {
         let sender = graph.sender().unwrap();
         let t1 = graph.vertex_by_name("T1").unwrap();
         let f5 = scenario.formats.lookup("F5").unwrap();
-        assert!(graph
-            .out_edges(sender)
-            .iter()
-            .any(|&e| {
-                let edge = graph.edge(e).unwrap();
-                edge.to == t1 && edge.format == f5
-            }));
+        assert!(graph.out_edges(sender).iter().any(|&e| {
+            let edge = graph.edge(e).unwrap();
+            edge.to == t1 && edge.format == f5
+        }));
         // A chain exists (e.g. sender → T3 → T5 → receiver).
         assert!(composition.plan.is_some());
     }

@@ -23,7 +23,10 @@ pub fn random_user(seed: u64) -> UserProfile {
     // Frame rate: everyone cares, shapes differ.
     let fps_ideal = rng.random_range(15.0..=30.0);
     let fps_fn = if rng.random_bool(0.6) {
-        SatisfactionFn::Linear { min_acceptable: rng.random_range(0.0..=5.0), ideal: fps_ideal }
+        SatisfactionFn::Linear {
+            min_acceptable: rng.random_range(0.0..=5.0),
+            ideal: fps_ideal,
+        }
     } else {
         SatisfactionFn::Saturating {
             min_acceptable: rng.random_range(0.0..=5.0),
@@ -42,7 +45,10 @@ pub fn random_user(seed: u64) -> UserProfile {
         let px_ideal = rng.random_range(76_800.0..=307_200.0);
         satisfaction.insert(AxisPreference::weighted(
             Axis::PixelCount,
-            SatisfactionFn::Linear { min_acceptable: 4_800.0, ideal: px_ideal },
+            SatisfactionFn::Linear {
+                min_acceptable: 4_800.0,
+                ideal: px_ideal,
+            },
             rng.random_range(0.5..=2.0),
         ));
     }
@@ -94,11 +100,7 @@ pub fn random_device(seed: u64) -> DeviceProfile {
 fn device_of_class(class: DeviceClass, rng: &mut SmallRng) -> DeviceProfile {
     let jitter = rng.random_range(0.9..=1.1);
     let (name, decoders, mut caps) = match class {
-        DeviceClass::Pda => (
-            "pda",
-            vec!["video/h263".to_string()],
-            HardwareCaps::pda(),
-        ),
+        DeviceClass::Pda => ("pda", vec!["video/h263".to_string()], HardwareCaps::pda()),
         DeviceClass::Handset => (
             "handset",
             vec!["video/h263".to_string(), "video/mpeg1".to_string()],
@@ -163,7 +165,10 @@ mod tests {
     fn users_are_diverse() {
         let users: Vec<_> = (0..20).map(random_user).collect();
         let budgets = users.iter().filter(|u| u.budget.is_some()).count();
-        assert!(budgets > 0 && budgets < 20, "budget mix expected, got {budgets}");
+        assert!(
+            budgets > 0 && budgets < 20,
+            "budget mix expected, got {budgets}"
+        );
         let weighted = users
             .iter()
             .filter(|u| {

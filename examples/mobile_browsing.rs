@@ -66,7 +66,10 @@ fn main() {
         "commuter",
         SatisfactionProfile::new().with(AxisPreference::new(
             Axis::Fidelity,
-            SatisfactionFn::Linear { min_acceptable: 5.0, ideal: 60.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 5.0,
+                ideal: 60.0,
+            },
         )),
     )
     .with_budget(0.01);
@@ -76,7 +79,10 @@ fn main() {
             format: "text/html".to_string(),
             offered: DomainVector::new().with(
                 Axis::Fidelity,
-                AxisDomain::Continuous { min: 5.0, max: 100.0 },
+                AxisDomain::Continuous {
+                    min: 5.0,
+                    max: 100.0,
+                },
             ),
         }],
     );
@@ -102,11 +108,17 @@ fn main() {
         SatisfactionProfile::new()
             .with(AxisPreference::new(
                 Axis::PixelCount,
-                SatisfactionFn::Linear { min_acceptable: 1_024.0, ideal: 128.0 * 160.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 1_024.0,
+                    ideal: 128.0 * 160.0,
+                },
             ))
             .with(AxisPreference::new(
                 Axis::ColorDepth,
-                SatisfactionFn::Linear { min_acceptable: 1.0, ideal: 8.0 },
+                SatisfactionFn::Linear {
+                    min_acceptable: 1.0,
+                    ideal: 8.0,
+                },
             )),
     );
     let photo = ContentProfile::new(
@@ -116,9 +128,18 @@ fn main() {
             offered: DomainVector::new()
                 .with(
                     Axis::PixelCount,
-                    AxisDomain::Continuous { min: 1_024.0, max: 2_073_600.0 },
+                    AxisDomain::Continuous {
+                        min: 1_024.0,
+                        max: 2_073_600.0,
+                    },
                 )
-                .with(Axis::ColorDepth, AxisDomain::Continuous { min: 1.0, max: 24.0 }),
+                .with(
+                    Axis::ColorDepth,
+                    AxisDomain::Continuous {
+                        min: 1.0,
+                        max: 24.0,
+                    },
+                ),
         }],
     );
     compose_and_print(
@@ -147,7 +168,11 @@ fn compose_and_print(
     from: qosc_netsim::NodeId,
     to: qosc_netsim::NodeId,
 ) {
-    let composer = Composer { formats, services, network };
+    let composer = Composer {
+        formats,
+        services,
+        network,
+    };
     let composition = composer
         .compose(&profiles, from, to, &SelectOptions::default())
         .expect("composition runs");

@@ -24,7 +24,10 @@ fn main() {
 
     // --- The quality dial -------------------------------------------------
     println!("quality dial (Richards-style single-parameter mapping):");
-    let bitrate = BitrateModel::LinearOnAxis { axis: Axis::FrameRate, slope: 1000.0 };
+    let bitrate = BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    };
     for (level, params) in presets(&profile, 5) {
         println!(
             "  level {level:.2} → {params}  (~{:.1} kbit/s)",

@@ -47,7 +47,11 @@ fn main() {
         services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
     }
 
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let composition = composer
         .compose(&profiles, camera, tablet, &SelectOptions::default())
         .expect("composition runs");
@@ -61,7 +65,10 @@ fn main() {
     let again = ProfileSet::from_json(&json).expect("round-trips");
     assert_eq!(again, profiles);
     println!();
-    println!("profile set round-trips through JSON ({} bytes)", json.len());
+    println!(
+        "profile set round-trips through JSON ({} bytes)",
+        json.len()
+    );
 
     // And stream it.
     let profile = profiles.effective_satisfaction();

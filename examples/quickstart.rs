@@ -44,7 +44,11 @@ fn main() {
     };
 
     // 5. Compose.
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let composition = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .expect("composition runs");

@@ -18,8 +18,8 @@ fn main() {
         .node_by_name("host-T7")
         .expect("figure-6 names its hosts");
 
-    let schedule = FailureSchedule::new()
-        .at(SimTime::from_secs(12), FailureEvent::NodeDown(t7_host));
+    let schedule =
+        FailureSchedule::new().at(SimTime::from_secs(12), FailureEvent::NodeDown(t7_host));
     let config = ResilienceConfig {
         total_duration: SimTime::from_secs(30),
         detection_timeout: SimTime::from_millis(800),

@@ -14,8 +14,8 @@ use qosc_core::{compose_bundle, Composer, SelectOptions};
 use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, MediaKind, VariantSpec};
 use qosc_netsim::{Network, Node, Topology};
 use qosc_profiles::{
-    AdaptationPolicy, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps,
-    NetworkProfile, ProfileSet, UserProfile,
+    AdaptationPolicy, ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile,
+    ProfileSet, UserProfile,
 };
 use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
 use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
@@ -39,12 +39,27 @@ fn main() {
         vec![VariantSpec {
             format: "video/mpeg2".to_string(),
             offered: DomainVector::new()
-                .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
+                .with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous {
+                        min: 1.0,
+                        max: 30.0,
+                    },
+                )
                 .with(
                     Axis::PixelCount,
-                    AxisDomain::Continuous { min: 19_200.0, max: 307_200.0 },
+                    AxisDomain::Continuous {
+                        min: 19_200.0,
+                        max: 307_200.0,
+                    },
                 )
-                .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 }),
+                .with(
+                    Axis::ColorDepth,
+                    AxisDomain::Continuous {
+                        min: 8.0,
+                        max: 24.0,
+                    },
+                ),
         }],
     );
     let audio = ContentProfile::new(
@@ -64,15 +79,22 @@ fn main() {
     let satisfaction = SatisfactionProfile::new()
         .with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 30.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 30.0,
+            },
         ))
         .with(AxisPreference::new(
             Axis::SampleRate,
-            SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 44_100.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 44_100.0,
+            },
         ));
     let base = ProfileSet {
-        user: UserProfile::new("sports-fan", satisfaction)
-            .with_policy(AdaptationPolicy { degrade_first: vec![MediaKind::Audio] }),
+        user: UserProfile::new("sports-fan", satisfaction).with_policy(AdaptationPolicy {
+            degrade_first: vec![MediaKind::Audio],
+        }),
         content: video.clone(),
         device: DeviceProfile::new(
             "media-box",
@@ -88,7 +110,11 @@ fn main() {
         network: NetworkProfile::broadband(),
     };
     let contents = [video, audio];
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
 
     println!("sport clip = video track + audio track; policy: degrade AUDIO first");
     println!();

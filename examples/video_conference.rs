@@ -26,12 +26,18 @@ fn client_call_prefs() -> SatisfactionProfile {
     SatisfactionProfile::new()
         .with(AxisPreference::weighted(
             Axis::FrameRate,
-            SatisfactionFn::Linear { min_acceptable: 10.0, ideal: 30.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 10.0,
+                ideal: 30.0,
+            },
             2.0,
         ))
         .with(AxisPreference::weighted(
             Axis::PixelCount,
-            SatisfactionFn::Linear { min_acceptable: 76_800.0, ideal: 307_200.0 },
+            SatisfactionFn::Linear {
+                min_acceptable: 76_800.0,
+                ideal: 307_200.0,
+            },
             2.0,
         ))
 }
@@ -41,7 +47,11 @@ fn colleague_call_prefs() -> SatisfactionProfile {
     SatisfactionProfile::new()
         .with(AxisPreference::new(
             Axis::FrameRate,
-            SatisfactionFn::Saturating { min_acceptable: 5.0, ideal: 15.0, scale: 4.0 },
+            SatisfactionFn::Saturating {
+                min_acceptable: 5.0,
+                ideal: 15.0,
+                scale: 4.0,
+            },
         ))
         .with(AxisPreference::new(
             Axis::PixelCount,
@@ -73,12 +83,27 @@ fn main() {
         vec![VariantSpec {
             format: "video/mpeg2".to_string(),
             offered: DomainVector::new()
-                .with(Axis::FrameRate, AxisDomain::Continuous { min: 1.0, max: 30.0 })
+                .with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous {
+                        min: 1.0,
+                        max: 30.0,
+                    },
+                )
                 .with(
                     Axis::PixelCount,
-                    AxisDomain::Continuous { min: 4_800.0, max: 307_200.0 },
+                    AxisDomain::Continuous {
+                        min: 4_800.0,
+                        max: 307_200.0,
+                    },
                 )
-                .with(Axis::ColorDepth, AxisDomain::Continuous { min: 8.0, max: 24.0 }),
+                .with(
+                    Axis::ColorDepth,
+                    AxisDomain::Continuous {
+                        min: 8.0,
+                        max: 24.0,
+                    },
+                ),
         }],
     );
     let laptop = DeviceProfile::new(
@@ -88,8 +113,14 @@ fn main() {
     );
 
     for (label, prefs) in [
-        ("calling a CLIENT (high-res preference)", client_call_prefs()),
-        ("calling a COLLEAGUE (telephony preference)", colleague_call_prefs()),
+        (
+            "calling a CLIENT (high-res preference)",
+            client_call_prefs(),
+        ),
+        (
+            "calling a COLLEAGUE (telephony preference)",
+            colleague_call_prefs(),
+        ),
     ] {
         let profiles = ProfileSet {
             user: UserProfile::new("csr", prefs),
@@ -98,7 +129,11 @@ fn main() {
             context: ContextProfile::default(),
             network: NetworkProfile::broadband(),
         };
-        let composer = Composer { formats: &formats, services: &services, network: &network };
+        let composer = Composer {
+            formats: &formats,
+            services: &services,
+            network: &network,
+        };
         let composition = composer
             .compose(&profiles, office, peer, &SelectOptions::default())
             .expect("composition runs");

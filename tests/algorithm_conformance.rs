@@ -146,21 +146,46 @@ fn step10_path_reconstruction() {
 #[test]
 fn round_limit_is_detected() {
     let scenario = paper::figure6_scenario(true);
-    let options = SelectOptions { max_rounds: 3, ..SelectOptions::default() };
+    let options = SelectOptions {
+        max_rounds: 3,
+        ..SelectOptions::default()
+    };
     let composition = scenario.compose(&options).unwrap();
-    assert_eq!(composition.selection.failure, Some(SelectFailure::RoundLimit));
+    assert_eq!(
+        composition.selection.failure,
+        Some(SelectFailure::RoundLimit)
+    );
     assert_eq!(composition.selection.rounds, 3);
 }
 
 /// Tie-break policies are all deterministic.
 #[test]
 fn tie_breaks_are_deterministic() {
-    for tie_break in [TieBreak::PaperOrder, TieBreak::Fifo, TieBreak::ByVertexIndex] {
-        let options = SelectOptions { tie_break, ..SelectOptions::default() };
+    for tie_break in [
+        TieBreak::PaperOrder,
+        TieBreak::Fifo,
+        TieBreak::ByVertexIndex,
+    ] {
+        let options = SelectOptions {
+            tie_break,
+            ..SelectOptions::default()
+        };
         let a = paper::figure6_scenario(true).compose(&options).unwrap();
         let b = paper::figure6_scenario(true).compose(&options).unwrap();
-        let rows_a: Vec<String> = a.selection.trace.rows.iter().map(|r| r.selected.clone()).collect();
-        let rows_b: Vec<String> = b.selection.trace.rows.iter().map(|r| r.selected.clone()).collect();
+        let rows_a: Vec<String> = a
+            .selection
+            .trace
+            .rows
+            .iter()
+            .map(|r| r.selected.clone())
+            .collect();
+        let rows_b: Vec<String> = b
+            .selection
+            .trace
+            .rows
+            .iter()
+            .map(|r| r.selected.clone())
+            .collect();
         assert_eq!(rows_a, rows_b, "{tie_break:?}");
     }
 }
@@ -170,20 +195,23 @@ fn tie_breaks_are_deterministic() {
 #[test]
 fn heap_store_equals_linear_scan() {
     use qosc_core::select::greedy::CandidateStore;
-    let selected_sequence = |options: &SelectOptions,
-                             scenario: &qosc_workload::Scenario|
-     -> Vec<String> {
-        scenario
-            .compose(options)
-            .unwrap()
-            .selection
-            .trace
-            .rows
-            .iter()
-            .map(|r| r.selected.clone())
-            .collect()
-    };
-    for tie_break in [TieBreak::PaperOrder, TieBreak::Fifo, TieBreak::ByVertexIndex] {
+    let selected_sequence =
+        |options: &SelectOptions, scenario: &qosc_workload::Scenario| -> Vec<String> {
+            scenario
+                .compose(options)
+                .unwrap()
+                .selection
+                .trace
+                .rows
+                .iter()
+                .map(|r| r.selected.clone())
+                .collect()
+        };
+    for tie_break in [
+        TieBreak::PaperOrder,
+        TieBreak::Fifo,
+        TieBreak::ByVertexIndex,
+    ] {
         // Paper scenario.
         let scenario = paper::figure6_scenario(true);
         let linear = SelectOptions {
@@ -242,8 +270,7 @@ fn cyclic_graphs_terminate_with_distinct_formats() {
     let mut services = ServiceRegistry::new();
     for &p in &[proxy_a, proxy_b] {
         for spec in catalog::full_catalog() {
-            services
-                .register_static(TranscoderDescriptor::resolve(&spec, &formats, p).unwrap());
+            services.register_static(TranscoderDescriptor::resolve(&spec, &formats, p).unwrap());
         }
     }
     let profiles = ProfileSet {

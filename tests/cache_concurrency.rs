@@ -1,0 +1,275 @@
+//! Concurrency stress for [`ShardedCompositionCache`]: many threads
+//! hammering one shared cache must (1) return exactly the plans a
+//! single-threaded reference computes and (2) keep the aggregated
+//! hit/miss/stale counters exact — their sum equals the number of
+//! requests served, regardless of interleaving.
+
+use qosc_core::{
+    serve_batch, Composer, CompositionRequest, EngineConfig, SelectOptions, ShardedCompositionCache,
+};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, Node, NodeId, Topology};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+};
+use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const THREADS: usize = 8;
+
+struct Fixture {
+    formats: FormatRegistry,
+    services: ServiceRegistry,
+    network: Network,
+    server: NodeId,
+    client: NodeId,
+}
+
+fn fixture() -> Fixture {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    topo.connect_simple(proxy, client, 1e6).unwrap();
+    let network = Network::new(topo);
+    let mut services = ServiceRegistry::new();
+    for spec in catalog::full_catalog() {
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+    Fixture {
+        formats,
+        services,
+        network,
+        server,
+        client,
+    }
+}
+
+/// `distinct` different profile sets (distinct cache keys), repeated
+/// round-robin up to `total` requests.
+fn request_mix(f: &Fixture, distinct: usize, total: usize) -> Vec<CompositionRequest> {
+    (0..total)
+        .map(|i| CompositionRequest {
+            profiles: ProfileSet {
+                user: UserProfile::demo(&format!("stress-user-{}", i % distinct)),
+                content: ContentProfile::demo_video("clip"),
+                device: DeviceProfile::demo_pda(),
+                context: ContextProfile::default(),
+                network: NetworkProfile::broadband(),
+            },
+            sender_host: f.server,
+            receiver_host: f.client,
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_agree_with_sequential_reference() {
+    let f = fixture();
+    let composer = Composer {
+        formats: &f.formats,
+        services: &f.services,
+        network: &f.network,
+    };
+    let options = SelectOptions::default();
+    let requests = request_mix(&f, 6, 240);
+
+    // Single-threaded, uncached reference.
+    let reference: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            composer
+                .compose(&r.profiles, r.sender_host, r.receiver_host, &options)
+                .unwrap()
+                .plan
+        })
+        .collect();
+
+    // Hand-rolled worker pool pulling off a shared atomic index, all
+    // through one `&self` cache.
+    let cache = ShardedCompositionCache::new(8);
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, Option<qosc_core::AdaptationPlan>)> =
+        Vec::with_capacity(requests.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let next = &next;
+                let cache = &cache;
+                let composer = &composer;
+                let requests = &requests;
+                let options = &options;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(r) = requests.get(i) else {
+                            return local;
+                        };
+                        let plan = cache
+                            .compose(
+                                composer,
+                                &r.profiles,
+                                r.sender_host,
+                                r.receiver_host,
+                                options,
+                            )
+                            .unwrap();
+                        local.push((i, plan));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().unwrap());
+        }
+    });
+
+    assert_eq!(results.len(), requests.len());
+    for (i, plan) in &results {
+        assert_eq!(
+            plan, &reference[*i],
+            "request {i} diverged from the reference"
+        );
+    }
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.stale,
+        requests.len(),
+        "counters must aggregate exactly: {stats:?}"
+    );
+    assert_eq!(stats.stale, 0, "nothing was invalidated in this run");
+    // Each of the 6 distinct keys misses at least once; racing cold
+    // requests may turn a would-be hit into an extra miss, never the
+    // other way around.
+    assert!(
+        stats.misses >= 6,
+        "at least one miss per distinct key: {stats:?}"
+    );
+    assert_eq!(cache.len(), 6, "one entry per distinct key");
+}
+
+#[test]
+fn engine_batch_under_contention_matches_reference() {
+    let f = fixture();
+    let composer = Composer {
+        formats: &f.formats,
+        services: &f.services,
+        network: &f.network,
+    };
+    let requests = request_mix(&f, 3, 96);
+    let reference: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            composer
+                .compose(
+                    &r.profiles,
+                    r.sender_host,
+                    r.receiver_host,
+                    &SelectOptions::default(),
+                )
+                .unwrap()
+                .plan
+        })
+        .collect();
+    let cache = ShardedCompositionCache::default();
+    let config = EngineConfig {
+        workers: THREADS,
+        ..EngineConfig::default()
+    };
+    let served = serve_batch(&composer, &cache, &requests, &config);
+    for (i, (got, want)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(got.as_ref().unwrap(), want, "request {i}");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.misses + stats.stale, requests.len());
+}
+
+#[test]
+fn stale_entries_recompose_under_concurrency() {
+    let mut f = fixture();
+    let options = SelectOptions::default();
+    let cache = ShardedCompositionCache::new(8);
+    let warm = request_mix(&f, 4, 32);
+
+    // Wave 1 warms the cache.
+    {
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let config = EngineConfig {
+            workers: THREADS,
+            ..EngineConfig::default()
+        };
+        for outcome in serve_batch(&composer, &cache, &warm, &config) {
+            outcome.unwrap().expect("solvable");
+        }
+    }
+    let after_warm = cache.stats();
+    assert_eq!(
+        after_warm.hits + after_warm.misses + after_warm.stale,
+        warm.len()
+    );
+
+    // Kill every service used by one cached plan, then replay the mix.
+    let victim = {
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        cache
+            .compose(
+                &composer,
+                &warm[0].profiles,
+                warm[0].sender_host,
+                warm[0].receiver_host,
+                &options,
+            )
+            .unwrap()
+            .expect("solvable")
+    };
+    for step in &victim.steps {
+        if let Some(id) = step.service {
+            f.services.deregister(id).unwrap();
+        }
+    }
+
+    let composer = Composer {
+        formats: &f.formats,
+        services: &f.services,
+        network: &f.network,
+    };
+    let reference: Vec<_> = warm
+        .iter()
+        .map(|r| {
+            composer
+                .compose(&r.profiles, r.sender_host, r.receiver_host, &options)
+                .unwrap()
+                .plan
+        })
+        .collect();
+    let config = EngineConfig {
+        workers: THREADS,
+        ..EngineConfig::default()
+    };
+    let served = serve_batch(&composer, &cache, &warm, &config);
+    for (i, (got, want)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(got.as_ref().unwrap(), want, "post-churn request {i}");
+    }
+    let total = cache.stats();
+    assert_eq!(
+        total.hits + total.misses + total.stale,
+        warm.len() * 2 + 1,
+        "exact counters across both waves and the probe: {total:?}"
+    );
+    assert!(
+        total.stale >= 1,
+        "the killed chain must have been detected stale: {total:?}"
+    );
+}

@@ -9,10 +9,10 @@ use qosc_workload::generator::{random_scenario, GeneratorConfig};
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        2usize..=3,      // layers
-        2usize..=5,      // services per layer
-        2usize..=3,      // formats per layer
-        1usize..=3,      // conversions per service
+        2usize..=3, // layers
+        2usize..=5, // services per layer
+        2usize..=3, // formats per layer
+        1usize..=3, // conversions per service
         10_000f64..=80_000f64,
         proptest::bool::ANY,
     )

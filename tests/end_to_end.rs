@@ -13,8 +13,13 @@ use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
 
 /// Content server → two proxies → PDA, with the full realistic catalog
 /// spread over the proxies.
-fn pda_setup() -> (FormatRegistry, ServiceRegistry, Network, qosc_netsim::NodeId, qosc_netsim::NodeId)
-{
+fn pda_setup() -> (
+    FormatRegistry,
+    ServiceRegistry,
+    Network,
+    qosc_netsim::NodeId,
+    qosc_netsim::NodeId,
+) {
     let formats = FormatRegistry::with_builtins();
     let mut topo = Topology::new();
     let server = topo.add_node(Node::unconstrained("server"));
@@ -48,7 +53,11 @@ fn pda_profiles() -> ProfileSet {
 fn compose_stream_measure() {
     let (formats, services, mut network, server, pda) = pda_setup();
     let profiles = pda_profiles();
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let composition = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .unwrap();
@@ -86,7 +95,11 @@ fn registry_churn_changes_composition() {
     let profiles = pda_profiles();
 
     // Baseline chain uses the H.263 down-coder.
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let baseline = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .unwrap()
@@ -105,7 +118,11 @@ fn registry_churn_changes_composition() {
     for id in dead {
         services.deregister(id).unwrap();
     }
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let after = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .unwrap();
@@ -119,7 +136,11 @@ fn budget_constrains_realistic_chains() {
     let (formats, services, network, server, pda) = pda_setup();
     let mut profiles = pda_profiles();
 
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let free = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .unwrap()
@@ -151,7 +172,11 @@ fn profile_json_round_trip_preserves_composition() {
     let json = profiles.to_json().unwrap();
     let restored = ProfileSet::from_json(&json).unwrap();
 
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let a = composer
         .compose(&profiles, server, pda, &SelectOptions::default())
         .unwrap()
@@ -188,12 +213,14 @@ fn text_only_terminal_gets_a_transcript() {
         services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
     }
     let mut user = UserProfile::demo("reader");
-    user.satisfaction = qosc_satisfaction::SatisfactionProfile::new().with(
-        qosc_satisfaction::AxisPreference::new(
+    user.satisfaction =
+        qosc_satisfaction::SatisfactionProfile::new().with(qosc_satisfaction::AxisPreference::new(
             qosc_media::Axis::Fidelity,
-            qosc_satisfaction::SatisfactionFn::Linear { min_acceptable: 0.0, ideal: 40.0 },
-        ),
-    );
+            qosc_satisfaction::SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 40.0,
+            },
+        ));
     let device = qosc_profiles::DeviceProfile::new(
         "text-terminal",
         vec!["text/html".to_string()],
@@ -206,11 +233,17 @@ fn text_only_terminal_gets_a_transcript() {
         context: ContextProfile::default(),
         network: NetworkProfile::cellular(),
     };
-    let composer = Composer { formats: &formats, services: &services, network: &network };
+    let composer = Composer {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
     let composition = composer
         .compose(&profiles, server, terminal, &SelectOptions::default())
         .unwrap();
-    let plan = composition.plan.expect("video-to-text reaches the terminal");
+    let plan = composition
+        .plan
+        .expect("video-to-text reaches the terminal");
     assert!(
         plan.steps.iter().any(|s| s.name == "video-to-text"),
         "expected the transcript service, got {:?}",

@@ -66,7 +66,10 @@ fn figure3_selection_reaches_receiver() {
     let names = chain.names();
     assert_eq!(names.first().copied(), Some("sender"));
     assert_eq!(names.last().copied(), Some("receiver"));
-    assert!(chain.satisfaction > 0.9, "uncapped example delivers near-ideal quality");
+    assert!(
+        chain.satisfaction > 0.9,
+        "uncapped example delivers near-ideal quality"
+    );
 }
 
 #[test]

@@ -10,7 +10,10 @@ use qosc_satisfaction::OptimizeOptions;
 use qosc_workload::generator::{random_scenario, GeneratorConfig};
 
 fn compare_on(config: &GeneratorConfig, seeds: std::ops::Range<u64>) -> (usize, usize) {
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     let mut solvable = 0usize;
     let mut equal = 0usize;
     for seed in seeds {
@@ -64,7 +67,10 @@ fn greedy_equals_exhaustive_default() {
 
 #[test]
 fn greedy_equals_exhaustive_with_budget() {
-    let config = GeneratorConfig { budget: Some(3.0), ..GeneratorConfig::tiny() };
+    let config = GeneratorConfig {
+        budget: Some(3.0),
+        ..GeneratorConfig::tiny()
+    };
     let (solvable, equal) = compare_on(&config, 0..30);
     assert_eq!(solvable, equal);
 }
@@ -82,7 +88,10 @@ fn greedy_equals_exhaustive_multi_axis() {
 
 #[test]
 fn pruning_preserves_the_optimum() {
-    let options = SelectOptions { record_trace: false, ..SelectOptions::default() };
+    let options = SelectOptions {
+        record_trace: false,
+        ..SelectOptions::default()
+    };
     for seed in 0..20u64 {
         let scenario = random_scenario(&GeneratorConfig::default(), seed);
         let composition = scenario.compose(&options).unwrap();

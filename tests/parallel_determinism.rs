@@ -1,0 +1,149 @@
+//! Parallel candidate evaluation must be invisible in the results: with
+//! `parallel_expand` the Step-2/Step-8 `Optimize()` calls run on a
+//! scoped thread pool, but the settle order, the round count, the
+//! optimization count and every trace row must be **bitwise** identical
+//! to the sequential mode.
+
+use qosc_core::select::CandidateStore;
+use qosc_core::{Composition, SelectOptions, TieBreak};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::paper;
+
+/// Compare two compositions of the same scenario field-for-field, with
+/// floats compared by bit pattern (not tolerance).
+fn assert_bitwise_equal(sequential: &Composition, parallel: &Composition, context: &str) {
+    let s = &sequential.selection;
+    let p = &parallel.selection;
+    assert_eq!(s.rounds, p.rounds, "{context}: round count");
+    assert_eq!(
+        s.optimizations, p.optimizations,
+        "{context}: optimization count"
+    );
+    assert_eq!(s.failure, p.failure, "{context}: failure");
+    assert_eq!(
+        s.trace.rows.len(),
+        p.trace.rows.len(),
+        "{context}: trace length"
+    );
+    for (i, (a, b)) in s.trace.rows.iter().zip(&p.trace.rows).enumerate() {
+        assert_eq!(
+            a.considered,
+            b.considered,
+            "{context}: VT at round {}",
+            i + 1
+        );
+        assert_eq!(
+            a.candidates,
+            b.candidates,
+            "{context}: CS at round {}",
+            i + 1
+        );
+        assert_eq!(
+            a.selected,
+            b.selected,
+            "{context}: selection at round {}",
+            i + 1
+        );
+        assert_eq!(
+            a.selected_path,
+            b.selected_path,
+            "{context}: path at round {}",
+            i + 1
+        );
+        assert_eq!(
+            a.satisfaction.to_bits(),
+            b.satisfaction.to_bits(),
+            "{context}: satisfaction bits at round {}",
+            i + 1
+        );
+        assert_eq!(
+            a.accumulated_cost.to_bits(),
+            b.accumulated_cost.to_bits(),
+            "{context}: cost bits at round {}",
+            i + 1
+        );
+        assert_eq!(a, b, "{context}: full row at round {}", i + 1);
+    }
+    match (&s.chain, &p.chain) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.names(), b.names(), "{context}: chain");
+            assert_eq!(
+                a.satisfaction.to_bits(),
+                b.satisfaction.to_bits(),
+                "{context}: chain satisfaction bits"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{context}: one mode found a chain, the other did not"),
+    }
+    assert_eq!(sequential.plan, parallel.plan, "{context}: plan");
+}
+
+#[test]
+fn paper_scenario_trace_is_bitwise_identical() {
+    for candidate_store in [CandidateStore::BinaryHeap, CandidateStore::LinearScan] {
+        let sequential = paper::figure6_scenario(true)
+            .compose(&SelectOptions {
+                candidate_store,
+                ..SelectOptions::default()
+            })
+            .unwrap();
+        let parallel = paper::figure6_scenario(true)
+            .compose(&SelectOptions {
+                candidate_store,
+                parallel_expand: true,
+                ..SelectOptions::default()
+            })
+            .unwrap();
+        assert_bitwise_equal(&sequential, &parallel, &format!("{candidate_store:?}"));
+    }
+}
+
+#[test]
+fn parallel_mode_still_reproduces_table1() {
+    let options = SelectOptions {
+        parallel_expand: true,
+        ..SelectOptions::default()
+    };
+    let composition = paper::figure6_scenario(true).compose(&options).unwrap();
+    if let Some(mismatch) = paper::verify_table1(&composition.selection.trace) {
+        panic!("Table 1 diverged under parallel_expand: {mismatch}");
+    }
+    assert_eq!(composition.selection.rounds, 15);
+}
+
+#[test]
+fn random_scenarios_are_bitwise_identical() {
+    let config = GeneratorConfig {
+        layers: 3,
+        services_per_layer: 4,
+        formats_per_layer: 2,
+        ..GeneratorConfig::default()
+    };
+    for seed in 0..8u64 {
+        for tie_break in [
+            TieBreak::PaperOrder,
+            TieBreak::Fifo,
+            TieBreak::ByVertexIndex,
+        ] {
+            let sequential = random_scenario(&config, seed)
+                .compose(&SelectOptions {
+                    tie_break,
+                    ..SelectOptions::default()
+                })
+                .unwrap();
+            let parallel = random_scenario(&config, seed)
+                .compose(&SelectOptions {
+                    tie_break,
+                    parallel_expand: true,
+                    ..SelectOptions::default()
+                })
+                .unwrap();
+            assert_bitwise_equal(
+                &sequential,
+                &parallel,
+                &format!("seed {seed} {tie_break:?}"),
+            );
+        }
+    }
+}

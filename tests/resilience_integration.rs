@@ -10,13 +10,9 @@ use qosc_workload::paper;
 fn recovery_beats_no_recovery_on_the_paper_scenario() {
     let run = |recompose: bool| {
         let mut scenario = paper::figure6_scenario(true);
-        let t7 = scenario
-            .network
-            .topology()
-            .node_by_name("host-T7")
-            .unwrap();
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+        let t7 = scenario.network.topology().node_by_name("host-T7").unwrap();
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
         run_resilient(
             &scenario.formats,
             &scenario.services,
@@ -105,8 +101,8 @@ fn random_scenarios_recover_when_possible() {
             None => continue,
         };
         attempted += 1;
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(5), FailureEvent::NodeDown(victim));
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(5), FailureEvent::NodeDown(victim));
         let run = run_resilient(
             &scenario.formats,
             &scenario.services,
@@ -144,8 +140,8 @@ fn preplanned_backup_fails_over_instantly() {
     let run = |preplan: bool| {
         let mut scenario = paper::figure6_scenario(true);
         let t7 = scenario.network.topology().node_by_name("host-T7").unwrap();
-        let schedule = FailureSchedule::new()
-            .at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
+        let schedule =
+            FailureSchedule::new().at(SimTime::from_secs(10), FailureEvent::NodeDown(t7));
         run_resilient(
             &scenario.formats,
             &scenario.services,

@@ -32,7 +32,10 @@ fn final_chain_matches_paper() {
             .get(qosc_media::Axis::FrameRate),
         Some(20.0)
     );
-    assert_eq!(composition.selection.rounds, 15, "fifteen rounds, like the paper");
+    assert_eq!(
+        composition.selection.rounds, 15,
+        "fifteen rounds, like the paper"
+    );
 }
 
 #[test]
@@ -78,19 +81,33 @@ fn satisfaction_is_non_increasing_over_rounds() {
         .map(|r| r.satisfaction)
         .collect();
     for pair in sats.windows(2) {
-        assert!(pair[1] <= pair[0] + 1e-12, "satisfaction increased: {pair:?}");
+        assert!(
+            pair[1] <= pair[0] + 1e-12,
+            "satisfaction increased: {pair:?}"
+        );
     }
 }
 
 #[test]
 fn alternative_tie_breaks_still_find_the_same_final_chain() {
     // Tie-breaking changes the exploration order, not the result.
-    for tie_break in [TieBreak::PaperOrder, TieBreak::Fifo, TieBreak::ByVertexIndex] {
+    for tie_break in [
+        TieBreak::PaperOrder,
+        TieBreak::Fifo,
+        TieBreak::ByVertexIndex,
+    ] {
         let scenario = paper::figure6_scenario(true);
-        let options = SelectOptions { tie_break, ..SelectOptions::default() };
+        let options = SelectOptions {
+            tie_break,
+            ..SelectOptions::default()
+        };
         let composition = scenario.compose(&options).unwrap();
         let chain = composition.selection.chain.expect("receiver reached");
-        assert_eq!(chain.names(), vec!["sender", "T7", "receiver"], "{tie_break:?}");
+        assert_eq!(
+            chain.names(),
+            vec!["sender", "T7", "receiver"],
+            "{tie_break:?}"
+        );
         assert_eq!(SelectionTrace::truncate2(chain.satisfaction), 0.66);
     }
 }

@@ -1,0 +1,297 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the benchmarking surface the workspace's `crates/bench` harnesses
+//! use: [`Criterion`] with `sample_size` / `warm_up_time` /
+//! `measurement_time` builders, `bench_function`, `benchmark_group`
+//! (with `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the plain and the
+//! `name/config/targets` forms).
+//!
+//! Measurement is deliberately simple: each benchmark warms up for the
+//! configured duration, then runs `sample_size` samples, each sample
+//! batching enough iterations to cover `measurement_time /
+//! sample_size`, and reports the median, minimum and maximum per-call
+//! wall-clock time. There is no outlier analysis, no saved baselines
+//! and no HTML report — just stable, comparable numbers on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring criterion's
+/// `function_name/parameter` naming.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter, for groups benching one function over many
+    /// inputs.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] runs and times
+/// the measured routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Per-call times, one entry per sample, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`. The return value is captured (so the
+    /// computation cannot be optimized away) and dropped.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run for the configured wall-clock budget and use the
+        // observed rate to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.config.sample_size.max(1);
+        let per_sample = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((per_sample / per_call.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// Shared measurement settings.
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Wall-clock warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: &self.config,
+            name: name.into(),
+        }
+    }
+
+    /// Report end-of-run (normally invoked by [`criterion_main!`]).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(self.config, &format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(self.config, &format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(config: &Config, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if sorted.is_empty() {
+        println!("{id:<56} (no samples: benchmark closure never called iter)");
+        return;
+    }
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{id:<56} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Collect benchmark functions into a runnable group, in either the
+/// plain or the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = fast_config();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("plain", |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4u64, |b, &n| {
+            b.iter(|| n.wrapping_mul(3))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+    }
+
+    mod as_macro {
+        use super::super::*;
+        use super::fast_config;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro_target", |b| b.iter(|| 0u8));
+        }
+
+        criterion_group! {
+            name = benches;
+            config = fast_config();
+            targets = target
+        }
+
+        criterion_group!(plain_benches, target);
+
+        #[test]
+        fn both_forms_run() {
+            benches();
+            plain_benches();
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! The only crossbeam facility the workspace uses is scoped threads,
+//! which the standard library has provided natively since Rust 1.63
+//! (`std::thread::scope` is the stabilized descendant of
+//! `crossbeam::thread::scope`). This crate re-exports the std API under
+//! the crossbeam module path so call sites read as the design documents
+//! describe; the semantics — spawned threads may borrow from the
+//! enclosing stack frame and are all joined before `scope` returns —
+//! are identical.
+
+pub mod thread {
+    //! Scoped threads (std-backed).
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Top-level alias matching `crossbeam::scope` call sites.
+pub use std::thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+}

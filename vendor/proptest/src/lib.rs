@@ -1,0 +1,418 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the property-testing surface the workspace uses:
+//!
+//! * the [`Strategy`] trait with `prop_map`, ranges, tuples (to six
+//!   elements), [`Just`], [`prop_oneof!`], [`collection::vec`],
+//!   [`option::of`] and [`bool::ANY`],
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Cases are generated from seeds derived deterministically from the
+//! test name and case index, so failures reproduce exactly across runs.
+//! There is **no shrinking**: a failure reports its case index and seed
+//! and re-raises the original panic. That trades minimal counterexamples
+//! for zero dependencies, which is the right trade for an offline CI
+//! gate; seeds make failures debuggable.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+pub mod prelude {
+    //! The usual glob import, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// The generator handed to each test case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A generator for one case, fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (the subset of proptest's knobs the workspace
+/// sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this runner never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// FNV-1a, for deriving per-test seed streams from the test name.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drive one property: run `config.cases` cases with deterministic
+/// seeds; on panic, report the case index and seed, then re-raise.
+pub fn run_cases(config: ProptestConfig, name: &str, case: impl Fn(&mut TestRng)) {
+    let base = fnv1a(name);
+    for index in 0..config.cases {
+        let seed = base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest: property `{name}` failed at case {index}/{} (seed {seed:#x})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `map`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Type-erase the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// [`Strategy::prop_map`]'s adapter.
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of its argument.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.0.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let pick = rand::RngExt::random_range(rng, 0..self.0.len());
+        self.0[pick].generate(rng)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+    use super::{Strategy, TestRng};
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::RngExt::random_bool(rng, 0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+    use super::{Strategy, TestRng};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// [`vec`]'s strategy type.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::RngExt::random_range(rng, self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`proptest::option::of`).
+    use super::{Strategy, TestRng};
+
+    /// `None` one time in four, `Some(inner)` otherwise (matching
+    /// upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    /// [`of`]'s strategy type.
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::RngExt::random_bool(rng, 0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(pattern in strategy, ..) { .. }`
+/// becomes a `#[test]` running [`run_cases`] over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($config) $($rest)* }
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(config, stringify!($name), |rng| {
+                $(let $pat = $crate::Strategy::generate(&($strategy), rng);)+
+                $body
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @with_config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Assert within a property (plain `assert!` here; the runner adds case
+/// context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when its precondition does not hold. The
+/// case counts as passed (this runner generates no replacement case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($args:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        let s = (0u64..100, 0.0f64..1.0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a).0, s.generate(&mut b).0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_maps_compose(x in (0usize..10).prop_map(|i| i * 2), b in crate::bool::ANY) {
+            prop_assert!(x < 20 && x % 2 == 0);
+            let _coin: bool = b;
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0i32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_just((tag, flag) in (prop_oneof![Just(1u8), Just(2u8)], crate::option::of(0u8..3))) {
+            prop_assert!(tag == 1 || tag == 2);
+            if let Some(f) = flag {
+                prop_assert!(f < 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The concrete generators: both are xoshiro256++ (Blackman &amp; Vigna),
+//! a small, fast generator with a 256-bit state — more than adequate for
+//! workload generation and simulation jitter.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// xoshiro256++ behind a seedable facade.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // An all-zero state would be a fixed point; splitmix64 cannot
+        // produce four zero words from any seed, but belt and braces:
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! named_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> $name {
+                $name(Xoshiro256::from_u64(state))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+    };
+}
+
+named_rng! {
+    /// The "small, fast" generator.
+    SmallRng
+}
+named_rng! {
+    /// The "standard" generator (same engine as [`SmallRng`] in this
+    /// vendored build; no workspace test pins their relative streams).
+    StdRng
+}

@@ -1,0 +1,436 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's `Serialize` / `Deserialize` traits
+//! (value-tree based, see `vendor/serde`) for the shapes the workspace
+//! uses: structs with named fields, tuple structs (newtypes serialize
+//! transparently, wider tuples as arrays), unit structs, and enums with
+//! unit / newtype / tuple / struct variants under serde's externally
+//! tagged representation.
+//!
+//! Implemented directly on `proc_macro` token streams — no `syn` or
+//! `quote` (nothing external is available offline). The parser handles
+//! exactly the grammar that appears in this workspace: attributes and
+//! doc comments are skipped, visibilities are skipped, generic type
+//! definitions are rejected loudly (none exist in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(item.serialize_impl())
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(item.deserialize_impl())
+}
+
+fn render(source: String) -> TokenStream {
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{source}"))
+}
+
+/// The shapes of a field list.
+enum Fields {
+    Unit,
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attributes_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(group.stream())),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(group.stream())),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    group.stream()
+                }
+                other => panic!("unexpected token after `enum {name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive applied to unsupported item kind `{other}`"),
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and a `pub`
+/// visibility with optional restriction group.
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(ident)) => {
+            *pos += 1;
+            ident.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip a type (or discriminant expression): everything up to the next
+/// comma that sits outside `<...>` nesting. Groups are single trees, so
+/// tuples and array types need no special casing.
+fn skip_to_field_separator(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_to_field_separator(&tokens, &mut pos);
+        pos += 1; // the comma (or one past the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_separator(&tokens, &mut pos);
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            skip_to_field_separator(&tokens, &mut pos);
+        }
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => panic!("expected `,` after variant `{name}`, found {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Unit => "::serde::Value::Null".to_string(),
+                    Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                    }
+                    Fields::Named(names) => obj_expr(names, "&self."),
+                };
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|variant| {
+                        let v = &variant.name;
+                        match &variant.fields {
+                            Fields::Unit => format!(
+                                "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\"))"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "{name}::{v}(x0) => ::serde::Value::Obj(vec![(String::from(\"{v}\"), \
+                                 ::serde::Serialize::to_value(x0))])"
+                            ),
+                            Fields::Tuple(n) => {
+                                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{v}({}) => ::serde::Value::Obj(vec![(String::from(\"{v}\"), \
+                                     ::serde::Value::Arr(vec![{}]))])",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            Fields::Named(field_names) => {
+                                let obj = obj_expr(field_names, "");
+                                format!(
+                                    "{name}::{v} {{ {} }} => ::serde::Value::Obj(vec![(String::from(\"{v}\"), {obj})])",
+                                    field_names.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                     }}",
+                    arms.join(",\n")
+                )
+            }
+        }
+    }
+
+    fn deserialize_impl(&self) -> String {
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Unit => format!("::core::result::Result::Ok({name})"),
+                    Fields::Tuple(1) => format!(
+                        "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "{}\n::core::result::Result::Ok({name}({}))",
+                        tuple_prelude(name, *n),
+                        tuple_elems(*n)
+                    ),
+                    Fields::Named(names) => format!(
+                        "let entries = value.as_obj().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object for {name}\", value))?;\n\
+                         ::core::result::Result::Ok({name} {{ {} }})",
+                        named_inits(names)
+                    ),
+                };
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                     ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, Fields::Unit))
+                    .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0})", v.name))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|variant| {
+                        let v = &variant.name;
+                        match &variant.fields {
+                            Fields::Unit => None,
+                            Fields::Tuple(1) => Some(format!(
+                                "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(inner).map_err(|e| e.in_field(\"{v}\"))?))"
+                            )),
+                            Fields::Tuple(n) => Some(format!(
+                                "\"{v}\" => {{ let value = inner; {}\n\
+                                 ::core::result::Result::Ok({name}::{v}({})) }}",
+                                tuple_prelude(&format!("{name}::{v}"), *n),
+                                tuple_elems(*n)
+                            )),
+                            Fields::Named(field_names) => Some(format!(
+                                "\"{v}\" => {{ let entries = inner.as_obj().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object for {name}::{v}\", inner))?;\n\
+                                 ::core::result::Result::Ok({name}::{v} {{ {} }}) }}",
+                                named_inits(field_names)
+                            )),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                     ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                     {unit}\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(\
+                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n\
+                     {tagged}\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(\
+                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }}\n\
+                     }},\n\
+                     other => ::core::result::Result::Err(::serde::DeError::expected(\
+                     \"{name} variant\", other)),\n\
+                     }}\n\
+                     }}\n\
+                     }}",
+                    unit = if unit_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", unit_arms.join(",\n"))
+                    },
+                    tagged = if tagged_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", tagged_arms.join(",\n"))
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// `Value::Obj(vec![("f", to_value(<prefix>f)), ...])`.
+fn obj_expr(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+/// `f: serde::field(entries, "f")?, ...` initializers.
+fn named_inits(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Shared guard for array-represented tuples: bind `items`, check arity.
+fn tuple_prelude(display_name: &str, n: usize) -> String {
+    format!(
+        "let items = value.as_arr().ok_or_else(|| \
+         ::serde::DeError::expected(\"array for {display_name}\", value))?;\n\
+         if items.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::msg(\
+         format!(\"expected {n} elements for {display_name}, found {{}}\", items.len()))); }}"
+    )
+}
+
+/// `from_value(&items[0])?, from_value(&items[1])?, ...`.
+fn tuple_elems(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
