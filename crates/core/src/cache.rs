@@ -260,12 +260,12 @@ fn request_key(profiles: &ProfileSet, sender: NodeId, receiver: NodeId) -> Resul
 }
 
 /// Revalidate a cached plan against the current registry and network:
-/// every trans-coding stage still live, every hop still routable with
-/// the plan's rate.
+/// every trans-coding stage still advertised (live lease, not
+/// quarantined), every hop still routable with the plan's rate.
 fn plan_still_valid(composer: &Composer<'_>, plan: &AdaptationPlan) -> bool {
     for step in &plan.steps {
         if let Some(service) = step.service {
-            if !composer.services.is_live(service) {
+            if !composer.services.is_available(service) {
                 return false;
             }
         }

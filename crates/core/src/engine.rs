@@ -18,15 +18,35 @@
 //! hit/miss split may differ (a racing pair of identical cold requests
 //! counts two misses instead of a miss and a hit); the total
 //! `hits + misses + stale` always equals the number of requests.
+//!
+//! ## Fault tolerance
+//!
+//! [`serve_batch_resilient`] is the graceful-degradation front-end: it
+//! wraps every request in `catch_unwind` (one poisoned profile turns
+//! into an `Err` for that index instead of aborting the batch), enforces
+//! a per-request deadline through [`SelectOptions::deadline`], retries
+//! transient registry/network errors with seeded exponential backoff,
+//! and — when a request is infeasible or below the user's satisfaction
+//! floor — walks the **degradation ladder** of Section 3's adaptation
+//! policy: relax the quality floors, fall back to the weighted
+//! combination of [29], and finally drop the axes of the media kinds the
+//! user listed in `degrade_first`. Each outcome reports which rung
+//! served it.
 
 use crate::cache::ShardedCompositionCache;
 use crate::composer::Composer;
 use crate::plan::AdaptationPlan;
-use crate::select::SelectOptions;
+use crate::select::{SelectFailure, SelectOptions};
 use crate::Result;
+use qosc_media::{Axis, MediaKind};
 use qosc_netsim::NodeId;
 use qosc_profiles::ProfileSet;
+use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// One composition request: who is sending what to whom, under which
 /// profiles.
@@ -59,12 +79,26 @@ impl Default for EngineConfig {
     }
 }
 
+/// Render a panic payload for error reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Serve a batch of requests concurrently through a shared cache.
 ///
 /// Results arrive in request order, one per request: `Ok(Some(plan))`
 /// for a solvable request, `Ok(None)` for a currently unsolvable one,
 /// `Err` when profile serialization or graph construction failed for
-/// that request (one request's failure does not abort the batch).
+/// that request (one request's failure does not abort the batch). A
+/// request whose composition *panics* — a poisoned profile tripping an
+/// internal invariant — yields [`CoreError::WorkerPanic`](crate::CoreError::WorkerPanic)
+/// for its index and leaves every other request untouched.
 pub fn serve_batch(
     composer: &Composer<'_>,
     cache: &ShardedCompositionCache,
@@ -87,35 +121,567 @@ pub fn serve_batch(
                         let Some(request) = requests.get(index) else {
                             return local;
                         };
-                        let outcome = cache.compose(
-                            composer,
-                            &request.profiles,
-                            request.sender_host,
-                            request.receiver_host,
-                            &config.options,
-                        );
+                        // Per-request isolation: a panic poisons this
+                        // index only, the worker moves on to the next
+                        // request.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            cache.compose(
+                                composer,
+                                &request.profiles,
+                                request.sender_host,
+                                request.receiver_host,
+                                &config.options,
+                            )
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(crate::CoreError::WorkerPanic(panic_message(payload)))
+                        });
                         local.push((index, outcome));
                     }
                 })
             })
             .collect();
         for handle in handles {
-            collected.extend(handle.join().expect("composition worker panicked"));
+            // With per-request catch_unwind a worker can only die to a
+            // fault outside composition; salvage what it produced and
+            // let the gap-fill below account for anything lost.
+            if let Ok(local) = handle.join() {
+                collected.extend(local);
+            }
         }
     });
 
-    collected.sort_by_key(|(index, _)| *index);
-    debug_assert_eq!(collected.len(), requests.len());
-    collected.into_iter().map(|(_, outcome)| outcome).collect()
+    let mut results: Vec<Option<Result<Option<AdaptationPlan>>>> =
+        (0..requests.len()).map(|_| None).collect();
+    for (index, outcome) in collected {
+        results[index] = Some(outcome);
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(crate::CoreError::WorkerPanic(
+                    "worker thread lost before reporting".to_string(),
+                ))
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Degradation ladder
+// ---------------------------------------------------------------------
+
+/// The rung of the degradation ladder that served a request, in
+/// strictly-worsening order. Comparison order is quality order:
+/// `Full < RelaxedFloor < …` means "less degraded".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationRung {
+    /// Served as asked: the user's own floors and combiner.
+    Full,
+    /// Quality floors relaxed to zero (`min_acceptable → 0`): the user
+    /// accepts *some* delivery below the stated minimum rather than
+    /// nothing.
+    RelaxedFloor,
+    /// Floors relaxed and the combiner switched to the weighted
+    /// combination of [29], so strong axes can compensate weak ones.
+    WeightedCombiner,
+    /// Floors relaxed, weighted combiner, and the preference axes of the
+    /// media kinds the user listed in
+    /// [`AdaptationPolicy::degrade_first`](qosc_profiles::AdaptationPolicy)
+    /// dropped entirely (Section 3: "drop the audio quality of a
+    /// sport-clip before degrading the video").
+    DropSecondary,
+}
+
+impl DegradationRung {
+    /// The ladder, best rung first.
+    pub const LADDER: [DegradationRung; 4] = [
+        DegradationRung::Full,
+        DegradationRung::RelaxedFloor,
+        DegradationRung::WeightedCombiner,
+        DegradationRung::DropSecondary,
+    ];
+
+    /// Stable machine-readable name (used by scorecards).
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationRung::Full => "full",
+            DegradationRung::RelaxedFloor => "relaxed_floor",
+            DegradationRung::WeightedCombiner => "weighted_combiner",
+            DegradationRung::DropSecondary => "drop_secondary",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The media kind a preference axis degrades with, for the
+/// `degrade_first` policy. Fidelity is kind-agnostic and never dropped.
+fn axis_kind(axis: Axis) -> Option<MediaKind> {
+    match axis {
+        Axis::FrameRate | Axis::PixelCount | Axis::ColorDepth => Some(MediaKind::Video),
+        Axis::SampleRate | Axis::Channels | Axis::SampleDepth => Some(MediaKind::Audio),
+        Axis::Fidelity => None,
+    }
+}
+
+/// Zero a satisfaction function's acceptability floor, keeping its shape
+/// above the floor.
+fn relax_floor(function: &SatisfactionFn) -> SatisfactionFn {
+    match function {
+        SatisfactionFn::Linear { ideal, .. } => SatisfactionFn::Linear {
+            min_acceptable: 0.0,
+            ideal: *ideal,
+        },
+        SatisfactionFn::Saturating { ideal, scale, .. } => SatisfactionFn::Saturating {
+            min_acceptable: 0.0,
+            ideal: *ideal,
+            scale: *scale,
+        },
+        SatisfactionFn::Step { .. } => SatisfactionFn::Step { threshold: 0.0 },
+        other => other.clone(),
+    }
+}
+
+/// Rebuild `profile` with every floor relaxed, preserving weights and
+/// the combiner.
+fn relax_floors(profile: &SatisfactionProfile) -> SatisfactionProfile {
+    let mut relaxed = SatisfactionProfile::new().with_combiner(profile.combiner.clone());
+    for pref in profile.preferences() {
+        relaxed.insert(AxisPreference::weighted(
+            pref.axis,
+            relax_floor(&pref.function),
+            pref.weight,
+        ));
+    }
+    relaxed
+}
+
+/// Rebuild `profile` without the axes belonging to the degrade-first
+/// media kinds. If the policy would drop everything, the single
+/// highest-weight preference survives (ties: lowest axis index) — a
+/// request must keep at least one quality axis to optimize.
+fn drop_secondary_axes(
+    profile: &SatisfactionProfile,
+    policy: &qosc_profiles::AdaptationPolicy,
+) -> SatisfactionProfile {
+    if policy.degrade_first.is_empty() {
+        return profile.clone();
+    }
+    let dropped = |axis: Axis| {
+        axis_kind(axis)
+            .map(|kind| policy.degrade_first.contains(&kind))
+            .unwrap_or(false)
+    };
+    let mut kept = SatisfactionProfile::new().with_combiner(profile.combiner.clone());
+    let mut any = false;
+    for pref in profile.preferences() {
+        if !dropped(pref.axis) {
+            kept.insert(AxisPreference::weighted(
+                pref.axis,
+                pref.function.clone(),
+                pref.weight,
+            ));
+            any = true;
+        }
+    }
+    if !any {
+        if let Some(survivor) = profile.preferences().iter().reduce(|best, pref| {
+            if pref.weight > best.weight {
+                pref
+            } else {
+                best
+            }
+        }) {
+            kept.insert(survivor.clone());
+        }
+    }
+    kept
+}
+
+/// The profile set a ladder rung composes with. `Full` is the request
+/// as asked; every other rung rewrites the user's satisfaction profile
+/// (the context profile re-adjusts the rewritten profile exactly as it
+/// would the original).
+pub fn degrade_profiles(profiles: &ProfileSet, rung: DegradationRung) -> ProfileSet {
+    let mut out = profiles.clone();
+    if rung >= DegradationRung::RelaxedFloor {
+        out.user.satisfaction = relax_floors(&out.user.satisfaction);
+    }
+    if rung >= DegradationRung::WeightedCombiner {
+        out.user.satisfaction.use_weighted_combination();
+    }
+    if rung >= DegradationRung::DropSecondary {
+        out.user.satisfaction = drop_secondary_axes(&out.user.satisfaction, &out.user.policy);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Resilient serving
+// ---------------------------------------------------------------------
+
+/// Retry policy for transient composition errors (registry/network
+/// revalidation failures).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per ladder rung (clamped to at least 1).
+    pub max_attempts: u32,
+    /// First backoff, microseconds; doubles per retry.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            max_backoff_us: 250_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based): exponential with seeded
+    /// half-range jitter. Pure in `(self, attempt, rng-state)`, so a
+    /// seeded run reproduces its backoff schedule exactly.
+    pub fn backoff_for(&self, attempt: u32, rng: &mut SmallRng) -> u64 {
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self
+            .base_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_us.max(self.base_backoff_us));
+        let jitter = if base > 1 {
+            rng.random_range(0..=base / 2)
+        } else {
+            0
+        };
+        base.saturating_add(jitter)
+    }
+}
+
+/// Tuning for [`serve_batch_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientEngineConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Base selection options; the per-request deadline is layered on
+    /// top of these.
+    pub options: SelectOptions,
+    /// Per-request wall-clock budget in microseconds. `None` disables
+    /// deadlines (and keeps outcomes machine-independent).
+    pub deadline_budget_us: Option<u64>,
+    /// Retry policy for transient errors.
+    pub retry: RetryPolicy,
+    /// Walk the degradation ladder on infeasible/below-floor requests.
+    /// When `false` only [`DegradationRung::Full`] is tried — the binary
+    /// served-or-failed behaviour of [`serve_batch`].
+    pub ladder: bool,
+    /// Seed for backoff jitter; request `i` derives its own stream from
+    /// `seed` and `i`, so outcomes are independent of worker scheduling.
+    pub seed: u64,
+}
+
+impl Default for ResilientEngineConfig {
+    fn default() -> ResilientEngineConfig {
+        ResilientEngineConfig {
+            workers: 1,
+            options: SelectOptions::default(),
+            deadline_budget_us: None,
+            retry: RetryPolicy::default(),
+            ladder: true,
+            seed: 0,
+        }
+    }
+}
+
+/// What happened to one request of a resilient batch.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The served plan, if any rung produced one above the floor.
+    pub plan: Option<AdaptationPlan>,
+    /// The rung that served it (`None` when unserved).
+    pub rung: Option<DegradationRung>,
+    /// Predicted satisfaction of the served plan under its rung's
+    /// scoring (0.0 when unserved).
+    pub satisfaction: f64,
+    /// Composition attempts across all rungs and retries.
+    pub attempts: u32,
+    /// Total backoff this request accrued, microseconds (recorded, not
+    /// slept — the simulation clock is not the wall clock).
+    pub backoff_us: u64,
+    /// The per-request deadline expired before a plan was found.
+    pub deadline_exceeded: bool,
+    /// Terminal error or last rung-failure reason (`None` when served).
+    pub error: Option<String>,
+}
+
+impl RequestOutcome {
+    /// Served at full quality.
+    pub fn is_served_full(&self) -> bool {
+        self.plan.is_some() && self.rung == Some(DegradationRung::Full)
+    }
+
+    /// Served, but on a lower rung.
+    pub fn is_degraded(&self) -> bool {
+        self.plan.is_some() && self.rung.map(|r| r > DegradationRung::Full) == Some(true)
+    }
+}
+
+/// Batch-level accounting. The four counters are disjoint and sum to
+/// the batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchCounters {
+    /// Served at [`DegradationRung::Full`].
+    pub served: usize,
+    /// Served at a lower rung.
+    pub degraded: usize,
+    /// Unserved: error, panic, or infeasible at every rung.
+    pub failed: usize,
+    /// Unserved because the deadline expired first.
+    pub deadline_exceeded: usize,
+}
+
+impl BatchCounters {
+    /// Total requests accounted for.
+    pub fn total(&self) -> usize {
+        self.served + self.degraded + self.failed + self.deadline_exceeded
+    }
+}
+
+/// A resilient batch: one outcome per request, in request order.
+#[derive(Debug, Clone)]
+pub struct ResilientBatch {
+    /// Per-request outcomes.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ResilientBatch {
+    /// Classify the outcomes. Every request lands in exactly one
+    /// counter, so `counters().total() == outcomes.len()`.
+    pub fn counters(&self) -> BatchCounters {
+        let mut counters = BatchCounters::default();
+        for outcome in &self.outcomes {
+            if outcome.is_served_full() {
+                counters.served += 1;
+            } else if outcome.is_degraded() {
+                counters.degraded += 1;
+            } else if outcome.deadline_exceeded {
+                counters.deadline_exceeded += 1;
+            } else {
+                counters.failed += 1;
+            }
+        }
+        counters
+    }
+}
+
+/// Transient errors are worth retrying: the registry or network may be
+/// mid-churn (a lease expiring between graph build and revalidation, a
+/// route flapping back). Everything else is deterministic and retrying
+/// cannot help.
+fn is_transient(error: &crate::CoreError) -> bool {
+    matches!(
+        error,
+        crate::CoreError::Service(_) | crate::CoreError::Net(_)
+    )
+}
+
+fn unserved(
+    attempts: u32,
+    backoff_us: u64,
+    deadline_exceeded: bool,
+    error: Option<String>,
+) -> RequestOutcome {
+    RequestOutcome {
+        plan: None,
+        rung: None,
+        satisfaction: 0.0,
+        attempts,
+        backoff_us,
+        deadline_exceeded,
+        error,
+    }
+}
+
+/// Serve one request through the ladder, with retries and panic
+/// isolation. Pure in `(composer snapshot, request, index, config)`.
+fn serve_one(
+    composer: &Composer<'_>,
+    request: &CompositionRequest,
+    index: usize,
+    config: &ResilientEngineConfig,
+) -> RequestOutcome {
+    let deadline = config
+        .deadline_budget_us
+        .map(|us| Instant::now() + Duration::from_micros(us));
+    let mut options = config.options;
+    options.deadline = deadline;
+    let mut rng =
+        SmallRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let rungs: &[DegradationRung] = if config.ladder {
+        &DegradationRung::LADDER
+    } else {
+        &DegradationRung::LADDER[..1]
+    };
+
+    let mut attempts = 0u32;
+    let mut backoff_us = 0u64;
+    let mut last_failure: Option<String> = None;
+    for &rung in rungs {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return unserved(attempts, backoff_us, true, last_failure);
+            }
+        }
+        let profiles = degrade_profiles(&request.profiles, rung);
+        let mut attempt_in_rung = 0u32;
+        let composition = loop {
+            attempts += 1;
+            attempt_in_rung += 1;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                composer.compose(
+                    &profiles,
+                    request.sender_host,
+                    request.receiver_host,
+                    &options,
+                )
+            }));
+            match result {
+                Err(payload) => {
+                    // A panic is a deterministic fault in the compose
+                    // path; neither retrying nor degrading can help.
+                    return unserved(
+                        attempts,
+                        backoff_us,
+                        false,
+                        Some(format!("panic: {}", panic_message(payload))),
+                    );
+                }
+                Ok(Err(e))
+                    if is_transient(&e) && attempt_in_rung < config.retry.max_attempts.max(1) =>
+                {
+                    backoff_us = backoff_us
+                        .saturating_add(config.retry.backoff_for(attempt_in_rung, &mut rng));
+                    last_failure = Some(e.to_string());
+                }
+                Ok(Err(e)) => {
+                    // Terminal error: deterministic, or retries exhausted.
+                    return unserved(attempts, backoff_us, false, Some(e.to_string()));
+                }
+                Ok(Ok(composition)) => break composition,
+            }
+        };
+        if composition.selection.failure == Some(SelectFailure::DeadlineExceeded) {
+            return unserved(attempts, backoff_us, true, last_failure);
+        }
+        match composition.plan {
+            // A zero-satisfaction plan is below the user's stated
+            // minimum — delivering it serves nobody (Section 4.1's
+            // floors); the next rung relaxes what "minimum" means.
+            Some(plan) if plan.predicted_satisfaction > 0.0 => {
+                return RequestOutcome {
+                    satisfaction: plan.predicted_satisfaction,
+                    plan: Some(plan),
+                    rung: Some(rung),
+                    attempts,
+                    backoff_us,
+                    deadline_exceeded: false,
+                    error: None,
+                };
+            }
+            Some(_) => {
+                last_failure = Some(format!("below the satisfaction floor at rung {rung}"));
+            }
+            None => {
+                last_failure = Some(
+                    composition
+                        .selection
+                        .failure
+                        .map(|f| f.to_string())
+                        .unwrap_or_else(|| "no chain".to_string()),
+                );
+            }
+        }
+    }
+    unserved(attempts, backoff_us, false, last_failure)
+}
+
+/// Serve a batch with panic isolation, per-request deadlines, seeded
+/// retry/backoff, and the degradation ladder.
+///
+/// Returns exactly one [`RequestOutcome`] per request, in request
+/// order, for any worker count. Composition goes straight through the
+/// [`Composer`] (no cache): under churn, revalidating a cached plan and
+/// reporting the rung that produced it are at odds — the resilient
+/// path always reflects the current registry and network.
+pub fn serve_batch_resilient(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    config: &ResilientEngineConfig,
+) -> ResilientBatch {
+    let workers = config.workers.max(1).min(requests.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, RequestOutcome)> = Vec::with_capacity(requests.len());
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(index) else {
+                            return local;
+                        };
+                        local.push((index, serve_one(composer, request, index, config)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(local) = handle.join() {
+                collected.extend(local);
+            }
+        }
+    });
+
+    let mut slots: Vec<Option<RequestOutcome>> = (0..requests.len()).map(|_| None).collect();
+    for (index, outcome) in collected {
+        slots[index] = Some(outcome);
+    }
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                unserved(
+                    0,
+                    0,
+                    false,
+                    Some("worker thread lost before reporting".to_string()),
+                )
+            })
+        })
+        .collect();
+    ResilientBatch { outcomes }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qosc_media::FormatRegistry;
+    use qosc_media::{AxisDomain, DomainVector, FormatRegistry, VariantSpec};
     use qosc_netsim::{Network, Node, Topology};
     use qosc_profiles::{
-        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, UserProfile,
+        AdaptationPolicy, ContentProfile, ContextProfile, ConversionSpec, DeviceProfile,
+        HardwareCaps, NetworkProfile, ServiceSpec, UserProfile,
     };
     use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
 
@@ -164,6 +730,22 @@ mod tests {
                 receiver_host: f.client,
             })
             .collect()
+    }
+
+    /// A profile whose content domain violates the "non-empty by
+    /// construction" invariant of `AxisDomain::Discrete` — composing it
+    /// panics inside the optimizer.
+    fn poisoned_request(f: &Fixture) -> CompositionRequest {
+        let mut request = requests(f, 1).remove(0);
+        request.profiles.content = ContentProfile::new(
+            "poison",
+            vec![VariantSpec {
+                format: "video/mpeg2".to_string(),
+                offered: DomainVector::new()
+                    .with(qosc_media::Axis::FrameRate, AxisDomain::Discrete(vec![])),
+            }],
+        );
+        request
     }
 
     #[test]
@@ -224,5 +806,353 @@ mod tests {
         let served = serve_batch(&composer, &cache, &[], &EngineConfig::default());
         assert!(served.is_empty());
         assert_eq!(cache.stats(), crate::CacheStats::default());
+    }
+
+    #[test]
+    fn one_panicking_request_does_not_abort_the_batch() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let mut batch = requests(&f, 6);
+        batch[2] = poisoned_request(&f);
+        for workers in [1usize, 4] {
+            let cache = ShardedCompositionCache::default();
+            let config = EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            };
+            let served = serve_batch(&composer, &cache, &batch, &config);
+            assert_eq!(served.len(), batch.len(), "one result per request");
+            for (i, result) in served.iter().enumerate() {
+                if i == 2 {
+                    match result {
+                        Err(crate::CoreError::WorkerPanic(_)) => {}
+                        other => panic!("index 2 should be WorkerPanic, got {other:?}"),
+                    }
+                } else {
+                    assert!(
+                        result.as_ref().unwrap().is_some(),
+                        "healthy request {i} still served (workers={workers})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A tight chain whose deliverable frame rate sits below a strict
+    /// quality floor: dark at `Full`, served once the floor relaxes.
+    fn floor_fixture() -> (Fixture, CompositionRequest) {
+        let mut formats = FormatRegistry::new();
+        let linear = qosc_media::BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
+        formats.register(qosc_media::FormatSpec::new("A", MediaKind::Video, linear));
+        formats.register(qosc_media::FormatSpec::new("B", MediaKind::Video, linear));
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        // 12 kbit/s → at slope 1000 the receiver can take at most 12 fps.
+        topo.connect_simple(proxy, client, 12_000.0).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        let spec = ServiceSpec::new(
+            "T",
+            vec![ConversionSpec::new(
+                "A",
+                "B",
+                DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous {
+                        min: 0.0,
+                        max: 30.0,
+                    },
+                ),
+            )],
+        );
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+
+        // The user insists on ≥ 20 fps — infeasible on this last hop.
+        let satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::Linear {
+                min_acceptable: 20.0,
+                ideal: 30.0,
+            },
+        ));
+        let request = CompositionRequest {
+            profiles: ProfileSet {
+                user: UserProfile::new("strict", satisfaction).with_policy(AdaptationPolicy {
+                    degrade_first: vec![MediaKind::Audio],
+                }),
+                content: ContentProfile::new(
+                    "clip",
+                    vec![VariantSpec {
+                        format: "A".to_string(),
+                        offered: DomainVector::new().with(
+                            Axis::FrameRate,
+                            AxisDomain::Continuous {
+                                min: 0.0,
+                                max: 30.0,
+                            },
+                        ),
+                    }],
+                ),
+                device: DeviceProfile::new("dev", vec!["B".to_string()], HardwareCaps::desktop()),
+                context: ContextProfile::default(),
+                network: NetworkProfile::lan(),
+            },
+            sender_host: server,
+            receiver_host: client,
+        };
+        let fixture = Fixture {
+            formats,
+            services,
+            network,
+            server,
+            client,
+        };
+        (fixture, request)
+    }
+
+    #[test]
+    fn ladder_serves_below_floor_requests_degraded() {
+        let (f, request) = floor_fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        // Without the ladder: dark.
+        let strict = serve_batch_resilient(
+            &composer,
+            std::slice::from_ref(&request),
+            &ResilientEngineConfig {
+                ladder: false,
+                ..ResilientEngineConfig::default()
+            },
+        );
+        assert_eq!(strict.counters().failed, 1);
+
+        // With the ladder: served at RelaxedFloor with the deliverable
+        // 12 fps (satisfaction 12/30 under the relaxed scoring).
+        let laddered = serve_batch_resilient(
+            &composer,
+            std::slice::from_ref(&request),
+            &ResilientEngineConfig::default(),
+        );
+        let outcome = &laddered.outcomes[0];
+        assert_eq!(outcome.rung, Some(DegradationRung::RelaxedFloor));
+        assert!(outcome.plan.is_some());
+        assert!(
+            outcome.satisfaction > 0.3 && outcome.satisfaction < 0.5,
+            "≈12/30, got {}",
+            outcome.satisfaction
+        );
+        let counters = laddered.counters();
+        assert_eq!(counters.degraded, 1);
+        assert_eq!(counters.total(), 1);
+    }
+
+    #[test]
+    fn counters_partition_every_mixed_batch() {
+        let (floor_f, floor_request) = floor_fixture();
+        drop(floor_f);
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let mut batch = requests(&f, 5);
+        batch.push(poisoned_request(&f));
+        // A request whose endpoints belong to another topology errs
+        // (degenerate endpoints / unknown formats) — a failed slot.
+        batch.push(CompositionRequest {
+            profiles: floor_request.profiles.clone(),
+            sender_host: f.server,
+            receiver_host: f.client,
+        });
+        for workers in [1usize, 4] {
+            let served = serve_batch_resilient(
+                &composer,
+                &batch,
+                &ResilientEngineConfig {
+                    workers,
+                    ..ResilientEngineConfig::default()
+                },
+            );
+            assert_eq!(
+                served.outcomes.len(),
+                batch.len(),
+                "one outcome per request"
+            );
+            let counters = served.counters();
+            assert_eq!(
+                counters.total(),
+                batch.len(),
+                "counters partition the batch (workers={workers}): {counters:?}"
+            );
+            assert_eq!(counters.served, 5, "healthy requests serve at Full");
+            assert!(counters.failed >= 1, "the poisoned request fails");
+            assert!(
+                served.outcomes[5]
+                    .error
+                    .as_deref()
+                    .unwrap_or("")
+                    .contains("panic"),
+                "panic surfaced as an error string"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_budget_times_every_request_out() {
+        let f = fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let batch = requests(&f, 4);
+        let served = serve_batch_resilient(
+            &composer,
+            &batch,
+            &ResilientEngineConfig {
+                deadline_budget_us: Some(0),
+                ..ResilientEngineConfig::default()
+            },
+        );
+        let counters = served.counters();
+        assert_eq!(counters.deadline_exceeded, batch.len());
+        assert_eq!(counters.total(), batch.len());
+        for outcome in &served.outcomes {
+            assert!(outcome.deadline_exceeded);
+            assert!(outcome.plan.is_none());
+        }
+    }
+
+    #[test]
+    fn resilient_serving_is_deterministic_per_seed() {
+        let (f, request) = floor_fixture();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let batch = vec![request.clone(), request];
+        let config = ResilientEngineConfig {
+            workers: 2,
+            seed: 7,
+            ..ResilientEngineConfig::default()
+        };
+        let a = serve_batch_resilient(&composer, &batch, &config);
+        let b = serve_batch_resilient(&composer, &batch, &config);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.rung, y.rung);
+            assert_eq!(x.attempts, y.attempts);
+            assert_eq!(x.backoff_us, y.backoff_us);
+            assert_eq!(x.satisfaction, y.satisfaction);
+        }
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn backoff_schedule_is_seeded_and_bounded() {
+        let policy = RetryPolicy::default();
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let seq_a: Vec<u64> = (1..=5).map(|k| policy.backoff_for(k, &mut a)).collect();
+        let seq_b: Vec<u64> = (1..=5).map(|k| policy.backoff_for(k, &mut b)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same schedule");
+        for (k, &backoff) in seq_a.iter().enumerate() {
+            assert!(
+                backoff <= policy.max_backoff_us + policy.max_backoff_us / 2,
+                "attempt {} backoff {} within jittered ceiling",
+                k + 1,
+                backoff
+            );
+        }
+        // Exponential growth before the ceiling.
+        assert!(seq_a[1] >= policy.base_backoff_us * 2);
+    }
+
+    #[test]
+    fn degrade_profiles_walks_the_documented_ladder() {
+        let (_, request) = floor_fixture();
+        let full = degrade_profiles(&request.profiles, DegradationRung::Full);
+        assert_eq!(full.user.satisfaction, request.profiles.user.satisfaction);
+
+        let relaxed = degrade_profiles(&request.profiles, DegradationRung::RelaxedFloor);
+        let pref = &relaxed.user.satisfaction.preferences()[0];
+        assert_eq!(
+            pref.function,
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 30.0
+            }
+        );
+
+        let weighted = degrade_profiles(&request.profiles, DegradationRung::WeightedCombiner);
+        assert!(matches!(
+            weighted.user.satisfaction.combiner,
+            qosc_satisfaction::Combiner::WeightedHarmonic { .. }
+        ));
+
+        // degrade_first = [Audio]; the only pref is a video axis, so it
+        // survives the drop rung.
+        let dropped = degrade_profiles(&request.profiles, DegradationRung::DropSecondary);
+        assert_eq!(dropped.user.satisfaction.preferences().len(), 1);
+
+        // An audio+video profile sheds its audio axes at DropSecondary…
+        let mut av = request.profiles.clone();
+        av.user.satisfaction = SatisfactionProfile::new()
+            .with(AxisPreference::new(
+                Axis::FrameRate,
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 30.0,
+                },
+            ))
+            .with(AxisPreference::weighted(
+                Axis::SampleRate,
+                SatisfactionFn::Linear {
+                    min_acceptable: 0.0,
+                    ideal: 44_100.0,
+                },
+                2.0,
+            ));
+        let av_dropped = degrade_profiles(&av, DegradationRung::DropSecondary);
+        let axes: Vec<Axis> = av_dropped
+            .user
+            .satisfaction
+            .preferences()
+            .iter()
+            .map(|p| p.axis)
+            .collect();
+        assert_eq!(axes, vec![Axis::FrameRate], "audio degrades first");
+
+        // …but a policy that would drop everything keeps the
+        // highest-weight preference.
+        let mut all_audio = av.clone();
+        all_audio.user.satisfaction = SatisfactionProfile::new().with(AxisPreference::weighted(
+            Axis::SampleRate,
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 44_100.0,
+            },
+            2.0,
+        ));
+        let survived = degrade_profiles(&all_audio, DegradationRung::DropSecondary);
+        assert_eq!(
+            survived.user.satisfaction.preferences().len(),
+            1,
+            "at least one axis always survives"
+        );
     }
 }

@@ -56,7 +56,11 @@ pub mod select;
 pub use bundle::{compose_bundle, BundleComposition, BundleStream};
 pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
 pub use composer::{Composer, Composition};
-pub use engine::{serve_batch, CompositionRequest, EngineConfig};
+pub use engine::{
+    degrade_profiles, serve_batch, serve_batch_resilient, BatchCounters, CompositionRequest,
+    DegradationRung, EngineConfig, RequestOutcome, ResilientBatch, ResilientEngineConfig,
+    RetryPolicy,
+};
 pub use graph::{AdaptationGraph, BuildInput, Edge, EdgeId, Vertex, VertexId, VertexKind};
 pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
@@ -83,6 +87,9 @@ pub enum CoreError {
         /// Paths explored before giving up.
         explored: usize,
     },
+    /// A composition worker panicked while serving one request; the
+    /// payload is the rendered panic message. Only that request fails.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -102,6 +109,7 @@ impl std::fmt::Display for CoreError {
                     "exhaustive search budget exceeded after {explored} paths"
                 )
             }
+            CoreError::WorkerPanic(msg) => write!(f, "worker panic: {msg}"),
         }
     }
 }

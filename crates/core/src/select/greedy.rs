@@ -85,6 +85,12 @@ pub struct SelectOptions {
     /// default; worthwhile only when single-edge optimization is
     /// expensive relative to thread handoff.
     pub parallel_expand: bool,
+    /// Wall-clock deadline for this selection run, checked between
+    /// rounds. `None` (the default) never trips, keeping seeded runs
+    /// deterministic; the resilient engine sets it from a per-request
+    /// latency budget so a pathological search returns
+    /// [`SelectFailure::DeadlineExceeded`] instead of stalling a worker.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SelectOptions {
@@ -96,6 +102,7 @@ impl Default for SelectOptions {
             record_trace: true,
             max_rounds: usize::MAX,
             parallel_expand: false,
+            deadline: None,
         }
     }
 }
@@ -139,6 +146,9 @@ pub enum SelectFailure {
     MissingEndpoints,
     /// The round safety valve tripped.
     RoundLimit,
+    /// The per-request deadline passed between rounds
+    /// ([`SelectOptions::deadline`]).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for SelectFailure {
@@ -152,6 +162,7 @@ impl std::fmt::Display for SelectFailure {
             }
             SelectFailure::MissingEndpoints => write!(f, "graph lacks a sender or receiver"),
             SelectFailure::RoundLimit => write!(f, "round limit exceeded"),
+            SelectFailure::DeadlineExceeded => write!(f, "per-request deadline exceeded"),
         }
     }
 }
@@ -252,6 +263,17 @@ pub fn select_chain(
                 rounds,
                 optimizations,
             });
+        }
+        if let Some(deadline) = options.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Ok(SelectionOutcome {
+                    chain: None,
+                    failure: Some(SelectFailure::DeadlineExceeded),
+                    trace,
+                    rounds,
+                    optimizations,
+                });
+            }
         }
         if rounds >= options.max_rounds {
             return Ok(SelectionOutcome {
@@ -824,6 +846,28 @@ mod tests {
             select_chain(&graph, &formats, &profile, 0.5, &SelectOptions::default()).unwrap();
         assert!(broke.chain.is_none());
         assert_eq!(broke.failure, Some(SelectFailure::CandidatesExhausted));
+    }
+
+    #[test]
+    fn expired_deadline_trips_between_rounds() {
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let options = SelectOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..SelectOptions::default()
+        };
+        let outcome = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
+        assert!(outcome.chain.is_none());
+        assert_eq!(outcome.failure, Some(SelectFailure::DeadlineExceeded));
+        assert_eq!(outcome.rounds, 0, "tripped before the first settle");
+
+        // A generous deadline changes nothing.
+        let relaxed = SelectOptions {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..SelectOptions::default()
+        };
+        let ok = select_chain(&graph, &formats, &profile, f64::INFINITY, &relaxed).unwrap();
+        assert!(ok.chain.is_some());
     }
 
     #[test]

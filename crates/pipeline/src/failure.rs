@@ -13,6 +13,17 @@ pub enum FailureEvent {
     LinkDown(LinkId),
     /// A link is restored.
     LinkUp(LinkId),
+    /// Background traffic squeezes a link: utilization jumps to
+    /// `permille / 1000` of capacity (permille keeps the event `Eq`,
+    /// hashable, and bitwise reproducible).
+    Squeeze {
+        /// The squeezed link.
+        link: LinkId,
+        /// Background utilization in thousandths of capacity, `0..=1000`.
+        permille: u16,
+    },
+    /// A squeeze window ends: background utilization returns to zero.
+    Unsqueeze(LinkId),
 }
 
 /// A time-ordered schedule of faults.
@@ -55,6 +66,13 @@ impl FailureSchedule {
                 let _ = network.fail_link(l);
             }
             FailureEvent::LinkUp(l) => network.restore_link(l),
+            FailureEvent::Squeeze { link, permille } => {
+                let utilization = f64::from(permille.min(1000)) / 1000.0;
+                network.background_mut().set_utilization(link, utilization);
+            }
+            FailureEvent::Unsqueeze(link) => {
+                network.background_mut().set_utilization(link, 0.0);
+            }
         }
     }
 }
@@ -73,6 +91,34 @@ mod tests {
             .at(SimTime::from_secs(1), FailureEvent::NodeDown(n));
         assert_eq!(schedule.events()[0].0, SimTime::from_secs(1));
         assert_eq!(schedule.events()[1].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn squeeze_shrinks_headroom_and_unsqueeze_restores_it() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::unconstrained("a"));
+        let b = topo.add_node(Node::unconstrained("b"));
+        let link = topo.connect_simple(a, b, 1_000.0).unwrap();
+        let mut network = Network::new(topo);
+        FailureSchedule::apply(
+            FailureEvent::Squeeze {
+                link,
+                permille: 750,
+            },
+            &mut network,
+        );
+        assert!((network.link_headroom(link, true).unwrap() - 250.0).abs() < 1e-9);
+        FailureSchedule::apply(FailureEvent::Unsqueeze(link), &mut network);
+        assert!((network.link_headroom(link, true).unwrap() - 1_000.0).abs() < 1e-9);
+        // Permille is clamped to 1000 (full squeeze, never negative).
+        FailureSchedule::apply(
+            FailureEvent::Squeeze {
+                link,
+                permille: 1_500,
+            },
+            &mut network,
+        );
+        assert_eq!(network.link_headroom(link, true).unwrap(), 0.0);
     }
 
     #[test]

@@ -14,15 +14,21 @@
 //! * [`report`] — delivery metrics and the *measured* satisfaction,
 //!   comparable against the algorithm's *predicted* satisfaction,
 //! * [`failure`] — a schedule of node/link failures to inject,
+//! * [`chaos`] — the deterministic chaos generator: a declarative
+//!   [`ChaosModel`] compiled into correlated network faults and
+//!   lease-expiry storms, bitwise reproducible from `(chaos_seed,
+//!   intensity)`,
 //! * [`resilience`] — the self-organizing part: stream, detect starvation
 //!   caused by an injected failure, re-compose on the surviving graph,
 //!   resume, and report the recovery gap.
 
+pub mod chaos;
 pub mod failure;
 pub mod report;
 pub mod resilience;
 pub mod session;
 
+pub use chaos::{ChaosAction, ChaosModel, ChaosPlan, ChaosSummary};
 pub use failure::{FailureEvent, FailureSchedule};
 pub use report::SessionReport;
 pub use resilience::{run_resilient, ResilienceConfig, ResilientRun, SegmentReport};

@@ -17,7 +17,7 @@ use crate::failure::FailureSchedule;
 use crate::report::SessionReport;
 use crate::session::{run_session, SessionConfig};
 use crate::Result;
-use qosc_core::{Composer, SelectOptions};
+use qosc_core::{degrade_profiles, Composer, DegradationRung, SelectOptions};
 use qosc_media::FormatRegistry;
 use qosc_netsim::{Network, NodeId, SimTime};
 use qosc_profiles::ProfileSet;
@@ -41,6 +41,15 @@ pub struct ResilienceConfig {
     pub preplan_backups: bool,
     /// Switch-over delay when a valid pre-planned backup exists.
     pub failover_timeout: SimTime,
+    /// Walk the [`DegradationRung`] ladder when composition at the
+    /// user's own floors yields no plan or a zero-satisfaction one: a
+    /// degraded stream beats a dark one (Section 3's policy).
+    pub ladder: bool,
+    /// Hard bound on re-compositions: a permanently partitioned network
+    /// would otherwise re-compose on every subsequent fault forever.
+    /// Hitting the bound sets [`ResilientRun::gave_up`] and the stream
+    /// stays dark for the rest of the run.
+    pub max_recompositions: usize,
     /// Selection options for (re-)composition.
     pub select: SelectOptions,
     /// Base RNG seed (per-segment seeds derive from it).
@@ -55,6 +64,8 @@ impl Default for ResilienceConfig {
             recompose: true,
             preplan_backups: false,
             failover_timeout: SimTime::from_millis(100),
+            ladder: false,
+            max_recompositions: 32,
             select: SelectOptions::default(),
             seed: 0,
         }
@@ -70,6 +81,12 @@ pub struct SegmentReport {
     pub duration: SimTime,
     /// Chain names of the active plan (empty = dark gap, no plan).
     pub chain: Vec<String>,
+    /// Predicted satisfaction of the active plan under the rung that
+    /// composed it (0.0 for gaps).
+    pub predicted: f64,
+    /// Degradation rung the active plan was composed at (`None` for
+    /// gaps).
+    pub rung: Option<DegradationRung>,
     /// Receiver-side measurements for the segment (all-zero for gaps).
     pub report: SessionReport,
 }
@@ -87,9 +104,33 @@ pub struct ResilientRun {
     /// chain (only when a fault hit the active chain and recovery
     /// happened).
     pub recovery_gap: Option<SimTime>,
+    /// The run hit [`ResilienceConfig::max_recompositions`] and stopped
+    /// trying; the remainder of the run is dark.
+    pub gave_up: bool,
     /// Time-weighted mean of measured satisfaction over the whole run
     /// (gaps count as zero).
     pub mean_satisfaction: f64,
+}
+
+impl ResilientRun {
+    /// Fraction of the run during which frames were actually delivered
+    /// (the scorecard's availability metric; dark gaps and starved
+    /// segments count against it).
+    pub fn availability(&self) -> f64 {
+        let total: f64 = self.segments.iter().map(|s| s.duration.as_secs_f64()).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let lit: f64 = self
+            .segments
+            .iter()
+            .filter(|s| s.report.frames_delivered > 0)
+            .map(|s| s.duration.as_secs_f64())
+            .sum();
+        // `Sum for f64` starts from -0.0; renormalize the empty case so
+        // a fully dark run reports +0.0.
+        (lit + 0.0) / total
+    }
 }
 
 /// Stream for `config.total_duration` while applying `schedule`,
@@ -111,44 +152,65 @@ pub fn run_resilient(
     let mut recovery_gap: Option<SimTime> = None;
 
     // Compose and, when pre-planning is on, derive backup plans from the
-    // same graph.
+    // same graph. With the ladder enabled, a rung that yields no plan —
+    // or only a plan below the user's satisfaction floor (predicted
+    // satisfaction 0, worthless to deliver) — falls through to the next,
+    // more degraded rung.
+    let rungs: &[DegradationRung] = if config.ladder {
+        &DegradationRung::LADDER
+    } else {
+        &DegradationRung::LADDER[..1]
+    };
     let compose_now = |network: &Network| -> Result<(
         Option<qosc_core::AdaptationPlan>,
         Vec<qosc_core::AdaptationPlan>,
+        Option<DegradationRung>,
     )> {
         let composer = Composer {
             formats,
             services,
             network,
         };
-        let composition = composer.compose(profiles, sender_host, receiver_host, &config.select)?;
-        let mut backups = Vec::new();
-        if config.preplan_backups {
-            if let Some(chain) = &composition.selection.chain {
-                let profile = profiles.effective_satisfaction();
-                for alternate in qosc_core::select::alternates(
-                    &composition.graph,
-                    formats,
-                    &profile,
-                    profiles.user.budget_or_infinite(),
-                    chain,
-                    4,
-                    &config.select,
-                )? {
-                    backups.push(qosc_core::AdaptationPlan::from_chain(
+        for &rung in rungs {
+            let rung_profiles = degrade_profiles(profiles, rung);
+            let composition =
+                composer.compose(&rung_profiles, sender_host, receiver_host, &config.select)?;
+            let Some(plan) = composition.plan else {
+                continue;
+            };
+            if plan.predicted_satisfaction <= 0.0 {
+                continue;
+            }
+            let mut backups = Vec::new();
+            if config.preplan_backups {
+                if let Some(chain) = &composition.selection.chain {
+                    let rung_profile = rung_profiles.effective_satisfaction();
+                    for alternate in qosc_core::select::alternates(
                         &composition.graph,
                         formats,
-                        &alternate.chain,
-                    )?);
+                        &rung_profile,
+                        rung_profiles.user.budget_or_infinite(),
+                        chain,
+                        4,
+                        &config.select,
+                    )? {
+                        backups.push(qosc_core::AdaptationPlan::from_chain(
+                            &composition.graph,
+                            formats,
+                            &alternate.chain,
+                        )?);
+                    }
                 }
             }
+            return Ok((Some(plan), backups, Some(rung)));
         }
-        Ok((composition.plan, backups))
+        Ok((None, Vec::new(), None))
     };
 
     let mut now = SimTime::ZERO;
     let mut failovers = 0usize;
-    let (mut plan, mut backups) = compose_now(network)?;
+    let mut gave_up = false;
+    let (mut plan, mut backups, mut rung) = compose_now(network)?;
     let mut faults = schedule.events().to_vec();
     let mut pending_fault_at: Option<SimTime> = None; // time of the chain-killing fault
     let mut segment_index = 0u64;
@@ -187,6 +249,8 @@ pub fn run_resilient(
                             start: now,
                             duration: segment_duration,
                             chain: active.steps.iter().map(|s| s.name.clone()).collect(),
+                            predicted: active.predicted_satisfaction,
+                            rung,
                             report,
                         });
                     }
@@ -195,6 +259,8 @@ pub fn run_resilient(
                             start: now,
                             duration: segment_duration,
                             chain: Vec::new(),
+                            predicted: 0.0,
+                            rung: None,
                             report: SessionReport::default(),
                         });
                     }
@@ -207,6 +273,8 @@ pub fn run_resilient(
                     start: now,
                     duration: SimTime(segment_end.as_micros() - now.as_micros()),
                     chain: Vec::new(),
+                    predicted: 0.0,
+                    rung: None,
                     report: SessionReport::default(),
                 });
             }
@@ -238,13 +306,15 @@ pub fn run_resilient(
                                 start: now,
                                 duration: SimTime(gap_end.as_micros() - now.as_micros()),
                                 chain: Vec::new(),
+                                predicted: 0.0,
+                                rung: None,
                                 report: SessionReport::default(),
                             });
                             now = gap_end;
                         }
                         plan = Some(backups.remove(index));
                         failovers += 1;
-                    } else if config.recompose {
+                    } else if config.recompose && recompositions < config.max_recompositions {
                         // Detection delay: the stream is dark while the
                         // monitor notices.
                         let gap_end = now
@@ -255,15 +325,23 @@ pub fn run_resilient(
                                 start: now,
                                 duration: SimTime(gap_end.as_micros() - now.as_micros()),
                                 chain: Vec::new(),
+                                predicted: 0.0,
+                                rung: None,
                                 report: SessionReport::default(),
                             });
                             now = gap_end;
                         }
-                        let (new_plan, new_backups) = compose_now(network)?;
+                        let (new_plan, new_backups, new_rung) = compose_now(network)?;
                         plan = new_plan;
                         backups = new_backups;
+                        rung = new_rung;
                         recompositions += 1;
                     } else {
+                        // Either recovery is disabled, or the
+                        // re-composition budget is spent: stop trying.
+                        if config.recompose {
+                            gave_up = true;
+                        }
                         plan = None;
                     }
                 }
@@ -284,6 +362,7 @@ pub fn run_resilient(
         recompositions,
         failovers,
         recovery_gap,
+        gave_up,
         mean_satisfaction,
     })
 }
@@ -386,6 +465,125 @@ mod tests {
         // Roughly: 10 s of 0.66 out of 30 s ≈ 0.22, and nothing after.
         assert!(run.mean_satisfaction < 0.3);
         assert!(run.segments.last().unwrap().chain.is_empty());
+    }
+
+    #[test]
+    fn permanent_partition_hits_the_recomposition_bound_and_gives_up() {
+        use qosc_media::{
+            Axis, AxisDomain, BitrateModel, DomainVector, FormatSpec, MediaKind, VariantSpec,
+        };
+        use qosc_netsim::{Network, Node, Topology};
+        use qosc_profiles::{
+            ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps,
+            NetworkProfile, ProfileSet, ServiceSpec, UserProfile,
+        };
+        use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+        use qosc_services::{ServiceRegistry, TranscoderDescriptor};
+
+        let mut formats = qosc_media::FormatRegistry::new();
+        let linear = BitrateModel::LinearOnAxis {
+            axis: Axis::FrameRate,
+            slope: 1000.0,
+        };
+        formats.register(FormatSpec::new("A", MediaKind::Video, linear));
+        formats.register(FormatSpec::new("B", MediaKind::Video, linear));
+
+        // Two disjoint paths, but the only transcoder lives on `proxy`:
+        // once it dies, the surviving relay path cannot convert A → B
+        // and every re-composition comes back empty.
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let relay = topo.add_node(Node::unconstrained("relay"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 1e6).unwrap();
+        topo.connect_simple(proxy, client, 1e6).unwrap();
+        topo.connect_simple(server, relay, 1e6).unwrap();
+        let relay_client = topo.connect_simple(relay, client, 1e6).unwrap();
+        let mut network = Network::new(topo);
+
+        let mut services = ServiceRegistry::new();
+        let spec = ServiceSpec::new(
+            "T",
+            vec![ConversionSpec::new(
+                "A",
+                "B",
+                DomainVector::new().with(
+                    Axis::FrameRate,
+                    AxisDomain::Continuous {
+                        min: 0.0,
+                        max: 30.0,
+                    },
+                ),
+            )],
+        );
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+
+        let profiles = ProfileSet {
+            user: UserProfile::new(
+                "viewer",
+                SatisfactionProfile::new().with(AxisPreference::new(
+                    Axis::FrameRate,
+                    SatisfactionFn::Linear {
+                        min_acceptable: 0.0,
+                        ideal: 30.0,
+                    },
+                )),
+            ),
+            content: ContentProfile::new(
+                "clip",
+                vec![VariantSpec {
+                    format: "A".to_string(),
+                    offered: DomainVector::new().with(
+                        Axis::FrameRate,
+                        AxisDomain::Continuous {
+                            min: 0.0,
+                            max: 30.0,
+                        },
+                    ),
+                }],
+            ),
+            device: DeviceProfile::new("dev", vec!["B".to_string()], HardwareCaps::desktop()),
+            context: ContextProfile::default(),
+            network: NetworkProfile::lan(),
+        };
+
+        // The proxy dies for good at t = 5 s; later flaps on the relay
+        // path keep prodding the monitor, which would re-compose on
+        // every one of them without the bound.
+        let mut schedule =
+            FailureSchedule::new().at(SimTime::from_secs(5), FailureEvent::NodeDown(proxy));
+        for t in [8u64, 11, 14, 17, 20] {
+            schedule = schedule
+                .at(SimTime::from_secs(t), FailureEvent::LinkDown(relay_client))
+                .at(
+                    SimTime::from_secs(t + 1),
+                    FailureEvent::LinkUp(relay_client),
+                );
+        }
+        let config = ResilienceConfig {
+            max_recompositions: 2,
+            ..ResilienceConfig::default()
+        };
+        let run = run_resilient(
+            &formats,
+            &services,
+            &mut network,
+            &profiles,
+            server,
+            client,
+            &schedule,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(
+            run.recompositions, 2,
+            "the bound caps re-composition attempts"
+        );
+        assert!(run.gave_up, "hitting the bound is reported");
+        assert!(run.segments.last().unwrap().chain.is_empty());
+        assert!(run.availability() < 0.5, "most of the run is dark");
+        assert!(run.availability() > 0.0, "the pre-fault stream delivered");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod registry;
 pub use descriptor::{Conversion, ServiceId, TranscoderDescriptor};
 pub use discovery::{DiscoveryConfig, DiscoveryDriver, MemberId};
 pub use host::{AdmissionId, HostResources};
-pub use registry::{RegistryEvent, ServiceRegistry};
+pub use registry::{QuarantineConfig, RegistryEvent, ServiceRegistry};
 
 use qosc_netsim::NodeId;
 

@@ -32,6 +32,28 @@ pub enum RegistryEvent {
     Expired(ServiceId),
     /// A service was explicitly removed.
     Deregistered(ServiceId),
+    /// The circuit breaker opened: too many reported failures.
+    Quarantined(ServiceId),
+    /// A quarantine cool-down elapsed; the service is advertised again.
+    Reinstated(ServiceId),
+}
+
+/// Circuit-breaker policy for [`ServiceRegistry::report_failure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long a quarantined service stays out of `accepting`/`producing`.
+    pub cooldown_us: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> QuarantineConfig {
+        QuarantineConfig {
+            failure_threshold: 3,
+            cooldown_us: 5_000_000,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -39,6 +61,10 @@ struct Entry {
     descriptor: TranscoderDescriptor,
     lease_until: SimTime,
     alive: bool,
+    /// Consecutive session-reported failures since the last success.
+    failures: u32,
+    /// `Some(t)`: excluded from lookups until `t` has passed.
+    quarantined_until: Option<SimTime>,
 }
 
 /// The service registry.
@@ -52,6 +78,7 @@ pub struct ServiceRegistry {
     /// (vertex, output-format) pair, so this index is what keeps builds
     /// linear in the edge count rather than quadratic in services.
     by_input: HashMap<FormatId, Vec<ServiceId>>,
+    quarantine: QuarantineConfig,
 }
 
 impl ServiceRegistry {
@@ -77,6 +104,8 @@ impl ServiceRegistry {
             descriptor,
             lease_until: now.plus_micros(ttl_us),
             alive: true,
+            failures: 0,
+            quarantined_until: None,
         });
         self.events.push(RegistryEvent::Registered(id));
         id
@@ -146,20 +175,27 @@ impl ServiceRegistry {
             .map(|(i, e)| (ServiceId(i as u32), &e.descriptor))
     }
 
-    /// Live services accepting `format` as input, in registration order.
-    /// This is the lookup graph construction performs for every frontier
-    /// format; it is index-backed and O(matches).
+    /// Advertised services accepting `format` as input, in registration
+    /// order: live leases that are not quarantined. This is the lookup
+    /// graph construction performs for every frontier format; it is
+    /// index-backed and O(matches).
     pub fn accepting(&self, format: FormatId) -> Vec<ServiceId> {
         self.by_input
             .get(&format)
-            .map(|ids| ids.iter().copied().filter(|&id| self.is_live(id)).collect())
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.is_available(id))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
-    /// Live services producing `format` as output, in registration order.
+    /// Advertised services producing `format` as output, in registration
+    /// order (live leases that are not quarantined).
     pub fn producing(&self, format: FormatId) -> Vec<ServiceId> {
         self.live_services()
-            .filter(|(_, d)| d.produces(format))
+            .filter(|&(id, d)| d.produces(format) && !self.is_quarantined(id))
             .map(|(id, _)| id)
             .collect()
     }
@@ -172,6 +208,84 @@ impl ServiceRegistry {
     /// The event log since construction.
     pub fn events(&self) -> &[RegistryEvent] {
         &self.events
+    }
+
+    /// Replace the circuit-breaker policy (defaults to
+    /// [`QuarantineConfig::default`]).
+    pub fn set_quarantine_config(&mut self, config: QuarantineConfig) {
+        self.quarantine = config;
+    }
+
+    /// The active circuit-breaker policy.
+    pub fn quarantine_config(&self) -> QuarantineConfig {
+        self.quarantine
+    }
+
+    /// A session reports that `id` failed (crash mid-stream, revalidation
+    /// miss, …). After `failure_threshold` consecutive failures the
+    /// breaker opens: the service is excluded from [`Self::accepting`] /
+    /// [`Self::producing`] until `now + cooldown_us` has *passed* and
+    /// [`Self::release_quarantines`] runs. Returns `true` when this
+    /// report opened the breaker.
+    ///
+    /// Failure reports are about *behaviour*, not leases: the lease stays
+    /// live (the service still answers renewals), so discovery keeps
+    /// working and the service rejoins automatically after the cool-down.
+    pub fn report_failure(&mut self, id: ServiceId, now: SimTime) -> Result<bool> {
+        let cooldown = self.quarantine.cooldown_us;
+        let threshold = self.quarantine.failure_threshold;
+        let entry = self.live_entry_mut(id)?;
+        entry.failures = entry.failures.saturating_add(1);
+        if entry.quarantined_until.is_none() && entry.failures >= threshold {
+            entry.quarantined_until = Some(now.plus_micros(cooldown));
+            self.events.push(RegistryEvent::Quarantined(id));
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// A session reports that `id` served successfully: the consecutive
+    /// failure count resets. An already-open breaker stays open until its
+    /// cool-down elapses (half-open probes do not close it early).
+    pub fn report_success(&mut self, id: ServiceId) -> Result<()> {
+        let entry = self.live_entry_mut(id)?;
+        entry.failures = 0;
+        Ok(())
+    }
+
+    /// Whether `id` is currently quarantined.
+    pub fn is_quarantined(&self, id: ServiceId) -> bool {
+        self.entries
+            .get(id.index())
+            .map(|e| e.quarantined_until.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Whether `id` is advertised: live lease and not quarantined. This
+    /// is the availability check cached-plan revalidation uses.
+    pub fn is_available(&self, id: ServiceId) -> bool {
+        self.is_live(id) && !self.is_quarantined(id)
+    }
+
+    /// Release every quarantine whose cool-down has passed. Mirrors
+    /// [`Self::expire_leases`]: a quarantine is still in force at exactly
+    /// its release time (strict `<`). Returns reinstated ids in
+    /// registration order.
+    pub fn release_quarantines(&mut self, now: SimTime) -> Vec<ServiceId> {
+        let mut reinstated = Vec::new();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if let Some(until) = entry.quarantined_until {
+                if until < now {
+                    entry.quarantined_until = None;
+                    entry.failures = 0;
+                    reinstated.push(ServiceId(i as u32));
+                }
+            }
+        }
+        for &id in &reinstated {
+            self.events.push(RegistryEvent::Reinstated(id));
+        }
+        reinstated
     }
 
     fn live_entry_mut(&mut self, id: ServiceId) -> Result<&mut Entry> {
@@ -264,6 +378,67 @@ mod tests {
                 RegistryEvent::Deregistered(id2),
             ]
         );
+    }
+
+    #[test]
+    fn quarantine_opens_after_threshold_and_releases_after_cooldown() {
+        let (mut reg, formats, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 3,
+            cooldown_us: 1_000,
+        });
+        let fin = formats.lookup("in").unwrap();
+        let fout = formats.lookup("out").unwrap();
+        assert!(!reg.report_failure(id, SimTime(10)).unwrap());
+        assert!(!reg.report_failure(id, SimTime(20)).unwrap());
+        assert!(!reg.is_quarantined(id));
+        assert!(reg.report_failure(id, SimTime(30)).unwrap());
+        assert!(reg.is_quarantined(id));
+        // Quarantined services vanish from lookups but stay live.
+        assert!(reg.accepting(fin).is_empty());
+        assert!(reg.producing(fout).is_empty());
+        assert!(reg.is_live(id));
+        assert!(!reg.is_available(id));
+        // Still in force at exactly the release time (strict `<`).
+        assert!(reg.release_quarantines(SimTime(1_030)).is_empty());
+        assert!(reg.is_quarantined(id));
+        assert_eq!(reg.release_quarantines(SimTime(1_031)), vec![id]);
+        assert!(!reg.is_quarantined(id));
+        assert_eq!(reg.accepting(fin), vec![id]);
+        assert_eq!(
+            reg.events().last(),
+            Some(&RegistryEvent::Reinstated(id)),
+            "reinstatement is observable"
+        );
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 2,
+            cooldown_us: 1_000,
+        });
+        assert!(!reg.report_failure(id, SimTime(10)).unwrap());
+        reg.report_success(id).unwrap();
+        assert!(!reg.report_failure(id, SimTime(20)).unwrap());
+        assert!(
+            !reg.is_quarantined(id),
+            "success between failures keeps the breaker closed"
+        );
+        assert!(reg.report_failure(id, SimTime(30)).unwrap());
+        assert!(reg.events().contains(&RegistryEvent::Quarantined(id)));
+    }
+
+    #[test]
+    fn failure_reports_on_dead_services_error() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor, SimTime::ZERO, 100);
+        reg.expire_leases(SimTime(200));
+        assert!(reg.report_failure(id, SimTime(300)).is_err());
+        assert!(reg.report_success(id).is_err());
     }
 
     #[test]

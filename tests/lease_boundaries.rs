@@ -1,0 +1,105 @@
+//! Lease-boundary semantics the chaos harness leans on.
+//!
+//! The chaos generator schedules lease-expiry storms against exact
+//! `SimTime` instants, so the off-by-one behaviour of `expire_leases`
+//! must be pinned: a lease is *live at exactly* `lease_until` (expiry
+//! uses strict `<`), renewing an expired advertisement errs (forcing
+//! re-registration through `DiscoveryDriver::tick`), and a
+//! crash→tick→revive round-trip restores advertisement.
+
+use qosc_media::{DomainVector, FormatRegistry, MediaKind};
+use qosc_netsim::{Node, SimTime, Topology};
+use qosc_profiles::{ConversionSpec, ServiceSpec};
+use qosc_services::{
+    DiscoveryConfig, DiscoveryDriver, RegistryEvent, ServiceRegistry, TranscoderDescriptor,
+};
+
+fn descriptor(formats: &mut FormatRegistry) -> TranscoderDescriptor {
+    formats.register_abstract("in", MediaKind::Video);
+    formats.register_abstract("out", MediaKind::Video);
+    let mut topo = Topology::new();
+    let host = topo.add_node(Node::unconstrained("host"));
+    let spec = ServiceSpec::new(
+        "svc",
+        vec![ConversionSpec::new("in", "out", DomainVector::new())],
+    );
+    TranscoderDescriptor::resolve(&spec, formats, host).unwrap()
+}
+
+#[test]
+fn lease_is_live_at_exactly_lease_until() {
+    let mut formats = FormatRegistry::new();
+    let mut registry = ServiceRegistry::new();
+    let id = registry.register(descriptor(&mut formats), SimTime::ZERO, 1_000);
+    // `expire_leases` uses strict `<`: the advertisement survives a
+    // sweep at exactly lease_until…
+    assert!(registry.expire_leases(SimTime(1_000)).is_empty());
+    assert!(registry.is_live(id));
+    // …and dies one microsecond later.
+    assert_eq!(registry.expire_leases(SimTime(1_001)), vec![id]);
+    assert!(!registry.is_live(id));
+}
+
+#[test]
+fn renewing_an_expired_advertisement_errs() {
+    let mut formats = FormatRegistry::new();
+    let mut registry = ServiceRegistry::new();
+    let id = registry.register(descriptor(&mut formats), SimTime::ZERO, 1_000);
+    registry.expire_leases(SimTime(5_000));
+    assert!(
+        registry.renew(id, SimTime(5_000), 1_000).is_err(),
+        "an expired advertisement cannot be renewed — members must re-register"
+    );
+    // The failed renewal leaves no spurious event behind.
+    assert_eq!(
+        registry.events(),
+        &[RegistryEvent::Registered(id), RegistryEvent::Expired(id)]
+    );
+}
+
+#[test]
+fn renewal_at_exactly_lease_until_succeeds() {
+    let mut formats = FormatRegistry::new();
+    let mut registry = ServiceRegistry::new();
+    let id = registry.register(descriptor(&mut formats), SimTime::ZERO, 1_000);
+    // The advertisement is still live at its boundary, so a renewal
+    // issued exactly then extends it without churn.
+    registry.renew(id, SimTime(1_000), 1_000).unwrap();
+    assert!(registry.expire_leases(SimTime(2_000)).is_empty());
+    assert!(registry.is_live(id));
+}
+
+#[test]
+fn crash_tick_revive_round_trip_restores_advertisement() {
+    let mut formats = FormatRegistry::new();
+    let mut registry = ServiceRegistry::new();
+    let mut driver = DiscoveryDriver::new(DiscoveryConfig {
+        ttl: SimTime::from_secs(5),
+    });
+    let member = driver.join(&mut registry, descriptor(&mut formats), SimTime::ZERO);
+    assert!(driver.is_advertised(&registry, member));
+
+    // Crash: the member silently stops renewing. Inside the staleness
+    // window the stale advertisement is still visible.
+    driver.crash(member);
+    driver.tick(&mut registry, SimTime::from_secs(4));
+    assert!(driver.is_advertised(&registry, member));
+
+    // After TTL the lease expires with no coordination.
+    let expired = driver.tick(&mut registry, SimTime::from_secs(6));
+    assert_eq!(expired, 1);
+    assert!(!driver.is_advertised(&registry, member));
+    assert_eq!(registry.live_count(), 0);
+
+    // Revive: the member re-registers under a fresh ServiceId and keeps
+    // renewing on subsequent ticks.
+    driver
+        .revive(&mut registry, member, SimTime::from_secs(7))
+        .unwrap();
+    assert!(driver.is_advertised(&registry, member));
+    for t in 8..=30 {
+        driver.tick(&mut registry, SimTime::from_secs(t));
+        assert!(driver.is_advertised(&registry, member), "t = {t}");
+    }
+    assert_eq!(registry.live_count(), 1);
+}
