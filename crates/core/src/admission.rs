@@ -1,0 +1,981 @@
+//! Admission control and overload protection.
+//!
+//! `serve_batch_resilient` survives *faults*; this module makes the
+//! front-end survive *load*. Past saturation an unprotected queue
+//! grows without bound, every request times out after consuming a
+//! worker, and goodput collapses batch-wide. The admission queue in
+//! front of the composition engine keeps goodput flat instead:
+//!
+//! * **Deadline-aware shedding** — a request whose *predicted* queue
+//!   wait already exceeds its `deadline_budget_us` is rejected
+//!   immediately (shed) instead of timing out after consuming a worker.
+//!   Work we know we cannot finish in time is refused at the door.
+//! * **Priority classes** — [`PriorityClass::Interactive`] /
+//!   `Standard` / `Background` with strict-priority dequeue and
+//!   per-class bounded queues, so background traffic can never starve
+//!   interactive requests.
+//! * **Adaptive concurrency** — an AIMD limiter on observed composition
+//!   latency versus deadline headroom: deadline-met completions
+//!   additively widen the limit, a deadline miss multiplicatively
+//!   shrinks it. Clocked on recorded virtual time (like the engine's
+//!   recorded-not-slept backoff), so the limit trajectory is
+//!   machine-independent.
+//! * **Brown-out** — sustained queue pressure lowers the starting
+//!   [`DegradationRung`] for admitted requests: serve more users
+//!   slightly degraded instead of fewer users at full quality. A
+//!   degraded composition is also cheaper (its virtual service cost is
+//!   scaled down), which is what actually drains the queue. Pressure
+//!   receding steps the rung back up.
+//!
+//! Everything runs on a **virtual clock**: arrivals carry virtual
+//! timestamps and virtual service costs (microseconds of simulated
+//! composition work), and [`plan_admission`] is a sequential
+//! discrete-event simulation over them — pure in `(arrivals, config)`,
+//! so decisions, queue waits and the AIMD trajectory are byte-identical
+//! across runs, machines, and worker counts. The *plans* of admitted
+//! requests are then computed by the real composer on a worker pool;
+//! admission is a front-end, not a scoring change.
+
+use crate::engine::DegradationRung;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Scheduling class of an offered request, best first. Strict-priority
+/// dequeue: a queued `Interactive` request always starts before a
+/// queued `Standard` one, which always starts before `Background`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// A user is waiting on the response; tight deadline.
+    Interactive,
+    /// Ordinary foreground traffic.
+    Standard,
+    /// Prefetch/batch traffic; loose or no deadline, first to wait.
+    Background,
+}
+
+impl PriorityClass {
+    /// All classes, best first.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Interactive,
+        PriorityClass::Standard,
+        PriorityClass::Background,
+    ];
+
+    /// Queue index (0 = highest priority).
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Standard => 1,
+            PriorityClass::Background => 2,
+        }
+    }
+
+    /// Stable machine-readable name (used by scorecards).
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Background => "background",
+        }
+    }
+}
+
+impl std::fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Virtual-time metadata of one offered request. Parallel to the
+/// `CompositionRequest` slice handed to
+/// [`serve_batch_with_admission`](crate::engine::serve_batch_with_admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalMeta {
+    /// Virtual arrival time, microseconds.
+    pub arrival_us: u64,
+    /// Scheduling class.
+    pub priority: PriorityClass,
+    /// Predicted composition cost at full quality, virtual
+    /// microseconds. Brown-out scales it down per rung.
+    pub service_cost_us: u64,
+    /// End-to-end budget: the request is *good* only if its virtual
+    /// finish lands within `arrival_us + budget`. `None` = best-effort.
+    pub deadline_budget_us: Option<u64>,
+}
+
+/// Why a request was refused at (or timed out inside) the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Its class queue was at capacity.
+    QueueFull,
+    /// The predicted queue wait alone already exceeded its deadline
+    /// budget — finishing in time was impossible at arrival.
+    PredictedLate,
+    /// Admitted, but the deadline lapsed while still queued (the
+    /// prediction was optimistic); dropped at dequeue without consuming
+    /// a worker.
+    QueueTimeout,
+}
+
+impl ShedReason {
+    /// Stable machine-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::PredictedLate => "predicted_late",
+            ShedReason::QueueTimeout => "queue_timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning for the admission front-end. All-integer so the simulation
+/// is exactly reproducible; `Copy` so it rides inside
+/// [`ResilientEngineConfig`](crate::engine::ResilientEngineConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Refuse requests whose predicted queue wait exceeds their budget.
+    pub deadline_shed: bool,
+    /// Strict-priority dequeue with per-class queues. When `false`
+    /// every class shares one FIFO (capacity ×3).
+    pub priority: bool,
+    /// Lower the starting rung under sustained queue pressure.
+    pub brownout: bool,
+    /// Run the AIMD limiter. When `false` the limit stays at
+    /// `initial_limit`.
+    pub adaptive: bool,
+    /// Bounded queue capacity per class (`usize::MAX` = unbounded, the
+    /// unprotected baseline).
+    pub queue_capacity: usize,
+    /// Knee of the virtual latency curve: running more compositions
+    /// than this inflates their service time (`overload_penalty_pct`).
+    pub virtual_cores: u32,
+    /// Concurrency limit at t=0.
+    pub initial_limit: u32,
+    /// AIMD floor.
+    pub min_limit: u32,
+    /// AIMD ceiling.
+    pub max_limit: u32,
+    /// Additive increase applied after `aimd_window` deadline-met
+    /// completions.
+    pub aimd_increase: u32,
+    /// Deadline-met completions per additive increase.
+    pub aimd_window: u32,
+    /// Multiplicative decrease on a deadline miss: `limit := limit *
+    /// pct / 100`.
+    pub aimd_decrease_pct: u32,
+    /// Minimum virtual time between two decreases (one burst of misses
+    /// is one signal, not ten).
+    pub aimd_cooldown_us: u64,
+    /// Service-time inflation, percent per running composition above
+    /// `virtual_cores`.
+    pub overload_penalty_pct: u32,
+    /// Queue occupancy (percent of total capacity) that arms a
+    /// brown-out step down.
+    pub brownout_enter_pct: u32,
+    /// Occupancy at or below which recovery arms a step up.
+    pub brownout_exit_pct: u32,
+    /// Consecutive arrivals the occupancy must hold beyond a watermark
+    /// before the rung steps ("sustained", not one burst).
+    pub brownout_dwell: u32,
+    /// Virtual service-cost multiplier per rung, percent, indexed by
+    /// [`DegradationRung::LADDER`] — degraded compositions are cheaper,
+    /// which is what drains the queue.
+    pub rung_cost_pct: [u32; 4],
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            deadline_shed: true,
+            priority: true,
+            brownout: true,
+            adaptive: true,
+            queue_capacity: 64,
+            virtual_cores: 4,
+            initial_limit: 4,
+            min_limit: 1,
+            max_limit: 16,
+            aimd_increase: 1,
+            aimd_window: 8,
+            aimd_decrease_pct: 50,
+            aimd_cooldown_us: 50_000,
+            overload_penalty_pct: 20,
+            brownout_enter_pct: 50,
+            brownout_exit_pct: 15,
+            brownout_dwell: 8,
+            rung_cost_pct: [100, 85, 70, 55],
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The unprotected baseline: one unbounded FIFO, fixed concurrency,
+    /// no shedding, no brown-out — what `serve_batch_resilient` does
+    /// implicitly today.
+    pub fn unprotected() -> AdmissionConfig {
+        AdmissionConfig {
+            deadline_shed: false,
+            priority: false,
+            brownout: false,
+            adaptive: false,
+            queue_capacity: usize::MAX,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Deadline shedding + bounded queue + adaptive limit, one class.
+    pub fn shed_only() -> AdmissionConfig {
+        AdmissionConfig {
+            priority: false,
+            brownout: false,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Shedding plus strict-priority classes, no brown-out.
+    pub fn shed_priority() -> AdmissionConfig {
+        AdmissionConfig {
+            brownout: false,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Everything on (the default).
+    pub fn protected() -> AdmissionConfig {
+        AdmissionConfig::default()
+    }
+
+    fn class_of(&self, priority: PriorityClass) -> usize {
+        if self.priority {
+            priority.index()
+        } else {
+            0
+        }
+    }
+
+    fn per_queue_capacity(&self) -> usize {
+        if self.priority {
+            self.queue_capacity
+        } else {
+            self.queue_capacity.saturating_mul(3)
+        }
+    }
+
+    fn rung_cost(&self, cost_us: u64, rung: DegradationRung) -> u64 {
+        let pct = self.rung_cost_pct[rung as usize].max(1) as u64;
+        cost_us.max(1).saturating_mul(pct) / 100
+    }
+}
+
+/// What the admission queue decided for one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionDecision {
+    /// The request reached a worker (a composition will run).
+    pub admitted: bool,
+    /// Why it did not, when it did not.
+    pub shed: Option<ShedReason>,
+    /// Virtual time spent queued before starting (or before the
+    /// queue-timeout drop).
+    pub queue_wait_us: u64,
+    /// Virtual service start (admitted only).
+    pub start_us: u64,
+    /// Virtual completion (admitted only).
+    pub finish_us: u64,
+    /// `finish - arrival` (admitted only; 0 when shed at arrival).
+    pub latency_us: u64,
+    /// Degradation rung the composition starts at — `Full` unless
+    /// brown-out was active when the request started.
+    pub start_rung: DegradationRung,
+    /// Concurrency limit in force at start.
+    pub limit_at_start: u32,
+    /// The virtual finish landed within the deadline budget (always
+    /// `true` for best-effort requests that were admitted).
+    pub deadline_met: bool,
+}
+
+impl AdmissionDecision {
+    fn shed(reason: ShedReason, queue_wait_us: u64) -> AdmissionDecision {
+        AdmissionDecision {
+            admitted: false,
+            shed: Some(reason),
+            queue_wait_us,
+            start_us: 0,
+            finish_us: 0,
+            latency_us: 0,
+            start_rung: DegradationRung::Full,
+            limit_at_start: 0,
+            deadline_met: false,
+        }
+    }
+}
+
+/// Aggregates over one admission plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests that reached a worker.
+    pub admitted: usize,
+    /// Shed: class queue at capacity.
+    pub shed_queue_full: usize,
+    /// Shed: predicted wait exceeded the budget at arrival.
+    pub shed_predicted_late: usize,
+    /// Shed: deadline lapsed while queued.
+    pub shed_queue_timeout: usize,
+    /// Admitted but finished past the budget.
+    pub deadline_misses: usize,
+    /// Deepest total queue observed.
+    pub peak_queue_depth: usize,
+    /// Most compositions running at once.
+    pub peak_in_flight: u32,
+    /// Concurrency limit after the last event.
+    pub final_limit: u32,
+    /// Lowest limit the AIMD controller reached.
+    pub min_limit_seen: u32,
+    /// Multiplicative decreases taken.
+    pub limit_decreases: u32,
+    /// Brown-out steps down taken.
+    pub brownout_steps: u32,
+    /// Worst starting rung handed to any admitted request.
+    pub peak_rung: DegradationRung,
+}
+
+impl AdmissionStats {
+    /// All sheds together.
+    pub fn shed_total(&self) -> usize {
+        self.shed_queue_full + self.shed_predicted_late + self.shed_queue_timeout
+    }
+}
+
+/// One decision per offered request (by index), plus aggregates.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    /// Indexed like the input arrivals.
+    pub decisions: Vec<AdmissionDecision>,
+    /// Aggregates.
+    pub stats: AdmissionStats,
+}
+
+// ---------------------------------------------------------------------
+// The simulation
+// ---------------------------------------------------------------------
+
+struct Sim<'a> {
+    config: &'a AdmissionConfig,
+    arrivals: &'a [ArrivalMeta],
+    decisions: Vec<Option<AdmissionDecision>>,
+    /// Per-class FIFO of request indices (class 0 only when
+    /// `!config.priority`).
+    queues: [VecDeque<usize>; 3],
+    /// `(finish_us, seq, index)` of running compositions, min-first.
+    running: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    in_flight: u32,
+    limit: u32,
+    successes: u32,
+    last_decrease_us: Option<u64>,
+    /// Brown-out state: current rung index into the ladder plus dwell
+    /// counters.
+    rung: usize,
+    above: u32,
+    below: u32,
+    seq: u64,
+    stats: AdmissionStats,
+}
+
+impl<'a> Sim<'a> {
+    fn new(config: &'a AdmissionConfig, arrivals: &'a [ArrivalMeta]) -> Sim<'a> {
+        let limit = config
+            .initial_limit
+            .max(config.min_limit)
+            .min(config.max_limit.max(1))
+            .max(1);
+        Sim {
+            config,
+            arrivals,
+            decisions: vec![None; arrivals.len()],
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            running: BinaryHeap::new(),
+            in_flight: 0,
+            limit,
+            successes: 0,
+            last_decrease_us: None,
+            rung: 0,
+            above: 0,
+            below: 0,
+            seq: 0,
+            stats: AdmissionStats {
+                offered: arrivals.len(),
+                final_limit: limit,
+                min_limit_seen: limit,
+                ..AdmissionStats::default()
+            },
+        }
+    }
+
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn current_rung(&self) -> DegradationRung {
+        DegradationRung::LADDER[self.rung]
+    }
+
+    /// Complete every running composition with `finish <= t`, freeing
+    /// slots and starting queued work at each completion instant.
+    fn drain_until(&mut self, t: u64) {
+        while let Some(&Reverse((finish, _, index))) = self.running.peek() {
+            if finish > t {
+                return;
+            }
+            self.running.pop();
+            self.in_flight -= 1;
+            self.aimd_on_completion(index, finish);
+            self.start_queued(finish);
+        }
+    }
+
+    fn aimd_on_completion(&mut self, index: usize, now_us: u64) {
+        if !self.config.adaptive {
+            return;
+        }
+        let met = self.decisions[index]
+            .as_ref()
+            .map(|d| d.deadline_met)
+            .unwrap_or(true);
+        if met {
+            // Probe upward only while the limit is binding (slots were
+            // saturated or work is waiting) — an idle system gives no
+            // evidence that more concurrency would be safe.
+            let binding = self.queued_total() > 0 || self.in_flight + 1 >= self.limit;
+            if binding {
+                self.successes += 1;
+            }
+            if self.successes >= self.config.aimd_window.max(1) {
+                self.successes = 0;
+                self.limit = self
+                    .limit
+                    .saturating_add(self.config.aimd_increase)
+                    .min(self.config.max_limit.max(1));
+            }
+        } else {
+            self.successes = 0;
+            let cooled = self
+                .last_decrease_us
+                .map(|t0| now_us.saturating_sub(t0) >= self.config.aimd_cooldown_us)
+                .unwrap_or(true);
+            if cooled {
+                let shrunk = (self.limit as u64 * self.config.aimd_decrease_pct.min(100) as u64
+                    / 100) as u32;
+                self.limit = shrunk.max(self.config.min_limit.max(1));
+                self.last_decrease_us = Some(now_us);
+                self.stats.limit_decreases += 1;
+                self.stats.min_limit_seen = self.stats.min_limit_seen.min(self.limit);
+            }
+        }
+        self.stats.final_limit = self.limit;
+    }
+
+    /// Brown-out controller, ticked once per arrival: occupancy held
+    /// beyond a watermark for `brownout_dwell` consecutive arrivals
+    /// steps the rung.
+    fn tick_brownout(&mut self) {
+        if !self.config.brownout || self.config.queue_capacity == usize::MAX {
+            return;
+        }
+        let capacity = self.per_capacity_total();
+        let occupancy_pct = (self.queued_total().saturating_mul(100) / capacity.max(1)) as u32;
+        if occupancy_pct >= self.config.brownout_enter_pct {
+            self.above += 1;
+            self.below = 0;
+            if self.above >= self.config.brownout_dwell.max(1)
+                && self.rung + 1 < DegradationRung::LADDER.len()
+            {
+                self.rung += 1;
+                self.above = 0;
+                self.stats.brownout_steps += 1;
+                self.stats.peak_rung = self.stats.peak_rung.max(self.current_rung());
+            }
+        } else if occupancy_pct <= self.config.brownout_exit_pct {
+            self.below += 1;
+            self.above = 0;
+            if self.below >= self.config.brownout_dwell.max(1) && self.rung > 0 {
+                self.rung -= 1;
+                self.below = 0;
+            }
+        } else {
+            self.above = 0;
+            self.below = 0;
+        }
+    }
+
+    fn per_capacity_total(&self) -> usize {
+        self.config.queue_capacity.saturating_mul(3)
+    }
+
+    /// Predicted start time for a new arrival of `class` at `now`,
+    /// assuming no further arrivals and the current limit: assign every
+    /// queued request ahead of it to the earliest-freeing slot, then
+    /// read off the earliest remaining slot.
+    fn predict_start(&self, now: u64, class: usize) -> u64 {
+        let limit = self.limit.max(1) as usize;
+        let mut finishes: Vec<u64> = self
+            .running
+            .iter()
+            .map(|&Reverse((finish, _, _))| finish)
+            .collect();
+        finishes.sort_unstable();
+        // With in_flight > limit (the limit just shrank) the earliest
+        // completions only bring us back down to the limit; drop them.
+        let excess = finishes.len().saturating_sub(limit);
+        let mut slots: BinaryHeap<Reverse<u64>> =
+            finishes[excess..].iter().map(|&f| Reverse(f)).collect();
+        while slots.len() < limit {
+            slots.push(Reverse(now));
+        }
+        let rung = self.current_rung();
+        let ahead = self.queues[..=class.min(2)]
+            .iter()
+            .flat_map(|q| q.iter())
+            .copied();
+        for index in ahead {
+            let Some(Reverse(free_at)) = slots.pop() else {
+                break;
+            };
+            let start = free_at.max(now);
+            let cost = self
+                .config
+                .rung_cost(self.arrivals[index].service_cost_us, rung);
+            slots.push(Reverse(start.saturating_add(cost)));
+        }
+        slots
+            .peek()
+            .map(|&Reverse(free_at)| free_at.max(now))
+            .unwrap_or(now)
+    }
+
+    /// Start queued work while slots are free, highest class first,
+    /// dropping requests whose deadline lapsed in the queue.
+    fn start_queued(&mut self, now: u64) {
+        while self.in_flight < self.limit {
+            let Some(index) = self
+                .queues
+                .iter_mut()
+                .find(|q| !q.is_empty())
+                .and_then(VecDeque::pop_front)
+            else {
+                return;
+            };
+            let arrival = &self.arrivals[index];
+            let waited = now.saturating_sub(arrival.arrival_us);
+            // Dropping a queue-lapsed request is part of deadline-aware
+            // shedding; the unprotected baseline burns a worker on it
+            // and finishes late.
+            if self.config.deadline_shed {
+                if let Some(budget) = arrival.deadline_budget_us {
+                    if waited > budget {
+                        self.decisions[index] =
+                            Some(AdmissionDecision::shed(ShedReason::QueueTimeout, waited));
+                        self.stats.shed_queue_timeout += 1;
+                        continue;
+                    }
+                }
+            }
+            self.start(index, now);
+        }
+    }
+
+    fn start(&mut self, index: usize, now: u64) {
+        let arrival = &self.arrivals[index];
+        let rung = if self.config.brownout {
+            self.current_rung()
+        } else {
+            DegradationRung::Full
+        };
+        let base = self.config.rung_cost(arrival.service_cost_us, rung);
+        self.in_flight += 1;
+        let excess = self
+            .in_flight
+            .saturating_sub(self.config.virtual_cores.max(1)) as u64;
+        let penalty_pct = 100 + self.config.overload_penalty_pct as u64 * excess;
+        let cost = base.saturating_mul(penalty_pct) / 100;
+        let finish = now.saturating_add(cost.max(1));
+        let latency = finish.saturating_sub(arrival.arrival_us);
+        let met = arrival
+            .deadline_budget_us
+            .map(|budget| latency <= budget)
+            .unwrap_or(true);
+        if !met {
+            self.stats.deadline_misses += 1;
+        }
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+        self.stats.admitted += 1;
+        self.stats.peak_rung = self.stats.peak_rung.max(rung);
+        self.decisions[index] = Some(AdmissionDecision {
+            admitted: true,
+            shed: None,
+            queue_wait_us: now.saturating_sub(arrival.arrival_us),
+            start_us: now,
+            finish_us: finish,
+            latency_us: latency,
+            start_rung: rung,
+            limit_at_start: self.limit,
+            deadline_met: met,
+        });
+        self.seq += 1;
+        self.running.push(Reverse((finish, self.seq, index)));
+    }
+
+    fn offer(&mut self, index: usize) {
+        let arrival = &self.arrivals[index];
+        let now = arrival.arrival_us;
+        self.drain_until(now);
+        self.tick_brownout();
+        let class = self.config.class_of(arrival.priority);
+        if self.queues[class].len() >= self.config.per_queue_capacity() {
+            self.decisions[index] = Some(AdmissionDecision::shed(ShedReason::QueueFull, 0));
+            self.stats.shed_queue_full += 1;
+            return;
+        }
+        if self.config.deadline_shed {
+            if let Some(budget) = arrival.deadline_budget_us {
+                let predicted_wait = self.predict_start(now, class).saturating_sub(now);
+                if predicted_wait > budget {
+                    self.decisions[index] =
+                        Some(AdmissionDecision::shed(ShedReason::PredictedLate, 0));
+                    self.stats.shed_predicted_late += 1;
+                    return;
+                }
+            }
+        }
+        self.queues[class].push_back(index);
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queued_total());
+        self.start_queued(now);
+    }
+}
+
+/// Run the admission queue over `arrivals` (any order; processed by
+/// ascending `arrival_us`, ties by index) and return one decision per
+/// request. Pure and integer-only: identical inputs yield identical
+/// plans on any machine.
+pub fn plan_admission(arrivals: &[ArrivalMeta], config: &AdmissionConfig) -> AdmissionPlan {
+    let mut order: Vec<usize> = (0..arrivals.len()).collect();
+    order.sort_by_key(|&i| (arrivals[i].arrival_us, i));
+
+    let mut sim = Sim::new(config, arrivals);
+    for index in order {
+        sim.offer(index);
+    }
+    sim.drain_until(u64::MAX);
+
+    let decisions: Vec<AdmissionDecision> = sim
+        .decisions
+        .iter()
+        .map(|d| d.expect("every offered request gets a decision"))
+        .collect();
+    let stats = sim.stats;
+    debug_assert_eq!(stats.admitted + stats.shed_total(), stats.offered);
+    AdmissionPlan { decisions, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(
+        arrival_us: u64,
+        priority: PriorityClass,
+        cost: u64,
+        budget: Option<u64>,
+    ) -> ArrivalMeta {
+        ArrivalMeta {
+            arrival_us,
+            priority,
+            service_cost_us: cost,
+            deadline_budget_us: budget,
+        }
+    }
+
+    #[test]
+    fn empty_offer_list_is_fine() {
+        let plan = plan_admission(&[], &AdmissionConfig::default());
+        assert!(plan.decisions.is_empty());
+        assert_eq!(plan.stats.offered, 0);
+        assert_eq!(plan.stats.admitted, 0);
+    }
+
+    #[test]
+    fn idle_queue_admits_immediately() {
+        let arrivals = [meta(100, PriorityClass::Standard, 5_000, Some(50_000))];
+        let plan = plan_admission(&arrivals, &AdmissionConfig::default());
+        let d = &plan.decisions[0];
+        assert!(d.admitted);
+        assert_eq!(d.queue_wait_us, 0);
+        assert_eq!(d.start_us, 100);
+        assert_eq!(d.finish_us, 5_100);
+        assert!(d.deadline_met);
+        assert_eq!(d.start_rung, DegradationRung::Full);
+    }
+
+    #[test]
+    fn strict_priority_dequeues_interactive_first() {
+        // One slot; three arrivals land while it is busy. Background
+        // arrived first but interactive starts first.
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            min_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            brownout: false,
+            deadline_shed: false,
+            ..AdmissionConfig::default()
+        };
+        let arrivals = [
+            meta(0, PriorityClass::Standard, 10_000, None),
+            meta(1, PriorityClass::Background, 10_000, None),
+            meta(2, PriorityClass::Interactive, 10_000, None),
+        ];
+        let plan = plan_admission(&arrivals, &config);
+        assert!(plan.decisions.iter().all(|d| d.admitted));
+        assert!(
+            plan.decisions[2].start_us < plan.decisions[1].start_us,
+            "interactive jumps the queued background request"
+        );
+    }
+
+    #[test]
+    fn fifo_without_priority_preserves_arrival_order() {
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            priority: false,
+            brownout: false,
+            deadline_shed: false,
+            ..AdmissionConfig::default()
+        };
+        let arrivals = [
+            meta(0, PriorityClass::Background, 10_000, None),
+            meta(1, PriorityClass::Interactive, 10_000, None),
+        ];
+        let plan = plan_admission(&arrivals, &config);
+        assert!(plan.decisions[0].start_us < plan.decisions[1].start_us);
+    }
+
+    #[test]
+    fn hopeless_requests_are_shed_at_arrival() {
+        // One busy slot for 100ms; the second request has a 1ms budget:
+        // its predicted wait alone (≈100ms) is hopeless.
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            brownout: false,
+            ..AdmissionConfig::default()
+        };
+        let arrivals = [
+            meta(0, PriorityClass::Standard, 100_000, None),
+            meta(10, PriorityClass::Standard, 5_000, Some(1_000)),
+        ];
+        let plan = plan_admission(&arrivals, &config);
+        assert!(plan.decisions[0].admitted);
+        assert_eq!(plan.decisions[1].shed, Some(ShedReason::PredictedLate));
+        assert_eq!(plan.stats.shed_predicted_late, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            brownout: false,
+            deadline_shed: false,
+            queue_capacity: 1,
+            ..AdmissionConfig::default()
+        };
+        // Slot busy, queue holds one, the third is refused.
+        let arrivals = [
+            meta(0, PriorityClass::Standard, 100_000, None),
+            meta(1, PriorityClass::Standard, 100_000, None),
+            meta(2, PriorityClass::Standard, 100_000, None),
+        ];
+        let plan = plan_admission(&arrivals, &config);
+        assert_eq!(plan.decisions[2].shed, Some(ShedReason::QueueFull));
+        assert_eq!(plan.stats.shed_queue_full, 1);
+    }
+
+    #[test]
+    fn queue_timeout_drops_without_consuming_a_worker() {
+        // The standard request is admitted on an honest prediction
+        // (≈50ms wait, 60ms budget), but an interactive request then
+        // jumps the queue and pushes its real wait past the budget: it
+        // is dropped at dequeue time, not started late.
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            brownout: false,
+            ..AdmissionConfig::default()
+        };
+        let arrivals = [
+            meta(0, PriorityClass::Standard, 50_000, None),
+            meta(10, PriorityClass::Standard, 5_000, Some(60_000)),
+            meta(20, PriorityClass::Interactive, 50_000, None),
+        ];
+        let plan = plan_admission(&arrivals, &config);
+        assert!(plan.decisions[2].admitted, "interactive jumps ahead");
+        assert_eq!(plan.decisions[1].shed, Some(ShedReason::QueueTimeout));
+        assert!(plan.decisions[1].queue_wait_us > 60_000);
+
+        // The unprotected baseline never sheds: everything is admitted
+        // and burns a worker, however late.
+        let unprotected = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            ..AdmissionConfig::unprotected()
+        };
+        let plan = plan_admission(&arrivals, &unprotected);
+        assert_eq!(plan.stats.shed_total(), 0);
+        assert!(plan.decisions.iter().all(|d| d.admitted));
+    }
+
+    #[test]
+    fn aimd_backs_off_on_misses_and_recovers_on_hits() {
+        let config = AdmissionConfig {
+            initial_limit: 8,
+            min_limit: 1,
+            max_limit: 8,
+            virtual_cores: 2,
+            brownout: false,
+            deadline_shed: false,
+            aimd_cooldown_us: 0,
+            ..AdmissionConfig::default()
+        };
+        // A burst of impossible deadlines: every completion is a miss.
+        let misses: Vec<ArrivalMeta> = (0..16)
+            .map(|i| meta(i, PriorityClass::Standard, 50_000, Some(1)))
+            .collect();
+        let plan = plan_admission(&misses, &config);
+        assert!(plan.stats.limit_decreases > 0, "misses shrink the limit");
+        assert!(plan.stats.min_limit_seen < 8);
+        assert!(plan.stats.final_limit >= config.min_limit);
+
+        // Comfortable deadlines: the limit never shrinks.
+        let hits: Vec<ArrivalMeta> = (0..64)
+            .map(|i| meta(i * 30_000, PriorityClass::Standard, 10_000, Some(1_000_000)))
+            .collect();
+        let plan = plan_admission(&hits, &config);
+        assert_eq!(plan.stats.limit_decreases, 0);
+        assert_eq!(
+            plan.stats.final_limit, 8,
+            "additive growth is capped at max"
+        );
+    }
+
+    #[test]
+    fn brownout_steps_down_under_pressure_and_back_up() {
+        let config = AdmissionConfig {
+            initial_limit: 1,
+            max_limit: 1,
+            adaptive: false,
+            deadline_shed: false,
+            queue_capacity: 4,
+            brownout_dwell: 2,
+            brownout_enter_pct: 25,
+            brownout_exit_pct: 10,
+            ..AdmissionConfig::default()
+        };
+        // Flood a single slot so the queue stays deep, then trickle.
+        let mut arrivals: Vec<ArrivalMeta> = (0..10)
+            .map(|i| meta(i, PriorityClass::Standard, 40_000, None))
+            .collect();
+        // Late stragglers arrive after the flood drained: enough of
+        // them to walk the rung back up (each step needs `dwell`
+        // consecutive low-occupancy arrivals).
+        for i in 0..8u64 {
+            arrivals.push(meta(
+                2_000_000 + i * 100_000,
+                PriorityClass::Standard,
+                1_000,
+                None,
+            ));
+        }
+        let plan = plan_admission(&arrivals, &config);
+        assert!(
+            plan.stats.brownout_steps > 0,
+            "pressure steps the rung down"
+        );
+        assert!(plan.stats.peak_rung > DegradationRung::Full);
+        let flooded = plan.decisions[..10]
+            .iter()
+            .filter(|d| d.admitted && d.start_rung > DegradationRung::Full)
+            .count();
+        assert!(flooded > 0, "some flooded requests start degraded");
+        let last = plan.decisions.last().unwrap();
+        assert!(last.admitted);
+        assert_eq!(
+            last.start_rung,
+            DegradationRung::Full,
+            "pressure drained, rung recovered"
+        );
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let arrivals: Vec<ArrivalMeta> = (0..200)
+            .map(|i| {
+                meta(
+                    (i as u64 * 7_919) % 500_000,
+                    PriorityClass::ALL[i % 3],
+                    5_000 + (i as u64 % 11) * 3_000,
+                    if i % 4 == 0 { None } else { Some(120_000) },
+                )
+            })
+            .collect();
+        let config = AdmissionConfig::default();
+        let a = plan_admission(&arrivals, &config);
+        let b = plan_admission(&arrivals, &config);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_decision() {
+        let arrivals: Vec<ArrivalMeta> = (0..500)
+            .map(|i| {
+                meta(
+                    (i as u64 * 104_729) % 300_000,
+                    PriorityClass::ALL[(i * 7) % 3],
+                    2_000 + (i as u64 % 23) * 1_500,
+                    Some(40_000 + (i as u64 % 5) * 20_000),
+                )
+            })
+            .collect();
+        for config in [
+            AdmissionConfig::unprotected(),
+            AdmissionConfig::shed_only(),
+            AdmissionConfig::shed_priority(),
+            AdmissionConfig::protected(),
+        ] {
+            let plan = plan_admission(&arrivals, &config);
+            assert_eq!(plan.decisions.len(), arrivals.len());
+            assert_eq!(
+                plan.stats.admitted + plan.stats.shed_total(),
+                arrivals.len()
+            );
+            for d in &plan.decisions {
+                assert_eq!(d.admitted, d.shed.is_none());
+                if d.admitted {
+                    assert!(d.finish_us > d.start_us);
+                    assert!(d.latency_us >= d.queue_wait_us);
+                }
+            }
+        }
+    }
+}

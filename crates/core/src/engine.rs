@@ -33,6 +33,7 @@
 //! user listed in `degrade_first`. Each outcome reports which rung
 //! served it.
 
+use crate::admission::{plan_admission, AdmissionConfig, AdmissionPlan, ArrivalMeta};
 use crate::cache::ShardedCompositionCache;
 use crate::composer::Composer;
 use crate::plan::AdaptationPlan;
@@ -175,9 +176,10 @@ pub fn serve_batch(
 /// The rung of the degradation ladder that served a request, in
 /// strictly-worsening order. Comparison order is quality order:
 /// `Full < RelaxedFloor < …` means "less degraded".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum DegradationRung {
     /// Served as asked: the user's own floors and combiner.
+    #[default]
     Full,
     /// Quality floors relaxed to zero (`min_acceptable → 0`): the user
     /// accepts *some* delivery below the stated minimum rather than
@@ -336,6 +338,10 @@ pub struct RetryPolicy {
     pub base_backoff_us: u64,
     /// Backoff ceiling, microseconds.
     pub max_backoff_us: u64,
+    /// Cap on the *accrued* backoff a single request may record across
+    /// all rungs and retries ([`RequestOutcome::backoff_us`] saturates
+    /// here instead of growing without bound at high attempt counts).
+    pub max_total_backoff_us: u64,
 }
 
 impl Default for RetryPolicy {
@@ -344,6 +350,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff_us: 1_000,
             max_backoff_us: 250_000,
+            max_total_backoff_us: 10_000_000,
         }
     }
 }
@@ -351,19 +358,29 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Backoff before retry `attempt` (1-based): exponential with seeded
     /// half-range jitter. Pure in `(self, attempt, rng-state)`, so a
-    /// seeded run reproduces its backoff schedule exactly.
+    /// seeded run reproduces its backoff schedule exactly. The doubling
+    /// saturates: any attempt count (even ≥ 64, where `1 << exp` would
+    /// overflow a `u64`) yields the jittered ceiling, never a wrap.
     pub fn backoff_for(&self, attempt: u32, rng: &mut SmallRng) -> u64 {
-        let exp = attempt.saturating_sub(1).min(20);
-        let base = self
-            .base_backoff_us
-            .saturating_mul(1u64 << exp)
-            .min(self.max_backoff_us.max(self.base_backoff_us));
+        let exp = attempt.saturating_sub(1);
+        let cap = self.max_backoff_us.max(self.base_backoff_us);
+        let base = if exp >= 63 {
+            cap
+        } else {
+            self.base_backoff_us.saturating_mul(1u64 << exp).min(cap)
+        };
         let jitter = if base > 1 {
             rng.random_range(0..=base / 2)
         } else {
             0
         };
         base.saturating_add(jitter)
+    }
+
+    /// Accrue `next` onto `total`, saturating at
+    /// [`max_total_backoff_us`](RetryPolicy::max_total_backoff_us).
+    pub fn accrue(&self, total: u64, next: u64) -> u64 {
+        total.saturating_add(next).min(self.max_total_backoff_us)
     }
 }
 
@@ -387,6 +404,10 @@ pub struct ResilientEngineConfig {
     /// Seed for backoff jitter; request `i` derives its own stream from
     /// `seed` and `i`, so outcomes are independent of worker scheduling.
     pub seed: u64,
+    /// Overload-protection policy, used by
+    /// [`serve_batch_with_admission`] (ignored by
+    /// [`serve_batch_resilient`], which admits unconditionally).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ResilientEngineConfig {
@@ -398,6 +419,7 @@ impl Default for ResilientEngineConfig {
             retry: RetryPolicy::default(),
             ladder: true,
             seed: 0,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -419,6 +441,14 @@ pub struct RequestOutcome {
     pub backoff_us: u64,
     /// The per-request deadline expired before a plan was found.
     pub deadline_exceeded: bool,
+    /// The admission queue refused this request (never reached a
+    /// worker; always `attempts == 0`). Only
+    /// [`serve_batch_with_admission`] sheds.
+    pub shed: bool,
+    /// Starting rung the admission brown-out assigned (`None` outside
+    /// the admission path, [`DegradationRung::Full`] when no brown-out
+    /// was active).
+    pub brownout_rung: Option<DegradationRung>,
     /// Terminal error or last rung-failure reason (`None` when served).
     pub error: Option<String>,
 }
@@ -433,9 +463,14 @@ impl RequestOutcome {
     pub fn is_degraded(&self) -> bool {
         self.plan.is_some() && self.rung.map(|r| r > DegradationRung::Full) == Some(true)
     }
+
+    /// Refused by the admission queue.
+    pub fn is_shed(&self) -> bool {
+        self.shed
+    }
 }
 
-/// Batch-level accounting. The four counters are disjoint and sum to
+/// Batch-level accounting. The five counters are disjoint and sum to
 /// the batch size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchCounters {
@@ -447,12 +482,14 @@ pub struct BatchCounters {
     pub failed: usize,
     /// Unserved because the deadline expired first.
     pub deadline_exceeded: usize,
+    /// Refused by the admission queue before composing.
+    pub shed: usize,
 }
 
 impl BatchCounters {
     /// Total requests accounted for.
     pub fn total(&self) -> usize {
-        self.served + self.degraded + self.failed + self.deadline_exceeded
+        self.served + self.degraded + self.failed + self.deadline_exceeded + self.shed
     }
 }
 
@@ -469,7 +506,9 @@ impl ResilientBatch {
     pub fn counters(&self) -> BatchCounters {
         let mut counters = BatchCounters::default();
         for outcome in &self.outcomes {
-            if outcome.is_served_full() {
+            if outcome.shed {
+                counters.shed += 1;
+            } else if outcome.is_served_full() {
                 counters.served += 1;
             } else if outcome.is_degraded() {
                 counters.degraded += 1;
@@ -507,18 +546,27 @@ fn unserved(
         attempts,
         backoff_us,
         deadline_exceeded,
+        shed: false,
+        brownout_rung: None,
         error,
     }
 }
 
-/// Serve one request through the ladder, with retries and panic
-/// isolation. Pure in `(composer snapshot, request, index, config)`.
+/// Serve one request through the ladder (from `start_rung` down), with
+/// retries and panic isolation. Pure in `(composer snapshot, request,
+/// index, config, start_rung)`.
 fn serve_one(
     composer: &Composer<'_>,
     request: &CompositionRequest,
     index: usize,
     config: &ResilientEngineConfig,
+    start_rung: DegradationRung,
 ) -> RequestOutcome {
+    // A zero budget can never be met: fail fast, deterministically,
+    // before any composition attempt — never by racing the wall clock.
+    if config.deadline_budget_us == Some(0) {
+        return unserved(0, 0, true, Some("deadline budget is zero".to_string()));
+    }
     let deadline = config
         .deadline_budget_us
         .map(|us| Instant::now() + Duration::from_micros(us));
@@ -526,10 +574,11 @@ fn serve_one(
     options.deadline = deadline;
     let mut rng =
         SmallRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let start = start_rung as usize;
     let rungs: &[DegradationRung] = if config.ladder {
-        &DegradationRung::LADDER
+        &DegradationRung::LADDER[start..]
     } else {
-        &DegradationRung::LADDER[..1]
+        &DegradationRung::LADDER[start..=start]
     };
 
     let mut attempts = 0u32;
@@ -568,8 +617,10 @@ fn serve_one(
                 Ok(Err(e))
                     if is_transient(&e) && attempt_in_rung < config.retry.max_attempts.max(1) =>
                 {
-                    backoff_us = backoff_us
-                        .saturating_add(config.retry.backoff_for(attempt_in_rung, &mut rng));
+                    backoff_us = config.retry.accrue(
+                        backoff_us,
+                        config.retry.backoff_for(attempt_in_rung, &mut rng),
+                    );
                     last_failure = Some(e.to_string());
                 }
                 Ok(Err(e)) => {
@@ -594,6 +645,8 @@ fn serve_one(
                     attempts,
                     backoff_us,
                     deadline_exceeded: false,
+                    shed: false,
+                    brownout_rung: None,
                     error: None,
                 };
             }
@@ -642,7 +695,10 @@ pub fn serve_batch_resilient(
                         let Some(request) = requests.get(index) else {
                             return local;
                         };
-                        local.push((index, serve_one(composer, request, index, config)));
+                        local.push((
+                            index,
+                            serve_one(composer, request, index, config, DegradationRung::Full),
+                        ));
                     }
                 })
             })
@@ -672,6 +728,122 @@ pub fn serve_batch_resilient(
         })
         .collect();
     ResilientBatch { outcomes }
+}
+
+// ---------------------------------------------------------------------
+// Admission-controlled serving
+// ---------------------------------------------------------------------
+
+/// A resilient batch served behind the admission queue: per-request
+/// outcomes plus the virtual-clock [`AdmissionPlan`] that produced them.
+#[derive(Debug, Clone)]
+pub struct AdmittedBatch {
+    /// One outcome per offered request, in request order (shed requests
+    /// included, with `shed = true` and `attempts == 0`).
+    pub batch: ResilientBatch,
+    /// The admission decisions and queue statistics.
+    pub admission: AdmissionPlan,
+}
+
+/// Serve a batch behind the overload-protection front-end of
+/// [`crate::admission`]: requests are offered to a deterministic
+/// virtual-clock admission queue (deadline-aware shedding, strict
+/// priority classes, AIMD concurrency, brown-out), and only admitted
+/// requests reach the composition workers — each starting the
+/// degradation ladder at the rung brown-out assigned it.
+///
+/// `arrivals[i]` is the virtual-time metadata of `requests[i]`; the two
+/// slices must have the same length. Admission decisions depend only on
+/// `(arrivals, config.admission)` and composition outcomes only on the
+/// shared snapshot, so the whole result is identical for any worker
+/// count. At sub-saturation load (no queueing, no brown-out) the plans
+/// of admitted requests are bitwise identical to a
+/// [`serve_batch_resilient`] run: admission is a front-end, not a
+/// scoring change.
+///
+/// # Panics
+///
+/// Panics when `requests.len() != arrivals.len()`.
+pub fn serve_batch_with_admission(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    arrivals: &[ArrivalMeta],
+    config: &ResilientEngineConfig,
+) -> AdmittedBatch {
+    assert_eq!(
+        requests.len(),
+        arrivals.len(),
+        "one ArrivalMeta per CompositionRequest"
+    );
+    let admission = plan_admission(arrivals, &config.admission);
+
+    // Compose only the admitted indices on the worker pool.
+    let admitted: Vec<usize> = (0..requests.len())
+        .filter(|&i| admission.decisions[i].admitted)
+        .collect();
+    let workers = config.workers.max(1).min(admitted.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, RequestOutcome)> = Vec::with_capacity(admitted.len());
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let admitted = &admitted;
+                let admission = &admission;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = admitted.get(slot) else {
+                            return local;
+                        };
+                        let rung = admission.decisions[index].start_rung;
+                        let mut outcome =
+                            serve_one(composer, &requests[index], index, config, rung);
+                        outcome.brownout_rung = Some(rung);
+                        local.push((index, outcome));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(local) = handle.join() {
+                collected.extend(local);
+            }
+        }
+    });
+
+    let mut slots: Vec<Option<RequestOutcome>> = (0..requests.len()).map(|_| None).collect();
+    for (index, outcome) in collected {
+        slots[index] = Some(outcome);
+    }
+    let outcomes: Vec<RequestOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            if let Some(outcome) = slot {
+                return outcome;
+            }
+            match admission.decisions[index].shed {
+                Some(reason) => RequestOutcome {
+                    shed: true,
+                    error: Some(format!("shed: {reason}")),
+                    ..unserved(0, 0, false, None)
+                },
+                None => unserved(
+                    0,
+                    0,
+                    false,
+                    Some("worker thread lost before reporting".to_string()),
+                ),
+            }
+        })
+        .collect();
+    AdmittedBatch {
+        batch: ResilientBatch { outcomes },
+        admission,
+    }
 }
 
 #[cfg(test)]
@@ -1034,7 +1206,57 @@ mod tests {
         for outcome in &served.outcomes {
             assert!(outcome.deadline_exceeded);
             assert!(outcome.plan.is_none());
+            // Regression: a zero budget fails fast, deterministically,
+            // before any composition attempt — not by racing the wall
+            // clock after consuming a worker.
+            assert_eq!(outcome.attempts, 0, "no composition attempt on zero budget");
+            assert_eq!(outcome.backoff_us, 0);
         }
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_attempt_counts() {
+        // Regression: `1u64 << exp` at attempt counts ≥ 64 must
+        // saturate to the ceiling, never wrap or panic.
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base_backoff_us: u64::MAX / 2,
+            max_backoff_us: u64::MAX,
+            max_total_backoff_us: 1_000_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for attempt in [63u32, 64, 65, 128, 1_000, u32::MAX] {
+            let backoff = policy.backoff_for(attempt, &mut rng);
+            assert!(backoff >= u64::MAX / 2, "saturates high, attempt {attempt}");
+        }
+        // The accrued total is capped even when single backoffs are huge.
+        let mut total = 0u64;
+        for attempt in 1..=128u32 {
+            total = policy.accrue(total, policy.backoff_for(attempt, &mut rng));
+        }
+        assert_eq!(total, policy.max_total_backoff_us, "accrual saturates");
+
+        // The default policy's schedule is identical to the pre-fix one
+        // in its live range (the committed scorecards depend on it).
+        let default = RetryPolicy::default();
+        let mut a = SmallRng::seed_from_u64(11);
+        let old: Vec<u64> = (1..=10)
+            .map(|k: u32| {
+                let exp = k.saturating_sub(1).min(20);
+                let base = default
+                    .base_backoff_us
+                    .saturating_mul(1u64 << exp)
+                    .min(default.max_backoff_us.max(default.base_backoff_us));
+                base + if base > 1 {
+                    a.random_range(0..=base / 2)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut b = SmallRng::seed_from_u64(11);
+        let new: Vec<u64> = (1..=10).map(|k| default.backoff_for(k, &mut b)).collect();
+        assert_eq!(old, new);
     }
 
     #[test]

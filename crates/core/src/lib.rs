@@ -44,6 +44,7 @@
 //!   greedy search exact (Figure 5); the property is verified against
 //!   the exhaustive baseline by property test.
 
+pub mod admission;
 pub mod baseline;
 pub mod bundle;
 pub mod cache;
@@ -53,13 +54,17 @@ pub mod graph;
 pub mod plan;
 pub mod select;
 
+pub use admission::{
+    plan_admission, AdmissionConfig, AdmissionDecision, AdmissionPlan, AdmissionStats, ArrivalMeta,
+    PriorityClass, ShedReason,
+};
 pub use bundle::{compose_bundle, BundleComposition, BundleStream};
 pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
 pub use composer::{Composer, Composition};
 pub use engine::{
-    degrade_profiles, serve_batch, serve_batch_resilient, BatchCounters, CompositionRequest,
-    DegradationRung, EngineConfig, RequestOutcome, ResilientBatch, ResilientEngineConfig,
-    RetryPolicy,
+    degrade_profiles, serve_batch, serve_batch_resilient, serve_batch_with_admission,
+    AdmittedBatch, BatchCounters, CompositionRequest, DegradationRung, EngineConfig,
+    RequestOutcome, ResilientBatch, ResilientEngineConfig, RetryPolicy,
 };
 pub use graph::{AdaptationGraph, BuildInput, Edge, EdgeId, Vertex, VertexId, VertexKind};
 pub use plan::{AdaptationPlan, PlanStep};

@@ -1,0 +1,246 @@
+//! Open-loop offered-load schedules for the admission front-end.
+//!
+//! The overload experiments need *offered load* that does not care how
+//! fast the engine drains it — an open-loop arrival process, unlike the
+//! closed-loop batches elsewhere in the repo. [`poisson_burst_arrivals`]
+//! generates one: a seeded Bernoulli-thinned Poisson approximation
+//! (arrival probability per small virtual tick) modulated by periodic
+//! burst windows in which the rate multiplies, with a seeded priority
+//! mix, per-request virtual service costs and per-class deadline
+//! budgets.
+//!
+//! Everything is integer arithmetic on a seeded [`SmallRng`] — no
+//! floating point, no transcendentals — so a schedule is byte-identical
+//! across runs *and machines*, which is what lets the overload
+//! scorecard (`BENCH_overload.json`) be `cmp`-ed in CI.
+
+use qosc_core::{ArrivalMeta, PriorityClass};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape of an offered-load schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalPattern {
+    /// Schedule length, virtual microseconds.
+    pub horizon_us: u64,
+    /// Bernoulli tick: smaller ticks approximate a Poisson process more
+    /// closely (at `p = rate · tick` per tick).
+    pub tick_us: u64,
+    /// Base arrival rate, requests per virtual second.
+    pub rate_per_sec: u64,
+    /// Burst window period (0 disables bursts).
+    pub burst_period_us: u64,
+    /// Burst window length within each period.
+    pub burst_len_us: u64,
+    /// Rate multiplier inside a burst window, percent (100 = no burst).
+    pub burst_rate_pct: u64,
+    /// Share of arrivals in [`PriorityClass::Interactive`], percent.
+    pub interactive_pct: u32,
+    /// Share in [`PriorityClass::Background`], percent (the remainder
+    /// is `Standard`).
+    pub background_pct: u32,
+    /// Virtual service-cost range per request, microseconds.
+    pub cost_range_us: (u64, u64),
+    /// Deadline budget per class (`None` = best-effort).
+    pub deadline_interactive_us: Option<u64>,
+    /// Deadline budget for `Standard`.
+    pub deadline_standard_us: Option<u64>,
+    /// Deadline budget for `Background`.
+    pub deadline_background_us: Option<u64>,
+}
+
+impl Default for ArrivalPattern {
+    fn default() -> ArrivalPattern {
+        ArrivalPattern {
+            horizon_us: 1_000_000,
+            tick_us: 100,
+            rate_per_sec: 200,
+            burst_period_us: 200_000,
+            burst_len_us: 20_000,
+            burst_rate_pct: 300,
+            interactive_pct: 20,
+            background_pct: 30,
+            cost_range_us: (12_000, 28_000),
+            deadline_interactive_us: Some(150_000),
+            deadline_standard_us: Some(400_000),
+            deadline_background_us: None,
+        }
+    }
+}
+
+impl ArrivalPattern {
+    /// Mean offered rate including burst windows, requests per second
+    /// (integer, rounded down) — for dimensioning against capacity.
+    pub fn mean_rate_per_sec(&self) -> u64 {
+        if self.burst_period_us == 0 || self.burst_len_us == 0 {
+            return self.rate_per_sec;
+        }
+        let len = self.burst_len_us.min(self.burst_period_us);
+        let calm = self.burst_period_us - len;
+        self.rate_per_sec * (calm * 100 + len * self.burst_rate_pct) / (self.burst_period_us * 100)
+    }
+
+    fn deadline_for(&self, priority: PriorityClass) -> Option<u64> {
+        match priority {
+            PriorityClass::Interactive => self.deadline_interactive_us,
+            PriorityClass::Standard => self.deadline_standard_us,
+            PriorityClass::Background => self.deadline_background_us,
+        }
+    }
+}
+
+/// Generate a seeded open-loop schedule: one [`ArrivalMeta`] per
+/// arrival, sorted by arrival time. Same `(pattern, seed)` → identical
+/// schedule, on any machine.
+pub fn poisson_burst_arrivals(pattern: &ArrivalPattern, seed: u64) -> Vec<ArrivalMeta> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tick = pattern.tick_us.max(1);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while t < pattern.horizon_us {
+        let in_burst = pattern.burst_period_us > 0
+            && pattern.burst_len_us > 0
+            && (t % pattern.burst_period_us) < pattern.burst_len_us;
+        let rate_pct = if in_burst {
+            pattern.burst_rate_pct
+        } else {
+            100
+        };
+        // Arrival probability this tick in parts-per-million:
+        // rate/sec · tick_us · pct/100, i.e. rate·tick/1e6 scaled to ppm.
+        let p_ppm = pattern
+            .rate_per_sec
+            .saturating_mul(tick)
+            .saturating_mul(rate_pct)
+            / 100;
+        // p_ppm ≥ 1e6 means ≥ 1 expected arrival per tick: emit the
+        // whole part unconditionally, Bernoulli the remainder.
+        let certain = p_ppm / 1_000_000;
+        let remainder = (p_ppm % 1_000_000) as u32;
+        let n = certain + u64::from(remainder > 0 && rng.random_range(0..1_000_000u32) < remainder);
+        for _ in 0..n {
+            let offset = rng.random_range(0..tick);
+            let class_draw = rng.random_range(0..100u32);
+            let priority = if class_draw < pattern.interactive_pct {
+                PriorityClass::Interactive
+            } else if class_draw < pattern.interactive_pct + pattern.background_pct {
+                PriorityClass::Background
+            } else {
+                PriorityClass::Standard
+            };
+            let (lo, hi) = pattern.cost_range_us;
+            let cost = if hi > lo {
+                rng.random_range(lo..=hi)
+            } else {
+                lo.max(1)
+            };
+            out.push(ArrivalMeta {
+                arrival_us: t + offset,
+                priority,
+                service_cost_us: cost,
+                deadline_budget_us: pattern.deadline_for(priority),
+            });
+        }
+        t += tick;
+    }
+    out.sort_by_key(|a| a.arrival_us);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let pattern = ArrivalPattern::default();
+        let a = poisson_burst_arrivals(&pattern, 42);
+        let b = poisson_burst_arrivals(&pattern, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = poisson_burst_arrivals(&pattern, 43);
+        assert_ne!(a, c, "a different seed changes the schedule");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let pattern = ArrivalPattern::default();
+        let arrivals = poisson_burst_arrivals(&pattern, 7);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].arrival_us <= pair[1].arrival_us);
+        }
+        assert!(arrivals
+            .iter()
+            .all(|a| a.arrival_us < pattern.horizon_us + pattern.tick_us));
+        let (lo, hi) = pattern.cost_range_us;
+        assert!(arrivals
+            .iter()
+            .all(|a| a.service_cost_us >= lo && a.service_cost_us <= hi));
+    }
+
+    #[test]
+    fn offered_count_tracks_the_mean_rate() {
+        let pattern = ArrivalPattern {
+            horizon_us: 2_000_000,
+            ..ArrivalPattern::default()
+        };
+        // Mean rate = 200 · 1.2 (burst windows) = 240/s → ~480 over 2s.
+        let expected = pattern.mean_rate_per_sec() * pattern.horizon_us / 1_000_000;
+        let mut counts = Vec::new();
+        for seed in 0..10 {
+            counts.push(poisson_burst_arrivals(&pattern, seed).len() as u64);
+        }
+        let mean = counts.iter().sum::<u64>() / counts.len() as u64;
+        let tolerance = expected / 5;
+        assert!(
+            mean.abs_diff(expected) <= tolerance,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn class_mix_and_deadlines_follow_the_pattern() {
+        let pattern = ArrivalPattern {
+            horizon_us: 4_000_000,
+            ..ArrivalPattern::default()
+        };
+        let arrivals = poisson_burst_arrivals(&pattern, 11);
+        let total = arrivals.len() as f64;
+        let interactive = arrivals
+            .iter()
+            .filter(|a| a.priority == PriorityClass::Interactive)
+            .count() as f64;
+        assert!(
+            (interactive / total - 0.20).abs() < 0.08,
+            "interactive share ≈ 20%, got {}",
+            interactive / total
+        );
+        for a in &arrivals {
+            assert_eq!(
+                a.deadline_budget_us,
+                match a.priority {
+                    PriorityClass::Interactive => Some(150_000),
+                    PriorityClass::Standard => Some(400_000),
+                    PriorityClass::Background => None,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        let pattern = ArrivalPattern {
+            horizon_us: 4_000_000,
+            ..ArrivalPattern::default()
+        };
+        let arrivals = poisson_burst_arrivals(&pattern, 5);
+        let in_burst = arrivals
+            .iter()
+            .filter(|a| (a.arrival_us % pattern.burst_period_us) < pattern.burst_len_us)
+            .count() as f64;
+        // Burst windows are 10% of time but carry 3× rate → ~25% of
+        // arrivals.
+        let share = in_burst / arrivals.len() as f64;
+        assert!(share > 0.17, "burst windows over-represented, got {share}");
+    }
+}

@@ -12,8 +12,11 @@
 //! * [`generator`] — seeded random scenario generators for the
 //!   scalability, baseline-comparison and optimality experiments,
 //! * [`profiles_gen`] — seeded heterogeneous user/device populations
-//!   (the client diversity the paper's introduction motivates).
+//!   (the client diversity the paper's introduction motivates),
+//! * [`arrivals`] — seeded open-loop Poisson-burst offered-load
+//!   schedules for the admission/overload experiments.
 
+pub mod arrivals;
 pub mod generator;
 pub mod paper;
 pub mod profiles_gen;

@@ -1,0 +1,92 @@
+//! Property: the degradation ladder only *relaxes*. Stepping down a
+//! rung never shrinks the feasible set — a scenario that composes a
+//! plan at rung `r` composes one at every rung below `r`, so the
+//! brown-out can lower a request's starting rung without ever turning a
+//! servable request into a failure.
+
+use proptest::prelude::*;
+use qosc_core::{degrade_profiles, DegradationRung, SelectOptions};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..=3, // layers
+        2usize..=5, // services per layer
+        2usize..=3, // formats per layer
+        1usize..=3, // conversions per service
+        10_000f64..=80_000f64,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(layers, spl, fpl, cps, bw, multi_axis)| GeneratorConfig {
+            layers,
+            services_per_layer: spl,
+            formats_per_layer: fpl,
+            conversions_per_service: cps,
+            bandwidth_range: (bw * 0.5, bw),
+            multi_axis,
+            ..GeneratorConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Feasible-set containment down the ladder: once any rung yields a
+    /// plan, every later (more degraded) rung yields one too.
+    #[test]
+    fn feasibility_is_monotone_down_the_ladder((config, seed) in (arb_config(), 0u64..1_000)) {
+        let scenario = random_scenario(&config, seed);
+        let composer = scenario.composer();
+        let options = SelectOptions::default();
+        let mut feasible_above = false;
+        for rung in DegradationRung::LADDER {
+            let profiles = degrade_profiles(&scenario.profiles, rung);
+            let solvable = composer
+                .compose(&profiles, scenario.sender_host, scenario.receiver_host, &options)
+                .map(|composition| composition.plan.is_some())
+                .unwrap_or(false);
+            prop_assert!(
+                !feasible_above || solvable,
+                "rung {} lost a plan a better rung served (seed {})",
+                rung,
+                seed
+            );
+            feasible_above = feasible_above || solvable;
+        }
+    }
+
+    /// `degrade_profiles` at `Full` is the identity on the satisfaction
+    /// machinery: the composed outcome matches the raw request bitwise.
+    #[test]
+    fn full_rung_is_identity((config, seed) in (arb_config(), 0u64..1_000)) {
+        let scenario = random_scenario(&config, seed);
+        let composer = scenario.composer();
+        let options = SelectOptions::default();
+        let raw = composer.compose(
+            &scenario.profiles,
+            scenario.sender_host,
+            scenario.receiver_host,
+            &options,
+        );
+        let full = composer.compose(
+            &degrade_profiles(&scenario.profiles, DegradationRung::Full),
+            scenario.sender_host,
+            scenario.receiver_host,
+            &options,
+        );
+        match (raw, full) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.plan.is_some(), b.plan.is_some());
+                if let (Some(pa), Some(pb)) = (&a.plan, &b.plan) {
+                    prop_assert_eq!(&pa.steps, &pb.steps);
+                    prop_assert_eq!(
+                        pa.predicted_satisfaction.to_bits(),
+                        pb.predicted_satisfaction.to_bits()
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "Full rung changed solvability (seed {})", seed),
+        }
+    }
+}
