@@ -34,6 +34,9 @@ use crate::Result;
 use parking_lot::RwLock;
 use qosc_netsim::NodeId;
 use qosc_profiles::ProfileSet;
+use qosc_telemetry::{
+    CacheOutcome, EventKind, MetricsRegistry, RequestTrace, TelemetrySink, ROOT_SPAN,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -59,6 +62,21 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Mirror this snapshot into `registry` as the
+    /// `qosc_cache_{hits,misses,stale}_total` counters. The struct stays
+    /// the cheap view; the registry is the unified export surface.
+    pub fn record_metrics(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("qosc_cache_hits_total")
+            .store(self.hits as u64);
+        registry
+            .counter("qosc_cache_misses_total")
+            .store(self.misses as u64);
+        registry
+            .counter("qosc_cache_stale_total")
+            .store(self.stale as u64);
     }
 }
 
@@ -134,20 +152,50 @@ impl ShardedCompositionCache {
         receiver_host: NodeId,
         options: &SelectOptions,
     ) -> Result<Option<AdaptationPlan>> {
+        self.compose_traced(
+            composer,
+            profiles,
+            sender_host,
+            receiver_host,
+            options,
+            &mut RequestTrace::noop(),
+        )
+    }
+
+    /// [`compose`](ShardedCompositionCache::compose) with the probe
+    /// outcome (hit / miss / stale) recorded into `trace` under a
+    /// `cache` span. With a [`qosc_telemetry::NoopSink`] trace this is
+    /// exactly `compose`.
+    pub fn compose_traced<S: TelemetrySink>(
+        &self,
+        composer: &Composer<'_>,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+        trace: &mut RequestTrace<'_, S>,
+    ) -> Result<Option<AdaptationPlan>> {
         let key = request_key(profiles, sender_host, receiver_host)?;
         let shard = self.shard_for(key);
+        let probe = |trace: &mut RequestTrace<'_, S>, outcome: CacheOutcome| {
+            let span = trace.open_span(ROOT_SPAN, "cache");
+            trace.emit(span, EventKind::CacheProbe { outcome });
+        };
         let cached = shard.entries.read().get(&key).cloned();
         match cached {
             Some(plan) => {
                 if plan_still_valid(composer, &plan) {
                     shard.hits.fetch_add(1, Ordering::Relaxed);
+                    probe(trace, CacheOutcome::Hit);
                     return Ok(Some(plan));
                 }
                 shard.entries.write().remove(&key);
                 shard.stale.fetch_add(1, Ordering::Relaxed);
+                probe(trace, CacheOutcome::Stale);
             }
             None => {
                 shard.misses.fetch_add(1, Ordering::Relaxed);
+                probe(trace, CacheOutcome::Miss);
             }
         }
         let composition = composer.compose(profiles, sender_host, receiver_host, options)?;
@@ -167,6 +215,43 @@ impl ShardedCompositionCache {
     /// Number of cached plans across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.entries.read().len()).sum()
+    }
+
+    /// Number of cached plans in shard `index` (one short read-lock on
+    /// that shard only — the gauge exporter polls shard by shard
+    /// instead of freezing the whole cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= shard_count()`.
+    pub fn shard_len(&self, index: usize) -> usize {
+        self.shards[index].entries.read().len()
+    }
+
+    /// Per-shard entry counts, locking one shard at a time. The vector
+    /// is a statistical snapshot: entries inserted while walking may or
+    /// may not be counted, but each shard's own count is exact at the
+    /// instant it was read.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        (0..self.shards.len()).map(|i| self.shard_len(i)).collect()
+    }
+
+    /// Export per-shard occupancy into `registry`:
+    /// `qosc_cache_shard_entries{shard="i"}` gauges plus the
+    /// `qosc_cache_entries` total, using [`shard_len`] so no two shard
+    /// locks are ever held at once.
+    ///
+    /// [`shard_len`]: ShardedCompositionCache::shard_len
+    pub fn export_gauges(&self, registry: &MetricsRegistry) {
+        let mut total = 0usize;
+        for index in 0..self.shard_count() {
+            let len = self.shard_len(index);
+            total += len;
+            registry
+                .gauge(&format!("qosc_cache_shard_entries{{shard=\"{index}\"}}"))
+                .set(len as i64);
+        }
+        registry.gauge("qosc_cache_entries").set(total as i64);
     }
 
     /// Whether the cache is empty.

@@ -43,6 +43,9 @@ use qosc_media::{Axis, MediaKind};
 use qosc_netsim::NodeId;
 use qosc_profiles::ProfileSet;
 use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use qosc_telemetry::{
+    EventKind, MetricsRegistry, NoopSink, RequestTrace, TelemetrySink, ROOT_SPAN,
+};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -106,6 +109,19 @@ pub fn serve_batch(
     requests: &[CompositionRequest],
     config: &EngineConfig,
 ) -> Vec<Result<Option<AdaptationPlan>>> {
+    serve_batch_traced(composer, cache, requests, config, &NoopSink)
+}
+
+/// [`serve_batch`] with every request's cache probe recorded into
+/// `sink` (request id = batch index, virtual time 0 — this path has no
+/// virtual clock). With [`NoopSink`] this is exactly `serve_batch`.
+pub fn serve_batch_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    cache: &ShardedCompositionCache,
+    requests: &[CompositionRequest],
+    config: &EngineConfig,
+    sink: &S,
+) -> Vec<Result<Option<AdaptationPlan>>> {
     let workers = config.workers.max(1).min(requests.len().max(1));
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, Result<Option<AdaptationPlan>>)> =
@@ -125,13 +141,15 @@ pub fn serve_batch(
                         // Per-request isolation: a panic poisons this
                         // index only, the worker moves on to the next
                         // request.
+                        let mut trace = RequestTrace::new(sink, index as u64, 0);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            cache.compose(
+                            cache.compose_traced(
                                 composer,
                                 &request.profiles,
                                 request.sender_host,
                                 request.receiver_host,
                                 &config.options,
+                                &mut trace,
                             )
                         }))
                         .unwrap_or_else(|payload| {
@@ -491,6 +509,28 @@ impl BatchCounters {
     pub fn total(&self) -> usize {
         self.served + self.degraded + self.failed + self.deadline_exceeded + self.shed
     }
+
+    /// Mirror this snapshot into `registry` as the
+    /// `qosc_batch_{served,degraded,failed,deadline_exceeded,shed}_total`
+    /// counters. The struct stays the cheap view; the registry is the
+    /// unified export surface.
+    pub fn record_metrics(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("qosc_batch_served_total")
+            .store(self.served as u64);
+        registry
+            .counter("qosc_batch_degraded_total")
+            .store(self.degraded as u64);
+        registry
+            .counter("qosc_batch_failed_total")
+            .store(self.failed as u64);
+        registry
+            .counter("qosc_batch_deadline_exceeded_total")
+            .store(self.deadline_exceeded as u64);
+        registry
+            .counter("qosc_batch_shed_total")
+            .store(self.shed as u64);
+    }
 }
 
 /// A resilient batch: one outcome per request, in request order.
@@ -554,17 +594,19 @@ fn unserved(
 
 /// Serve one request through the ladder (from `start_rung` down), with
 /// retries and panic isolation. Pure in `(composer snapshot, request,
-/// index, config, start_rung)`.
-fn serve_one(
+/// index, config, start_rung)` — the trace records, it never steers.
+fn serve_one<S: TelemetrySink>(
     composer: &Composer<'_>,
     request: &CompositionRequest,
     index: usize,
     config: &ResilientEngineConfig,
     start_rung: DegradationRung,
+    trace: &mut RequestTrace<'_, S>,
 ) -> RequestOutcome {
     // A zero budget can never be met: fail fast, deterministically,
     // before any composition attempt — never by racing the wall clock.
     if config.deadline_budget_us == Some(0) {
+        trace.emit(ROOT_SPAN, EventKind::DeadlineExpired);
         return unserved(0, 0, true, Some("deadline budget is zero".to_string()));
     }
     let deadline = config
@@ -584,12 +626,18 @@ fn serve_one(
     let mut attempts = 0u32;
     let mut backoff_us = 0u64;
     let mut last_failure: Option<String> = None;
-    for &rung in rungs {
+    for (position, &rung) in rungs.iter().enumerate() {
         if let Some(d) = deadline {
             if Instant::now() >= d {
+                trace.emit(ROOT_SPAN, EventKind::DeadlineExpired);
                 return unserved(attempts, backoff_us, true, last_failure);
             }
         }
+        let rung_span = trace.open_span(ROOT_SPAN, rung.label());
+        trace.emit(
+            rung_span,
+            EventKind::CompositionStarted { rung: rung.label() },
+        );
         let profiles = degrade_profiles(&request.profiles, rung);
         let mut attempt_in_rung = 0u32;
         let composition = loop {
@@ -607,6 +655,15 @@ fn serve_one(
                 Err(payload) => {
                     // A panic is a deterministic fault in the compose
                     // path; neither retrying nor degrading can help.
+                    trace.emit(
+                        rung_span,
+                        EventKind::CompositionFinished {
+                            rung: rung.label(),
+                            served: false,
+                            satisfaction_micros: 0,
+                            attempts,
+                        },
+                    );
                     return unserved(
                         attempts,
                         backoff_us,
@@ -617,20 +674,37 @@ fn serve_one(
                 Ok(Err(e))
                     if is_transient(&e) && attempt_in_rung < config.retry.max_attempts.max(1) =>
                 {
-                    backoff_us = config.retry.accrue(
-                        backoff_us,
-                        config.retry.backoff_for(attempt_in_rung, &mut rng),
+                    // Draw the backoff first, then accrue: the RNG call
+                    // order is part of the committed scorecards.
+                    let step = config.retry.backoff_for(attempt_in_rung, &mut rng);
+                    backoff_us = config.retry.accrue(backoff_us, step);
+                    trace.emit(
+                        rung_span,
+                        EventKind::Retry {
+                            attempt: attempt_in_rung,
+                            backoff_us: step,
+                        },
                     );
                     last_failure = Some(e.to_string());
                 }
                 Ok(Err(e)) => {
                     // Terminal error: deterministic, or retries exhausted.
+                    trace.emit(
+                        rung_span,
+                        EventKind::CompositionFinished {
+                            rung: rung.label(),
+                            served: false,
+                            satisfaction_micros: 0,
+                            attempts,
+                        },
+                    );
                     return unserved(attempts, backoff_us, false, Some(e.to_string()));
                 }
                 Ok(Ok(composition)) => break composition,
             }
         };
         if composition.selection.failure == Some(SelectFailure::DeadlineExceeded) {
+            trace.emit(rung_span, EventKind::DeadlineExpired);
             return unserved(attempts, backoff_us, true, last_failure);
         }
         match composition.plan {
@@ -638,6 +712,15 @@ fn serve_one(
             // minimum — delivering it serves nobody (Section 4.1's
             // floors); the next rung relaxes what "minimum" means.
             Some(plan) if plan.predicted_satisfaction > 0.0 => {
+                trace.emit(
+                    rung_span,
+                    EventKind::CompositionFinished {
+                        rung: rung.label(),
+                        served: true,
+                        satisfaction_micros: (plan.predicted_satisfaction * 1e6).round() as u64,
+                        attempts,
+                    },
+                );
                 return RequestOutcome {
                     satisfaction: plan.predicted_satisfaction,
                     plan: Some(plan),
@@ -663,6 +746,24 @@ fn serve_one(
                 );
             }
         }
+        trace.emit(
+            rung_span,
+            EventKind::CompositionFinished {
+                rung: rung.label(),
+                served: false,
+                satisfaction_micros: 0,
+                attempts,
+            },
+        );
+        if let Some(&next_rung) = rungs.get(position + 1) {
+            trace.emit(
+                ROOT_SPAN,
+                EventKind::RungChange {
+                    from: rung.label(),
+                    to: next_rung.label(),
+                },
+            );
+        }
     }
     unserved(attempts, backoff_us, false, last_failure)
 }
@@ -680,6 +781,20 @@ pub fn serve_batch_resilient(
     requests: &[CompositionRequest],
     config: &ResilientEngineConfig,
 ) -> ResilientBatch {
+    serve_batch_resilient_traced(composer, requests, config, &NoopSink)
+}
+
+/// [`serve_batch_resilient`] with the full causal chain of every
+/// request — ladder rungs, retries, deadline expiries — recorded into
+/// `sink` (request id = batch index, virtual time 0 — this path has no
+/// virtual clock). With [`NoopSink`] this is exactly
+/// `serve_batch_resilient`: outcomes are bitwise identical.
+pub fn serve_batch_resilient_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    config: &ResilientEngineConfig,
+    sink: &S,
+) -> ResilientBatch {
     let workers = config.workers.max(1).min(requests.len().max(1));
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, RequestOutcome)> = Vec::with_capacity(requests.len());
@@ -695,9 +810,17 @@ pub fn serve_batch_resilient(
                         let Some(request) = requests.get(index) else {
                             return local;
                         };
+                        let mut trace = RequestTrace::new(sink, index as u64, 0);
                         local.push((
                             index,
-                            serve_one(composer, request, index, config, DegradationRung::Full),
+                            serve_one(
+                                composer,
+                                request,
+                                index,
+                                config,
+                                DegradationRung::Full,
+                                &mut trace,
+                            ),
                         ));
                     }
                 })
@@ -770,6 +893,27 @@ pub fn serve_batch_with_admission(
     arrivals: &[ArrivalMeta],
     config: &ResilientEngineConfig,
 ) -> AdmittedBatch {
+    serve_batch_with_admission_traced(composer, requests, arrivals, config, &NoopSink)
+}
+
+/// [`serve_batch_with_admission`] with every request's chain recorded
+/// into `sink`: admitted requests open at their virtual arrival time,
+/// record the admission verdict under an `admission` span, advance to
+/// their virtual service start, then trace the ladder exactly as
+/// [`serve_batch_resilient_traced`]; shed requests record only their
+/// arrival and the shed reason. With [`NoopSink`] this is exactly
+/// `serve_batch_with_admission`: outcomes are bitwise identical.
+///
+/// # Panics
+///
+/// Panics when `requests.len() != arrivals.len()`.
+pub fn serve_batch_with_admission_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    arrivals: &[ArrivalMeta],
+    config: &ResilientEngineConfig,
+    sink: &S,
+) -> AdmittedBatch {
     assert_eq!(
         requests.len(),
         arrivals.len(),
@@ -798,9 +942,21 @@ pub fn serve_batch_with_admission(
                         let Some(&index) = admitted.get(slot) else {
                             return local;
                         };
-                        let rung = admission.decisions[index].start_rung;
+                        let decision = &admission.decisions[index];
+                        let rung = decision.start_rung;
+                        let mut trace =
+                            RequestTrace::new(sink, index as u64, arrivals[index].arrival_us);
+                        let admission_span = trace.open_span(ROOT_SPAN, "admission");
+                        trace.emit(
+                            admission_span,
+                            EventKind::RequestAdmitted {
+                                queue_wait_us: decision.queue_wait_us,
+                                rung: rung.label(),
+                            },
+                        );
+                        trace.advance_to(decision.start_us);
                         let mut outcome =
-                            serve_one(composer, &requests[index], index, config, rung);
+                            serve_one(composer, &requests[index], index, config, rung, &mut trace);
                         outcome.brownout_rung = Some(rung);
                         local.push((index, outcome));
                     }
@@ -826,11 +982,25 @@ pub fn serve_batch_with_admission(
                 return outcome;
             }
             match admission.decisions[index].shed {
-                Some(reason) => RequestOutcome {
-                    shed: true,
-                    error: Some(format!("shed: {reason}")),
-                    ..unserved(0, 0, false, None)
-                },
+                Some(reason) => {
+                    let mut trace =
+                        RequestTrace::new(sink, index as u64, arrivals[index].arrival_us);
+                    let admission_span = trace.open_span(ROOT_SPAN, "admission");
+                    trace.advance_to(
+                        arrivals[index].arrival_us + admission.decisions[index].queue_wait_us,
+                    );
+                    trace.emit(
+                        admission_span,
+                        EventKind::RequestShed {
+                            reason: reason.label(),
+                        },
+                    );
+                    RequestOutcome {
+                        shed: true,
+                        error: Some(format!("shed: {reason}")),
+                        ..unserved(0, 0, false, None)
+                    }
+                }
                 None => unserved(
                     0,
                     0,

@@ -62,7 +62,8 @@ pub use bundle::{compose_bundle, BundleComposition, BundleStream};
 pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
 pub use composer::{Composer, Composition};
 pub use engine::{
-    degrade_profiles, serve_batch, serve_batch_resilient, serve_batch_with_admission,
+    degrade_profiles, serve_batch, serve_batch_resilient, serve_batch_resilient_traced,
+    serve_batch_traced, serve_batch_with_admission, serve_batch_with_admission_traced,
     AdmittedBatch, BatchCounters, CompositionRequest, DegradationRung, EngineConfig,
     RequestOutcome, ResilientBatch, ResilientEngineConfig, RetryPolicy,
 };

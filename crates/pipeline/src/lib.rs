@@ -31,7 +31,9 @@ pub mod session;
 pub use chaos::{ChaosAction, ChaosModel, ChaosPlan, ChaosSummary};
 pub use failure::{FailureEvent, FailureSchedule};
 pub use report::SessionReport;
-pub use resilience::{run_resilient, ResilienceConfig, ResilientRun, SegmentReport};
+pub use resilience::{
+    run_resilient, run_resilient_traced, ResilienceConfig, ResilientRun, SegmentReport,
+};
 pub use session::{run_session, SessionConfig};
 
 /// Errors produced by this crate.

@@ -22,6 +22,7 @@ use qosc_media::FormatRegistry;
 use qosc_netsim::{Network, NodeId, SimTime};
 use qosc_profiles::ProfileSet;
 use qosc_services::ServiceRegistry;
+use qosc_telemetry::{EventKind, NoopSink, RequestTrace, TelemetrySink, ROOT_SPAN};
 
 /// Configuration of a resilient run.
 #[derive(Debug, Clone)]
@@ -146,6 +147,37 @@ pub fn run_resilient(
     schedule: &FailureSchedule,
     config: &ResilienceConfig,
 ) -> Result<ResilientRun> {
+    run_resilient_traced(
+        formats,
+        services,
+        network,
+        profiles,
+        sender_host,
+        receiver_host,
+        schedule,
+        config,
+        &NoopSink,
+    )
+}
+
+/// [`run_resilient`] with the monitor's recovery actions — instant
+/// failovers to pre-planned backups and full re-compositions — recorded
+/// into `sink` at their virtual times, under request id 0 (one
+/// resilient run is one long-lived session). With [`NoopSink`] this is
+/// exactly `run_resilient`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient_traced<S: TelemetrySink>(
+    formats: &FormatRegistry,
+    services: &ServiceRegistry,
+    network: &mut Network,
+    profiles: &ProfileSet,
+    sender_host: NodeId,
+    receiver_host: NodeId,
+    schedule: &FailureSchedule,
+    config: &ResilienceConfig,
+    sink: &S,
+) -> Result<ResilientRun> {
+    let mut session_trace = RequestTrace::new(sink, 0, 0);
     let profile = profiles.effective_satisfaction();
     let mut segments: Vec<SegmentReport> = Vec::new();
     let mut recompositions = 0usize;
@@ -314,6 +346,13 @@ pub fn run_resilient(
                         }
                         plan = Some(backups.remove(index));
                         failovers += 1;
+                        session_trace.advance_to(now.as_micros());
+                        session_trace.emit(
+                            ROOT_SPAN,
+                            EventKind::Failover {
+                                attempt: failovers as u32,
+                            },
+                        );
                     } else if config.recompose && recompositions < config.max_recompositions {
                         // Detection delay: the stream is dark while the
                         // monitor notices.
@@ -336,6 +375,27 @@ pub fn run_resilient(
                         backups = new_backups;
                         rung = new_rung;
                         recompositions += 1;
+                        session_trace.advance_to(now.as_micros());
+                        session_trace.emit(
+                            ROOT_SPAN,
+                            EventKind::Recomposed {
+                                attempt: recompositions as u32,
+                            },
+                        );
+                        if let Some(rung) = rung {
+                            session_trace.emit(
+                                ROOT_SPAN,
+                                EventKind::CompositionFinished {
+                                    rung: rung.label(),
+                                    served: true,
+                                    satisfaction_micros: plan
+                                        .as_ref()
+                                        .map(|p| (p.predicted_satisfaction * 1e6).round() as u64)
+                                        .unwrap_or(0),
+                                    attempts: recompositions as u32,
+                                },
+                            );
+                        }
                     } else {
                         // Either recovery is disabled, or the
                         // re-composition budget is spent: stop trying.

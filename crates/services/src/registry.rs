@@ -19,6 +19,7 @@ use crate::descriptor::{ServiceId, TranscoderDescriptor};
 use crate::{Result, ServiceError};
 use qosc_media::FormatId;
 use qosc_netsim::SimTime;
+use qosc_telemetry::{Event, EventKind, TelemetrySink, REQUEST_NONE};
 use std::collections::HashMap;
 
 /// Registry life-cycle events, in occurrence order.
@@ -72,6 +73,11 @@ struct Entry {
 pub struct ServiceRegistry {
     entries: Vec<Entry>,
     events: Vec<RegistryEvent>,
+    /// When each event happened (parallel to `events`). Operations
+    /// without their own `now` parameter stamp with `clock`, the latest
+    /// simulation time this registry has seen.
+    event_times: Vec<SimTime>,
+    clock: SimTime,
     /// Format-indexed lookup: input format → service ids in registration
     /// order (live and dead; liveness is filtered on query). Graph
     /// construction calls [`ServiceRegistry::accepting`] once per
@@ -107,8 +113,16 @@ impl ServiceRegistry {
             failures: 0,
             quarantined_until: None,
         });
-        self.events.push(RegistryEvent::Registered(id));
+        self.push_event(RegistryEvent::Registered(id), now);
         id
+    }
+
+    /// Record `event` at `at`, keeping the stamp monotone: an event can
+    /// never be recorded before one already in the log.
+    fn push_event(&mut self, event: RegistryEvent, at: SimTime) {
+        self.clock = self.clock.max(at);
+        self.events.push(event);
+        self.event_times.push(self.clock);
     }
 
     /// Register with an effectively infinite lease — for static scenarios
@@ -121,7 +135,7 @@ impl ServiceRegistry {
     pub fn renew(&mut self, id: ServiceId, now: SimTime, ttl_us: u64) -> Result<()> {
         let entry = self.live_entry_mut(id)?;
         entry.lease_until = now.plus_micros(ttl_us);
-        self.events.push(RegistryEvent::Renewed(id));
+        self.push_event(RegistryEvent::Renewed(id), now);
         Ok(())
     }
 
@@ -129,7 +143,9 @@ impl ServiceRegistry {
     pub fn deregister(&mut self, id: ServiceId) -> Result<()> {
         let entry = self.live_entry_mut(id)?;
         entry.alive = false;
-        self.events.push(RegistryEvent::Deregistered(id));
+        // No `now` parameter: stamp with the latest time seen.
+        let at = self.clock;
+        self.push_event(RegistryEvent::Deregistered(id), at);
         Ok(())
     }
 
@@ -145,7 +161,7 @@ impl ServiceRegistry {
             }
         }
         for &id in &expired {
-            self.events.push(RegistryEvent::Expired(id));
+            self.push_event(RegistryEvent::Expired(id), now);
         }
         expired
     }
@@ -210,6 +226,53 @@ impl ServiceRegistry {
         &self.events
     }
 
+    /// The event log with the [`SimTime`] each event was recorded at.
+    /// Stamps are monotone in log order (see `push_event`).
+    pub fn timed_events(&self) -> impl Iterator<Item = (SimTime, &RegistryEvent)> + '_ {
+        self.event_times.iter().copied().zip(self.events.iter())
+    }
+
+    /// Replay the event log into a telemetry sink as flight-recorder
+    /// events: `request_id` is [`REQUEST_NONE`] (registry life-cycle
+    /// belongs to no request), `seq` is the log index, and the virtual
+    /// time is the recorded [`SimTime`] — so the merged log is
+    /// byte-identical however the scenario that produced the churn was
+    /// scheduled.
+    pub fn record_telemetry<S: TelemetrySink>(&self, sink: &S) {
+        if !sink.enabled() {
+            return;
+        }
+        for (index, (at, event)) in self.timed_events().enumerate() {
+            let kind = match *event {
+                RegistryEvent::Registered(id) => EventKind::ServiceRegistered {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::Renewed(id) => EventKind::LeaseRenewed {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::Expired(id) => EventKind::LeaseExpired {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::Deregistered(id) => EventKind::ServiceDeregistered {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::Quarantined(id) => EventKind::QuarantineOpened {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::Reinstated(id) => EventKind::QuarantineReleased {
+                    service: id.index() as u32,
+                },
+            };
+            sink.record(Event {
+                virtual_time_us: at.as_micros(),
+                request_id: REQUEST_NONE,
+                span: 0,
+                seq: index as u32,
+                kind,
+            });
+        }
+    }
+
     /// Replace the circuit-breaker policy (defaults to
     /// [`QuarantineConfig::default`]).
     pub fn set_quarantine_config(&mut self, config: QuarantineConfig) {
@@ -238,7 +301,7 @@ impl ServiceRegistry {
         entry.failures = entry.failures.saturating_add(1);
         if entry.quarantined_until.is_none() && entry.failures >= threshold {
             entry.quarantined_until = Some(now.plus_micros(cooldown));
-            self.events.push(RegistryEvent::Quarantined(id));
+            self.push_event(RegistryEvent::Quarantined(id), now);
             return Ok(true);
         }
         Ok(false)
@@ -283,7 +346,7 @@ impl ServiceRegistry {
             }
         }
         for &id in &reinstated {
-            self.events.push(RegistryEvent::Reinstated(id));
+            self.push_event(RegistryEvent::Reinstated(id), now);
         }
         reinstated
     }

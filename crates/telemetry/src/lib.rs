@@ -1,0 +1,34 @@
+//! Deterministic observability for the qosc serving stack.
+//!
+//! Three instruments, one determinism discipline:
+//!
+//! * **Flight recorder** ([`FlightRecorder`]) — typed [`Event`]s from
+//!   every layer (admission, engine, cache, registry, resilience) land
+//!   in per-worker append-only buffers and merge into one log totally
+//!   ordered by `(virtual_time, request_id, seq)`. No wall clock
+//!   appears anywhere, so the rendered log is byte-identical across
+//!   runs, machines, and worker counts.
+//! * **Span traces** ([`RequestTrace`]) — each request's events nest in
+//!   a span tree (admission → composition attempts → ladder rungs →
+//!   cache probes); [`FlightRecorder::explain`] renders the causal
+//!   chain of any request id after the fact.
+//! * **Metrics registry** ([`MetricsRegistry`]) — named counters,
+//!   gauges, and fixed-boundary integer histograms with
+//!   Prometheus-text and JSON-lines exporters whose output is
+//!   deterministic (name-sorted, all-integer).
+//!
+//! Instrumented layers are generic over [`TelemetrySink`]; the
+//! [`NoopSink`] specialization compiles to nothing, so the untraced hot
+//! path is unchanged.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use event::{CacheOutcome, Event, EventKind, NO_PARENT, REQUEST_NONE};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use recorder::FlightRecorder;
+pub use trace::{NoopSink, RequestTrace, TelemetrySink, ROOT_SPAN};

@@ -1,0 +1,323 @@
+//! The flight recorder: per-worker append-only buffers, one merged log.
+//!
+//! [`FlightRecorder`] is the real [`TelemetrySink`]: `record` appends
+//! to one of a handful of mutex-guarded buffers (selected by the low
+//! bits of the request id, so two workers serving different requests
+//! almost never contend), and [`merged`](FlightRecorder::merged) sorts
+//! the union by `(virtual_time, request_id, seq)`. Each request's
+//! events are emitted by exactly one worker holding a monotone `seq`,
+//! so the merged log is byte-identical for any worker count and any
+//! scheduling — the recorder turns a nondeterministic execution into a
+//! deterministic record.
+
+use crate::event::{Event, EventKind, NO_PARENT, REQUEST_NONE};
+use crate::metrics::MetricsRegistry;
+use crate::trace::TelemetrySink;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// A sharded append-only event store with a deterministic merged view.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buffers: Vec<Mutex<Vec<Event>>>,
+    mask: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightRecorder::DEFAULT_BUFFERS)
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let key = if event.request_id == REQUEST_NONE {
+            0
+        } else {
+            event.request_id as usize
+        };
+        self.buffers[key & self.mask].lock().push(event);
+    }
+}
+
+impl FlightRecorder {
+    /// Buffer count used by [`default`](FlightRecorder::default) —
+    /// comfortably above any worker count the engine runs with.
+    pub const DEFAULT_BUFFERS: usize = 16;
+
+    /// An empty recorder with `buffers` buffers (rounded up to the next
+    /// power of two, minimum 1).
+    pub fn new(buffers: usize) -> FlightRecorder {
+        let count = buffers.max(1).next_power_of_two();
+        FlightRecorder {
+            buffers: (0..count).map(|_| Mutex::new(Vec::new())).collect(),
+            mask: count - 1,
+        }
+    }
+
+    /// Total events recorded so far.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every recorded event.
+    pub fn clear(&self) {
+        for buffer in &self.buffers {
+            buffer.lock().clear();
+        }
+    }
+
+    /// The merged log: every event, ordered by
+    /// `(virtual_time, request_id, seq)`. Deterministic for any worker
+    /// count (see the module docs).
+    pub fn merged(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .buffers
+            .iter()
+            .flat_map(|b| b.lock().iter().copied().collect::<Vec<_>>())
+            .collect();
+        events.sort_by_key(Event::sort_key);
+        events
+    }
+
+    /// The merged log rendered as text, one line per event. Two runs
+    /// that recorded the same events produce byte-identical strings.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for event in self.merged() {
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Events per [`EventKind::label`], name-sorted.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for event in self.merged() {
+            *counts.entry(event.kind.label()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Mirror per-type event counts into `registry` as
+    /// `qosc_events_total{kind="…"}` counters.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        for (label, count) in self.event_counts() {
+            registry
+                .counter(&format!("qosc_events_total{{kind=\"{label}\"}}"))
+                .store(count);
+        }
+    }
+
+    /// The causal chain of one request, rendered as an indented span
+    /// tree with each span's events inline — the "why did this request
+    /// end the way it did" view. Returns a note line when the request
+    /// never recorded anything.
+    pub fn explain(&self, request_id: u64) -> String {
+        let events: Vec<Event> = self
+            .merged()
+            .into_iter()
+            .filter(|e| e.request_id == request_id)
+            .collect();
+        if events.is_empty() {
+            return format!("request {request_id}: no recorded events\n");
+        }
+        // Span id → (parent, label), plus per-span event lists in seq
+        // order (`merged` already sorted them).
+        let mut spans: BTreeMap<u32, (u32, &'static str)> = BTreeMap::new();
+        let mut children: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut lines: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for event in &events {
+            match event.kind {
+                EventKind::SpanOpen { parent, label } => {
+                    spans.insert(event.span, (parent, label));
+                    if parent != NO_PARENT {
+                        children.entry(parent).or_default().push(event.span);
+                    }
+                }
+                kind => lines.entry(event.span).or_default().push(format!(
+                    "[t={}] {}",
+                    event.virtual_time_us,
+                    kind.render()
+                )),
+            }
+        }
+        let mut out = format!("request {request_id}\n");
+        fn walk(
+            span: u32,
+            depth: usize,
+            spans: &BTreeMap<u32, (u32, &'static str)>,
+            children: &BTreeMap<u32, Vec<u32>>,
+            lines: &BTreeMap<u32, Vec<String>>,
+            out: &mut String,
+        ) {
+            let indent = "  ".repeat(depth);
+            if let Some(&(_, label)) = spans.get(&span) {
+                out.push_str(&format!("{indent}{label}\n"));
+            }
+            if let Some(events) = lines.get(&span) {
+                for line in events {
+                    out.push_str(&format!("{indent}  {line}\n"));
+                }
+            }
+            if let Some(kids) = children.get(&span) {
+                for &kid in kids {
+                    walk(kid, depth + 1, spans, children, lines, out);
+                }
+            }
+        }
+        // Roots: spans whose parent is NO_PARENT (there is one per
+        // request in practice, but render all defensively).
+        let roots: Vec<u32> = spans
+            .iter()
+            .filter(|(_, &(parent, _))| parent == NO_PARENT)
+            .map(|(&span, _)| span)
+            .collect();
+        for root in roots {
+            walk(root, 0, &spans, &children, &lines, &mut out);
+        }
+        out
+    }
+
+    /// Depth of a request's span tree (1 = only the root span; 0 when
+    /// the request recorded nothing). Scorecards aggregate this.
+    pub fn explain_depth(&self, request_id: u64) -> usize {
+        let mut parents: BTreeMap<u32, u32> = BTreeMap::new();
+        for event in self.merged() {
+            if event.request_id != request_id {
+                continue;
+            }
+            if let EventKind::SpanOpen { parent, .. } = event.kind {
+                parents.insert(event.span, parent);
+            }
+        }
+        let mut deepest = 0usize;
+        for &span in parents.keys() {
+            let mut depth = 1usize;
+            let mut cursor = span;
+            while let Some(&parent) = parents.get(&cursor) {
+                if parent == NO_PARENT {
+                    break;
+                }
+                depth += 1;
+                cursor = parent;
+            }
+            deepest = deepest.max(depth);
+        }
+        deepest
+    }
+
+    /// All distinct request ids in the log, ascending
+    /// ([`REQUEST_NONE`] excluded).
+    pub fn request_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .merged()
+            .iter()
+            .map(|e| e.request_id)
+            .filter(|&id| id != REQUEST_NONE)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CacheOutcome;
+    use crate::trace::{RequestTrace, ROOT_SPAN};
+
+    fn sample(recorder: &FlightRecorder) {
+        let mut a = RequestTrace::new(recorder, 0, 10);
+        let cache = a.open_span(ROOT_SPAN, "cache");
+        a.emit(
+            cache,
+            EventKind::CacheProbe {
+                outcome: CacheOutcome::Miss,
+            },
+        );
+        let rung = a.open_span(ROOT_SPAN, "full");
+        a.emit(rung, EventKind::CompositionStarted { rung: "full" });
+        a.emit(
+            rung,
+            EventKind::CompositionFinished {
+                rung: "full",
+                served: true,
+                satisfaction_micros: 812_000,
+                attempts: 1,
+            },
+        );
+        let mut b = RequestTrace::new(recorder, 1, 5);
+        b.emit(
+            ROOT_SPAN,
+            EventKind::RequestShed {
+                reason: "queue_full",
+            },
+        );
+    }
+
+    #[test]
+    fn merged_log_is_independent_of_recording_interleaving() {
+        let forward = FlightRecorder::new(4);
+        sample(&forward);
+        // Record the same events in a different physical order (what a
+        // different worker schedule would do).
+        let shuffled = FlightRecorder::new(1);
+        let mut events = forward.merged();
+        events.reverse();
+        for event in events {
+            shuffled.record(event);
+        }
+        assert_eq!(forward.render_log(), shuffled.render_log());
+        assert_eq!(forward.merged(), shuffled.merged());
+    }
+
+    #[test]
+    fn event_counts_index_by_label() {
+        let recorder = FlightRecorder::default();
+        sample(&recorder);
+        let counts = recorder.event_counts();
+        assert_eq!(counts.get("cache_miss"), Some(&1));
+        assert_eq!(counts.get("request_shed"), Some(&1));
+        assert_eq!(counts.get("composition_finished"), Some(&1));
+        assert_eq!(counts.get("span_open"), Some(&4));
+    }
+
+    #[test]
+    fn explain_renders_the_causal_chain() {
+        let recorder = FlightRecorder::default();
+        sample(&recorder);
+        let explain = recorder.explain(0);
+        assert!(explain.starts_with("request 0\n"));
+        assert!(explain.contains("cache"));
+        assert!(explain.contains("cache_miss"));
+        assert!(explain.contains("composition_finished rung=full served=true"));
+        assert_eq!(recorder.explain_depth(0), 2, "root + one nested level");
+        assert_eq!(recorder.explain_depth(1), 1, "shed request: root only");
+        assert_eq!(recorder.explain_depth(99), 0, "unknown request");
+        assert!(recorder.explain(99).contains("no recorded events"));
+        assert_eq!(recorder.request_ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn clear_empties_every_buffer() {
+        let recorder = FlightRecorder::new(2);
+        sample(&recorder);
+        assert!(!recorder.is_empty());
+        recorder.clear();
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.render_log(), "");
+    }
+}

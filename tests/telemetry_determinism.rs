@@ -1,0 +1,239 @@
+//! Telemetry determinism: the flight recorder's merged log and the
+//! metrics snapshot are pure functions of the seeds — independent of
+//! worker count and of repetition — and attaching a recorder never
+//! changes what the engine decides.
+
+use qosc_core::{
+    serve_batch_traced, serve_batch_with_admission, serve_batch_with_admission_traced,
+    AdmissionConfig, CompositionRequest, EngineConfig, ResilientEngineConfig,
+    ShardedCompositionCache,
+};
+use qosc_telemetry::{FlightRecorder, MetricsRegistry, NoopSink};
+use qosc_workload::arrivals::{poisson_burst_arrivals, ArrivalPattern};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::Scenario;
+
+const TOPOLOGY_SEED: u64 = 5;
+const ARRIVAL_SEED: u64 = 42;
+
+fn scenario() -> Scenario {
+    random_scenario(
+        &GeneratorConfig {
+            services_per_layer: 5,
+            multi_axis: true,
+            ..GeneratorConfig::default()
+        },
+        TOPOLOGY_SEED,
+    )
+}
+
+/// ~4× a 4-core virtual capacity for 300ms: admitted and shed chains.
+fn overload_pattern() -> ArrivalPattern {
+    ArrivalPattern {
+        horizon_us: 300_000,
+        rate_per_sec: 660,
+        ..ArrivalPattern::default()
+    }
+}
+
+fn engine_config(workers: usize) -> ResilientEngineConfig {
+    ResilientEngineConfig {
+        workers,
+        admission: AdmissionConfig {
+            virtual_cores: 4,
+            initial_limit: 4,
+            max_limit: 8,
+            ..AdmissionConfig::protected()
+        },
+        ..ResilientEngineConfig::default()
+    }
+}
+
+/// One instrumented overload + cache replay at `workers`. Returns the
+/// merged overload log, the cache log (cold pass over per-request keys
+/// then warm pass), and the Prometheus snapshot.
+fn replay(workers: usize) -> (String, String, String) {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let recorder = FlightRecorder::new(16);
+    let arrivals = poisson_burst_arrivals(&overload_pattern(), ARRIVAL_SEED);
+    let requests: Vec<CompositionRequest> = arrivals
+        .iter()
+        .map(|_| CompositionRequest {
+            profiles: scenario.profiles.clone(),
+            sender_host: scenario.sender_host,
+            receiver_host: scenario.receiver_host,
+        })
+        .collect();
+    let result = serve_batch_with_admission_traced(
+        &composer,
+        &requests,
+        &arrivals,
+        &engine_config(workers),
+        &recorder,
+    );
+
+    let cache_recorder = FlightRecorder::new(16);
+    let cache = ShardedCompositionCache::new(8);
+    let cache_requests: Vec<CompositionRequest> = (0..12)
+        .map(|i| {
+            let mut profiles = scenario.profiles.clone();
+            profiles.user.name = format!("viewer-{i}");
+            CompositionRequest {
+                profiles,
+                sender_host: scenario.sender_host,
+                receiver_host: scenario.receiver_host,
+            }
+        })
+        .collect();
+    let config = EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    };
+    serve_batch_traced(&composer, &cache, &cache_requests, &config, &cache_recorder);
+    serve_batch_traced(&composer, &cache, &cache_requests, &config, &cache_recorder);
+
+    let registry = MetricsRegistry::new();
+    result.batch.counters().record_metrics(&registry);
+    cache.stats().record_metrics(&registry);
+    cache.export_gauges(&registry);
+    recorder.export_metrics(&registry);
+
+    (
+        recorder.render_log(),
+        cache_recorder.render_log(),
+        registry.to_prometheus_text(),
+    )
+}
+
+#[test]
+fn merged_log_and_metrics_identical_across_worker_counts() {
+    let (log_1, cache_1, metrics_1) = replay(1);
+    for workers in [2, 4, 8] {
+        let (log_w, cache_w, metrics_w) = replay(workers);
+        assert_eq!(log_1, log_w, "overload log differs at {workers} workers");
+        assert_eq!(cache_1, cache_w, "cache log differs at {workers} workers");
+        assert_eq!(
+            metrics_1, metrics_w,
+            "metrics snapshot differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let (log_a, cache_a, metrics_a) = replay(4);
+    let (log_b, cache_b, metrics_b) = replay(4);
+    assert_eq!(log_a, log_b);
+    assert_eq!(cache_a, cache_b);
+    assert_eq!(metrics_a, metrics_b);
+}
+
+/// Both passes of the warmed cache replay serve the same 12 keys, so
+/// the second pass's probes are all hits — the merged log separates
+/// them by `(virtual_time, request_id, seq)` even though both passes
+/// share request ids.
+#[test]
+fn cache_log_counts_cold_and_warm_probes() {
+    let (_, cache_log, _) = replay(2);
+    let misses = cache_log.matches("cache_miss").count();
+    let hits = cache_log.matches("cache_hit").count();
+    assert_eq!(misses, 12, "first pass: one miss per distinct key");
+    assert_eq!(hits, 12, "second pass: one hit per distinct key");
+}
+
+/// Attaching the recorder is observation, not intervention: the
+/// uninstrumented run decides exactly the same admissions, plans and
+/// scores, bit for bit.
+#[test]
+fn noop_run_is_bitwise_identical_to_instrumented_run() {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let arrivals = poisson_burst_arrivals(&overload_pattern(), ARRIVAL_SEED);
+    let requests: Vec<CompositionRequest> = arrivals
+        .iter()
+        .map(|_| CompositionRequest {
+            profiles: scenario.profiles.clone(),
+            sender_host: scenario.sender_host,
+            receiver_host: scenario.receiver_host,
+        })
+        .collect();
+
+    let recorder = FlightRecorder::new(16);
+    let traced = serve_batch_with_admission_traced(
+        &composer,
+        &requests,
+        &arrivals,
+        &engine_config(4),
+        &recorder,
+    );
+    let noop_sink = serve_batch_with_admission_traced(
+        &composer,
+        &requests,
+        &arrivals,
+        &engine_config(4),
+        &NoopSink,
+    );
+    let untraced = serve_batch_with_admission(&composer, &requests, &arrivals, &engine_config(4));
+    assert!(!recorder.is_empty(), "instrumented run recorded events");
+
+    for reference in [&noop_sink, &untraced] {
+        assert_eq!(traced.batch.counters(), reference.batch.counters());
+        for (a, b) in traced.batch.outcomes.iter().zip(&reference.batch.outcomes) {
+            assert_eq!(a.satisfaction.to_bits(), b.satisfaction.to_bits());
+            assert_eq!(a.rung, b.rung);
+            assert_eq!(a.plan.is_some(), b.plan.is_some());
+        }
+        for (a, b) in traced
+            .admission
+            .decisions
+            .iter()
+            .zip(&reference.admission.decisions)
+        {
+            assert_eq!(a.admitted, b.admitted);
+            assert_eq!(a.queue_wait_us, b.queue_wait_us);
+            assert_eq!(a.start_us, b.start_us);
+        }
+    }
+}
+
+/// Every span referenced by an event was opened: the log is a closed
+/// causal graph, so `explain` can always re-build the tree.
+#[test]
+fn every_event_span_was_opened() {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let recorder = FlightRecorder::new(16);
+    let arrivals = poisson_burst_arrivals(&overload_pattern(), ARRIVAL_SEED);
+    let requests: Vec<CompositionRequest> = arrivals
+        .iter()
+        .map(|_| CompositionRequest {
+            profiles: scenario.profiles.clone(),
+            sender_host: scenario.sender_host,
+            receiver_host: scenario.receiver_host,
+        })
+        .collect();
+    serve_batch_with_admission_traced(
+        &composer,
+        &requests,
+        &arrivals,
+        &engine_config(4),
+        &recorder,
+    );
+
+    use std::collections::HashSet;
+    let mut opened: HashSet<(u64, u32)> = HashSet::new();
+    for event in recorder.merged() {
+        if let qosc_telemetry::EventKind::SpanOpen { .. } = event.kind {
+            opened.insert((event.request_id, event.span));
+        } else {
+            assert!(
+                opened.contains(&(event.request_id, event.span)),
+                "event {} references unopened span {} of request {}",
+                event.kind.label(),
+                event.span,
+                event.request_id
+            );
+        }
+    }
+}
