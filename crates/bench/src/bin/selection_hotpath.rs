@@ -1,0 +1,404 @@
+//! X15: the selection hot path — incremental graph store vs
+//! rebuild-per-request.
+//!
+//! Sweeps registry churn rate × request repeat rate and serves every
+//! request twice in the same run: once through a store-backed
+//! [`ShardedCompositionCache`] (graph reuse + delta maintenance) and
+//! once through a store-free cache (the historical rebuild-per-compose
+//! path). Reports per-request compose p50/p99 for both paths, the
+//! store's rebuild/delta/reuse counters, the arena-reuse count of the
+//! zero-allocation selection kernel, and — the point of the exercise —
+//! asserts the two paths produce **bitwise-identical plans** and
+//! identical hit/miss/stale classification, then repeats the identity
+//! assertion across 1/2/4/8 workers.
+//!
+//! Output goes to `BENCH_hotpath.json` (first CLI argument overrides
+//! the path). Passing `--deterministic` as the second argument omits
+//! every timing-derived field so two runs of the bin produce
+//! byte-identical files — the CI smoke step runs it twice and `cmp`s.
+
+use qosc_bench::TextTable;
+use qosc_core::{
+    arena_reuse_total, serve_batch, AdaptationPlan, Composer, CompositionRequest, EngineConfig,
+    SelectOptions, ShardedCompositionCache,
+};
+use qosc_netsim::SimTime;
+use qosc_profiles::ProfileSet;
+use qosc_services::QuarantineConfig;
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::Scenario;
+use std::time::Instant;
+
+const CHURN_RATES: [f64; 3] = [0.0, 0.05, 0.25];
+const REPEAT_RATES: [f64; 2] = [0.0, 0.9];
+const REQUESTS_PER_CELL: usize = 96;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 7;
+
+/// FNV-1a over the rendered plans: the digest two paths (or two worker
+/// counts) must agree on byte for byte.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, text: &str) {
+        for byte in text.bytes().chain(std::iter::once(0x1e)) {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// `n` profile sets with `repeat_rate` of them re-using an earlier
+/// cache key (same construction as the throughput sweep).
+fn profile_mix(scenario: &Scenario, n: usize, repeat_rate: f64) -> Vec<ProfileSet> {
+    let distinct = ((n as f64) * (1.0 - repeat_rate)).ceil().max(1.0) as usize;
+    (0..n)
+        .map(|i| {
+            let mut profiles = scenario.profiles.clone();
+            profiles.user.name = format!("hotpath-user-{}", i % distinct);
+            profiles
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let index = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[index]
+}
+
+struct PathStats {
+    seconds: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn path_stats(latencies_us: &mut [f64]) -> PathStats {
+    let seconds = latencies_us.iter().sum::<f64>() / 1e6;
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PathStats {
+        seconds,
+        p50_us: percentile(latencies_us, 0.50),
+        p99_us: percentile(latencies_us, 0.99),
+    }
+}
+
+struct Cell {
+    churn_rate: f64,
+    repeat_rate: f64,
+    requests: usize,
+    solved: usize,
+    churn_ops: usize,
+    hits: usize,
+    misses: usize,
+    stale: usize,
+    rebuilds: u64,
+    deltas: u64,
+    delta_ops: u64,
+    reuses: u64,
+    digest: u64,
+    store: PathStats,
+    baseline: PathStats,
+}
+
+/// Serve one cell sequentially, composing every request through both
+/// caches and checking the plans agree bitwise.
+fn run_cell(config: &GeneratorConfig, churn_rate: f64, repeat_rate: f64) -> Cell {
+    let mut scenario = random_scenario(config, SEED);
+    scenario.services.set_quarantine_config(QuarantineConfig {
+        failure_threshold: 1,
+        cooldown_us: 1_000_000,
+    });
+    let ids: Vec<_> = scenario
+        .services
+        .live_services()
+        .map(|(id, _)| id)
+        .collect();
+    let profiles = profile_mix(&scenario, REQUESTS_PER_CELL, repeat_rate);
+    let options = SelectOptions::default();
+
+    let store_cache = ShardedCompositionCache::new(16);
+    let base_cache = ShardedCompositionCache::new_without_graph_store(16);
+    let mut store_latencies = Vec::with_capacity(profiles.len());
+    let mut base_latencies = Vec::with_capacity(profiles.len());
+    let mut digest = Digest::new();
+    let mut solved = 0usize;
+    let mut churn_ops = 0usize;
+    let mut churn_due = 0.0f64;
+    let mut now_us = 1_000u64;
+
+    for profiles in &profiles {
+        // Deterministic churn pacing: `churn_rate` ops per request on
+        // average, alternating a threshold-1 quarantine with a release
+        // far enough ahead that the breaker reopens.
+        churn_due += churn_rate;
+        while churn_due >= 1.0 {
+            churn_due -= 1.0;
+            now_us += 2_000_000;
+            if churn_ops.is_multiple_of(2) {
+                let id = ids[(churn_ops / 2) % ids.len()];
+                let _ = scenario.services.report_failure(id, SimTime(now_us));
+            } else {
+                scenario.services.release_quarantines(SimTime(now_us));
+            }
+            churn_ops += 1;
+        }
+        let composer = Composer {
+            formats: &scenario.formats,
+            services: &scenario.services,
+            network: &scenario.network,
+        };
+
+        let start = Instant::now();
+        let via_store = store_cache
+            .compose(
+                &composer,
+                profiles,
+                scenario.sender_host,
+                scenario.receiver_host,
+                &options,
+            )
+            .expect("compose");
+        store_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+
+        let start = Instant::now();
+        let via_rebuild = base_cache
+            .compose(
+                &composer,
+                profiles,
+                scenario.sender_host,
+                scenario.receiver_host,
+                &options,
+            )
+            .expect("compose");
+        base_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+
+        let rendered = format!("{via_store:?}");
+        assert_eq!(
+            rendered,
+            format!("{via_rebuild:?}"),
+            "store-backed and rebuild-per-request plans diverged"
+        );
+        digest.update(&rendered);
+        if via_store.is_some() {
+            solved += 1;
+        }
+    }
+
+    let store_stats = store_cache.stats();
+    assert_eq!(
+        store_stats,
+        base_cache.stats(),
+        "epoch revalidation must not alter hit/miss/stale classification"
+    );
+    let graph = store_cache.graph_stats();
+    Cell {
+        churn_rate,
+        repeat_rate,
+        requests: profiles.len(),
+        solved,
+        churn_ops,
+        hits: store_stats.hits,
+        misses: store_stats.misses,
+        stale: store_stats.stale,
+        rebuilds: graph.rebuilds,
+        deltas: graph.deltas,
+        delta_ops: graph.delta_ops,
+        reuses: graph.reuses,
+        digest: digest.0,
+        store: path_stats(&mut store_latencies),
+        baseline: path_stats(&mut base_latencies),
+    }
+}
+
+/// The cross-worker identity check: one repeat-heavy mix served by
+/// `serve_batch` at each worker count, plans digested in request order.
+fn worker_digests(config: &GeneratorConfig) -> u64 {
+    let scenario = random_scenario(config, SEED);
+    let profiles = profile_mix(&scenario, 64, 0.5);
+    let requests: Vec<CompositionRequest> = profiles
+        .into_iter()
+        .map(|profiles| CompositionRequest {
+            profiles,
+            sender_host: scenario.sender_host,
+            receiver_host: scenario.receiver_host,
+        })
+        .collect();
+    let composer = scenario.composer();
+    let digest_of = |plans: &[qosc_core::Result<Option<AdaptationPlan>>]| {
+        let mut digest = Digest::new();
+        for plan in plans {
+            digest.update(&format!("{:?}", plan.as_ref().expect("compose")));
+        }
+        digest.0
+    };
+
+    let mut reference = None;
+    for &workers in &WORKERS {
+        let cache = ShardedCompositionCache::new(16);
+        let engine = EngineConfig {
+            workers,
+            options: SelectOptions::default(),
+        };
+        let served = serve_batch(&composer, &cache, &requests, &engine);
+        let digest = digest_of(&served);
+        match reference {
+            None => reference = Some(digest),
+            Some(expected) => assert_eq!(
+                digest, expected,
+                "plans diverged between 1 and {workers} workers"
+            ),
+        }
+    }
+    // The rebuild-per-request path must land on the same bytes too.
+    let cache = ShardedCompositionCache::new_without_graph_store(16);
+    let engine = EngineConfig {
+        workers: 1,
+        options: SelectOptions::default(),
+    };
+    let served = serve_batch(&composer, &cache, &requests, &engine);
+    let reference = reference.expect("at least one worker count");
+    assert_eq!(
+        digest_of(&served),
+        reference,
+        "rebuild-per-request batch diverged from store-backed batch"
+    );
+    reference
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let deterministic = std::env::args().nth(2).as_deref() == Some("--deterministic");
+    // Single-conversion services keep the per-edge `Optimize()` cost
+    // low, so graph construction — the work the store amortizes — is
+    // the dominant share of a cold compose, as in a deep CDN-style
+    // deployment with many single-purpose transcoders.
+    let config = GeneratorConfig {
+        layers: 5,
+        services_per_layer: 12,
+        formats_per_layer: 3,
+        conversions_per_service: 1,
+        ..GeneratorConfig::default()
+    };
+
+    // Warm-up so code pages and allocator state don't bill to the
+    // first timed cell.
+    let _ = run_cell(&config, 0.0, 0.0);
+
+    let arena_before = arena_reuse_total();
+    let mut cells = Vec::new();
+    for &churn_rate in &CHURN_RATES {
+        for &repeat_rate in &REPEAT_RATES {
+            cells.push(run_cell(&config, churn_rate, repeat_rate));
+        }
+    }
+    let arena_reuses = arena_reuse_total() - arena_before;
+    let batch_digest = worker_digests(&config);
+
+    let mut table = TextTable::new(vec![
+        "churn",
+        "repeat",
+        "requests",
+        "hits",
+        "stale",
+        "rebuilds",
+        "deltas",
+        "reuses",
+        "store p50 us",
+        "rebuild p50 us",
+        "speedup",
+    ]);
+    for cell in &cells {
+        table.row(vec![
+            format!("{:.2}", cell.churn_rate),
+            format!("{:.1}", cell.repeat_rate),
+            cell.requests.to_string(),
+            cell.hits.to_string(),
+            cell.stale.to_string(),
+            cell.rebuilds.to_string(),
+            cell.deltas.to_string(),
+            cell.reuses.to_string(),
+            format!("{:.1}", cell.store.p50_us),
+            format!("{:.1}", cell.baseline.p50_us),
+            format!("{:.2}x", cell.baseline.seconds / cell.store.seconds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "arena reuses: {arena_reuses}, batch digest: {batch_digest:016x}, \
+         all plans bitwise identical across paths and 1/2/4/8 workers"
+    );
+
+    // The headline acceptance number: at zero churn, all-distinct
+    // requests (every compose a miss), graph reuse must at least halve
+    // the compose cost relative to rebuild-per-request.
+    let headline = cells
+        .iter()
+        .find(|c| c.churn_rate == 0.0 && c.repeat_rate == 0.0)
+        .expect("zero-churn cell");
+    let speedup = headline.baseline.seconds / headline.store.seconds;
+    if !deterministic {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x compose speedup at low churn, measured {speedup:.2}x"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"selection_hotpath\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{\"seed\": {SEED}, \"layers\": {}, \"services_per_layer\": {}, \"formats_per_layer\": {}}},\n",
+        config.layers, config.services_per_layer, config.formats_per_layer
+    ));
+    json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str(&format!("  \"arena_reuses\": {arena_reuses},\n"));
+    json.push_str(&format!("  \"batch_digest\": \"{batch_digest:016x}\",\n"));
+    json.push_str("  \"workers_checked\": [1, 2, 4, 8],\n");
+    if !deterministic {
+        json.push_str(&format!("  \"low_churn_speedup\": {speedup:.2},\n"));
+    }
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"churn_rate\": {:.2}, \"repeat_rate\": {:.1}, \"requests\": {}, \"solved\": {}, \"churn_ops\": {}, \"hits\": {}, \"misses\": {}, \"stale\": {}, \"rebuilds\": {}, \"deltas\": {}, \"delta_ops\": {}, \"reuses\": {}, \"plan_digest\": \"{:016x}\"",
+            cell.churn_rate,
+            cell.repeat_rate,
+            cell.requests,
+            cell.solved,
+            cell.churn_ops,
+            cell.hits,
+            cell.misses,
+            cell.stale,
+            cell.rebuilds,
+            cell.deltas,
+            cell.delta_ops,
+            cell.reuses,
+            cell.digest,
+        ));
+        if !deterministic {
+            json.push_str(&format!(
+                ", \"store\": {{\"seconds\": {:.6}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}, \"rebuild\": {{\"seconds\": {:.6}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}, \"speedup\": {:.2}",
+                cell.store.seconds,
+                cell.store.p50_us,
+                cell.store.p99_us,
+                cell.baseline.seconds,
+                cell.baseline.p50_us,
+                cell.baseline.p99_us,
+                cell.baseline.seconds / cell.store.seconds,
+            ));
+        }
+        json.push_str(&format!(
+            "}}{}\n",
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("wrote {out_path}");
+}

@@ -83,7 +83,7 @@ impl Search<'_, '_> {
         on_path: &mut Vec<VertexId>,
         formats_seen: &mut Vec<qosc_media::FormatId>,
     ) -> Result<()> {
-        let current = labels.last().expect("path starts at the sender").clone();
+        let current = *labels.last().expect("path starts at the sender");
         let graph: &AdaptationGraph = self.ctx.graph;
         for &edge_id in graph.out_edges(current.state.vertex) {
             let edge = graph.edge(edge_id)?;
@@ -103,7 +103,7 @@ impl Search<'_, '_> {
                 });
             }
             for extension in self.ctx.extend(&current, edge_id)? {
-                labels.push(extension.clone());
+                labels.push(extension);
                 edges.push(edge_id);
                 if extension.state.vertex == self.receiver {
                     self.consider(labels, edges);

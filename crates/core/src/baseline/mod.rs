@@ -52,7 +52,7 @@ pub fn label_edge_path(ctx: &ExtendContext<'_>, edges: &[EdgeId]) -> Result<Opti
         Some(l) => l,
         None => return Ok(None),
     };
-    let mut labels = vec![current.clone()];
+    let mut labels = vec![current];
     for (i, &edge_id) in edges.iter().enumerate() {
         let edge = ctx.graph.edge(edge_id)?;
         if edge.from != current.state.vertex || edge.format != current.state.output_format {
@@ -76,7 +76,7 @@ pub fn label_edge_path(ctx: &ExtendContext<'_>, edges: &[EdgeId]) -> Result<Opti
             Some(l) => l,
             None => return Ok(None),
         };
-        labels.push(current.clone());
+        labels.push(current);
     }
     Ok(Some(labels))
 }

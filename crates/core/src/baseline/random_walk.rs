@@ -51,13 +51,13 @@ pub fn random_walk(
     let mut explored = 0usize;
 
     for _ in 0..options.max_restarts {
-        let start = sender_labels[rng.random_range(0..sender_labels.len())].clone();
+        let start = sender_labels[rng.random_range(0..sender_labels.len())];
         let mut labels: Vec<Label> = vec![start];
         let mut edges: Vec<EdgeId> = Vec::new();
         let mut visited = vec![labels[0].state.vertex];
 
         for _ in 0..options.max_steps {
-            let current = labels.last().expect("non-empty").clone();
+            let current = *labels.last().expect("non-empty");
             if current.state.vertex == receiver {
                 let chain = chain_from_labels(ctx.graph, &labels)?;
                 return Ok(Some(BaselineResult {

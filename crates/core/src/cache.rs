@@ -28,6 +28,7 @@
 //! [`ShardedCompositionCache`].
 
 use crate::composer::Composer;
+use crate::graph::{GraphStore, GraphStoreStats};
 use crate::plan::AdaptationPlan;
 use crate::select::SelectOptions;
 use crate::Result;
@@ -80,10 +81,25 @@ impl CacheStats {
     }
 }
 
+/// A cached plan stamped with the world state it was validated
+/// against. While the registry epoch and network version both hold
+/// still, *nothing* a revalidation scan reads can have changed (every
+/// registry mutation bumps the epoch, every network mutation bumps the
+/// version), so a stamp match certifies the plan in O(1) without
+/// touching the registry. When either stamp moved, the full scan runs
+/// — and on success re-stamps the entry, so the classification is
+/// exactly what the scan-every-time cache produced.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    plan: AdaptationPlan,
+    registry_epoch: u64,
+    network_version: u64,
+}
+
 /// One lock-guarded slice of the cache, with its own exact counters.
 #[derive(Debug, Default)]
 struct Shard {
-    entries: RwLock<HashMap<u64, AdaptationPlan>>,
+    entries: RwLock<HashMap<u64, CachedPlan>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     stale: AtomicUsize,
@@ -99,6 +115,10 @@ struct Shard {
 pub struct ShardedCompositionCache {
     shards: Vec<Shard>,
     mask: usize,
+    /// Incremental graph store feeding misses and stale recomposes.
+    /// `None` runs the historical rebuild-per-compose path (kept for
+    /// baseline measurement).
+    graph_store: Option<GraphStore>,
 }
 
 impl Default for ShardedCompositionCache {
@@ -114,13 +134,44 @@ impl ShardedCompositionCache {
     pub const DEFAULT_SHARDS: usize = 16;
 
     /// An empty cache with `shards` shards (rounded up to the next
-    /// power of two, minimum 1).
+    /// power of two, minimum 1), backed by an incremental
+    /// [`GraphStore`].
     pub fn new(shards: usize) -> ShardedCompositionCache {
         let count = shards.max(1).next_power_of_two();
         ShardedCompositionCache {
             shards: (0..count).map(|_| Shard::default()).collect(),
             mask: count - 1,
+            graph_store: Some(GraphStore::new()),
         }
+    }
+
+    /// An empty cache that rebuilds the adaptation graph on every
+    /// compose (the pre-store behaviour). Plans, traces and counters
+    /// are identical to the store-backed cache; only the work done per
+    /// miss differs. Kept so benchmarks can measure both paths.
+    pub fn new_without_graph_store(shards: usize) -> ShardedCompositionCache {
+        let mut cache = ShardedCompositionCache::new(shards);
+        cache.graph_store = None;
+        cache
+    }
+
+    /// Replace the backing graph store (builder style).
+    pub fn with_graph_store(mut self, store: GraphStore) -> ShardedCompositionCache {
+        self.graph_store = Some(store);
+        self
+    }
+
+    /// The backing graph store, when one is attached.
+    pub fn graph_store(&self) -> Option<&GraphStore> {
+        self.graph_store.as_ref()
+    }
+
+    /// Graph-store counters (zeros when no store is attached).
+    pub fn graph_stats(&self) -> GraphStoreStats {
+        self.graph_store
+            .as_ref()
+            .map(GraphStore::stats)
+            .unwrap_or_default()
     }
 
     /// Number of shards (always a power of two).
@@ -181,13 +232,30 @@ impl ShardedCompositionCache {
             let span = trace.open_span(ROOT_SPAN, "cache");
             trace.emit(span, EventKind::CacheProbe { outcome });
         };
+        let registry_epoch = composer.services.epoch();
+        let network_version = composer.network.version();
         let cached = shard.entries.read().get(&key).cloned();
         match cached {
-            Some(plan) => {
-                if plan_still_valid(composer, &plan) {
+            Some(entry) => {
+                // O(1) revalidation: matching stamps certify that no
+                // registry or network mutation happened since the plan
+                // was last validated, so the full scan would
+                // necessarily succeed too.
+                let fresh_stamps = entry.registry_epoch == registry_epoch
+                    && entry.network_version == network_version;
+                if fresh_stamps || plan_still_valid(composer, &entry.plan) {
+                    if !fresh_stamps {
+                        // The world moved but the plan survived the
+                        // full scan: re-stamp so the next probe is
+                        // O(1) again.
+                        if let Some(entry) = shard.entries.write().get_mut(&key) {
+                            entry.registry_epoch = registry_epoch;
+                            entry.network_version = network_version;
+                        }
+                    }
                     shard.hits.fetch_add(1, Ordering::Relaxed);
                     probe(trace, CacheOutcome::Hit);
-                    return Ok(Some(plan));
+                    return Ok(Some(entry.plan));
                 }
                 shard.entries.write().remove(&key);
                 shard.stale.fetch_add(1, Ordering::Relaxed);
@@ -198,11 +266,29 @@ impl ShardedCompositionCache {
                 probe(trace, CacheOutcome::Miss);
             }
         }
-        let composition = composer.compose(profiles, sender_host, receiver_host, options)?;
-        if let Some(plan) = &composition.plan {
-            shard.entries.write().insert(key, plan.clone());
+        let plan = match &self.graph_store {
+            Some(store) => {
+                composer
+                    .compose_with_store(store, profiles, sender_host, receiver_host, options)?
+                    .plan
+            }
+            None => {
+                composer
+                    .compose(profiles, sender_host, receiver_host, options)?
+                    .plan
+            }
+        };
+        if let Some(plan) = &plan {
+            shard.entries.write().insert(
+                key,
+                CachedPlan {
+                    plan: plan.clone(),
+                    registry_epoch,
+                    network_version,
+                },
+            );
         }
-        Ok(composition.plan)
+        Ok(plan)
     }
 
     /// Drop every cached entry (counters are kept).
@@ -567,6 +653,141 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// White-box proof that a stamp match answers in O(1) *without*
+    /// running the revalidation scan: poison a cached entry so the scan
+    /// would reject it, but stamp it with the current epoch/version.
+    /// The probe must hit (scan skipped); once the stamps move, the
+    /// very same entry must be classified stale by the scan.
+    #[test]
+    fn same_stamp_hit_skips_revalidation_scan() {
+        let mut f = fixture();
+        let options = SelectOptions::default();
+        let cache = ShardedCompositionCache::new(1);
+        let first = {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap()
+                .expect("solvable")
+        };
+        let proxy_host = first
+            .steps
+            .iter()
+            .find(|s| s.service.is_some())
+            .expect("has a transcoder")
+            .host;
+        // Invalidate the plan for the scan (proxy down bumps the
+        // network version), then forge fresh stamps on the entry.
+        f.network.fail_node(proxy_host).unwrap();
+        let key = request_key(&f.profiles, f.server, f.client).unwrap();
+        {
+            let shard = cache.shard_for(key);
+            let mut entries = shard.entries.write();
+            let entry = entries.get_mut(&key).expect("entry cached");
+            entry.registry_epoch = f.services.epoch();
+            entry.network_version = f.network.version();
+        }
+        let again = {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap()
+                .expect("stamped entry must hit")
+        };
+        // The scan would have rejected this plan (its proxy is down);
+        // getting it back verbatim proves the stamp path skipped the
+        // scan entirely.
+        assert_eq!(again, first);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stale: 0
+            }
+        );
+        // Move the stamps: now the full scan runs and must classify the
+        // same poisoned entry as stale.
+        f.network.fail_node(f.client).unwrap();
+        let composer = Composer {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let after = cache
+            .compose(&composer, &f.profiles, f.server, f.client, &options)
+            .unwrap();
+        assert!(after.is_none(), "proxy and client dead → unsolvable");
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    /// A registry mutation that does not touch the cached chain moves
+    /// the epoch, forcing one full scan — which passes and re-stamps
+    /// the entry, so the *next* probe is an O(1) stamp hit again.
+    #[test]
+    fn unrelated_churn_restamps_after_full_scan() {
+        let mut f = fixture();
+        let options = SelectOptions::default();
+        let cache = ShardedCompositionCache::new(1);
+        let compose = |f: &Fixture| {
+            let composer = Composer {
+                formats: &f.formats,
+                services: &f.services,
+                network: &f.network,
+            };
+            cache
+                .compose(&composer, &f.profiles, f.server, f.client, &options)
+                .unwrap()
+                .expect("solvable")
+        };
+        compose(&f);
+        let key = request_key(&f.profiles, f.server, f.client).unwrap();
+        let stamps = |cache: &ShardedCompositionCache| {
+            let shard = cache.shard_for(key);
+            let entries = shard.entries.read();
+            let entry = entries.get(&key).expect("entry cached");
+            (entry.registry_epoch, entry.network_version)
+        };
+        let stamped_at_insert = stamps(&cache);
+        assert_eq!(stamped_at_insert, (f.services.epoch(), f.network.version()));
+        // Unrelated churn: duplicate one catalog service on the proxy.
+        // The cached chain stays valid but the epoch moves.
+        let spec = &catalog::full_catalog()[0];
+        let proxy_host = f.services.live_services().next().unwrap().1.host;
+        f.services
+            .register_static(TranscoderDescriptor::resolve(spec, &f.formats, proxy_host).unwrap());
+        assert_ne!(f.services.epoch(), stamped_at_insert.0);
+        compose(&f);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stale: 0
+            }
+        );
+        // The surviving entry was re-stamped to the post-churn world…
+        assert_eq!(stamps(&cache), (f.services.epoch(), f.network.version()));
+        // …so the next probe is a same-stamp hit without another scan.
+        compose(&f);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                stale: 0
+            }
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! adaptation graph (4.2–4.3) → run the QoS selection algorithm (4.4) →
 //! return an executable plan.
 
-use crate::graph::{build, AdaptationGraph, BuildInput};
+use crate::graph::{build, AdaptationGraph, BuildInput, GraphStore};
 use crate::plan::AdaptationPlan;
 use crate::select::{select_chain, SelectOptions, SelectionOutcome};
 use crate::Result;
@@ -15,6 +15,7 @@ use qosc_media::FormatRegistry;
 use qosc_netsim::{Network, NodeId};
 use qosc_profiles::ProfileSet;
 use qosc_services::ServiceRegistry;
+use std::sync::Arc;
 
 /// The composition facade.
 pub struct Composer<'a> {
@@ -31,6 +32,19 @@ pub struct Composer<'a> {
 pub struct Composition {
     /// The constructed adaptation graph.
     pub graph: AdaptationGraph,
+    /// The raw selection outcome, including the Table-1 trace.
+    pub selection: SelectionOutcome,
+    /// The executable plan (when selection succeeded).
+    pub plan: Option<AdaptationPlan>,
+}
+
+/// The outcome of one composition request served through a
+/// [`GraphStore`]: the graph is shared rather than owned, so hot-path
+/// callers skip the per-request graph construction entirely.
+#[derive(Debug)]
+pub struct StoredComposition {
+    /// The (possibly shared) adaptation graph the selection ran on.
+    pub graph: Arc<AdaptationGraph>,
     /// The raw selection outcome, including the Table-1 trace.
     pub selection: SelectionOutcome,
     /// The executable plan (when selection succeeded).
@@ -74,6 +88,49 @@ impl Composer<'_> {
             None => None,
         };
         Ok(Composition {
+            graph,
+            selection,
+            plan,
+        })
+    }
+
+    /// [`Composer::compose`], but sourcing the adaptation graph from an
+    /// incremental [`GraphStore`]: the graph is reused or delta-updated
+    /// when the registry epoch or network version moved, and only
+    /// rebuilt from scratch when it must be. Selection sees exactly the
+    /// graph a fresh build would produce, so plans, traces and
+    /// tie-breaks are bitwise identical to [`Composer::compose`].
+    pub fn compose_with_store(
+        &self,
+        store: &GraphStore,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+    ) -> Result<StoredComposition> {
+        profiles.validate()?;
+        let variants = profiles.content.resolve(self.formats)?;
+        let decoders = profiles.device.resolve_decoders(self.formats)?;
+        let receiver_caps = profiles.device.hardware.quality_caps();
+        let graph = store.graph_for(&BuildInput {
+            formats: self.formats,
+            services: self.services,
+            network: self.network,
+            variants: &variants,
+            sender_host,
+            receiver_host,
+            decoders: &decoders,
+            receiver_caps,
+        })?;
+
+        let satisfaction = profiles.effective_satisfaction();
+        let budget = profiles.user.budget_or_infinite();
+        let selection = select_chain(&graph, self.formats, &satisfaction, budget, options)?;
+        let plan = match &selection.chain {
+            Some(chain) => Some(AdaptationPlan::from_chain(&graph, self.formats, chain)?),
+            None => None,
+        };
+        Ok(StoredComposition {
             graph,
             selection,
             plan,

@@ -36,6 +36,7 @@
 use crate::admission::{plan_admission, AdmissionConfig, AdmissionPlan, ArrivalMeta};
 use crate::cache::ShardedCompositionCache;
 use crate::composer::Composer;
+use crate::graph::GraphStore;
 use crate::plan::AdaptationPlan;
 use crate::select::{SelectFailure, SelectOptions};
 use crate::Result;
@@ -594,9 +595,12 @@ fn unserved(
 
 /// Serve one request through the ladder (from `start_rung` down), with
 /// retries and panic isolation. Pure in `(composer snapshot, request,
-/// index, config, start_rung)` — the trace records, it never steers.
+/// index, config, start_rung)` — the trace records, it never steers,
+/// and the graph store only changes where the adaptation graph comes
+/// from (reuse/delta instead of rebuild), never its structure.
 fn serve_one<S: TelemetrySink>(
     composer: &Composer<'_>,
+    store: &GraphStore,
     request: &CompositionRequest,
     index: usize,
     config: &ResilientEngineConfig,
@@ -644,7 +648,8 @@ fn serve_one<S: TelemetrySink>(
             attempts += 1;
             attempt_in_rung += 1;
             let result = catch_unwind(AssertUnwindSafe(|| {
-                composer.compose(
+                composer.compose_with_store(
+                    store,
                     &profiles,
                     request.sender_host,
                     request.receiver_host,
@@ -798,11 +803,16 @@ pub fn serve_batch_resilient_traced<S: TelemetrySink>(
     let workers = config.workers.max(1).min(requests.len().max(1));
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, RequestOutcome)> = Vec::with_capacity(requests.len());
+    // One graph store per batch, shared across workers: the snapshot
+    // cannot move mid-batch, so every request after the first per
+    // (endpoints, variants, decoders) key reuses the built graph.
+    let graph_store = GraphStore::new();
 
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
+                let graph_store = &graph_store;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -815,6 +825,7 @@ pub fn serve_batch_resilient_traced<S: TelemetrySink>(
                             index,
                             serve_one(
                                 composer,
+                                graph_store,
                                 request,
                                 index,
                                 config,
@@ -928,6 +939,10 @@ pub fn serve_batch_with_admission_traced<S: TelemetrySink>(
     let workers = config.workers.max(1).min(admitted.len().max(1));
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, RequestOutcome)> = Vec::with_capacity(admitted.len());
+    // Shared per-batch graph store (see serve_batch_resilient_traced);
+    // brown-out rungs rewrite only the user profile, so every rung of
+    // every admitted request maps to the same graph key.
+    let graph_store = GraphStore::new();
 
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -935,6 +950,7 @@ pub fn serve_batch_with_admission_traced<S: TelemetrySink>(
                 let next = &next;
                 let admitted = &admitted;
                 let admission = &admission;
+                let graph_store = &graph_store;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -955,8 +971,15 @@ pub fn serve_batch_with_admission_traced<S: TelemetrySink>(
                             },
                         );
                         trace.advance_to(decision.start_us);
-                        let mut outcome =
-                            serve_one(composer, &requests[index], index, config, rung, &mut trace);
+                        let mut outcome = serve_one(
+                            composer,
+                            graph_store,
+                            &requests[index],
+                            index,
+                            config,
+                            rung,
+                            &mut trace,
+                        );
                         outcome.brownout_rung = Some(rung);
                         local.push((index, outcome));
                     }

@@ -144,19 +144,20 @@ pub fn build(input: &BuildInput<'_>) -> Result<AdaptationGraph> {
     sources.extend(service_vertices.iter().map(|&(_, v)| v));
 
     for &source in &sources {
-        let from_host = graph.vertex(source)?.host;
-        let outputs = graph.vertex(source)?.output_formats();
+        let source_vertex = graph.vertex(source)?;
+        let from_host = source_vertex.host;
+        let outputs = source_vertex.output_formats();
         for format in outputs {
             // Services accepting this format, in registration order
-            // (index-backed lookup on the registry).
-            let accepting: Vec<VertexId> = input
-                .services
-                .accepting(format)
-                .into_iter()
-                .filter_map(|id| vertex_of.get(&id).copied())
-                .filter(|&v| v != source)
-                .collect();
-            for target in accepting {
+            // (index-backed lookup on the registry; iterator form so the
+            // per-(source, format) loop allocates nothing).
+            for id in input.services.accepting_iter(format) {
+                let Some(&target) = vertex_of.get(&id) else {
+                    continue;
+                };
+                if target == source {
+                    continue;
+                }
                 let to_host = graph.vertex(target)?.host;
                 if let Some((available_bps, delay_us, price_flat, price_per_mbit)) =
                     annotate(from_host, to_host)

@@ -5,7 +5,9 @@ pub mod build;
 pub mod dot;
 pub mod model;
 pub mod prune;
+pub mod store;
 
 pub use build::BuildInput;
 pub use model::{AdaptationGraph, Edge, EdgeId, Vertex, VertexId, VertexKind};
 pub use prune::PruneStats;
+pub use store::{graphs_equivalent, GraphStore, GraphStoreStats};

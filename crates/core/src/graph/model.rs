@@ -17,6 +17,12 @@ use qosc_services::ServiceId;
 pub struct VertexId(pub(crate) u32);
 
 impl VertexId {
+    /// Construct from a dense vertex index (crate-internal: the graph
+    /// store computes canonical vertex positions).
+    pub(crate) fn from_index(index: usize) -> VertexId {
+        VertexId(u32::try_from(index).expect("fewer than 2^32 vertices"))
+    }
+
     /// Raw index (valid only for the graph that produced it).
     pub fn index(self) -> usize {
         self.0 as usize
@@ -65,7 +71,7 @@ pub struct VertexConversion {
 }
 
 /// A graph vertex.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vertex {
     /// What the vertex stands for.
     pub kind: VertexKind,
@@ -256,6 +262,101 @@ impl AdaptationGraph {
             .iter()
             .position(|v| v.name == name)
             .map(|i| VertexId(i as u32))
+    }
+
+    // -----------------------------------------------------------------
+    // Canonical in-place mutation, used by the incremental graph store
+    // (`graph::store`). These operations preserve the structural
+    // invariants a fresh `build()` establishes: vertex indices are
+    // sender, receiver, then live services in registration order, and
+    // every per-vertex adjacency list keeps the builder's listing
+    // order. Edge *ids* are renumbered freely — nothing outside the
+    // graph stores an `EdgeId`, and selection only ever walks the
+    // adjacency lists.
+    // -----------------------------------------------------------------
+
+    /// Insert `edge` at position `out_pos` of `from`'s out-list and
+    /// `in_pos` of `to`'s in-list (panics if either position is out of
+    /// bounds — the store computes both canonically).
+    pub(crate) fn insert_edge_at(&mut self, edge: Edge, out_pos: usize, in_pos: usize) -> EdgeId {
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("fewer than 2^32 edges"));
+        self.out[edge.from.index()].insert(out_pos, id);
+        self.in_[edge.to.index()].insert(in_pos, id);
+        self.edges.push(edge);
+        id
+    }
+
+    /// Compact away every vertex failing `keep_vertex` and every edge
+    /// failing `keep_edge` (edges incident to a dropped vertex go with
+    /// it). Surviving vertices and edges keep their relative order and
+    /// are renumbered densely; adjacency lists keep their relative
+    /// per-vertex order. Matches what a fresh build over the reduced
+    /// input would produce, modulo global edge numbering.
+    pub(crate) fn retain_canonical(
+        &mut self,
+        keep_vertex: impl Fn(VertexId) -> bool,
+        keep_edge: impl Fn(&Edge) -> bool,
+    ) {
+        let mut vertex_map: Vec<Option<u32>> = Vec::with_capacity(self.vertices.len());
+        let mut next_vertex = 0u32;
+        for index in 0..self.vertices.len() {
+            if keep_vertex(VertexId(index as u32)) {
+                vertex_map.push(Some(next_vertex));
+                next_vertex += 1;
+            } else {
+                vertex_map.push(None);
+            }
+        }
+
+        let mut edge_map: Vec<Option<u32>> = Vec::with_capacity(self.edges.len());
+        let mut next_edge = 0u32;
+        for edge in &self.edges {
+            let kept = vertex_map[edge.from.index()].is_some()
+                && vertex_map[edge.to.index()].is_some()
+                && keep_edge(edge);
+            if kept {
+                edge_map.push(Some(next_edge));
+                next_edge += 1;
+            } else {
+                edge_map.push(None);
+            }
+        }
+
+        let old_edges = std::mem::take(&mut self.edges);
+        self.edges = old_edges
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, mut edge)| {
+                edge_map[index].map(|_| {
+                    edge.from = VertexId(vertex_map[edge.from.index()].expect("endpoint kept"));
+                    edge.to = VertexId(vertex_map[edge.to.index()].expect("endpoint kept"));
+                    edge
+                })
+            })
+            .collect();
+
+        let remap_list = |list: &Vec<EdgeId>| -> Vec<EdgeId> {
+            list.iter()
+                .filter_map(|e| edge_map[e.index()].map(EdgeId))
+                .collect()
+        };
+        let old_out = std::mem::take(&mut self.out);
+        let old_in = std::mem::take(&mut self.in_);
+        let old_vertices = std::mem::take(&mut self.vertices);
+        for (index, vertex) in old_vertices.into_iter().enumerate() {
+            if vertex_map[index].is_some() {
+                self.vertices.push(vertex);
+                self.out.push(remap_list(&old_out[index]));
+                self.in_.push(remap_list(&old_in[index]));
+            }
+        }
+
+        self.sender = self
+            .sender
+            .and_then(|v| vertex_map[v.index()].map(VertexId));
+        self.receiver = self
+            .receiver
+            .and_then(|v| vertex_map[v.index()].map(VertexId));
     }
 }
 

@@ -60,17 +60,21 @@ pub use admission::{
 };
 pub use bundle::{compose_bundle, BundleComposition, BundleStream};
 pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
-pub use composer::{Composer, Composition};
+pub use composer::{Composer, Composition, StoredComposition};
 pub use engine::{
     degrade_profiles, serve_batch, serve_batch_resilient, serve_batch_resilient_traced,
     serve_batch_traced, serve_batch_with_admission, serve_batch_with_admission_traced,
     AdmittedBatch, BatchCounters, CompositionRequest, DegradationRung, EngineConfig,
     RequestOutcome, ResilientBatch, ResilientEngineConfig, RetryPolicy,
 };
-pub use graph::{AdaptationGraph, BuildInput, Edge, EdgeId, Vertex, VertexId, VertexKind};
+pub use graph::{
+    graphs_equivalent, AdaptationGraph, BuildInput, Edge, EdgeId, GraphStore, GraphStoreStats,
+    Vertex, VertexId, VertexKind,
+};
 pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
-    select_chain, SelectOptions, SelectedChain, SelectionOutcome, SelectionTrace, TieBreak,
+    arena_reuse_total, select_chain, SelectOptions, SelectedChain, SelectionOutcome,
+    SelectionTrace, TieBreak,
 };
 
 /// Errors produced by this crate.

@@ -19,16 +19,32 @@
 //! extension never increases satisfaction (quality monotonicity), the
 //! first settled receiver state carries the maximum achievable
 //! satisfaction — the Figure-5 optimality argument.
+//!
+//! ## The zero-allocation hot path
+//!
+//! Every search structure lives in a per-thread scratch arena
+//! ([`SelectScratch`]) reused across requests: the settled and candidate
+//! label stores are dense generation-stamped slot arrays indexed by the
+//! interned state handle `vertex × format_count + format`, the
+//! lazy-deletion heap and all working buffers keep their capacity
+//! between runs, and `VT` holds `VertexId`s instead of cloned name
+//! strings (names are materialized only when a trace row is recorded).
+//! Dominance pruning — dropping a relaxed label that does not beat the
+//! incumbent of its state — is an O(1) slot comparison. The dense scan
+//! order (vertex-major, format-minor) equals the `BTreeMap<StateKey, _>`
+//! iteration order of the maps it replaced, so plans, traces, and
+//! tie-breaks are bitwise identical to the allocating implementation.
 
-use crate::graph::{AdaptationGraph, EdgeId};
+use crate::graph::{AdaptationGraph, EdgeId, VertexId};
 use crate::select::label::{ExtendContext, Label, StateKey};
 use crate::select::trace::{SelectionTrace, TraceRow};
 use crate::select::{ChainStep, SelectedChain};
 use crate::Result;
 use qosc_media::FormatRegistry;
 use qosc_satisfaction::{OptimizeOptions, SatisfactionProfile};
-use std::collections::{BTreeMap, BinaryHeap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Deterministic tie-breaking among equally satisfying candidates.
 ///
@@ -56,7 +72,7 @@ pub enum CandidateStore {
     /// tests); the default.
     #[default]
     BinaryHeap,
-    /// A linear scan over the candidate map: the reference
+    /// A linear scan over the candidate slots: the reference
     /// implementation, O(n) per round — "textbook Dijkstra without a
     /// heap".
     LinearScan,
@@ -108,7 +124,7 @@ impl Default for SelectOptions {
 }
 
 /// A heap entry: the order-encoded key plus enough to validate against
-/// the candidate map on pop (lazy deletion).
+/// the candidate store on pop (lazy deletion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct HeapEntry {
     key: [u64; 4],
@@ -182,11 +198,180 @@ pub struct SelectionOutcome {
     pub optimizations: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
     label: Label,
     /// Global discovery sequence; later relaxations get a fresh number.
     seq: u64,
+}
+
+/// The interned state handle: states are `(vertex, output format)`
+/// pairs, so `vertex × format_count + format` enumerates them
+/// vertex-major, format-minor — exactly the `Ord` of [`StateKey`],
+/// which keeps dense scans identical to iteration over the `BTreeMap`s
+/// this replaced.
+fn state_index(state: StateKey, format_count: usize) -> usize {
+    state.vertex.index() * format_count + state.output_format.index()
+}
+
+/// A dense slot store over state handles with generation stamps: O(1)
+/// insert/lookup/remove/dominance-check, O(1) clear (one counter bump),
+/// in-order scans. Slots keep their capacity across requests.
+struct StateSlots<T> {
+    generation: u32,
+    stamps: Vec<u32>,
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> StateSlots<T> {
+    fn new() -> StateSlots<T> {
+        StateSlots {
+            generation: 0,
+            stamps: Vec::new(),
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Start a fresh request over `states` dense handles: grow capacity
+    /// if needed and invalidate every slot by bumping the generation.
+    fn reset(&mut self, states: usize) {
+        if self.stamps.len() < states {
+            self.stamps.resize(states, 0);
+            self.slots.resize_with(states, || None);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // The 32-bit stamp space wrapped: rewrite every stamp so no
+            // slot from 2^32 requests ago can masquerade as live.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+        self.len = 0;
+    }
+
+    fn get(&self, index: usize) -> Option<&T> {
+        if self.stamps[index] == self.generation {
+            self.slots[index].as_ref()
+        } else {
+            None
+        }
+    }
+
+    fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if self.stamps[index] == self.generation {
+            self.slots[index].as_mut()
+        } else {
+            None
+        }
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        self.stamps[index] == self.generation && self.slots[index].is_some()
+    }
+
+    fn insert(&mut self, index: usize, value: T) {
+        if !self.contains(index) {
+            self.len += 1;
+        }
+        self.stamps[index] = self.generation;
+        self.slots[index] = Some(value);
+    }
+
+    fn remove(&mut self, index: usize) -> Option<T> {
+        if self.stamps[index] != self.generation {
+            return None;
+        }
+        let taken = self.slots[index].take();
+        if taken.is_some() {
+            self.len -= 1;
+        }
+        taken
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live slots in ascending dense-handle order (vertex-major,
+    /// format-minor — the `StateKey` sort order).
+    fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.stamps
+            .iter()
+            .zip(self.slots.iter())
+            .filter_map(move |(&stamp, slot)| {
+                if stamp == self.generation {
+                    slot.as_ref()
+                } else {
+                    None
+                }
+            })
+    }
+}
+
+/// Per-thread reusable scratch for [`select_chain`]: in steady state a
+/// selection run performs no heap allocation of its own (trace rows and
+/// the returned chain still allocate, but only when requested).
+struct SelectScratch {
+    /// Settled labels per state (Step 5).
+    settled: StateSlots<Label>,
+    /// Candidate set: best label per state (Steps 2/8, dominance-pruned
+    /// on relaxation).
+    candidates: StateSlots<Candidate>,
+    /// Lazy-deletion heap for [`CandidateStore::BinaryHeap`].
+    heap: BinaryHeap<HeapEntry>,
+    /// CS display order: states in discovery order.
+    cs_discovery: Vec<StateKey>,
+    /// VT display order: settled vertices (names materialized only for
+    /// trace rows; dedup is by *name*, matching the paper's tables).
+    vt: Vec<VertexId>,
+    /// Out-edges of the settling vertex matching its committed format.
+    matching: Vec<EdgeId>,
+    /// Relaxation buffer for [`ExtendContext::extend_into`].
+    extend_buf: Vec<Label>,
+    /// Requests served by this scratch (for the reuse telemetry).
+    requests: u64,
+}
+
+impl SelectScratch {
+    fn new() -> SelectScratch {
+        SelectScratch {
+            settled: StateSlots::new(),
+            candidates: StateSlots::new(),
+            heap: BinaryHeap::new(),
+            cs_discovery: Vec::new(),
+            vt: Vec::new(),
+            matching: Vec::new(),
+            extend_buf: Vec::new(),
+            requests: 0,
+        }
+    }
+
+    fn reset(&mut self, states: usize) {
+        self.settled.reset(states);
+        self.candidates.reset(states);
+        self.heap.clear();
+        self.cs_discovery.clear();
+        self.vt.clear();
+        self.matching.clear();
+        self.extend_buf.clear();
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SelectScratch> = RefCell::new(SelectScratch::new());
+}
+
+/// Process-wide count of selection runs that reused a warm per-thread
+/// scratch arena instead of starting from a cold one.
+static ARENA_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Total scratch-arena reuses across all threads since process start
+/// (the payload of the `arena_reused` telemetry event; scorecard use
+/// only — never emitted on a traced request path).
+pub fn arena_reuse_total() -> u64 {
+    ARENA_REUSES.load(Ordering::Relaxed)
 }
 
 /// Run the QoS selection algorithm of Figure 4 on `graph`.
@@ -199,6 +384,35 @@ pub fn select_chain(
     profile: &SatisfactionProfile,
     budget: f64,
     options: &SelectOptions,
+) -> Result<SelectionOutcome> {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            if scratch.requests > 0 {
+                ARENA_REUSES.fetch_add(1, Ordering::Relaxed);
+            }
+            scratch.requests += 1;
+            select_with_scratch(graph, formats, profile, budget, options, &mut scratch)
+        }
+        // Re-entrant call on this thread (defensive): run on a fresh,
+        // throwaway arena rather than aliasing the live one.
+        Err(_) => select_with_scratch(
+            graph,
+            formats,
+            profile,
+            budget,
+            options,
+            &mut SelectScratch::new(),
+        ),
+    })
+}
+
+fn select_with_scratch(
+    graph: &AdaptationGraph,
+    formats: &FormatRegistry,
+    profile: &SatisfactionProfile,
+    budget: f64,
+    options: &SelectOptions,
+    scratch: &mut SelectScratch,
 ) -> Result<SelectionOutcome> {
     let context = ExtendContext {
         graph,
@@ -221,30 +435,26 @@ pub fn select_chain(
         }
     };
 
-    // Settled labels per state, plus the display order of VT.
-    let mut settled: BTreeMap<StateKey, Label> = BTreeMap::new();
-    let mut vt_names: Vec<String> = vec![graph.vertex(sender)?.name.clone()];
-    // Candidate set: best label per state.
-    let mut candidates: BTreeMap<StateKey, Candidate> = BTreeMap::new();
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    let mut cs_discovery: Vec<StateKey> = Vec::new(); // discovery display order
+    let format_count = formats.len();
+    scratch.reset(graph.vertex_count() * format_count);
+    scratch.vt.push(sender);
     let mut next_seq: u64 = 0;
     let mut optimizations: usize = 0;
 
     // Step 1: settle the sender states, seed CS with its neighbors.
     let sender_labels = context.sender_labels()?;
     for label in &sender_labels {
-        settled.insert(label.state, label.clone());
+        scratch
+            .settled
+            .insert(state_index(label.state, format_count), *label);
     }
     for label in &sender_labels {
         expand(
             &context,
             options,
             label,
-            &settled,
-            &mut candidates,
-            &mut heap,
-            &mut cs_discovery,
+            scratch,
+            format_count,
             &mut next_seq,
             &mut optimizations,
         )?;
@@ -255,7 +465,7 @@ pub fn select_chain(
 
     loop {
         // Step 3.
-        if candidates.is_empty() {
+        if scratch.candidates.is_empty() {
             return Ok(SelectionOutcome {
                 chain: None,
                 failure: Some(SelectFailure::CandidatesExhausted),
@@ -288,35 +498,54 @@ pub fn select_chain(
 
         // Step 4: select the candidate with the highest satisfaction.
         let best_state = match options.candidate_store {
-            CandidateStore::LinearScan => pick_best(&candidates, options.tie_break),
-            CandidateStore::BinaryHeap => pick_best_heap(&mut heap, &candidates),
+            CandidateStore::LinearScan => pick_best(&scratch.candidates, options.tie_break),
+            CandidateStore::BinaryHeap => {
+                pick_best_heap(&mut scratch.heap, &scratch.candidates, format_count)
+            }
         };
-        let Candidate { label, .. } = candidates.remove(&best_state).expect("picked from map");
+        let Candidate { label, .. } = scratch
+            .candidates
+            .remove(state_index(best_state, format_count))
+            .expect("picked from slots");
 
         if options.record_trace {
             trace.rows.push(make_row(
                 graph,
                 rounds,
-                &vt_names,
-                &cs_discovery,
-                &candidates,
+                &scratch.vt,
+                &scratch.cs_discovery,
+                &scratch.candidates,
                 &label,
-                &settled,
+                &scratch.settled,
+                format_count,
                 receiver,
             )?);
         }
 
-        // Step 5 / Step 6.
-        let vertex_name = graph.vertex(label.state.vertex)?.name.clone();
-        if !vt_names.contains(&vertex_name) {
-            vt_names.push(vertex_name);
+        // Step 5 / Step 6. VT dedup is by display *name* (distinct
+        // vertices may share one), matching the paper's tables.
+        let name = &graph.vertex(label.state.vertex)?.name;
+        let mut seen = false;
+        for &vertex in &scratch.vt {
+            if &graph.vertex(vertex)?.name == name {
+                seen = true;
+                break;
+            }
         }
-        settled.insert(label.state, label.clone());
-        cs_discovery.retain(|s| candidates.contains_key(s));
+        if !seen {
+            scratch.vt.push(label.state.vertex);
+        }
+        scratch
+            .settled
+            .insert(state_index(label.state, format_count), label);
+        let candidates = &scratch.candidates;
+        scratch
+            .cs_discovery
+            .retain(|s| candidates.contains(state_index(*s, format_count)));
 
         // Step 7.
         if label.state.vertex == receiver {
-            let chain = reconstruct(graph, &settled, &label)?;
+            let chain = reconstruct(graph, &scratch.settled, &label, format_count)?;
             return Ok(SelectionOutcome {
                 chain: Some(chain),
                 failure: None,
@@ -331,10 +560,8 @@ pub fn select_chain(
             &context,
             options,
             &label,
-            &settled,
-            &mut candidates,
-            &mut heap,
-            &mut cs_discovery,
+            scratch,
+            format_count,
             &mut next_seq,
             &mut optimizations,
         )?;
@@ -343,20 +570,27 @@ pub fn select_chain(
 
 /// Step 2 / Step 8: evaluate every neighbor of `label` and relax it into
 /// the candidate set.
-#[allow(clippy::too_many_arguments)]
 fn expand(
     context: &ExtendContext<'_>,
     options: &SelectOptions,
     label: &Label,
-    settled: &BTreeMap<StateKey, Label>,
-    candidates: &mut BTreeMap<StateKey, Candidate>,
-    heap: &mut BinaryHeap<HeapEntry>,
-    cs_discovery: &mut Vec<StateKey>,
+    scratch: &mut SelectScratch,
+    format_count: usize,
     next_seq: &mut u64,
     optimizations: &mut usize,
 ) -> Result<()> {
+    let SelectScratch {
+        settled,
+        candidates,
+        heap,
+        cs_discovery,
+        matching,
+        extend_buf,
+        ..
+    } = scratch;
+
     let graph = context.graph;
-    let mut matching: Vec<EdgeId> = Vec::new();
+    matching.clear();
     for &edge_id in graph.out_edges(label.state.vertex) {
         let edge = graph.edge(edge_id)?;
         if edge.format != label.state.output_format {
@@ -365,67 +599,106 @@ fn expand(
         matching.push(edge_id);
     }
 
-    // Evaluate Optimize() per edge — in parallel when asked — then merge
+    // Evaluate Optimize() per edge — in parallel when asked — and merge
     // in edge order. Each evaluation reads only the shared graph and the
     // settled label, so parallel evaluation changes scheduling, never
     // results; the in-order merge keeps seq numbering (and the trace)
     // bitwise identical to sequential mode.
-    let evaluated: Vec<Result<Vec<Label>>> = if options.parallel_expand && matching.len() > 1 {
-        evaluate_edges_parallel(context, label, &matching)
-    } else {
-        matching
-            .iter()
-            .map(|&edge_id| context.extend(label, edge_id))
-            .collect()
-    };
-
-    for batch in evaluated {
-        *optimizations += 1;
-        for candidate in batch? {
-            let state = candidate.state;
-            if settled.contains_key(&state) {
-                continue;
+    if options.parallel_expand && matching.len() > 1 {
+        for batch in evaluate_edges_parallel(context, label, matching) {
+            *optimizations += 1;
+            for candidate in batch? {
+                relax(
+                    options,
+                    settled,
+                    candidates,
+                    heap,
+                    cs_discovery,
+                    next_seq,
+                    format_count,
+                    candidate,
+                );
             }
-            let seq = *next_seq;
-            *next_seq += 1;
-            match candidates.get_mut(&state) {
-                Some(existing) => {
-                    let better = candidate.satisfaction > existing.label.satisfaction
-                        || (candidate.satisfaction == existing.label.satisfaction
-                            && candidate.accumulated_cost < existing.label.accumulated_cost);
-                    if better {
-                        if options.candidate_store == CandidateStore::BinaryHeap {
-                            heap.push(HeapEntry {
-                                key: heap_key(options.tie_break, &candidate, seq),
-                                seq,
-                                state,
-                            });
-                        }
-                        existing.label = candidate;
-                        existing.seq = seq;
-                    }
-                }
-                None => {
-                    if options.candidate_store == CandidateStore::BinaryHeap {
-                        heap.push(HeapEntry {
-                            key: heap_key(options.tie_break, &candidate, seq),
-                            seq,
-                            state,
-                        });
-                    }
-                    candidates.insert(
-                        state,
-                        Candidate {
-                            label: candidate,
-                            seq,
-                        },
-                    );
-                    cs_discovery.push(state);
-                }
+        }
+    } else {
+        for &edge_id in matching.iter() {
+            context.extend_into(label, edge_id, extend_buf)?;
+            *optimizations += 1;
+            for &candidate in extend_buf.iter() {
+                relax(
+                    options,
+                    settled,
+                    candidates,
+                    heap,
+                    cs_discovery,
+                    next_seq,
+                    format_count,
+                    candidate,
+                );
             }
         }
     }
     Ok(())
+}
+
+/// Relax one freshly optimized label into the candidate store: dropped
+/// when its state is settled, dominance-pruned against the incumbent of
+/// its state (better satisfaction, then lower cost, wins), admitted
+/// otherwise. Every generated label draws a discovery sequence number
+/// whether or not it survives — the tie-break policies depend on it.
+#[allow(clippy::too_many_arguments)]
+fn relax(
+    options: &SelectOptions,
+    settled: &StateSlots<Label>,
+    candidates: &mut StateSlots<Candidate>,
+    heap: &mut BinaryHeap<HeapEntry>,
+    cs_discovery: &mut Vec<StateKey>,
+    next_seq: &mut u64,
+    format_count: usize,
+    candidate: Label,
+) {
+    let state = candidate.state;
+    let index = state_index(state, format_count);
+    if settled.contains(index) {
+        return;
+    }
+    let seq = *next_seq;
+    *next_seq += 1;
+    match candidates.get_mut(index) {
+        Some(existing) => {
+            let better = candidate.satisfaction > existing.label.satisfaction
+                || (candidate.satisfaction == existing.label.satisfaction
+                    && candidate.accumulated_cost < existing.label.accumulated_cost);
+            if better {
+                if options.candidate_store == CandidateStore::BinaryHeap {
+                    heap.push(HeapEntry {
+                        key: heap_key(options.tie_break, &candidate, seq),
+                        seq,
+                        state,
+                    });
+                }
+                existing.label = candidate;
+                existing.seq = seq;
+            }
+        }
+        None => {
+            if options.candidate_store == CandidateStore::BinaryHeap {
+                heap.push(HeapEntry {
+                    key: heap_key(options.tie_break, &candidate, seq),
+                    seq,
+                    state,
+                });
+            }
+            candidates.insert(
+                index,
+                Candidate {
+                    label: candidate,
+                    seq,
+                },
+            );
+            cs_discovery.push(state);
+        }
+    }
 }
 
 /// Evaluate `context.extend(label, edge)` for every edge on a scoped
@@ -470,13 +743,14 @@ fn evaluate_edges_parallel(
 }
 
 /// Step 4's argmax via the lazy-deletion heap: pop entries until one
-/// still matches the candidate map's current generation for its state.
+/// still matches the candidate store's current generation for its state.
 fn pick_best_heap(
     heap: &mut BinaryHeap<HeapEntry>,
-    candidates: &BTreeMap<StateKey, Candidate>,
+    candidates: &StateSlots<Candidate>,
+    format_count: usize,
 ) -> StateKey {
     while let Some(entry) = heap.pop() {
-        if let Some(current) = candidates.get(&entry.state) {
+        if let Some(current) = candidates.get(state_index(entry.state, format_count)) {
             if current.seq == entry.seq {
                 return entry.state;
             }
@@ -486,13 +760,14 @@ fn pick_best_heap(
     unreachable!("heap drained while candidates remain — generations out of sync")
 }
 
-/// Step 4's argmax with the configured tie-break.
-fn pick_best(candidates: &BTreeMap<StateKey, Candidate>, tie_break: TieBreak) -> StateKey {
-    let mut best: Option<(&StateKey, &Candidate)> = None;
-    for (state, candidate) in candidates {
+/// Step 4's argmax with the configured tie-break: a scan over the dense
+/// candidate slots, whose order equals the replaced `BTreeMap`'s.
+fn pick_best(candidates: &StateSlots<Candidate>, tie_break: TieBreak) -> StateKey {
+    let mut best: Option<&Candidate> = None;
+    for candidate in candidates.iter() {
         let better = match best {
             None => true,
-            Some((best_state, current)) => {
+            Some(current) => {
                 let sat = candidate.label.satisfaction;
                 let best_sat = current.label.satisfaction;
                 if sat != best_sat {
@@ -509,28 +784,32 @@ fn pick_best(candidates: &BTreeMap<StateKey, Candidate>, tie_break: TieBreak) ->
                             }
                         }
                         TieBreak::Fifo => candidate.seq < current.seq,
-                        TieBreak::ByVertexIndex => state.vertex < best_state.vertex,
+                        TieBreak::ByVertexIndex => {
+                            candidate.label.state.vertex < current.label.state.vertex
+                        }
                     }
                 }
             }
         };
         if better {
-            best = Some((state, candidate));
+            best = Some(candidate);
         }
     }
-    *best.expect("candidates not empty").0
+    best.expect("candidates not empty").label.state
 }
 
-/// Build one Table-1 row for the round that settles `selected`.
+/// Build one Table-1 row for the round that settles `selected`. Only
+/// trace recording materializes name strings; the hot path never does.
 #[allow(clippy::too_many_arguments)]
 fn make_row(
     graph: &AdaptationGraph,
     round: usize,
-    vt_names: &[String],
+    vt: &[VertexId],
     cs_discovery: &[StateKey],
-    remaining: &BTreeMap<StateKey, Candidate>,
+    remaining: &StateSlots<Candidate>,
     selected: &Label,
-    settled: &BTreeMap<StateKey, Label>,
+    settled: &StateSlots<Label>,
+    format_count: usize,
     receiver: crate::graph::VertexId,
 ) -> Result<TraceRow> {
     // CS display: discovery order, receiver pinned last, deduplicated,
@@ -550,7 +829,7 @@ fn make_row(
         Ok(())
     };
     for state in cs_discovery {
-        if *state == selected.state || remaining.contains_key(state) {
+        if *state == selected.state || remaining.contains(state_index(*state, format_count)) {
             push_state(state, &mut cs_names)?;
         }
     }
@@ -561,10 +840,14 @@ fn make_row(
         cs_names.push(graph.vertex(receiver)?.name.clone());
     }
 
-    let path = path_names(graph, settled, selected)?;
+    let mut considered: Vec<String> = Vec::with_capacity(vt.len());
+    for &vertex in vt {
+        considered.push(graph.vertex(vertex)?.name.clone());
+    }
+    let path = path_names(graph, settled, selected, format_count)?;
     Ok(TraceRow {
         round,
-        considered: vt_names.to_vec(),
+        considered,
         candidates: cs_names,
         selected: graph.vertex(selected.state.vertex)?.name.clone(),
         selected_path: path,
@@ -578,14 +861,17 @@ fn make_row(
 /// (Step 10's reverse walk).
 fn path_names(
     graph: &AdaptationGraph,
-    settled: &BTreeMap<StateKey, Label>,
+    settled: &StateSlots<Label>,
     label: &Label,
+    format_count: usize,
 ) -> Result<Vec<String>> {
     let mut names = vec![graph.vertex(label.state.vertex)?.name.clone()];
     let mut parent = label.parent;
     while let Some(state) = parent {
         names.push(graph.vertex(state.vertex)?.name.clone());
-        parent = settled.get(&state).and_then(|l| l.parent);
+        parent = settled
+            .get(state_index(state, format_count))
+            .and_then(|l| l.parent);
     }
     names.reverse();
     Ok(names)
@@ -594,8 +880,9 @@ fn path_names(
 /// Step 10: materialize the full chain from the receiver's label.
 fn reconstruct(
     graph: &AdaptationGraph,
-    settled: &BTreeMap<StateKey, Label>,
+    settled: &StateSlots<Label>,
     receiver_label: &Label,
+    format_count: usize,
 ) -> Result<SelectedChain> {
     let mut steps: Vec<ChainStep> = Vec::new();
     let mut cursor: Option<&Label> = Some(receiver_label);
@@ -608,7 +895,9 @@ fn reconstruct(
             satisfaction: label.satisfaction,
             accumulated_cost: label.accumulated_cost,
         });
-        cursor = label.parent.and_then(|p| settled.get(&p));
+        cursor = label
+            .parent
+            .and_then(|p| settled.get(state_index(p, format_count)));
     }
     steps.reverse();
     Ok(SelectedChain {
@@ -880,5 +1169,61 @@ mod tests {
         };
         let outcome = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
         assert_eq!(outcome.failure, Some(SelectFailure::RoundLimit));
+    }
+
+    #[test]
+    fn scratch_arena_reuse_is_counted_and_invisible() {
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        let options = SelectOptions::default();
+        let first = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
+        let before = arena_reuse_total();
+        let second = select_chain(&graph, &formats, &profile, f64::INFINITY, &options).unwrap();
+        assert!(
+            arena_reuse_total() > before,
+            "second run on this thread reuses the warm arena"
+        );
+        // Reuse must be observationally invisible: identical outcome.
+        assert_eq!(
+            format!("{:?}", first.trace.rows),
+            format!("{:?}", second.trace.rows)
+        );
+        assert_eq!(first.chain.unwrap().names(), second.chain.unwrap().names());
+    }
+
+    #[test]
+    fn heap_and_scan_agree_after_arena_reuse() {
+        // Alternate candidate stores on one thread so both paths run on
+        // a warm (previously used) arena, then compare selections.
+        let (formats, graph) = fork_fixture();
+        let profile = qosc_satisfaction::SatisfactionProfile::paper_table1();
+        for _ in 0..3 {
+            let heap = select_chain(
+                &graph,
+                &formats,
+                &profile,
+                f64::INFINITY,
+                &SelectOptions {
+                    candidate_store: CandidateStore::BinaryHeap,
+                    ..SelectOptions::default()
+                },
+            )
+            .unwrap();
+            let scan = select_chain(
+                &graph,
+                &formats,
+                &profile,
+                f64::INFINITY,
+                &SelectOptions {
+                    candidate_store: CandidateStore::LinearScan,
+                    ..SelectOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{:?}", heap.trace.rows),
+                format!("{:?}", scan.trace.rows)
+            );
+        }
     }
 }

@@ -26,7 +26,11 @@ pub struct StateKey {
 }
 
 /// The label of a settled or candidate state.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All fields are plain values (`ParamVector` is a fixed-size axis
+/// array), so labels are `Copy` and the greedy search can hold them in
+/// dense slot arrays without indirection.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Label {
     /// The labelled state.
     pub state: StateKey,
@@ -101,17 +105,31 @@ impl ExtendContext<'_> {
     /// the target can produce, or no configuration fits the bandwidth and
     /// budget constraints.
     pub fn extend(&self, parent: &Label, edge_id: EdgeId) -> Result<Vec<Label>> {
+        let mut best = Vec::new();
+        self.extend_into(parent, edge_id, &mut best)?;
+        Ok(best)
+    }
+
+    /// Allocation-free form of [`extend`](ExtendContext::extend): clears
+    /// `best` and fills it with the best candidate label per output
+    /// format of the target. The greedy hot path passes one reusable
+    /// scratch buffer here for every edge expansion instead of
+    /// allocating a fresh `Vec` per edge.
+    pub fn extend_into(
+        &self,
+        parent: &Label,
+        edge_id: EdgeId,
+        best: &mut Vec<Label>,
+    ) -> Result<()> {
+        best.clear();
         let edge = self.graph.edge(edge_id)?;
         debug_assert_eq!(edge.format, parent.state.output_format);
         let target = self.graph.vertex(edge.to)?;
         let edge_bitrate = &self.formats.spec(edge.format)?.bitrate;
         let remaining_budget = self.budget - parent.accumulated_cost;
         if remaining_budget < -1e-12 {
-            return Ok(Vec::new());
+            return Ok(());
         }
-
-        // Best label per output format of the target.
-        let mut best: Vec<Label> = Vec::new();
         for conversion in target.conversions_from(edge.format) {
             let domain = match target.kind {
                 // The receiver renders what arrives: its feasible
@@ -172,7 +190,7 @@ impl ExtendContext<'_> {
                 None => best.push(candidate),
             }
         }
-        Ok(best)
+        Ok(())
     }
 }
 
@@ -356,7 +374,7 @@ mod tests {
         // A parent that already overspent cannot extend.
         let broke = Label {
             accumulated_cost: 5.0,
-            ..sender_label.clone()
+            ..*sender_label
         };
         assert!(context.extend(&broke, e).unwrap().is_empty());
     }
@@ -366,7 +384,7 @@ mod tests {
         let f = fixture(30.0, 1e9);
         let context = ctx(&f);
         let sender_label = &context.sender_labels().unwrap()[0];
-        let mut degraded = sender_label.clone();
+        let mut degraded = *sender_label;
         degraded.satisfaction = 0.5;
         let e = f.graph.out_edges(f.graph.sender().unwrap())[0];
         let labels = context.extend(&degraded, e).unwrap();

@@ -7,7 +7,8 @@ pub mod trace;
 
 pub use alternates::{alternates, Alternate};
 pub use greedy::{
-    select_chain, CandidateStore, SelectFailure, SelectOptions, SelectionOutcome, TieBreak,
+    arena_reuse_total, select_chain, CandidateStore, SelectFailure, SelectOptions,
+    SelectionOutcome, TieBreak,
 };
 pub use label::{ExtendContext, Label, StateKey};
 pub use trace::{SelectionTrace, TraceRow};

@@ -57,6 +57,9 @@ pub struct Network {
     background: BackgroundTraffic,
     failed_nodes: HashSet<NodeId>,
     failed_links: HashSet<LinkId>,
+    /// Bumped by every mutation that can change routing, headroom or
+    /// failure answers (see [`Network::version`]).
+    version: u64,
 }
 
 impl Network {
@@ -70,6 +73,7 @@ impl Network {
             background,
             failed_nodes: HashSet::new(),
             failed_links: HashSet::new(),
+            version: 0,
         }
     }
 
@@ -82,7 +86,21 @@ impl Network {
             background,
             failed_nodes: HashSet::new(),
             failed_links: HashSet::new(),
+            version: 0,
         }
+    }
+
+    /// Monotone state version: bumped by every mutation that can change
+    /// what [`Network::available_between`], [`Network::route_between`],
+    /// [`Network::path_annotations_from`] or [`Network::node_failed`]
+    /// would answer — reservations and releases, background-traffic
+    /// steps, node/link failures and restorations, and any handout of
+    /// mutable topology or background access (which is assumed used).
+    /// Two equal versions on the same instance therefore guarantee
+    /// identical edge annotations, so graph stores and plan caches can
+    /// revalidate with one integer compare instead of a rescan.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The underlying topology.
@@ -94,6 +112,10 @@ impl Network {
     /// place (loss injection, capacity changes). Reservations and
     /// failure state are unaffected.
     pub fn topology_mut(&mut self) -> &mut Topology {
+        // Handing out `&mut Topology` is assumed to mutate: bumping on
+        // access keeps `version()` conservative (a spurious bump costs
+        // one revalidation; a missed one would serve stale answers).
+        self.version += 1;
         &mut self.topology
     }
 
@@ -271,12 +293,15 @@ impl Network {
                 });
             }
         }
+        self.version += 1;
         self.ledger.reserve(hops, rate_bps)
     }
 
     /// Release an admitted session.
     pub fn release(&mut self, id: ReservationId) -> Result<()> {
-        self.ledger.release(id).map(|_| ())
+        self.ledger.release(id).map(|_| ())?;
+        self.version += 1;
+        Ok(())
     }
 
     /// Number of admitted sessions.
@@ -286,6 +311,7 @@ impl Network {
 
     /// Advance the background-traffic process one step.
     pub fn advance_background(&mut self) {
+        self.version += 1;
         self.background.advance();
     }
 
@@ -293,25 +319,33 @@ impl Network {
     /// avoids it.
     pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
         self.topology.node(node)?;
-        self.failed_nodes.insert(node);
+        if self.failed_nodes.insert(node) {
+            self.version += 1;
+        }
         Ok(())
     }
 
     /// Mark a link failed.
     pub fn fail_link(&mut self, link: LinkId) -> Result<()> {
         self.topology.link(link)?;
-        self.failed_links.insert(link);
+        if self.failed_links.insert(link) {
+            self.version += 1;
+        }
         Ok(())
     }
 
     /// Restore a failed node.
     pub fn restore_node(&mut self, node: NodeId) {
-        self.failed_nodes.remove(&node);
+        if self.failed_nodes.remove(&node) {
+            self.version += 1;
+        }
     }
 
     /// Restore a failed link.
     pub fn restore_link(&mut self, link: LinkId) {
-        self.failed_links.remove(&link);
+        if self.failed_links.remove(&link) {
+            self.version += 1;
+        }
     }
 
     /// Whether `node` is currently failed.
@@ -321,6 +355,8 @@ impl Network {
 
     /// Direct access to the background process (tests, experiments).
     pub fn background_mut(&mut self) -> &mut BackgroundTraffic {
+        // Same conservatism as `topology_mut`.
+        self.version += 1;
         &mut self.background
     }
 }
@@ -379,6 +415,46 @@ mod tests {
         let (net, a, _, c, ..) = two_hop();
         assert_eq!(net.delay_between_us(a, c).unwrap(), 300);
         assert_eq!(net.price_per_mbit_between(a, c).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_and_only_then() {
+        let (mut net, a, _, c, l1, _) = two_hop();
+        assert_eq!(net.version(), 0);
+
+        // Reads never bump.
+        net.available_between(a, c).unwrap();
+        net.route_between(a, c).unwrap();
+        net.path_annotations_from(a).unwrap();
+        assert_eq!(net.version(), 0);
+
+        let id = net.reserve_between(a, c, 300.0).unwrap();
+        assert_eq!(net.version(), 1);
+        net.release(id).unwrap();
+        assert_eq!(net.version(), 2);
+
+        net.advance_background();
+        assert_eq!(net.version(), 3);
+
+        net.fail_node(a).unwrap();
+        assert_eq!(net.version(), 4);
+        net.restore_node(a);
+        assert_eq!(net.version(), 5);
+        net.restore_node(a); // already restored: no observable change
+        assert_eq!(net.version(), 5);
+
+        net.fail_link(l1).unwrap();
+        assert_eq!(net.version(), 6);
+        net.fail_link(l1).unwrap(); // already failed
+        assert_eq!(net.version(), 6);
+        net.restore_link(l1);
+        assert_eq!(net.version(), 7);
+
+        // Mutable handouts bump conservatively on access.
+        let _ = net.topology_mut();
+        assert_eq!(net.version(), 8);
+        let _ = net.background_mut();
+        assert_eq!(net.version(), 9);
     }
 
     #[test]

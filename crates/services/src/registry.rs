@@ -196,15 +196,20 @@ impl ServiceRegistry {
     /// graph construction performs for every frontier format; it is
     /// index-backed and O(matches).
     pub fn accepting(&self, format: FormatId) -> Vec<ServiceId> {
+        self.accepting_iter(format).collect()
+    }
+
+    /// Iterator form of [`accepting`](ServiceRegistry::accepting): the
+    /// same ids in the same order, without allocating a `Vec` — used by
+    /// the graph-construction hot loop, which runs once per
+    /// `(source, format)` pair.
+    pub fn accepting_iter(&self, format: FormatId) -> impl Iterator<Item = ServiceId> + '_ {
         self.by_input
             .get(&format)
-            .map(|ids| {
-                ids.iter()
-                    .copied()
-                    .filter(|&id| self.is_available(id))
-                    .collect()
-            })
-            .unwrap_or_default()
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&id| self.is_available(id))
     }
 
     /// Advertised services producing `format` as output, in registration
@@ -224,6 +229,29 @@ impl ServiceRegistry {
     /// The event log since construction.
     pub fn events(&self) -> &[RegistryEvent] {
         &self.events
+    }
+
+    /// Monotone registry epoch: the number of recorded life-cycle
+    /// events. Every mutation that can change what graph construction
+    /// or plan revalidation would observe — register, renew,
+    /// deregister, per-service lease expiry, quarantine open,
+    /// quarantine release — funnels through `push_event` and therefore
+    /// bumps the epoch exactly once per event. Reads never bump it, and
+    /// neither do `report_failure` below the breaker threshold or
+    /// `report_success` (they change no advertised state). Two equal
+    /// epochs on the same registry instance guarantee byte-identical
+    /// availability answers, which is what makes O(1) cache
+    /// revalidation and incremental graph maintenance sound.
+    pub fn epoch(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// The events recorded since `epoch` (a value previously returned
+    /// by [`Self::epoch`]), oldest first. An epoch from another
+    /// registry instance (or from the future) yields an empty slice.
+    pub fn events_since(&self, epoch: u64) -> &[RegistryEvent] {
+        let start = (epoch as usize).min(self.events.len());
+        &self.events[start..]
     }
 
     /// The event log with the [`SimTime`] each event was recorded at.
@@ -502,6 +530,72 @@ mod tests {
         reg.expire_leases(SimTime(200));
         assert!(reg.report_failure(id, SimTime(300)).is_err());
         assert!(reg.report_success(id).is_err());
+    }
+
+    #[test]
+    fn epoch_bumps_exactly_once_per_mutation() {
+        let (mut reg, _, descriptor) = setup();
+        assert_eq!(reg.epoch(), 0);
+
+        let id = reg.register(descriptor.clone(), SimTime::ZERO, 1_000);
+        assert_eq!(reg.epoch(), 1, "register bumps once");
+
+        reg.renew(id, SimTime(500), 1_000).unwrap();
+        assert_eq!(reg.epoch(), 2, "renew bumps once");
+
+        let id2 = reg.register(descriptor.clone(), SimTime(600), 1_000);
+        let id3 = reg.register(descriptor, SimTime(600), 500);
+        assert_eq!(reg.epoch(), 4);
+
+        // One bump per expired lease, none when nothing expires.
+        reg.expire_leases(SimTime(1_200));
+        assert_eq!(reg.epoch(), 5, "only {id3:?} expired");
+        assert!(!reg.is_live(id3));
+        reg.expire_leases(SimTime(1_200));
+        assert_eq!(reg.epoch(), 5, "no-op expiry does not bump");
+
+        reg.deregister(id2).unwrap();
+        assert_eq!(reg.epoch(), 6, "deregister bumps once");
+
+        // Failure reports below the breaker threshold change no
+        // advertised state and must not bump; the report that opens the
+        // breaker bumps exactly once.
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 2,
+            cooldown_us: 1_000,
+        });
+        assert!(!reg.report_failure(id, SimTime(1_300)).unwrap());
+        assert_eq!(reg.epoch(), 6, "sub-threshold failure does not bump");
+        reg.report_success(id).unwrap();
+        assert_eq!(reg.epoch(), 6, "success report does not bump");
+        assert!(!reg.report_failure(id, SimTime(1_400)).unwrap());
+        assert!(reg.report_failure(id, SimTime(1_500)).unwrap());
+        assert_eq!(reg.epoch(), 7, "breaker opening bumps once");
+
+        // One bump per reinstated quarantine, none before the cooldown.
+        assert!(reg.release_quarantines(SimTime(2_500)).is_empty());
+        assert_eq!(reg.epoch(), 7);
+        assert_eq!(reg.release_quarantines(SimTime(2_501)), vec![id]);
+        assert_eq!(reg.epoch(), 8, "quarantine release bumps once");
+    }
+
+    #[test]
+    fn events_since_returns_the_tail() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor.clone(), SimTime::ZERO, 1_000);
+        let mark = reg.epoch();
+        let id2 = reg.register_static(descriptor);
+        reg.renew(id, SimTime(100), 1_000).unwrap();
+        assert_eq!(
+            reg.events_since(mark),
+            &[RegistryEvent::Registered(id2), RegistryEvent::Renewed(id)]
+        );
+        assert!(reg.events_since(reg.epoch()).is_empty());
+        assert!(
+            reg.events_since(u64::MAX).is_empty(),
+            "future epoch is empty"
+        );
+        assert_eq!(reg.events_since(0).len(), reg.epoch() as usize);
     }
 
     #[test]

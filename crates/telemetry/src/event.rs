@@ -143,6 +143,23 @@ pub enum EventKind {
         /// 1-based failover count within the run.
         attempt: u32,
     },
+    /// The graph store rebuilt an adaptation graph from scratch.
+    GraphRebuilt {
+        /// Total rebuilds so far on the emitting store.
+        total: u64,
+    },
+    /// The graph store served a graph by replaying registry deltas.
+    GraphDelta {
+        /// Net vertex/edge-set changes applied by this replay.
+        ops: u64,
+        /// Total delta replays so far on the emitting store.
+        total: u64,
+    },
+    /// A selection scratch arena was reused instead of reallocated.
+    ArenaReused {
+        /// Total arena reuses so far on the emitting thread's arena.
+        total: u64,
+    },
 }
 
 impl EventKind {
@@ -175,6 +192,9 @@ impl EventKind {
             EventKind::ServiceDeregistered { .. } => "service_deregistered",
             EventKind::Recomposed { .. } => "recomposed",
             EventKind::Failover { .. } => "failover",
+            EventKind::GraphRebuilt { .. } => "graph_rebuilt",
+            EventKind::GraphDelta { .. } => "graph_delta",
+            EventKind::ArenaReused { .. } => "arena_reused",
         }
     }
 
@@ -226,6 +246,9 @@ impl EventKind {
             }
             EventKind::Recomposed { attempt } => format!("recomposed attempt={attempt}"),
             EventKind::Failover { attempt } => format!("failover attempt={attempt}"),
+            EventKind::GraphRebuilt { total } => format!("graph_rebuilt total={total}"),
+            EventKind::GraphDelta { ops, total } => format!("graph_delta ops={ops} total={total}"),
+            EventKind::ArenaReused { total } => format!("arena_reused total={total}"),
         }
     }
 }
