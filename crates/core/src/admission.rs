@@ -366,10 +366,26 @@ pub struct AdmissionPlan {
 // The simulation
 // ---------------------------------------------------------------------
 
-struct Sim<'a> {
-    config: &'a AdmissionConfig,
-    arrivals: &'a [ArrivalMeta],
+/// The incremental admission simulator: offer arrivals one at a time
+/// (in nondecreasing virtual-arrival order), drain virtual completions
+/// up to any point in time, and collect decisions as they are made.
+///
+/// [`plan_admission`] is a thin batch wrapper over this type; the
+/// session engine drives it event-by-event instead, interleaving offers
+/// (session opens, mid-stream re-compositions) with the rest of its
+/// event loop. Both drivers produce identical decisions for identical
+/// offer sequences: the simulation's state transitions happen only at
+/// offers and at virtual completion instants, so *when* `drain_until`
+/// is called (one final sweep vs. many small ones) cannot change the
+/// outcome.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    arrivals: Vec<ArrivalMeta>,
     decisions: Vec<Option<AdmissionDecision>>,
+    /// Tickets decided since the last [`take_newly_decided`]
+    /// (in decision order).
+    newly_decided: Vec<usize>,
     /// Per-class FIFO of request indices (class 0 only when
     /// `!config.priority`).
     queues: [VecDeque<usize>; 3],
@@ -388,17 +404,21 @@ struct Sim<'a> {
     stats: AdmissionStats,
 }
 
-impl<'a> Sim<'a> {
-    fn new(config: &'a AdmissionConfig, arrivals: &'a [ArrivalMeta]) -> Sim<'a> {
+impl AdmissionQueue {
+    /// An empty queue. Offers are accepted incrementally; callers must
+    /// offer in nondecreasing `arrival_us` order (the virtual clock
+    /// never rewinds).
+    pub fn new(config: AdmissionConfig) -> AdmissionQueue {
         let limit = config
             .initial_limit
             .max(config.min_limit)
             .min(config.max_limit.max(1))
             .max(1);
-        Sim {
+        AdmissionQueue {
             config,
-            arrivals,
-            decisions: vec![None; arrivals.len()],
+            arrivals: Vec::new(),
+            decisions: Vec::new(),
+            newly_decided: Vec::new(),
             queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             running: BinaryHeap::new(),
             in_flight: 0,
@@ -410,12 +430,51 @@ impl<'a> Sim<'a> {
             below: 0,
             seq: 0,
             stats: AdmissionStats {
-                offered: arrivals.len(),
+                offered: 0,
                 final_limit: limit,
                 min_limit_seen: limit,
                 ..AdmissionStats::default()
             },
         }
+    }
+
+    /// Record a decision for `index` and remember it for
+    /// [`take_newly_decided`].
+    fn decide(&mut self, index: usize, decision: AdmissionDecision) {
+        debug_assert!(self.decisions[index].is_none(), "one decision per offer");
+        self.decisions[index] = Some(decision);
+        self.newly_decided.push(index);
+    }
+
+    /// The decision for ticket `index`, once made.
+    pub fn decision(&self, index: usize) -> Option<AdmissionDecision> {
+        self.decisions.get(index).copied().flatten()
+    }
+
+    /// Tickets decided since the last call, in decision order. Sheds at
+    /// arrival surface immediately after the `offer` that caused them;
+    /// queued requests surface from the `drain_until`/`offer` call whose
+    /// virtual completions started (or timed out) them.
+    pub fn take_newly_decided(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.newly_decided)
+    }
+
+    /// Aggregates so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Earliest pending virtual completion, if any composition is
+    /// running — the next instant at which queued work can start (the
+    /// session engine schedules its admission-pump events here).
+    pub fn next_finish_us(&self) -> Option<u64> {
+        self.running.peek().map(|&Reverse((finish, _, _))| finish)
+    }
+
+    /// Offers still queued without a decision (a running request is
+    /// already decided — its decision was made when it started).
+    pub fn undecided(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_none()).count()
     }
 
     fn queued_total(&self) -> usize {
@@ -428,7 +487,7 @@ impl<'a> Sim<'a> {
 
     /// Complete every running composition with `finish <= t`, freeing
     /// slots and starting queued work at each completion instant.
-    fn drain_until(&mut self, t: u64) {
+    pub fn drain_until(&mut self, t: u64) {
         while let Some(&Reverse((finish, _, index))) = self.running.peek() {
             if finish > t {
                 return;
@@ -571,7 +630,7 @@ impl<'a> Sim<'a> {
             else {
                 return;
             };
-            let arrival = &self.arrivals[index];
+            let arrival = self.arrivals[index];
             let waited = now.saturating_sub(arrival.arrival_us);
             // Dropping a queue-lapsed request is part of deadline-aware
             // shedding; the unprotected baseline burns a worker on it
@@ -579,8 +638,10 @@ impl<'a> Sim<'a> {
             if self.config.deadline_shed {
                 if let Some(budget) = arrival.deadline_budget_us {
                     if waited > budget {
-                        self.decisions[index] =
-                            Some(AdmissionDecision::shed(ShedReason::QueueTimeout, waited));
+                        self.decide(
+                            index,
+                            AdmissionDecision::shed(ShedReason::QueueTimeout, waited),
+                        );
                         self.stats.shed_queue_timeout += 1;
                         continue;
                     }
@@ -591,7 +652,7 @@ impl<'a> Sim<'a> {
     }
 
     fn start(&mut self, index: usize, now: u64) {
-        let arrival = &self.arrivals[index];
+        let arrival = self.arrivals[index];
         let rung = if self.config.brownout {
             self.current_rung()
         } else {
@@ -616,46 +677,65 @@ impl<'a> Sim<'a> {
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
         self.stats.admitted += 1;
         self.stats.peak_rung = self.stats.peak_rung.max(rung);
-        self.decisions[index] = Some(AdmissionDecision {
-            admitted: true,
-            shed: None,
-            queue_wait_us: now.saturating_sub(arrival.arrival_us),
-            start_us: now,
-            finish_us: finish,
-            latency_us: latency,
-            start_rung: rung,
-            limit_at_start: self.limit,
-            deadline_met: met,
-        });
+        self.decide(
+            index,
+            AdmissionDecision {
+                admitted: true,
+                shed: None,
+                queue_wait_us: now.saturating_sub(arrival.arrival_us),
+                start_us: now,
+                finish_us: finish,
+                latency_us: latency,
+                start_rung: rung,
+                limit_at_start: self.limit,
+                deadline_met: met,
+            },
+        );
         self.seq += 1;
         self.running.push(Reverse((finish, self.seq, index)));
     }
 
-    fn offer(&mut self, index: usize) {
-        let arrival = &self.arrivals[index];
+    /// Offer one arrival and return its ticket (offer ordinal). The
+    /// decision may already be available (shed at arrival, or started
+    /// on an idle slot) or may land later, at a virtual completion
+    /// inside a future `offer`/`drain_until`; poll
+    /// [`take_newly_decided`](Self::take_newly_decided) either way.
+    pub fn offer(&mut self, meta: ArrivalMeta) -> usize {
+        debug_assert!(
+            self.arrivals
+                .last()
+                .is_none_or(|prev| prev.arrival_us <= meta.arrival_us),
+            "offers must arrive in nondecreasing virtual time"
+        );
+        let index = self.arrivals.len();
+        self.arrivals.push(meta);
+        self.decisions.push(None);
+        self.stats.offered += 1;
+
+        let arrival = self.arrivals[index];
         let now = arrival.arrival_us;
         self.drain_until(now);
         self.tick_brownout();
         let class = self.config.class_of(arrival.priority);
         if self.queues[class].len() >= self.config.per_queue_capacity() {
-            self.decisions[index] = Some(AdmissionDecision::shed(ShedReason::QueueFull, 0));
+            self.decide(index, AdmissionDecision::shed(ShedReason::QueueFull, 0));
             self.stats.shed_queue_full += 1;
-            return;
+            return index;
         }
         if self.config.deadline_shed {
             if let Some(budget) = arrival.deadline_budget_us {
                 let predicted_wait = self.predict_start(now, class).saturating_sub(now);
                 if predicted_wait > budget {
-                    self.decisions[index] =
-                        Some(AdmissionDecision::shed(ShedReason::PredictedLate, 0));
+                    self.decide(index, AdmissionDecision::shed(ShedReason::PredictedLate, 0));
                     self.stats.shed_predicted_late += 1;
-                    return;
+                    return index;
                 }
             }
         }
         self.queues[class].push_back(index);
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queued_total());
         self.start_queued(now);
+        index
     }
 }
 
@@ -667,18 +747,22 @@ pub fn plan_admission(arrivals: &[ArrivalMeta], config: &AdmissionConfig) -> Adm
     let mut order: Vec<usize> = (0..arrivals.len()).collect();
     order.sort_by_key(|&i| (arrivals[i].arrival_us, i));
 
-    let mut sim = Sim::new(config, arrivals);
+    let mut queue = AdmissionQueue::new(*config);
+    let mut ticket_of = vec![usize::MAX; arrivals.len()];
     for index in order {
-        sim.offer(index);
+        ticket_of[index] = queue.offer(arrivals[index]);
     }
-    sim.drain_until(u64::MAX);
+    queue.drain_until(u64::MAX);
 
-    let decisions: Vec<AdmissionDecision> = sim
-        .decisions
+    let decisions: Vec<AdmissionDecision> = ticket_of
         .iter()
-        .map(|d| d.expect("every offered request gets a decision"))
+        .map(|&ticket| {
+            queue
+                .decision(ticket)
+                .expect("every offered request gets a decision")
+        })
         .collect();
-    let stats = sim.stats;
+    let stats = queue.stats();
     debug_assert_eq!(stats.admitted + stats.shed_total(), stats.offered);
     AdmissionPlan { decisions, stats }
 }
@@ -943,6 +1027,69 @@ mod tests {
         let b = plan_admission(&arrivals, &config);
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn incremental_queue_matches_the_batch_planner() {
+        // Drive the AdmissionQueue offer-by-offer with extra drains
+        // interleaved at arbitrary points: drain granularity must not
+        // change a single decision or stat versus the batch wrapper.
+        let arrivals: Vec<ArrivalMeta> = (0..300)
+            .map(|i| {
+                meta(
+                    (i as u64 * 7_919) % 400_000,
+                    PriorityClass::ALL[(i * 5) % 3],
+                    3_000 + (i as u64 % 13) * 2_500,
+                    if i % 3 == 0 { None } else { Some(90_000) },
+                )
+            })
+            .collect();
+        for config in [
+            AdmissionConfig::unprotected(),
+            AdmissionConfig::shed_only(),
+            AdmissionConfig::protected(),
+        ] {
+            let batch = plan_admission(&arrivals, &config);
+            let mut order: Vec<usize> = (0..arrivals.len()).collect();
+            order.sort_by_key(|&i| (arrivals[i].arrival_us, i));
+            let mut queue = AdmissionQueue::new(config);
+            let mut tickets = vec![usize::MAX; arrivals.len()];
+            let mut decided = Vec::new();
+            for (k, &i) in order.iter().enumerate() {
+                if k % 3 == 0 {
+                    queue.drain_until(arrivals[i].arrival_us);
+                }
+                tickets[i] = queue.offer(arrivals[i]);
+                // Extra drains are sound only up to the next offer's
+                // arrival (the virtual clock of the simulation must not
+                // run ahead of arrivals still to be offered) — the same
+                // rule the session event loop obeys.
+                if k % 5 == 0 {
+                    let next_arrival = order
+                        .get(k + 1)
+                        .map_or(u64::MAX, |&j| arrivals[j].arrival_us);
+                    if let Some(finish) = queue.next_finish_us() {
+                        queue.drain_until(finish.min(next_arrival));
+                    }
+                }
+                decided.extend(queue.take_newly_decided());
+            }
+            queue.drain_until(u64::MAX);
+            decided.extend(queue.take_newly_decided());
+            assert_eq!(queue.stats(), batch.stats);
+            for (i, &ticket) in tickets.iter().enumerate() {
+                assert_eq!(
+                    queue.decision(ticket),
+                    Some(batch.decisions[i]),
+                    "decision for arrival {i} diverged"
+                );
+            }
+            // Every ticket is reported exactly once via the
+            // newly-decided channel.
+            decided.sort_unstable();
+            assert_eq!(decided, (0..arrivals.len()).collect::<Vec<_>>());
+            assert_eq!(queue.undecided(), 0);
+        }
     }
 
     #[test]

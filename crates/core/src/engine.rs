@@ -85,7 +85,7 @@ impl Default for EngineConfig {
 }
 
 /// Render a panic payload for error reporting.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -574,7 +574,7 @@ fn is_transient(error: &crate::CoreError) -> bool {
     )
 }
 
-fn unserved(
+pub(crate) fn unserved(
     attempts: u32,
     backoff_us: u64,
     deadline_exceeded: bool,
@@ -598,7 +598,7 @@ fn unserved(
 /// index, config, start_rung)` — the trace records, it never steers,
 /// and the graph store only changes where the adaptation graph comes
 /// from (reuse/delta instead of rebuild), never its structure.
-fn serve_one<S: TelemetrySink>(
+pub(crate) fn serve_one<S: TelemetrySink>(
     composer: &Composer<'_>,
     store: &GraphStore,
     request: &CompositionRequest,

@@ -53,10 +53,11 @@ pub mod engine;
 pub mod graph;
 pub mod plan;
 pub mod select;
+pub mod session;
 
 pub use admission::{
-    plan_admission, AdmissionConfig, AdmissionDecision, AdmissionPlan, AdmissionStats, ArrivalMeta,
-    PriorityClass, ShedReason,
+    plan_admission, AdmissionConfig, AdmissionDecision, AdmissionPlan, AdmissionQueue,
+    AdmissionStats, ArrivalMeta, PriorityClass, ShedReason,
 };
 pub use bundle::{compose_bundle, BundleComposition, BundleStream};
 pub use cache::{CacheStats, CompositionCache, ShardedCompositionCache};
@@ -75,6 +76,12 @@ pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
     arena_reuse_total, select_chain, SelectOptions, SelectedChain, SelectionOutcome,
     SelectionTrace, TieBreak,
+};
+pub use session::{
+    run_sessions, serve_batch_resilient_sessions, serve_batch_resilient_sessions_traced,
+    serve_batch_sessions, serve_batch_sessions_traced, serve_batch_with_admission_sessions,
+    serve_batch_with_admission_sessions_traced, CloseReason, SessionCounters, SessionEngineConfig,
+    SessionOutcome, SessionRequest, SessionWorld, SessionsReport, StaticWorld,
 };
 
 /// Errors produced by this crate.

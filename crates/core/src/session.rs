@@ -1,0 +1,813 @@
+//! Steady-state session serving on the virtual clock.
+//!
+//! The paper composes one adaptation chain per request; the repo's
+//! north star — sustained streaming traffic — is *overlapping
+//! long-lived sessions* whose chains must survive mid-stream churn.
+//! This module turns the batch-shaped engine into a continuous
+//! discrete-event serving loop:
+//!
+//! * a session **opens** at its virtual arrival, flows through the
+//!   [`AdmissionQueue`](crate::admission::AdmissionQueue) (same
+//!   decisions as [`plan_admission`](crate::plan_admission), made
+//!   incrementally), and composes its chain through the shared
+//!   [`GraphStore`](crate::GraphStore) at the rung brown-out assigned,
+//! * while **active** it accrues session-time on its current
+//!   [`DegradationRung`], ticking a progress epoch every
+//!   [`tick_us`](SessionEngineConfig::tick_us),
+//! * **world events** (chaos faults, lease expiry — anything the
+//!   [`SessionWorld`] applies) that invalidate a live plan trigger a
+//!   **re-composition**: one more pass through admission and the
+//!   composer, continuing from the session's current rung,
+//! * the session **closes** when its holding time elapses
+//!   (`completed`), when its open never produced a plan
+//!   (`failed_open`), when a re-composition finds nothing (`starved`),
+//!   or when it exhausts
+//!   [`max_recompositions`](SessionEngineConfig::max_recompositions)
+//!   (`gave_up`).
+//!
+//! Everything runs on the deterministic
+//! [`EventQueue`](qosc_netsim::EventQueue): same inputs → bitwise
+//! identical outcomes on any machine at any worker count (compositions
+//! of one virtual instant fan out across workers, but every result is
+//! a pure function of the request and the world snapshot).
+//!
+//! ## Batch adapters
+//!
+//! [`serve_batch_sessions`], [`serve_batch_resilient_sessions`] and
+//! [`serve_batch_with_admission_sessions`] re-express the existing
+//! batch entry points as degenerate zero-duration sessions and produce
+//! **bitwise identical** plans, outcomes, counters and telemetry logs
+//! (the `batch_adapter_equivalence` integration test pins this), so
+//! every committed scorecard is reproducible through the session
+//! engine path.
+//!
+//! Naming note: `qosc_pipeline::session` replays one *frame-level*
+//! streaming session through an already-composed chain; this module is
+//! the *serving* loop that owns many concurrent session lifecycles and
+//! decides when chains are (re-)composed.
+
+pub mod event_loop;
+
+use crate::admission::{AdmissionConfig, AdmissionStats, ArrivalMeta, PriorityClass, ShedReason};
+use crate::cache::ShardedCompositionCache;
+use crate::composer::Composer;
+use crate::engine::{
+    unserved, AdmittedBatch, CompositionRequest, DegradationRung, EngineConfig, RequestOutcome,
+    ResilientBatch, ResilientEngineConfig,
+};
+use crate::plan::AdaptationPlan;
+use crate::AdmissionPlan;
+use qosc_media::FormatRegistry;
+use qosc_netsim::Network;
+use qosc_services::ServiceRegistry;
+use qosc_telemetry::{MetricsRegistry, TelemetrySink};
+
+pub use event_loop::run_sessions;
+
+/// One long-lived session offered to the engine.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// What to compose when the session opens (and re-compose
+    /// mid-stream).
+    pub request: CompositionRequest,
+    /// Virtual arrival metadata — arrival time, priority class,
+    /// composition cost and deadline budget for the admission queue.
+    pub arrival: ArrivalMeta,
+    /// Holding time: virtual microseconds the session stays active
+    /// after its chain is first served. `0` is a degenerate
+    /// batch-shaped session that closes at open.
+    pub hold_us: u64,
+}
+
+/// Why a session closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CloseReason {
+    /// The holding time elapsed.
+    Completed,
+    /// The opening composition produced no plan at any rung.
+    FailedOpen,
+    /// The session exhausted
+    /// [`max_recompositions`](SessionEngineConfig::max_recompositions).
+    GaveUp,
+    /// A mid-stream re-composition found no plan (or the admission
+    /// queue refused the re-composition offer).
+    Starved,
+}
+
+impl CloseReason {
+    /// Stable machine-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CloseReason::Completed => "completed",
+            CloseReason::FailedOpen => "failed_open",
+            CloseReason::GaveUp => "gave_up",
+            CloseReason::Starved => "starved",
+        }
+    }
+}
+
+impl std::fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The world a session engine runs against: where compositions come
+/// from, which scheduled events mutate it, and whether a served plan is
+/// still viable after a mutation.
+///
+/// The engine never names concrete fault types — `qosc-pipeline`'s
+/// `ChaosWorld` adapts chaos schedules and discovery churn onto this
+/// trait without `qosc-core` depending on the pipeline crate.
+pub trait SessionWorld {
+    /// A composer over the world's current state.
+    fn composer(&self) -> Composer<'_>;
+
+    /// Whether `plan` still works in the current world (hosts up, links
+    /// carrying the plan's rates, services still advertised). The
+    /// default world never breaks a plan.
+    fn plan_alive(&self, plan: &AdaptationPlan) -> bool {
+        let _ = plan;
+        true
+    }
+
+    /// Virtual times of the world's scheduled mutations, indexed by
+    /// event id. At equal timestamps world events apply before any
+    /// session event (the engine schedules them first).
+    fn world_event_times(&self) -> &[u64] {
+        &[]
+    }
+
+    /// Apply world event `index` (same indexing as
+    /// [`world_event_times`](Self::world_event_times)).
+    fn apply_world_event(&mut self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// A world that never changes: composition state borrowed from a
+/// scenario, no scheduled events, plans never break. The batch adapters
+/// run on this.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticWorld<'a> {
+    /// Format registry.
+    pub formats: &'a FormatRegistry,
+    /// Service registry.
+    pub services: &'a ServiceRegistry,
+    /// Network.
+    pub network: &'a Network,
+}
+
+impl SessionWorld for StaticWorld<'_> {
+    fn composer(&self) -> Composer<'_> {
+        Composer {
+            formats: self.formats,
+            services: self.services,
+            network: self.network,
+        }
+    }
+}
+
+/// Tuning for the session engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionEngineConfig {
+    /// Composition tuning: workers, options, retry, ladder, seed. The
+    /// embedded `admission` field is ignored here — see
+    /// [`admission`](Self::admission).
+    pub resilient: ResilientEngineConfig,
+    /// Admission policy for session opens and re-compositions. `None`
+    /// admits everything at its arrival instant (the
+    /// [`serve_batch`](crate::serve_batch) /
+    /// [`serve_batch_resilient`](crate::serve_batch_resilient)
+    /// behaviour).
+    pub admission: Option<AdmissionConfig>,
+    /// Progress-epoch period, virtual microseconds (`0` disables
+    /// ticks). Each tick re-checks plan liveness and, with session
+    /// spans on, opens an `epoch` child span.
+    pub tick_us: u64,
+    /// Re-compositions a session may consume before it closes as
+    /// [`CloseReason::GaveUp`].
+    pub max_recompositions: u32,
+    /// Stop processing events after this virtual time; sessions still
+    /// open are counted as
+    /// [`active_at_end`](SessionCounters::active_at_end). `None` runs
+    /// to quiescence.
+    pub horizon_us: Option<u64>,
+    /// Emit session-scoped telemetry (`session_opened`/`session_closed`
+    /// events, `epoch`/`recompose` child spans). The batch adapters
+    /// turn this off so traces stay bitwise identical to the
+    /// pre-session paths.
+    pub session_spans: bool,
+}
+
+impl Default for SessionEngineConfig {
+    fn default() -> SessionEngineConfig {
+        SessionEngineConfig {
+            resilient: ResilientEngineConfig::default(),
+            admission: Some(AdmissionConfig::default()),
+            tick_us: 250_000,
+            max_recompositions: 8,
+            horizon_us: None,
+            session_spans: true,
+        }
+    }
+}
+
+/// What happened to one session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionOutcome {
+    /// The open event was processed (false only when the arrival lay
+    /// beyond the horizon).
+    pub opened: bool,
+    /// Virtual open (arrival) time.
+    pub opened_us: u64,
+    /// Virtual time the first plan was served (`None` when the session
+    /// never started streaming).
+    pub started_us: Option<u64>,
+    /// Virtual close time (`None` while shed, pending, or active at
+    /// the end of the run).
+    pub closed_us: Option<u64>,
+    /// Why it closed (`None` when shed or still open at the end).
+    pub close: Option<CloseReason>,
+    /// The admission queue refused the session's open.
+    pub shed: Option<ShedReason>,
+    /// Mid-stream re-compositions consumed (triggers, whether or not
+    /// the re-composition then served).
+    pub recompositions: u32,
+    /// Progress epochs ticked while active.
+    pub epochs: u32,
+    /// Composition attempts across open and all re-compositions.
+    pub attempts: u32,
+    /// Rung serving the session when it ended (`None` when it never
+    /// served).
+    pub final_rung: Option<DegradationRung>,
+    /// `(virtual_time_us, rung)` at open and at every re-composition
+    /// that served, in order.
+    pub rung_history: Vec<(u64, DegradationRung)>,
+    /// Active microseconds with a live plan.
+    pub lit_us: u64,
+    /// Active microseconds dark (plan invalidated, re-composition not
+    /// yet served).
+    pub dark_us: u64,
+    /// Time-weighted satisfaction integral, `∫ satisfaction dt` in
+    /// microsecond units (dark time integrates 0).
+    pub satisfaction_us: f64,
+    /// Active microseconds by serving rung, indexed by
+    /// [`DegradationRung::LADDER`].
+    pub rung_us: [u64; 4],
+}
+
+impl SessionOutcome {
+    /// Total active (streaming) time, microseconds.
+    pub fn active_us(&self) -> u64 {
+        self.lit_us.saturating_add(self.dark_us)
+    }
+
+    /// Fraction of active time with a live plan (1.0 for a session that
+    /// never went dark; 0.0 for one that never streamed).
+    pub fn availability(&self) -> f64 {
+        let total = self.active_us();
+        if total == 0 {
+            return 0.0;
+        }
+        self.lit_us as f64 / total as f64
+    }
+
+    /// Time-weighted mean satisfaction over active time (dark time
+    /// counts as zero).
+    pub fn mean_satisfaction(&self) -> f64 {
+        let total = self.active_us();
+        if total == 0 {
+            return 0.0;
+        }
+        self.satisfaction_us / total as f64
+    }
+}
+
+/// Partition of every session the engine processed. `opened` splits
+/// exactly into closes + sheds + still-active:
+/// `opened == completed + failed_open + gave_up + starved + shed +
+/// active_at_end` (the `session_lifecycle` property suite pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCounters {
+    /// Sessions handed to the engine.
+    pub offered: usize,
+    /// Open events processed (arrival within the horizon).
+    pub opened: usize,
+    /// Closed: holding time elapsed.
+    pub completed: usize,
+    /// Closed: open composed nothing.
+    pub failed_open: usize,
+    /// Closed: re-composition budget exhausted.
+    pub gave_up: usize,
+    /// Closed: a re-composition found nothing.
+    pub starved: usize,
+    /// Refused by admission at open.
+    pub shed: usize,
+    /// Open (active, re-composing, or still queued in admission) when
+    /// the run ended.
+    pub active_at_end: usize,
+}
+
+impl SessionCounters {
+    /// All closes together.
+    pub fn closed(&self) -> usize {
+        self.completed + self.failed_open + self.gave_up + self.starved
+    }
+
+    /// Whether the partition is exact.
+    pub fn partitions_exactly(&self) -> bool {
+        self.opened == self.closed() + self.shed + self.active_at_end
+    }
+}
+
+/// The result of one session-engine run.
+#[derive(Debug, Clone)]
+pub struct SessionsReport {
+    /// One outcome per offered session, in offer order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The lifecycle partition.
+    pub counters: SessionCounters,
+    /// Admission aggregates (zeros when admission was `None`).
+    pub admission: AdmissionStats,
+    /// Virtual end of the run: the horizon, or the last event time.
+    pub end_us: u64,
+}
+
+impl SessionsReport {
+    /// Total re-compositions triggered across all sessions.
+    pub fn recompositions(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.recompositions as u64).sum()
+    }
+
+    /// Active microseconds by serving rung, summed over sessions.
+    pub fn session_us_by_rung(&self) -> [u64; 4] {
+        let mut sums = [0u64; 4];
+        for outcome in &self.outcomes {
+            for (sum, us) in sums.iter_mut().zip(outcome.rung_us) {
+                *sum = sum.saturating_add(us);
+            }
+        }
+        sums
+    }
+
+    /// Steady-state availability: lit session-time over total active
+    /// session-time.
+    pub fn availability(&self) -> f64 {
+        let lit: u64 = self.outcomes.iter().map(|o| o.lit_us).sum();
+        let total: u64 = self.outcomes.iter().map(|o| o.active_us()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        lit as f64 / total as f64
+    }
+
+    /// Re-compositions per active session-hour (0 when nothing
+    /// streamed).
+    pub fn recompositions_per_session_hour(&self) -> f64 {
+        let active_us: u64 = self.outcomes.iter().map(|o| o.active_us()).sum();
+        if active_us == 0 {
+            return 0.0;
+        }
+        self.recompositions() as f64 * 3.6e9 / active_us as f64
+    }
+
+    /// Mirror the session gauges into `registry`:
+    /// `qosc_sessions_*_total` counters for the lifecycle partition,
+    /// the `qosc_active_sessions` gauge, the
+    /// `qosc_session_recompositions_total` counter and
+    /// `qosc_session_seconds_total{rung="…"}` per-rung serving time.
+    pub fn record_metrics(&self, registry: &MetricsRegistry) {
+        let c = &self.counters;
+        for (name, value) in [
+            ("qosc_sessions_offered_total", c.offered),
+            ("qosc_sessions_opened_total", c.opened),
+            ("qosc_sessions_completed_total", c.completed),
+            ("qosc_sessions_failed_open_total", c.failed_open),
+            ("qosc_sessions_gave_up_total", c.gave_up),
+            ("qosc_sessions_starved_total", c.starved),
+            ("qosc_sessions_shed_total", c.shed),
+        ] {
+            registry.counter(name).store(value as u64);
+        }
+        registry
+            .gauge("qosc_active_sessions")
+            .set(c.active_at_end as i64);
+        registry
+            .counter("qosc_session_recompositions_total")
+            .store(self.recompositions());
+        for (rung, us) in DegradationRung::LADDER
+            .iter()
+            .zip(self.session_us_by_rung())
+        {
+            registry
+                .counter(&format!(
+                    "qosc_session_seconds_total{{rung=\"{}\"}}",
+                    rung.label()
+                ))
+                .store(us / 1_000_000);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch adapters: serve_batch* as degenerate zero-duration sessions
+// ---------------------------------------------------------------------
+
+fn degenerate(request: &CompositionRequest, arrival: ArrivalMeta) -> SessionRequest {
+    SessionRequest {
+        request: request.clone(),
+        arrival,
+        hold_us: 0,
+    }
+}
+
+fn zero_arrival() -> ArrivalMeta {
+    ArrivalMeta {
+        arrival_us: 0,
+        priority: PriorityClass::Standard,
+        service_cost_us: 1,
+        deadline_budget_us: None,
+    }
+}
+
+fn batch_config(
+    resilient: ResilientEngineConfig,
+    admission: Option<AdmissionConfig>,
+) -> SessionEngineConfig {
+    SessionEngineConfig {
+        resilient,
+        admission,
+        tick_us: 0,
+        max_recompositions: 0,
+        horizon_us: None,
+        session_spans: false,
+    }
+}
+
+/// [`serve_batch`](crate::serve_batch) re-expressed through the session
+/// engine: every request is a zero-duration session opening at virtual
+/// time 0 with no admission. Results are bitwise identical to
+/// `serve_batch`, including telemetry.
+pub fn serve_batch_sessions(
+    composer: &Composer<'_>,
+    cache: &ShardedCompositionCache,
+    requests: &[CompositionRequest],
+    config: &EngineConfig,
+) -> Vec<crate::Result<Option<AdaptationPlan>>> {
+    serve_batch_sessions_traced(composer, cache, requests, config, &qosc_telemetry::NoopSink)
+}
+
+/// [`serve_batch_traced`](crate::serve_batch_traced) through the
+/// session engine.
+pub fn serve_batch_sessions_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    cache: &ShardedCompositionCache,
+    requests: &[CompositionRequest],
+    config: &EngineConfig,
+    sink: &S,
+) -> Vec<crate::Result<Option<AdaptationPlan>>> {
+    let mut world = StaticWorld {
+        formats: composer.formats,
+        services: composer.services,
+        network: composer.network,
+    };
+    let sessions: Vec<SessionRequest> = requests
+        .iter()
+        .map(|r| degenerate(r, zero_arrival()))
+        .collect();
+    let resilient = ResilientEngineConfig {
+        workers: config.workers,
+        options: config.options,
+        ..ResilientEngineConfig::default()
+    };
+    let run = event_loop::run(
+        &mut world,
+        &sessions,
+        &batch_config(resilient, None),
+        event_loop::Backend::Cached {
+            cache,
+            options: config.options,
+        },
+        sink,
+    );
+    run.batch_results
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(crate::CoreError::WorkerPanic(
+                    "worker thread lost before reporting".to_string(),
+                ))
+            })
+        })
+        .collect()
+}
+
+/// [`serve_batch_resilient`](crate::serve_batch_resilient) re-expressed
+/// through the session engine; outcomes, counters and telemetry are
+/// bitwise identical.
+pub fn serve_batch_resilient_sessions(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    config: &ResilientEngineConfig,
+) -> ResilientBatch {
+    serve_batch_resilient_sessions_traced(composer, requests, config, &qosc_telemetry::NoopSink)
+}
+
+/// [`serve_batch_resilient_traced`](crate::serve_batch_resilient_traced)
+/// through the session engine.
+pub fn serve_batch_resilient_sessions_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    config: &ResilientEngineConfig,
+    sink: &S,
+) -> ResilientBatch {
+    let mut world = StaticWorld {
+        formats: composer.formats,
+        services: composer.services,
+        network: composer.network,
+    };
+    let sessions: Vec<SessionRequest> = requests
+        .iter()
+        .map(|r| degenerate(r, zero_arrival()))
+        .collect();
+    let run = event_loop::run(
+        &mut world,
+        &sessions,
+        &batch_config(*config, None),
+        event_loop::Backend::Resilient,
+        sink,
+    );
+    ResilientBatch {
+        outcomes: collect_outcomes(run.request_outcomes),
+    }
+}
+
+/// [`serve_batch_with_admission`](crate::serve_batch_with_admission)
+/// re-expressed through the session engine; outcomes, admission
+/// decisions, stats and telemetry are bitwise identical.
+///
+/// # Panics
+///
+/// Panics when `requests.len() != arrivals.len()`.
+pub fn serve_batch_with_admission_sessions(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    arrivals: &[ArrivalMeta],
+    config: &ResilientEngineConfig,
+) -> AdmittedBatch {
+    serve_batch_with_admission_sessions_traced(
+        composer,
+        requests,
+        arrivals,
+        config,
+        &qosc_telemetry::NoopSink,
+    )
+}
+
+/// [`serve_batch_with_admission_traced`](crate::serve_batch_with_admission_traced)
+/// through the session engine.
+///
+/// # Panics
+///
+/// Panics when `requests.len() != arrivals.len()`.
+pub fn serve_batch_with_admission_sessions_traced<S: TelemetrySink>(
+    composer: &Composer<'_>,
+    requests: &[CompositionRequest],
+    arrivals: &[ArrivalMeta],
+    config: &ResilientEngineConfig,
+    sink: &S,
+) -> AdmittedBatch {
+    assert_eq!(
+        requests.len(),
+        arrivals.len(),
+        "one ArrivalMeta per CompositionRequest"
+    );
+    let mut world = StaticWorld {
+        formats: composer.formats,
+        services: composer.services,
+        network: composer.network,
+    };
+    let sessions: Vec<SessionRequest> = requests
+        .iter()
+        .zip(arrivals)
+        .map(|(r, &a)| degenerate(r, a))
+        .collect();
+    let run = event_loop::run(
+        &mut world,
+        &sessions,
+        &batch_config(*config, Some(config.admission)),
+        event_loop::Backend::Resilient,
+        sink,
+    );
+    let decisions = run
+        .open_decisions
+        .into_iter()
+        .map(|d| d.expect("no horizon: every offered session is decided"))
+        .collect();
+    AdmittedBatch {
+        batch: ResilientBatch {
+            outcomes: collect_outcomes(run.request_outcomes),
+        },
+        admission: AdmissionPlan {
+            decisions,
+            stats: run.report.admission,
+        },
+    }
+}
+
+fn collect_outcomes(slots: Vec<Option<RequestOutcome>>) -> Vec<RequestOutcome> {
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                unserved(
+                    0,
+                    0,
+                    false,
+                    Some("worker thread lost before reporting".to_string()),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::FormatRegistry;
+    use qosc_netsim::{Network, Node, NodeId, Topology};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+    };
+    use qosc_services::{catalog, ServiceRegistry, TranscoderDescriptor};
+
+    struct Fixture {
+        formats: FormatRegistry,
+        services: ServiceRegistry,
+        network: Network,
+        server: NodeId,
+        client: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let formats = FormatRegistry::with_builtins();
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        topo.connect_simple(proxy, client, 1e6).unwrap();
+        let network = Network::new(topo);
+        let mut services = ServiceRegistry::new();
+        for spec in catalog::full_catalog() {
+            services
+                .register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+        }
+        Fixture {
+            formats,
+            services,
+            network,
+            server,
+            client,
+        }
+    }
+
+    fn request(f: &Fixture, i: usize) -> CompositionRequest {
+        CompositionRequest {
+            profiles: ProfileSet {
+                user: UserProfile::demo(&format!("user-{}", i % 3)),
+                content: ContentProfile::demo_video("clip"),
+                device: DeviceProfile::demo_pda(),
+                context: ContextProfile::default(),
+                network: NetworkProfile::broadband(),
+            },
+            sender_host: f.server,
+            receiver_host: f.client,
+        }
+    }
+
+    fn sessions(f: &Fixture, n: usize, hold_us: u64, spacing_us: u64) -> Vec<SessionRequest> {
+        (0..n)
+            .map(|i| SessionRequest {
+                request: request(f, i),
+                arrival: ArrivalMeta {
+                    arrival_us: i as u64 * spacing_us,
+                    priority: PriorityClass::Standard,
+                    service_cost_us: 1_000,
+                    deadline_budget_us: None,
+                },
+                hold_us,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_world_sessions_complete_with_full_availability() {
+        let f = fixture();
+        let mut world = StaticWorld {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let reqs = sessions(&f, 6, 2_000_000, 100_000);
+        let config = SessionEngineConfig {
+            admission: None,
+            tick_us: 500_000,
+            ..SessionEngineConfig::default()
+        };
+        let report = run_sessions(&mut world, &reqs, &config, &qosc_telemetry::NoopSink);
+        assert_eq!(report.counters.opened, 6);
+        assert_eq!(report.counters.completed, 6);
+        assert!(report.counters.partitions_exactly());
+        assert_eq!(report.recompositions(), 0);
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.close, Some(CloseReason::Completed));
+            assert_eq!(outcome.lit_us, 2_000_000, "holds accrue fully lit");
+            assert_eq!(outcome.dark_us, 0);
+            assert_eq!(outcome.epochs, 3, "ticks at +500ms, +1s, +1.5s");
+            assert!(outcome.mean_satisfaction() > 0.0);
+        }
+        assert!((report.availability() - 1.0).abs() < 1e-12);
+        // Rung accounting partitions lit time exactly.
+        let by_rung: u64 = report.session_us_by_rung().iter().sum();
+        assert_eq!(by_rung, 6 * 2_000_000);
+    }
+
+    #[test]
+    fn sessions_through_admission_carry_decisions_and_partition() {
+        let f = fixture();
+        let mut world = StaticWorld {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let reqs = sessions(&f, 8, 1_000_000, 10_000);
+        let config = SessionEngineConfig {
+            tick_us: 0,
+            ..SessionEngineConfig::default()
+        };
+        let report = run_sessions(&mut world, &reqs, &config, &qosc_telemetry::NoopSink);
+        assert_eq!(report.admission.offered, 8);
+        assert!(report.counters.partitions_exactly());
+        assert_eq!(
+            report.counters.completed + report.counters.shed,
+            8,
+            "static world: every session either completes or is shed"
+        );
+    }
+
+    #[test]
+    fn horizon_censors_and_counts_active_sessions() {
+        let f = fixture();
+        let mut world = StaticWorld {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        // Sessions hold for 10s; the horizon cuts at 1s.
+        let reqs = sessions(&f, 3, 10_000_000, 1_000);
+        let config = SessionEngineConfig {
+            admission: None,
+            tick_us: 0,
+            horizon_us: Some(1_000_000),
+            ..SessionEngineConfig::default()
+        };
+        let report = run_sessions(&mut world, &reqs, &config, &qosc_telemetry::NoopSink);
+        assert_eq!(report.counters.active_at_end, 3);
+        assert!(report.counters.partitions_exactly());
+        assert_eq!(report.end_us, 1_000_000);
+        for outcome in &report.outcomes {
+            assert!(outcome.close.is_none());
+            assert_eq!(
+                outcome.lit_us,
+                1_000_000 - outcome.opened_us,
+                "accrues exactly to the horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_hold_sessions_are_degenerate_batches() {
+        let f = fixture();
+        let mut world = StaticWorld {
+            formats: &f.formats,
+            services: &f.services,
+            network: &f.network,
+        };
+        let reqs = sessions(&f, 4, 0, 0);
+        let config = SessionEngineConfig {
+            admission: None,
+            tick_us: 0,
+            session_spans: false,
+            ..SessionEngineConfig::default()
+        };
+        let report = run_sessions(&mut world, &reqs, &config, &qosc_telemetry::NoopSink);
+        assert_eq!(report.counters.completed, 4);
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.closed_us, Some(0));
+            assert_eq!(outcome.active_us(), 0);
+            assert_eq!(outcome.epochs, 0);
+        }
+    }
+}

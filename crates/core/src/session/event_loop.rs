@@ -1,0 +1,835 @@
+//! The session engine's discrete-event loop.
+//!
+//! One [`EventQueue`] drives everything. Event ordering at equal
+//! virtual times is the queue's insertion order, and the engine
+//! schedules deliberately:
+//!
+//! 1. **world events** are scheduled before any session event, so a
+//!    fault at `t` is visible to everything else happening at `t`;
+//! 2. **session opens** follow, in session-index order — at equal
+//!    arrival times the admission queue therefore sees offers in the
+//!    exact order [`plan_admission`](crate::plan_admission) would have
+//!    offered them;
+//! 3. events scheduled *during* the run (admission pumps, progress
+//!    ticks, closes) pop after those, in creation order.
+//!
+//! The admission queue is drained through **pump events**: whenever
+//! work is running, a pump is scheduled at the earliest virtual
+//! completion. This keeps the load-bearing invariant that the queue is
+//! never drained past the next offer's arrival time — every offer
+//! happens at the current event time, every drain happens at an event
+//! time, so the admission simulation sees exactly the same
+//! offer/completion interleaving as the batch planner and makes
+//! bitwise-identical decisions.
+//!
+//! Compositions triggered at one virtual instant are collected and
+//! fanned out across a crossbeam worker pool; each job is a pure
+//! function of its request and the world snapshot (the snapshot cannot
+//! change mid-instant: all world events at that time were applied
+//! first), so results — applied in job-collection order — are
+//! independent of worker count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use qosc_netsim::{EventQueue, SimTime};
+use qosc_telemetry::{EventKind, RequestTrace, TelemetrySink, TraceState, ROOT_SPAN};
+
+use crate::admission::{AdmissionDecision, AdmissionQueue, ArrivalMeta};
+use crate::cache::ShardedCompositionCache;
+use crate::engine::{panic_message, serve_one, unserved, DegradationRung, RequestOutcome};
+use crate::graph::GraphStore;
+use crate::plan::AdaptationPlan;
+use crate::select::SelectOptions;
+use crate::CoreError;
+
+use super::{
+    CloseReason, SessionCounters, SessionEngineConfig, SessionOutcome, SessionRequest,
+    SessionWorld, SessionsReport,
+};
+
+/// How compositions run.
+pub(crate) enum Backend<'a> {
+    /// Through the sharded composition cache —
+    /// [`serve_batch`](crate::serve_batch) semantics: one attempt, no
+    /// ladder, panics isolated per request.
+    Cached {
+        /// The shared cache.
+        cache: &'a ShardedCompositionCache,
+        /// Selection options (the cached path ignores
+        /// `config.resilient.options`).
+        options: SelectOptions,
+    },
+    /// Through [`serve_one`] — ladder, retries, deadline, starting at
+    /// the rung admission assigned.
+    Resilient,
+}
+
+/// Everything a run produces; the public API exposes
+/// [`SessionsReport`], the batch adapters read the rest.
+pub(crate) struct EngineRun {
+    pub report: SessionsReport,
+    /// `serve_one` outcome of each session's *opening* composition (or
+    /// its shed record), `None` while pending/never-opened.
+    pub request_outcomes: Vec<Option<RequestOutcome>>,
+    /// Cached-backend results, `None` while pending/never-opened.
+    pub batch_results: Vec<Option<crate::Result<Option<AdaptationPlan>>>>,
+    /// Admission decision of each session's open (`None` without
+    /// admission or while queued at the end of the run).
+    pub open_decisions: Vec<Option<AdmissionDecision>>,
+}
+
+/// Run long-lived sessions through `world` until quiescence (or the
+/// configured horizon) and report the lifecycle partition, per-session
+/// accrual, and admission aggregates.
+///
+/// Deterministic: for fixed `(world, requests, config)` the report —
+/// and, with session spans on, the merged telemetry log — is bitwise
+/// identical across runs, machines, and worker counts.
+pub fn run_sessions<W: SessionWorld + Sync, S: TelemetrySink>(
+    world: &mut W,
+    requests: &[SessionRequest],
+    config: &SessionEngineConfig,
+    sink: &S,
+) -> SessionsReport {
+    run(world, requests, config, Backend::Resilient, sink).report
+}
+
+/// One pending composition at the current virtual instant.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    session: usize,
+    start_rung: DegradationRung,
+    recompose: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Open event not yet processed.
+    Created,
+    /// Offered (queued in admission, or composing its open this
+    /// instant).
+    PendingOpen,
+    /// Streaming on a live plan.
+    Active,
+    /// Plan invalidated; a re-composition is queued or composing.
+    Recomposing,
+    /// Closed or shed.
+    Done,
+}
+
+struct Sess {
+    phase: Phase,
+    trace: Option<TraceState>,
+    plan: Option<AdaptationPlan>,
+    rung: DegradationRung,
+    satisfaction: f64,
+    last_accrual_us: u64,
+    outcome: SessionOutcome,
+}
+
+enum JobOut {
+    Batch(crate::Result<Option<AdaptationPlan>>),
+    Outcome(RequestOutcome),
+}
+
+enum Ev {
+    /// Apply world mutation `k`.
+    World(usize),
+    /// Session `i` arrives.
+    Open(usize),
+    /// Drain the admission queue to now and surface new decisions.
+    Pump,
+    /// Progress epoch for session `i`.
+    Tick(usize),
+    /// Session `i`'s holding time elapses.
+    Close(usize),
+}
+
+struct Loop<'a, 'w, W: SessionWorld, S: TelemetrySink> {
+    world: &'w mut W,
+    requests: &'a [SessionRequest],
+    config: &'a SessionEngineConfig,
+    sink: &'a S,
+    queue: EventQueue<Ev>,
+    admission: Option<AdmissionQueue>,
+    /// Ticket → `(session, is_recompose)`; tickets are issued
+    /// sequentially by the admission queue.
+    tickets: Vec<(usize, bool)>,
+    /// Virtual times with a pump already scheduled (dedup only — never
+    /// iterated, so the hash order cannot leak into outcomes).
+    pumps: std::collections::HashSet<u64>,
+    sessions: Vec<Sess>,
+    counters: SessionCounters,
+    request_outcomes: Vec<Option<RequestOutcome>>,
+    batch_results: Vec<Option<crate::Result<Option<AdaptationPlan>>>>,
+    open_decisions: Vec<Option<AdmissionDecision>>,
+    /// Jobs collected at the current instant.
+    jobs: Vec<Job>,
+    /// A world event fired at the current instant; live plans need a
+    /// liveness check before time moves on.
+    world_changed: bool,
+}
+
+pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
+    world: &mut W,
+    requests: &[SessionRequest],
+    config: &SessionEngineConfig,
+    backend: Backend<'_>,
+    sink: &S,
+) -> EngineRun {
+    let horizon = config.horizon_us.unwrap_or(u64::MAX);
+    let mut queue = EventQueue::new();
+    // World events first (see module docs for the equal-time contract).
+    for (k, &t) in world.world_event_times().iter().enumerate() {
+        queue.schedule(SimTime(t), Ev::World(k));
+    }
+    for (i, request) in requests.iter().enumerate() {
+        queue.schedule(SimTime(request.arrival.arrival_us), Ev::Open(i));
+    }
+
+    let n = requests.len();
+    let mut lp = Loop {
+        world,
+        requests,
+        config,
+        sink,
+        queue,
+        admission: config.admission.map(AdmissionQueue::new),
+        tickets: Vec::new(),
+        pumps: std::collections::HashSet::new(),
+        sessions: (0..n)
+            .map(|_| Sess {
+                phase: Phase::Created,
+                trace: None,
+                plan: None,
+                rung: DegradationRung::Full,
+                satisfaction: 0.0,
+                last_accrual_us: 0,
+                outcome: SessionOutcome::default(),
+            })
+            .collect(),
+        counters: SessionCounters {
+            offered: n,
+            ..SessionCounters::default()
+        },
+        request_outcomes: (0..n).map(|_| None).collect(),
+        batch_results: (0..n).map(|_| None).collect(),
+        open_decisions: (0..n).map(|_| None).collect(),
+        jobs: Vec::new(),
+        world_changed: false,
+    };
+
+    // Shared per-run graph store: the world snapshot only moves at
+    // world events, and the store itself revalidates against the
+    // network epoch, so reuse across instants is safe and cheap.
+    let graph_store = GraphStore::new();
+
+    let mut end_us = 0u64;
+    while let Some(head) = lp.queue.peek_time() {
+        if head.0 > horizon {
+            break;
+        }
+        let t = head.0;
+        end_us = t;
+        // Drain every event at this instant; handlers may schedule more
+        // same-instant events (pumps, opens deciding immediately) and
+        // collect compose jobs.
+        loop {
+            while lp.queue.peek_time() == Some(head) {
+                let (_, ev) = lp.queue.pop().expect("peeked event");
+                lp.handle(t, ev);
+            }
+            if lp.world_changed {
+                lp.world_changed = false;
+                lp.check_liveness(t);
+            }
+            if lp.queue.peek_time() != Some(head) {
+                break;
+            }
+        }
+        // Fan the instant's compositions out across the worker pool and
+        // apply results in collection order.
+        if !lp.jobs.is_empty() {
+            let jobs = std::mem::take(&mut lp.jobs);
+            let results = lp.run_jobs(&jobs, &backend, &graph_store);
+            let cached = matches!(backend, Backend::Cached { .. });
+            for (job, result) in jobs.iter().zip(results) {
+                lp.apply(t, *job, result, cached);
+            }
+        }
+    }
+    if let Some(h) = config.horizon_us {
+        end_us = h;
+    }
+
+    // Sessions still open accrue to the end of the run and count as
+    // active_at_end — the steady-state censoring term of the lifecycle
+    // partition.
+    for i in 0..n {
+        match lp.sessions[i].phase {
+            Phase::Active | Phase::Recomposing => {
+                lp.accrue(i, end_us);
+                lp.counters.active_at_end += 1;
+            }
+            Phase::PendingOpen => lp.counters.active_at_end += 1,
+            Phase::Created | Phase::Done => {}
+        }
+    }
+
+    let admission_stats = lp.admission.as_ref().map(|q| q.stats()).unwrap_or_default();
+    let outcomes: Vec<SessionOutcome> = lp.sessions.into_iter().map(|s| s.outcome).collect();
+    EngineRun {
+        report: SessionsReport {
+            outcomes,
+            counters: lp.counters,
+            admission: admission_stats,
+            end_us,
+        },
+        request_outcomes: lp.request_outcomes,
+        batch_results: lp.batch_results,
+        open_decisions: lp.open_decisions,
+    }
+}
+
+impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
+    fn handle(&mut self, t: u64, ev: Ev) {
+        match ev {
+            Ev::World(k) => {
+                self.world.apply_world_event(k);
+                self.world_changed = true;
+            }
+            Ev::Open(i) => self.open(t, i),
+            Ev::Pump => {
+                self.pumps.remove(&t);
+                if let Some(q) = self.admission.as_mut() {
+                    q.drain_until(t);
+                }
+                self.surface_decisions(t);
+                self.schedule_pump(t);
+            }
+            Ev::Tick(i) => self.tick(t, i),
+            Ev::Close(i) => {
+                if matches!(self.sessions[i].phase, Phase::Active | Phase::Recomposing) {
+                    self.close(t, i, CloseReason::Completed);
+                }
+            }
+        }
+    }
+
+    fn open(&mut self, t: u64, i: usize) {
+        let request = &self.requests[i];
+        self.counters.opened += 1;
+        let sess = &mut self.sessions[i];
+        sess.outcome.opened = true;
+        sess.outcome.opened_us = t;
+        sess.phase = Phase::PendingOpen;
+        // The root span opens here (request id = session index) and its
+        // counters persist in TraceState across every later step, so
+        // the whole session is one monotone per-request sequence.
+        let mut trace = RequestTrace::new(self.sink, i as u64, request.arrival.arrival_us);
+        if self.config.session_spans {
+            trace.emit(
+                ROOT_SPAN,
+                EventKind::SessionOpened {
+                    hold_us: request.hold_us,
+                },
+            );
+        }
+        sess.trace = Some(trace.save());
+        match self.admission.as_mut() {
+            Some(q) => {
+                let ticket = q.offer(request.arrival);
+                debug_assert_eq!(ticket, self.tickets.len());
+                self.tickets.push((i, false));
+                self.surface_decisions(t);
+                self.schedule_pump(t);
+            }
+            None => self.jobs.push(Job {
+                session: i,
+                start_rung: DegradationRung::Full,
+                recompose: false,
+            }),
+        }
+    }
+
+    /// Schedule a pump at the admission queue's next virtual
+    /// completion, if none is already pending there.
+    fn schedule_pump(&mut self, t: u64) {
+        let Some(q) = self.admission.as_ref() else {
+            return;
+        };
+        if let Some(finish) = q.next_finish_us() {
+            debug_assert!(finish > t, "completions never land in the past");
+            if finish > t && self.pumps.insert(finish) {
+                self.queue.schedule(SimTime(finish), Ev::Pump);
+            }
+        }
+    }
+
+    /// Turn decisions the admission queue just made into compose jobs
+    /// (admitted) or closes (shed).
+    fn surface_decisions(&mut self, t: u64) {
+        let Some(q) = self.admission.as_mut() else {
+            return;
+        };
+        let newly = q.take_newly_decided();
+        for ticket in newly {
+            let (i, recompose) = self.tickets[ticket];
+            if self.sessions[i].phase == Phase::Done {
+                continue;
+            }
+            let decision = self
+                .admission
+                .as_ref()
+                .expect("admission present")
+                .decision(ticket)
+                .expect("newly decided ticket has a decision");
+            if recompose {
+                if decision.admitted {
+                    self.jobs.push(Job {
+                        session: i,
+                        // Never climb back above the session's current
+                        // rung mid-stream; brown-out can push further
+                        // down.
+                        start_rung: self.sessions[i].rung.max(decision.start_rung),
+                        recompose: true,
+                    });
+                } else {
+                    // The queue refused the re-composition: the session
+                    // starves.
+                    if let (Some(state), Some(reason)) = (self.sessions[i].trace, decision.shed) {
+                        let mut trace = RequestTrace::resume(self.sink, state);
+                        trace.advance_to(t);
+                        trace.emit(
+                            ROOT_SPAN,
+                            EventKind::RequestShed {
+                                reason: reason.label(),
+                            },
+                        );
+                        self.sessions[i].trace = Some(trace.save());
+                    }
+                    self.close(t, i, CloseReason::Starved);
+                }
+            } else {
+                self.open_decisions[i] = Some(decision);
+                if decision.admitted {
+                    // Replicates the admitted-request trace prologue of
+                    // serve_batch_with_admission_traced byte for byte.
+                    if let Some(state) = self.sessions[i].trace {
+                        let mut trace = RequestTrace::resume(self.sink, state);
+                        let admission_span = trace.open_span(ROOT_SPAN, "admission");
+                        trace.emit(
+                            admission_span,
+                            EventKind::RequestAdmitted {
+                                queue_wait_us: decision.queue_wait_us,
+                                rung: decision.start_rung.label(),
+                            },
+                        );
+                        trace.advance_to(decision.start_us);
+                        self.sessions[i].trace = Some(trace.save());
+                    }
+                    debug_assert_eq!(decision.start_us, t, "admissions start now");
+                    self.jobs.push(Job {
+                        session: i,
+                        start_rung: decision.start_rung,
+                        recompose: false,
+                    });
+                } else {
+                    self.shed_open(t, i, decision);
+                }
+            }
+        }
+    }
+
+    /// The admission queue refused a session's open.
+    fn shed_open(&mut self, t: u64, i: usize, decision: AdmissionDecision) {
+        let reason = decision.shed.expect("refused decisions carry a reason");
+        let arrival_us = self.requests[i].arrival.arrival_us;
+        if let Some(state) = self.sessions[i].trace {
+            // Same event sequence as the shed arm of
+            // serve_batch_with_admission_traced.
+            let mut trace = RequestTrace::resume(self.sink, state);
+            let admission_span = trace.open_span(ROOT_SPAN, "admission");
+            trace.advance_to(arrival_us.saturating_add(decision.queue_wait_us));
+            trace.emit(
+                admission_span,
+                EventKind::RequestShed {
+                    reason: reason.label(),
+                },
+            );
+            if self.config.session_spans {
+                trace.emit(ROOT_SPAN, EventKind::SessionClosed { reason: "shed" });
+            }
+            self.sessions[i].trace = Some(trace.save());
+        }
+        self.request_outcomes[i] = Some(RequestOutcome {
+            shed: true,
+            error: Some(format!("shed: {reason}")),
+            ..unserved(0, 0, false, None)
+        });
+        let sess = &mut self.sessions[i];
+        sess.outcome.shed = Some(reason);
+        sess.outcome.closed_us = Some(t);
+        sess.phase = Phase::Done;
+        self.counters.shed += 1;
+    }
+
+    fn tick(&mut self, t: u64, i: usize) {
+        if !matches!(self.sessions[i].phase, Phase::Active | Phase::Recomposing) {
+            return; // stale tick of a closed session
+        }
+        self.sessions[i].outcome.epochs += 1;
+        if self.config.session_spans {
+            if let Some(state) = self.sessions[i].trace {
+                let mut trace = RequestTrace::resume(self.sink, state);
+                trace.advance_to(t);
+                trace.open_span(ROOT_SPAN, "epoch");
+                self.sessions[i].trace = Some(trace.save());
+            }
+        }
+        // A tick re-checks liveness even without a world event: worlds
+        // whose state decays between scheduled mutations (lease clocks)
+        // surface breakage here at the latest.
+        if self.sessions[i].phase == Phase::Active {
+            let alive = self.sessions[i]
+                .plan
+                .as_ref()
+                .map(|p| self.world.plan_alive(p))
+                .unwrap_or(false);
+            if !alive {
+                self.begin_recompose(t, i);
+            }
+        }
+        if self.sessions[i].phase != Phase::Done {
+            self.schedule_tick(t, i);
+        }
+    }
+
+    fn schedule_tick(&mut self, t: u64, i: usize) {
+        let tick = self.config.tick_us;
+        if tick == 0 {
+            return;
+        }
+        // Saturating guard: at the top of the u64 range the next tick
+        // would not advance time, and scheduling it would spin forever.
+        let next = t.saturating_add(tick);
+        if next > t {
+            self.queue.schedule(SimTime(next), Ev::Tick(i));
+        }
+    }
+
+    /// World state changed at `t`: every streaming session re-checks
+    /// its plan, in session-index order.
+    fn check_liveness(&mut self, t: u64) {
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].phase != Phase::Active {
+                continue;
+            }
+            let alive = self.sessions[i]
+                .plan
+                .as_ref()
+                .map(|p| self.world.plan_alive(p))
+                .unwrap_or(false);
+            if !alive {
+                self.begin_recompose(t, i);
+            }
+        }
+    }
+
+    /// The session's plan died at `t`: go dark and ask for another
+    /// composition (through admission when configured).
+    fn begin_recompose(&mut self, t: u64, i: usize) {
+        self.accrue(i, t);
+        {
+            let sess = &mut self.sessions[i];
+            sess.plan = None;
+            sess.satisfaction = 0.0;
+        }
+        let attempt = self.sessions[i].outcome.recompositions.saturating_add(1);
+        if let Some(state) = self.sessions[i].trace {
+            let mut trace = RequestTrace::resume(self.sink, state);
+            trace.advance_to(t);
+            let span = trace.open_span(ROOT_SPAN, "recompose");
+            trace.emit(span, EventKind::Recomposed { attempt });
+            self.sessions[i].trace = Some(trace.save());
+        }
+        if self.sessions[i].outcome.recompositions >= self.config.max_recompositions {
+            self.close(t, i, CloseReason::GaveUp);
+            return;
+        }
+        self.sessions[i].outcome.recompositions = attempt;
+        self.sessions[i].phase = Phase::Recomposing;
+        match self.admission.as_mut() {
+            Some(q) => {
+                // Re-compositions inherit the session's class and cost
+                // but drop the deadline budget: mid-stream repair is
+                // best-effort, only QueueFull can refuse it.
+                let arrival = self.requests[i].arrival;
+                let ticket = q.offer(ArrivalMeta {
+                    arrival_us: t,
+                    priority: arrival.priority,
+                    service_cost_us: arrival.service_cost_us,
+                    deadline_budget_us: None,
+                });
+                debug_assert_eq!(ticket, self.tickets.len());
+                self.tickets.push((i, true));
+                self.surface_decisions(t);
+                self.schedule_pump(t);
+            }
+            None => self.jobs.push(Job {
+                session: i,
+                start_rung: self.sessions[i].rung,
+                recompose: true,
+            }),
+        }
+    }
+
+    /// Integrate session-time since the last accrual point: lit on the
+    /// current rung while a plan is live, dark otherwise.
+    fn accrue(&mut self, i: usize, t: u64) {
+        let sess = &mut self.sessions[i];
+        if sess.outcome.started_us.is_none() {
+            return;
+        }
+        let dt = t.saturating_sub(sess.last_accrual_us);
+        sess.last_accrual_us = t;
+        if dt == 0 {
+            return;
+        }
+        if sess.plan.is_some() {
+            sess.outcome.lit_us = sess.outcome.lit_us.saturating_add(dt);
+            sess.outcome.satisfaction_us += sess.satisfaction * dt as f64;
+            let slot = &mut sess.outcome.rung_us[sess.rung as usize];
+            *slot = slot.saturating_add(dt);
+        } else {
+            sess.outcome.dark_us = sess.outcome.dark_us.saturating_add(dt);
+        }
+    }
+
+    fn close(&mut self, t: u64, i: usize, reason: CloseReason) {
+        self.accrue(i, t);
+        let sess = &mut self.sessions[i];
+        sess.phase = Phase::Done;
+        sess.outcome.closed_us = Some(t);
+        sess.outcome.close = Some(reason);
+        if self.config.session_spans {
+            if let Some(state) = sess.trace {
+                let mut trace = RequestTrace::resume(self.sink, state);
+                trace.advance_to(t);
+                trace.emit(
+                    ROOT_SPAN,
+                    EventKind::SessionClosed {
+                        reason: reason.label(),
+                    },
+                );
+                sess.trace = Some(trace.save());
+            }
+        }
+        match reason {
+            CloseReason::Completed => self.counters.completed += 1,
+            CloseReason::FailedOpen => self.counters.failed_open += 1,
+            CloseReason::GaveUp => self.counters.gave_up += 1,
+            CloseReason::Starved => self.counters.starved += 1,
+        }
+    }
+
+    /// Fan the instant's compositions out across the worker pool.
+    /// Every job is pure in (request, world snapshot, saved trace), so
+    /// the result vector — indexed like `jobs` — is identical for any
+    /// worker count.
+    fn run_jobs(
+        &self,
+        jobs: &[Job],
+        backend: &Backend<'_>,
+        graph_store: &GraphStore,
+    ) -> Vec<Option<(JobOut, TraceState)>> {
+        let prepared: Vec<(Job, TraceState)> = jobs
+            .iter()
+            .map(|job| {
+                let state = self.sessions[job.session]
+                    .trace
+                    .expect("jobs only exist for opened sessions");
+                (*job, state)
+            })
+            .collect();
+        let workers = self
+            .config
+            .resilient
+            .workers
+            .max(1)
+            .min(prepared.len().max(1));
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(JobOut, TraceState)>> = prepared.iter().map(|_| None).collect();
+        let world: &W = &*self.world;
+        let requests = self.requests;
+        let config = &self.config.resilient;
+        let sink = self.sink;
+        let mut collected: Vec<(usize, (JobOut, TraceState))> = Vec::with_capacity(prepared.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let prepared = &prepared;
+                    scope.spawn(move || {
+                        let composer = world.composer();
+                        let mut local = Vec::new();
+                        loop {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(job, state)) = prepared.get(slot) else {
+                                return local;
+                            };
+                            let request = &requests[job.session];
+                            let mut trace = RequestTrace::resume(sink, state);
+                            let out = match backend {
+                                Backend::Cached { cache, options } => {
+                                    let result = catch_unwind(AssertUnwindSafe(|| {
+                                        cache.compose_traced(
+                                            &composer,
+                                            &request.request.profiles,
+                                            request.request.sender_host,
+                                            request.request.receiver_host,
+                                            options,
+                                            &mut trace,
+                                        )
+                                    }))
+                                    .unwrap_or_else(|payload| {
+                                        Err(CoreError::WorkerPanic(panic_message(payload)))
+                                    });
+                                    JobOut::Batch(result)
+                                }
+                                Backend::Resilient => JobOut::Outcome(serve_one(
+                                    &composer,
+                                    graph_store,
+                                    &request.request,
+                                    job.session,
+                                    config,
+                                    job.start_rung,
+                                    &mut trace,
+                                )),
+                            };
+                            local.push((slot, (out, trace.save())));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Ok(local) = handle.join() {
+                    collected.extend(local);
+                }
+            }
+        });
+        for (slot, result) in collected {
+            slots[slot] = Some(result);
+        }
+        slots
+    }
+
+    /// Apply one composition result back onto its session.
+    fn apply(&mut self, t: u64, job: Job, result: Option<(JobOut, TraceState)>, cached: bool) {
+        let i = job.session;
+        if self.sessions[i].phase == Phase::Done {
+            return; // decided after the session already closed
+        }
+        let Some((out, state)) = result else {
+            // The worker thread died outside composition; account for
+            // the loss the way the batch paths do.
+            if cached {
+                self.batch_results[i] = Some(Err(CoreError::WorkerPanic(
+                    "worker thread lost before reporting".to_string(),
+                )));
+            } else if !job.recompose {
+                self.request_outcomes[i] = Some(unserved(
+                    0,
+                    0,
+                    false,
+                    Some("worker thread lost before reporting".to_string()),
+                ));
+            }
+            if job.recompose {
+                self.accrue(i, t);
+                self.close(t, i, CloseReason::Starved);
+            } else {
+                self.close(t, i, CloseReason::FailedOpen);
+            }
+            return;
+        };
+        self.sessions[i].trace = Some(state);
+        match out {
+            JobOut::Batch(result) => {
+                let served = matches!(&result, Ok(Some(_)));
+                self.batch_results[i] = Some(result);
+                // Cached-backend sessions are always degenerate: close
+                // at the open instant.
+                self.sessions[i].outcome.started_us = Some(t);
+                self.sessions[i].last_accrual_us = t;
+                self.close(
+                    t,
+                    i,
+                    if served {
+                        CloseReason::Completed
+                    } else {
+                        CloseReason::FailedOpen
+                    },
+                );
+            }
+            JobOut::Outcome(mut outcome) => {
+                if !job.recompose && self.admission.is_some() {
+                    // serve_batch_with_admission stamps the brown-out
+                    // rung onto every admitted outcome.
+                    outcome.brownout_rung = Some(job.start_rung);
+                }
+                self.sessions[i].outcome.attempts = self.sessions[i]
+                    .outcome
+                    .attempts
+                    .saturating_add(outcome.attempts);
+                let served = outcome.plan.is_some();
+                if job.recompose {
+                    // Close the dark interval *before* the new plan
+                    // goes live, so the repair latency accrues as dark
+                    // time.
+                    self.accrue(i, t);
+                    if served {
+                        self.adopt_plan(t, i, &outcome);
+                        self.sessions[i].phase = Phase::Active;
+                    } else {
+                        self.close(t, i, CloseReason::Starved);
+                    }
+                    return;
+                }
+                if served {
+                    self.adopt_plan(t, i, &outcome);
+                }
+                self.request_outcomes[i] = Some(outcome);
+                if !served {
+                    self.close(t, i, CloseReason::FailedOpen);
+                    return;
+                }
+                let sess = &mut self.sessions[i];
+                sess.outcome.started_us = Some(t);
+                sess.last_accrual_us = t;
+                sess.phase = Phase::Active;
+                let hold = self.requests[i].hold_us;
+                if hold == 0 {
+                    self.close(t, i, CloseReason::Completed);
+                    return;
+                }
+                let close_at = t.saturating_add(hold);
+                self.queue.schedule(SimTime(close_at), Ev::Close(i));
+                self.schedule_tick(t, i);
+            }
+        }
+    }
+
+    /// A composition served: install the plan, record the rung
+    /// transition.
+    fn adopt_plan(&mut self, t: u64, i: usize, outcome: &RequestOutcome) {
+        let rung = outcome.rung.expect("served outcomes carry a rung");
+        let sess = &mut self.sessions[i];
+        sess.plan = outcome.plan.clone();
+        sess.rung = rung;
+        sess.satisfaction = outcome.satisfaction;
+        sess.outcome.final_rung = Some(rung);
+        sess.outcome.rung_history.push((t, rung));
+    }
+}

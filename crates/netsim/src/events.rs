@@ -17,14 +17,17 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds. Saturates at `u64::MAX`
+    /// microseconds rather than overflowing on long-horizon runs (same
+    /// discipline as `RetryPolicy`'s shift-guarded backoff).
     pub fn from_secs(secs: u64) -> SimTime {
-        SimTime(secs * 1_000_000)
+        SimTime(secs.saturating_mul(1_000_000))
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds. Saturates at `u64::MAX`
+    /// microseconds.
     pub fn from_millis(ms: u64) -> SimTime {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
     /// Microseconds since the start of the run.
@@ -205,5 +208,38 @@ mod tests {
         assert_eq!(SimTime(1_500_000).as_secs_f64(), 1.5);
         assert_eq!(SimTime(100).plus_secs_f64(0.5), SimTime(500_100));
         assert_eq!(SimTime(100).to_string(), "0.000100s");
+    }
+
+    #[test]
+    fn sim_time_constructors_saturate_at_extreme_values() {
+        // Pre-fix these overflowed in release (wrapping) and panicked in
+        // debug; now they clamp like `plus_micros`.
+        assert_eq!(SimTime::from_secs(u64::MAX).as_micros(), u64::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX).as_micros(), u64::MAX);
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000 + 1).as_micros(),
+            u64::MAX
+        );
+        // In-range values are exact.
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000).as_micros(),
+            (u64::MAX / 1_000_000) * 1_000_000
+        );
+        assert_eq!(SimTime(u64::MAX).plus_micros(1), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn queue_survives_extreme_tick_values() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(u64::MAX), "end-of-time");
+        q.schedule(SimTime(u64::MAX - 1), "almost");
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!((t1, e1), (SimTime(u64::MAX - 1), "almost"));
+        // schedule_in from near-MAX saturates instead of wrapping past 0.
+        q.schedule_in(u64::MAX, "saturated");
+        let (t2, e2) = q.pop().unwrap();
+        assert_eq!((t2, e2), (SimTime(u64::MAX), "end-of-time"));
+        let (t3, e3) = q.pop().unwrap();
+        assert_eq!((t3, e3), (SimTime(u64::MAX), "saturated"));
     }
 }

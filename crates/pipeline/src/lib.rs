@@ -20,21 +20,28 @@
 //!   intensity)`,
 //! * [`resilience`] — the self-organizing part: stream, detect starvation
 //!   caused by an injected failure, re-compose on the surviving graph,
-//!   resume, and report the recovery gap.
+//!   resume, and report the recovery gap,
+//! * [`session_world`] — the chaos-driven world for `qosc-core`'s
+//!   steady-state session engine: network faults, discovery churn and
+//!   lease expiry fire as the engine's world events and break live
+//!   plans mid-session.
 
 pub mod chaos;
 pub mod failure;
 pub mod report;
 pub mod resilience;
 pub mod session;
+pub mod session_world;
 
 pub use chaos::{ChaosAction, ChaosModel, ChaosPlan, ChaosSummary};
 pub use failure::{FailureEvent, FailureSchedule};
 pub use report::SessionReport;
 pub use resilience::{
-    run_resilient, run_resilient_traced, ResilienceConfig, ResilientRun, SegmentReport,
+    plan_affected, run_resilient, run_resilient_traced, ResilienceConfig, ResilientRun,
+    SegmentReport,
 };
 pub use session::{run_session, SessionConfig};
+pub use session_world::{ChaosWorld, WorldOp};
 
 /// Errors produced by this crate.
 #[derive(Debug)]

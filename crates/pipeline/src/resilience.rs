@@ -429,7 +429,9 @@ pub fn run_resilient_traced<S: TelemetrySink>(
 
 /// Whether a fault set on `network` breaks the plan: a stage host is
 /// failed, or some hop no longer has a route / its reserved rate.
-fn plan_affected(network: &Network, plan: &qosc_core::AdaptationPlan) -> bool {
+/// Shared by the resilience monitor and the session engine's
+/// [`ChaosWorld`](crate::session_world::ChaosWorld) liveness check.
+pub fn plan_affected(network: &Network, plan: &qosc_core::AdaptationPlan) -> bool {
     for step in &plan.steps {
         if network.node_failed(step.host) {
             return true;

@@ -1,0 +1,388 @@
+//! The chaos-driven [`SessionWorld`] for the steady-state session
+//! engine.
+//!
+//! `qosc-core`'s session engine is world-agnostic: it asks its world
+//! for a composer, for scheduled mutation times, and whether a served
+//! plan is still alive. [`ChaosWorld`] is the pipeline's answer — it
+//! owns a [`Network`] and a soft-state [`ServiceRegistry`] behind a
+//! [`DiscoveryDriver`], and replays
+//!
+//! * network faults ([`FailureEvent`] — node crashes with correlated
+//!   link failures, flaps, bandwidth squeezes),
+//! * discovery churn ([`ChaosAction`] — lease-expiry storms), and
+//! * bare settle points ([`WorldOp::Settle`] — a discovery tick with no
+//!   fault, so lease expiry itself can break a chain mid-session)
+//!
+//! as the engine's world events. Every application first ticks the
+//! discovery driver to the event's virtual time (renewing survivors,
+//! expiring the dead — the exact order
+//! [`ChaosPlan::drive_discovery`](crate::ChaosPlan::drive_discovery)
+//! uses), then applies the operation. A plan is alive while every
+//! service it references is still advertised and the network still
+//! carries it ([`plan_affected`](crate::resilience::plan_affected)).
+
+use crate::chaos::{ChaosAction, ChaosPlan};
+use crate::failure::{FailureEvent, FailureSchedule};
+use crate::resilience::plan_affected;
+use qosc_core::{AdaptationPlan, Composer, SessionWorld};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, SimTime};
+use qosc_services::{
+    DiscoveryConfig, DiscoveryDriver, MemberId, ServiceRegistry, TranscoderDescriptor,
+};
+
+/// One scheduled world mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorldOp {
+    /// Apply a network fault.
+    Fault(FailureEvent),
+    /// Apply a discovery-plane action (member crash/revive).
+    Action(ChaosAction),
+    /// Tick the discovery driver only: renew survivors, expire stale
+    /// leases. Scheduling one just past `crash time + TTL` makes lease
+    /// expiry itself a mid-session chain killer.
+    Settle,
+}
+
+/// A mutable world under a chaos schedule, implementing
+/// [`SessionWorld`] for [`run_sessions`](qosc_core::run_sessions).
+///
+/// Construction order matters for determinism the same way it does for
+/// the chaos generator: join members first, then schedule events. At
+/// equal virtual times events apply in scheduling order (the engine
+/// preserves insertion order), which is how a node crash keeps its
+/// correlated link faults adjacent.
+#[derive(Debug)]
+pub struct ChaosWorld<'a> {
+    formats: &'a FormatRegistry,
+    services: ServiceRegistry,
+    network: Network,
+    driver: DiscoveryDriver,
+    members: Vec<MemberId>,
+    events: Vec<(u64, WorldOp)>,
+    times: Vec<u64>,
+}
+
+impl<'a> ChaosWorld<'a> {
+    /// A world over `network` with an empty service fleet.
+    pub fn new(
+        formats: &'a FormatRegistry,
+        network: Network,
+        discovery: DiscoveryConfig,
+    ) -> ChaosWorld<'a> {
+        ChaosWorld {
+            formats,
+            services: ServiceRegistry::new(),
+            network,
+            driver: DiscoveryDriver::new(discovery),
+            members: Vec::new(),
+            events: Vec::new(),
+            times: Vec::new(),
+        }
+    }
+
+    /// Join a service instance at virtual time 0. Returns its member
+    /// id; the member's *index* (join order) is what
+    /// [`ChaosAction`] addresses.
+    pub fn join(&mut self, descriptor: TranscoderDescriptor) -> MemberId {
+        let member = self
+            .driver
+            .join(&mut self.services, descriptor, SimTime::ZERO);
+        self.members.push(member);
+        member
+    }
+
+    /// Members in join order.
+    pub fn members(&self) -> &[MemberId] {
+        &self.members
+    }
+
+    /// Schedule one operation at `at_us`.
+    pub fn schedule(&mut self, at_us: u64, op: WorldOp) {
+        self.events.push((at_us, op));
+        self.times.push(at_us);
+    }
+
+    /// Schedule a network fault.
+    pub fn schedule_fault(&mut self, at_us: u64, event: FailureEvent) {
+        self.schedule(at_us, WorldOp::Fault(event));
+    }
+
+    /// Schedule a discovery action.
+    pub fn schedule_action(&mut self, at_us: u64, action: ChaosAction) {
+        self.schedule(at_us, WorldOp::Action(action));
+    }
+
+    /// Schedule a bare discovery tick (lease-expiry checkpoint).
+    pub fn schedule_settle(&mut self, at_us: u64) {
+        self.schedule(at_us, WorldOp::Settle);
+    }
+
+    /// Load a compiled [`ChaosPlan`]: its network faults and discovery
+    /// actions merge into one time-ordered schedule (stable — faults
+    /// keep their node-then-links adjacency, and at equal instants
+    /// faults apply before discovery actions, matching
+    /// [`run_resilient`](crate::run_resilient)'s order of network fault
+    /// first, discovery churn second).
+    pub fn load_plan(&mut self, plan: &ChaosPlan) {
+        let mut merged: Vec<(u64, WorldOp)> = plan
+            .schedule()
+            .events()
+            .iter()
+            .map(|&(t, e)| (t.as_micros(), WorldOp::Fault(e)))
+            .chain(
+                plan.actions()
+                    .iter()
+                    .map(|&(t, a)| (t.as_micros(), WorldOp::Action(a))),
+            )
+            .collect();
+        merged.sort_by_key(|&(t, _)| t);
+        for (t, op) in merged {
+            self.schedule(t, op);
+        }
+    }
+
+    /// The current network state.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The current registry state.
+    pub fn services(&self) -> &ServiceRegistry {
+        &self.services
+    }
+}
+
+impl SessionWorld for ChaosWorld<'_> {
+    fn composer(&self) -> Composer<'_> {
+        Composer {
+            formats: self.formats,
+            services: &self.services,
+            network: &self.network,
+        }
+    }
+
+    fn plan_alive(&self, plan: &AdaptationPlan) -> bool {
+        for step in &plan.steps {
+            if let Some(id) = step.service {
+                if !self.services.is_available(id) {
+                    return false;
+                }
+            }
+        }
+        !plan_affected(&self.network, plan)
+    }
+
+    fn world_event_times(&self) -> &[u64] {
+        &self.times
+    }
+
+    fn apply_world_event(&mut self, index: usize) {
+        let (t, op) = self.events[index];
+        // Discovery time advances to every event, fault or not — the
+        // same tick-then-act order as ChaosPlan::drive_discovery.
+        self.driver.tick(&mut self.services, SimTime(t));
+        match op {
+            WorldOp::Fault(event) => FailureSchedule::apply(event, &mut self.network),
+            WorldOp::Action(ChaosAction::CrashMember(i)) => {
+                if let Some(&member) = self.members.get(i) {
+                    self.driver.crash(member);
+                }
+            }
+            WorldOp::Action(ChaosAction::ReviveMember(i)) => {
+                if let Some(&member) = self.members.get(i) {
+                    let _ = self.driver.revive(&mut self.services, member, SimTime(t));
+                }
+            }
+            WorldOp::Settle => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosModel;
+    use qosc_core::{
+        run_sessions, ArrivalMeta, CompositionRequest, PriorityClass, SelectOptions,
+        SessionEngineConfig, SessionRequest,
+    };
+    use qosc_netsim::{LinkId, Node, NodeId, Topology};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+    };
+    use qosc_services::catalog;
+
+    struct Fixture {
+        formats: FormatRegistry,
+    }
+
+    struct Hosts {
+        server: NodeId,
+        proxy: NodeId,
+        client: NodeId,
+        last_hop: LinkId,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            formats: FormatRegistry::with_builtins(),
+        }
+    }
+
+    /// server —100M— proxy —1M— client, with the full transcoder
+    /// catalog joined on the proxy through the discovery driver.
+    fn world(f: &Fixture) -> (ChaosWorld<'_>, Hosts) {
+        let mut topo = Topology::new();
+        let server = topo.add_node(Node::unconstrained("server"));
+        let proxy = topo.add_node(Node::unconstrained("proxy"));
+        let client = topo.add_node(Node::unconstrained("client"));
+        topo.connect_simple(server, proxy, 100e6).unwrap();
+        let last_hop = topo.connect_simple(proxy, client, 1e6).unwrap();
+        let mut world = ChaosWorld::new(&f.formats, Network::new(topo), DiscoveryConfig::default());
+        for spec in catalog::full_catalog() {
+            world.join(TranscoderDescriptor::resolve(&spec, &f.formats, proxy).unwrap());
+        }
+        (
+            world,
+            Hosts {
+                server,
+                proxy,
+                client,
+                last_hop,
+            },
+        )
+    }
+
+    fn profiles() -> ProfileSet {
+        ProfileSet {
+            user: UserProfile::demo("user-0"),
+            content: ContentProfile::demo_video("clip"),
+            device: DeviceProfile::demo_pda(),
+            context: ContextProfile::default(),
+            network: NetworkProfile::broadband(),
+        }
+    }
+
+    fn session(h: &Hosts, arrival_us: u64, hold_us: u64) -> SessionRequest {
+        SessionRequest {
+            request: CompositionRequest {
+                profiles: profiles(),
+                sender_host: h.server,
+                receiver_host: h.client,
+            },
+            arrival: ArrivalMeta {
+                arrival_us,
+                priority: PriorityClass::Standard,
+                service_cost_us: 1_000,
+                deadline_budget_us: None,
+            },
+            hold_us,
+        }
+    }
+
+    #[test]
+    fn lease_expiry_after_crash_kills_plan_liveness() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let composition = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap();
+        let plan = composition.plan.expect("demo scenario composes a chain");
+        assert!(
+            plan.steps.iter().any(|s| s.service.is_some()),
+            "the PDA chain rides a transcoder"
+        );
+        assert!(w.plan_alive(&plan));
+
+        let crash_us = 1_000_000;
+        let member_count = w.members().len();
+        for i in 0..member_count {
+            w.schedule_action(crash_us, ChaosAction::CrashMember(i));
+        }
+        let ttl = DiscoveryConfig::default().ttl.as_micros();
+        w.schedule_settle(crash_us + ttl + 1);
+
+        // Crashes alone stop renewal; the leases are still live.
+        for i in 0..member_count {
+            w.apply_world_event(i);
+        }
+        assert!(w.plan_alive(&plan), "leases outlive the crash until TTL");
+        // The settle tick past the TTL expires them.
+        w.apply_world_event(member_count);
+        assert!(!w.plan_alive(&plan));
+        assert_eq!(w.services().live_count(), 0);
+    }
+
+    #[test]
+    fn network_fault_kills_plan_liveness_without_touching_leases() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        assert!(w.plan_alive(&plan));
+        w.schedule_fault(500_000, FailureEvent::NodeDown(h.proxy));
+        w.apply_world_event(0);
+        assert!(!w.plan_alive(&plan), "the proxy hosts every stage");
+        assert_ne!(w.services().live_count(), 0, "leases are untouched");
+    }
+
+    #[test]
+    fn load_plan_yields_a_time_sorted_schedule() {
+        let f = fixture();
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::unconstrained("a"));
+        let b = topo.add_node(Node::unconstrained("b"));
+        topo.connect_simple(a, b, 1e6).unwrap();
+        let chaos = ChaosPlan::generate(&topo, 4, &ChaosModel::default(), 7, 1.0);
+        let (mut w, _) = world(&f);
+        w.load_plan(&chaos);
+        let times = w.world_event_times();
+        assert_eq!(
+            times.len(),
+            chaos.schedule().events().len() + chaos.actions().len()
+        );
+        assert!(times.windows(2).all(|t| t[0] <= t[1]));
+    }
+
+    #[test]
+    fn squeeze_mid_session_forces_recomposition() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        // Choke the last hop to 95% background load at 1s, release at
+        // 2s; sessions hold for 3s and must re-compose through it.
+        w.schedule_fault(
+            1_000_000,
+            FailureEvent::Squeeze {
+                link: h.last_hop,
+                permille: 950,
+            },
+        );
+        w.schedule_fault(2_000_000, FailureEvent::Unsqueeze(h.last_hop));
+        let reqs: Vec<SessionRequest> = (0..2).map(|_| session(&h, 0, 3_000_000)).collect();
+        let config = SessionEngineConfig {
+            admission: None,
+            tick_us: 250_000,
+            ..SessionEngineConfig::default()
+        };
+        let report = run_sessions(&mut w, &reqs, &config, &qosc_telemetry::NoopSink);
+        assert!(report.counters.partitions_exactly());
+        assert!(
+            report.recompositions() >= 1,
+            "the squeeze must break at least one live plan"
+        );
+        for outcome in &report.outcomes {
+            // Every re-composition adopts a plan (or closes), so the
+            // rung history has one entry per adoption.
+            assert_eq!(
+                outcome.rung_history.len() as u32,
+                1 + outcome.recompositions,
+            );
+        }
+    }
+}

@@ -160,6 +160,18 @@ pub enum EventKind {
         /// Total arena reuses so far on the emitting thread's arena.
         total: u64,
     },
+    /// A long-lived session opened (steady-state serving loop).
+    SessionOpened {
+        /// Requested holding time, virtual microseconds (0 for
+        /// degenerate batch-adapter sessions).
+        hold_us: u64,
+    },
+    /// A long-lived session closed.
+    SessionClosed {
+        /// Stable close-reason label (`completed`, `failed_open`,
+        /// `gave_up`, `starved`).
+        reason: &'static str,
+    },
 }
 
 impl EventKind {
@@ -195,6 +207,8 @@ impl EventKind {
             EventKind::GraphRebuilt { .. } => "graph_rebuilt",
             EventKind::GraphDelta { .. } => "graph_delta",
             EventKind::ArenaReused { .. } => "arena_reused",
+            EventKind::SessionOpened { .. } => "session_opened",
+            EventKind::SessionClosed { .. } => "session_closed",
         }
     }
 
@@ -249,6 +263,8 @@ impl EventKind {
             EventKind::GraphRebuilt { total } => format!("graph_rebuilt total={total}"),
             EventKind::GraphDelta { ops, total } => format!("graph_delta ops={ops} total={total}"),
             EventKind::ArenaReused { total } => format!("arena_reused total={total}"),
+            EventKind::SessionOpened { hold_us } => format!("session_opened hold_us={hold_us}"),
+            EventKind::SessionClosed { reason } => format!("session_closed reason={reason}"),
         }
     }
 }

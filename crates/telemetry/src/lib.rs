@@ -31,4 +31,4 @@ pub mod trace;
 pub use event::{CacheOutcome, Event, EventKind, NO_PARENT, REQUEST_NONE};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use recorder::FlightRecorder;
-pub use trace::{NoopSink, RequestTrace, TelemetrySink, ROOT_SPAN};
+pub use trace::{NoopSink, RequestTrace, TelemetrySink, TraceState, ROOT_SPAN};

@@ -39,6 +39,24 @@ impl TelemetrySink for NoopSink {
     fn record(&self, _event: Event) {}
 }
 
+/// The persistable state of a [`RequestTrace`]: plain data that can be
+/// stored between engine steps (and moved across worker threads) and
+/// later re-attached to a sink with [`RequestTrace::resume`]. Keeping
+/// the stamp/sequence/span counters here is what lets a long-lived
+/// session emit one monotone per-request event sequence even though
+/// each epoch's work runs as a separate job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceState {
+    /// Request the trace belongs to.
+    pub request_id: u64,
+    /// Virtual-time stamp of the next event.
+    pub virtual_time_us: u64,
+    /// Next per-request sequence number.
+    pub seq: u32,
+    /// Next span id to allocate.
+    pub next_span: u32,
+}
+
 /// Per-request emission context: owns the request id, the virtual-time
 /// stamp, the monotone sequence counter, and span allocation. Created
 /// once per request by the serving layer and threaded through
@@ -76,6 +94,32 @@ impl<'a, S: TelemetrySink> RequestTrace<'a, S> {
             },
         );
         trace
+    }
+
+    /// Re-attach a previously [saved](Self::save) trace to a sink.
+    /// Unlike [`new`](Self::new) this emits nothing: the root span was
+    /// already opened when the trace was first created, and the
+    /// counters continue exactly where they left off.
+    pub fn resume(sink: &'a S, state: TraceState) -> RequestTrace<'a, S> {
+        RequestTrace {
+            sink,
+            enabled: sink.enabled(),
+            request_id: state.request_id,
+            virtual_time_us: state.virtual_time_us,
+            seq: state.seq,
+            next_span: state.next_span,
+        }
+    }
+
+    /// Detach the trace's counters as plain data for later
+    /// [`resume`](Self::resume).
+    pub fn save(&self) -> TraceState {
+        TraceState {
+            request_id: self.request_id,
+            virtual_time_us: self.virtual_time_us,
+            seq: self.seq,
+            next_span: self.next_span,
+        }
     }
 
     /// The request this trace belongs to.
@@ -152,6 +196,41 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2, 3]);
         assert!(events.iter().all(|e| e.request_id == 3));
         assert!(events.iter().all(|e| e.virtual_time_us == 100));
+    }
+
+    #[test]
+    fn save_and_resume_continue_the_sequence() {
+        let recorder = FlightRecorder::default();
+        let state = {
+            let mut trace = RequestTrace::new(&recorder, 9, 10);
+            trace.open_span(ROOT_SPAN, "admission");
+            trace.advance_to(40);
+            trace.save()
+        };
+        let mut resumed = RequestTrace::resume(&recorder, state);
+        // No second root span; counters pick up where save left off.
+        let span = resumed.open_span(ROOT_SPAN, "epoch");
+        assert_eq!(span, 2);
+        resumed.emit(span, EventKind::DeadlineExpired);
+        let events = recorder.merged();
+        assert_eq!(events.len(), 4, "root + admission + epoch + one event");
+        let seqs: Vec<u32> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(events[2].virtual_time_us, 40);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e.kind,
+                    EventKind::SpanOpen {
+                        parent: NO_PARENT,
+                        ..
+                    }
+                ))
+                .count(),
+            1,
+            "resume must not re-open the root span"
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Golden equivalence of the session engine's batch adapters: every
+//! pre-session batch entry point, re-expressed as degenerate
+//! zero-duration sessions, must produce **bitwise identical** plans,
+//! outcomes, counters, admission decisions and telemetry logs. The
+//! committed scorecards depend on this — the adapters are how the
+//! session engine proves it did not change what the batch paths
+//! compute.
+
+use qosc_core::{
+    serve_batch, serve_batch_resilient_sessions_traced, serve_batch_resilient_traced,
+    serve_batch_sessions, serve_batch_sessions_traced, serve_batch_traced,
+    serve_batch_with_admission_sessions_traced, serve_batch_with_admission_traced, AdmissionConfig,
+    CompositionRequest, EngineConfig, ResilientEngineConfig, ShardedCompositionCache,
+};
+use qosc_telemetry::FlightRecorder;
+use qosc_workload::arrivals::{poisson_burst_arrivals, ArrivalPattern};
+use qosc_workload::generator::{random_scenario, GeneratorConfig};
+use qosc_workload::Scenario;
+
+const TOPOLOGY_SEED: u64 = 5;
+const ARRIVAL_SEED: u64 = 42;
+
+fn scenario() -> Scenario {
+    random_scenario(
+        &GeneratorConfig {
+            services_per_layer: 5,
+            multi_axis: true,
+            ..GeneratorConfig::default()
+        },
+        TOPOLOGY_SEED,
+    )
+}
+
+/// `n` distinct requests (distinct users defeat the composition cache
+/// only where we want cold compositions; the cached test reuses keys).
+fn requests_for(scenario: &Scenario, n: usize, distinct: bool) -> Vec<CompositionRequest> {
+    (0..n)
+        .map(|i| {
+            let mut profiles = scenario.profiles.clone();
+            if distinct {
+                profiles.user.name = format!("viewer-{i}");
+            }
+            CompositionRequest {
+                profiles,
+                sender_host: scenario.sender_host,
+                receiver_host: scenario.receiver_host,
+            }
+        })
+        .collect()
+}
+
+/// ~2× a 4-core virtual capacity for 300ms: admitted and shed requests.
+fn admission_pattern() -> ArrivalPattern {
+    ArrivalPattern {
+        horizon_us: 300_000,
+        rate_per_sec: 330,
+        ..ArrivalPattern::default()
+    }
+}
+
+fn resilient_config(workers: usize) -> ResilientEngineConfig {
+    ResilientEngineConfig {
+        workers,
+        admission: AdmissionConfig {
+            virtual_cores: 4,
+            initial_limit: 4,
+            max_limit: 8,
+            ..AdmissionConfig::protected()
+        },
+        ..ResilientEngineConfig::default()
+    }
+}
+
+#[test]
+fn serve_batch_plans_identical_through_the_session_adapter() {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let requests = requests_for(&scenario, 16, true);
+    for workers in [1usize, 4] {
+        let config = EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        };
+        let direct_cache = ShardedCompositionCache::new(8);
+        let direct = serve_batch(&composer, &direct_cache, &requests, &config);
+        let adapter_cache = ShardedCompositionCache::new(8);
+        let adapted = serve_batch_sessions(&composer, &adapter_cache, &requests, &config);
+        assert_eq!(
+            format!("{direct:?}"),
+            format!("{adapted:?}"),
+            "serve_batch diverged at {workers} workers"
+        );
+        assert_eq!(
+            format!("{:?}", direct_cache.stats()),
+            format!("{:?}", adapter_cache.stats()),
+            "cache stats diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn serve_batch_telemetry_identical_at_one_worker() {
+    // Cache probes race benignly across workers (which shard answers
+    // first), so the byte-for-byte log comparison pins workers=1; the
+    // multi-worker *plan* equivalence is covered above.
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let requests = requests_for(&scenario, 12, true);
+    let config = EngineConfig::default();
+
+    let direct_recorder = FlightRecorder::new(16);
+    let direct_cache = ShardedCompositionCache::new(8);
+    serve_batch_traced(
+        &composer,
+        &direct_cache,
+        &requests,
+        &config,
+        &direct_recorder,
+    );
+
+    let adapter_recorder = FlightRecorder::new(16);
+    let adapter_cache = ShardedCompositionCache::new(8);
+    serve_batch_sessions_traced(
+        &composer,
+        &adapter_cache,
+        &requests,
+        &config,
+        &adapter_recorder,
+    );
+
+    assert_eq!(direct_recorder.render_log(), adapter_recorder.render_log());
+}
+
+#[test]
+fn serve_batch_resilient_identical_through_the_session_adapter() {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let requests = requests_for(&scenario, 16, true);
+    for workers in [1usize, 4] {
+        let config = ResilientEngineConfig {
+            workers,
+            ..ResilientEngineConfig::default()
+        };
+        let direct_recorder = FlightRecorder::new(16);
+        let direct = serve_batch_resilient_traced(&composer, &requests, &config, &direct_recorder);
+        let adapter_recorder = FlightRecorder::new(16);
+        let adapted =
+            serve_batch_resilient_sessions_traced(&composer, &requests, &config, &adapter_recorder);
+        assert_eq!(
+            format!("{:?}", direct.outcomes),
+            format!("{:?}", adapted.outcomes),
+            "resilient outcomes diverged at {workers} workers"
+        );
+        assert_eq!(
+            format!("{:?}", direct.counters()),
+            format!("{:?}", adapted.counters()),
+            "resilient counters diverged at {workers} workers"
+        );
+        assert_eq!(
+            direct_recorder.render_log(),
+            adapter_recorder.render_log(),
+            "resilient telemetry diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn serve_batch_with_admission_identical_through_the_session_adapter() {
+    let scenario = scenario();
+    let composer = scenario.composer();
+    let arrivals = poisson_burst_arrivals(&admission_pattern(), ARRIVAL_SEED);
+    let requests = requests_for(&scenario, arrivals.len(), false);
+    for workers in [1usize, 4] {
+        let config = resilient_config(workers);
+        let direct_recorder = FlightRecorder::new(16);
+        let direct = serve_batch_with_admission_traced(
+            &composer,
+            &requests,
+            &arrivals,
+            &config,
+            &direct_recorder,
+        );
+        let adapter_recorder = FlightRecorder::new(16);
+        let adapted = serve_batch_with_admission_sessions_traced(
+            &composer,
+            &requests,
+            &arrivals,
+            &config,
+            &adapter_recorder,
+        );
+        assert_eq!(
+            format!("{:?}", direct.batch.outcomes),
+            format!("{:?}", adapted.batch.outcomes),
+            "admitted outcomes diverged at {workers} workers"
+        );
+        assert_eq!(
+            format!("{:?}", direct.admission.decisions),
+            format!("{:?}", adapted.admission.decisions),
+            "admission decisions diverged at {workers} workers"
+        );
+        assert_eq!(
+            format!("{:?}", direct.admission.stats),
+            format!("{:?}", adapted.admission.stats),
+            "admission stats diverged at {workers} workers"
+        );
+        assert_eq!(
+            format!("{:?}", direct.batch.counters()),
+            format!("{:?}", adapted.batch.counters()),
+            "admitted counters diverged at {workers} workers"
+        );
+        assert_eq!(
+            direct_recorder.render_log(),
+            adapter_recorder.render_log(),
+            "admission telemetry diverged at {workers} workers"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Mid-session re-composition, end to end through the pipeline's
+//! [`ChaosWorld`]:
+//!
+//! * a bandwidth squeeze that breaks the serving plan forces exactly
+//!   one re-composition per affected session, with rung transitions
+//!   recorded in virtual-time order,
+//! * a member crash leaves plans alive until its *lease expires*; the
+//!   expiry settle point then forces exactly one re-composition onto
+//!   the surviving replica,
+//! * exhausting `max_recompositions` closes the session as `gave_up`
+//!   without panicking the loop — sessions that never break complete
+//!   around it.
+
+use qosc_core::{
+    run_sessions, ArrivalMeta, CloseReason, Composer, CompositionRequest, PriorityClass,
+    SessionEngineConfig, SessionRequest, SessionWorld,
+};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, Node, NodeId, Topology};
+use qosc_pipeline::{ChaosAction, ChaosWorld, FailureEvent};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+};
+use qosc_services::{catalog, DiscoveryConfig, ServiceRegistry, TranscoderDescriptor};
+
+fn profiles() -> ProfileSet {
+    ProfileSet {
+        user: UserProfile::demo("user"),
+        content: ContentProfile::demo_video("clip"),
+        device: DeviceProfile::demo_pda(),
+        context: ContextProfile::default(),
+        network: NetworkProfile::broadband(),
+    }
+}
+
+fn session(server: NodeId, client: NodeId, arrival_us: u64, hold_us: u64) -> SessionRequest {
+    SessionRequest {
+        request: CompositionRequest {
+            profiles: profiles(),
+            sender_host: server,
+            receiver_host: client,
+        },
+        arrival: ArrivalMeta {
+            arrival_us,
+            priority: PriorityClass::Standard,
+            service_cost_us: 1_000,
+            deadline_budget_us: None,
+        },
+        hold_us,
+    }
+}
+
+fn config(tick_us: u64, max_recompositions: u32) -> SessionEngineConfig {
+    SessionEngineConfig {
+        admission: None,
+        tick_us,
+        max_recompositions,
+        ..SessionEngineConfig::default()
+    }
+}
+
+#[test]
+fn bandwidth_squeeze_forces_exactly_one_recomposition() {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    let last_hop = topo.connect_simple(proxy, client, 1e6).unwrap();
+    let mut world = ChaosWorld::new(&formats, Network::new(topo), DiscoveryConfig::default());
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+    // One squeeze window at 1s; sessions hold 0s..3s. The squeeze
+    // breaks every live plan once; the release at 2s breaks nothing
+    // (more bandwidth never invalidates a plan).
+    world.schedule_fault(
+        1_000_000,
+        FailureEvent::Squeeze {
+            link: last_hop,
+            permille: 950,
+        },
+    );
+    world.schedule_fault(2_000_000, FailureEvent::Unsqueeze(last_hop));
+
+    let requests: Vec<SessionRequest> = (0..4)
+        .map(|_| session(server, client, 0, 3_000_000))
+        .collect();
+    let report = run_sessions(
+        &mut world,
+        &requests,
+        &config(250_000, 8),
+        &qosc_telemetry::NoopSink,
+    );
+
+    assert!(report.counters.partitions_exactly());
+    assert!(report.recompositions() >= 1, "the squeeze broke nothing");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert!(
+            o.recompositions <= 1,
+            "session {i} re-composed {} times for one squeeze",
+            o.recompositions
+        );
+        // Rung transitions recorded in order: open, then (for affected
+        // sessions) the post-squeeze adoption after the break.
+        assert!(o.rung_history.windows(2).all(|w| w[0].0 <= w[1].0));
+        if o.recompositions == 1 {
+            assert_eq!(o.rung_history.len(), 2, "session {i}: one re-adoption");
+            assert!(
+                o.rung_history[1].0 >= 1_000_000,
+                "session {i} re-composed before the squeeze"
+            );
+        }
+    }
+}
+
+#[test]
+fn lease_expiry_forces_one_recomposition_onto_the_survivor() {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy_a = topo.add_node(Node::unconstrained("proxy-a"));
+    let proxy_b = topo.add_node(Node::unconstrained("proxy-b"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    // Two equivalent proxy paths.
+    topo.connect_simple(server, proxy_a, 100e6).unwrap();
+    topo.connect_simple(proxy_a, client, 1e6).unwrap();
+    topo.connect_simple(server, proxy_b, 100e6).unwrap();
+    topo.connect_simple(proxy_b, client, 1e6).unwrap();
+
+    let ttl = DiscoveryConfig::default().ttl.as_micros();
+    let mut world = ChaosWorld::new(&formats, Network::new(topo), DiscoveryConfig::default());
+    // Same catalog on both proxies: two equivalent replica sets.
+    let catalog_len = catalog::full_catalog().len();
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, &formats, proxy_a).unwrap());
+    }
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, &formats, proxy_b).unwrap());
+    }
+    // Compose once up front to learn which replica set the tie-break
+    // serves, then crash exactly that set — the equivalent replicas on
+    // the other proxy must absorb the re-compositions.
+    let opening = world
+        .composer()
+        .compose(
+            &profiles(),
+            server,
+            client,
+            &qosc_core::SelectOptions::default(),
+        )
+        .unwrap()
+        .plan
+        .expect("the demo scenario composes a chain");
+    let serving_host = opening
+        .steps
+        .iter()
+        .find_map(|s| s.service.map(|_| s.host))
+        .expect("the PDA chain rides a transcoder");
+    let serving_members = if serving_host == proxy_a {
+        0..catalog_len
+    } else {
+        catalog_len..2 * catalog_len
+    };
+    // Crash the serving processes at 1s. Their leases stay valid until
+    // the TTL runs out, so nothing breaks until the settle point just
+    // past expiry.
+    let crash_us = 1_000_000;
+    for member in serving_members {
+        world.schedule_action(crash_us, ChaosAction::CrashMember(member));
+    }
+    let expiry_us = crash_us + ttl + 1;
+    world.schedule_settle(expiry_us);
+
+    let hold_us = expiry_us + 3_000_000;
+    let requests: Vec<SessionRequest> = (0..3)
+        .map(|_| session(server, client, 0, hold_us))
+        .collect();
+    let report = run_sessions(
+        &mut world,
+        &requests,
+        &config(250_000, 8),
+        &qosc_telemetry::NoopSink,
+    );
+
+    assert!(report.counters.partitions_exactly());
+    assert_eq!(
+        report.counters.completed, 3,
+        "the proxy-b replicas must carry every session to completion"
+    );
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert_eq!(
+            o.recompositions, 1,
+            "session {i}: exactly one re-composition per lease expiry"
+        );
+        assert_eq!(o.rung_history.len(), 2);
+        assert!(
+            o.rung_history[1].0 >= expiry_us,
+            "session {i} re-composed before the lease expired (at {})",
+            o.rung_history[1].0
+        );
+        assert_eq!(o.close, Some(CloseReason::Completed));
+    }
+}
+
+/// A world whose plans are never alive: every progress tick triggers a
+/// re-composition, so the budget drains at tick rate.
+struct NeverAlive<'a> {
+    formats: &'a FormatRegistry,
+    services: &'a ServiceRegistry,
+    network: &'a Network,
+}
+
+impl SessionWorld for NeverAlive<'_> {
+    fn composer(&self) -> Composer<'_> {
+        Composer {
+            formats: self.formats,
+            services: self.services,
+            network: self.network,
+        }
+    }
+
+    fn plan_alive(&self, _plan: &qosc_core::AdaptationPlan) -> bool {
+        false
+    }
+}
+
+#[test]
+fn exhausting_the_recomposition_budget_closes_gave_up() {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    topo.connect_simple(proxy, client, 1e6).unwrap();
+    let network = Network::new(topo);
+    let mut services = ServiceRegistry::new();
+    for spec in catalog::full_catalog() {
+        services.register_static(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+    let mut world = NeverAlive {
+        formats: &formats,
+        services: &services,
+        network: &network,
+    };
+
+    // Ticks at 250ms each burn one re-composition; with a budget of 2
+    // the third tick gives up at 750ms, well inside the 5s hold. The
+    // zero-hold session closes at open and never consumes budget.
+    let requests = vec![
+        session(server, client, 0, 5_000_000),
+        session(server, client, 0, 5_000_000),
+        session(server, client, 0, 0),
+    ];
+    let report = run_sessions(
+        &mut world,
+        &requests,
+        &config(250_000, 2),
+        &qosc_telemetry::NoopSink,
+    );
+
+    assert!(report.counters.partitions_exactly());
+    assert_eq!(report.counters.gave_up, 2);
+    assert_eq!(
+        report.counters.completed, 1,
+        "the degenerate session completes"
+    );
+    for o in &report.outcomes[..2] {
+        assert_eq!(o.close, Some(CloseReason::GaveUp));
+        assert_eq!(o.recompositions, 2, "the budget is consumed exactly");
+        assert_eq!(o.closed_us, Some(750_000), "gives up on the third tick");
+        assert!(o.active_us() > 0, "it streamed until it gave up");
+    }
+    assert_eq!(report.outcomes[2].close, Some(CloseReason::Completed));
+}
