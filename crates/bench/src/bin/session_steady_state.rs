@@ -94,6 +94,7 @@ fn session_pattern(concurrency: u64) -> SessionPattern {
             ..ArrivalPattern::default()
         },
         hold_range_us: HOLD_RANGE_US,
+        demand_range_bps: (0, 0),
     }
 }
 
@@ -113,6 +114,7 @@ fn engine_config(workers: usize) -> SessionEngineConfig {
         max_recompositions: 8,
         horizon_us: Some(HORIZON_US),
         session_spans: true,
+        abr: None,
     }
 }
 
@@ -191,6 +193,7 @@ fn run_once(concurrency: u64, intensity: f64, workers: usize) -> SessionsReport 
                 },
                 arrival: sa.meta,
                 hold_us: sa.hold_us,
+                demand_bps: sa.demand_bps,
             })
             .collect();
 

@@ -80,8 +80,9 @@ pub use select::{
 pub use session::{
     run_sessions, serve_batch_resilient_sessions, serve_batch_resilient_sessions_traced,
     serve_batch_sessions, serve_batch_sessions_traced, serve_batch_with_admission_sessions,
-    serve_batch_with_admission_sessions_traced, CloseReason, SessionCounters, SessionEngineConfig,
-    SessionOutcome, SessionRequest, SessionWorld, SessionsReport, StaticWorld,
+    serve_batch_with_admission_sessions_traced, AbrConfig, AbrMode, BolaController, BufferAdvance,
+    CloseReason, PlayoutBuffer, SessionCounters, SessionEngineConfig, SessionOutcome,
+    SessionRequest, SessionWorld, SessionsReport, StaticWorld,
 };
 
 /// Errors produced by this crate.

@@ -46,6 +46,7 @@
 //! the *serving* loop that owns many concurrent session lifecycles and
 //! decides when chains are (re-)composed.
 
+pub mod abr;
 pub mod event_loop;
 
 use crate::admission::{AdmissionConfig, AdmissionStats, ArrivalMeta, PriorityClass, ShedReason};
@@ -62,6 +63,7 @@ use qosc_netsim::Network;
 use qosc_services::ServiceRegistry;
 use qosc_telemetry::{MetricsRegistry, TelemetrySink};
 
+pub use abr::{AbrConfig, AbrMode, BolaController, BufferAdvance, PlayoutBuffer};
 pub use event_loop::run_sessions;
 
 /// One long-lived session offered to the engine.
@@ -77,6 +79,10 @@ pub struct SessionRequest {
     /// after its chain is first served. `0` is a degenerate
     /// batch-shaped session that closes at open.
     pub hold_us: u64,
+    /// Bitrate the session demands at full quality, bits per second.
+    /// Feeds [`SessionWorld::delivery_ppm`] as a floor on the final-hop
+    /// required rate; `0` derives the demand from the plan alone.
+    pub demand_bps: u64,
 }
 
 /// Why a session closed.
@@ -129,6 +135,27 @@ pub trait SessionWorld {
     fn plan_alive(&self, plan: &AdaptationPlan) -> bool {
         let _ = plan;
         true
+    }
+
+    /// Hard liveness: whether `plan`'s hosts are up, its services still
+    /// advertised and a route still exists — ignoring *bandwidth*.
+    /// Buffer-aware modes use this instead of [`plan_alive`](Self::plan_alive):
+    /// a squeezed link degrades delivery (the buffer drains) rather
+    /// than killing the plan outright. Defaults to `plan_alive`, so
+    /// worlds without a bandwidth model behave unchanged.
+    fn plan_routable(&self, plan: &AdaptationPlan) -> bool {
+        self.plan_alive(plan)
+    }
+
+    /// Achieved delivery rate for `plan` under current network
+    /// conditions, parts-per-million of the plan's required rate
+    /// ([`abr::PPM`] = keeping up exactly; above = surplus headroom
+    /// that can refill a playout buffer; below = the buffer drains).
+    /// `demand_bps` floors the final-hop required rate (0 = use the
+    /// plan's own edge rates). The default world always keeps up.
+    fn delivery_ppm(&self, plan: &AdaptationPlan, demand_bps: u64) -> u64 {
+        let _ = (plan, demand_bps);
+        abr::PPM
     }
 
     /// Virtual times of the world's scheduled mutations, indexed by
@@ -198,6 +225,10 @@ pub struct SessionEngineConfig {
     /// turn this off so traces stay bitwise identical to the
     /// pre-session paths.
     pub session_spans: bool,
+    /// Buffer-aware mid-stream adaptation ([`AbrConfig`]). `None` runs
+    /// the exact pre-buffer code paths — no buffer state, no extra
+    /// accruals — so existing runs stay bitwise identical.
+    pub abr: Option<AbrConfig>,
 }
 
 impl Default for SessionEngineConfig {
@@ -209,6 +240,7 @@ impl Default for SessionEngineConfig {
             max_recompositions: 8,
             horizon_us: None,
             session_spans: true,
+            abr: None,
         }
     }
 }
@@ -255,6 +287,18 @@ pub struct SessionOutcome {
     /// Active microseconds by serving rung, indexed by
     /// [`DegradationRung::LADDER`].
     pub rung_us: [u64; 4],
+    /// Playback time stalled on an empty buffer, microseconds (0
+    /// without a buffer model).
+    pub rebuffer_us: u64,
+    /// Distinct stall entries (transitions from playing to stalled).
+    pub rebuffer_events: u32,
+    /// Controller-committed mid-stream rung switches (BOLA mode only;
+    /// reactive re-compositions and intra-composition ladder descents
+    /// are counted by `recompositions`/`rung_history` as before).
+    pub switches: u32,
+    /// Highest buffer level observed, microseconds of playout (0
+    /// without a buffer model).
+    pub buffer_peak_us: u64,
 }
 
 impl SessionOutcome {
@@ -362,6 +406,45 @@ impl SessionsReport {
         lit as f64 / total as f64
     }
 
+    /// Total stalled playback time across sessions, microseconds.
+    pub fn rebuffer_us(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.rebuffer_us).sum()
+    }
+
+    /// Total controller-committed rung switches across sessions.
+    pub fn switches(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.switches as u64).sum()
+    }
+
+    /// Stalled time over total playback time (stalled + active), the
+    /// X17 headline. 0.0 when nothing streamed.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        let stalled = self.rebuffer_us();
+        let active: u64 = self.outcomes.iter().map(|o| o.active_us()).sum();
+        let total = stalled + active;
+        if total == 0 {
+            return 0.0;
+        }
+        stalled as f64 / total as f64
+    }
+
+    /// Time-weighted mean ladder index over served session-time
+    /// (0.0 = everything on `Full`, 3.0 = everything on
+    /// `DropSecondary`); 0.0 when nothing served.
+    pub fn mean_rung_index(&self) -> f64 {
+        let by_rung = self.session_us_by_rung();
+        let total: u64 = by_rung.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = by_rung
+            .iter()
+            .enumerate()
+            .map(|(i, us)| i as u64 * us)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
     /// Re-compositions per active session-hour (0 when nothing
     /// streamed).
     pub fn recompositions_per_session_hour(&self) -> f64 {
@@ -396,6 +479,12 @@ impl SessionsReport {
         registry
             .counter("qosc_session_recompositions_total")
             .store(self.recompositions());
+        registry
+            .counter("qosc_session_rebuffer_seconds_total")
+            .store(self.rebuffer_us() / 1_000_000);
+        registry
+            .counter("qosc_session_rung_switches_total")
+            .store(self.switches());
         for (rung, us) in DegradationRung::LADDER
             .iter()
             .zip(self.session_us_by_rung())
@@ -419,6 +508,7 @@ fn degenerate(request: &CompositionRequest, arrival: ArrivalMeta) -> SessionRequ
         request: request.clone(),
         arrival,
         hold_us: 0,
+        demand_bps: 0,
     }
 }
 
@@ -442,6 +532,7 @@ fn batch_config(
         max_recompositions: 0,
         horizon_us: None,
         session_spans: false,
+        abr: None,
     }
 }
 
@@ -698,6 +789,7 @@ mod tests {
                     deadline_budget_us: None,
                 },
                 hold_us,
+                demand_bps: 0,
             })
             .collect()
     }

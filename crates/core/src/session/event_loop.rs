@@ -43,6 +43,7 @@ use crate::plan::AdaptationPlan;
 use crate::select::SelectOptions;
 use crate::CoreError;
 
+use super::abr::{AbrMode, BolaController, PlayoutBuffer};
 use super::{
     CloseReason, SessionCounters, SessionEngineConfig, SessionOutcome, SessionRequest,
     SessionWorld, SessionsReport,
@@ -100,7 +101,37 @@ pub fn run_sessions<W: SessionWorld + Sync, S: TelemetrySink>(
 struct Job {
     session: usize,
     start_rung: DegradationRung,
-    recompose: bool,
+    kind: JobKind,
+    /// Plan generation the job was issued against. A switch whose
+    /// generation is stale by apply time (the plan changed underneath
+    /// it) is discarded — the session keeps its current plan.
+    gen: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// The session's opening composition.
+    Open,
+    /// Mid-stream repair after the plan died (goes dark first).
+    Recompose,
+    /// Controller-requested rung change, make-before-break: the
+    /// session keeps streaming on its old plan until the new one
+    /// serves; a failed or stale switch changes nothing.
+    Switch,
+}
+
+/// Buffer-aware state attached to a streaming session when
+/// [`SessionEngineConfig::abr`] is set.
+struct AbrSess {
+    buffer: PlayoutBuffer,
+    controller: BolaController,
+    /// Current fill rate, ppm of playback speed — resampled at plan
+    /// adoption, at world events and at every progress tick.
+    fill_ppm: u64,
+    /// Bumps at every plan adoption; guards in-flight switches.
+    gen: u32,
+    /// A switch composition is in flight this instant.
+    switching: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +157,10 @@ struct Sess {
     satisfaction: f64,
     last_accrual_us: u64,
     outcome: SessionOutcome,
+    /// Present only when the engine runs with a buffer model
+    /// (`config.abr` set) and the session has started streaming; the
+    /// `None` path takes exactly the pre-buffer code paths.
+    abr: Option<AbrSess>,
 }
 
 enum JobOut {
@@ -207,6 +242,7 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
                 satisfaction: 0.0,
                 last_accrual_us: 0,
                 outcome: SessionOutcome::default(),
+                abr: None,
             })
             .collect(),
         counters: SessionCounters {
@@ -348,7 +384,8 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
             None => self.jobs.push(Job {
                 session: i,
                 start_rung: DegradationRung::Full,
-                recompose: false,
+                kind: JobKind::Open,
+                gen: 0,
             }),
         }
     }
@@ -391,9 +428,12 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                         session: i,
                         // Never climb back above the session's current
                         // rung mid-stream; brown-out can push further
-                        // down.
+                        // down. (Controller up-switches go through
+                        // `JobKind::Switch` instead, which skips this
+                        // clamp deliberately.)
                         start_rung: self.sessions[i].rung.max(decision.start_rung),
-                        recompose: true,
+                        kind: JobKind::Recompose,
+                        gen: 0,
                     });
                 } else {
                     // The queue refused the re-composition: the session
@@ -433,7 +473,8 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                     self.jobs.push(Job {
                         session: i,
                         start_rung: decision.start_rung,
-                        recompose: false,
+                        kind: JobKind::Open,
+                        gen: 0,
                     });
                 } else {
                     self.shed_open(t, i, decision);
@@ -488,17 +529,21 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                 self.sessions[i].trace = Some(trace.save());
             }
         }
+        // Buffer-aware sessions integrate up to the tick with the old
+        // delivery rate, then resample it; `abr: None` keeps exactly
+        // the pre-buffer accrual call pattern.
+        if self.sessions[i].abr.is_some() {
+            self.accrue(i, t);
+            self.resample_fill(i);
+        }
         // A tick re-checks liveness even without a world event: worlds
         // whose state decays between scheduled mutations (lease clocks)
         // surface breakage here at the latest.
         if self.sessions[i].phase == Phase::Active {
-            let alive = self.sessions[i]
-                .plan
-                .as_ref()
-                .map(|p| self.world.plan_alive(p))
-                .unwrap_or(false);
-            if !alive {
+            if !self.plan_ok(i) {
                 self.begin_recompose(t, i);
+            } else {
+                self.maybe_switch(t, i);
             }
         }
         if self.sessions[i].phase != Phase::Done {
@@ -526,15 +571,79 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
             if self.sessions[i].phase != Phase::Active {
                 continue;
             }
-            let alive = self.sessions[i]
-                .plan
-                .as_ref()
-                .map(|p| self.world.plan_alive(p))
-                .unwrap_or(false);
-            if !alive {
+            // Buffer-aware sessions close the accrual interval before
+            // the mutation changes their delivery rate.
+            if self.sessions[i].abr.is_some() {
+                self.accrue(i, t);
+                self.resample_fill(i);
+            }
+            if !self.plan_ok(i) {
                 self.begin_recompose(t, i);
             }
         }
+    }
+
+    /// Mode-dependent plan liveness. Reactive mode (and the no-buffer
+    /// engine) treat a bandwidth squeeze as plan death
+    /// ([`SessionWorld::plan_alive`]); the static-ladder and BOLA modes
+    /// only die on hard faults ([`SessionWorld::plan_routable`]) — a
+    /// squeeze degrades delivery and drains the buffer instead.
+    fn plan_ok(&self, i: usize) -> bool {
+        let Some(plan) = self.sessions[i].plan.as_ref() else {
+            return false;
+        };
+        match self.config.abr.map(|a| a.mode) {
+            Some(AbrMode::StaticLadder) | Some(AbrMode::Bola) => self.world.plan_routable(plan),
+            Some(AbrMode::Reactive) | None => self.world.plan_alive(plan),
+        }
+    }
+
+    /// Re-read the plan's achieved delivery rate from the world
+    /// (capped at the configured maximum fill speed).
+    fn resample_fill(&mut self, i: usize) {
+        let Some(cfg) = self.config.abr else {
+            return;
+        };
+        let demand = self.requests[i].demand_bps;
+        let fill = self.sessions[i]
+            .plan
+            .as_ref()
+            .map(|p| self.world.delivery_ppm(p, demand).min(cfg.max_fill_ppm))
+            .unwrap_or(0);
+        if let Some(abr) = self.sessions[i].abr.as_mut() {
+            abr.fill_ppm = fill;
+        }
+    }
+
+    /// BOLA mode only: ask the controller whether to re-compose onto a
+    /// different rung. Make-before-break — the session keeps streaming
+    /// on its current plan while the switch composes, and the job
+    /// carries the plan generation so a stale result is discarded.
+    fn maybe_switch(&mut self, t: u64, i: usize) {
+        let Some(cfg) = self.config.abr else {
+            return;
+        };
+        if cfg.mode != AbrMode::Bola {
+            return;
+        }
+        let rung = self.sessions[i].rung;
+        let Some(abr) = self.sessions[i].abr.as_mut() else {
+            return;
+        };
+        if abr.switching {
+            return;
+        }
+        let Some(target) = abr.controller.decide(t, rung, &cfg, &abr.buffer) else {
+            return;
+        };
+        abr.switching = true;
+        let gen = abr.gen;
+        self.jobs.push(Job {
+            session: i,
+            start_rung: target,
+            kind: JobKind::Switch,
+            gen,
+        });
     }
 
     /// The session's plan died at `t`: go dark and ask for another
@@ -580,30 +689,62 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
             None => self.jobs.push(Job {
                 session: i,
                 start_rung: self.sessions[i].rung,
-                recompose: true,
+                kind: JobKind::Recompose,
+                gen: 0,
             }),
         }
     }
 
     /// Integrate session-time since the last accrual point: lit on the
-    /// current rung while a plan is live, dark otherwise.
+    /// current rung while a plan is live, dark otherwise. With a buffer
+    /// model attached, the same interval also fills/drains the playout
+    /// buffer — at the session's sampled delivery rate while lit, dry
+    /// while dark — and accounts stalled playback.
     fn accrue(&mut self, i: usize, t: u64) {
-        let sess = &mut self.sessions[i];
-        if sess.outcome.started_us.is_none() {
-            return;
+        let mut stall_entered_us = None;
+        {
+            let sess = &mut self.sessions[i];
+            if sess.outcome.started_us.is_none() {
+                return;
+            }
+            let dt = t.saturating_sub(sess.last_accrual_us);
+            sess.last_accrual_us = t;
+            if dt == 0 {
+                return;
+            }
+            if sess.plan.is_some() {
+                sess.outcome.lit_us = sess.outcome.lit_us.saturating_add(dt);
+                sess.outcome.satisfaction_us += sess.satisfaction * dt as f64;
+                let slot = &mut sess.outcome.rung_us[sess.rung as usize];
+                *slot = slot.saturating_add(dt);
+            } else {
+                sess.outcome.dark_us = sess.outcome.dark_us.saturating_add(dt);
+            }
+            if let Some(abr) = sess.abr.as_mut() {
+                let fill = if sess.plan.is_some() { abr.fill_ppm } else { 0 };
+                let adv = abr.buffer.advance(dt, fill);
+                if adv.stalled_us > 0 {
+                    sess.outcome.rebuffer_us =
+                        sess.outcome.rebuffer_us.saturating_add(adv.stalled_us);
+                    if adv.entered_stall {
+                        sess.outcome.rebuffer_events =
+                            sess.outcome.rebuffer_events.saturating_add(1);
+                        stall_entered_us = Some(adv.stalled_us);
+                    }
+                }
+                sess.outcome.buffer_peak_us =
+                    sess.outcome.buffer_peak_us.max(abr.buffer.level_us());
+            }
         }
-        let dt = t.saturating_sub(sess.last_accrual_us);
-        sess.last_accrual_us = t;
-        if dt == 0 {
-            return;
-        }
-        if sess.plan.is_some() {
-            sess.outcome.lit_us = sess.outcome.lit_us.saturating_add(dt);
-            sess.outcome.satisfaction_us += sess.satisfaction * dt as f64;
-            let slot = &mut sess.outcome.rung_us[sess.rung as usize];
-            *slot = slot.saturating_add(dt);
-        } else {
-            sess.outcome.dark_us = sess.outcome.dark_us.saturating_add(dt);
+        if let Some(stalled_us) = stall_entered_us {
+            if self.config.session_spans {
+                if let Some(state) = self.sessions[i].trace {
+                    let mut trace = RequestTrace::resume(self.sink, state);
+                    trace.advance_to(t);
+                    trace.emit(ROOT_SPAN, EventKind::Rebuffered { stalled_us });
+                    self.sessions[i].trace = Some(trace.save());
+                }
+            }
         }
     }
 
@@ -733,12 +874,20 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         }
         let Some((out, state)) = result else {
             // The worker thread died outside composition; account for
-            // the loss the way the batch paths do.
+            // the loss the way the batch paths do. A lost *switch*
+            // changes nothing — make-before-break keeps the session on
+            // its current plan.
+            if job.kind == JobKind::Switch {
+                if let Some(abr) = self.sessions[i].abr.as_mut() {
+                    abr.switching = false;
+                }
+                return;
+            }
             if cached {
                 self.batch_results[i] = Some(Err(CoreError::WorkerPanic(
                     "worker thread lost before reporting".to_string(),
                 )));
-            } else if !job.recompose {
+            } else if job.kind == JobKind::Open {
                 self.request_outcomes[i] = Some(unserved(
                     0,
                     0,
@@ -746,7 +895,7 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                     Some("worker thread lost before reporting".to_string()),
                 ));
             }
-            if job.recompose {
+            if job.kind == JobKind::Recompose {
                 self.accrue(i, t);
                 self.close(t, i, CloseReason::Starved);
             } else {
@@ -774,7 +923,7 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                 );
             }
             JobOut::Outcome(mut outcome) => {
-                if !job.recompose && self.admission.is_some() {
+                if job.kind == JobKind::Open && self.admission.is_some() {
                     // serve_batch_with_admission stamps the brown-out
                     // rung onto every admitted outcome.
                     outcome.brownout_rung = Some(job.start_rung);
@@ -784,7 +933,11 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                     .attempts
                     .saturating_add(outcome.attempts);
                 let served = outcome.plan.is_some();
-                if job.recompose {
+                if job.kind == JobKind::Switch {
+                    self.apply_switch(t, job, outcome);
+                    return;
+                }
+                if job.kind == JobKind::Recompose {
                     // Close the dark interval *before* the new plan
                     // goes live, so the repair latency accrues as dark
                     // time.
@@ -792,6 +945,9 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                     if served {
                         self.adopt_plan(t, i, &outcome);
                         self.sessions[i].phase = Phase::Active;
+                        if self.sessions[i].abr.is_some() {
+                            self.resample_fill(i);
+                        }
                     } else {
                         self.close(t, i, CloseReason::Starved);
                     }
@@ -814,9 +970,80 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                     self.close(t, i, CloseReason::Completed);
                     return;
                 }
+                // Attach the buffer model: startup latency is modeled
+                // as pre-buffered media, so sessions open with credit.
+                if let Some(cfg) = self.config.abr {
+                    let buffer = PlayoutBuffer::new(cfg.startup_buffer_us, cfg.buffer_capacity_us);
+                    let sess = &mut self.sessions[i];
+                    sess.outcome.buffer_peak_us = buffer.level_us();
+                    sess.abr = Some(AbrSess {
+                        buffer,
+                        controller: BolaController::new(),
+                        fill_ppm: 0,
+                        gen: 0,
+                        switching: false,
+                    });
+                    self.resample_fill(i);
+                }
                 let close_at = t.saturating_add(hold);
                 self.queue.schedule(SimTime(close_at), Ev::Close(i));
                 self.schedule_tick(t, i);
+            }
+        }
+    }
+
+    /// A controller switch came back: adopt it only if it still
+    /// matches the plan generation it was issued against, actually
+    /// changed rung, and the session is still streaming. Anything else
+    /// is discarded — the session never goes dark over a switch.
+    fn apply_switch(&mut self, t: u64, job: Job, outcome: RequestOutcome) {
+        let i = job.session;
+        let stale = self.sessions[i]
+            .abr
+            .as_ref()
+            .map(|a| a.gen != job.gen)
+            .unwrap_or(true);
+        if let Some(abr) = self.sessions[i].abr.as_mut() {
+            abr.switching = false;
+        }
+        if stale || self.sessions[i].phase != Phase::Active {
+            return;
+        }
+        let from = self.sessions[i].rung;
+        let to = match (&outcome.plan, outcome.rung) {
+            (Some(_), Some(rung)) => rung,
+            // The switch composed nothing: stay on the current plan.
+            _ => return,
+        };
+        if to == from {
+            // The ladder fell back to the rung we already stream on
+            // (an up-switch that was not feasible): not a switch.
+            return;
+        }
+        // Close the interval on the old rung, then go live on the new
+        // plan without a dark gap (make-before-break).
+        self.accrue(i, t);
+        self.adopt_plan(t, i, &outcome);
+        self.resample_fill(i);
+        let mut buffer_us = 0;
+        if let Some(abr) = self.sessions[i].abr.as_mut() {
+            abr.controller.committed(t, from);
+            buffer_us = abr.buffer.level_us();
+        }
+        self.sessions[i].outcome.switches = self.sessions[i].outcome.switches.saturating_add(1);
+        if self.config.session_spans {
+            if let Some(state) = self.sessions[i].trace {
+                let mut trace = RequestTrace::resume(self.sink, state);
+                trace.advance_to(t);
+                trace.emit(
+                    ROOT_SPAN,
+                    EventKind::RungSwitch {
+                        from: from.label(),
+                        to: to.label(),
+                        buffer_us,
+                    },
+                );
+                self.sessions[i].trace = Some(trace.save());
             }
         }
     }
@@ -831,5 +1058,8 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         sess.satisfaction = outcome.satisfaction;
         sess.outcome.final_rung = Some(rung);
         sess.outcome.rung_history.push((t, rung));
+        if let Some(abr) = sess.abr.as_mut() {
+            abr.gen = abr.gen.wrapping_add(1);
+        }
     }
 }

@@ -41,7 +41,7 @@ pub use resilience::{
     SegmentReport,
 };
 pub use session::{run_session, SessionConfig};
-pub use session_world::{ChaosWorld, WorldOp};
+pub use session_world::{ChaosWorld, WorldBuildError, WorldOp};
 
 /// Errors produced by this crate.
 #[derive(Debug)]

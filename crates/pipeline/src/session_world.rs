@@ -26,10 +26,46 @@ use crate::failure::{FailureEvent, FailureSchedule};
 use crate::resilience::plan_affected;
 use qosc_core::{AdaptationPlan, Composer, SessionWorld};
 use qosc_media::FormatRegistry;
-use qosc_netsim::{Network, SimTime};
+use qosc_netsim::{NetError, Network, NodeId, SimTime};
+use qosc_profiles::ServiceSpec;
 use qosc_services::{
-    DiscoveryConfig, DiscoveryDriver, MemberId, ServiceRegistry, TranscoderDescriptor,
+    DiscoveryConfig, DiscoveryDriver, MemberId, ServiceError, ServiceRegistry, TranscoderDescriptor,
 };
+
+/// Typed construction failure for chaos-world topologies and fleets —
+/// what a scorecard bin reports instead of an `unwrap` panic when a
+/// link declaration or a service spec is invalid.
+#[derive(Debug)]
+pub enum WorldBuildError {
+    /// Topology or routing construction failed (bad link parameters,
+    /// unknown nodes, no route).
+    Net(NetError),
+    /// A service spec did not resolve against the format registry.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for WorldBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldBuildError::Net(e) => write!(f, "world topology construction failed: {e}"),
+            WorldBuildError::Service(e) => write!(f, "service fleet construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldBuildError {}
+
+impl From<NetError> for WorldBuildError {
+    fn from(e: NetError) -> WorldBuildError {
+        WorldBuildError::Net(e)
+    }
+}
+
+impl From<ServiceError> for WorldBuildError {
+    fn from(e: ServiceError) -> WorldBuildError {
+        WorldBuildError::Service(e)
+    }
+}
 
 /// One scheduled world mutation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +126,19 @@ impl<'a> ChaosWorld<'a> {
             .join(&mut self.services, descriptor, SimTime::ZERO);
         self.members.push(member);
         member
+    }
+
+    /// Resolve `spec` against the world's format registry and join the
+    /// resulting instance on `host`, surfacing resolution failures as
+    /// a typed [`WorldBuildError`] instead of panicking — the
+    /// construction path scorecard bins should use.
+    pub fn try_join_spec(
+        &mut self,
+        spec: &ServiceSpec,
+        host: NodeId,
+    ) -> Result<MemberId, WorldBuildError> {
+        let descriptor = TranscoderDescriptor::resolve(spec, self.formats, host)?;
+        Ok(self.join(descriptor))
     }
 
     /// Members in join order.
@@ -171,6 +220,71 @@ impl SessionWorld for ChaosWorld<'_> {
             }
         }
         !plan_affected(&self.network, plan)
+    }
+
+    /// Hard liveness only: hosts up, services advertised, routes
+    /// intact. A bandwidth squeeze does *not* fail this — buffer-aware
+    /// sessions observe it through [`delivery_ppm`](Self::delivery_ppm)
+    /// as a draining buffer instead.
+    fn plan_routable(&self, plan: &AdaptationPlan) -> bool {
+        for step in &plan.steps {
+            if let Some(id) = step.service {
+                if !self.services.is_available(id) {
+                    return false;
+                }
+            }
+            if self.network.node_failed(step.host) {
+                return false;
+            }
+        }
+        for pair in plan.steps.windows(2) {
+            if pair[0].host == pair[1].host {
+                continue;
+            }
+            if self
+                .network
+                .route_between(pair[0].host, pair[1].host)
+                .is_err()
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Achieved delivery rate: the worst hop's `available / required`
+    /// ratio in parts-per-million. `required` is each hop's planned
+    /// crossing rate; the final hop is floored by the session's own
+    /// bitrate demand so an under-provisioned plan cannot hide behind
+    /// a tiny last edge. An unroutable hop delivers nothing.
+    fn delivery_ppm(&self, plan: &AdaptationPlan, demand_bps: u64) -> u64 {
+        let hops = plan.steps.len().saturating_sub(1);
+        let mut worst = u64::MAX;
+        for (k, pair) in plan.steps.windows(2).enumerate() {
+            if pair[0].host == pair[1].host {
+                continue;
+            }
+            let mut required = pair[1].input_bps;
+            if k + 1 == hops {
+                required = required.max(demand_bps as f64);
+            }
+            if required <= 0.0 {
+                continue;
+            }
+            match self.network.available_between(pair[0].host, pair[1].host) {
+                Ok(available) => {
+                    let ratio = (available / required) * 1e6;
+                    let ppm = if ratio.is_finite() && ratio > 0.0 {
+                        ratio.min(u64::MAX as f64) as u64
+                    } else {
+                        0
+                    };
+                    worst = worst.min(ppm);
+                }
+                Err(_) => return 0,
+            }
+        }
+        worst
     }
 
     fn world_event_times(&self) -> &[u64] {
@@ -278,6 +392,7 @@ mod tests {
                 deadline_budget_us: None,
             },
             hold_us,
+            demand_bps: 0,
         }
     }
 
@@ -348,6 +463,83 @@ mod tests {
             chaos.schedule().events().len() + chaos.actions().len()
         );
         assert!(times.windows(2).all(|t| t[0] <= t[1]));
+    }
+
+    #[test]
+    fn squeeze_degrades_delivery_without_failing_routability() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        assert!(w.plan_alive(&plan));
+        assert!(w.plan_routable(&plan));
+        let healthy = w.delivery_ppm(&plan, 0);
+        assert!(
+            healthy >= 1_000_000,
+            "a freshly composed plan keeps up: {healthy} ppm"
+        );
+        // Choke the last hop to 95% background load: the plan dies
+        // under the bandwidth check but stays routable, and delivery
+        // drops below real time.
+        w.schedule_fault(
+            1_000_000,
+            FailureEvent::Squeeze {
+                link: h.last_hop,
+                permille: 950,
+            },
+        );
+        w.apply_world_event(0);
+        assert!(!w.plan_alive(&plan), "squeeze breaks the soft liveness");
+        assert!(w.plan_routable(&plan), "squeeze keeps hard liveness");
+        let squeezed = w.delivery_ppm(&plan, 0);
+        assert!(
+            squeezed < healthy && squeezed < 1_000_000,
+            "squeezed delivery falls behind playback: {squeezed} ppm"
+        );
+        // A demand floor above the squeezed edge lowers the ratio
+        // further.
+        assert!(w.delivery_ppm(&plan, 10_000_000) < squeezed.max(1));
+    }
+
+    #[test]
+    fn hard_faults_fail_routability_too() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        w.schedule_fault(500_000, FailureEvent::NodeDown(h.proxy));
+        w.apply_world_event(0);
+        assert!(!w.plan_routable(&plan), "a dead host is a hard fault");
+        assert_eq!(w.delivery_ppm(&plan, 0), 0, "nothing is delivered");
+    }
+
+    #[test]
+    fn try_join_spec_surfaces_resolution_errors() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let joined_before = w.members().len();
+        let mut bogus = catalog::full_catalog().remove(0);
+        bogus.conversions[0].input = "no-such-format".to_string();
+        let err = w.try_join_spec(&bogus, h.proxy).unwrap_err();
+        assert!(
+            matches!(err, WorldBuildError::Service(_)),
+            "resolution failures are typed, got {err}"
+        );
+        assert!(!err.to_string().is_empty());
+        assert_eq!(w.members().len(), joined_before, "nothing joined");
+        // A valid spec joins through the same path.
+        let spec = catalog::full_catalog().remove(0);
+        let member = w.try_join_spec(&spec, h.proxy).unwrap();
+        assert_eq!(w.members().len(), joined_before + 1);
+        assert_eq!(w.members()[joined_before], member);
     }
 
     #[test]

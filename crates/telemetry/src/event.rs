@@ -172,6 +172,24 @@ pub enum EventKind {
         /// `gave_up`, `starved`).
         reason: &'static str,
     },
+    /// A session's playout buffer ran dry and playback stalled
+    /// (buffer-aware sessions only). Emitted once per stall entry; the
+    /// stalled time of the accrual interval rides along.
+    Rebuffered {
+        /// Playback time stalled within the interval, microseconds.
+        stalled_us: u64,
+    },
+    /// The buffer-aware controller committed a mid-stream rung switch
+    /// (distinct from `rung_change`, the intra-composition ladder
+    /// descent, and from `recomposed`, the reactive repair path).
+    RungSwitch {
+        /// Rung the session was streaming on.
+        from: &'static str,
+        /// Rung the switch adopted.
+        to: &'static str,
+        /// Buffer level at adoption, microseconds of playout.
+        buffer_us: u64,
+    },
 }
 
 impl EventKind {
@@ -209,6 +227,8 @@ impl EventKind {
             EventKind::ArenaReused { .. } => "arena_reused",
             EventKind::SessionOpened { .. } => "session_opened",
             EventKind::SessionClosed { .. } => "session_closed",
+            EventKind::Rebuffered { .. } => "rebuffered",
+            EventKind::RungSwitch { .. } => "rung_switch",
         }
     }
 
@@ -265,6 +285,12 @@ impl EventKind {
             EventKind::ArenaReused { total } => format!("arena_reused total={total}"),
             EventKind::SessionOpened { hold_us } => format!("session_opened hold_us={hold_us}"),
             EventKind::SessionClosed { reason } => format!("session_closed reason={reason}"),
+            EventKind::Rebuffered { stalled_us } => format!("rebuffered stalled_us={stalled_us}"),
+            EventKind::RungSwitch {
+                from,
+                to,
+                buffer_us,
+            } => format!("rung_switch from={from} to={to} buffer_us={buffer_us}"),
         }
     }
 }

@@ -157,6 +157,11 @@ pub struct SessionPattern {
     pub arrivals: ArrivalPattern,
     /// Uniform holding-time range, virtual microseconds (inclusive).
     pub hold_range_us: (u64, u64),
+    /// Uniform per-session bitrate-demand range, bits per second
+    /// (inclusive). `(0, 0)` disables demand generation — sessions then
+    /// carry `demand_bps = 0` and the delivery model falls back to the
+    /// plan's own edge rates.
+    pub demand_range_bps: (u64, u64),
 }
 
 impl Default for SessionPattern {
@@ -164,6 +169,7 @@ impl Default for SessionPattern {
         SessionPattern {
             arrivals: ArrivalPattern::default(),
             hold_range_us: (500_000, 5_000_000),
+            demand_range_bps: (0, 0),
         }
     }
 }
@@ -185,6 +191,9 @@ pub struct SessionArrival {
     pub meta: ArrivalMeta,
     /// Virtual holding time once the session starts streaming.
     pub hold_us: u64,
+    /// Bitrate the session demands at full quality, bits per second
+    /// (0 = derive from the plan alone).
+    pub demand_bps: u64,
 }
 
 /// Generate a seeded open-loop *session* schedule: the arrival process
@@ -194,10 +203,14 @@ pub struct SessionArrival {
 /// uniform holding time per session.
 pub fn session_arrivals(pattern: &SessionPattern, seed: u64) -> Vec<SessionArrival> {
     let metas = poisson_burst_arrivals(&pattern.arrivals, seed);
-    // Independent stream for holds: deriving it from the same seed with
-    // a fixed tweak keeps one knob while decoupling the two draws.
+    // Independent streams for holds and demands: deriving each from the
+    // same seed with a distinct fixed tweak keeps one knob while
+    // decoupling the draws — adding the demand stream cannot perturb
+    // committed arrival or hold schedules.
     let mut holds = SmallRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+    let mut demands = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let (lo, hi) = pattern.hold_range_us;
+    let (dlo, dhi) = pattern.demand_range_bps;
     metas
         .into_iter()
         .map(|meta| SessionArrival {
@@ -206,6 +219,11 @@ pub fn session_arrivals(pattern: &SessionPattern, seed: u64) -> Vec<SessionArriv
                 holds.random_range(lo..=hi)
             } else {
                 lo
+            },
+            demand_bps: if dhi > dlo {
+                demands.random_range(dlo..=dhi)
+            } else {
+                dlo
             },
         })
         .collect()
@@ -303,11 +321,45 @@ mod tests {
         );
         let (lo, hi) = pattern.hold_range_us;
         assert!(sessions.iter().all(|s| s.hold_us >= lo && s.hold_us <= hi));
+        assert!(
+            sessions.iter().all(|s| s.demand_bps == 0),
+            "demand generation is off by default"
+        );
         assert_eq!(session_arrivals(&pattern, 42), sessions, "deterministic");
         assert_ne!(
             session_arrivals(&pattern, 43),
             sessions,
             "seed changes holds and arrivals"
+        );
+    }
+
+    #[test]
+    fn demand_stream_is_independent_of_holds_and_arrivals() {
+        let base = SessionPattern::default();
+        let with_demand = SessionPattern {
+            demand_range_bps: (400_000, 1_200_000),
+            ..base
+        };
+        let plain = session_arrivals(&base, 42);
+        let demanding = session_arrivals(&with_demand, 42);
+        assert_eq!(
+            plain
+                .iter()
+                .map(|s| (s.meta, s.hold_us))
+                .collect::<Vec<_>>(),
+            demanding
+                .iter()
+                .map(|s| (s.meta, s.hold_us))
+                .collect::<Vec<_>>(),
+            "enabling demands must not perturb arrivals or holds"
+        );
+        let (dlo, dhi) = with_demand.demand_range_bps;
+        assert!(demanding
+            .iter()
+            .all(|s| s.demand_bps >= dlo && s.demand_bps <= dhi));
+        assert!(
+            demanding.iter().map(|s| s.demand_bps).any(|d| d != dlo),
+            "demands vary across sessions"
         );
     }
 
@@ -320,6 +372,7 @@ mod tests {
                 ..ArrivalPattern::default()
             },
             hold_range_us: (1_000_000, 3_000_000),
+            demand_range_bps: (0, 0),
         };
         // 100/s × 2s mean hold = 200 concurrent.
         assert_eq!(pattern.mean_concurrency(), 200);

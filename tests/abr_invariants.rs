@@ -1,0 +1,148 @@
+//! The `PSMAbrAlgorithm.tla` safety invariants, ported as property
+//! tests over the pure controller units:
+//!
+//! * **BufferBounds** — the playout buffer level never leaves
+//!   `[0, capacity]`, and every advance partitions its interval into
+//!   played + stalled time exactly,
+//! * **SwitchRateBound** — the controller commits at most one switch
+//!   per dwell window: over any run, `switches ≤ 1 + elapsed / dwell`,
+//! * **NoOscillation** — a committed switch away from rung A is never
+//!   reversed back to A within two dwell windows (no A→B→A flap).
+//!
+//! The same bounds are asserted end to end by the `abr_controller`
+//! scorecard; here they are driven adversarially with arbitrary fill
+//! rates, tick spacings, and buffer trajectories.
+
+use proptest::prelude::*;
+use qosc_core::{AbrConfig, BolaController, DegradationRung, PlayoutBuffer};
+
+/// One adversarial step: advance virtual time by `dt_us` at `fill_ppm`
+/// delivered throughput, then let the controller decide.
+#[derive(Debug, Clone)]
+struct Step {
+    dt_us: u64,
+    fill_ppm: u64,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (1u64..3_000_000, 0u64..4_000_000).prop_map(|(dt_us, fill_ppm)| Step { dt_us, fill_ppm }),
+        1..120,
+    )
+}
+
+fn config() -> AbrConfig {
+    AbrConfig::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// BufferBounds: `0 ≤ level ≤ capacity` after every advance, and
+    /// the advance partitions its interval (`played + stalled == dt`).
+    /// Stall time only accrues against an exhausted buffer.
+    #[test]
+    fn buffer_level_stays_within_bounds(trace in steps(), start_us in 0u64..=4_000_000) {
+        let config = config();
+        let mut buffer = PlayoutBuffer::new(
+            start_us.min(config.buffer_capacity_us),
+            config.buffer_capacity_us,
+        );
+        for step in &trace {
+            let before = buffer.level_us();
+            let adv = buffer.advance(step.dt_us, step.fill_ppm);
+            prop_assert!(buffer.level_us() <= config.buffer_capacity_us);
+            prop_assert_eq!(
+                adv.played_us + adv.stalled_us,
+                step.dt_us,
+                "the interval must partition into played + stalled"
+            );
+            prop_assert_eq!(
+                buffer.level_us() + buffer.headroom_us(),
+                config.buffer_capacity_us,
+                "headroom complements the level"
+            );
+            if adv.stalled_us > 0 {
+                // A stall means playback exhausted everything available.
+                let arrived = (step.dt_us as u128 * step.fill_ppm as u128) / 1_000_000;
+                prop_assert!(
+                    (before as u128) + arrived < step.dt_us as u128,
+                    "stalled {} although {} buffered + {} arrived covered the {}us interval",
+                    adv.stalled_us, before, arrived, step.dt_us
+                );
+            }
+            if adv.entered_stall {
+                prop_assert!(adv.stalled_us > 0, "entered a stall without stalling");
+            }
+        }
+    }
+
+    /// SwitchRateBound: driving the controller over an arbitrary buffer
+    /// trajectory, committed switches never exceed `1 + elapsed/dwell`,
+    /// and consecutive commits are at least one dwell window apart.
+    #[test]
+    fn switch_rate_respects_the_dwell_window(trace in steps()) {
+        let config = config();
+        let mut buffer = PlayoutBuffer::new(config.startup_buffer_us, config.buffer_capacity_us);
+        let mut controller = BolaController::new();
+        let mut current = DegradationRung::Full;
+        let mut now_us = 0u64;
+        let mut commits: Vec<u64> = Vec::new();
+        for step in &trace {
+            now_us += step.dt_us;
+            buffer.advance(step.dt_us, step.fill_ppm);
+            if let Some(target) = controller.decide(now_us, current, &config, &buffer) {
+                controller.committed(now_us, current);
+                current = target;
+                commits.push(now_us);
+            }
+        }
+        let bound = 1 + now_us / config.switch_dwell_us.max(1);
+        prop_assert!(
+            (commits.len() as u64) <= bound,
+            "{} switches over {}us exceeds the dwell bound {}",
+            commits.len(), now_us, bound
+        );
+        for pair in commits.windows(2) {
+            prop_assert!(
+                pair[1] - pair[0] >= config.switch_dwell_us,
+                "commits at {} and {} violate the dwell window",
+                pair[0], pair[1]
+            );
+        }
+    }
+
+    /// NoOscillation: the controller never returns to the rung a
+    /// committed switch left within two dwell windows of leaving it.
+    #[test]
+    fn no_a_b_a_flap_within_two_dwell_windows(trace in steps()) {
+        let config = config();
+        let mut buffer = PlayoutBuffer::new(config.startup_buffer_us, config.buffer_capacity_us);
+        let mut controller = BolaController::new();
+        let mut current = DegradationRung::Full;
+        let mut now_us = 0u64;
+        // (time, from, to) per committed switch.
+        let mut transitions: Vec<(u64, DegradationRung, DegradationRung)> = Vec::new();
+        for step in &trace {
+            now_us += step.dt_us;
+            buffer.advance(step.dt_us, step.fill_ppm);
+            if let Some(target) = controller.decide(now_us, current, &config, &buffer) {
+                controller.committed(now_us, current);
+                transitions.push((now_us, current, target));
+                current = target;
+            }
+        }
+        let guard = config.switch_dwell_us.saturating_mul(2);
+        for pair in transitions.windows(2) {
+            let (left_at, from, _) = pair[0];
+            let (back_at, _, to) = pair[1];
+            if back_at - left_at < guard {
+                prop_assert!(
+                    to != from,
+                    "left rung {from:?} at {left_at} and flapped straight back at {back_at} \
+                     (guard {guard}us)"
+                );
+            }
+        }
+    }
+}

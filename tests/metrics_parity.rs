@@ -262,3 +262,111 @@ fn event_counters_partition_the_log() {
     }
     assert_eq!(total as usize, recorder.len(), "counters partition the log");
 }
+
+/// The buffer-era events join the same accounting: a BOLA run under a
+/// squeeze emits `rebuffered` and `rung_switch` events into the
+/// flight-recorder log, and the per-kind counters still partition it
+/// exactly.
+#[test]
+fn session_event_counters_partition_the_log_with_abr_events() {
+    use qosc_core::{
+        run_sessions, AbrConfig, AbrMode, ArrivalMeta, PriorityClass, SessionEngineConfig,
+        SessionRequest,
+    };
+    use qosc_media::FormatRegistry;
+    use qosc_netsim::{Network, Node, Topology};
+    use qosc_pipeline::{ChaosWorld, FailureEvent};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+    };
+    use qosc_services::{catalog, DiscoveryConfig, TranscoderDescriptor};
+    use qosc_telemetry::FlightRecorder;
+
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    let last_hop = topo.connect_simple(proxy, client, 1e6).unwrap();
+    let mut world = ChaosWorld::new(&formats, Network::new(topo), DiscoveryConfig::default());
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, &formats, proxy).unwrap());
+    }
+    // A long hard squeeze: BOLA down-switches (rung_switch) and, while
+    // the dwell window delays it, stalls at least once (rebuffered).
+    world.schedule_fault(
+        1_000_000,
+        FailureEvent::Squeeze {
+            link: last_hop,
+            permille: 990,
+        },
+    );
+    world.schedule_fault(11_000_000, FailureEvent::Unsqueeze(last_hop));
+
+    let profiles = ProfileSet {
+        user: UserProfile::demo("user"),
+        content: ContentProfile::demo_video("clip"),
+        device: DeviceProfile::demo_pda(),
+        context: ContextProfile::default(),
+        network: NetworkProfile::broadband(),
+    };
+    let requests: Vec<SessionRequest> = (0..3)
+        .map(|_| SessionRequest {
+            request: qosc_core::CompositionRequest {
+                profiles: profiles.clone(),
+                sender_host: server,
+                receiver_host: client,
+            },
+            arrival: ArrivalMeta {
+                arrival_us: 0,
+                priority: PriorityClass::Standard,
+                service_cost_us: 1_000,
+                deadline_budget_us: None,
+            },
+            hold_us: 13_000_000,
+            demand_bps: 0,
+        })
+        .collect();
+    let config = SessionEngineConfig {
+        admission: None,
+        tick_us: 250_000,
+        max_recompositions: 8,
+        session_spans: true,
+        abr: Some(AbrConfig::with_mode(AbrMode::Bola)),
+        ..SessionEngineConfig::default()
+    };
+    let recorder = FlightRecorder::new(16);
+    let report = run_sessions(&mut world, &requests, &config, &recorder);
+    assert!(report.switches() > 0, "the squeeze must force switches");
+
+    let counts = recorder.event_counts();
+    let by_kind = |label: &str| counts.get(label).copied().unwrap_or(0);
+    assert_eq!(
+        by_kind("rung_switch"),
+        report.switches(),
+        "one rung_switch event per committed switch"
+    );
+    assert_eq!(
+        by_kind("rebuffered"),
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.rebuffer_events as u64)
+            .sum::<u64>(),
+        "one rebuffered event per stall entry"
+    );
+
+    let registry = MetricsRegistry::new();
+    recorder.export_metrics(&registry);
+    let mut total = 0;
+    for (label, count) in &counts {
+        assert_eq!(
+            registry.counter_value(&format!("qosc_events_total{{kind=\"{label}\"}}")),
+            Some(*count),
+            "exported counter for {label} diverged"
+        );
+        total += count;
+    }
+    assert_eq!(total as usize, recorder.len(), "counters partition the log");
+}

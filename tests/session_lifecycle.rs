@@ -140,6 +140,7 @@ fn requests_for(f: &Fixture, case: &Case) -> Vec<SessionRequest> {
                 deadline_budget_us: o.deadline_us,
             },
             hold_us: o.hold_us,
+            demand_bps: 0,
         })
         .collect()
 }

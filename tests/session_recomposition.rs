@@ -9,11 +9,16 @@
 //!   the surviving replica,
 //! * exhausting `max_recompositions` closes the session as `gave_up`
 //!   without panicking the loop — sessions that never break complete
-//!   around it.
+//!   around it,
+//! * under a long squeeze the BOLA controller rides the window out on a
+//!   lower rung while the static ladder starves its buffer,
+//! * with the controller disabled (`abr: None`) every buffer-era field
+//!   is zero and the integer outcome fields match the PR 6 reactive
+//!   path exactly.
 
 use qosc_core::{
-    run_sessions, ArrivalMeta, CloseReason, Composer, CompositionRequest, PriorityClass,
-    SessionEngineConfig, SessionRequest, SessionWorld,
+    run_sessions, AbrConfig, AbrMode, ArrivalMeta, CloseReason, Composer, CompositionRequest,
+    PriorityClass, SessionEngineConfig, SessionRequest, SessionWorld,
 };
 use qosc_media::FormatRegistry;
 use qosc_netsim::{Network, Node, NodeId, Topology};
@@ -47,6 +52,7 @@ fn session(server: NodeId, client: NodeId, arrival_us: u64, hold_us: u64) -> Ses
             deadline_budget_us: None,
         },
         hold_us,
+        demand_bps: 0,
     }
 }
 
@@ -274,4 +280,143 @@ fn exhausting_the_recomposition_budget_closes_gave_up() {
         assert!(o.active_us() > 0, "it streamed until it gave up");
     }
     assert_eq!(report.outcomes[2].close, Some(CloseReason::Completed));
+}
+
+/// A server→proxy→client chain whose last hop gets squeezed to
+/// `permille` background load over `[squeeze_us, release_us)`.
+fn squeezed_chain<'a>(
+    formats: &'a FormatRegistry,
+    permille: u16,
+    squeeze_us: u64,
+    release_us: u64,
+) -> (ChaosWorld<'a>, NodeId, NodeId) {
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    let last_hop = topo.connect_simple(proxy, client, 1e6).unwrap();
+    let mut world = ChaosWorld::new(formats, Network::new(topo), DiscoveryConfig::default());
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, formats, proxy).unwrap());
+    }
+    world.schedule_fault(
+        squeeze_us,
+        FailureEvent::Squeeze {
+            link: last_hop,
+            permille,
+        },
+    );
+    world.schedule_fault(release_us, FailureEvent::Unsqueeze(last_hop));
+    (world, server, client)
+}
+
+fn abr_config_for(mode: AbrMode) -> SessionEngineConfig {
+    SessionEngineConfig {
+        admission: None,
+        tick_us: 250_000,
+        max_recompositions: 8,
+        abr: Some(AbrConfig::with_mode(mode)),
+        ..SessionEngineConfig::default()
+    }
+}
+
+/// The PR's robustness headline in miniature: a squeeze window that
+/// outlasts the startup buffer starves a static ladder, while the BOLA
+/// controller down-switches mid-stream, keeps playing, and never needs
+/// a re-composition (the squeeze keeps hard liveness).
+#[test]
+fn bola_rides_out_the_squeeze_where_the_static_ladder_starves() {
+    let formats = FormatRegistry::with_builtins();
+    let run = |mode: AbrMode| {
+        let (mut world, server, client) = squeezed_chain(&formats, 990, 1_000_000, 11_000_000);
+        let requests: Vec<SessionRequest> = (0..3)
+            .map(|_| session(server, client, 0, 13_000_000))
+            .collect();
+        run_sessions(
+            &mut world,
+            &requests,
+            &abr_config_for(mode),
+            &qosc_telemetry::NoopSink,
+        )
+    };
+
+    let static_report = run(AbrMode::StaticLadder);
+    let bola_report = run(AbrMode::Bola);
+
+    assert!(static_report.counters.partitions_exactly());
+    assert!(bola_report.counters.partitions_exactly());
+    assert!(
+        static_report.rebuffer_us() > 0,
+        "a 10s squeeze against a 4s buffer must stall the static ladder"
+    );
+    assert!(
+        bola_report.rebuffer_us() < static_report.rebuffer_us(),
+        "BOLA must stall strictly less than static: {} vs {}",
+        bola_report.rebuffer_us(),
+        static_report.rebuffer_us()
+    );
+    assert!(
+        bola_report.switches() > 0,
+        "BOLA must commit at least one mid-stream switch"
+    );
+    // A squeeze never fails hard liveness, so neither controller
+    // consumes re-composition budget — switches are make-before-break.
+    assert_eq!(static_report.recompositions(), 0);
+    assert_eq!(bola_report.recompositions(), 0);
+    for (i, o) in bola_report.outcomes.iter().enumerate() {
+        assert!(
+            o.buffer_peak_us <= AbrConfig::default().buffer_capacity_us,
+            "session {i}: buffer peak above capacity"
+        );
+    }
+}
+
+/// `abr: None` is the PR 6 engine, bit for bit: every buffer-era
+/// outcome field is zero, and the integer decision fields (close
+/// reasons, recompositions, rung history, lit/dark split) match a
+/// reactive-mode run on the same world exactly — the buffer is
+/// observational on the reactive path and cannot perturb decisions.
+#[test]
+fn controller_off_matches_the_reactive_decision_path() {
+    let formats = FormatRegistry::with_builtins();
+    let run = |abr: Option<AbrConfig>| {
+        let (mut world, server, client) = squeezed_chain(&formats, 950, 1_000_000, 2_000_000);
+        let requests: Vec<SessionRequest> = (0..4)
+            .map(|_| session(server, client, 0, 3_000_000))
+            .collect();
+        let config = SessionEngineConfig {
+            admission: None,
+            tick_us: 250_000,
+            max_recompositions: 8,
+            abr,
+            ..SessionEngineConfig::default()
+        };
+        run_sessions(&mut world, &requests, &config, &qosc_telemetry::NoopSink)
+    };
+
+    let off = run(None);
+    let reactive = run(Some(AbrConfig::with_mode(AbrMode::Reactive)));
+
+    for (i, o) in off.outcomes.iter().enumerate() {
+        assert_eq!(o.rebuffer_us, 0, "session {i}: rebuffer without a buffer");
+        assert_eq!(o.rebuffer_events, 0);
+        assert_eq!(o.switches, 0);
+        assert_eq!(o.buffer_peak_us, 0);
+    }
+    assert_eq!(off.outcomes.len(), reactive.outcomes.len());
+    for (i, (a, b)) in off.outcomes.iter().zip(&reactive.outcomes).enumerate() {
+        assert_eq!(a.close, b.close, "session {i}: close reason diverged");
+        assert_eq!(a.closed_us, b.closed_us, "session {i}: close time diverged");
+        assert_eq!(a.recompositions, b.recompositions, "session {i}");
+        assert_eq!(a.rung_history, b.rung_history, "session {i}");
+        assert_eq!(a.lit_us, b.lit_us, "session {i}: lit time diverged");
+        assert_eq!(a.dark_us, b.dark_us, "session {i}: dark time diverged");
+        assert_eq!(a.epochs, b.epochs, "session {i}: epoch count diverged");
+        assert_eq!(a.attempts, b.attempts, "session {i}: attempts diverged");
+        // Reactive mode never commits controller switches either.
+        assert_eq!(b.switches, 0, "session {i}: reactive committed a switch");
+    }
+    assert_eq!(off.counters, reactive.counters);
+    assert_eq!(off.end_us, reactive.end_us);
 }
