@@ -159,6 +159,7 @@ fn engine_config(mode: AbrMode, workers: usize) -> SessionEngineConfig {
         horizon_us: Some(HORIZON_US),
         session_spans: true,
         abr: Some(abr_config(mode)),
+        sla: None,
     }
 }
 

@@ -115,6 +115,7 @@ fn engine_config(workers: usize) -> SessionEngineConfig {
         horizon_us: Some(HORIZON_US),
         session_spans: true,
         abr: None,
+        sla: None,
     }
 }
 

@@ -151,6 +151,7 @@ pub fn run_algorithm(
         profile: &profile,
         budget: scenario.profiles.user.budget_or_infinite(),
         optimizer: OptimizeOptions::default(),
+        penalties: &[],
     };
     let result: Option<BaselineResult> = match algorithm {
         Algorithm::Exhaustive => {

@@ -206,6 +206,7 @@ mod tests {
             profile: &profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         };
         let exact = exhaustive_optimum(&ctx, ExhaustiveOptions::default())
             .unwrap()
@@ -235,6 +236,7 @@ mod tests {
             profile: &profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         };
         let err = exhaustive_optimum(
             &ctx,

@@ -154,6 +154,7 @@ mod tests {
             profile: &profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         };
         let a = random_walk(&ctx, RandomWalkOptions::default())
             .unwrap()
@@ -176,6 +177,7 @@ mod tests {
             profile: &profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         };
         let mut seen = std::collections::BTreeSet::new();
         for seed in 0..16 {

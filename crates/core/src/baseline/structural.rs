@@ -283,6 +283,7 @@ mod tests {
             profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         }
     }
 

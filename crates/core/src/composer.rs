@@ -9,7 +9,7 @@
 
 use crate::graph::{build, AdaptationGraph, BuildInput, GraphStore};
 use crate::plan::AdaptationPlan;
-use crate::select::{select_chain, SelectOptions, SelectionOutcome};
+use crate::select::{select_chain_with_penalties, SelectOptions, SelectionOutcome};
 use crate::Result;
 use qosc_media::FormatRegistry;
 use qosc_netsim::{Network, NodeId};
@@ -82,7 +82,17 @@ impl Composer<'_> {
 
         let satisfaction = profiles.effective_satisfaction();
         let budget = profiles.user.budget_or_infinite();
-        let selection = select_chain(&graph, self.formats, &satisfaction, budget, options)?;
+        // Probation penalties ride in from the registry: empty (and
+        // bit-identical to the penalty-free path) unless grey-failure
+        // detection has probated a service.
+        let selection = select_chain_with_penalties(
+            &graph,
+            self.formats,
+            &satisfaction,
+            budget,
+            options,
+            self.services.selection_penalties(),
+        )?;
         let plan = match &selection.chain {
             Some(chain) => Some(AdaptationPlan::from_chain(&graph, self.formats, chain)?),
             None => None,
@@ -125,7 +135,14 @@ impl Composer<'_> {
 
         let satisfaction = profiles.effective_satisfaction();
         let budget = profiles.user.budget_or_infinite();
-        let selection = select_chain(&graph, self.formats, &satisfaction, budget, options)?;
+        let selection = select_chain_with_penalties(
+            &graph,
+            self.formats,
+            &satisfaction,
+            budget,
+            options,
+            self.services.selection_penalties(),
+        )?;
         let plan = match &selection.chain {
             Some(chain) => Some(AdaptationPlan::from_chain(&graph, self.formats, chain)?),
             None => None,

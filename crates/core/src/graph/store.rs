@@ -612,7 +612,14 @@ fn plan_delta(
             | RegistryEvent::Expired(id)
             | RegistryEvent::Deregistered(id)
             | RegistryEvent::Quarantined(id)
-            | RegistryEvent::Reinstated(id) => *id,
+            | RegistryEvent::Reinstated(id)
+            // Probation moves selection *penalties*, not graph
+            // structure: the availability re-stamp below confirms the
+            // vertex set is unchanged, while the epoch bump that
+            // carried this event already forces cached selections to
+            // recompute against the new penalty view.
+            | RegistryEvent::Probated(id)
+            | RegistryEvent::ProbationCleared(id) => *id,
         };
         if !changed.contains(&id) {
             changed.push(id);

@@ -74,15 +74,15 @@ pub use graph::{
 };
 pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
-    arena_reuse_total, select_chain, SelectOptions, SelectedChain, SelectionOutcome,
-    SelectionTrace, TieBreak,
+    arena_reuse_total, select_chain, select_chain_with_penalties, SelectOptions, SelectedChain,
+    SelectionOutcome, SelectionTrace, TieBreak,
 };
 pub use session::{
     run_sessions, serve_batch_resilient_sessions, serve_batch_resilient_sessions_traced,
     serve_batch_sessions, serve_batch_sessions_traced, serve_batch_with_admission_sessions,
     serve_batch_with_admission_sessions_traced, AbrConfig, AbrMode, BolaController, BufferAdvance,
     CloseReason, PlayoutBuffer, SessionCounters, SessionEngineConfig, SessionOutcome,
-    SessionRequest, SessionWorld, SessionsReport, StaticWorld,
+    SessionRequest, SessionWorld, SessionsReport, SlaConfig, SlaMode, StaticWorld,
 };
 
 /// Errors produced by this crate.

@@ -385,13 +385,40 @@ pub fn select_chain(
     budget: f64,
     options: &SelectOptions,
 ) -> Result<SelectionOutcome> {
+    select_chain_with_penalties(graph, formats, profile, budget, options, &[])
+}
+
+/// [`select_chain`] with probation penalties: each `(service,
+/// effective_ppm)` pair scales that service's satisfaction score by
+/// `effective_ppm / 1e6` during label extension, steering selection
+/// around grey-failing services without excluding them. The slice must
+/// be sorted by [`ServiceId`]
+/// ([`ServiceRegistry::selection_penalties`](qosc_services::ServiceRegistry::selection_penalties)
+/// maintains that invariant). An empty slice is bit-identical to
+/// [`select_chain`].
+pub fn select_chain_with_penalties(
+    graph: &AdaptationGraph,
+    formats: &FormatRegistry,
+    profile: &SatisfactionProfile,
+    budget: f64,
+    options: &SelectOptions,
+    penalties: &[(qosc_services::ServiceId, u64)],
+) -> Result<SelectionOutcome> {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut scratch) => {
             if scratch.requests > 0 {
                 ARENA_REUSES.fetch_add(1, Ordering::Relaxed);
             }
             scratch.requests += 1;
-            select_with_scratch(graph, formats, profile, budget, options, &mut scratch)
+            select_with_scratch(
+                graph,
+                formats,
+                profile,
+                budget,
+                options,
+                penalties,
+                &mut scratch,
+            )
         }
         // Re-entrant call on this thread (defensive): run on a fresh,
         // throwaway arena rather than aliasing the live one.
@@ -401,6 +428,7 @@ pub fn select_chain(
             profile,
             budget,
             options,
+            penalties,
             &mut SelectScratch::new(),
         ),
     })
@@ -412,6 +440,7 @@ fn select_with_scratch(
     profile: &SatisfactionProfile,
     budget: f64,
     options: &SelectOptions,
+    penalties: &[(qosc_services::ServiceId, u64)],
     scratch: &mut SelectScratch,
 ) -> Result<SelectionOutcome> {
     let context = ExtendContext {
@@ -420,6 +449,7 @@ fn select_with_scratch(
         profile,
         budget,
         optimizer: options.optimizer,
+        penalties,
     };
 
     let (sender, receiver) = match (graph.sender(), graph.receiver()) {

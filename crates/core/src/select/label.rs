@@ -10,6 +10,7 @@ use crate::graph::{AdaptationGraph, EdgeId, VertexId, VertexKind};
 use crate::Result;
 use qosc_media::{AxisDomain, DomainVector, FormatId, FormatRegistry, ParamVector};
 use qosc_satisfaction::{optimize, OptimizeOptions, Problem, SatisfactionProfile};
+use qosc_services::ServiceId;
 
 /// A search state: a vertex committed to one output format.
 ///
@@ -60,6 +61,13 @@ pub struct ExtendContext<'a> {
     pub budget: f64,
     /// Optimizer tuning.
     pub optimizer: OptimizeOptions,
+    /// Probation penalties, sorted by [`ServiceId`]: effective-QoS
+    /// ratios (PPM, 1_000_000 = unpenalized) that scale a probated
+    /// service's satisfaction score. Deprioritizes grey-failing
+    /// services in selection without de-advertising them; an empty
+    /// slice (the healthy path) leaves every score bit-identical to
+    /// the penalty-free algorithm.
+    pub penalties: &'a [(ServiceId, u64)],
 }
 
 impl ExtendContext<'_> {
@@ -161,9 +169,22 @@ impl ExtendContext<'_> {
                 None => continue, // infeasible under Equa. 2 / budget
             };
 
+            // Probation penalty: a probated service's score shrinks by
+            // its observed effective-QoS ratio, so selection routes
+            // around grey failures whenever an alternative chain
+            // exists — but can still use the probated service when it
+            // is the only path (soft demotion, not exclusion).
+            let mut scored = optimum.satisfaction;
+            if !self.penalties.is_empty() {
+                if let VertexKind::Transcoder(id) = target.kind {
+                    if let Ok(slot) = self.penalties.binary_search_by_key(&id, |&(s, _)| s) {
+                        scored *= self.penalties[slot].1 as f64 / 1e6;
+                    }
+                }
+            }
             // Quality monotonicity: a trans-coding service can only
             // reduce the quality (Section 4.4).
-            let satisfaction = optimum.satisfaction.min(parent.satisfaction);
+            let satisfaction = scored.min(parent.satisfaction);
             let candidate = Label {
                 state: StateKey {
                     vertex: edge.to,
@@ -301,6 +322,7 @@ mod tests {
             profile: &f.profile,
             budget: f64::INFINITY,
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         }
     }
 

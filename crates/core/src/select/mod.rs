@@ -7,8 +7,8 @@ pub mod trace;
 
 pub use alternates::{alternates, Alternate};
 pub use greedy::{
-    arena_reuse_total, select_chain, CandidateStore, SelectFailure, SelectOptions,
-    SelectionOutcome, TieBreak,
+    arena_reuse_total, select_chain, select_chain_with_penalties, CandidateStore, SelectFailure,
+    SelectOptions, SelectionOutcome, TieBreak,
 };
 pub use label::{ExtendContext, Label, StateKey};
 pub use trace::{SelectionTrace, TraceRow};

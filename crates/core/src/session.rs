@@ -60,7 +60,7 @@ use crate::plan::AdaptationPlan;
 use crate::AdmissionPlan;
 use qosc_media::FormatRegistry;
 use qosc_netsim::Network;
-use qosc_services::ServiceRegistry;
+use qosc_services::{QosEstimatorConfig, QosObservation, ServiceId, ServiceRegistry};
 use qosc_telemetry::{MetricsRegistry, TelemetrySink};
 
 pub use abr::{AbrConfig, AbrMode, BolaController, BufferAdvance, PlayoutBuffer};
@@ -158,6 +158,51 @@ pub trait SessionWorld {
         abr::PPM
     }
 
+    /// Observed per-service QoS for a *currently advertised* service,
+    /// normalised against what the service advertises
+    /// ([`qosc_services::QOS_PPM`] on both axes = delivering exactly as
+    /// advertised). Grey faults — a service that is alive, advertised
+    /// and routable but quietly under-delivering — surface here and
+    /// nowhere else. The default world has no observation channel.
+    fn observe_service(&self, service: ServiceId) -> Option<QosObservation> {
+        let _ = service;
+        None
+    }
+
+    /// End-to-end observed processing latency for `plan`'s service
+    /// stages, virtual microseconds. Lag-style grey faults inflate this
+    /// while [`delivery_ppm`](Self::delivery_ppm) stays nominal. The
+    /// default world processes instantly.
+    fn observed_latency_us(&self, plan: &AdaptationPlan) -> u64 {
+        let _ = plan;
+        0
+    }
+
+    /// Soft-demote `service`: keep it advertised but penalise it in
+    /// selection with the observed throughput ratio (`observed_ppm`,
+    /// [`qosc_services::QOS_PPM`] = as advertised). Returns whether the
+    /// demotion took effect. The default world has no registry to
+    /// demote in.
+    fn probate_service(&mut self, service: ServiceId, observed_ppm: u64, now_us: u64) -> bool {
+        let _ = (service, observed_ppm, now_us);
+        false
+    }
+
+    /// Report a healthy observation for a probated `service` (half-open
+    /// probing). Returns `true` when this probe *cleared* the
+    /// probation. The default world never probates, so never clears.
+    fn probe_service(&mut self, service: ServiceId, now_us: u64) -> bool {
+        let _ = (service, now_us);
+        false
+    }
+
+    /// Report a hard failure against `service` (plan died with this
+    /// service in it) so the world's circuit breaker can count it.
+    /// No-op on worlds without a breaker.
+    fn report_service_failure(&mut self, service: ServiceId, now_us: u64) {
+        let _ = (service, now_us);
+    }
+
     /// Virtual times of the world's scheduled mutations, indexed by
     /// event id. At equal timestamps world events apply before any
     /// session event (the engine schedules them first).
@@ -191,6 +236,46 @@ impl SessionWorld for StaticWorld<'_> {
             formats: self.formats,
             services: self.services,
             network: self.network,
+        }
+    }
+}
+
+/// How the engine reacts to service-level degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaMode {
+    /// Classic binary circuit breaker: only *hard* failures (a plan
+    /// dying with a service in it) are reported to the world's
+    /// breaker. Grey faults — a service that never hard-fails but
+    /// quietly under-delivers — are invisible in this mode; it exists
+    /// as the baseline the drift-aware mode is measured against.
+    Binary,
+    /// Drift-aware detection: observed-QoS estimators per plan
+    /// service, an SLA watchdog flagging sustained drift below
+    /// `advertised × tolerance`, probation on violation, and proactive
+    /// make-before-break evasion off the sick chain.
+    DriftAware,
+}
+
+/// Grey-failure detection tuning ([`SessionEngineConfig::sla`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SlaConfig {
+    /// Detection mode.
+    pub mode: SlaMode,
+    /// Estimator/watchdog tuning (EWMA shift, quantile window,
+    /// tolerances, dwell).
+    pub estimator: QosEstimatorConfig,
+    /// Minimum virtual microseconds between SLA-triggered evasions per
+    /// session — a proactive re-composition dwell, mirroring the ABR
+    /// switch dwell, so one sustained sag cannot thrash the composer.
+    pub evade_dwell_us: u64,
+}
+
+impl Default for SlaConfig {
+    fn default() -> SlaConfig {
+        SlaConfig {
+            mode: SlaMode::DriftAware,
+            estimator: QosEstimatorConfig::default(),
+            evade_dwell_us: 2_000_000,
         }
     }
 }
@@ -229,6 +314,10 @@ pub struct SessionEngineConfig {
     /// the exact pre-buffer code paths — no buffer state, no extra
     /// accruals — so existing runs stay bitwise identical.
     pub abr: Option<AbrConfig>,
+    /// Grey-failure detection ([`SlaConfig`]). `None` runs the exact
+    /// pre-SLA code paths — no estimators, no watchdog, no probation,
+    /// no failure reporting — so existing runs stay bitwise identical.
+    pub sla: Option<SlaConfig>,
 }
 
 impl Default for SessionEngineConfig {
@@ -241,6 +330,7 @@ impl Default for SessionEngineConfig {
             horizon_us: None,
             session_spans: true,
             abr: None,
+            sla: None,
         }
     }
 }
@@ -299,6 +389,12 @@ pub struct SessionOutcome {
     /// Highest buffer level observed, microseconds of playout (0
     /// without a buffer model).
     pub buffer_peak_us: u64,
+    /// SLA violations the watchdog flagged against this session's plan
+    /// services (0 without SLA detection).
+    pub sla_violations: u32,
+    /// Proactive make-before-break re-compositions committed to evade
+    /// an SLA-violating chain (0 without SLA detection).
+    pub evasions: u32,
 }
 
 impl SessionOutcome {
@@ -414,6 +510,16 @@ impl SessionsReport {
     /// Total controller-committed rung switches across sessions.
     pub fn switches(&self) -> u64 {
         self.outcomes.iter().map(|o| o.switches as u64).sum()
+    }
+
+    /// Total SLA violations flagged across sessions.
+    pub fn sla_violations(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.sla_violations as u64).sum()
+    }
+
+    /// Total SLA-triggered evasions committed across sessions.
+    pub fn evasions(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.evasions as u64).sum()
     }
 
     /// Stalled time over total playback time (stalled + active), the
@@ -533,6 +639,7 @@ fn batch_config(
         horizon_us: None,
         session_spans: false,
         abr: None,
+        sla: None,
     }
 }
 

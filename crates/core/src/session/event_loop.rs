@@ -33,6 +33,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use qosc_netsim::{EventQueue, SimTime};
+use qosc_services::{ServiceId, SlaVerdict, SlaWatchdog};
 use qosc_telemetry::{EventKind, RequestTrace, TelemetrySink, TraceState, ROOT_SPAN};
 
 use crate::admission::{AdmissionDecision, AdmissionQueue, ArrivalMeta};
@@ -46,7 +47,7 @@ use crate::CoreError;
 use super::abr::{AbrMode, BolaController, PlayoutBuffer};
 use super::{
     CloseReason, SessionCounters, SessionEngineConfig, SessionOutcome, SessionRequest,
-    SessionWorld, SessionsReport,
+    SessionWorld, SessionsReport, SlaMode,
 };
 
 /// How compositions run.
@@ -118,6 +119,12 @@ enum JobKind {
     /// session keeps streaming on its old plan until the new one
     /// serves; a failed or stale switch changes nothing.
     Switch,
+    /// SLA-triggered proactive re-composition away from a chain with a
+    /// flagged (grey-failing) service, make-before-break like `Switch`:
+    /// the session keeps streaming on its sagging plan until the
+    /// replacement serves; a failed, stale, or identical result changes
+    /// nothing.
+    Evade,
 }
 
 /// Buffer-aware state attached to a streaming session when
@@ -161,6 +168,15 @@ struct Sess {
     /// (`config.abr` set) and the session has started streaming; the
     /// `None` path takes exactly the pre-buffer code paths.
     abr: Option<AbrSess>,
+    /// Bumps at every plan adoption; guards in-flight evasions the way
+    /// `AbrSess::gen` guards switches (evasions also run without a
+    /// buffer model, so they need their own generation counter).
+    plan_gen: u32,
+    /// An evasion composition is in flight.
+    evading: bool,
+    /// Virtual time of the last evasion issued; enforces
+    /// [`SlaConfig::evade_dwell_us`](super::SlaConfig::evade_dwell_us).
+    last_evade_us: Option<u64>,
 }
 
 enum JobOut {
@@ -204,6 +220,10 @@ struct Loop<'a, 'w, W: SessionWorld, S: TelemetrySink> {
     /// A world event fired at the current instant; live plans need a
     /// liveness check before time moves on.
     world_changed: bool,
+    /// Grey-failure detector, present only in
+    /// [`SlaMode::DriftAware`]; `None` takes the exact pre-SLA code
+    /// paths.
+    watchdog: Option<SlaWatchdog>,
 }
 
 pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
@@ -243,6 +263,9 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
                 last_accrual_us: 0,
                 outcome: SessionOutcome::default(),
                 abr: None,
+                plan_gen: 0,
+                evading: false,
+                last_evade_us: None,
             })
             .collect(),
         counters: SessionCounters {
@@ -254,6 +277,9 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
         open_decisions: (0..n).map(|_| None).collect(),
         jobs: Vec::new(),
         world_changed: false,
+        watchdog: config.sla.and_then(|sla| {
+            (sla.mode == SlaMode::DriftAware).then(|| SlaWatchdog::new(sla.estimator))
+        }),
     };
 
     // Shared per-run graph store: the world snapshot only moves at
@@ -543,6 +569,7 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
             if !self.plan_ok(i) {
                 self.begin_recompose(t, i);
             } else {
+                self.sla_tick(t, i);
                 self.maybe_switch(t, i);
             }
         }
@@ -626,6 +653,12 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         if cfg.mode != AbrMode::Bola {
             return;
         }
+        if self.sessions[i].evading {
+            // An SLA evasion is already composing this session a new
+            // chain; a concurrent controller switch would be stale on
+            // arrival anyway.
+            return;
+        }
         let rung = self.sessions[i].rung;
         let Some(abr) = self.sessions[i].abr.as_mut() else {
             return;
@@ -646,10 +679,185 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         });
     }
 
+    /// Drift-aware SLA pass for one streaming session's tick: sample
+    /// observed QoS for every service in its plan, feed the watchdog,
+    /// probate on violation, probe probated services back to health,
+    /// and evade the chain while any of its services stays flagged.
+    fn sla_tick(&mut self, t: u64, i: usize) {
+        let Some(watchdog) = self.watchdog.as_mut() else {
+            return; // sla: None, or Binary mode — no estimators
+        };
+        let Some(plan) = self.sessions[i].plan.as_ref() else {
+            return;
+        };
+        let services: Vec<ServiceId> = plan.steps.iter().filter_map(|s| s.service).collect();
+        let mut violations: Vec<(ServiceId, u64)> = Vec::new();
+        let mut flagged_in_plan = false;
+        for id in services {
+            // Worlds only report on *current* incarnations; a stale id
+            // (the plan outlived a crash/revive) yields no sample.
+            let Some(obs) = self.world.observe_service(id) else {
+                continue;
+            };
+            match watchdog.observe(id, obs, t) {
+                SlaVerdict::Violation { observed_ppm } => {
+                    violations.push((id, observed_ppm));
+                    flagged_in_plan = true;
+                }
+                SlaVerdict::Degraded => {
+                    if watchdog.is_flagged(id) {
+                        flagged_in_plan = true;
+                    }
+                }
+                SlaVerdict::Healthy => {
+                    // Half-open probing: a flagged service delivering a
+                    // healthy sample earns one probe credit; enough
+                    // distinct-instant credits clear its probation, and
+                    // the estimator restarts cold for the next episode.
+                    if watchdog.is_flagged(id) && self.world.probe_service(id, t) {
+                        watchdog.clear(id);
+                    }
+                }
+            }
+        }
+        for (id, observed_ppm) in violations {
+            self.world.probate_service(id, observed_ppm, t);
+            let sess = &mut self.sessions[i];
+            sess.outcome.sla_violations = sess.outcome.sla_violations.saturating_add(1);
+            if self.config.session_spans {
+                if let Some(state) = sess.trace {
+                    let mut trace = RequestTrace::resume(self.sink, state);
+                    trace.advance_to(t);
+                    trace.emit(
+                        ROOT_SPAN,
+                        EventKind::SlaViolation {
+                            service: id.index() as u32,
+                            observed_ppm,
+                        },
+                    );
+                    sess.trace = Some(trace.save());
+                }
+            }
+        }
+        if flagged_in_plan {
+            self.maybe_evade(t, i);
+        }
+    }
+
+    /// Issue a make-before-break evasion off a flagged chain, rate
+    /// limited by the evade dwell. The composer sees the probated
+    /// service's penalty and steers the new chain around it when an
+    /// alternative exists.
+    fn maybe_evade(&mut self, t: u64, i: usize) {
+        let Some(sla) = self.config.sla else {
+            return;
+        };
+        let sess = &self.sessions[i];
+        if sess.evading {
+            return;
+        }
+        if sess.abr.as_ref().map(|a| a.switching).unwrap_or(false) {
+            return; // let the in-flight switch land first
+        }
+        if let Some(last) = sess.last_evade_us {
+            if t.saturating_sub(last) < sla.evade_dwell_us {
+                return;
+            }
+        }
+        // The dwell clock starts at *issuance*, not adoption: when the
+        // penalized composer still picks the same chain (no
+        // alternative exists) the session must not re-compose every
+        // tick.
+        let start_rung = sess.rung;
+        let gen = sess.plan_gen;
+        let sess = &mut self.sessions[i];
+        sess.evading = true;
+        sess.last_evade_us = Some(t);
+        self.jobs.push(Job {
+            session: i,
+            start_rung,
+            kind: JobKind::Evade,
+            gen,
+        });
+    }
+
+    /// An evasion composition came back: adopt it only if the plan
+    /// generation still matches, the session still streams, and the
+    /// new chain actually differs (different services or hosts).
+    /// Anything else is discarded — the session never goes dark over
+    /// an evasion.
+    fn apply_evade(&mut self, t: u64, job: Job, outcome: RequestOutcome) {
+        let i = job.session;
+        self.sessions[i].evading = false;
+        if self.sessions[i].plan_gen != job.gen || self.sessions[i].phase != Phase::Active {
+            return;
+        }
+        let Some(new_plan) = outcome.plan.as_ref() else {
+            return; // composed nothing: keep streaming on the old plan
+        };
+        let same_chain = self.sessions[i]
+            .plan
+            .as_ref()
+            .map(|old| {
+                old.steps.len() == new_plan.steps.len()
+                    && old
+                        .steps
+                        .iter()
+                        .zip(&new_plan.steps)
+                        .all(|(a, b)| a.service == b.service && a.host == b.host)
+            })
+            .unwrap_or(false);
+        if same_chain {
+            return; // no alternative chain exists yet; dwell limits retries
+        }
+        let from = self.sessions[i].rung;
+        let to = outcome.rung.expect("served outcomes carry a rung");
+        // Close the interval on the sagging chain, then go live on the
+        // replacement without a dark gap (make-before-break).
+        self.accrue(i, t);
+        self.adopt_plan(t, i, &outcome);
+        if self.sessions[i].abr.is_some() {
+            self.resample_fill(i);
+        }
+        let sess = &mut self.sessions[i];
+        sess.outcome.evasions = sess.outcome.evasions.saturating_add(1);
+        let buffer_us = sess.abr.as_ref().map(|a| a.buffer.level_us()).unwrap_or(0);
+        if self.config.session_spans {
+            if let Some(state) = sess.trace {
+                let mut trace = RequestTrace::resume(self.sink, state);
+                trace.advance_to(t);
+                trace.emit(
+                    ROOT_SPAN,
+                    EventKind::SlaEvaded {
+                        from: from.label(),
+                        to: to.label(),
+                        buffer_us,
+                    },
+                );
+                sess.trace = Some(trace.save());
+            }
+        }
+    }
+
     /// The session's plan died at `t`: go dark and ask for another
     /// composition (through admission when configured).
     fn begin_recompose(&mut self, t: u64, i: usize) {
         self.accrue(i, t);
+        // With SLA detection on (either mode), a dying plan counts as a
+        // hard failure against every service in it — the world's
+        // circuit breaker attributes bluntly, which is exactly the
+        // binary baseline's behaviour. The `sla: None` path reports
+        // nothing, preserving the pre-SLA code paths bit for bit.
+        if self.config.sla.is_some() {
+            let services: Vec<ServiceId> = self.sessions[i]
+                .plan
+                .as_ref()
+                .map(|p| p.steps.iter().filter_map(|s| s.service).collect())
+                .unwrap_or_default();
+            for id in services {
+                self.world.report_service_failure(id, t);
+            }
+        }
         {
             let sess = &mut self.sessions[i];
             sess.plan = None;
@@ -874,13 +1082,17 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         }
         let Some((out, state)) = result else {
             // The worker thread died outside composition; account for
-            // the loss the way the batch paths do. A lost *switch*
-            // changes nothing — make-before-break keeps the session on
-            // its current plan.
+            // the loss the way the batch paths do. A lost *switch* or
+            // *evasion* changes nothing — make-before-break keeps the
+            // session on its current plan.
             if job.kind == JobKind::Switch {
                 if let Some(abr) = self.sessions[i].abr.as_mut() {
                     abr.switching = false;
                 }
+                return;
+            }
+            if job.kind == JobKind::Evade {
+                self.sessions[i].evading = false;
                 return;
             }
             if cached {
@@ -935,6 +1147,10 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
                 let served = outcome.plan.is_some();
                 if job.kind == JobKind::Switch {
                     self.apply_switch(t, job, outcome);
+                    return;
+                }
+                if job.kind == JobKind::Evade {
+                    self.apply_evade(t, job, outcome);
                     return;
                 }
                 if job.kind == JobKind::Recompose {
@@ -1058,6 +1274,7 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         sess.satisfaction = outcome.satisfaction;
         sess.outcome.final_rung = Some(rung);
         sess.outcome.rung_history.push((t, rung));
+        sess.plan_gen = sess.plan_gen.wrapping_add(1);
         if let Some(abr) = sess.abr.as_mut() {
             abr.gen = abr.gen.wrapping_add(1);
         }

@@ -60,6 +60,26 @@ pub struct ChaosModel {
     /// Member downtime range, microseconds, before the process revives
     /// and re-registers.
     pub storm_downtime_us: (u64, u64),
+    /// *Grey* latency-sag windows per minute at intensity 1.0: the
+    /// member stays alive and keeps renewing its lease, but serves at a
+    /// multiple of its advertised latency. Defaults to 0.0 so plans
+    /// generated before grey faults existed replay bit-identically.
+    pub lag_rate_per_min: f64,
+    /// Latency multiplication range during a lag window, permille
+    /// (1500 = 1.5× advertised latency).
+    pub lag_factor_permille: (u16, u16),
+    /// Lag window length range, microseconds.
+    pub lag_window_us: (u64, u64),
+    /// *Grey* throughput-sag windows per minute at intensity 1.0: the
+    /// member stays alive but delivers a fraction of its advertised
+    /// throughput — the fault that is invisible to liveness checks.
+    /// Defaults to 0.0 (see `lag_rate_per_min`).
+    pub sag_rate_per_min: f64,
+    /// Delivered-throughput range during a sag window, permille of
+    /// advertised (300 = the service delivers 30%).
+    pub sag_throughput_permille: (u16, u16),
+    /// Sag window length range, microseconds.
+    pub sag_window_us: (u64, u64),
     /// Nodes that must never crash (endpoints). Their links can still
     /// flap or be squeezed — a degraded path is a composition problem,
     /// a missing endpoint is not.
@@ -81,6 +101,12 @@ impl Default for ChaosModel {
             storm_rate_per_min: 2.0,
             storm_size: (1, 3),
             storm_downtime_us: (3_000_000, 9_000_000),
+            lag_rate_per_min: 0.0,
+            lag_factor_permille: (1_500, 4_000),
+            lag_window_us: (3_000_000, 8_000_000),
+            sag_rate_per_min: 0.0,
+            sag_throughput_permille: (200, 600),
+            sag_window_us: (3_000_000, 8_000_000),
             protect: Vec::new(),
         }
     }
@@ -95,6 +121,28 @@ pub enum ChaosAction {
     CrashMember(usize),
     /// Member `member_index` comes back and re-registers.
     ReviveMember(usize),
+    /// Grey fault: the member starts serving at `factor_permille` of
+    /// its advertised latency (1500 = 1.5× slower) while staying alive
+    /// and routable.
+    LagMember {
+        /// Index into the caller's member list.
+        index: usize,
+        /// Latency multiplier, permille of advertised.
+        factor_permille: u16,
+    },
+    /// The lag window ends; the member serves at advertised latency.
+    UnlagMember(usize),
+    /// Grey fault: the member delivers only `throughput_permille` of
+    /// its advertised throughput while staying alive and routable —
+    /// `plan_alive`/`plan_routable` keep answering `true`.
+    SagMember {
+        /// Index into the caller's member list.
+        index: usize,
+        /// Delivered throughput, permille of advertised.
+        throughput_permille: u16,
+    },
+    /// The sag window ends; the member delivers full throughput.
+    UnsagMember(usize),
 }
 
 /// Event counts of a generated plan, for scorecards and logs.
@@ -110,6 +158,10 @@ pub struct ChaosSummary {
     pub squeezes: usize,
     /// Lease-expiry storms.
     pub lease_storms: usize,
+    /// Grey latency-sag windows.
+    pub lag_windows: usize,
+    /// Grey throughput-sag windows.
+    pub sag_windows: usize,
     /// Total network fault events in the schedule.
     pub fault_events: usize,
     /// Total discovery actions.
@@ -237,6 +289,58 @@ impl ChaosPlan {
                 summary.lease_storms += 1;
             }
         }
+
+        // Phase 5: grey latency sags. A member keeps renewing its lease
+        // and answering liveness, but serves at a multiple of its
+        // advertised latency for a window — paired Lag/Unlag, the
+        // Squeeze/Unsqueeze pattern on the discovery plane. Both grey
+        // phases sit *after* the original four with default rate 0.0,
+        // so a pre-grey `(seed, intensity)` pair draws the exact same
+        // value sequence it always did.
+        if member_count > 0 {
+            for _ in 0..scaled_count(model.lag_rate_per_min, minutes, intensity) {
+                let index = rng.random_range(0..member_count);
+                let start = rng.random_range(0..horizon.max(1));
+                let window = draw_range_u64(&mut rng, model.lag_window_us);
+                let factor_permille = rng
+                    .random_range(model.lag_factor_permille.0..=model.lag_factor_permille.1.max(1))
+                    .max(1_000);
+                actions.push((
+                    at(start),
+                    ChaosAction::LagMember {
+                        index,
+                        factor_permille,
+                    },
+                ));
+                actions.push((at(start + window), ChaosAction::UnlagMember(index)));
+                summary.lag_windows += 1;
+            }
+        }
+
+        // Phase 6: grey throughput sags — the headline grey failure.
+        // The member delivers a fraction of its advertised throughput
+        // while `plan_alive`/`plan_routable` keep saying yes.
+        if member_count > 0 {
+            for _ in 0..scaled_count(model.sag_rate_per_min, minutes, intensity) {
+                let index = rng.random_range(0..member_count);
+                let start = rng.random_range(0..horizon.max(1));
+                let window = draw_range_u64(&mut rng, model.sag_window_us);
+                let throughput_permille = rng
+                    .random_range(
+                        model.sag_throughput_permille.0..=model.sag_throughput_permille.1.max(1),
+                    )
+                    .min(1_000);
+                actions.push((
+                    at(start),
+                    ChaosAction::SagMember {
+                        index,
+                        throughput_permille,
+                    },
+                ));
+                actions.push((at(start + window), ChaosAction::UnsagMember(index)));
+                summary.sag_windows += 1;
+            }
+        }
         actions.sort_by_key(|&(t, _)| t);
 
         summary.fault_events = faults.events().len();
@@ -292,6 +396,14 @@ impl ChaosPlan {
                         }
                     }
                 }
+                // Grey faults never touch the discovery plane — the
+                // whole point is that leases keep renewing. They are
+                // interpreted by `ChaosWorld` (delivery/latency models)
+                // and skipped in this registry-only replay.
+                ChaosAction::LagMember { .. }
+                | ChaosAction::UnlagMember(_)
+                | ChaosAction::SagMember { .. }
+                | ChaosAction::UnsagMember(_) => {}
             }
         }
         applied
@@ -392,6 +504,110 @@ mod tests {
         for &(t, _) in plan.actions() {
             assert!(t <= model.total_duration);
         }
+    }
+
+    #[test]
+    fn grey_phases_default_off_and_leave_existing_plans_bit_identical() {
+        let (topo, _, _) = star_topology();
+        let baseline = ChaosModel::default();
+        assert_eq!(baseline.lag_rate_per_min, 0.0);
+        assert_eq!(baseline.sag_rate_per_min, 0.0);
+        let grey = ChaosModel {
+            lag_rate_per_min: 3.0,
+            sag_rate_per_min: 3.0,
+            ..ChaosModel::default()
+        };
+        let a = ChaosPlan::generate(&topo, 4, &baseline, 42, 1.0);
+        let b = ChaosPlan::generate(&topo, 4, &grey, 42, 1.0);
+        // Grey phases draw strictly after the original four, so the
+        // fault schedule — and every pre-grey action — is untouched.
+        assert_eq!(a.schedule().events(), b.schedule().events());
+        assert!(a.summary().lag_windows == 0 && a.summary().sag_windows == 0);
+        assert!(b.summary().lag_windows > 0 && b.summary().sag_windows > 0);
+        let pre_grey = |plan: &ChaosPlan| {
+            let mut v: Vec<(SimTime, ChaosAction)> = plan
+                .actions()
+                .iter()
+                .copied()
+                .filter(|(_, act)| {
+                    matches!(
+                        act,
+                        ChaosAction::CrashMember(_) | ChaosAction::ReviveMember(_)
+                    )
+                })
+                .collect();
+            v.sort_by_key(|&(t, _)| t);
+            v
+        };
+        assert_eq!(pre_grey(&a), pre_grey(&b));
+    }
+
+    #[test]
+    fn grey_windows_are_seeded_and_intensity_scaled() {
+        let (topo, _, _) = star_topology();
+        let model = ChaosModel {
+            sag_rate_per_min: 6.0,
+            lag_rate_per_min: 4.0,
+            ..ChaosModel::default()
+        };
+        let a = ChaosPlan::generate(&topo, 6, &model, 9, 1.0);
+        let b = ChaosPlan::generate(&topo, 6, &model, 9, 1.0);
+        assert_eq!(a.actions(), b.actions(), "same seed, same grey windows");
+        let low = ChaosPlan::generate(&topo, 6, &model, 9, 0.25).summary();
+        let high = a.summary();
+        assert!(high.sag_windows > low.sag_windows);
+        assert!(high.lag_windows >= low.lag_windows);
+        // Every window is paired and bounded.
+        let mut open_sags = 0i64;
+        for &(t, action) in a.actions() {
+            assert!(t <= model.total_duration);
+            match action {
+                ChaosAction::SagMember {
+                    throughput_permille,
+                    ..
+                } => {
+                    assert!((1..=1_000).contains(&throughput_permille));
+                    open_sags += 1;
+                }
+                ChaosAction::UnsagMember(_) => open_sags -= 1,
+                ChaosAction::LagMember {
+                    factor_permille, ..
+                } => assert!(factor_permille >= 1_000, "lag means slower, never faster"),
+                _ => {}
+            }
+        }
+        assert_eq!(open_sags, 0, "every sag window closes inside the horizon");
+    }
+
+    #[test]
+    fn grey_actions_are_discovery_noops() {
+        let mut topo = Topology::new();
+        let host = topo.add_node(Node::unconstrained("host"));
+        let mut formats = FormatRegistry::new();
+        formats.register_abstract("in", MediaKind::Video);
+        formats.register_abstract("out", MediaKind::Video);
+        let mut registry = ServiceRegistry::new();
+        let mut driver = DiscoveryDriver::new(DiscoveryConfig::default());
+        let spec = ServiceSpec::new(
+            "svc",
+            vec![ConversionSpec::new("in", "out", DomainVector::new())],
+        );
+        let descriptor = TranscoderDescriptor::resolve(&spec, &formats, host).unwrap();
+        let member = driver.join(&mut registry, descriptor, SimTime::ZERO);
+        let model = ChaosModel {
+            crash_rate_per_min: 0.0,
+            flap_rate_per_min: 0.0,
+            squeeze_rate_per_min: 0.0,
+            storm_rate_per_min: 0.0,
+            sag_rate_per_min: 10.0,
+            lag_rate_per_min: 10.0,
+            ..ChaosModel::default()
+        };
+        let plan = ChaosPlan::generate(&topo, 1, &model, 17, 1.0);
+        assert!(plan.summary().sag_windows > 0);
+        let applied = plan.drive_discovery(&mut driver, &mut registry, &[member]);
+        assert_eq!(applied, 0, "grey faults never touch the registry");
+        assert!(driver.is_advertised(&registry, member));
     }
 
     #[test]

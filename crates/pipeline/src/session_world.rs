@@ -29,7 +29,8 @@ use qosc_media::FormatRegistry;
 use qosc_netsim::{NetError, Network, NodeId, SimTime};
 use qosc_profiles::ServiceSpec;
 use qosc_services::{
-    DiscoveryConfig, DiscoveryDriver, MemberId, ServiceError, ServiceRegistry, TranscoderDescriptor,
+    DiscoveryConfig, DiscoveryDriver, MemberId, QosObservation, ServiceError, ServiceId,
+    ServiceRegistry, TranscoderDescriptor, QOS_PPM,
 };
 
 /// Typed construction failure for chaos-world topologies and fleets —
@@ -88,6 +89,28 @@ pub enum WorldOp {
 /// equal virtual times events apply in scheduling order (the engine
 /// preserves insertion order), which is how a node crash keeps its
 /// correlated link faults adjacent.
+/// Per-member grey-fault state: 1000 permille means "as advertised".
+/// Grey faults degrade *behaviour* while leaving every liveness signal
+/// intact, so this state is invisible to `plan_alive`/`plan_routable`
+/// by design — only `delivery_ppm`, `observed_latency_us`, and
+/// `observe_service` see it.
+#[derive(Debug, Clone, Copy)]
+struct GreyState {
+    /// Latency multiplier, permille of advertised (≥ 1000).
+    lag_factor_permille: u16,
+    /// Delivered throughput, permille of advertised (≤ 1000).
+    sag_throughput_permille: u16,
+}
+
+impl Default for GreyState {
+    fn default() -> GreyState {
+        GreyState {
+            lag_factor_permille: 1_000,
+            sag_throughput_permille: 1_000,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub struct ChaosWorld<'a> {
     formats: &'a FormatRegistry,
@@ -95,6 +118,11 @@ pub struct ChaosWorld<'a> {
     network: Network,
     driver: DiscoveryDriver,
     members: Vec<MemberId>,
+    /// Parallel to `members`: the grey-fault state of each instance.
+    grey: Vec<GreyState>,
+    /// Advertised per-stage processing latency, virtual µs — the base
+    /// a lag window multiplies.
+    nominal_latency_us: u64,
     events: Vec<(u64, WorldOp)>,
     times: Vec<u64>,
 }
@@ -112,6 +140,8 @@ impl<'a> ChaosWorld<'a> {
             network,
             driver: DiscoveryDriver::new(discovery),
             members: Vec::new(),
+            grey: Vec::new(),
+            nominal_latency_us: 20_000,
             events: Vec::new(),
             times: Vec::new(),
         }
@@ -125,6 +155,7 @@ impl<'a> ChaosWorld<'a> {
             .driver
             .join(&mut self.services, descriptor, SimTime::ZERO);
         self.members.push(member);
+        self.grey.push(GreyState::default());
         member
     }
 
@@ -200,6 +231,28 @@ impl<'a> ChaosWorld<'a> {
     pub fn services(&self) -> &ServiceRegistry {
         &self.services
     }
+
+    /// Mutable registry access — lets experiments tune quarantine and
+    /// probation policy before a run.
+    pub fn services_mut(&mut self) -> &mut ServiceRegistry {
+        &mut self.services
+    }
+
+    /// Replace the advertised per-stage processing latency that
+    /// [`observed_latency_us`](SessionWorld::observed_latency_us)
+    /// multiplies under lag windows (defaults to 20 ms).
+    pub fn set_nominal_latency_us(&mut self, nominal_us: u64) {
+        self.nominal_latency_us = nominal_us;
+    }
+
+    /// The member index holding service id `id` *right now*. Ids are
+    /// per-incarnation: after a crash/revive cycle the old id resolves
+    /// to nothing, which keeps observations from leaking across
+    /// incarnations.
+    fn grey_index(&self, id: ServiceId) -> Option<usize> {
+        let member = self.driver.member_of(id)?;
+        self.members.iter().position(|&m| m == member)
+    }
 }
 
 impl SessionWorld for ChaosWorld<'_> {
@@ -256,8 +309,23 @@ impl SessionWorld for ChaosWorld<'_> {
     /// ratio in parts-per-million. `required` is each hop's planned
     /// crossing rate; the final hop is floored by the session's own
     /// bitrate demand so an under-provisioned plan cannot hide behind
-    /// a tiny last edge. An unroutable hop delivers nothing.
+    /// a tiny last edge. An unroutable hop delivers nothing, and an
+    /// unroutable *plan* delivers nothing even when every hop is
+    /// same-host (the dead-host edge case that used to report
+    /// `u64::MAX`): `delivery_ppm == 0 ⇔ !plan_routable` for hard
+    /// faults, so the ABR fill model can never divide by a
+    /// routable-but-zero plan. The one legitimate asymmetry left is a
+    /// full bandwidth squeeze — delivery 0 while routable — which is a
+    /// soft fault by definition.
+    ///
+    /// Grey throughput sags scale the result too: a step served by a
+    /// sagging member caps the whole plan at its delivered fraction,
+    /// whatever the network says — a sick transcoder on a fat link is
+    /// still sick.
     fn delivery_ppm(&self, plan: &AdaptationPlan, demand_bps: u64) -> u64 {
+        if !self.plan_routable(plan) {
+            return 0;
+        }
         let hops = plan.steps.len().saturating_sub(1);
         let mut worst = u64::MAX;
         for (k, pair) in plan.steps.windows(2).enumerate() {
@@ -284,7 +352,64 @@ impl SessionWorld for ChaosWorld<'_> {
                 Err(_) => return 0,
             }
         }
+        for step in &plan.steps {
+            if let Some(id) = step.service {
+                if let Some(index) = self.grey_index(id) {
+                    let sag = u64::from(self.grey[index].sag_throughput_permille);
+                    if sag < 1_000 {
+                        worst = worst.min(sag * 1_000);
+                    }
+                }
+            }
+        }
         worst
+    }
+
+    /// Observed end-to-end processing latency of the plan's service
+    /// stages: advertised nominal latency per stage, multiplied by any
+    /// active lag window. Grey lag shows up here (and in
+    /// [`observe_service`](SessionWorld::observe_service)) while every
+    /// liveness answer stays green.
+    fn observed_latency_us(&self, plan: &AdaptationPlan) -> u64 {
+        let mut total = 0u64;
+        for step in &plan.steps {
+            if let Some(id) = step.service {
+                let factor = self
+                    .grey_index(id)
+                    .map(|i| u64::from(self.grey[i].lag_factor_permille))
+                    .unwrap_or(1_000);
+                total = total.saturating_add(self.nominal_latency_us * factor / 1_000);
+            }
+        }
+        total
+    }
+
+    /// One normalized QoS sample for a live service: its delivered
+    /// throughput and latency as ratios of advertised. Healthy members
+    /// report exactly [`QosObservation::nominal`]; ids from dead
+    /// incarnations report nothing.
+    fn observe_service(&self, service: ServiceId) -> Option<QosObservation> {
+        let index = self.grey_index(service)?;
+        let state = self.grey[index];
+        Some(QosObservation {
+            throughput_ppm: u64::from(state.sag_throughput_permille) * 1_000,
+            latency_factor_ppm: (u64::from(state.lag_factor_permille) * 1_000).max(QOS_PPM),
+        })
+    }
+
+    fn probate_service(&mut self, service: ServiceId, observed_ppm: u64, now_us: u64) -> bool {
+        self.services
+            .probate(service, observed_ppm, SimTime(now_us))
+    }
+
+    fn probe_service(&mut self, service: ServiceId, now_us: u64) -> bool {
+        self.services.probe_success(service, SimTime(now_us))
+    }
+
+    fn report_service_failure(&mut self, service: ServiceId, now_us: u64) {
+        // Dead or already-quarantined ids are documented no-ops — many
+        // sessions can report the same member in one instant.
+        let _ = self.services.report_failure(service, SimTime(now_us));
     }
 
     fn world_event_times(&self) -> &[u64] {
@@ -294,8 +419,12 @@ impl SessionWorld for ChaosWorld<'_> {
     fn apply_world_event(&mut self, index: usize) {
         let (t, op) = self.events[index];
         // Discovery time advances to every event, fault or not — the
-        // same tick-then-act order as ChaosPlan::drive_discovery.
+        // same tick-then-act order as ChaosPlan::drive_discovery. A
+        // quarantine whose cooldown has passed releases on the same
+        // cadence; without failure reports this is a silent no-op, so
+        // detection-off runs are bit-identical to the pre-SLA engine.
         self.driver.tick(&mut self.services, SimTime(t));
+        self.services.release_quarantines(SimTime(t));
         match op {
             WorldOp::Fault(event) => FailureSchedule::apply(event, &mut self.network),
             WorldOp::Action(ChaosAction::CrashMember(i)) => {
@@ -306,6 +435,32 @@ impl SessionWorld for ChaosWorld<'_> {
             WorldOp::Action(ChaosAction::ReviveMember(i)) => {
                 if let Some(&member) = self.members.get(i) {
                     let _ = self.driver.revive(&mut self.services, member, SimTime(t));
+                }
+            }
+            WorldOp::Action(ChaosAction::LagMember {
+                index,
+                factor_permille,
+            }) => {
+                if let Some(state) = self.grey.get_mut(index) {
+                    state.lag_factor_permille = factor_permille.max(1_000);
+                }
+            }
+            WorldOp::Action(ChaosAction::UnlagMember(i)) => {
+                if let Some(state) = self.grey.get_mut(i) {
+                    state.lag_factor_permille = 1_000;
+                }
+            }
+            WorldOp::Action(ChaosAction::SagMember {
+                index,
+                throughput_permille,
+            }) => {
+                if let Some(state) = self.grey.get_mut(index) {
+                    state.sag_throughput_permille = throughput_permille.min(1_000);
+                }
+            }
+            WorldOp::Action(ChaosAction::UnsagMember(i)) => {
+                if let Some(state) = self.grey.get_mut(i) {
+                    state.sag_throughput_permille = 1_000;
                 }
             }
             WorldOp::Settle => {}
@@ -519,6 +674,144 @@ mod tests {
         w.apply_world_event(0);
         assert!(!w.plan_routable(&plan), "a dead host is a hard fault");
         assert_eq!(w.delivery_ppm(&plan, 0), 0, "nothing is delivered");
+    }
+
+    #[test]
+    fn delivery_and_routability_agree_on_dead_hosts_even_same_host_plans() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let mut plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        // Collapse every stage onto the proxy: no cross-host hop is
+        // left, the shape that used to slip past the hop loop and
+        // report u64::MAX delivery from a dead host.
+        for step in &mut plan.steps {
+            step.host = h.proxy;
+        }
+        assert!(w.plan_routable(&plan));
+        assert!(w.delivery_ppm(&plan, 0) > 0);
+        w.schedule_fault(500_000, FailureEvent::NodeDown(h.proxy));
+        w.apply_world_event(0);
+        assert!(!w.plan_routable(&plan));
+        assert_eq!(
+            w.delivery_ppm(&plan, 0),
+            0,
+            "delivery_ppm == 0 must hold whenever a hard fault kills routability"
+        );
+    }
+
+    #[test]
+    fn sag_degrades_delivery_while_every_liveness_signal_stays_green() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        let sick = plan.steps.iter().find_map(|s| s.service).unwrap();
+        let index = w
+            .members()
+            .iter()
+            .position(|&m| w.driver.member_of(sick) == Some(m))
+            .unwrap();
+        assert_eq!(
+            w.observe_service(sick),
+            Some(QosObservation::nominal()),
+            "healthy members observe as advertised"
+        );
+
+        w.schedule_action(
+            1_000_000,
+            ChaosAction::SagMember {
+                index,
+                throughput_permille: 300,
+            },
+        );
+        w.apply_world_event(0);
+        // The whole point of a grey failure: liveness stays green…
+        assert!(w.plan_alive(&plan), "sag is invisible to soft liveness");
+        assert!(w.plan_routable(&plan), "and to hard liveness");
+        // …while behaviour collapses.
+        assert_eq!(w.delivery_ppm(&plan, 0), 300_000, "30% of advertised");
+        let obs = w.observe_service(sick).unwrap();
+        assert_eq!(obs.throughput_ppm, 300_000);
+        assert_eq!(obs.latency_factor_ppm, 1_000_000);
+        // Recovery restores full delivery.
+        w.schedule_action(2_000_000, ChaosAction::UnsagMember(index));
+        w.apply_world_event(1);
+        assert!(w.delivery_ppm(&plan, 0) >= 1_000_000);
+        assert_eq!(w.observe_service(sick), Some(QosObservation::nominal()));
+    }
+
+    #[test]
+    fn lag_inflates_observed_latency_without_touching_delivery() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        let sick = plan.steps.iter().find_map(|s| s.service).unwrap();
+        let index = w
+            .members()
+            .iter()
+            .position(|&m| w.driver.member_of(sick) == Some(m))
+            .unwrap();
+        let stages = plan.steps.iter().filter(|s| s.service.is_some()).count() as u64;
+        w.set_nominal_latency_us(10_000);
+        assert_eq!(w.observed_latency_us(&plan), stages * 10_000);
+        let healthy_delivery = w.delivery_ppm(&plan, 0);
+
+        w.schedule_action(
+            1_000_000,
+            ChaosAction::LagMember {
+                index,
+                factor_permille: 3_000,
+            },
+        );
+        w.apply_world_event(0);
+        assert!(w.plan_alive(&plan) && w.plan_routable(&plan));
+        assert_eq!(
+            w.observed_latency_us(&plan),
+            (stages - 1) * 10_000 + 30_000,
+            "the lagged stage runs 3x slow"
+        );
+        assert_eq!(w.delivery_ppm(&plan, 0), healthy_delivery);
+        let obs = w.observe_service(sick).unwrap();
+        assert_eq!(obs.latency_factor_ppm, 3_000_000);
+        assert_eq!(obs.throughput_ppm, 1_000_000);
+    }
+
+    #[test]
+    fn world_probation_hooks_route_to_the_registry() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        let sick = plan.steps.iter().find_map(|s| s.service).unwrap();
+        assert!(w.probate_service(sick, 300_000, 1_000_000));
+        assert!(w.services().is_probated(sick));
+        assert!(w.plan_alive(&plan), "probation never kills liveness");
+        assert!(!w.services().selection_penalties().is_empty());
+        // Half-open probes clear it after the configured count of
+        // distinct instants.
+        let needed = w.services().probation_config().probe_successes;
+        for k in 0..needed as u64 {
+            w.probe_service(sick, 2_000_000 + k);
+        }
+        assert!(!w.services().is_probated(sick));
     }
 
     #[test]

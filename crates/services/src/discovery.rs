@@ -134,6 +134,24 @@ impl DiscoveryDriver {
     pub fn member_count(&self) -> usize {
         self.members.len()
     }
+
+    /// The current advertisement id for `member`, if any. After a
+    /// revive this is a *fresh* [`ServiceId`] — advertisement ids are
+    /// per-incarnation, not per-member.
+    pub fn registration(&self, member: MemberId) -> Option<ServiceId> {
+        self.members.get(member.0).and_then(|m| m.registration)
+    }
+
+    /// The member whose *current* advertisement is `id`, if any. Stale
+    /// ids from previous incarnations resolve to `None`, which is
+    /// exactly what observers want: observations about a dead
+    /// incarnation must not be attributed to its successor.
+    pub fn member_of(&self, id: ServiceId) -> Option<MemberId> {
+        self.members
+            .iter()
+            .position(|m| m.registration == Some(id))
+            .map(MemberId)
+    }
 }
 
 #[cfg(test)]

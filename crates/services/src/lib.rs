@@ -20,12 +20,14 @@ pub mod catalog;
 pub mod descriptor;
 pub mod discovery;
 pub mod host;
+pub mod qos;
 pub mod registry;
 
 pub use descriptor::{Conversion, ServiceId, TranscoderDescriptor};
 pub use discovery::{DiscoveryConfig, DiscoveryDriver, MemberId};
 pub use host::{AdmissionId, HostResources};
-pub use registry::{QuarantineConfig, RegistryEvent, ServiceRegistry};
+pub use qos::{QosEstimator, QosEstimatorConfig, QosObservation, SlaVerdict, SlaWatchdog, QOS_PPM};
+pub use registry::{ProbationConfig, QuarantineConfig, RegistryEvent, ServiceRegistry};
 
 use qosc_netsim::NodeId;
 

@@ -1,0 +1,469 @@
+//! Observed-QoS estimation: the grey-failure detector.
+//!
+//! The paper composes over *advertised* per-service QoS and assumes
+//! services deliver it. Every fault the registry models natively is
+//! binary — a lease expires, a breaker opens — so a service that stays
+//! alive while silently delivering half its advertised throughput is
+//! invisible: `is_available` says yes and sessions quietly starve.
+//! This module closes that loop (ENVISION's QoE feedback, Toni et
+//! al.'s measured-not-declared representation sets):
+//!
+//! * [`QosObservation`] — one normalized sample of how a service is
+//!   *actually* performing, expressed as ratios against its advertised
+//!   QoS (PPM = exactly as advertised). Normalizing at the source
+//!   means the estimator never needs the advertised numbers plumbed
+//!   through.
+//! * [`QosEstimator`] — a deterministic per-service estimator on the
+//!   virtual clock: integer EWMA (shift arithmetic, no floats) plus a
+//!   windowed quantile over the last few samples. Fed from session
+//!   progress ticks.
+//! * [`SlaWatchdog`] — flags a service when its estimated QoS sits
+//!   below `advertised × tolerance` for a dwell window. Flagging is
+//!   edge-triggered: one [`SlaVerdict::Violation`] per degradation
+//!   episode, so callers can probate without re-triggering every tick.
+//!
+//! Everything here is integer arithmetic over explicit sample streams:
+//! two watchdogs fed the same observations in the same order reach the
+//! same verdicts on any machine, which is what keeps the session
+//! engine's digests worker-invariant.
+
+use crate::descriptor::ServiceId;
+use std::collections::BTreeMap;
+
+/// Fixed-point unit scale: 1_000_000 = exactly as advertised.
+pub const QOS_PPM: u64 = 1_000_000;
+
+/// Hard cap on the quantile window so the estimator never allocates.
+const MAX_WINDOW: usize = 32;
+
+/// One normalized observation of a service's delivered QoS.
+///
+/// Both fields are ratios against the advertised value, in parts per
+/// million. `throughput_ppm < QOS_PPM` means the service is delivering
+/// less than it advertised; `latency_factor_ppm > QOS_PPM` means it is
+/// slower than it advertised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosObservation {
+    /// Delivered / advertised throughput, PPM.
+    pub throughput_ppm: u64,
+    /// Observed / advertised latency, PPM.
+    pub latency_factor_ppm: u64,
+}
+
+impl QosObservation {
+    /// A sample of a service performing exactly as advertised.
+    pub fn nominal() -> QosObservation {
+        QosObservation {
+            throughput_ppm: QOS_PPM,
+            latency_factor_ppm: QOS_PPM,
+        }
+    }
+}
+
+/// Tuning for [`QosEstimator`] and [`SlaWatchdog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosEstimatorConfig {
+    /// EWMA smoothing as a right shift: `alpha = 1 / 2^shift`.
+    pub ewma_shift: u32,
+    /// Quantile window length in samples (capped at 32).
+    pub window: usize,
+    /// Which quantile of the window the watchdog compares, permille
+    /// (250 = lower quartile: robust to a single outlier sample but
+    /// still pessimistic, the right bias for an SLA check).
+    pub quantile_permille: u32,
+    /// Violation threshold on delivered throughput: flag when the
+    /// windowed quantile drops below this ratio of advertised, PPM.
+    pub throughput_tolerance_ppm: u64,
+    /// Violation threshold on latency: flag when the EWMA latency
+    /// factor exceeds this ratio of advertised, PPM.
+    pub latency_tolerance_ppm: u64,
+    /// How long the estimate must sit below tolerance before the
+    /// watchdog flags, virtual µs. Absorbs one-tick blips.
+    pub dwell_us: u64,
+    /// Samples required before the watchdog trusts the estimator at
+    /// all (a cold estimator must not flag on its first bad tick).
+    pub min_samples: u32,
+}
+
+impl Default for QosEstimatorConfig {
+    fn default() -> QosEstimatorConfig {
+        QosEstimatorConfig {
+            ewma_shift: 2,
+            window: 8,
+            quantile_permille: 250,
+            throughput_tolerance_ppm: 800_000,
+            latency_tolerance_ppm: 2_000_000,
+            dwell_us: 750_000,
+            min_samples: 4,
+        }
+    }
+}
+
+/// Deterministic per-service QoS estimator: integer EWMA + windowed
+/// quantile, no floats, no allocation after construction.
+#[derive(Debug, Clone)]
+pub struct QosEstimator {
+    /// EWMA of delivered throughput ratio, PPM. Seeded by the first
+    /// sample.
+    ewma_throughput_ppm: u64,
+    /// EWMA of the latency factor, PPM.
+    ewma_latency_ppm: u64,
+    /// Ring buffer of recent throughput samples for the quantile.
+    window: [u64; MAX_WINDOW],
+    head: usize,
+    len: usize,
+    /// Total samples ever observed.
+    samples: u64,
+    /// `Some(t)`: the estimate has been below tolerance since `t` µs.
+    below_since_us: Option<u64>,
+}
+
+impl QosEstimator {
+    /// An estimator with no samples yet.
+    pub fn new() -> QosEstimator {
+        QosEstimator {
+            ewma_throughput_ppm: QOS_PPM,
+            ewma_latency_ppm: QOS_PPM,
+            window: [QOS_PPM; MAX_WINDOW],
+            head: 0,
+            len: 0,
+            samples: 0,
+            below_since_us: None,
+        }
+    }
+
+    /// Fold one observation in. Integer EWMA: the first sample seeds
+    /// the average, later samples move it by `delta >> shift`
+    /// (arithmetic shift, so the estimate converges from both sides
+    /// without float rounding).
+    pub fn observe(&mut self, obs: QosObservation, config: &QosEstimatorConfig) {
+        let shift = config.ewma_shift.min(31);
+        if self.samples == 0 {
+            self.ewma_throughput_ppm = obs.throughput_ppm;
+            self.ewma_latency_ppm = obs.latency_factor_ppm;
+        } else {
+            self.ewma_throughput_ppm =
+                ewma_step(self.ewma_throughput_ppm, obs.throughput_ppm, shift);
+            self.ewma_latency_ppm = ewma_step(self.ewma_latency_ppm, obs.latency_factor_ppm, shift);
+        }
+        let window = config.window.clamp(1, MAX_WINDOW);
+        self.window[self.head] = obs.throughput_ppm;
+        self.head = (self.head + 1) % window;
+        self.len = (self.len + 1).min(window);
+        self.samples += 1;
+    }
+
+    /// Smoothed delivered-throughput ratio, PPM.
+    pub fn throughput_ppm(&self) -> u64 {
+        self.ewma_throughput_ppm
+    }
+
+    /// Smoothed latency factor, PPM.
+    pub fn latency_factor_ppm(&self) -> u64 {
+        self.ewma_latency_ppm
+    }
+
+    /// Samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The `q_permille` quantile of the throughput window (0 = min,
+    /// 1000 = max). Sorts a fixed-size copy: deterministic and
+    /// allocation-free.
+    pub fn windowed_quantile_ppm(&self, q_permille: u32) -> u64 {
+        if self.len == 0 {
+            return QOS_PPM;
+        }
+        let mut sorted = [0u64; MAX_WINDOW];
+        sorted[..self.len].copy_from_slice(&self.window[..self.len]);
+        sorted[..self.len].sort_unstable();
+        let rank = (q_permille as usize * (self.len - 1)).div_ceil(1000);
+        sorted[rank.min(self.len - 1)]
+    }
+
+    /// Whether the current estimate violates the configured tolerance.
+    /// Throughput is judged by the windowed quantile (robust to one
+    /// outlier), latency by the EWMA.
+    pub fn violating(&self, config: &QosEstimatorConfig) -> bool {
+        if self.samples < config.min_samples as u64 {
+            return false;
+        }
+        self.windowed_quantile_ppm(config.quantile_permille) < config.throughput_tolerance_ppm
+            || self.ewma_latency_ppm > config.latency_tolerance_ppm
+    }
+}
+
+impl Default for QosEstimator {
+    fn default() -> QosEstimator {
+        QosEstimator::new()
+    }
+}
+
+/// One EWMA update: `ewma += (sample - ewma) >> shift` in signed
+/// arithmetic (arithmetic shift rounds toward −∞, so a degraded sample
+/// always moves the estimate and the update is exactly reversible in
+/// tests).
+fn ewma_step(ewma: u64, sample: u64, shift: u32) -> u64 {
+    let delta = (sample as i128 - ewma as i128) >> shift;
+    u64::try_from((ewma as i128 + delta).max(0)).unwrap_or(0)
+}
+
+/// The watchdog's answer to one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaVerdict {
+    /// The sample itself met tolerance (usable as a half-open probe
+    /// success for a probated service).
+    Healthy,
+    /// Below tolerance, but inside the dwell window (or already
+    /// flagged): no action yet.
+    Degraded,
+    /// The estimate has been below tolerance for a full dwell window
+    /// and this service was not yet flagged — the edge on which the
+    /// caller should probate. Carries the smoothed throughput estimate
+    /// for the effective-QoS blend.
+    Violation {
+        /// EWMA delivered-throughput ratio at the moment of flagging.
+        observed_ppm: u64,
+    },
+}
+
+/// SLA watchdog over a fleet: one [`QosEstimator`] per service, flag
+/// state, and the dwell logic. Iteration is `BTreeMap`-ordered, so any
+/// walk over the watchdog is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SlaWatchdog {
+    config: QosEstimatorConfig,
+    estimators: BTreeMap<ServiceId, QosEstimator>,
+}
+
+impl SlaWatchdog {
+    /// A watchdog with the given tuning.
+    pub fn new(config: QosEstimatorConfig) -> SlaWatchdog {
+        SlaWatchdog {
+            config,
+            estimators: BTreeMap::new(),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &QosEstimatorConfig {
+        &self.config
+    }
+
+    /// Feed one observation for `service` at virtual time `now_us` and
+    /// judge it. [`SlaVerdict::Violation`] fires at most once per
+    /// degradation episode; [`Self::clear`] re-arms it.
+    pub fn observe(&mut self, service: ServiceId, obs: QosObservation, now_us: u64) -> SlaVerdict {
+        let est = self.estimators.entry(service).or_default();
+        est.observe(obs, &self.config);
+        let sample_healthy = obs.throughput_ppm >= self.config.throughput_tolerance_ppm
+            && obs.latency_factor_ppm <= self.config.latency_tolerance_ppm;
+        if est.violating(&self.config) {
+            match est.below_since_us {
+                None => {
+                    est.below_since_us = Some(now_us);
+                    SlaVerdict::Degraded
+                }
+                Some(u64::MAX) => SlaVerdict::Degraded,
+                Some(since) if now_us.saturating_sub(since) >= self.config.dwell_us => {
+                    // Flagged: pin `below_since_us` so the episode
+                    // reports Violation exactly once (clear() re-arms).
+                    est.below_since_us = Some(u64::MAX);
+                    SlaVerdict::Violation {
+                        observed_ppm: est.throughput_ppm(),
+                    }
+                }
+                Some(_) => SlaVerdict::Degraded,
+            }
+        } else {
+            if est.below_since_us != Some(u64::MAX) {
+                // A recovered estimate inside the dwell window re-arms
+                // immediately; a flagged service stays flagged until
+                // the caller clears it (probation owns recovery).
+                est.below_since_us = None;
+            }
+            if sample_healthy {
+                SlaVerdict::Healthy
+            } else {
+                SlaVerdict::Degraded
+            }
+        }
+    }
+
+    /// Whether `service` is currently flagged (a violation fired and
+    /// has not been cleared).
+    pub fn is_flagged(&self, service: ServiceId) -> bool {
+        self.estimators
+            .get(&service)
+            .map(|e| e.below_since_us == Some(u64::MAX))
+            .unwrap_or(false)
+    }
+
+    /// Drop the flag and reset `service`'s estimator — called when
+    /// probation clears so the next episode starts cold.
+    pub fn clear(&mut self, service: ServiceId) {
+        self.estimators.remove(&service);
+    }
+
+    /// The current smoothed throughput estimate for `service`, if any
+    /// samples exist.
+    pub fn observed_ppm(&self, service: ServiceId) -> Option<u64> {
+        self.estimators.get(&service).map(|e| e.throughput_ppm())
+    }
+
+    /// Flagged services in id order.
+    pub fn flagged(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.estimators
+            .iter()
+            .filter(|(_, e)| e.below_since_us == Some(u64::MAX))
+            .map(|(&id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sagging(ppm: u64) -> QosObservation {
+        QosObservation {
+            throughput_ppm: ppm,
+            latency_factor_ppm: QOS_PPM,
+        }
+    }
+
+    #[test]
+    fn ewma_converges_toward_the_sample_stream() {
+        let config = QosEstimatorConfig::default();
+        let mut est = QosEstimator::new();
+        est.observe(sagging(QOS_PPM), &config);
+        for _ in 0..64 {
+            est.observe(sagging(400_000), &config);
+        }
+        assert!(
+            est.throughput_ppm() <= 401_000,
+            "EWMA must converge: {}",
+            est.throughput_ppm()
+        );
+        for _ in 0..64 {
+            est.observe(sagging(QOS_PPM), &config);
+        }
+        assert!(est.throughput_ppm() >= 999_000, "and converge back up");
+    }
+
+    #[test]
+    fn quantile_is_robust_to_one_outlier() {
+        let config = QosEstimatorConfig::default();
+        let mut est = QosEstimator::new();
+        for _ in 0..7 {
+            est.observe(sagging(QOS_PPM), &config);
+        }
+        est.observe(sagging(0), &config);
+        // Lower quartile of [0, 1M × 7] is still 1M: one bad sample
+        // does not trip the tolerance check.
+        assert_eq!(est.windowed_quantile_ppm(250), QOS_PPM);
+        assert_eq!(est.windowed_quantile_ppm(0), 0, "min still sees it");
+    }
+
+    #[test]
+    fn watchdog_flags_after_dwell_and_only_once() {
+        let config = QosEstimatorConfig {
+            dwell_us: 1_000,
+            min_samples: 2,
+            ..QosEstimatorConfig::default()
+        };
+        let mut dog = SlaWatchdog::new(config);
+        let id = ServiceId(0);
+        let mut violations = 0;
+        for tick in 0..20u64 {
+            let verdict = dog.observe(id, sagging(300_000), tick * 250);
+            if let SlaVerdict::Violation { observed_ppm } = verdict {
+                violations += 1;
+                assert!(observed_ppm < 800_000);
+                assert!(
+                    tick * 250 >= 1_000,
+                    "dwell must elapse before flagging (tick {tick})"
+                );
+            }
+        }
+        assert_eq!(violations, 1, "edge-triggered: one violation per episode");
+        assert!(dog.is_flagged(id));
+        // Healthy samples do not unflag by themselves…
+        assert_eq!(
+            dog.observe(id, sagging(QOS_PPM), 10_000),
+            SlaVerdict::Degraded
+        );
+        // …until enough healthy samples pull the estimator back over
+        // tolerance; then the verdict turns Healthy while the flag
+        // stands (probation owns recovery).
+        for t in 0..16u64 {
+            dog.observe(id, sagging(QOS_PPM), 11_000 + t * 250);
+        }
+        assert_eq!(
+            dog.observe(id, sagging(QOS_PPM), 20_000),
+            SlaVerdict::Healthy
+        );
+        assert!(dog.is_flagged(id), "flag outlives recovery until cleared");
+        dog.clear(id);
+        assert!(!dog.is_flagged(id));
+    }
+
+    #[test]
+    fn cold_estimator_never_flags() {
+        let config = QosEstimatorConfig {
+            dwell_us: 0,
+            ..QosEstimatorConfig::default()
+        };
+        let mut dog = SlaWatchdog::new(config);
+        let id = ServiceId(7);
+        for tick in 0..3u64 {
+            assert_ne!(
+                dog.observe(id, sagging(0), tick),
+                SlaVerdict::Violation { observed_ppm: 0 },
+                "min_samples gates the first ticks"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_drift_alone_trips_the_watchdog() {
+        let config = QosEstimatorConfig {
+            dwell_us: 0,
+            min_samples: 1,
+            ..QosEstimatorConfig::default()
+        };
+        let mut dog = SlaWatchdog::new(config);
+        let id = ServiceId(3);
+        let slow = QosObservation {
+            throughput_ppm: QOS_PPM,
+            latency_factor_ppm: 3_000_000,
+        };
+        let mut flagged = false;
+        for tick in 0..8u64 {
+            if matches!(dog.observe(id, slow, tick), SlaVerdict::Violation { .. }) {
+                flagged = true;
+            }
+        }
+        assert!(
+            flagged,
+            "a 3x latency sag must flag even at full throughput"
+        );
+    }
+
+    #[test]
+    fn identical_streams_reach_identical_verdicts() {
+        let config = QosEstimatorConfig::default();
+        let stream: Vec<QosObservation> = (0..40)
+            .map(|i| sagging(if i % 3 == 0 { 500_000 } else { 700_000 }))
+            .collect();
+        let mut a = SlaWatchdog::new(config);
+        let mut b = SlaWatchdog::new(config);
+        let id = ServiceId(1);
+        for (i, obs) in stream.iter().enumerate() {
+            let va = a.observe(id, *obs, i as u64 * 250);
+            let vb = b.observe(id, *obs, i as u64 * 250);
+            assert_eq!(va, vb, "sample {i}");
+        }
+        assert_eq!(a.observed_ppm(id), b.observed_ppm(id));
+    }
+}

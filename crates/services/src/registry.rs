@@ -37,6 +37,11 @@ pub enum RegistryEvent {
     Quarantined(ServiceId),
     /// A quarantine cool-down elapsed; the service is advertised again.
     Reinstated(ServiceId),
+    /// An SLA watchdog probated the service: still advertised, but
+    /// deprioritized in selection via an effective-QoS penalty.
+    Probated(ServiceId),
+    /// Enough half-open probes succeeded; the penalty is lifted.
+    ProbationCleared(ServiceId),
 }
 
 /// Circuit-breaker policy for [`ServiceRegistry::report_failure`].
@@ -57,6 +62,50 @@ impl Default for QuarantineConfig {
     }
 }
 
+/// Policy for *probation* — the soft-demotion state between available
+/// and quarantined that grey-failure detection uses. A probated
+/// service keeps its advertisement (it is still `is_available`), but
+/// selection sees a blended effective QoS instead of the advertised
+/// one, so composition routes around it whenever an alternative
+/// exists. Recovery is half-open: observed-healthy probes clear the
+/// penalty, not a blind cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbationConfig {
+    /// Weight of the *observed* QoS in the effective blend, permille.
+    /// `effective = ((1000 − w)·advertised + w·observed) / 1000`.
+    pub observed_weight_permille: u32,
+    /// Floor on the effective-QoS factor, PPM — a probated service is
+    /// deprioritized, never zeroed out of existence.
+    pub floor_ppm: u64,
+    /// Healthy probes (at distinct virtual instants) that clear
+    /// probation.
+    pub probe_successes: u32,
+}
+
+impl Default for ProbationConfig {
+    fn default() -> ProbationConfig {
+        ProbationConfig {
+            observed_weight_permille: 700,
+            floor_ppm: 50_000,
+            probe_successes: 3,
+        }
+    }
+}
+
+/// Per-entry probation bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ProbationState {
+    /// The effective-QoS factor selection multiplies in, PPM.
+    effective_ppm: u64,
+    /// Healthy probes counted so far (one per distinct instant).
+    probes: u32,
+    /// The last instant a probe was counted, so several sessions
+    /// observing the same recovery in one tick count as one probe —
+    /// this is what keeps recovery worker- and session-count
+    /// invariant.
+    last_probe_at: Option<SimTime>,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     descriptor: TranscoderDescriptor,
@@ -66,6 +115,8 @@ struct Entry {
     failures: u32,
     /// `Some(t)`: excluded from lookups until `t` has passed.
     quarantined_until: Option<SimTime>,
+    /// `Some`: soft-demoted — advertised, but penalized in selection.
+    probation: Option<ProbationState>,
 }
 
 /// The service registry.
@@ -85,6 +136,12 @@ pub struct ServiceRegistry {
     /// linear in the edge count rather than quadratic in services.
     by_input: HashMap<FormatId, Vec<ServiceId>>,
     quarantine: QuarantineConfig,
+    probation: ProbationConfig,
+    /// Sorted `(id, effective_ppm)` pairs for every probated entry —
+    /// the zero-allocation view selection reads on every compose.
+    /// Empty whenever nothing is probated, so the healthy hot path
+    /// never pays for the feature.
+    penalties: Vec<(ServiceId, u64)>,
 }
 
 impl ServiceRegistry {
@@ -112,6 +169,7 @@ impl ServiceRegistry {
             alive: true,
             failures: 0,
             quarantined_until: None,
+            probation: None,
         });
         self.push_event(RegistryEvent::Registered(id), now);
         id
@@ -143,9 +201,13 @@ impl ServiceRegistry {
     pub fn deregister(&mut self, id: ServiceId) -> Result<()> {
         let entry = self.live_entry_mut(id)?;
         entry.alive = false;
+        let was_probated = entry.probation.take().is_some();
         // No `now` parameter: stamp with the latest time seen.
         let at = self.clock;
         self.push_event(RegistryEvent::Deregistered(id), at);
+        if was_probated {
+            self.rebuild_penalties();
+        }
         Ok(())
     }
 
@@ -153,15 +215,20 @@ impl ServiceRegistry {
     /// registration order.
     pub fn expire_leases(&mut self, now: SimTime) -> Vec<ServiceId> {
         let mut expired = Vec::new();
+        let mut dropped_probation = false;
         for (i, entry) in self.entries.iter_mut().enumerate() {
             if entry.alive && entry.lease_until < now {
                 entry.alive = false;
+                dropped_probation |= entry.probation.take().is_some();
                 let id = ServiceId(i as u32);
                 expired.push(id);
             }
         }
         for &id in &expired {
             self.push_event(RegistryEvent::Expired(id), now);
+        }
+        if dropped_probation {
+            self.rebuild_penalties();
         }
         expired
     }
@@ -235,10 +302,14 @@ impl ServiceRegistry {
     /// events. Every mutation that can change what graph construction
     /// or plan revalidation would observe — register, renew,
     /// deregister, per-service lease expiry, quarantine open,
-    /// quarantine release — funnels through `push_event` and therefore
+    /// quarantine release, probation open, probation clear — funnels
+    /// through `push_event` and therefore
     /// bumps the epoch exactly once per event. Reads never bump it, and
-    /// neither do `report_failure` below the breaker threshold or
-    /// `report_success` (they change no advertised state). Two equal
+    /// neither do `report_failure` below the breaker threshold,
+    /// `report_success`, or sub-threshold half-open probes (they change
+    /// no selection-observable state). Probation *does* bump even
+    /// though availability is unchanged: the penalty view feeds
+    /// satisfaction scoring, so cached plans must recompute. Two equal
     /// epochs on the same registry instance guarantee byte-identical
     /// availability answers, which is what makes O(1) cache
     /// revalidation and incremental graph maintenance sound.
@@ -290,6 +361,12 @@ impl ServiceRegistry {
                 RegistryEvent::Reinstated(id) => EventKind::QuarantineReleased {
                     service: id.index() as u32,
                 },
+                RegistryEvent::Probated(id) => EventKind::ServiceProbated {
+                    service: id.index() as u32,
+                },
+                RegistryEvent::ProbationCleared(id) => EventKind::ProbationCleared {
+                    service: id.index() as u32,
+                },
             };
             sink.record(Event {
                 virtual_time_us: at.as_micros(),
@@ -322,14 +399,32 @@ impl ServiceRegistry {
     /// Failure reports are about *behaviour*, not leases: the lease stays
     /// live (the service still answers renewals), so discovery keeps
     /// working and the service rejoins automatically after the cool-down.
+    ///
+    /// Reporting a failure against a dead (expired/deregistered) or
+    /// already-quarantined service is a **documented no-op** returning
+    /// `Ok(false)`: the session loop can observe the same dead member
+    /// from several sessions in one instant, and the second report has
+    /// nothing left to demote. No failure count moves and no epoch is
+    /// bumped, so the no-op is invisible to caches.
+    ///
+    /// Opening the breaker also clears any probation silently: the
+    /// quarantine supersedes the softer penalty, and the `Quarantined`
+    /// event already records the availability change.
     pub fn report_failure(&mut self, id: ServiceId, now: SimTime) -> Result<bool> {
         let cooldown = self.quarantine.cooldown_us;
         let threshold = self.quarantine.failure_threshold;
-        let entry = self.live_entry_mut(id)?;
+        let entry = match self.entries.get_mut(id.index()) {
+            Some(e) if e.alive && e.quarantined_until.is_none() => e,
+            _ => return Ok(false),
+        };
         entry.failures = entry.failures.saturating_add(1);
-        if entry.quarantined_until.is_none() && entry.failures >= threshold {
+        if entry.failures >= threshold {
             entry.quarantined_until = Some(now.plus_micros(cooldown));
+            let was_probated = entry.probation.take().is_some();
             self.push_event(RegistryEvent::Quarantined(id), now);
+            if was_probated {
+                self.rebuild_penalties();
+            }
             return Ok(true);
         }
         Ok(false)
@@ -379,12 +474,133 @@ impl ServiceRegistry {
         reinstated
     }
 
+    /// Replace the probation policy (defaults to
+    /// [`ProbationConfig::default`]).
+    pub fn set_probation_config(&mut self, config: ProbationConfig) {
+        self.probation = config;
+    }
+
+    /// The active probation policy.
+    pub fn probation_config(&self) -> ProbationConfig {
+        self.probation
+    }
+
+    /// Soft-demote `id`: an SLA watchdog observed it delivering
+    /// `observed_ppm` (PPM of advertised) for a full dwell window. The
+    /// service stays advertised — [`Self::is_available`] still holds —
+    /// but [`Self::selection_penalties`] gains a blended effective-QoS
+    /// factor that selection multiplies into the service's
+    /// satisfaction, so composition prefers any clean alternative.
+    ///
+    /// Returns `true` when this call probated the service. Dead,
+    /// quarantined, or already-probated services are no-ops (`false`):
+    /// quarantine supersedes probation, and re-flagging an open
+    /// episode must not reset half-open progress.
+    pub fn probate(&mut self, id: ServiceId, observed_ppm: u64, now: SimTime) -> bool {
+        let config = self.probation;
+        let entry = match self.entries.get_mut(id.index()) {
+            Some(e) if e.alive && e.quarantined_until.is_none() && e.probation.is_none() => e,
+            _ => return false,
+        };
+        entry.probation = Some(ProbationState {
+            effective_ppm: blend_effective_ppm(&config, observed_ppm),
+            probes: 0,
+            last_probe_at: None,
+        });
+        self.push_event(RegistryEvent::Probated(id), now);
+        self.rebuild_penalties();
+        true
+    }
+
+    /// Count one healthy half-open probe for a probated service. At
+    /// most one probe is counted per distinct [`SimTime`] — many
+    /// sessions observing the same recovery instant contribute a
+    /// single probe, which keeps recovery invariant under session and
+    /// worker counts. After
+    /// [`ProbationConfig::probe_successes`] distinct healthy instants
+    /// the probation clears (one `ProbationCleared` event, one epoch
+    /// bump). Returns `true` when this call cleared it.
+    pub fn probe_success(&mut self, id: ServiceId, now: SimTime) -> bool {
+        let needed = self.probation.probe_successes.max(1);
+        let entry = match self.entries.get_mut(id.index()) {
+            Some(e) if e.alive => e,
+            _ => return false,
+        };
+        let Some(state) = entry.probation.as_mut() else {
+            return false;
+        };
+        if state.last_probe_at == Some(now) {
+            return false;
+        }
+        state.last_probe_at = Some(now);
+        state.probes += 1;
+        if state.probes >= needed {
+            entry.probation = None;
+            self.push_event(RegistryEvent::ProbationCleared(id), now);
+            self.rebuild_penalties();
+            return true;
+        }
+        false
+    }
+
+    /// Whether `id` is currently probated (advertised but penalized).
+    pub fn is_probated(&self, id: ServiceId) -> bool {
+        self.entries
+            .get(id.index())
+            .map(|e| e.alive && e.probation.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The effective-QoS factor selection should multiply into `id`'s
+    /// satisfaction, PPM. 1_000_000 (advertised-as-is) unless probated.
+    pub fn effective_qos_ppm(&self, id: ServiceId) -> u64 {
+        self.entries
+            .get(id.index())
+            .and_then(|e| e.probation.as_ref())
+            .map(|p| p.effective_ppm)
+            .unwrap_or(EFFECTIVE_PPM_UNIT)
+    }
+
+    /// The selection penalty view: sorted `(id, effective_ppm)` pairs
+    /// for every probated service, empty when nothing is probated.
+    /// Borrowed, not built — reading it costs nothing on the healthy
+    /// path.
+    pub fn selection_penalties(&self) -> &[(ServiceId, u64)] {
+        &self.penalties
+    }
+
+    /// Recompute the sorted penalty view from entry state. Entries are
+    /// scanned in id order, so the result is sorted by construction.
+    fn rebuild_penalties(&mut self) {
+        self.penalties.clear();
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.alive {
+                if let Some(state) = &entry.probation {
+                    self.penalties
+                        .push((ServiceId(i as u32), state.effective_ppm));
+                }
+            }
+        }
+    }
+
     fn live_entry_mut(&mut self, id: ServiceId) -> Result<&mut Entry> {
         match self.entries.get_mut(id.index()) {
             Some(e) if e.alive => Ok(e),
             _ => Err(ServiceError::UnknownService(id)),
         }
     }
+}
+
+/// PPM unit for effective-QoS factors.
+const EFFECTIVE_PPM_UNIT: u64 = 1_000_000;
+
+/// `((1000 − w)·advertised + w·observed) / 1000`, floored: the
+/// effective-QoS blend a probated service is scored with.
+fn blend_effective_ppm(config: &ProbationConfig, observed_ppm: u64) -> u64 {
+    let w = u64::from(config.observed_weight_permille.min(1_000));
+    let observed = observed_ppm.min(EFFECTIVE_PPM_UNIT);
+    let blended = ((1_000 - w) * EFFECTIVE_PPM_UNIT + w * observed) / 1_000;
+    blended.max(config.floor_ppm.min(EFFECTIVE_PPM_UNIT))
 }
 
 #[cfg(test)]
@@ -524,12 +740,127 @@ mod tests {
     }
 
     #[test]
-    fn failure_reports_on_dead_services_error() {
+    fn failure_reports_on_dead_or_quarantined_services_are_noops() {
         let (mut reg, _, descriptor) = setup();
         let id = reg.register(descriptor, SimTime::ZERO, 100);
         reg.expire_leases(SimTime(200));
-        assert!(reg.report_failure(id, SimTime(300)).is_err());
+        let epoch = reg.epoch();
+        // Several sessions can observe the same dead member in one
+        // instant; the late reports must be silent no-ops, not errors.
+        assert!(!reg.report_failure(id, SimTime(300)).unwrap());
+        assert!(!reg.report_failure(id, SimTime(300)).unwrap());
+        assert_eq!(reg.epoch(), epoch, "no-op reports never bump the epoch");
+        // Success reports still error: claiming a dead service served
+        // is a caller bug worth surfacing.
         assert!(reg.report_success(id).is_err());
+    }
+
+    #[test]
+    fn failure_reports_on_quarantined_services_are_noops() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 1,
+            cooldown_us: 1_000,
+        });
+        assert!(reg.report_failure(id, SimTime(10)).unwrap());
+        assert!(reg.is_quarantined(id));
+        let epoch = reg.epoch();
+        assert!(
+            !reg.report_failure(id, SimTime(20)).unwrap(),
+            "an open breaker absorbs further reports"
+        );
+        assert_eq!(reg.epoch(), epoch);
+        // The absorbed report did not extend the cooldown.
+        assert_eq!(reg.release_quarantines(SimTime(1_011)), vec![id]);
+    }
+
+    #[test]
+    fn probation_penalizes_without_deadvertising() {
+        let (mut reg, formats, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        let fin = formats.lookup("in").unwrap();
+        assert!(reg.selection_penalties().is_empty());
+        assert_eq!(reg.effective_qos_ppm(id), 1_000_000);
+
+        assert!(reg.probate(id, 400_000, SimTime(100)));
+        assert!(reg.is_probated(id));
+        assert!(reg.is_available(id), "probation keeps the advertisement");
+        assert_eq!(reg.accepting(fin), vec![id], "still selectable");
+        // blend: (300·1M + 700·400k) / 1000 = 580k.
+        assert_eq!(reg.effective_qos_ppm(id), 580_000);
+        assert_eq!(reg.selection_penalties(), &[(id, 580_000)]);
+        // Re-flagging an open episode is a no-op.
+        assert!(!reg.probate(id, 100_000, SimTime(200)));
+        assert_eq!(reg.effective_qos_ppm(id), 580_000);
+    }
+
+    #[test]
+    fn probation_clears_after_distinct_probe_instants() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_probation_config(ProbationConfig {
+            probe_successes: 2,
+            ..ProbationConfig::default()
+        });
+        assert!(reg.probate(id, 0, SimTime(100)));
+        assert!(!reg.probe_success(id, SimTime(200)));
+        // The same instant again — from another session — is one probe.
+        assert!(!reg.probe_success(id, SimTime(200)));
+        assert!(reg.is_probated(id));
+        assert!(reg.probe_success(id, SimTime(300)), "second instant clears");
+        assert!(!reg.is_probated(id));
+        assert!(reg.selection_penalties().is_empty());
+        assert_eq!(
+            reg.events().last(),
+            Some(&RegistryEvent::ProbationCleared(id))
+        );
+    }
+
+    #[test]
+    fn quarantine_supersedes_probation() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 1,
+            cooldown_us: 1_000,
+        });
+        assert!(reg.probate(id, 500_000, SimTime(10)));
+        assert!(reg.report_failure(id, SimTime(20)).unwrap());
+        assert!(reg.is_quarantined(id));
+        assert!(!reg.is_probated(id), "the breaker clears the soft state");
+        assert!(reg.selection_penalties().is_empty());
+        // Probating a quarantined service is refused.
+        assert!(!reg.probate(id, 500_000, SimTime(30)));
+    }
+
+    #[test]
+    fn expiry_drops_probation_penalties() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register(descriptor, SimTime::ZERO, 1_000);
+        assert!(reg.probate(id, 0, SimTime(100)));
+        assert_eq!(reg.selection_penalties().len(), 1);
+        reg.expire_leases(SimTime(2_000));
+        assert!(reg.selection_penalties().is_empty());
+        assert!(!reg.is_probated(id));
+        assert!(!reg.probe_success(id, SimTime(3_000)), "dead: no-op");
+    }
+
+    #[test]
+    fn effective_blend_is_floored() {
+        let (mut reg, _, descriptor) = setup();
+        let id = reg.register_static(descriptor);
+        reg.set_probation_config(ProbationConfig {
+            observed_weight_permille: 1_000,
+            floor_ppm: 50_000,
+            probe_successes: 3,
+        });
+        assert!(reg.probate(id, 0, SimTime(10)));
+        assert_eq!(
+            reg.effective_qos_ppm(id),
+            50_000,
+            "a fully-sagged observation still leaves the floor"
+        );
     }
 
     #[test]
@@ -577,6 +908,20 @@ mod tests {
         assert_eq!(reg.epoch(), 7);
         assert_eq!(reg.release_quarantines(SimTime(2_501)), vec![id]);
         assert_eq!(reg.epoch(), 8, "quarantine release bumps once");
+
+        // Probation changes selection-observable state (the penalty
+        // view), so open and clear each bump exactly once; the
+        // sub-threshold half-open probe in between does not.
+        reg.set_probation_config(ProbationConfig {
+            probe_successes: 2,
+            ..ProbationConfig::default()
+        });
+        assert!(reg.probate(id, 500_000, SimTime(3_000)));
+        assert_eq!(reg.epoch(), 9, "probate bumps once");
+        assert!(!reg.probe_success(id, SimTime(3_100)));
+        assert_eq!(reg.epoch(), 9, "sub-threshold probe does not bump");
+        assert!(reg.probe_success(id, SimTime(3_200)));
+        assert_eq!(reg.epoch(), 10, "probation clear bumps once");
     }
 
     #[test]

@@ -190,6 +190,40 @@ pub enum EventKind {
         /// Buffer level at adoption, microseconds of playout.
         buffer_us: u64,
     },
+    /// An SLA watchdog flagged a service: its observed QoS sat below
+    /// `advertised × tolerance` for a full dwell window while the
+    /// service stayed alive and routable (a grey failure).
+    SlaViolation {
+        /// Registry service id.
+        service: u32,
+        /// Smoothed observed throughput at flagging, PPM of advertised.
+        observed_ppm: u64,
+    },
+    /// The registry probated a service: still advertised, but selection
+    /// scores it by a blended effective QoS until half-open probes
+    /// clear it.
+    ServiceProbated {
+        /// Registry service id.
+        service: u32,
+    },
+    /// Enough healthy half-open probes accumulated; the probation
+    /// penalty is lifted.
+    ProbationCleared {
+        /// Registry service id.
+        service: u32,
+    },
+    /// A session evaded an SLA-violating plan: a make-before-break
+    /// re-composition away from a probated service, before the buffer
+    /// drained (distinct from `rung_switch`, which changes quality
+    /// rungs, and `recomposed`, the reactive repair after a dead plan).
+    SlaEvaded {
+        /// Rung the session was streaming on.
+        from: &'static str,
+        /// Rung the evading plan adopted (usually the same).
+        to: &'static str,
+        /// Buffer level at adoption, microseconds of playout.
+        buffer_us: u64,
+    },
 }
 
 impl EventKind {
@@ -229,6 +263,10 @@ impl EventKind {
             EventKind::SessionClosed { .. } => "session_closed",
             EventKind::Rebuffered { .. } => "rebuffered",
             EventKind::RungSwitch { .. } => "rung_switch",
+            EventKind::SlaViolation { .. } => "sla_violation",
+            EventKind::ServiceProbated { .. } => "service_probated",
+            EventKind::ProbationCleared { .. } => "probation_cleared",
+            EventKind::SlaEvaded { .. } => "sla_evaded",
         }
     }
 
@@ -291,6 +329,21 @@ impl EventKind {
                 to,
                 buffer_us,
             } => format!("rung_switch from={from} to={to} buffer_us={buffer_us}"),
+            EventKind::SlaViolation {
+                service,
+                observed_ppm,
+            } => format!("sla_violation service={service} observed_ppm={observed_ppm}"),
+            EventKind::ServiceProbated { service } => {
+                format!("service_probated service={service}")
+            }
+            EventKind::ProbationCleared { service } => {
+                format!("probation_cleared service={service}")
+            }
+            EventKind::SlaEvaded {
+                from,
+                to,
+                buffer_us,
+            } => format!("sla_evaded from={from} to={to} buffer_us={buffer_us}"),
         }
     }
 }

@@ -1,0 +1,347 @@
+//! Grey-failure lifecycle properties:
+//!
+//! * the available → probated → quarantined state machine is
+//!   deterministic: two registries fed the same seeded op
+//!   interleaving agree on every event, penalty, and flag,
+//! * `release_quarantines` returns reinstated ids in registration
+//!   order no matter what order the failure reports arrived in,
+//! * the selection-penalty view stays sorted (the binary-search
+//!   precondition of the scoring hot path),
+//! * and the PR 7 parity claims the X18 scorecard asserts at scale,
+//!   here at unit scale: a binary breaker is bit-identical to
+//!   detection-off under grey-only chaos, and the drift-aware
+//!   estimators are bit-identical to detection-off when nothing sags.
+
+use proptest::prelude::*;
+use qosc_core::{
+    run_sessions, AbrConfig, AbrMode, ArrivalMeta, CompositionRequest, PriorityClass,
+    SelectOptions, SessionEngineConfig, SessionRequest, SessionWorld, SessionsReport, SlaConfig,
+    SlaMode,
+};
+use qosc_media::FormatRegistry;
+use qosc_netsim::{Network, Node, NodeId, SimTime, Topology};
+use qosc_pipeline::{ChaosAction, ChaosWorld};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, NetworkProfile, ProfileSet, UserProfile,
+};
+use qosc_services::{catalog, DiscoveryConfig, ServiceId, ServiceRegistry, TranscoderDescriptor};
+
+/// A registry holding the full transcoder catalog on one host, with
+/// static leases — churn is not under study here, the breaker and
+/// probation machinery are.
+fn seeded_registry() -> (ServiceRegistry, Vec<ServiceId>) {
+    let formats = FormatRegistry::with_builtins();
+    let mut topo = Topology::new();
+    let host = topo.add_node(Node::unconstrained("proxy"));
+    let mut registry = ServiceRegistry::new();
+    let ids = catalog::full_catalog()
+        .iter()
+        .map(|spec| {
+            registry.register_static(TranscoderDescriptor::resolve(spec, &formats, host).unwrap())
+        })
+        .collect();
+    (registry, ids)
+}
+
+/// One registry operation; `dt_us` advances the virtual clock before
+/// it applies, so every interleaving is time-monotone.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Fail(u8),
+    Success(u8),
+    Probate(u8, u64),
+    Probe(u8),
+    Release,
+    Deregister(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<(Op, u64)>> {
+    let op = prop_oneof![
+        (0u8..16).prop_map(Op::Fail),
+        (0u8..16).prop_map(Op::Success),
+        ((0u8..16), (0u64..1_000_000)).prop_map(|(s, ppm)| Op::Probate(s, ppm)),
+        (0u8..16).prop_map(Op::Probe),
+        Just(Op::Release),
+        (0u8..16).prop_map(Op::Deregister),
+    ];
+    proptest::collection::vec((op, 0u64..2_000_000), 1..80)
+}
+
+/// Replay `trace` against a fresh registry; returns the batches
+/// `release_quarantines` produced along the way.
+fn replay(
+    registry: &mut ServiceRegistry,
+    ids: &[ServiceId],
+    trace: &[(Op, u64)],
+) -> Vec<Vec<ServiceId>> {
+    let mut now = 0u64;
+    let mut released = Vec::new();
+    let pick = |s: u8| ids[s as usize % ids.len()];
+    for &(op, dt) in trace {
+        now += dt;
+        match op {
+            Op::Fail(s) => {
+                // Dead and quarantined targets are documented no-ops.
+                let _ = registry.report_failure(pick(s), SimTime(now));
+            }
+            Op::Success(s) => {
+                let _ = registry.report_success(pick(s));
+            }
+            Op::Probate(s, ppm) => {
+                registry.probate(pick(s), ppm, SimTime(now));
+            }
+            Op::Probe(s) => {
+                registry.probe_success(pick(s), SimTime(now));
+            }
+            Op::Release => released.push(registry.release_quarantines(SimTime(now))),
+            Op::Deregister(s) => {
+                let _ = registry.deregister(pick(s));
+            }
+        }
+    }
+    released
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two registries fed the identical seeded interleaving agree on
+    /// everything observable: the event log, the epoch, the penalty
+    /// view, and every per-service availability flag.
+    #[test]
+    fn state_machine_is_deterministic(trace in ops()) {
+        let (mut a, ids_a) = seeded_registry();
+        let (mut b, ids_b) = seeded_registry();
+        prop_assert_eq!(&ids_a, &ids_b, "registration order is deterministic");
+        let released_a = replay(&mut a, &ids_a, &trace);
+        let released_b = replay(&mut b, &ids_b, &trace);
+        prop_assert_eq!(released_a, released_b);
+        prop_assert_eq!(a.events(), b.events());
+        prop_assert_eq!(a.epoch(), b.epoch());
+        prop_assert_eq!(a.selection_penalties(), b.selection_penalties());
+        for &id in &ids_a {
+            prop_assert_eq!(a.is_available(id), b.is_available(id));
+            prop_assert_eq!(a.is_probated(id), b.is_probated(id));
+            prop_assert_eq!(a.is_quarantined(id), b.is_quarantined(id));
+            prop_assert_eq!(a.effective_qos_ppm(id), b.effective_qos_ppm(id));
+        }
+    }
+
+    /// The penalty view selection binary-searches must stay strictly
+    /// sorted by service id through any interleaving.
+    #[test]
+    fn selection_penalties_stay_sorted(trace in ops()) {
+        let (mut registry, ids) = seeded_registry();
+        let mut now = 0u64;
+        let pick = |s: u8| ids[s as usize % ids.len()];
+        for &(op, dt) in &trace {
+            now += dt;
+            match op {
+                Op::Fail(s) => { let _ = registry.report_failure(pick(s), SimTime(now)); }
+                Op::Success(s) => { let _ = registry.report_success(pick(s)); }
+                Op::Probate(s, ppm) => { registry.probate(pick(s), ppm, SimTime(now)); }
+                Op::Probe(s) => { registry.probe_success(pick(s), SimTime(now)); }
+                Op::Release => { registry.release_quarantines(SimTime(now)); }
+                Op::Deregister(s) => { let _ = registry.deregister(pick(s)); }
+            }
+            let penalties = registry.selection_penalties();
+            prop_assert!(
+                penalties.windows(2).all(|w| w[0].0 < w[1].0),
+                "penalty view must stay strictly sorted"
+            );
+            for &(id, ppm) in penalties {
+                prop_assert!(registry.is_probated(id));
+                prop_assert_eq!(registry.effective_qos_ppm(id), ppm);
+            }
+        }
+    }
+
+    /// However the failure reports are interleaved, quarantines release
+    /// in registration order — the ordering worker-count invariance
+    /// leans on.
+    #[test]
+    fn release_ordering_is_registration_order(raw in proptest::collection::vec(0usize..16, 2..16)) {
+        // Dedup preserving first occurrence: an arbitrary *report*
+        // order over distinct services.
+        let mut order: Vec<usize> = Vec::new();
+        for slot in raw {
+            if !order.contains(&slot) {
+                order.push(slot);
+            }
+        }
+        let (mut registry, ids) = seeded_registry();
+        let threshold = registry.quarantine_config().failure_threshold;
+        // Quarantine the chosen services in shuffled *report* order.
+        for (k, &slot) in order.iter().enumerate() {
+            let id = ids[slot % ids.len()];
+            for f in 0..threshold {
+                let _ = registry.report_failure(id, SimTime(1_000 + (k as u64) * 10 + f as u64));
+            }
+        }
+        let cooldown = registry.quarantine_config().cooldown_us;
+        let released = registry.release_quarantines(SimTime(1_000 + cooldown + 1_000_000));
+        prop_assert_eq!(released.len(), order.iter().map(|s| s % ids.len()).collect::<std::collections::BTreeSet<_>>().len());
+        prop_assert!(
+            released.windows(2).all(|w| w[0].index() < w[1].index()),
+            "released ids must come back in registration order, got {:?}",
+            released
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 7 parity at unit scale: the session-engine digests the X18
+// scorecard compares, on a three-node world small enough for a test.
+// ---------------------------------------------------------------------
+
+struct Hosts {
+    server: NodeId,
+    client: NodeId,
+}
+
+/// server —100M— proxy —1M— client with the full catalog on the proxy,
+/// plus a sag window over the member serving the composed chain when
+/// `grey` is set.
+fn grey_world(formats: &FormatRegistry, grey: bool) -> (ChaosWorld<'_>, Hosts) {
+    let mut topo = Topology::new();
+    let server = topo.add_node(Node::unconstrained("server"));
+    let proxy = topo.add_node(Node::unconstrained("proxy"));
+    let client = topo.add_node(Node::unconstrained("client"));
+    topo.connect_simple(server, proxy, 100e6).unwrap();
+    topo.connect_simple(proxy, client, 1e6).unwrap();
+    let mut world = ChaosWorld::new(formats, Network::new(topo), DiscoveryConfig::default());
+    for spec in catalog::full_catalog() {
+        world.join(TranscoderDescriptor::resolve(&spec, formats, proxy).unwrap());
+    }
+    if grey {
+        let plan = world
+            .composer()
+            .compose(&profiles(), server, client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .expect("the PDA scenario composes a chain");
+        let sick = plan.steps.iter().find_map(|s| s.service).unwrap();
+        let index = world
+            .services()
+            .live_services()
+            .position(|(id, _)| id == sick)
+            .unwrap();
+        world.schedule_action(
+            1_000_000,
+            ChaosAction::SagMember {
+                index,
+                throughput_permille: 100,
+            },
+        );
+        world.schedule_action(8_000_000, ChaosAction::UnsagMember(index));
+    }
+    (world, Hosts { server, client })
+}
+
+fn profiles() -> ProfileSet {
+    ProfileSet {
+        user: UserProfile::demo("user-0"),
+        content: ContentProfile::demo_video("clip"),
+        device: DeviceProfile::demo_pda(),
+        context: ContextProfile::default(),
+        network: NetworkProfile::broadband(),
+    }
+}
+
+fn requests(h: &Hosts) -> Vec<SessionRequest> {
+    (0..3u64)
+        .map(|k| SessionRequest {
+            request: CompositionRequest {
+                profiles: profiles(),
+                sender_host: h.server,
+                receiver_host: h.client,
+            },
+            arrival: ArrivalMeta {
+                arrival_us: k * 400_000,
+                priority: PriorityClass::Standard,
+                service_cost_us: 1_000,
+                deadline_budget_us: None,
+            },
+            hold_us: 8_000_000,
+            demand_bps: 1_000,
+        })
+        .collect()
+}
+
+fn engine_config(sla: Option<SlaConfig>) -> SessionEngineConfig {
+    SessionEngineConfig {
+        admission: None,
+        tick_us: 250_000,
+        horizon_us: Some(10_000_000),
+        session_spans: true,
+        abr: Some(AbrConfig::with_mode(AbrMode::Bola)),
+        sla,
+        ..SessionEngineConfig::default()
+    }
+}
+
+fn run_mode(grey: bool, sla: Option<SlaConfig>) -> SessionsReport {
+    let formats = FormatRegistry::with_builtins();
+    let (mut world, hosts) = grey_world(&formats, grey);
+    run_sessions(
+        &mut world,
+        &requests(&hosts),
+        &engine_config(sla),
+        &qosc_telemetry::NoopSink,
+    )
+}
+
+fn digest(report: &SessionsReport) -> String {
+    let mut rendered = String::new();
+    for outcome in &report.outcomes {
+        rendered.push_str(&format!("{outcome:?}\n"));
+    }
+    rendered.push_str(&format!("{:?} end={}", report.counters, report.end_us));
+    rendered
+}
+
+/// A binary breaker only sees hard failures; grey-only chaos never
+/// produces one, so its run must be bit-identical to no detection at
+/// all — the scorecard's "provably blind" claim.
+#[test]
+fn binary_breaker_is_blind_to_grey_faults() {
+    let off = run_mode(true, None);
+    let binary = run_mode(
+        true,
+        Some(SlaConfig {
+            mode: SlaMode::Binary,
+            ..SlaConfig::default()
+        }),
+    );
+    assert_eq!(digest(&off), digest(&binary));
+    assert_eq!(binary.sla_violations(), 0);
+    assert_eq!(binary.evasions(), 0);
+    assert!(
+        off.rebuffer_us() > 0,
+        "the sag window must actually starve the undetected sessions"
+    );
+}
+
+/// With nothing sagging, the drift-aware estimators observe nominal
+/// QoS, never flag, and change nothing: bit-identical to `sla: None`
+/// — the do-no-harm bound behind "with estimators off, every integer
+/// field is bit-identical to the PR 7 code path".
+#[test]
+fn drift_estimators_do_no_harm_when_healthy() {
+    let off = run_mode(false, None);
+    let drift = run_mode(false, Some(SlaConfig::default()));
+    assert_eq!(digest(&off), digest(&drift));
+    assert_eq!(drift.sla_violations(), 0);
+    assert_eq!(drift.evasions(), 0);
+}
+
+/// Detection-off runs are invariant in the SLA machinery's mere
+/// existence: the `sla: None` digest is identical whether or not grey
+/// state sits in the world — as long as no window is scheduled.
+#[test]
+fn detection_off_is_stable_across_runs() {
+    let a = run_mode(false, None);
+    let b = run_mode(false, None);
+    assert_eq!(digest(&a), digest(&b));
+    assert_eq!(a.counters.offered, 3);
+}

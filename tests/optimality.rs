@@ -26,6 +26,7 @@ fn compare_on(config: &GeneratorConfig, seeds: std::ops::Range<u64>) -> (usize, 
             profile: &profile,
             budget: scenario.profiles.user.budget_or_infinite(),
             optimizer: OptimizeOptions::default(),
+            penalties: &[],
         };
         let exact = exhaustive_optimum(&ctx, ExhaustiveOptions::default()).unwrap();
         match (&composition.selection.chain, &exact) {
