@@ -1,0 +1,583 @@
+//! Cross-session bandwidth broker.
+//!
+//! The paper's `Bandwidth_AvailableBetween` (Equa. 2) reasoning is strictly
+//! per-request: each chain grabs link capacity first-come first-served, so a
+//! thousand concurrent sessions through one backbone link collapse the
+//! satisfaction tail. This crate adds the missing cross-session arbiter: a
+//! deterministic, preemption-free broker that knows every live session's
+//! demand window `(min_bps, max_bps)`, its priority-class weight, and the
+//! directed links its plan is pinned to, and computes a weighted max-min
+//! fair allocation by integer water-filling over the link-flow incidence.
+//!
+//! Design points:
+//!
+//! - **All arithmetic is integer `u64` bps** with saturating operations and
+//!   deterministic tie-breaks (flows by session id, links by
+//!   `(LinkId, direction)`), so allocations are bit-identical across runs,
+//!   worker counts and flow-registration orders.
+//! - **Preemption-free departures.** When a flow leaves, its released
+//!   bandwidth is redistributed by water-filling *upward from the surviving
+//!   grants*: no survivor's grant ever decreases. Arrivals and capacity
+//!   changes trigger a full rebalance (a newcomer must be able to squeeze
+//!   incumbents down to their fair share — that is fairness, not
+//!   preemption).
+//! - **Epoch counter.** `epoch()` bumps only when the published grants
+//!   actually change, so consumers (the session event loop) can cheaply
+//!   detect reallocations and re-evaluate ladder rungs without
+//!   re-composing.
+//!
+//! The greedy first-come first-served baseline lives behind the same API
+//! ([`SharingPolicy::Fcfs`]) so benchmarks compare both under identical
+//! event sequences.
+
+use qosc_netsim::LinkId;
+use qosc_telemetry::MetricsRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed traversal of one link: `(link, forward?)` — the same encoding
+/// `Route::directed_hops` produces.
+pub type DirectedLink = (LinkId, bool);
+
+/// One session's registered demand, pinned to its plan's route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Session identifier (index into the session table); the deterministic
+    /// tie-break key.
+    pub session: u64,
+    /// Guaranteed floor in bps (granted before any water-filling; callers
+    /// must keep admission honest so floors stay feasible).
+    pub min_bps: u64,
+    /// Demand ceiling in bps — the flow is frozen at this cap once reached.
+    pub max_bps: u64,
+    /// Priority-class weight (e.g. interactive 4, standard 2, background 1).
+    /// Zero is treated as one.
+    pub weight: u32,
+    /// Directed links the flow crosses; duplicates count multiply (a flow
+    /// crossing a link twice consumes twice its rate there).
+    pub hops: Vec<DirectedLink>,
+}
+
+impl FlowSpec {
+    fn weight_u64(&self) -> u64 {
+        u64::from(self.weight.max(1))
+    }
+}
+
+/// Allocation discipline used on every recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingPolicy {
+    /// Greedy first-come first-served: replay registration order, grant each
+    /// flow `min(max_bps, bottleneck residual)`. The paper's implicit
+    /// baseline.
+    Fcfs,
+    /// Weighted max-min fairness via integer water-filling with iterative
+    /// bottleneck-link freezing.
+    WeightedMaxMin,
+}
+
+/// The broker: capacities + registered flows + published grants.
+#[derive(Debug, Clone)]
+pub struct BandwidthBroker {
+    policy: SharingPolicy,
+    /// Effective capacity per directed link (bps). Links absent from this
+    /// map are unconstrained.
+    capacity: BTreeMap<DirectedLink, u64>,
+    /// Flows keyed by session id; `seq` preserves registration order for
+    /// the FCFS policy (re-pins keep the original sequence number).
+    flows: BTreeMap<u64, (u64, FlowSpec)>,
+    next_seq: u64,
+    grants: BTreeMap<u64, u64>,
+    epoch: u64,
+    reallocations: u64,
+}
+
+impl BandwidthBroker {
+    pub fn new(policy: SharingPolicy) -> BandwidthBroker {
+        BandwidthBroker {
+            policy,
+            capacity: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            next_seq: 0,
+            grants: BTreeMap::new(),
+            epoch: 0,
+            reallocations: 0,
+        }
+    }
+
+    pub fn policy(&self) -> SharingPolicy {
+        self.policy
+    }
+
+    /// Stage an effective-capacity update for one directed link. Does not
+    /// recompute: callers batch capacity changes (e.g. one chaos event can
+    /// squeeze many links) and then call [`BandwidthBroker::rebalance`].
+    pub fn set_capacity(&mut self, link: LinkId, forward: bool, capacity_bps: u64) {
+        self.capacity.insert((link, forward), capacity_bps);
+    }
+
+    /// Register (or re-pin) a session's flow, then rebalance from scratch.
+    /// A re-pin replaces the previous spec but keeps the original FCFS
+    /// sequence number, so rung switches don't launder queue position.
+    pub fn register(&mut self, flow: FlowSpec) {
+        let seq = match self.flows.get(&flow.session) {
+            Some((seq, _)) => *seq,
+            None => {
+                let s = self.next_seq;
+                self.next_seq += 1;
+                s
+            }
+        };
+        self.flows.insert(flow.session, (seq, flow));
+        self.recompute(Floors::None);
+    }
+
+    /// Remove a departing session's flow. The released bandwidth is
+    /// redistributed preemption-free: survivors are water-filled upward
+    /// from their current grants, so no survivor's grant decreases.
+    pub fn deregister(&mut self, session: u64) -> bool {
+        if self.flows.remove(&session).is_none() {
+            return false;
+        }
+        self.recompute(Floors::PreviousGrants);
+        true
+    }
+
+    /// Full rebalance against the current capacities (arrivals and
+    /// capacity changes rebalance from the registered floors only).
+    pub fn rebalance(&mut self) {
+        self.recompute(Floors::None);
+    }
+
+    /// Granted rate in bps for a session, if it has a registered flow.
+    pub fn grant(&self, session: u64) -> Option<u64> {
+        self.grants.get(&session).copied()
+    }
+
+    /// The registered spec for a session, if any.
+    pub fn flow(&self, session: u64) -> Option<&FlowSpec> {
+        self.flows.get(&session).map(|(_, f)| f)
+    }
+
+    /// Bumps every time the published grants map changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of recomputes that actually changed at least one grant.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// All current grants (session → bps), in session-id order.
+    pub fn grants(&self) -> &BTreeMap<u64, u64> {
+        &self.grants
+    }
+
+    /// Publish per-class gauges and the reallocation counter.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("qosc_broker_reallocations_total")
+            .store(self.reallocations);
+        registry
+            .gauge("qosc_broker_flows")
+            .set(self.flows.len() as i64);
+        let mut by_weight: BTreeMap<u64, u64> = BTreeMap::new();
+        for (session, (_, flow)) in &self.flows {
+            let granted = self.grants.get(session).copied().unwrap_or(0);
+            *by_weight.entry(flow.weight_u64()).or_insert(0) += granted;
+        }
+        for (weight, total) in by_weight {
+            registry
+                .gauge(&format!("qosc_broker_granted_bps_weight_{weight}"))
+                .set(total.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    fn recompute(&mut self, floors: Floors) {
+        let next = match self.policy {
+            SharingPolicy::Fcfs => self.compute_fcfs(),
+            SharingPolicy::WeightedMaxMin => {
+                let flows: Vec<&FlowSpec> = self.flows.values().map(|(_, f)| f).collect();
+                let floor_of = |f: &FlowSpec| match floors {
+                    Floors::None => f.min_bps.min(f.max_bps),
+                    Floors::PreviousGrants => self
+                        .grants
+                        .get(&f.session)
+                        .copied()
+                        .unwrap_or(0)
+                        .max(f.min_bps)
+                        .min(f.max_bps),
+                };
+                waterfill(&flows, &self.capacity, floor_of)
+            }
+        };
+        if next != self.grants {
+            self.grants = next;
+            self.epoch += 1;
+            self.reallocations += 1;
+        }
+    }
+
+    fn compute_fcfs(&self) -> BTreeMap<u64, u64> {
+        let mut order: Vec<(&u64, &(u64, FlowSpec))> = self.flows.iter().collect();
+        order.sort_by_key(|(_, (seq, _))| *seq);
+        let mut residual = self.capacity.clone();
+        let mut grants = BTreeMap::new();
+        for (session, (_, flow)) in order {
+            // Multiplicity-aware bottleneck: crossing a link c times caps
+            // the rate at residual / c there.
+            let mut crossings: BTreeMap<DirectedLink, u64> = BTreeMap::new();
+            for hop in &flow.hops {
+                *crossings.entry(*hop).or_insert(0) += 1;
+            }
+            let mut avail = flow.max_bps;
+            for (hop, count) in &crossings {
+                if let Some(r) = residual.get(hop) {
+                    avail = avail.min(r / count);
+                }
+            }
+            grants.insert(*session, avail);
+            for hop in &flow.hops {
+                if let Some(r) = residual.get_mut(hop) {
+                    *r = r.saturating_sub(avail);
+                }
+            }
+        }
+        grants
+    }
+}
+
+/// Which floor each flow water-fills upward from.
+#[derive(Debug, Clone, Copy)]
+enum Floors {
+    /// Registered `min_bps` — full rebalance (arrival / capacity change).
+    None,
+    /// `max(previous grant, min_bps)` — preemption-free departure.
+    PreviousGrants,
+}
+
+/// Integer weighted max-min water-filling.
+///
+/// Tier 1 grants every flow its floor (saturating the residuals — admission
+/// keeps floors feasible, the kernel stays total regardless). Tier 2 then
+/// raises all unfrozen flows in lock-step proportional to weight: each round
+/// computes the per-link level `floor(residual / Σ weights crossing)`, takes
+/// the global minimum `λ`, freezes cap-limited flows (remaining headroom
+/// `≤ λ·w`) at their cap, otherwise freezes every flow crossing the
+/// bottleneck link (lowest `(LinkId, direction)` on ties) at exactly `λ·w`.
+/// No sub-weight remainder is distributed, so the result is independent of
+/// flow order; the waste per saturated link is below the link's weight sum.
+fn waterfill(
+    flows: &[&FlowSpec],
+    capacity: &BTreeMap<DirectedLink, u64>,
+    floor_of: impl Fn(&FlowSpec) -> u64,
+) -> BTreeMap<u64, u64> {
+    let mut grants: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut residual = capacity.clone();
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by_key(|&i| flows[i].session);
+
+    // Tier 1: floors.
+    for &i in &order {
+        let flow = flows[i];
+        let floor = floor_of(flow).min(flow.max_bps);
+        grants.insert(flow.session, floor);
+        for hop in &flow.hops {
+            if let Some(r) = residual.get_mut(hop) {
+                *r = r.saturating_sub(floor);
+            }
+        }
+    }
+
+    // Tier 2: water-fill the headroom above the floors. Per-link state is
+    // maintained incrementally (each flow is frozen exactly once), keeping a
+    // recompute at O(flows·hops + rounds·links).
+    let mut active: Vec<usize> = Vec::new();
+    let mut weight_sum: BTreeMap<DirectedLink, u64> = BTreeMap::new();
+    for &i in &order {
+        let flow = flows[i];
+        if grants[&flow.session] >= flow.max_bps {
+            continue;
+        }
+        let constrained = flow.hops.iter().any(|h| residual.contains_key(h));
+        if !constrained {
+            // No shared link on the path: grant the full demand.
+            grants.insert(flow.session, flow.max_bps);
+            continue;
+        }
+        for hop in &flow.hops {
+            if residual.contains_key(hop) {
+                *weight_sum.entry(*hop).or_insert(0) += flow.weight_u64();
+            }
+        }
+        active.push(i);
+    }
+
+    while !active.is_empty() {
+        // Global water level and bottleneck link (first achiever in
+        // ascending (LinkId, direction) order wins ties).
+        let mut level = u64::MAX;
+        let mut bottleneck: Option<DirectedLink> = None;
+        for (link, w) in &weight_sum {
+            if *w == 0 {
+                continue;
+            }
+            let l = residual.get(link).copied().unwrap_or(0) / w;
+            if l < level {
+                level = l;
+                bottleneck = Some(*link);
+            }
+        }
+        let Some(bottleneck) = bottleneck else { break };
+
+        // Cap-limited flows freeze first (at their cap, which is at or
+        // below the level share); only if none exist does the bottleneck
+        // link freeze its crossers at exactly λ·w.
+        let mut frozen: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = flows[i];
+                f.max_bps - grants[&f.session] <= level.saturating_mul(f.weight_u64())
+            })
+            .collect();
+        if frozen.is_empty() {
+            frozen = active
+                .iter()
+                .copied()
+                .filter(|&i| flows[i].hops.contains(&bottleneck))
+                .collect();
+        }
+        debug_assert!(!frozen.is_empty());
+
+        let frozen_set: BTreeSet<usize> = frozen.iter().copied().collect();
+        for &i in &frozen {
+            let flow = flows[i];
+            let headroom = flow.max_bps - grants[&flow.session];
+            let extra = headroom.min(level.saturating_mul(flow.weight_u64()));
+            *grants.get_mut(&flow.session).expect("granted in tier 1") += extra;
+            for hop in &flow.hops {
+                if let Some(r) = residual.get_mut(hop) {
+                    *r = r.saturating_sub(extra);
+                }
+                if let Some(w) = weight_sum.get_mut(hop) {
+                    *w = w.saturating_sub(flow.weight_u64());
+                }
+            }
+        }
+        active.retain(|i| !frozen_set.contains(i));
+    }
+
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_netsim::{Node, Topology};
+
+    fn line_topology(links: usize) -> (Topology, Vec<LinkId>) {
+        let mut topo = Topology::new();
+        let mut prev = topo.add_node(Node::unconstrained("n0"));
+        let mut ids = Vec::new();
+        for i in 0..links {
+            let next = topo.add_node(Node::unconstrained(format!("n{}", i + 1)));
+            ids.push(topo.connect_simple(prev, next, 1e9).expect("connect"));
+            prev = next;
+        }
+        (topo, ids)
+    }
+
+    fn flow(session: u64, min: u64, max: u64, weight: u32, hops: Vec<DirectedLink>) -> FlowSpec {
+        FlowSpec {
+            session,
+            min_bps: min,
+            max_bps: max,
+            weight,
+            hops,
+        }
+    }
+
+    #[test]
+    fn equal_weights_split_a_single_bottleneck_evenly() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 9_000);
+        for s in 0..3 {
+            broker.register(flow(s, 0, 100_000, 1, vec![(l, true)]));
+        }
+        for s in 0..3 {
+            assert_eq!(broker.grant(s), Some(3_000));
+        }
+    }
+
+    #[test]
+    fn weights_shape_the_split() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 7_000);
+        broker.register(flow(0, 0, 100_000, 4, vec![(l, true)]));
+        broker.register(flow(1, 0, 100_000, 2, vec![(l, true)]));
+        broker.register(flow(2, 0, 100_000, 1, vec![(l, true)]));
+        assert_eq!(broker.grant(0), Some(4_000));
+        assert_eq!(broker.grant(1), Some(2_000));
+        assert_eq!(broker.grant(2), Some(1_000));
+    }
+
+    #[test]
+    fn capped_flow_releases_its_share_to_the_rest() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 12_000);
+        broker.register(flow(0, 0, 2_000, 1, vec![(l, true)]));
+        broker.register(flow(1, 0, 100_000, 1, vec![(l, true)]));
+        broker.register(flow(2, 0, 100_000, 1, vec![(l, true)]));
+        assert_eq!(broker.grant(0), Some(2_000));
+        assert_eq!(broker.grant(1), Some(5_000));
+        assert_eq!(broker.grant(2), Some(5_000));
+    }
+
+    #[test]
+    fn mins_are_granted_before_water_filling() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 10_000);
+        broker.register(flow(0, 8_000, 100_000, 1, vec![(l, true)]));
+        broker.register(flow(1, 0, 100_000, 1, vec![(l, true)]));
+        // Session 0 keeps its floor; the 2k headroom splits 1k/1k.
+        assert_eq!(broker.grant(0), Some(9_000));
+        assert_eq!(broker.grant(1), Some(1_000));
+    }
+
+    #[test]
+    fn multi_link_bottleneck_freezing_redistributes() {
+        // L1 cap 10k carries {A, B}; L2 cap 6k carries {B, C}. Max-min:
+        // B and C freeze at 3k on L2, then A takes the 7k left on L1.
+        let (_topo, ids) = line_topology(2);
+        let (l1, l2) = (ids[0], ids[1]);
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l1, true, 10_000);
+        broker.set_capacity(l2, true, 6_000);
+        broker.register(flow(0, 0, 100_000, 1, vec![(l1, true)]));
+        broker.register(flow(1, 0, 100_000, 1, vec![(l1, true), (l2, true)]));
+        broker.register(flow(2, 0, 100_000, 1, vec![(l2, true)]));
+        assert_eq!(broker.grant(1), Some(3_000));
+        assert_eq!(broker.grant(2), Some(3_000));
+        assert_eq!(broker.grant(0), Some(7_000));
+    }
+
+    #[test]
+    fn departure_is_preemption_free() {
+        // Same shape as above; when C leaves, a from-scratch max-min would
+        // cut A from 7k to 5k (B rises to 5k on L1). The broker instead
+        // water-fills upward from the surviving grants: A keeps 7k, B rises
+        // only into capacity nobody holds.
+        let (_topo, ids) = line_topology(2);
+        let (l1, l2) = (ids[0], ids[1]);
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l1, true, 10_000);
+        broker.set_capacity(l2, true, 6_000);
+        broker.register(flow(0, 0, 100_000, 1, vec![(l1, true)]));
+        broker.register(flow(1, 0, 100_000, 1, vec![(l1, true), (l2, true)]));
+        broker.register(flow(2, 0, 100_000, 1, vec![(l2, true)]));
+        assert!(broker.deregister(2));
+        assert_eq!(broker.grant(0), Some(7_000));
+        assert_eq!(broker.grant(1), Some(3_000));
+        // The next arrival rebalances from scratch.
+        broker.register(flow(3, 0, 100_000, 1, vec![(l2, true)]));
+        assert_eq!(broker.grant(0), Some(7_000));
+        assert_eq!(broker.grant(1), Some(3_000));
+        assert_eq!(broker.grant(3), Some(3_000));
+    }
+
+    #[test]
+    fn fcfs_is_registration_ordered() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::Fcfs);
+        broker.set_capacity(l, true, 10_000);
+        broker.register(flow(7, 0, 8_000, 1, vec![(l, true)]));
+        broker.register(flow(1, 0, 8_000, 1, vec![(l, true)]));
+        broker.register(flow(3, 0, 8_000, 1, vec![(l, true)]));
+        // First registrant wins regardless of session id.
+        assert_eq!(broker.grant(7), Some(8_000));
+        assert_eq!(broker.grant(1), Some(2_000));
+        assert_eq!(broker.grant(3), Some(0));
+        // A re-pin keeps queue position: session 7 lowering its demand
+        // frees capacity for session 1, not for itself.
+        broker.register(flow(7, 0, 4_000, 1, vec![(l, true)]));
+        assert_eq!(broker.grant(7), Some(4_000));
+        assert_eq!(broker.grant(1), Some(6_000));
+        assert_eq!(broker.grant(3), Some(0));
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_actual_grant_changes() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 10_000);
+        broker.register(flow(0, 0, 4_000, 1, vec![(l, true)]));
+        let e = broker.epoch();
+        // Uncontended second flow: its arrival changes the grants map (new
+        // entry) but must not disturb session 0.
+        broker.register(flow(1, 0, 4_000, 1, vec![(l, true)]));
+        assert_eq!(broker.grant(0), Some(4_000));
+        assert!(broker.epoch() > e);
+        let e = broker.epoch();
+        // Identical re-pin: no grant changes, no epoch bump.
+        broker.register(flow(1, 0, 4_000, 1, vec![(l, true)]));
+        assert_eq!(broker.epoch(), e);
+        // Squeeze then rebalance: grants drop, epoch bumps.
+        broker.set_capacity(l, true, 6_000);
+        broker.rebalance();
+        assert!(broker.epoch() > e);
+        assert_eq!(broker.grant(0), Some(3_000));
+        assert_eq!(broker.grant(1), Some(3_000));
+    }
+
+    #[test]
+    fn duplicate_hops_count_multiply() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 12_000);
+        // Session 0 crosses the link twice: rate g consumes 2g there.
+        broker.register(flow(0, 0, 100_000, 1, vec![(l, true), (l, true)]));
+        broker.register(flow(1, 0, 100_000, 1, vec![(l, true)]));
+        // Weight sum on the link is 2+1 = 3 → level 4k; both freeze there:
+        // session 0 at 4k (consuming 8k), session 1 at 4k.
+        assert_eq!(broker.grant(0), Some(4_000));
+        assert_eq!(broker.grant(1), Some(4_000));
+    }
+
+    #[test]
+    fn metrics_export_publishes_class_gauges() {
+        let (_topo, ids) = line_topology(1);
+        let l = ids[0];
+        let mut broker = BandwidthBroker::new(SharingPolicy::WeightedMaxMin);
+        broker.set_capacity(l, true, 6_000);
+        broker.register(flow(0, 0, 100_000, 4, vec![(l, true)]));
+        broker.register(flow(1, 0, 100_000, 2, vec![(l, true)]));
+        let registry = MetricsRegistry::new();
+        broker.export_metrics(&registry);
+        assert_eq!(registry.gauge_value("qosc_broker_flows"), Some(2));
+        assert_eq!(
+            registry.gauge_value("qosc_broker_granted_bps_weight_4"),
+            Some(4_000)
+        );
+        assert_eq!(
+            registry.gauge_value("qosc_broker_granted_bps_weight_2"),
+            Some(2_000)
+        );
+        assert!(registry.counter_value("qosc_broker_reallocations_total") >= Some(1));
+    }
+}

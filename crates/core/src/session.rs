@@ -215,6 +215,51 @@ pub trait SessionWorld {
     fn apply_world_event(&mut self, index: usize) {
         let _ = index;
     }
+
+    /// Register (or re-pin, after a rung switch or re-composition) the
+    /// session's bandwidth demand with the world's broker, pinned to
+    /// `plan`'s route. `weight` is the priority-class weight. Worlds
+    /// without a broker ignore this.
+    fn register_session_flow(
+        &mut self,
+        session: u64,
+        plan: &AdaptationPlan,
+        demand_bps: u64,
+        weight: u32,
+    ) {
+        let _ = (session, plan, demand_bps, weight);
+    }
+
+    /// Remove the session's flow on close; the broker redistributes the
+    /// released bandwidth preemption-free. No-op without a broker.
+    fn deregister_session_flow(&mut self, session: u64) {
+        let _ = session;
+    }
+
+    /// Bumps whenever the broker's published grants change. The event
+    /// loop watches this to re-evaluate ladder rungs (not re-compose)
+    /// after a reallocation. Brokerless worlds stay at 0, so the watch
+    /// never fires and their event sequence is untouched.
+    fn grant_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Per-session delivery rate: like
+    /// [`delivery_ppm`](Self::delivery_ppm) but allowed to consult the
+    /// session's brokered grant instead of raw worst-hop headroom.
+    /// `plan_gen` identifies the adopted plan instance for memoization.
+    /// Defaults to the shared-fate `delivery_ppm`, so brokerless worlds
+    /// behave bit-identically.
+    fn session_delivery_ppm(
+        &self,
+        session: u64,
+        plan_gen: u32,
+        plan: &AdaptationPlan,
+        demand_bps: u64,
+    ) -> u64 {
+        let _ = (session, plan_gen);
+        self.delivery_ppm(plan, demand_bps)
+    }
 }
 
 /// A world that never changes: composition state borrowed from a
@@ -395,6 +440,9 @@ pub struct SessionOutcome {
     /// Proactive make-before-break re-compositions committed to evade
     /// an SLA-violating chain (0 without SLA detection).
     pub evasions: u32,
+    /// Broker reallocations that changed this session's observed fill
+    /// rate mid-stream (0 without a bandwidth broker).
+    pub grant_updates: u32,
 }
 
 impl SessionOutcome {

@@ -224,6 +224,21 @@ struct Loop<'a, 'w, W: SessionWorld, S: TelemetrySink> {
     /// [`SlaMode::DriftAware`]; `None` takes the exact pre-SLA code
     /// paths.
     watchdog: Option<SlaWatchdog>,
+    /// Last observed [`SessionWorld::grant_epoch`]. When the broker
+    /// reallocates, streaming sessions re-sample their fill — rung
+    /// reevaluation, not re-composition. Brokerless worlds never move
+    /// the epoch, so this path stays cold.
+    last_grant_epoch: u64,
+}
+
+/// Priority-class weight fed to the broker: interactive traffic gets
+/// four shares for every background share.
+fn priority_weight(priority: crate::admission::PriorityClass) -> u32 {
+    match priority {
+        crate::admission::PriorityClass::Interactive => 4,
+        crate::admission::PriorityClass::Standard => 2,
+        crate::admission::PriorityClass::Background => 1,
+    }
 }
 
 pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
@@ -244,6 +259,7 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
     }
 
     let n = requests.len();
+    let initial_grant_epoch = world.grant_epoch();
     let mut lp = Loop {
         world,
         requests,
@@ -280,6 +296,7 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
         watchdog: config.sla.and_then(|sla| {
             (sla.mode == SlaMode::DriftAware).then(|| SlaWatchdog::new(sla.estimator))
         }),
+        last_grant_epoch: initial_grant_epoch,
     };
 
     // Shared per-run graph store: the world snapshot only moves at
@@ -320,6 +337,11 @@ pub(crate) fn run<W: SessionWorld + Sync, S: TelemetrySink>(
                 lp.apply(t, *job, result, cached);
             }
         }
+        // Membership changes this instant (opens, closes, switches,
+        // squeezes) may have moved the broker's grants; streaming
+        // sessions react by re-evaluating their fill, never by
+        // re-composing.
+        lp.react_to_grants(t);
     }
     if let Some(h) = config.horizon_us {
         end_us = h;
@@ -626,19 +648,69 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
     }
 
     /// Re-read the plan's achieved delivery rate from the world
-    /// (capped at the configured maximum fill speed).
+    /// (capped at the configured maximum fill speed). Goes through the
+    /// per-session channel so brokered worlds answer with the session's
+    /// granted rate; the default implementation falls straight back to
+    /// the shared-fate `delivery_ppm`.
     fn resample_fill(&mut self, i: usize) {
         let Some(cfg) = self.config.abr else {
             return;
         };
         let demand = self.requests[i].demand_bps;
+        let plan_gen = self.sessions[i].plan_gen;
         let fill = self.sessions[i]
             .plan
             .as_ref()
-            .map(|p| self.world.delivery_ppm(p, demand).min(cfg.max_fill_ppm))
+            .map(|p| {
+                self.world
+                    .session_delivery_ppm(i as u64, plan_gen, p, demand)
+                    .min(cfg.max_fill_ppm)
+            })
             .unwrap_or(0);
         if let Some(abr) = self.sessions[i].abr.as_mut() {
             abr.fill_ppm = fill;
+        }
+    }
+
+    /// The broker reallocated at `t`: every streaming buffer-aware
+    /// session closes its accrual interval at the old fill and
+    /// re-samples against its new grant. The next tick's controller
+    /// decision then sees the brokered rate — grant updates trigger
+    /// rung reevaluation, never re-composition.
+    fn react_to_grants(&mut self, t: u64) {
+        let epoch = self.world.grant_epoch();
+        if epoch == self.last_grant_epoch {
+            return;
+        }
+        self.last_grant_epoch = epoch;
+        if self.config.abr.is_none() {
+            return;
+        }
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].phase != Phase::Active || self.sessions[i].abr.is_none() {
+                continue;
+            }
+            let before = self.sessions[i].abr.as_ref().map(|a| a.fill_ppm);
+            self.accrue(i, t);
+            self.resample_fill(i);
+            let after = self.sessions[i].abr.as_ref().map(|a| a.fill_ppm);
+            if before != after {
+                let sess = &mut self.sessions[i];
+                sess.outcome.grant_updates = sess.outcome.grant_updates.saturating_add(1);
+                if self.config.session_spans {
+                    if let Some(state) = sess.trace {
+                        let mut trace = RequestTrace::resume(self.sink, state);
+                        trace.advance_to(t);
+                        trace.emit(
+                            ROOT_SPAN,
+                            EventKind::GrantUpdated {
+                                fill_ppm: after.unwrap_or(0),
+                            },
+                        );
+                        sess.trace = Some(trace.save());
+                    }
+                }
+            }
         }
     }
 
@@ -863,6 +935,9 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
             sess.plan = None;
             sess.satisfaction = 0.0;
         }
+        // The dead plan's pinned flow no longer exists; release its
+        // grant so survivors absorb it while the repair composes.
+        self.world.deregister_session_flow(i as u64);
         let attempt = self.sessions[i].outcome.recompositions.saturating_add(1);
         if let Some(state) = self.sessions[i].trace {
             let mut trace = RequestTrace::resume(self.sink, state);
@@ -958,6 +1033,9 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
 
     fn close(&mut self, t: u64, i: usize, reason: CloseReason) {
         self.accrue(i, t);
+        // Departures are preemption-free: the broker redistributes the
+        // released grant without lowering any survivor.
+        self.world.deregister_session_flow(i as u64);
         let sess = &mut self.sessions[i];
         sess.phase = Phase::Done;
         sess.outcome.closed_us = Some(t);
@@ -1277,6 +1355,15 @@ impl<W: SessionWorld + Sync, S: TelemetrySink> Loop<'_, '_, W, S> {
         sess.plan_gen = sess.plan_gen.wrapping_add(1);
         if let Some(abr) = sess.abr.as_mut() {
             abr.gen = abr.gen.wrapping_add(1);
+        }
+        // Adoption is the admission-commit point: pin the plan's demand
+        // with the world's broker (a re-pin after a rung switch lowers
+        // or raises the registered window in place). No-op without a
+        // broker.
+        if let Some(plan) = outcome.plan.as_ref() {
+            let weight = priority_weight(self.requests[i].arrival.priority);
+            self.world
+                .register_session_flow(i as u64, plan, self.requests[i].demand_bps, weight);
         }
     }
 }

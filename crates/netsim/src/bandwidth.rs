@@ -32,11 +32,26 @@ pub struct Reservation {
     pub rate_bps: f64,
 }
 
+/// Internal accounting resolution: micro-bps per bps. Totals are kept in
+/// integer micro-bps so repeated reserve/release cycles cannot drift the
+/// way f64 accumulation does; one micro-bps of quantization is far below
+/// any rate the simulator reasons about.
+const MICRO_BPS: f64 = 1e6;
+
+/// Quantize a validated (non-negative, non-NaN) rate to micro-bps. The
+/// same quantization runs on reserve and on release, so a release always
+/// subtracts exactly what its reserve added. Rates beyond ~1.8e13 bps
+/// saturate.
+fn to_micro_bps(rate_bps: f64) -> u64 {
+    (rate_bps * MICRO_BPS).round() as u64
+}
+
 /// The reservation ledger: per-direction totals plus per-reservation
-/// records.
+/// records. Totals are integer micro-bps internally; the public facade
+/// stays in f64 bps until callers migrate.
 #[derive(Debug, Clone, Default)]
 pub struct BandwidthLedger {
-    reserved: HashMap<(LinkId, LinkDirection), f64>,
+    reserved: HashMap<(LinkId, LinkDirection), u64>,
     reservations: HashMap<ReservationId, Reservation>,
     next_id: u64,
 }
@@ -49,10 +64,7 @@ impl BandwidthLedger {
 
     /// Total bits per second currently reserved on `link` in `direction`.
     pub fn reserved_on(&self, link: LinkId, direction: LinkDirection) -> f64 {
-        self.reserved
-            .get(&(link, direction))
-            .copied()
-            .unwrap_or(0.0)
+        self.reserved.get(&(link, direction)).copied().unwrap_or(0) as f64 / MICRO_BPS
     }
 
     /// Record a reservation of `rate_bps` on every directed crossing in
@@ -75,8 +87,10 @@ impl BandwidthLedger {
         }
         let id = ReservationId(self.next_id);
         self.next_id += 1;
+        let quantized = to_micro_bps(rate_bps);
         for &hop in &hops {
-            *self.reserved.entry(hop).or_insert(0.0) += rate_bps;
+            let total = self.reserved.entry(hop).or_insert(0);
+            *total = total.saturating_add(quantized);
         }
         self.reservations.insert(id, Reservation { hops, rate_bps });
         Ok(id)
@@ -89,10 +103,11 @@ impl BandwidthLedger {
             .reservations
             .remove(&id)
             .ok_or(NetError::UnknownReservation(id))?;
+        let quantized = to_micro_bps(reservation.rate_bps);
         for &hop in &reservation.hops {
             if let Some(total) = self.reserved.get_mut(&hop) {
-                *total = (*total - reservation.rate_bps).max(0.0);
-                if *total == 0.0 {
+                *total = total.saturating_sub(quantized);
+                if *total == 0 {
                     self.reserved.remove(&hop);
                 }
             }
@@ -160,6 +175,22 @@ mod tests {
     fn negative_rate_rejected() {
         let mut ledger = BandwidthLedger::new();
         assert!(ledger.reserve(vec![(LinkId(0), true)], -1.0).is_err());
+    }
+
+    #[test]
+    fn repeated_reserve_release_cycles_do_not_drift() {
+        // f64 accumulation drifts when non-dyadic rates churn on top of a
+        // long-lived reservation; integer micro-bps accounting must not.
+        let mut ledger = BandwidthLedger::new();
+        let l = LinkId(0);
+        let base = ledger.reserve(vec![(l, true)], 0.1).unwrap();
+        for _ in 0..10_000 {
+            let id = ledger.reserve(vec![(l, true)], 0.3).unwrap();
+            ledger.release(id).unwrap();
+        }
+        assert_eq!(ledger.reserved_on(l, true), 0.1);
+        ledger.release(base).unwrap();
+        assert_eq!(ledger.reserved_on(l, true), 0.0);
     }
 
     #[test]

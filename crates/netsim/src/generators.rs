@@ -210,6 +210,67 @@ pub fn dumbbell(
     (t, left, right)
 }
 
+/// A k-ary fat-tree (Al-Fares et al.): `k` pods, each with `k/2` edge and
+/// `k/2` aggregation switches, `(k/2)²` core switches, and `k/2` hosts per
+/// edge switch — `k³/4` hosts total. The canonical datacenter fabric for
+/// cross-session contention experiments: every inter-pod path climbs
+/// edge → aggregation → core and back down, so shared links appear at
+/// every layer. `k` must be even and at least 2.
+///
+/// Returns `(topology, hosts, core_switches)`; hosts are ordered pod by
+/// pod, edge by edge.
+pub fn fat_tree(
+    k: usize,
+    host_template: LinkTemplate,
+    fabric_template: LinkTemplate,
+    seed: u64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
+    let half = k / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_node(Node::new(format!("core-{i}"), 8_000.0, 16e9)))
+        .collect();
+    let mut hosts = Vec::new();
+    for pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|j| t.add_node(Node::new(format!("agg-{pod}-{j}"), 8_000.0, 16e9)))
+            .collect();
+        let edges: Vec<NodeId> = (0..half)
+            .map(|j| t.add_node(Node::new(format!("edge-{pod}-{j}"), 4_000.0, 8e9)))
+            .collect();
+        // Aggregation j uplinks to cores [j*half, (j+1)*half).
+        for (j, &agg) in aggs.iter().enumerate() {
+            for &core in &cores[j * half..(j + 1) * half] {
+                let link = fabric_template.draw(&mut rng, agg, core);
+                t.connect(link).expect("valid generated link");
+            }
+        }
+        // Full bipartite edge ↔ aggregation inside the pod.
+        for &edge in &edges {
+            for &agg in &aggs {
+                let link = fabric_template.draw(&mut rng, edge, agg);
+                t.connect(link).expect("valid generated link");
+            }
+        }
+        // Hosts hang off their edge switch.
+        for (j, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = t.add_node(Node::new(format!("host-{pod}-{j}-{h}"), 1_000.0, 2e9));
+                let link = host_template.draw(&mut rng, host, edge);
+                t.connect(link).expect("valid generated link");
+                hosts.push(host);
+            }
+        }
+    }
+    (t, hosts, cores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +312,28 @@ mod tests {
         for &n in &nodes {
             assert!(min_delay_route(&t1, nodes[0], n).is_ok());
         }
+    }
+
+    #[test]
+    fn fat_tree_shape_and_paths() {
+        let fabric = LinkTemplate::fixed(10e6, 1_000);
+        let access = LinkTemplate::fixed(1e6, 500);
+        let (t, hosts, cores) = fat_tree(4, access, fabric, 7);
+        // k=4: 16 hosts, 8 edge, 8 agg, 4 core.
+        assert_eq!(hosts.len(), 16);
+        assert_eq!(cores.len(), 4);
+        assert_eq!(t.node_count(), 16 + 8 + 8 + 4);
+        // 16 host links + 16 edge-agg + 16 agg-core.
+        assert_eq!(t.link_count(), 48);
+        // Same edge switch: host-edge-host.
+        let r = min_delay_route(&t, hosts[0], hosts[1]).unwrap();
+        assert_eq!(r.hop_count(), 2);
+        // Different pods: up through core and back down.
+        let r = min_delay_route(&t, hosts[0], hosts[15]).unwrap();
+        assert_eq!(r.hop_count(), 6);
+        // Deterministic for a fixed seed.
+        let (t2, _, _) = fat_tree(4, access, fabric, 7);
+        assert_eq!(t.link_count(), t2.link_count());
     }
 
     #[test]

@@ -35,13 +35,14 @@ pub mod session_world;
 
 pub use chaos::{ChaosAction, ChaosModel, ChaosPlan, ChaosSummary};
 pub use failure::{FailureEvent, FailureSchedule};
+pub use qosc_broker::{BandwidthBroker, FlowSpec, SharingPolicy};
 pub use report::SessionReport;
 pub use resilience::{
     plan_affected, run_resilient, run_resilient_traced, ResilienceConfig, ResilientRun,
     SegmentReport,
 };
 pub use session::{run_session, SessionConfig};
-pub use session_world::{ChaosWorld, WorldBuildError, WorldOp};
+pub use session_world::{ChaosWorld, DeliveryCacheStats, WorldBuildError, WorldOp};
 
 /// Errors produced by this crate.
 #[derive(Debug)]

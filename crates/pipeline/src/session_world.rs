@@ -24,14 +24,17 @@
 use crate::chaos::{ChaosAction, ChaosPlan};
 use crate::failure::{FailureEvent, FailureSchedule};
 use crate::resilience::plan_affected;
+use parking_lot::Mutex;
+use qosc_broker::{BandwidthBroker, FlowSpec, SharingPolicy};
 use qosc_core::{AdaptationPlan, Composer, SessionWorld};
 use qosc_media::FormatRegistry;
-use qosc_netsim::{NetError, Network, NodeId, SimTime};
+use qosc_netsim::{LinkId, NetError, Network, NodeId, SimTime};
 use qosc_profiles::ServiceSpec;
 use qosc_services::{
     DiscoveryConfig, DiscoveryDriver, MemberId, QosObservation, ServiceError, ServiceId,
     ServiceRegistry, TranscoderDescriptor, QOS_PPM,
 };
+use std::collections::HashMap;
 
 /// Typed construction failure for chaos-world topologies and fleets —
 /// what a scorecard bin reports instead of an `unwrap` panic when a
@@ -111,6 +114,53 @@ impl Default for GreyState {
     }
 }
 
+/// How a flow's peak crossing rate maps to its registered demand window:
+/// `max_bps = required × REFILL_HEADROOM` lets an uncontended session be
+/// granted surplus above real time so its playout buffer can refill
+/// (capped downstream by the ABR `max_fill_ppm`), and
+/// `min_bps = required / MIN_SHARE_DIV` is the guaranteed floor.
+const REFILL_HEADROOM: u64 = 2;
+const MIN_SHARE_DIV: u64 = 4;
+
+/// Hit/miss/refresh counters of the per-session delivery memo —
+/// scorecards use `hits > 0` as proof the cache is actually exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryCacheStats {
+    /// Full memo hits (plan shape and grant both unchanged).
+    pub hits: u64,
+    /// Grant-only refreshes: the broker reallocated, the memoized plan
+    /// shape (routes, required rate, sag cap) was reused and only the
+    /// cheap grant division re-ran.
+    pub refreshes: u64,
+    /// Full recomputes (new plan generation, world event, or demand
+    /// change).
+    pub misses: u64,
+}
+
+/// One session's memoized delivery state. The key splits in two: the
+/// *shape* part (`plan_gen`, `mutation`, `net_version`, `demand_bps`)
+/// guards the expensive route walk, while `epoch` guards only the cheap
+/// grant-dependent division — a broker reallocation invalidates the ppm
+/// without re-walking routes.
+#[derive(Debug, Clone, Copy)]
+struct DeliveryCacheEntry {
+    plan_gen: u32,
+    mutation: u64,
+    net_version: u64,
+    demand_bps: u64,
+    epoch: u64,
+    ppm: u64,
+    routable: bool,
+    required_bps: u64,
+    sag_cap_ppm: u64,
+}
+
+#[derive(Debug, Default)]
+struct DeliveryCache {
+    entries: HashMap<u64, DeliveryCacheEntry>,
+    stats: DeliveryCacheStats,
+}
+
 #[derive(Debug)]
 pub struct ChaosWorld<'a> {
     formats: &'a FormatRegistry,
@@ -125,6 +175,18 @@ pub struct ChaosWorld<'a> {
     nominal_latency_us: u64,
     events: Vec<(u64, WorldOp)>,
     times: Vec<u64>,
+    /// Cross-session bandwidth broker. `None` (the default) leaves
+    /// every delivery answer on the per-plan worst-hop path —
+    /// bit-identical to the pre-broker engine.
+    broker: Option<BandwidthBroker>,
+    /// Bumps on every applied world event (and on sharing-mode
+    /// changes); part of the delivery memo key.
+    world_mutations: u64,
+    /// Per-session delivery memo, exercised only when a broker is
+    /// attached. Interior mutability because `session_delivery_ppm`
+    /// takes `&self` from many engine workers (`parking_lot::Mutex`
+    /// keeps `ChaosWorld: Sync`).
+    delivery_cache: Mutex<DeliveryCache>,
 }
 
 impl<'a> ChaosWorld<'a> {
@@ -144,7 +206,101 @@ impl<'a> ChaosWorld<'a> {
             nominal_latency_us: 20_000,
             events: Vec::new(),
             times: Vec::new(),
+            broker: None,
+            world_mutations: 0,
+            delivery_cache: Mutex::new(DeliveryCache::default()),
         }
+    }
+
+    /// Attach (or detach) the cross-session bandwidth broker. With
+    /// `Some(policy)` the session engine's flows are arbitrated by that
+    /// policy and delivery answers come from per-session grants; with
+    /// `None` the world behaves exactly as it did before brokering
+    /// existed. Call before the run starts.
+    pub fn set_sharing(&mut self, policy: Option<SharingPolicy>) {
+        self.broker = policy.map(BandwidthBroker::new);
+        self.world_mutations += 1;
+        self.delivery_cache.lock().entries.clear();
+        if self.broker.is_some() {
+            self.refresh_broker_capacities();
+        }
+    }
+
+    /// The attached broker, if any.
+    pub fn broker(&self) -> Option<&BandwidthBroker> {
+        self.broker.as_ref()
+    }
+
+    /// Counters of the per-session delivery memo.
+    pub fn delivery_cache_stats(&self) -> DeliveryCacheStats {
+        self.delivery_cache.lock().stats
+    }
+
+    /// Re-read every directed link's current headroom (capacity minus
+    /// background utilization minus frame-replay reservations) into the
+    /// broker and rebalance. Runs at attach time and after every world
+    /// event — a Squeeze lands here as shrunken effective capacity.
+    fn refresh_broker_capacities(&mut self) {
+        let caps: Vec<(LinkId, bool, u64)> = self
+            .network
+            .topology()
+            .link_ids()
+            .flat_map(|link| [true, false].into_iter().map(move |dir| (link, dir)))
+            .map(|(link, dir)| {
+                let headroom = self.network.link_headroom(link, dir).unwrap_or(0.0);
+                (link, dir, headroom.max(0.0).floor() as u64)
+            })
+            .collect();
+        let Some(broker) = self.broker.as_mut() else {
+            return;
+        };
+        for (link, dir, cap) in caps {
+            broker.set_capacity(link, dir, cap);
+        }
+        broker.rebalance();
+    }
+
+    /// The directed links a plan crosses and its peak crossing rate in
+    /// bps (final hop floored by the session's own demand). A flow is
+    /// registered at its peak rate on every hop — conservative for the
+    /// lower-rate crossings, but one rate per flow keeps the
+    /// water-filling kernel exact and integer.
+    fn flow_shape(&self, plan: &AdaptationPlan, demand_bps: u64) -> (Vec<(LinkId, bool)>, u64) {
+        let hop_count = plan.steps.len().saturating_sub(1);
+        let mut hops = Vec::new();
+        let mut required = 0f64;
+        for (k, pair) in plan.steps.windows(2).enumerate() {
+            if pair[0].host == pair[1].host {
+                continue;
+            }
+            let Ok(route) = self.network.route_between(pair[0].host, pair[1].host) else {
+                continue;
+            };
+            hops.extend(route.directed_hops(self.network.topology()));
+            let mut rate = pair[1].input_bps;
+            if k + 1 == hop_count {
+                rate = rate.max(demand_bps as f64);
+            }
+            required = required.max(rate);
+        }
+        (hops, required.max(1.0).round() as u64)
+    }
+
+    /// Worst grey throughput sag across the plan's services, as a ppm
+    /// delivery cap (`u64::MAX` when every member is healthy).
+    fn plan_sag_cap(&self, plan: &AdaptationPlan) -> u64 {
+        let mut cap = u64::MAX;
+        for step in &plan.steps {
+            if let Some(id) = step.service {
+                if let Some(index) = self.grey_index(id) {
+                    let sag = u64::from(self.grey[index].sag_throughput_permille);
+                    if sag < 1_000 {
+                        cap = cap.min(sag * 1_000);
+                    }
+                }
+            }
+        }
+        cap
     }
 
     /// Join a service instance at virtual time 0. Returns its member
@@ -417,6 +573,7 @@ impl SessionWorld for ChaosWorld<'_> {
     }
 
     fn apply_world_event(&mut self, index: usize) {
+        self.world_mutations += 1;
         let (t, op) = self.events[index];
         // Discovery time advances to every event, fault or not — the
         // same tick-then-act order as ChaosPlan::drive_discovery. A
@@ -465,7 +622,141 @@ impl SessionWorld for ChaosWorld<'_> {
             }
             WorldOp::Settle => {}
         }
+        // Whatever the event did to effective capacity (Squeeze,
+        // Unsqueeze, node/link failures and restores), the broker sees
+        // it on the same instant and reallocates before any session
+        // reacts.
+        if self.broker.is_some() {
+            self.refresh_broker_capacities();
+        }
     }
+
+    fn register_session_flow(
+        &mut self,
+        session: u64,
+        plan: &AdaptationPlan,
+        demand_bps: u64,
+        weight: u32,
+    ) {
+        if self.broker.is_none() {
+            return;
+        }
+        let (hops, required) = self.flow_shape(plan, demand_bps);
+        let max_bps = required.saturating_mul(REFILL_HEADROOM);
+        let min_bps = required / MIN_SHARE_DIV;
+        let broker = self.broker.as_mut().expect("checked above");
+        broker.register(FlowSpec {
+            session,
+            min_bps,
+            max_bps,
+            weight,
+            hops,
+        });
+    }
+
+    fn deregister_session_flow(&mut self, session: u64) {
+        if let Some(broker) = self.broker.as_mut() {
+            broker.deregister(session);
+        }
+    }
+
+    fn grant_epoch(&self) -> u64 {
+        self.broker.as_ref().map_or(0, |b| b.epoch())
+    }
+
+    /// Brokered delivery: the session's granted rate over its plan's
+    /// peak required rate, in ppm — in place of the shared-fate
+    /// worst-hop division — memoized per session. Hard-unroutable plans
+    /// still deliver 0 and grey sags still cap the result, so every
+    /// invariant of [`delivery_ppm`](Self::delivery_ppm) carries over.
+    fn session_delivery_ppm(
+        &self,
+        session: u64,
+        plan_gen: u32,
+        plan: &AdaptationPlan,
+        demand_bps: u64,
+    ) -> u64 {
+        let Some(broker) = self.broker.as_ref() else {
+            return self.delivery_ppm(plan, demand_bps);
+        };
+        if broker.flow(session).is_none() {
+            // Not yet registered (e.g. a probe before adoption): answer
+            // shared-fate rather than starving the session.
+            return self.delivery_ppm(plan, demand_bps);
+        }
+        let epoch = broker.epoch();
+        let net_version = self.network.version();
+        {
+            let mut cache = self.delivery_cache.lock();
+            let DeliveryCache { entries, stats } = &mut *cache;
+            if let Some(entry) = entries.get_mut(&session) {
+                if entry.plan_gen == plan_gen
+                    && entry.mutation == self.world_mutations
+                    && entry.net_version == net_version
+                    && entry.demand_bps == demand_bps
+                {
+                    if entry.epoch == epoch {
+                        stats.hits += 1;
+                        return entry.ppm;
+                    }
+                    // Broker reallocation: invalidate only the
+                    // grant-dependent part.
+                    let ppm = granted_ppm(
+                        broker,
+                        session,
+                        entry.routable,
+                        entry.required_bps,
+                        entry.sag_cap_ppm,
+                    );
+                    entry.epoch = epoch;
+                    entry.ppm = ppm;
+                    stats.refreshes += 1;
+                    return ppm;
+                }
+            }
+        }
+        // Full recompute outside the lock: routability and the route
+        // walk dominate.
+        let routable = self.plan_routable(plan);
+        let (_, required_bps) = self.flow_shape(plan, demand_bps);
+        let sag_cap_ppm = self.plan_sag_cap(plan);
+        let ppm = granted_ppm(broker, session, routable, required_bps, sag_cap_ppm);
+        let mut cache = self.delivery_cache.lock();
+        cache.entries.insert(
+            session,
+            DeliveryCacheEntry {
+                plan_gen,
+                mutation: self.world_mutations,
+                net_version,
+                demand_bps,
+                epoch,
+                ppm,
+                routable,
+                required_bps,
+                sag_cap_ppm,
+            },
+        );
+        cache.stats.misses += 1;
+        ppm
+    }
+}
+
+/// The grant-dependent half of a brokered delivery answer: granted
+/// rate over required rate in ppm, zeroed for unroutable plans, capped
+/// by the worst grey sag.
+fn granted_ppm(
+    broker: &BandwidthBroker,
+    session: u64,
+    routable: bool,
+    required_bps: u64,
+    sag_cap_ppm: u64,
+) -> u64 {
+    if !routable {
+        return 0;
+    }
+    let grant = broker.grant(session).unwrap_or(0);
+    let ppm = grant.saturating_mul(1_000_000) / required_bps.max(1);
+    ppm.min(sag_cap_ppm)
 }
 
 #[cfg(test)]
@@ -833,6 +1124,118 @@ mod tests {
         let member = w.try_join_spec(&spec, h.proxy).unwrap();
         assert_eq!(w.members().len(), joined_before + 1);
         assert_eq!(w.members()[joined_before], member);
+    }
+
+    #[test]
+    fn broker_splits_a_bottleneck_and_squeeze_shrinks_grants() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        w.set_sharing(Some(SharingPolicy::WeightedMaxMin));
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        // Two equal-weight sessions pinned to the same plan shape share
+        // the 1 Mbps last hop.
+        w.register_session_flow(0, &plan, 0, 2);
+        w.register_session_flow(1, &plan, 0, 2);
+        let broker = w.broker().expect("sharing is on");
+        let (g0, g1) = (broker.grant(0).unwrap(), broker.grant(1).unwrap());
+        assert_eq!(g0, g1, "equal weights over one bottleneck split evenly");
+        assert!(g0 + g1 <= 1_000_000, "grants fit the 1 Mbps edge");
+        assert!(g0 > 0);
+        let epoch_before = broker.epoch();
+
+        // Squeeze the last hop to 95% background load: the same-instant
+        // capacity refresh must shrink both grants and bump the epoch.
+        w.schedule_fault(
+            1_000_000,
+            FailureEvent::Squeeze {
+                link: h.last_hop,
+                permille: 950,
+            },
+        );
+        w.apply_world_event(0);
+        let broker = w.broker().unwrap();
+        assert!(broker.epoch() > epoch_before, "reallocation is visible");
+        let squeezed = broker.grant(0).unwrap();
+        assert!(squeezed < g0, "grants shrink under the squeeze");
+        // The 5% residual is below the two sessions' guaranteed floors,
+        // so each collapses to exactly its min (floors are never
+        // preempted, even oversubscribed — admission's job to prevent).
+        assert_eq!(squeezed, broker.flow(0).unwrap().min_bps);
+        // Departure frees the share without touching the survivor's
+        // floor (preemption-free reallocation).
+        w.deregister_session_flow(1);
+        let broker = w.broker().unwrap();
+        assert!(broker.grant(1).is_none());
+        assert!(broker.grant(0).unwrap() >= squeezed);
+    }
+
+    #[test]
+    fn brokered_delivery_memo_hits_and_refreshes() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        w.set_sharing(Some(SharingPolicy::WeightedMaxMin));
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        w.register_session_flow(0, &plan, 0, 2);
+        let first = w.session_delivery_ppm(0, 0, &plan, 0);
+        assert!(first > 0, "an uncontended brokered session delivers");
+        let second = w.session_delivery_ppm(0, 0, &plan, 0);
+        assert_eq!(first, second);
+        let stats = w.delivery_cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+
+        // A reallocation (new flow on the shared edge) invalidates only
+        // the grant-dependent half: the next answer is a refresh, not a
+        // route re-walk, and reflects the halved grant.
+        w.register_session_flow(1, &plan, 0, 2);
+        let contended = w.session_delivery_ppm(0, 0, &plan, 0);
+        assert!(contended < first, "contention halves the grant");
+        let stats = w.delivery_cache_stats();
+        assert_eq!(
+            (stats.misses, stats.hits, stats.refreshes),
+            (1, 1, 1),
+            "epoch-only change takes the refresh path"
+        );
+    }
+
+    #[test]
+    fn without_sharing_the_broker_paths_stay_cold() {
+        let f = fixture();
+        let (mut w, h) = world(&f);
+        let plan = w
+            .composer()
+            .compose(&profiles(), h.server, h.client, &SelectOptions::default())
+            .unwrap()
+            .plan
+            .unwrap();
+        assert_eq!(w.grant_epoch(), 0, "no broker, no epochs");
+        w.register_session_flow(0, &plan, 0, 2);
+        assert!(w.broker().is_none(), "registration is a no-op");
+        assert_eq!(
+            w.session_delivery_ppm(0, 0, &plan, 0),
+            w.delivery_ppm(&plan, 0),
+            "per-session delivery falls back to shared-fate"
+        );
+        let stats = w.delivery_cache_stats();
+        assert_eq!(stats, DeliveryCacheStats::default(), "memo never touched");
+        // Turning sharing on and off again restores the cold path.
+        w.set_sharing(Some(SharingPolicy::Fcfs));
+        assert!(w.broker().is_some());
+        w.set_sharing(None);
+        assert_eq!(w.grant_epoch(), 0);
+        assert_eq!(
+            w.session_delivery_ppm(0, 0, &plan, 0),
+            w.delivery_ppm(&plan, 0)
+        );
     }
 
     #[test]

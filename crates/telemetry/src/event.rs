@@ -224,6 +224,13 @@ pub enum EventKind {
         /// Buffer level at adoption, microseconds of playout.
         buffer_us: u64,
     },
+    /// The bandwidth broker reallocated and this session's granted
+    /// fill rate changed mid-stream (the controller reevaluates its
+    /// rung on the next tick; no re-composition happens here).
+    GrantUpdated {
+        /// The new fill rate, ppm of playback speed.
+        fill_ppm: u64,
+    },
 }
 
 impl EventKind {
@@ -267,6 +274,7 @@ impl EventKind {
             EventKind::ServiceProbated { .. } => "service_probated",
             EventKind::ProbationCleared { .. } => "probation_cleared",
             EventKind::SlaEvaded { .. } => "sla_evaded",
+            EventKind::GrantUpdated { .. } => "grant_updated",
         }
     }
 
@@ -344,6 +352,7 @@ impl EventKind {
                 to,
                 buffer_us,
             } => format!("sla_evaded from={from} to={to} buffer_us={buffer_us}"),
+            EventKind::GrantUpdated { fill_ppm } => format!("grant_updated fill_ppm={fill_ppm}"),
         }
     }
 }

@@ -229,6 +229,67 @@ pub fn session_arrivals(pattern: &SessionPattern, seed: u64) -> Vec<SessionArriv
         .collect()
 }
 
+/// Per-class bitrate-demand ranges, bits per second (inclusive) — what
+/// the bandwidth-broker sweeps use so interactive, standard and
+/// background sessions stress shared links differently. A class whose
+/// range is `(0, 0)` generates `demand_bps = 0` (plan-derived demand),
+/// exactly like [`SessionPattern::demand_range_bps`].
+#[derive(Debug, Clone, Copy)]
+pub struct DemandMix {
+    /// Demand range for [`PriorityClass::Interactive`] sessions.
+    pub interactive_bps: (u64, u64),
+    /// Demand range for [`PriorityClass::Standard`] sessions.
+    pub standard_bps: (u64, u64),
+    /// Demand range for [`PriorityClass::Background`] sessions.
+    pub background_bps: (u64, u64),
+}
+
+impl DemandMix {
+    /// The demand range a class draws from.
+    pub fn range_for(&self, priority: PriorityClass) -> (u64, u64) {
+        match priority {
+            PriorityClass::Interactive => self.interactive_bps,
+            PriorityClass::Standard => self.standard_bps,
+            PriorityClass::Background => self.background_bps,
+        }
+    }
+}
+
+/// [`session_arrivals`] with a per-class demand mix: the arrival and
+/// holding-time streams are byte-identical to `session_arrivals(pattern,
+/// seed)` (demands come from the same independent third stream), only
+/// each session's `demand_bps` is drawn from its class's range instead
+/// of the pattern-wide one.
+pub fn session_arrivals_with_mix(
+    pattern: &SessionPattern,
+    mix: &DemandMix,
+    seed: u64,
+) -> Vec<SessionArrival> {
+    let metas = poisson_burst_arrivals(&pattern.arrivals, seed);
+    let mut holds = SmallRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+    let mut demands = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let (lo, hi) = pattern.hold_range_us;
+    metas
+        .into_iter()
+        .map(|meta| {
+            let (dlo, dhi) = mix.range_for(meta.priority);
+            SessionArrival {
+                meta,
+                hold_us: if hi > lo {
+                    holds.random_range(lo..=hi)
+                } else {
+                    lo
+                },
+                demand_bps: if dhi > dlo {
+                    demands.random_range(dlo..=dhi)
+                } else {
+                    dlo
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +422,53 @@ mod tests {
             demanding.iter().map(|s| s.demand_bps).any(|d| d != dlo),
             "demands vary across sessions"
         );
+    }
+
+    #[test]
+    fn demand_mix_preserves_arrivals_and_holds_and_ranges_per_class() {
+        let pattern = SessionPattern {
+            arrivals: ArrivalPattern {
+                horizon_us: 2_000_000,
+                ..ArrivalPattern::default()
+            },
+            ..SessionPattern::default()
+        };
+        let mix = DemandMix {
+            interactive_bps: (2_000_000, 4_000_000),
+            standard_bps: (600_000, 1_200_000),
+            background_bps: (0, 0),
+        };
+        let plain = session_arrivals(&pattern, 42);
+        let mixed = session_arrivals_with_mix(&pattern, &mix, 42);
+        assert_eq!(
+            plain
+                .iter()
+                .map(|s| (s.meta, s.hold_us))
+                .collect::<Vec<_>>(),
+            mixed
+                .iter()
+                .map(|s| (s.meta, s.hold_us))
+                .collect::<Vec<_>>(),
+            "a demand mix must not perturb arrivals or holds"
+        );
+        let mut seen_classes = 0u32;
+        for s in &mixed {
+            let (dlo, dhi) = mix.range_for(s.meta.priority);
+            assert!(
+                s.demand_bps >= dlo && s.demand_bps <= dhi,
+                "{:?} demand {} outside [{dlo}, {dhi}]",
+                s.meta.priority,
+                s.demand_bps
+            );
+            seen_classes |= 1
+                << match s.meta.priority {
+                    PriorityClass::Interactive => 0,
+                    PriorityClass::Standard => 1,
+                    PriorityClass::Background => 2,
+                };
+        }
+        assert_eq!(seen_classes, 0b111, "all three classes drawn");
+        assert_eq!(session_arrivals_with_mix(&pattern, &mix, 42), mixed);
     }
 
     #[test]
