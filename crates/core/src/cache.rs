@@ -31,10 +31,12 @@ use crate::composer::Composer;
 use crate::graph::{GraphStore, GraphStoreStats};
 use crate::plan::AdaptationPlan;
 use crate::select::SelectOptions;
+use crate::sharded_compose::ShardedComposer;
 use crate::Result;
 use parking_lot::RwLock;
-use qosc_netsim::NodeId;
+use qosc_netsim::{Network, NodeId};
 use qosc_profiles::ProfileSet;
+use qosc_services::{ServiceRegistry, ShardedServiceRegistry};
 use qosc_telemetry::{
     CacheOutcome, EventKind, MetricsRegistry, RequestTrace, TelemetrySink, ROOT_SPAN,
 };
@@ -94,6 +96,15 @@ struct CachedPlan {
     plan: AdaptationPlan,
     registry_epoch: u64,
     network_version: u64,
+    /// Per-shard refinement of `registry_epoch`, recorded by the
+    /// sharded compose path: the epochs of exactly the shards the
+    /// plan's services live in ("touched shards"). When the flat epoch
+    /// moved but every touched shard's epoch still matches, the
+    /// mutations were confined to shards this plan never reads — the
+    /// revalidation scan would necessarily pass, so the probe stays
+    /// O(touched shards) instead of O(plan × registry). `None` on
+    /// entries stamped by the flat path.
+    shard_stamps: Option<Vec<(u32, u64)>>,
 }
 
 /// One lock-guarded slice of the cache, with its own exact counters.
@@ -243,7 +254,9 @@ impl ShardedCompositionCache {
                 // necessarily succeed too.
                 let fresh_stamps = entry.registry_epoch == registry_epoch
                     && entry.network_version == network_version;
-                if fresh_stamps || plan_still_valid(composer, &entry.plan) {
+                if fresh_stamps
+                    || plan_still_valid(composer.services, composer.network, &entry.plan)
+                {
                     if !fresh_stamps {
                         // The world moved but the plan survived the
                         // full scan: re-stamp so the next probe is
@@ -251,6 +264,7 @@ impl ShardedCompositionCache {
                         if let Some(entry) = shard.entries.write().get_mut(&key) {
                             entry.registry_epoch = registry_epoch;
                             entry.network_version = network_version;
+                            entry.shard_stamps = None;
                         }
                     }
                     shard.hits.fetch_add(1, Ordering::Relaxed);
@@ -285,6 +299,121 @@ impl ShardedCompositionCache {
                     plan: plan.clone(),
                     registry_epoch,
                     network_version,
+                    shard_stamps: None,
+                },
+            );
+        }
+        Ok(plan)
+    }
+
+    /// [`compose`](ShardedCompositionCache::compose) against a sharded
+    /// registry through the two-level [`ShardedComposer`]. Entries are
+    /// additionally stamped with the epochs of the shards the plan
+    /// actually touches, so registry churn confined to *other* shards
+    /// keeps the probe an O(touched shards) stamp check — neither the
+    /// full revalidation scan nor a recompose runs (proven white-box by
+    /// test).
+    pub fn compose_sharded(
+        &self,
+        composer: &ShardedComposer<'_>,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+    ) -> Result<Option<AdaptationPlan>> {
+        self.compose_sharded_traced(
+            composer,
+            profiles,
+            sender_host,
+            receiver_host,
+            options,
+            &mut RequestTrace::noop(),
+        )
+    }
+
+    /// [`compose_sharded`](ShardedCompositionCache::compose_sharded)
+    /// with the probe outcome recorded into `trace`.
+    pub fn compose_sharded_traced<S: TelemetrySink>(
+        &self,
+        composer: &ShardedComposer<'_>,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+        trace: &mut RequestTrace<'_, S>,
+    ) -> Result<Option<AdaptationPlan>> {
+        let key = request_key(profiles, sender_host, receiver_host)?;
+        let shard = self.shard_for(key);
+        let probe = |trace: &mut RequestTrace<'_, S>, outcome: CacheOutcome| {
+            let span = trace.open_span(ROOT_SPAN, "cache");
+            trace.emit(span, EventKind::CacheProbe { outcome });
+        };
+        let registry_epoch = composer.services.flat().epoch();
+        let network_version = composer.network.version();
+        let cached = shard.entries.read().get(&key).cloned();
+        match cached {
+            Some(entry) => {
+                // Stamp freshness, cheapest first: the registry-wide
+                // epoch (nothing anywhere moved), then the per-shard
+                // stamps (mutations happened, but only in shards this
+                // plan never touches).
+                let fresh_stamps = entry.network_version == network_version
+                    && (entry.registry_epoch == registry_epoch
+                        || entry.shard_stamps.as_ref().is_some_and(|stamps| {
+                            stamps
+                                .iter()
+                                .all(|&(s, e)| composer.services.shard_epoch(s) == e)
+                        }));
+                if fresh_stamps
+                    || plan_still_valid(composer.services.flat(), composer.network, &entry.plan)
+                {
+                    if !fresh_stamps {
+                        if let Some(entry) = shard.entries.write().get_mut(&key) {
+                            entry.registry_epoch = registry_epoch;
+                            entry.network_version = network_version;
+                            entry.shard_stamps =
+                                Some(shard_stamps_for(composer.services, &entry.plan));
+                        }
+                    }
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    probe(trace, CacheOutcome::Hit);
+                    return Ok(Some(entry.plan));
+                }
+                shard.entries.write().remove(&key);
+                shard.stale.fetch_add(1, Ordering::Relaxed);
+                probe(trace, CacheOutcome::Stale);
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                probe(trace, CacheOutcome::Miss);
+            }
+        }
+        let plan = match &self.graph_store {
+            Some(store) => {
+                composer
+                    .compose_with_store(store, profiles, sender_host, receiver_host, options)?
+                    .composition
+                    .plan
+            }
+            None => {
+                // The two-level path needs a store for its scoped
+                // graphs; a throwaway one preserves semantics at the
+                // cost of cold builds.
+                let store = GraphStore::new();
+                composer
+                    .compose_with_store(&store, profiles, sender_host, receiver_host, options)?
+                    .composition
+                    .plan
+            }
+        };
+        if let Some(plan) = &plan {
+            shard.entries.write().insert(
+                key,
+                CachedPlan {
+                    plan: plan.clone(),
+                    registry_epoch,
+                    network_version,
+                    shard_stamps: Some(shard_stamps_for(composer.services, plan)),
                 },
             );
         }
@@ -430,25 +559,32 @@ fn request_key(profiles: &ProfileSet, sender: NodeId, receiver: NodeId) -> Resul
     Ok(hasher.finish())
 }
 
+/// The `(shard, epoch)` stamps covering exactly the shards of `plan`'s
+/// services — what a fresh per-shard revalidation must match.
+fn shard_stamps_for(services: &ShardedServiceRegistry, plan: &AdaptationPlan) -> Vec<(u32, u64)> {
+    services
+        .touched_shards(plan.steps.iter().filter_map(|s| s.service))
+        .into_iter()
+        .map(|s| (s, services.shard_epoch(s)))
+        .collect()
+}
+
 /// Revalidate a cached plan against the current registry and network:
 /// every trans-coding stage still advertised (live lease, not
 /// quarantined), every hop still routable with the plan's rate.
-fn plan_still_valid(composer: &Composer<'_>, plan: &AdaptationPlan) -> bool {
+fn plan_still_valid(services: &ServiceRegistry, network: &Network, plan: &AdaptationPlan) -> bool {
     for step in &plan.steps {
         if let Some(service) = step.service {
-            if !composer.services.is_available(service) {
+            if !services.is_available(service) {
                 return false;
             }
         }
-        if composer.network.node_failed(step.host) {
+        if network.node_failed(step.host) {
             return false;
         }
     }
     for pair in plan.steps.windows(2) {
-        match composer
-            .network
-            .available_between(pair[0].host, pair[1].host)
-        {
+        match network.available_between(pair[0].host, pair[1].host) {
             Ok(available) => {
                 if available * (1.0 + 1e-6) + 1e-6 < pair[1].input_bps {
                     return false;
@@ -788,6 +924,180 @@ mod tests {
                 stale: 0
             }
         );
+    }
+
+    /// Per-shard stamps (sharded compose path): registry churn confined
+    /// to a shard the cached plan never touches must be served as an
+    /// O(touched shards) stamp hit — *without* running the revalidation
+    /// scan. White-box proof: poison the cached plan so the scan would
+    /// reject it; the poisoned plan coming back verbatim after
+    /// other-shard churn proves the scan was skipped, and touched-shard
+    /// churn then classifies the same entry stale.
+    #[test]
+    fn other_shard_churn_skips_the_revalidation_scan() {
+        use qosc_media::{Axis, AxisDomain, DomainVector, MediaKind, VariantSpec};
+        use qosc_netsim::SimTime;
+        use qosc_profiles::{ConversionSpec, HardwareCaps, ServiceSpec};
+        use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+
+        let mut formats = FormatRegistry::new();
+        formats.register_abstract("video/src", MediaKind::Video);
+        formats.register_abstract("video/dst", MediaKind::Video);
+        formats.register_abstract("video/mid0", MediaKind::Video);
+        formats.register_abstract("video/mid1", MediaKind::Video);
+
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("sender"));
+        let m = topo.add_node(Node::unconstrained("proxy"));
+        let r = topo.add_node(Node::unconstrained("receiver"));
+        topo.connect_simple(s, m, 1e9).unwrap();
+        topo.connect_simple(m, r, 1e9).unwrap();
+        let network = Network::new(topo);
+
+        let fps_domain = |fps: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 1.0, max: fps },
+            )
+        };
+        // Two format clusters: cluster 0 wins (30 fps), cluster 1
+        // loses (20 fps). With enough shards their heads land apart.
+        // Routing keys on the primary *input* format, so the heads
+        // (all reading video/src) share a shard while the tails
+        // (reading their cluster's mid format) spread apart — the
+        // losing tail is the cross-shard poison this proof needs.
+        let mut services = ShardedServiceRegistry::new(8);
+        let mut tails = Vec::new();
+        for c in 0..2 {
+            let fps = 30.0 - 10.0 * c as f64;
+            let head = ServiceSpec::new(
+                format!("head{c}"),
+                vec![ConversionSpec::new(
+                    "video/src",
+                    format!("video/mid{c}"),
+                    fps_domain(fps),
+                )],
+            );
+            let tail = ServiceSpec::new(
+                format!("tail{c}"),
+                vec![ConversionSpec::new(
+                    format!("video/mid{c}"),
+                    "video/dst",
+                    fps_domain(fps),
+                )],
+            );
+            services.register_static(TranscoderDescriptor::resolve(&head, &formats, m).unwrap());
+            tails.push(
+                services
+                    .register_static(TranscoderDescriptor::resolve(&tail, &formats, m).unwrap()),
+            );
+        }
+        assert_ne!(
+            services.shard_of(tails[0]),
+            services.shard_of(tails[1]),
+            "cluster tails must land in distinct shards for this proof"
+        );
+
+        let mut user = UserProfile::demo("u");
+        user.satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 30.0,
+            },
+        ));
+        let profiles = ProfileSet {
+            user,
+            content: ContentProfile::new(
+                "clip",
+                vec![VariantSpec {
+                    format: "video/src".to_string(),
+                    offered: fps_domain(30.0),
+                }],
+            ),
+            device: DeviceProfile::new(
+                "screen",
+                vec!["video/dst".to_string()],
+                HardwareCaps::desktop(),
+            ),
+            context: ContextProfile::default(),
+            network: NetworkProfile::broadband(),
+        };
+
+        let cache = ShardedCompositionCache::new(1);
+        let options = SelectOptions::default();
+        let compose = |services: &ShardedServiceRegistry| {
+            let composer = ShardedComposer {
+                formats: &formats,
+                services,
+                network: &network,
+            };
+            cache
+                .compose_sharded(&composer, &profiles, s, r, &options)
+                .unwrap()
+                .expect("cluster 0 chain exists")
+        };
+        let first = compose(&services);
+        let touched: Vec<u32> =
+            services.touched_shards(first.steps.iter().filter_map(|st| st.service));
+        assert!(
+            !touched.contains(&services.shard_of(tails[1])),
+            "the winning plan must not touch the losing cluster's shard"
+        );
+
+        // Poison the cached plan: swap a step's service for cluster 1's
+        // quarantined tail. The revalidation scan would reject this
+        // (the service is unavailable); the stamps must never let the
+        // scan run.
+        services.set_quarantine_config(qosc_services::QuarantineConfig {
+            failure_threshold: 1,
+            cooldown_us: 1_000_000,
+        });
+        assert!(services.report_failure(tails[1], SimTime(10)).unwrap());
+        let key = request_key(&profiles, s, r).unwrap();
+        {
+            let shard = cache.shard_for(key);
+            let mut entries = shard.entries.write();
+            let entry = entries.get_mut(&key).expect("entry cached");
+            let step = entry
+                .plan
+                .steps
+                .iter_mut()
+                .find(|st| st.service.is_some())
+                .unwrap();
+            step.service = Some(tails[1]);
+        }
+
+        // The flat epoch moved (cluster 1 churn), but every *touched*
+        // shard's epoch is unchanged: the probe must hit on the shard
+        // stamps and return the poisoned plan verbatim — proof the
+        // scan never ran.
+        let again = compose(&services);
+        assert_eq!(
+            again
+                .steps
+                .iter()
+                .find(|st| st.service.is_some())
+                .unwrap()
+                .service,
+            Some(tails[1]),
+            "poisoned plan must come back untouched (scan skipped)"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stale: 0
+            }
+        );
+
+        // Churn in a *touched* shard breaks the stamps: now the scan
+        // runs, rejects the poisoned plan, and the entry is recomposed.
+        services.renew(tails[0], SimTime(20), u64::MAX / 2).unwrap();
+        let healed = compose(&services);
+        assert_eq!(cache.stats().stale, 1);
+        assert_eq!(healed, first, "recompose restores the real plan");
     }
 
     #[test]

@@ -45,6 +45,23 @@ pub struct BuildInput<'a> {
 /// formats in first-appearance order; for each format, accepting services
 /// in registration order, then the receiver.
 pub fn build(input: &BuildInput<'_>) -> Result<AdaptationGraph> {
+    build_filtered(input, None)
+}
+
+/// [`build`] restricted to the services whose `scope[id.index()]` flag
+/// is set (sender and receiver always included); `None` is exactly
+/// [`build`]. Because excluding a service subset preserves the relative
+/// order of everything that remains — vertices stay in registration
+/// order, edge generation still walks sources in vertex order, formats
+/// in first-appearance order, and accepting services in registration
+/// order — the restricted graph is bitwise the graph a fresh build
+/// would produce had the excluded services never registered. That
+/// order-preservation is what lets two-level composition prove its
+/// shard-restricted plans identical to flat ones.
+pub fn build_filtered(input: &BuildInput<'_>, scope: Option<&[bool]>) -> Result<AdaptationGraph> {
+    let in_scope = |id: qosc_services::ServiceId| -> bool {
+        scope.is_none_or(|flags| flags.get(id.index()).copied().unwrap_or(false))
+    };
     if input.variants.is_empty() {
         return Err(CoreError::DegenerateEndpoints(
             "content profile offers no variants".to_string(),
@@ -99,6 +116,9 @@ pub fn build(input: &BuildInput<'_>) -> Result<AdaptationGraph> {
     let mut service_vertices: Vec<(qosc_services::ServiceId, VertexId)> = Vec::new();
     let mut vertex_of: HashMap<qosc_services::ServiceId, VertexId> = HashMap::new();
     for (id, descriptor) in input.services.live_services() {
+        if !in_scope(id) {
+            continue;
+        }
         let vertex = graph.add_vertex(Vertex {
             kind: VertexKind::Transcoder(id),
             name: descriptor.name.clone(),

@@ -7,7 +7,7 @@ pub mod model;
 pub mod prune;
 pub mod store;
 
-pub use build::BuildInput;
+pub use build::{build_filtered, BuildInput};
 pub use model::{AdaptationGraph, Edge, EdgeId, Vertex, VertexId, VertexKind};
 pub use prune::PruneStats;
-pub use store::{graphs_equivalent, GraphStore, GraphStoreStats};
+pub use store::{graphs_equivalent, GraphScope, GraphStore, GraphStoreStats};

@@ -33,7 +33,7 @@ use crate::Result;
 use parking_lot::RwLock;
 use qosc_media::{AxisDomain, DomainVector, FormatId};
 use qosc_netsim::{Network, NodeId, PathAnnotation};
-use qosc_services::{RegistryEvent, ServiceId, ServiceRegistry};
+use qosc_services::{RegistryEvent, ServiceId, ServiceRegistry, ShardedServiceRegistry};
 use qosc_telemetry::{
     Event as TelemetryEvent, EventKind as TelemetryEventKind, MetricsRegistry, TelemetrySink,
     REQUEST_NONE,
@@ -48,15 +48,77 @@ use std::sync::Arc;
 /// and rebuilds — replaying a large tail costs more than one build.
 pub const DEFAULT_DELTA_THRESHOLD: usize = 16;
 
+/// The registry state a stored graph was synchronized against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RegistryStamp {
+    /// Flat path: one registry-wide epoch.
+    Flat(u64),
+    /// Scoped path: one epoch per expanded shard, in shard order —
+    /// mutations confined to non-expanded shards leave every listed
+    /// epoch (and therefore the stored graph) untouched.
+    Sharded(Vec<(u32, u64)>),
+}
+
 /// A stored graph plus the world state it reflects.
 struct StoreEntry {
     graph: Arc<AdaptationGraph>,
-    registry_epoch: u64,
+    stamp: RegistryStamp,
     network_version: u64,
-    /// Live services in vertex order (vertex index = 2 + position);
-    /// the flag records whether the service was *available* (wired
-    /// with in-edges) when the graph was last synchronized.
+    /// In-scope live services in vertex order (vertex index = 2 +
+    /// position); the flag records whether the service was *available*
+    /// (wired with in-edges) when the graph was last synchronized.
     services: Vec<(ServiceId, bool)>,
+}
+
+/// Scope context for the sharded two-level path: which shards are
+/// expanded and the per-service include flags derived from them.
+pub struct GraphScope<'a> {
+    sharded: &'a ShardedServiceRegistry,
+    expanded: &'a [bool],
+    filter: Vec<bool>,
+}
+
+impl<'a> GraphScope<'a> {
+    /// Scope covering the shards flagged in `expanded` (indexed by
+    /// shard id).
+    pub fn new(sharded: &'a ShardedServiceRegistry, expanded: &'a [bool]) -> GraphScope<'a> {
+        GraphScope {
+            sharded,
+            expanded,
+            filter: sharded.scope_filter(expanded),
+        }
+    }
+
+    /// Per-service include flags.
+    pub fn filter(&self) -> &[bool] {
+        &self.filter
+    }
+
+    /// Epochs of the expanded shards, in shard order.
+    fn stamp(&self) -> RegistryStamp {
+        RegistryStamp::Sharded(
+            (0..self.sharded.shard_count())
+                .filter(|&s| self.expanded.get(s as usize).copied().unwrap_or(false))
+                .map(|s| (s, self.sharded.shard_epoch(s)))
+                .collect(),
+        )
+    }
+
+    /// A non-zero key perturbation separating this scope's entries
+    /// from the flat entry (and from other scopes) under the same
+    /// build inputs.
+    fn key_salt(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (index, &flag) in self.expanded.iter().enumerate() {
+            if flag {
+                for byte in (index as u64).to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        hash | 1
+    }
 }
 
 /// Bulk single-source Dijkstra tables shared across delta applications,
@@ -239,15 +301,40 @@ impl GraphStore {
 
     /// The graph for `input`, reused, delta-updated, or rebuilt.
     pub fn graph_for(&self, input: &BuildInput<'_>) -> Result<Arc<AdaptationGraph>> {
-        let key = graph_key(input);
-        let epoch = input.services.epoch();
+        self.graph_for_inner(input, None)
+    }
+
+    /// The graph for `input` restricted to `scope`'s expanded shards —
+    /// the two-level composer's workhorse. Entries are keyed per scope
+    /// and stamped with the expanded shards' epochs only, so churn in a
+    /// non-expanded shard neither invalidates the entry nor costs a
+    /// replay: revalidation is O(expanded shards), not O(registry).
+    pub fn scoped_graph_for(
+        &self,
+        input: &BuildInput<'_>,
+        scope: &GraphScope<'_>,
+    ) -> Result<Arc<AdaptationGraph>> {
+        self.graph_for_inner(input, Some(scope))
+    }
+
+    fn graph_for_inner(
+        &self,
+        input: &BuildInput<'_>,
+        scope: Option<&GraphScope<'_>>,
+    ) -> Result<Arc<AdaptationGraph>> {
+        let key = graph_key(input) ^ scope.map_or(0, GraphScope::key_salt);
+        let stamp = match scope {
+            None => RegistryStamp::Flat(input.services.epoch()),
+            Some(scope) => scope.stamp(),
+        };
         let version = input.network.version();
+        let filter = scope.map(GraphScope::filter);
 
         // Fast path: the stored graph is current.
         {
             let guard = self.entries.read();
             if let Some(entry) = guard.get(&key) {
-                if entry.registry_epoch == epoch && entry.network_version == version {
+                if entry.stamp == stamp && entry.network_version == version {
                     self.reuses.fetch_add(1, Ordering::Relaxed);
                     return Ok(entry.graph.clone());
                 }
@@ -260,30 +347,36 @@ impl GraphStore {
             guard.get(&key).map(|entry| {
                 (
                     entry.graph.clone(),
-                    entry.registry_epoch,
+                    entry.stamp.clone(),
                     entry.network_version,
                     entry.services.clone(),
                 )
             })
         };
 
-        if let Some((graph, stored_epoch, stored_version, services)) = snapshot {
-            // The epoch can only have advanced (it counts events); a
-            // changed network invalidates every edge annotation, so
-            // only registry movement is delta-eligible.
-            if stored_version == version && stored_epoch <= epoch {
-                let tail = input.services.events_since(stored_epoch);
-                let plan = plan_delta(&services, tail, input.services);
+        if let Some((graph, stored_stamp, stored_version, services)) = snapshot {
+            // Epochs only advance (they count events); a changed
+            // network invalidates every edge annotation, so only
+            // registry movement is delta-eligible. A compacted tail
+            // (`None`) means the events this entry missed are gone —
+            // fall through to the rebuild path.
+            let tail = if stored_version == version {
+                stamped_tail(&stored_stamp, input, scope)
+            } else {
+                None
+            };
+            if let Some(tail) = tail {
+                let plan = plan_delta(&services, &tail, input.services);
                 if plan.op_count() <= self.delta_threshold {
                     if let Some((updated, updated_services)) =
-                        self.apply_delta(&graph, &services, &plan, input)?
+                        self.apply_delta(&graph, &services, &plan, input, filter)?
                     {
                         if self.verify_deltas {
-                            let fresh = build::build(input)?;
+                            let fresh = build::build_filtered(input, filter)?;
                             assert!(
                                 graphs_equivalent(&updated, &fresh),
                                 "graph delta diverged from fresh build \
-                                 (epoch {stored_epoch} -> {epoch}, {} ops)",
+                                 ({stored_stamp:?} -> {stamp:?}, {} ops)",
                                 plan.op_count()
                             );
                         }
@@ -292,7 +385,7 @@ impl GraphStore {
                             key,
                             StoreEntry {
                                 graph: arc.clone(),
-                                registry_epoch: epoch,
+                                stamp,
                                 network_version: version,
                                 services: updated_services,
                             },
@@ -306,11 +399,12 @@ impl GraphStore {
             }
         }
 
-        // Cold key or delta not applicable: full rebuild.
-        let graph = build::build(input)?;
+        // Cold key, compacted tail, or delta not applicable: rebuild.
+        let graph = build::build_filtered(input, filter)?;
         let services: Vec<(ServiceId, bool)> = input
             .services
             .live_services()
+            .filter(|&(id, _)| filter.is_none_or(|f| f.get(id.index()).copied().unwrap_or(false)))
             .map(|(id, _)| (id, input.services.is_available(id)))
             .collect();
         let arc = Arc::new(graph);
@@ -318,7 +412,7 @@ impl GraphStore {
             key,
             StoreEntry {
                 graph: arc.clone(),
-                registry_epoch: epoch,
+                stamp,
                 network_version: version,
                 services,
             },
@@ -359,13 +453,17 @@ impl GraphStore {
     }
 
     /// Apply `plan` to a clone of `graph`. Returns `None` when a stored
-    /// invariant does not hold (the caller then rebuilds).
+    /// invariant does not hold (the caller then rebuilds). With a
+    /// `scope`, out-of-scope services looked up through the registry's
+    /// format index are expected absences and are skipped rather than
+    /// treated as broken invariants.
     fn apply_delta(
         &self,
         graph: &AdaptationGraph,
         services: &[(ServiceId, bool)],
         plan: &DeltaPlan,
         input: &BuildInput<'_>,
+        scope: Option<&[bool]>,
     ) -> Result<DeltaOutcome> {
         // Invariants a fresh build establishes and deltas preserve.
         if graph.vertex_count() != 2 + services.len()
@@ -479,6 +577,11 @@ impl GraphStore {
             let outputs = graph.vertex(source)?.output_formats();
             for format in outputs {
                 for target_id in input.services.accepting(format) {
+                    if let Some(filter) = scope {
+                        if !filter.get(target_id.index()).copied().unwrap_or(false) {
+                            continue;
+                        }
+                    }
                     let target = match vertex_of(&services, target_id) {
                         Some(v) => v,
                         None => return Ok(None),
@@ -593,6 +696,32 @@ fn vertex_of(services: &[(ServiceId, bool)], id: ServiceId) -> Option<VertexId> 
         .iter()
         .position(|&(s, _)| s == id)
         .map(|p| VertexId::from_index(2 + p))
+}
+
+/// The concatenated event tail a stored stamp misses, or `None` when
+/// any needed tail was compacted away (the registry's or a shard's log
+/// no longer reaches back to the stamp) or the stamp shape does not
+/// match the request — both force the rebuild fallback.
+fn stamped_tail(
+    stored: &RegistryStamp,
+    input: &BuildInput<'_>,
+    scope: Option<&GraphScope<'_>>,
+) -> Option<Vec<RegistryEvent>> {
+    match (stored, scope) {
+        (RegistryStamp::Flat(epoch), None) => {
+            input.services.events_since(*epoch).map(<[_]>::to_vec)
+        }
+        (RegistryStamp::Sharded(stamps), Some(scope)) => {
+            // `plan_delta` classifies net effects off current registry
+            // state, so cross-shard concatenation order is irrelevant.
+            let mut tail = Vec::new();
+            for &(shard, epoch) in stamps {
+                tail.extend_from_slice(scope.sharded.shard_events_since(shard, epoch)?);
+            }
+            Some(tail)
+        }
+        _ => None,
+    }
 }
 
 /// Classify the event tail into net vertex/edge-set changes against the
@@ -988,6 +1117,151 @@ mod tests {
         store.graph_for(&sc.input()).unwrap();
         let stats = store.stats();
         assert_eq!((stats.rebuilds, stats.deltas), (2, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn compacted_event_tails_fall_back_to_rebuild() {
+        let mut sc = scenario(3);
+        let store = GraphStore::new().with_verification(true);
+        store.graph_for(&sc.input()).unwrap();
+
+        // Registry moves, then the log the store would replay is
+        // compacted away: the store must notice the missing tail and
+        // rebuild instead of replaying a hole.
+        register_one(&mut sc, "N0", SimTime::ZERO.plus_micros(10));
+        sc.services.compact_events_below(sc.services.epoch());
+        assert_eq!(sc.services.events_since(0), None, "tail really is gone");
+
+        let updated = store.graph_for(&sc.input()).unwrap();
+        assert!(graphs_equivalent(
+            &updated,
+            &build::build(&sc.input()).unwrap()
+        ));
+        let stats = store.stats();
+        assert_eq!(
+            (stats.rebuilds, stats.deltas),
+            (2, 0),
+            "a compacted tail is a rebuild, never a delta: {stats:?}"
+        );
+
+        // Epochs recorded after compaction replay as deltas again.
+        register_one(&mut sc, "N1", SimTime::ZERO.plus_micros(20));
+        let after = store.graph_for(&sc.input()).unwrap();
+        assert!(graphs_equivalent(
+            &after,
+            &build::build(&sc.input()).unwrap()
+        ));
+        let stats = store.stats();
+        assert_eq!((stats.rebuilds, stats.deltas), (2, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn scoped_graphs_restamp_only_on_expanded_shard_churn() {
+        use qosc_services::ShardedServiceRegistry;
+
+        let mut formats = FormatRegistry::new();
+        let fa = formats.register_abstract("A", MediaKind::Video);
+        let fb = formats.register_abstract("B", MediaKind::Video);
+        formats.register_abstract("C", MediaKind::Video);
+
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("s"));
+        let m = topo.add_node(Node::unconstrained("m"));
+        let r = topo.add_node(Node::unconstrained("r"));
+        topo.connect_simple(s, m, 1e9).unwrap();
+        topo.connect_simple(m, r, 1e9).unwrap();
+        let network = Network::new(topo);
+
+        let mut sharded = ShardedServiceRegistry::new(4);
+        let make = |formats: &FormatRegistry, name: &str, input: &str| {
+            let spec = ServiceSpec::new(
+                name,
+                vec![ConversionSpec::new(input, "B", DomainVector::new())],
+            );
+            TranscoderDescriptor::resolve(&spec, formats, m).unwrap()
+        };
+        let a = sharded.register_static(make(&formats, "TA", "A"));
+        let c = sharded.register_static(make(&formats, "TC", "C"));
+        let (sa, sc_shard) = (sharded.shard_of(a), sharded.shard_of(c));
+        assert_ne!(sa, sc_shard, "fixture formats land in distinct shards");
+
+        let variants = vec![ContentVariant::new(fa, DomainVector::new())];
+        let decoders = vec![fb];
+        macro_rules! input {
+            () => {
+                BuildInput {
+                    formats: &formats,
+                    services: sharded.flat(),
+                    network: &network,
+                    variants: &variants,
+                    sender_host: s,
+                    receiver_host: r,
+                    decoders: &decoders,
+                    receiver_caps: ParamVector::new(),
+                }
+            };
+        }
+
+        let store = GraphStore::new().with_verification(true);
+        let mut expanded = vec![false; 4];
+        expanded[sa as usize] = true;
+
+        // The scoped graph contains only shard `sa`'s service, and is
+        // bitwise the filtered fresh build.
+        {
+            let bi = input!();
+            let scope = GraphScope::new(&sharded, &expanded);
+            let scoped = store.scoped_graph_for(&bi, &scope).unwrap();
+            assert_eq!(scoped.vertex_count(), 3, "sender, receiver, TA only");
+            let fresh = build::build_filtered(&bi, Some(scope.filter())).unwrap();
+            assert!(graphs_equivalent(&scoped, &fresh));
+        }
+
+        // Churn confined to the *other* shard: the scoped entry's
+        // stamps are untouched, so the store serves a zero-cost reuse.
+        sharded
+            .renew(c, SimTime::ZERO.plus_micros(10), 10_000_000)
+            .unwrap();
+        {
+            let bi = input!();
+            let scope = GraphScope::new(&sharded, &expanded);
+            store.scoped_graph_for(&bi, &scope).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(
+            (stats.rebuilds, stats.deltas, stats.reuses),
+            (1, 0, 1),
+            "other-shard churn must be a reuse: {stats:?}"
+        );
+
+        // Churn in the expanded shard replays as a delta.
+        sharded
+            .renew(a, SimTime::ZERO.plus_micros(20), 10_000_000)
+            .unwrap();
+        {
+            let bi = input!();
+            let scope = GraphScope::new(&sharded, &expanded);
+            store.scoped_graph_for(&bi, &scope).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!((stats.rebuilds, stats.deltas), (1, 1), "{stats:?}");
+
+        // Compacting the expanded shard's log forces the fallback.
+        sharded
+            .renew(a, SimTime::ZERO.plus_micros(30), 10_000_000)
+            .unwrap();
+        sharded.compact_shard_events_below(sa, sharded.shard_epoch(sa));
+        {
+            let bi = input!();
+            let scope = GraphScope::new(&sharded, &expanded);
+            store.scoped_graph_for(&bi, &scope).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(
+            (stats.rebuilds, stats.deltas),
+            (2, 1),
+            "compacted shard tail is a rebuild: {stats:?}"
+        );
     }
 
     #[test]

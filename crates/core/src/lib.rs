@@ -54,6 +54,7 @@ pub mod graph;
 pub mod plan;
 pub mod select;
 pub mod session;
+pub mod sharded_compose;
 
 pub use admission::{
     plan_admission, AdmissionConfig, AdmissionDecision, AdmissionPlan, AdmissionQueue,
@@ -69,8 +70,8 @@ pub use engine::{
     RequestOutcome, ResilientBatch, ResilientEngineConfig, RetryPolicy,
 };
 pub use graph::{
-    graphs_equivalent, AdaptationGraph, BuildInput, Edge, EdgeId, GraphStore, GraphStoreStats,
-    Vertex, VertexId, VertexKind,
+    build_filtered, graphs_equivalent, AdaptationGraph, BuildInput, Edge, EdgeId, GraphScope,
+    GraphStore, GraphStoreStats, Vertex, VertexId, VertexKind,
 };
 pub use plan::{AdaptationPlan, PlanStep};
 pub use select::{
@@ -84,6 +85,7 @@ pub use session::{
     CloseReason, PlayoutBuffer, SessionCounters, SessionEngineConfig, SessionOutcome,
     SessionRequest, SessionWorld, SessionsReport, SlaConfig, SlaMode, StaticWorld,
 };
+pub use sharded_compose::{ShardedComposer, TwoLevelComposition};
 
 /// Errors produced by this crate.
 #[derive(Debug)]

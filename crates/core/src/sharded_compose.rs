@@ -1,0 +1,564 @@
+//! Two-level composition against a sharded registry.
+//!
+//! Flat composition builds one graph over every live service and runs
+//! Figure-4 selection on it — fine at 10^3 services, hopeless at 10^6.
+//! [`ShardedComposer`] splits the problem the way Klein-style
+//! partitioned QoS brokers do:
+//!
+//! 1. **Summary level.** Each shard of the
+//!    [`ShardedServiceRegistry`](qosc_services::ShardedServiceRegistry)
+//!    exports a frontier of `(input format, output format, axis set)`
+//!    hull tops (see `qosc_services::sharded`). Scoring a hull top with
+//!    the request's satisfaction profile gives an *admissible* bound on
+//!    the satisfaction any hop through that shard and pair can
+//!    contribute: every satisfaction function is monotone per axis,
+//!    upstream capping only shrinks the reachable configurations, and
+//!    probation penalties only multiply satisfaction down. A
+//!    deterministic max-min relaxation over these bounds (a Dijkstra on
+//!    formats rather than services) yields, per format, an upper bound
+//!    on the satisfaction of any chain delivering that format — and per
+//!    shard, an upper bound `U_s` on any *complete* chain that uses at
+//!    least one of its services.
+//! 2. **Expansion level.** Only the shards on the provisional winning
+//!    path are expanded into a real scoped adaptation graph (served
+//!    incrementally by [`GraphStore::scoped_graph_for`]), and Figure-4
+//!    selection runs on that subgraph. If the returned chain's
+//!    satisfaction `W` strictly beats every non-expanded shard's bound
+//!    (`U_s < W`), no chain through those shards can match the winner —
+//!    not even on a tie-break, which is why the comparison is strict —
+//!    so the subgraph winner *is* the flat winner. Otherwise the
+//!    offending shards are expanded and selection re-runs; in the worst
+//!    case this degenerates to the flat composition (and when selection
+//!    fails outright, the full graph is consulted so failures, traces
+//!    and tie-breaks are bitwise those of the flat path).
+//!
+//! Plans are bitwise identical to [`Composer`](crate::Composer):
+//! [`AdaptationPlan`] references services by registry id (never by
+//! vertex id), the filtered build preserves registration order among
+//! surviving vertices, and the strict-bound check rules out every chain
+//! the subgraph cannot see. The equivalence is enforced by property
+//! test across shard counts and churn schedules.
+
+use crate::composer::StoredComposition;
+use crate::graph::{BuildInput, GraphScope, GraphStore};
+use crate::plan::AdaptationPlan;
+use crate::select::{select_chain_with_penalties, SelectOptions};
+use crate::Result;
+use qosc_media::{FormatId, FormatRegistry};
+use qosc_netsim::{Network, NodeId};
+use qosc_profiles::ProfileSet;
+use qosc_services::ShardedServiceRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The two-level composition facade. The sharded sibling of
+/// [`Composer`](crate::Composer): same inputs, same outputs, but the
+/// service registry is consulted shard-by-shard.
+pub struct ShardedComposer<'a> {
+    /// The scenario's format registry.
+    pub formats: &'a FormatRegistry,
+    /// The sharded service registry.
+    pub services: &'a ShardedServiceRegistry,
+    /// The network.
+    pub network: &'a Network,
+}
+
+/// The outcome of one two-level composition, plus how much of the
+/// registry it had to look at.
+#[derive(Debug)]
+pub struct TwoLevelComposition {
+    /// The composition itself — graph, selection, plan — exactly as the
+    /// flat [`Composer`](crate::Composer) would have produced it.
+    pub composition: StoredComposition,
+    /// Shards expanded into the graph, ascending.
+    pub expanded_shards: Vec<u32>,
+    /// Selection rounds run (1 = the seed expansion sufficed).
+    pub rounds: u32,
+    /// Whether the search fell back to expanding every shard (selection
+    /// failure, or a winner that could not be proven optimal earlier).
+    pub full_expansion: bool,
+}
+
+/// One summary-level hop: shard `shard` converts `input` to `output`
+/// with satisfaction bounded by `bound`.
+struct SummaryHop {
+    shard: u32,
+    input: FormatId,
+    output: FormatId,
+    bound: f64,
+}
+
+impl ShardedComposer<'_> {
+    /// Compose an adaptation chain for one request, expanding as few
+    /// shards as the admissible bounds allow. Graphs are served (and
+    /// cached per expansion scope) by `store`.
+    pub fn compose_with_store(
+        &self,
+        store: &GraphStore,
+        profiles: &ProfileSet,
+        sender_host: NodeId,
+        receiver_host: NodeId,
+        options: &SelectOptions,
+    ) -> Result<TwoLevelComposition> {
+        profiles.validate()?;
+        let variants = profiles.content.resolve(self.formats)?;
+        let decoders = profiles.device.resolve_decoders(self.formats)?;
+        let receiver_caps = profiles.device.hardware.quality_caps();
+        let satisfaction = profiles.effective_satisfaction();
+        let budget = profiles.user.budget_or_infinite();
+        let shard_count = self.services.shard_count() as usize;
+
+        // ----- summary level -----
+
+        // Score every shard's frontier once: the per-(shard, pair)
+        // admissible bound under this request's satisfaction profile.
+        let mut hops: Vec<SummaryHop> = Vec::new();
+        for shard in 0..shard_count as u32 {
+            for (key, top) in self.services.summaries(shard) {
+                hops.push(SummaryHop {
+                    shard,
+                    input: key.input,
+                    output: key.output,
+                    bound: satisfaction.score(&top),
+                });
+            }
+        }
+
+        // Max-min relaxation over formats: `value[f]` upper-bounds the
+        // satisfaction of any chain delivering format `f`. Seeded from
+        // the offered variants, relaxed to a fixpoint in deterministic
+        // (shard, pair) order; a parent pointer records the hop that
+        // set each format's value, giving the provisional winning path.
+        let mut value: BTreeMap<FormatId, f64> = BTreeMap::new();
+        for variant in &variants {
+            let offered = satisfaction.score(&variant.offered.top());
+            match value.get(&variant.format) {
+                Some(&existing) if existing >= offered => {}
+                _ => {
+                    value.insert(variant.format, offered);
+                }
+            }
+        }
+        let mut parent: BTreeMap<FormatId, (u32, FormatId)> = BTreeMap::new();
+        loop {
+            let mut moved = false;
+            for hop in &hops {
+                let Some(&upstream) = value.get(&hop.input) else {
+                    continue;
+                };
+                let through = upstream.min(hop.bound);
+                let improves = match value.get(&hop.output) {
+                    Some(&existing) => through > existing,
+                    None => true,
+                };
+                if improves {
+                    value.insert(hop.output, through);
+                    parent.insert(hop.output, (hop.shard, hop.input));
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+
+        // Backward reachability: formats from which some decoder is
+        // reachable through the summary pairs. A pair whose output
+        // cannot reach a decoder can sit on no complete chain.
+        let mut reaches_decoder: BTreeSet<FormatId> = decoders.iter().copied().collect();
+        loop {
+            let before = reaches_decoder.len();
+            for hop in &hops {
+                if reaches_decoder.contains(&hop.output) {
+                    reaches_decoder.insert(hop.input);
+                }
+            }
+            if reaches_decoder.len() == before {
+                break;
+            }
+        }
+
+        // Per-shard bound: the best complete chain using the shard is
+        // capped by the best min(value at the hop input, hop bound)
+        // over its pairs that can still reach a decoder.
+        let mut shard_bound = vec![f64::NEG_INFINITY; shard_count];
+        for hop in &hops {
+            if !reaches_decoder.contains(&hop.output) {
+                continue;
+            }
+            let Some(&upstream) = value.get(&hop.input) else {
+                continue;
+            };
+            let through = upstream.min(hop.bound);
+            if through > shard_bound[hop.shard as usize] {
+                shard_bound[hop.shard as usize] = through;
+            }
+        }
+
+        // Seed expansion: the shards on the parent path of the
+        // highest-valued decoder. No reachable decoder → nothing to
+        // seed from; expand everything so failures replay the flat
+        // search bitwise (including its trace).
+        let best_decoder = decoders
+            .iter()
+            .filter_map(|f| value.get(f).map(|&v| (f, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are never NaN"))
+            .map(|(f, _)| *f);
+        let mut expanded = vec![false; shard_count];
+        let mut full_expansion = false;
+        match best_decoder {
+            Some(mut format) => {
+                while let Some(&(shard, upstream)) = parent.get(&format) {
+                    expanded[shard as usize] = true;
+                    format = upstream;
+                }
+            }
+            None => {
+                expanded.iter_mut().for_each(|e| *e = true);
+                full_expansion = true;
+            }
+        }
+
+        // ----- expansion level -----
+
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let input = BuildInput {
+                formats: self.formats,
+                services: self.services.flat(),
+                network: self.network,
+                variants: &variants,
+                sender_host,
+                receiver_host,
+                decoders: &decoders,
+                receiver_caps,
+            };
+            // A fully expanded scope *is* the flat graph; serving it
+            // through the unscoped path shares the store entry (and its
+            // delta replay) with flat consumers.
+            let all = expanded.iter().all(|&e| e);
+            let graph = if all {
+                store.graph_for(&input)?
+            } else {
+                let scope = GraphScope::new(self.services, &expanded);
+                store.scoped_graph_for(&input, &scope)?
+            };
+            let selection = select_chain_with_penalties(
+                &graph,
+                self.formats,
+                &satisfaction,
+                budget,
+                options,
+                self.services.flat().selection_penalties(),
+            )?;
+
+            match &selection.chain {
+                Some(chain) => {
+                    // Any chain through a non-expanded shard scores at
+                    // most that shard's bound; strictly below the
+                    // winner means it cannot even tie, so the winner
+                    // stands as the flat optimum.
+                    let need: Vec<u32> = (0..shard_count as u32)
+                        .filter(|&s| {
+                            !expanded[s as usize] && shard_bound[s as usize] >= chain.satisfaction
+                        })
+                        .collect();
+                    if need.is_empty() {
+                        let plan = AdaptationPlan::from_chain(&graph, self.formats, chain)?;
+                        return Ok(TwoLevelComposition {
+                            composition: StoredComposition {
+                                graph,
+                                plan: Some(plan),
+                                selection,
+                            },
+                            expanded_shards: collect_expanded(&expanded),
+                            rounds,
+                            full_expansion,
+                        });
+                    }
+                    for s in need {
+                        expanded[s as usize] = true;
+                    }
+                }
+                None => {
+                    if all {
+                        // The flat search failed too: return its
+                        // outcome verbatim.
+                        return Ok(TwoLevelComposition {
+                            composition: StoredComposition {
+                                graph,
+                                plan: None,
+                                selection,
+                            },
+                            expanded_shards: collect_expanded(&expanded),
+                            rounds,
+                            full_expansion,
+                        });
+                    }
+                    // The seed subgraph was too small (the summary
+                    // level bounds satisfaction, not feasibility —
+                    // budgets, bandwidth and capping can starve it).
+                    // Fall back to the flat graph.
+                    expanded.iter_mut().for_each(|e| *e = true);
+                    full_expansion = true;
+                }
+            }
+        }
+    }
+}
+
+/// Ascending shard ids flagged in `expanded`.
+fn collect_expanded(expanded: &[bool]) -> Vec<u32> {
+    expanded
+        .iter()
+        .enumerate()
+        .filter_map(|(s, &e)| e.then_some(s as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composer::Composer;
+    use qosc_media::{Axis, AxisDomain, DomainVector, MediaKind, VariantSpec};
+    use qosc_netsim::{Node, Topology};
+    use qosc_profiles::{
+        ContentProfile, ContextProfile, ConversionSpec, DeviceProfile, HardwareCaps,
+        NetworkProfile, ServiceSpec, UserProfile,
+    };
+    use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+    use qosc_services::TranscoderDescriptor;
+
+    struct World {
+        formats: FormatRegistry,
+        services: ShardedServiceRegistry,
+        network: Network,
+        sender: NodeId,
+        receiver: NodeId,
+        profiles: ProfileSet,
+    }
+
+    /// Clustered format chains `src -> mid_c -> dst` with per-cluster
+    /// quality: cluster 0's services reach 30 fps, cluster 1's only 20,
+    /// so the summary level can prove cluster 1 irrelevant.
+    fn world(shards: u32) -> World {
+        let mut formats = FormatRegistry::new();
+        formats.register_abstract("video/src", MediaKind::Video);
+        formats.register_abstract("video/dst", MediaKind::Video);
+        let mids: Vec<FormatId> = (0..4)
+            .map(|c| formats.register_abstract(format!("video/mid{c}"), MediaKind::Video))
+            .collect();
+
+        let mut topo = Topology::new();
+        let s = topo.add_node(Node::unconstrained("sender"));
+        let m = topo.add_node(Node::unconstrained("proxy"));
+        let r = topo.add_node(Node::unconstrained("receiver"));
+        topo.connect_simple(s, m, 1e9).unwrap();
+        topo.connect_simple(m, r, 1e9).unwrap();
+        let network = Network::new(topo);
+
+        let mut services = ShardedServiceRegistry::new(shards);
+        let fps_domain = |fps: f64| {
+            DomainVector::new().with(
+                Axis::FrameRate,
+                AxisDomain::Continuous { min: 1.0, max: fps },
+            )
+        };
+        for (c, _mid) in mids.iter().enumerate() {
+            // Cluster quality cap: cluster 0 best, strictly worse after.
+            let fps = 30.0 - 5.0 * c as f64;
+            let head = ServiceSpec::new(
+                format!("head{c}"),
+                vec![ConversionSpec::new(
+                    "video/src",
+                    format!("video/mid{c}"),
+                    fps_domain(fps),
+                )],
+            );
+            let tail = ServiceSpec::new(
+                format!("tail{c}"),
+                vec![ConversionSpec::new(
+                    format!("video/mid{c}"),
+                    "video/dst",
+                    fps_domain(fps),
+                )],
+            );
+            for spec in [head, tail] {
+                services
+                    .register_static(TranscoderDescriptor::resolve(&spec, &formats, m).unwrap());
+            }
+        }
+
+        let mut user = UserProfile::demo("u");
+        user.satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
+            Axis::FrameRate,
+            SatisfactionFn::Linear {
+                min_acceptable: 0.0,
+                ideal: 30.0,
+            },
+        ));
+        let content = ContentProfile::new(
+            "clip",
+            vec![VariantSpec {
+                format: "video/src".to_string(),
+                offered: fps_domain(30.0),
+            }],
+        );
+        let device = DeviceProfile::new(
+            "screen",
+            vec!["video/dst".to_string()],
+            HardwareCaps::desktop(),
+        );
+        let profiles = ProfileSet {
+            user,
+            content,
+            device,
+            context: ContextProfile::default(),
+            network: NetworkProfile::lan(),
+        };
+        World {
+            formats,
+            services,
+            network,
+            sender: s,
+            receiver: r,
+            profiles,
+        }
+    }
+
+    fn flat_plan(w: &World) -> Option<AdaptationPlan> {
+        let composer = Composer {
+            formats: &w.formats,
+            services: w.services.flat(),
+            network: &w.network,
+        };
+        composer
+            .compose(&w.profiles, w.sender, w.receiver, &SelectOptions::default())
+            .unwrap()
+            .plan
+    }
+
+    #[test]
+    fn two_level_matches_flat_and_skips_losing_shards() {
+        for shards in [1u32, 2, 4, 8] {
+            let w = world(shards);
+            let store = GraphStore::new().with_verification(true);
+            let composer = ShardedComposer {
+                formats: &w.formats,
+                services: &w.services,
+                network: &w.network,
+            };
+            let two = composer
+                .compose_with_store(
+                    &store,
+                    &w.profiles,
+                    w.sender,
+                    w.receiver,
+                    &SelectOptions::default(),
+                )
+                .unwrap();
+            let flat = flat_plan(&w).expect("cluster 0 chain exists");
+            assert_eq!(
+                two.composition.plan.as_ref(),
+                Some(&flat),
+                "{shards} shards: plans must be bitwise identical"
+            );
+            assert!(
+                !two.full_expansion,
+                "{shards} shards: bounds must prove the winner"
+            );
+            if shards >= 4 {
+                // The losing clusters' shards must never be expanded:
+                // their hull tops score strictly below the winner.
+                assert!(
+                    (two.expanded_shards.len() as u32) < shards,
+                    "{shards} shards: expanded {:?}",
+                    two.expanded_shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_requests_replay_the_flat_failure() {
+        let mut w = world(4);
+        // A device that decodes a format nobody produces.
+        w.profiles.device = DeviceProfile::new(
+            "odd",
+            vec!["video/mid3".to_string()],
+            HardwareCaps::desktop(),
+        );
+        // mid3 is reachable (head3 produces it), so this still
+        // exercises a real search; ask for the impossible instead by
+        // deregistering the only producer.
+        let head3 = w
+            .services
+            .flat()
+            .live_services()
+            .find(|(_, d)| d.name == "head3")
+            .map(|(id, _)| id)
+            .unwrap();
+        w.services.deregister(head3).unwrap();
+
+        let store = GraphStore::new().with_verification(true);
+        let composer = ShardedComposer {
+            formats: &w.formats,
+            services: &w.services,
+            network: &w.network,
+        };
+        let two = composer
+            .compose_with_store(
+                &store,
+                &w.profiles,
+                w.sender,
+                w.receiver,
+                &SelectOptions::default(),
+            )
+            .unwrap();
+        assert!(two.composition.plan.is_none());
+
+        let flat = Composer {
+            formats: &w.formats,
+            services: w.services.flat(),
+            network: &w.network,
+        }
+        .compose(&w.profiles, w.sender, w.receiver, &SelectOptions::default())
+        .unwrap();
+        assert!(flat.plan.is_none());
+        assert_eq!(
+            format!("{:?}", two.composition.selection.failure),
+            format!("{:?}", flat.selection.failure),
+            "failures replay the flat outcome"
+        );
+    }
+
+    #[test]
+    fn churn_in_unexpanded_shards_keeps_the_scoped_graph_warm() {
+        let w = world(8);
+        let store = GraphStore::new().with_verification(true);
+        let composer = ShardedComposer {
+            formats: &w.formats,
+            services: &w.services,
+            network: &w.network,
+        };
+        let opts = SelectOptions::default();
+        let first = composer
+            .compose_with_store(&store, &w.profiles, w.sender, w.receiver, &opts)
+            .unwrap();
+        assert!(!first.expanded_shards.is_empty());
+        let baseline = store.stats();
+
+        // Same request again: every scoped graph is a reuse.
+        let again = composer
+            .compose_with_store(&store, &w.profiles, w.sender, w.receiver, &opts)
+            .unwrap();
+        assert_eq!(again.composition.plan, first.composition.plan);
+        let stats = store.stats();
+        assert_eq!(
+            stats.rebuilds, baseline.rebuilds,
+            "no new builds: {stats:?}"
+        );
+        assert_eq!(stats.deltas, baseline.deltas, "no replays: {stats:?}");
+        assert!(stats.reuses > baseline.reuses, "{stats:?}");
+    }
+}

@@ -32,7 +32,7 @@ use qosc_netsim::{LinkId, NetError, Network, NodeId, SimTime};
 use qosc_profiles::ServiceSpec;
 use qosc_services::{
     DiscoveryConfig, DiscoveryDriver, MemberId, QosObservation, ServiceError, ServiceId,
-    ServiceRegistry, TranscoderDescriptor, QOS_PPM,
+    ServiceRegistry, ShardedServiceRegistry, TranscoderDescriptor, QOS_PPM,
 };
 use std::collections::HashMap;
 
@@ -161,10 +161,17 @@ struct DeliveryCache {
     stats: DeliveryCacheStats,
 }
 
+/// Shard count of the world's registry. Session worlds are bounded
+/// fleets (tens of members), so a small fixed fan-out keeps per-shard
+/// epochs meaningful without per-world tuning.
+const WORLD_SHARDS: u32 = 8;
+
 #[derive(Debug)]
 pub struct ChaosWorld<'a> {
     formats: &'a FormatRegistry,
-    services: ServiceRegistry,
+    /// World churn routes through the sharded wrapper so per-shard
+    /// epochs stay truthful; composition reads `services.flat()`.
+    services: ShardedServiceRegistry,
     network: Network,
     driver: DiscoveryDriver,
     members: Vec<MemberId>,
@@ -198,7 +205,7 @@ impl<'a> ChaosWorld<'a> {
     ) -> ChaosWorld<'a> {
         ChaosWorld {
             formats,
-            services: ServiceRegistry::new(),
+            services: ShardedServiceRegistry::new(WORLD_SHARDS),
             network,
             driver: DiscoveryDriver::new(discovery),
             members: Vec::new(),
@@ -383,14 +390,20 @@ impl<'a> ChaosWorld<'a> {
         &self.network
     }
 
-    /// The current registry state.
+    /// The current registry state (the flat ground truth).
     pub fn services(&self) -> &ServiceRegistry {
+        self.services.flat()
+    }
+
+    /// The sharded registry wrapper the world's churn routes through —
+    /// exposes per-shard epochs and summary frontiers.
+    pub fn sharded_services(&self) -> &ShardedServiceRegistry {
         &self.services
     }
 
     /// Mutable registry access — lets experiments tune quarantine and
     /// probation policy before a run.
-    pub fn services_mut(&mut self) -> &mut ServiceRegistry {
+    pub fn services_mut(&mut self) -> &mut ShardedServiceRegistry {
         &mut self.services
     }
 
@@ -415,7 +428,7 @@ impl SessionWorld for ChaosWorld<'_> {
     fn composer(&self) -> Composer<'_> {
         Composer {
             formats: self.formats,
-            services: &self.services,
+            services: self.services.flat(),
             network: &self.network,
         }
     }
@@ -423,7 +436,7 @@ impl SessionWorld for ChaosWorld<'_> {
     fn plan_alive(&self, plan: &AdaptationPlan) -> bool {
         for step in &plan.steps {
             if let Some(id) = step.service {
-                if !self.services.is_available(id) {
+                if !self.services.flat().is_available(id) {
                     return false;
                 }
             }
@@ -438,7 +451,7 @@ impl SessionWorld for ChaosWorld<'_> {
     fn plan_routable(&self, plan: &AdaptationPlan) -> bool {
         for step in &plan.steps {
             if let Some(id) = step.service {
-                if !self.services.is_available(id) {
+                if !self.services.flat().is_available(id) {
                     return false;
                 }
             }

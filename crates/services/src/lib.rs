@@ -22,12 +22,14 @@ pub mod discovery;
 pub mod host;
 pub mod qos;
 pub mod registry;
+pub mod sharded;
 
 pub use descriptor::{Conversion, ServiceId, TranscoderDescriptor};
-pub use discovery::{DiscoveryConfig, DiscoveryDriver, MemberId};
+pub use discovery::{DiscoveryConfig, DiscoveryDriver, MemberId, RegistryOps};
 pub use host::{AdmissionId, HostResources};
 pub use qos::{QosEstimator, QosEstimatorConfig, QosObservation, SlaVerdict, SlaWatchdog, QOS_PPM};
 pub use registry::{ProbationConfig, QuarantineConfig, RegistryEvent, ServiceRegistry};
+pub use sharded::{PairKey, ShardRouter, ShardedServiceRegistry};
 
 use qosc_netsim::NodeId;
 

@@ -44,6 +44,22 @@ pub enum RegistryEvent {
     ProbationCleared(ServiceId),
 }
 
+impl RegistryEvent {
+    /// The service this life-cycle event is about.
+    pub fn service(&self) -> ServiceId {
+        match *self {
+            RegistryEvent::Registered(id)
+            | RegistryEvent::Renewed(id)
+            | RegistryEvent::Expired(id)
+            | RegistryEvent::Deregistered(id)
+            | RegistryEvent::Quarantined(id)
+            | RegistryEvent::Reinstated(id)
+            | RegistryEvent::Probated(id)
+            | RegistryEvent::ProbationCleared(id) => id,
+        }
+    }
+}
+
 /// Circuit-breaker policy for [`ServiceRegistry::report_failure`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuarantineConfig {
@@ -128,6 +144,11 @@ pub struct ServiceRegistry {
     /// without their own `now` parameter stamp with `clock`, the latest
     /// simulation time this registry has seen.
     event_times: Vec<SimTime>,
+    /// Compaction watermark: how many log-leading events have been
+    /// discarded by [`ServiceRegistry::compact_events_below`]. The
+    /// epoch of the oldest *retained* event; `epoch()` stays monotone
+    /// across compaction because it counts discarded events too.
+    compacted: u64,
     clock: SimTime,
     /// Format-indexed lookup: input format → service ids in registration
     /// order (live and dead; liveness is filtered on query). Graph
@@ -293,7 +314,8 @@ impl ServiceRegistry {
         self.entries.iter().filter(|e| e.alive).count()
     }
 
-    /// The event log since construction.
+    /// The retained event log: everything since construction, minus any
+    /// prefix discarded by [`Self::compact_events_below`].
     pub fn events(&self) -> &[RegistryEvent] {
         &self.events
     }
@@ -314,29 +336,63 @@ impl ServiceRegistry {
     /// availability answers, which is what makes O(1) cache
     /// revalidation and incremental graph maintenance sound.
     pub fn epoch(&self) -> u64 {
-        self.events.len() as u64
+        self.compacted + self.events.len() as u64
+    }
+
+    /// The compaction watermark: the oldest epoch whose event tail is
+    /// still replayable. `events_since(e)` answers `Some` exactly when
+    /// `e >= compacted_epoch()`.
+    pub fn compacted_epoch(&self) -> u64 {
+        self.compacted
     }
 
     /// The events recorded since `epoch` (a value previously returned
-    /// by [`Self::epoch`]), oldest first. An epoch from another
-    /// registry instance (or from the future) yields an empty slice.
-    pub fn events_since(&self, epoch: u64) -> &[RegistryEvent] {
-        let start = (epoch as usize).min(self.events.len());
-        &self.events[start..]
+    /// by [`Self::epoch`]), oldest first. An epoch from the future
+    /// yields an empty slice. Returns `None` when the tail is no longer
+    /// replayable because [`Self::compact_events_below`] discarded part
+    /// of it — callers holding such a stale epoch must fall back to a
+    /// full rebuild from current state.
+    pub fn events_since(&self, epoch: u64) -> Option<&[RegistryEvent]> {
+        if epoch < self.compacted {
+            return None;
+        }
+        let start = ((epoch - self.compacted) as usize).min(self.events.len());
+        Some(&self.events[start..])
     }
 
-    /// The event log with the [`SimTime`] each event was recorded at.
-    /// Stamps are monotone in log order (see `push_event`).
+    /// Discard every retained event older than `epoch`, bounding the
+    /// log. After this call, `events_since(e)` is `None` for any
+    /// `e < min(epoch, self.epoch())` — consumers that kept such a
+    /// stamp (the incremental `GraphStore`, shard logs) must rebuild
+    /// from current registry state instead of replaying a delta.
+    /// Compacting at or below the current watermark, or past the
+    /// current epoch, is safe; the watermark never exceeds `epoch()`.
+    /// Returns the number of events discarded.
+    pub fn compact_events_below(&mut self, epoch: u64) -> usize {
+        let target = epoch.min(self.epoch());
+        if target <= self.compacted {
+            return 0;
+        }
+        let drop = (target - self.compacted) as usize;
+        self.events.drain(..drop);
+        self.event_times.drain(..drop);
+        self.compacted = target;
+        drop
+    }
+
+    /// The retained event log with the [`SimTime`] each event was
+    /// recorded at. Stamps are monotone in log order (see `push_event`).
     pub fn timed_events(&self) -> impl Iterator<Item = (SimTime, &RegistryEvent)> + '_ {
         self.event_times.iter().copied().zip(self.events.iter())
     }
 
-    /// Replay the event log into a telemetry sink as flight-recorder
-    /// events: `request_id` is [`REQUEST_NONE`] (registry life-cycle
-    /// belongs to no request), `seq` is the log index, and the virtual
-    /// time is the recorded [`SimTime`] — so the merged log is
-    /// byte-identical however the scenario that produced the churn was
-    /// scheduled.
+    /// Replay the retained event log into a telemetry sink as
+    /// flight-recorder events: `request_id` is [`REQUEST_NONE`]
+    /// (registry life-cycle belongs to no request), `seq` is the
+    /// absolute log position (compaction watermark + retained index, so
+    /// it survives compaction unchanged), and the virtual time is the
+    /// recorded [`SimTime`] — so the merged log is byte-identical
+    /// however the scenario that produced the churn was scheduled.
     pub fn record_telemetry<S: TelemetrySink>(&self, sink: &S) {
         if !sink.enabled() {
             return;
@@ -372,7 +428,7 @@ impl ServiceRegistry {
                 virtual_time_us: at.as_micros(),
                 request_id: REQUEST_NONE,
                 span: 0,
-                seq: index as u32,
+                seq: (self.compacted + index as u64) as u32,
                 kind,
             });
         }
@@ -932,15 +988,81 @@ mod tests {
         let id2 = reg.register_static(descriptor);
         reg.renew(id, SimTime(100), 1_000).unwrap();
         assert_eq!(
-            reg.events_since(mark),
+            reg.events_since(mark).unwrap(),
             &[RegistryEvent::Registered(id2), RegistryEvent::Renewed(id)]
         );
-        assert!(reg.events_since(reg.epoch()).is_empty());
+        assert!(reg.events_since(reg.epoch()).unwrap().is_empty());
         assert!(
-            reg.events_since(u64::MAX).is_empty(),
+            reg.events_since(u64::MAX).unwrap().is_empty(),
             "future epoch is empty"
         );
-        assert_eq!(reg.events_since(0).len(), reg.epoch() as usize);
+        assert_eq!(reg.events_since(0).unwrap().len(), reg.epoch() as usize);
+    }
+
+    #[test]
+    fn compaction_bounds_the_log_without_moving_the_epoch() {
+        let (mut reg, _, descriptor) = setup();
+        let a = reg.register(descriptor.clone(), SimTime::ZERO, 1_000);
+        reg.renew(a, SimTime(100), 1_000).unwrap();
+        let mark = reg.epoch();
+        let b = reg.register_static(descriptor);
+        let epoch = reg.epoch();
+        assert_eq!(epoch, 3);
+
+        // Compacting below `mark` keeps tails at or after it replayable.
+        assert_eq!(reg.compact_events_below(mark), 2);
+        assert_eq!(reg.epoch(), epoch, "compaction never moves the epoch");
+        assert_eq!(reg.compacted_epoch(), mark);
+        assert_eq!(reg.events(), &[RegistryEvent::Registered(b)]);
+        assert_eq!(
+            reg.events_since(mark).unwrap(),
+            &[RegistryEvent::Registered(b)]
+        );
+        // A stamp older than the watermark is no longer replayable.
+        assert_eq!(reg.events_since(mark - 1), None);
+        assert_eq!(reg.events_since(0), None);
+
+        // Compacting at or below the watermark is an idempotent no-op.
+        assert_eq!(reg.compact_events_below(mark), 0);
+        assert_eq!(reg.compact_events_below(0), 0);
+
+        // Compacting past the live epoch clamps: the epoch and new
+        // tails survive, the whole retained log is discarded.
+        assert_eq!(reg.compact_events_below(u64::MAX), 1);
+        assert_eq!(reg.epoch(), epoch);
+        assert_eq!(reg.compacted_epoch(), epoch);
+        assert!(reg.events().is_empty());
+        assert!(reg.events_since(epoch).unwrap().is_empty());
+        assert_eq!(reg.events_since(mark), None);
+
+        // The log keeps growing normally after compaction.
+        reg.deregister(b).unwrap();
+        assert_eq!(reg.epoch(), epoch + 1);
+        assert_eq!(
+            reg.events_since(epoch).unwrap(),
+            &[RegistryEvent::Deregistered(b)]
+        );
+    }
+
+    #[test]
+    fn telemetry_seq_is_the_absolute_log_position_after_compaction() {
+        use qosc_telemetry::FlightRecorder;
+        let (mut reg, _, descriptor) = setup();
+        let a = reg.register(descriptor.clone(), SimTime::ZERO, 1_000);
+        reg.renew(a, SimTime(100), 1_000).unwrap();
+        let b = reg.register_static(descriptor);
+        reg.deregister(b).unwrap();
+
+        let full = FlightRecorder::default();
+        reg.record_telemetry(&full);
+        let all: Vec<u32> = full.merged().into_iter().map(|e| e.seq).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+
+        reg.compact_events_below(2);
+        let tail = FlightRecorder::default();
+        reg.record_telemetry(&tail);
+        let kept: Vec<u32> = tail.merged().into_iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![2, 3], "seq survives compaction unchanged");
     }
 
     #[test]

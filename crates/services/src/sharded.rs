@@ -1,0 +1,741 @@
+//! The sharded registry: per-shard event logs, epochs, and summary
+//! frontiers for two-level composition.
+//!
+//! Klein et al. decompose QoS-aware composition into per-partition
+//! sub-problems stitched together through aggregated QoS summaries.
+//! [`ShardedServiceRegistry`] is the in-process version of that
+//! partitioning: it wraps a single flat [`ServiceRegistry`] (which
+//! remains the ground truth for service ids, registration order, and
+//! availability — so flat consumers like the session engine keep
+//! working unchanged through [`flat`](ShardedServiceRegistry::flat)),
+//! and overlays:
+//!
+//! * a **shard assignment** per service, fixed at registration by a
+//!   [`ShardRouter`] keyed on the service's primary input format — so
+//!   a format cluster's services co-locate in one shard,
+//! * a **per-shard event log** with its own monotone epoch and its own
+//!   compaction watermark, mirroring the flat log's semantics: the
+//!   shard epoch moves exactly when a mutation touches a service of
+//!   that shard, which is what lets cache revalidation and incremental
+//!   graph maintenance stay O(touched shards) instead of O(registry),
+//! * a **summary frontier** per shard: for every
+//!   `(input format, output format, axis set)` a shard's available
+//!   services can convert between, the per-axis maximum ("hull top")
+//!   of the advertised output domains, maintained incrementally on
+//!   every mutation. Scoring a hull top with the requesting user's
+//!   satisfaction profile yields an *admissible* upper bound on the
+//!   satisfaction any service of the shard can contribute on that hop:
+//!   satisfaction functions are monotone per axis, upstream capping
+//!   only shrinks domains, and probation penalties only multiply
+//!   satisfaction down — so the bound can only overestimate, never
+//!   underestimate. Axis sets are kept apart because the profile
+//!   combiners skip absent axes: merging a single-axis hull into a
+//!   wider one could *lower* its score and break admissibility.
+//!
+//! Every mutation funnels through the wrapper, which forwards to the
+//! flat registry and then distributes the newly recorded events to the
+//! owning shards, so `sum(shard epochs) == flat epoch` always holds.
+
+use crate::descriptor::{ServiceId, TranscoderDescriptor};
+use crate::registry::{ProbationConfig, QuarantineConfig, RegistryEvent, ServiceRegistry};
+use crate::Result;
+use qosc_media::{DomainVector, FormatId, ParamVector};
+use qosc_netsim::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Deterministic shard assignment for a service descriptor.
+///
+/// Routes by the service's *primary* (first advertised) input format,
+/// FNV-1a hashed modulo the shard count: services of one format
+/// cluster land in one shard, which is what makes shard summaries
+/// discriminating and shard expansion selective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shard_count: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shard_count` shards (minimum 1).
+    pub fn new(shard_count: u32) -> ShardRouter {
+        ShardRouter {
+            shard_count: shard_count.max(1),
+        }
+    }
+
+    /// Number of shards routed across.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// The shard `descriptor` belongs to. Pure in the descriptor, so
+    /// the assignment is identical however and whenever the service
+    /// registers.
+    pub fn route(&self, descriptor: &TranscoderDescriptor) -> u32 {
+        let primary = descriptor
+            .conversions
+            .first()
+            .map(|c| c.input.index() as u64)
+            .unwrap_or(0);
+        (fnv1a_u64(primary) % u64::from(self.shard_count)) as u32
+    }
+}
+
+/// FNV-1a over the little-endian bytes of `x` — the same hash family
+/// the scorecards use for digests, chosen here for determinism, not
+/// speed.
+fn fnv1a_u64(x: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in x.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Frontier key: one `(input format, output format, axis set)` class
+/// of conversions. The axis set is a bitmask over [`qosc_media::Axis`]
+/// indices; see the module docs for why heterogeneous axis sets are
+/// never merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PairKey {
+    /// Accepted input format.
+    pub input: FormatId,
+    /// Produced output format.
+    pub output: FormatId,
+    /// Bitmask of [`qosc_media::Axis::index`] values the output
+    /// domains of this class cover.
+    pub axes: u8,
+}
+
+/// The axis-set bitmask of a domain vector.
+fn axis_mask(domain: &DomainVector) -> u8 {
+    domain
+        .axes()
+        .fold(0u8, |mask, axis| mask | (1 << axis.index()))
+}
+
+/// One frontier group: the available services contributing conversions
+/// under a [`PairKey`], each with its own per-axis top, plus the
+/// cached hull top (per-axis maximum over members).
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    members: Vec<(ServiceId, ParamVector)>,
+    top: ParamVector,
+}
+
+impl GroupState {
+    fn recompute_top(&mut self) {
+        let mut top = ParamVector::new();
+        for (_, member_top) in &self.members {
+            merge_max(&mut top, member_top);
+        }
+        self.top = top;
+    }
+}
+
+/// Per-axis maximum merge: `into[a] = max(into[a], from[a])` for every
+/// axis present in `from`.
+fn merge_max(into: &mut ParamVector, from: &ParamVector) {
+    for (axis, value) in from.iter() {
+        match into.get(axis) {
+            Some(existing) if existing >= value => {}
+            _ => {
+                into.set(axis, value);
+            }
+        }
+    }
+}
+
+/// One shard's overlay state: its slice of the event log and its
+/// summary frontier.
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    events: Vec<RegistryEvent>,
+    /// Compaction watermark, mirroring
+    /// [`ServiceRegistry::compacted_epoch`] semantics per shard.
+    compacted: u64,
+    /// `(pair, axis set) → hull` summary frontier over *available*
+    /// members.
+    frontier: BTreeMap<PairKey, GroupState>,
+    /// Reverse index: which frontier keys each available service
+    /// currently contributes to — makes removal O(own keys), not
+    /// O(frontier).
+    contributions: HashMap<ServiceId, Vec<PairKey>>,
+}
+
+/// A flat [`ServiceRegistry`] partitioned into N shards with per-shard
+/// epochs, event logs, and summary frontiers. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ShardedServiceRegistry {
+    flat: ServiceRegistry,
+    router: ShardRouter,
+    /// Shard of each service, indexed by `ServiceId::index` — fixed at
+    /// registration, valid for dead services too (their life-cycle
+    /// events still belong to their shard).
+    shard_of: Vec<u32>,
+    shards: Vec<ShardState>,
+}
+
+impl ShardedServiceRegistry {
+    /// An empty sharded registry over `shard_count` shards.
+    pub fn new(shard_count: u32) -> ShardedServiceRegistry {
+        let router = ShardRouter::new(shard_count);
+        ShardedServiceRegistry {
+            flat: ServiceRegistry::new(),
+            router,
+            shard_of: Vec::new(),
+            shards: (0..router.shard_count())
+                .map(|_| ShardState::default())
+                .collect(),
+        }
+    }
+
+    /// The flat ground-truth view: ids, registration order,
+    /// availability, penalties — everything flat consumers (graph
+    /// build, selection, the session engine) already read. Immutable:
+    /// mutations must go through the wrapper so shard logs stay
+    /// coherent.
+    pub fn flat(&self) -> &ServiceRegistry {
+        &self.flat
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.router.shard_count()
+    }
+
+    /// The shard `id` was routed to at registration.
+    pub fn shard_of(&self, id: ServiceId) -> u32 {
+        self.shard_of[id.index()]
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    // ----- mutations (forward to flat, then distribute) -----
+
+    /// See [`ServiceRegistry::register`].
+    pub fn register(
+        &mut self,
+        descriptor: TranscoderDescriptor,
+        now: SimTime,
+        ttl_us: u64,
+    ) -> ServiceId {
+        let shard = self.router.route(&descriptor);
+        let pre = self.flat.epoch();
+        let id = self.flat.register(descriptor, now, ttl_us);
+        debug_assert_eq!(id.index(), self.shard_of.len());
+        self.shard_of.push(shard);
+        self.distribute(pre);
+        id
+    }
+
+    /// See [`ServiceRegistry::register_static`].
+    pub fn register_static(&mut self, descriptor: TranscoderDescriptor) -> ServiceId {
+        self.register(descriptor, SimTime::ZERO, u64::MAX / 2)
+    }
+
+    /// See [`ServiceRegistry::renew`].
+    pub fn renew(&mut self, id: ServiceId, now: SimTime, ttl_us: u64) -> Result<()> {
+        let pre = self.flat.epoch();
+        let out = self.flat.renew(id, now, ttl_us);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::deregister`].
+    pub fn deregister(&mut self, id: ServiceId) -> Result<()> {
+        let pre = self.flat.epoch();
+        let out = self.flat.deregister(id);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::expire_leases`].
+    pub fn expire_leases(&mut self, now: SimTime) -> Vec<ServiceId> {
+        let pre = self.flat.epoch();
+        let out = self.flat.expire_leases(now);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::report_failure`].
+    pub fn report_failure(&mut self, id: ServiceId, now: SimTime) -> Result<bool> {
+        let pre = self.flat.epoch();
+        let out = self.flat.report_failure(id, now);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::report_success`]. Never records events.
+    pub fn report_success(&mut self, id: ServiceId) -> Result<()> {
+        self.flat.report_success(id)
+    }
+
+    /// See [`ServiceRegistry::release_quarantines`].
+    pub fn release_quarantines(&mut self, now: SimTime) -> Vec<ServiceId> {
+        let pre = self.flat.epoch();
+        let out = self.flat.release_quarantines(now);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::probate`].
+    pub fn probate(&mut self, id: ServiceId, observed_ppm: u64, now: SimTime) -> bool {
+        let pre = self.flat.epoch();
+        let out = self.flat.probate(id, observed_ppm, now);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::probe_success`].
+    pub fn probe_success(&mut self, id: ServiceId, now: SimTime) -> bool {
+        let pre = self.flat.epoch();
+        let out = self.flat.probe_success(id, now);
+        self.distribute(pre);
+        out
+    }
+
+    /// See [`ServiceRegistry::set_quarantine_config`].
+    pub fn set_quarantine_config(&mut self, config: QuarantineConfig) {
+        self.flat.set_quarantine_config(config);
+    }
+
+    /// See [`ServiceRegistry::set_probation_config`].
+    pub fn set_probation_config(&mut self, config: ProbationConfig) {
+        self.flat.set_probation_config(config);
+    }
+
+    // ----- per-shard epochs, logs, compaction -----
+
+    /// The shard's monotone epoch: life-cycle events recorded against
+    /// services of shard `shard` (including compacted ones). Mutations
+    /// in other shards never move it — the property per-shard cache
+    /// stamps rely on.
+    pub fn shard_epoch(&self, shard: u32) -> u64 {
+        let s = &self.shards[shard as usize];
+        s.compacted + s.events.len() as u64
+    }
+
+    /// `(shard, epoch)` for every shard, in shard order.
+    pub fn shard_epochs(&self) -> Vec<(u32, u64)> {
+        (0..self.shard_count())
+            .map(|s| (s, self.shard_epoch(s)))
+            .collect()
+    }
+
+    /// The shard's events since `epoch` (a value previously returned
+    /// by [`Self::shard_epoch`]), oldest first — `None` when that tail
+    /// was compacted away, mirroring
+    /// [`ServiceRegistry::events_since`].
+    pub fn shard_events_since(&self, shard: u32, epoch: u64) -> Option<&[RegistryEvent]> {
+        let s = &self.shards[shard as usize];
+        if epoch < s.compacted {
+            return None;
+        }
+        let start = ((epoch - s.compacted) as usize).min(s.events.len());
+        Some(&s.events[start..])
+    }
+
+    /// Discard shard events older than `epoch` (shard-epoch scale).
+    /// Returns the number discarded. Mirrors
+    /// [`ServiceRegistry::compact_events_below`] per shard.
+    pub fn compact_shard_events_below(&mut self, shard: u32, epoch: u64) -> usize {
+        let top = self.shard_epoch(shard);
+        let s = &mut self.shards[shard as usize];
+        let target = epoch.min(top);
+        if target <= s.compacted {
+            return 0;
+        }
+        let drop = (target - s.compacted) as usize;
+        s.events.drain(..drop);
+        s.compacted = target;
+        drop
+    }
+
+    /// Compact the underlying flat log (see
+    /// [`ServiceRegistry::compact_events_below`]). Shard logs are
+    /// independent and unaffected.
+    pub fn compact_flat_events_below(&mut self, epoch: u64) -> usize {
+        self.flat.compact_events_below(epoch)
+    }
+
+    // ----- summary frontier -----
+
+    /// The shard's summary frontier, in [`PairKey`] order: for each
+    /// `(input, output, axis set)` class its hull top — the per-axis
+    /// maximum of the advertised output domains over the shard's
+    /// *available* services. Scoring a hull top with a satisfaction
+    /// profile upper-bounds the satisfaction any hop through this
+    /// shard and pair can contribute.
+    pub fn summaries(&self, shard: u32) -> impl Iterator<Item = (PairKey, ParamVector)> + '_ {
+        self.shards[shard as usize]
+            .frontier
+            .iter()
+            .map(|(key, group)| (*key, group.top))
+    }
+
+    /// The incrementally maintained frontier as a vector — test
+    /// support for comparing against [`Self::frontier_from_scratch`].
+    pub fn frontier(&self, shard: u32) -> Vec<(PairKey, ParamVector)> {
+        self.summaries(shard).collect()
+    }
+
+    /// Recompute the shard's frontier from current registry state,
+    /// ignoring the incremental bookkeeping — the oracle the proptest
+    /// compares the incremental path against.
+    pub fn frontier_from_scratch(&self, shard: u32) -> Vec<(PairKey, ParamVector)> {
+        let mut frontier: BTreeMap<PairKey, ParamVector> = BTreeMap::new();
+        for (id, descriptor) in self.flat.live_services() {
+            if self.shard_of[id.index()] != shard || !self.flat.is_available(id) {
+                continue;
+            }
+            for conversion in &descriptor.conversions {
+                let key = PairKey {
+                    input: conversion.input,
+                    output: conversion.output,
+                    axes: axis_mask(&conversion.output_domain),
+                };
+                let top = conversion.output_domain.top();
+                merge_max(frontier.entry(key).or_default(), &top);
+            }
+        }
+        frontier.into_iter().collect()
+    }
+
+    /// Per-service include flags for scoped graph construction:
+    /// `filter[id] == true` iff the service's shard is marked in
+    /// `expanded` (indexed by shard). Ids beyond the flag vector are
+    /// excluded.
+    pub fn scope_filter(&self, expanded: &[bool]) -> Vec<bool> {
+        self.shard_of
+            .iter()
+            .map(|&s| expanded.get(s as usize).copied().unwrap_or(false))
+            .collect()
+    }
+
+    /// The sorted, deduplicated shards of `ids` — the "touched shards"
+    /// a cached plan's per-shard stamps cover.
+    pub fn touched_shards<I: IntoIterator<Item = ServiceId>>(&self, ids: I) -> Vec<u32> {
+        let mut shards: Vec<u32> = ids.into_iter().map(|id| self.shard_of(id)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    // ----- internals -----
+
+    /// Distribute every flat event recorded since `pre_epoch` to its
+    /// owning shard: append to the shard log and update the shard's
+    /// frontier.
+    fn distribute(&mut self, pre_epoch: u64) {
+        let tail: Vec<RegistryEvent> = self
+            .flat
+            .events_since(pre_epoch)
+            .expect("the pre-mutation epoch was captured before any compaction")
+            .to_vec();
+        for event in tail {
+            let id = event.service();
+            let shard = self.shard_of[id.index()] as usize;
+            match event {
+                RegistryEvent::Registered(_) | RegistryEvent::Reinstated(_) => {
+                    // `release_quarantines` can reinstate a service
+                    // whose lease already expired; the availability
+                    // guard keeps such ghosts out of the frontier.
+                    if self.flat.is_available(id) {
+                        let descriptor = self.flat.get(id).expect("available implies live").clone();
+                        add_contributions(&mut self.shards[shard], id, &descriptor);
+                    }
+                }
+                RegistryEvent::Expired(_)
+                | RegistryEvent::Deregistered(_)
+                | RegistryEvent::Quarantined(_) => {
+                    remove_contributions(&mut self.shards[shard], id);
+                }
+                RegistryEvent::Renewed(_)
+                | RegistryEvent::Probated(_)
+                | RegistryEvent::ProbationCleared(_) => {
+                    // Renewal changes no advertised capability.
+                    // Probation multiplies satisfaction by a factor
+                    // ≤ 1, so the unpenalized hull top stays an upper
+                    // bound — the frontier is unchanged.
+                }
+            }
+            self.shards[shard].events.push(event);
+        }
+    }
+}
+
+/// Add `id`'s conversions to the shard frontier. Idempotent: an
+/// already-contributing service is left untouched.
+fn add_contributions(shard: &mut ShardState, id: ServiceId, descriptor: &TranscoderDescriptor) {
+    if shard.contributions.contains_key(&id) {
+        return;
+    }
+    // Collapse the service's conversions to one per-key top first —
+    // a service may advertise several conversions in one class.
+    let mut own: BTreeMap<PairKey, ParamVector> = BTreeMap::new();
+    for conversion in &descriptor.conversions {
+        let key = PairKey {
+            input: conversion.input,
+            output: conversion.output,
+            axes: axis_mask(&conversion.output_domain),
+        };
+        let top = conversion.output_domain.top();
+        merge_max(own.entry(key).or_default(), &top);
+    }
+    let keys: Vec<PairKey> = own.keys().copied().collect();
+    for (key, top) in own {
+        let group = shard.frontier.entry(key).or_default();
+        group.members.push((id, top));
+        merge_max(&mut group.top, &top);
+    }
+    shard.contributions.insert(id, keys);
+}
+
+/// Remove `id`'s contributions from the shard frontier, recomputing
+/// each affected group's hull top from the remaining members.
+/// Idempotent: removing a non-contributor is a no-op.
+fn remove_contributions(shard: &mut ShardState, id: ServiceId) {
+    let Some(keys) = shard.contributions.remove(&id) else {
+        return;
+    };
+    for key in keys {
+        let remove_group = {
+            let group = shard
+                .frontier
+                .get_mut(&key)
+                .expect("contribution index and frontier stay in sync");
+            group.members.retain(|&(member, _)| member != id);
+            if group.members.is_empty() {
+                true
+            } else {
+                group.recompute_top();
+                false
+            }
+        };
+        if remove_group {
+            shard.frontier.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_media::{Axis, AxisDomain, DomainVector, FormatRegistry, MediaKind};
+    use qosc_netsim::{Node, Topology};
+    use qosc_profiles::{ConversionSpec, ServiceSpec};
+
+    struct Fixture {
+        formats: FormatRegistry,
+        node: qosc_netsim::NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut formats = FormatRegistry::new();
+        for name in ["a", "b", "c", "d"] {
+            formats.register_abstract(name, MediaKind::Video);
+        }
+        let mut topo = Topology::new();
+        let node = topo.add_node(Node::unconstrained("host"));
+        Fixture { formats, node }
+    }
+
+    fn descriptor(
+        f: &Fixture,
+        name: &str,
+        input: &str,
+        output: &str,
+        fps: f64,
+    ) -> TranscoderDescriptor {
+        let mut domain = DomainVector::new();
+        domain.set(
+            Axis::FrameRate,
+            AxisDomain::Continuous { min: 1.0, max: fps },
+        );
+        let spec = ServiceSpec::new(name, vec![ConversionSpec::new(input, output, domain)]);
+        TranscoderDescriptor::resolve(&spec, &f.formats, f.node).unwrap()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_format_clustered() {
+        let f = fixture();
+        let router = ShardRouter::new(4);
+        let d1 = descriptor(&f, "s1", "a", "b", 30.0);
+        let d2 = descriptor(&f, "s2", "a", "c", 25.0);
+        assert_eq!(
+            router.route(&d1),
+            router.route(&d2),
+            "same primary input format co-locates"
+        );
+        assert_eq!(router.route(&d1), router.route(&d1));
+        assert!(router.route(&d1) < 4);
+        assert_eq!(ShardRouter::new(0).shard_count(), 1, "clamped to one shard");
+    }
+
+    #[test]
+    fn shard_epochs_sum_to_the_flat_epoch() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(4);
+        let a = reg.register(descriptor(&f, "s1", "a", "b", 30.0), SimTime::ZERO, 1_000);
+        let b = reg.register_static(descriptor(&f, "s2", "b", "c", 30.0));
+        reg.renew(a, SimTime(500), 1_000).unwrap();
+        reg.expire_leases(SimTime(5_000));
+        reg.deregister(b).unwrap();
+        assert!(!reg.flat().is_live(a));
+        let sum: u64 = reg.shard_epochs().iter().map(|&(_, e)| e).sum();
+        assert_eq!(sum, reg.flat().epoch());
+        // Every event landed in the owner's log.
+        let sa = reg.shard_of(a);
+        assert_eq!(
+            reg.shard_events_since(sa, 0).unwrap(),
+            &[
+                RegistryEvent::Registered(a),
+                RegistryEvent::Renewed(a),
+                RegistryEvent::Expired(a),
+            ]
+        );
+    }
+
+    #[test]
+    fn mutations_in_one_shard_leave_other_shard_epochs_alone() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(8);
+        let a = reg.register_static(descriptor(&f, "s1", "a", "b", 30.0));
+        let b = reg.register_static(descriptor(&f, "s2", "b", "c", 30.0));
+        let (sa, sb) = (reg.shard_of(a), reg.shard_of(b));
+        assert_ne!(sa, sb, "fixture formats land in distinct shards");
+        let before = reg.shard_epoch(sb);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 1,
+            cooldown_us: 1_000,
+        });
+        assert!(reg.report_failure(a, SimTime(10)).unwrap());
+        reg.release_quarantines(SimTime(2_000));
+        assert_eq!(
+            reg.shard_epoch(sb),
+            before,
+            "churn in shard {sa} must not move shard {sb}'s epoch"
+        );
+        assert!(reg.shard_epoch(sa) > 0);
+    }
+
+    #[test]
+    fn frontier_tracks_availability_incrementally() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(1);
+        reg.set_quarantine_config(QuarantineConfig {
+            failure_threshold: 1,
+            cooldown_us: 1_000,
+        });
+        let a = reg.register_static(descriptor(&f, "s1", "a", "b", 30.0));
+        let _b = reg.register_static(descriptor(&f, "s2", "a", "b", 25.0));
+
+        let hull = |reg: &ShardedServiceRegistry| -> f64 {
+            let frontier = reg.frontier(0);
+            assert_eq!(frontier.len(), 1, "one (a, b, {{frame_rate}}) class");
+            frontier[0].1.get(Axis::FrameRate).unwrap()
+        };
+        assert_eq!(hull(&reg), 30.0, "hull top is the best member");
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+
+        // Quarantining the best member drops the hull to the runner-up.
+        assert!(reg.report_failure(a, SimTime(10)).unwrap());
+        assert_eq!(hull(&reg), 25.0);
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+
+        // Reinstatement restores it.
+        reg.release_quarantines(SimTime(2_000));
+        assert_eq!(hull(&reg), 30.0);
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+
+        // Probation leaves the frontier untouched (penalties only
+        // shrink satisfaction, the hull stays admissible).
+        assert!(reg.probate(a, 100_000, SimTime(3_000)));
+        assert_eq!(hull(&reg), 30.0);
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+
+        // Deregistering both empties the frontier.
+        reg.deregister(a).unwrap();
+        reg.deregister(_b).unwrap();
+        assert!(reg.frontier(0).is_empty());
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+    }
+
+    #[test]
+    fn heterogeneous_axis_sets_stay_in_separate_groups() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(1);
+        // Same (input, output) pair, different axis sets.
+        let narrow = descriptor(&f, "narrow", "a", "b", 30.0);
+        let mut wide_domain = DomainVector::new();
+        wide_domain.set(
+            Axis::FrameRate,
+            AxisDomain::Continuous {
+                min: 1.0,
+                max: 20.0,
+            },
+        );
+        wide_domain.set(Axis::ColorDepth, AxisDomain::Discrete(vec![8.0, 24.0]));
+        let wide = TranscoderDescriptor::resolve(
+            &ServiceSpec::new("wide", vec![ConversionSpec::new("a", "b", wide_domain)]),
+            &f.formats,
+            f.node,
+        )
+        .unwrap();
+        reg.register_static(narrow);
+        reg.register_static(wide);
+        let frontier = reg.frontier(0);
+        assert_eq!(
+            frontier.len(),
+            2,
+            "merging axis sets could lower a member's score: {frontier:?}"
+        );
+        assert_eq!(reg.frontier(0), reg.frontier_from_scratch(0));
+    }
+
+    #[test]
+    fn shard_log_compaction_mirrors_flat_semantics() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(2);
+        let a = reg.register_static(descriptor(&f, "s1", "a", "b", 30.0));
+        reg.renew(a, SimTime(10), 1_000).unwrap();
+        reg.renew(a, SimTime(20), 1_000).unwrap();
+        let s = reg.shard_of(a);
+        assert_eq!(reg.shard_epoch(s), 3);
+
+        assert_eq!(reg.compact_shard_events_below(s, 2), 2);
+        assert_eq!(reg.shard_epoch(s), 3, "compaction never moves the epoch");
+        assert_eq!(
+            reg.shard_events_since(s, 2).unwrap(),
+            &[RegistryEvent::Renewed(a)]
+        );
+        assert_eq!(reg.shard_events_since(s, 1), None, "tail lost");
+        assert_eq!(reg.compact_shard_events_below(s, 1), 0, "idempotent");
+        // The flat log is independent.
+        assert_eq!(reg.flat().events_since(0).unwrap().len(), 3);
+        assert_eq!(reg.compact_flat_events_below(1), 1);
+        assert_eq!(reg.flat().events_since(0), None);
+    }
+
+    #[test]
+    fn scope_filter_and_touched_shards_follow_assignment() {
+        let f = fixture();
+        let mut reg = ShardedServiceRegistry::new(8);
+        let a = reg.register_static(descriptor(&f, "s1", "a", "b", 30.0));
+        let b = reg.register_static(descriptor(&f, "s2", "b", "c", 30.0));
+        let (sa, sb) = (reg.shard_of(a), reg.shard_of(b));
+        let mut expanded = vec![false; 8];
+        expanded[sa as usize] = true;
+        let filter = reg.scope_filter(&expanded);
+        assert!(filter[a.index()]);
+        assert!(!filter[b.index()]);
+        let mut want = vec![sa, sb];
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(reg.touched_shards([a, b, a]), want);
+    }
+}

@@ -13,6 +13,8 @@
 //!   scalability, baseline-comparison and optimality experiments,
 //! * [`profiles_gen`] — seeded heterogeneous user/device populations
 //!   (the client diversity the paper's introduction motivates),
+//! * [`scale`] — clustered sharded-registry scenarios for the
+//!   registry-scale experiment (10^3..10^6 services, X20),
 //! * [`arrivals`] — seeded open-loop Poisson-burst offered-load
 //!   schedules for the admission/overload experiments.
 
@@ -20,6 +22,7 @@ pub mod arrivals;
 pub mod generator;
 pub mod paper;
 pub mod profiles_gen;
+pub mod scale;
 
 use qosc_core::{Composer, Composition, SelectOptions};
 use qosc_media::FormatRegistry;

@@ -1,0 +1,439 @@
+//! Property: two-level sharded composition is **bitwise identical** to
+//! the flat Figure-4 path under arbitrary seeded registry churn —
+//! register, deregister, quarantine/release, probation/probe — at every
+//! shard count in {1, 2, 4, 8}.
+//!
+//! Identity is checked at three levels:
+//!
+//! * **plans** — always byte-equal (`Debug` for `f64` renders the
+//!   shortest round-trip form, so string equality is bit equality);
+//!   plans reference [`ServiceId`]s, which are scope-independent,
+//! * **traces and tie-breaks** — byte-equal whenever the coordinator
+//!   fell back to full expansion (the only case where the selection
+//!   runs on the same unscoped graph as the flat path; scoped runs
+//!   legitimately renumber vertices while producing the same plan),
+//! * **summary frontiers** — the incrementally maintained per-shard
+//!   frontier must equal a recompute-from-scratch after every op, and
+//!   per-shard epochs must always sum to the flat epoch.
+//!
+//! Cluster caps cycle through a 5-value set, so worlds with more than
+//! five clusters contain *cross-cluster satisfaction ties*: the
+//! admissible bound cannot prune the tied shard (the check is strict),
+//! forcing multi-round expansions where tie-breaking on the scoped
+//! graph must still match the flat paper-order.
+
+use proptest::prelude::*;
+use qosc_core::{Composer, GraphStore, SelectOptions, ShardedComposer};
+use qosc_media::{
+    Axis, AxisDomain, BitrateModel, DomainVector, FormatId, FormatRegistry, FormatSpec, MediaKind,
+    VariantSpec,
+};
+use qosc_netsim::{Link, Network, Node, NodeId, SimTime, Topology};
+use qosc_profiles::{
+    ContentProfile, ContextProfile, DeviceProfile, HardwareCaps, NetworkProfile, PriceModel,
+    ProfileSet, UserProfile,
+};
+use qosc_satisfaction::{AxisPreference, SatisfactionFn, SatisfactionProfile};
+use qosc_services::{
+    Conversion, QuarantineConfig, ServiceId, ShardedServiceRegistry, TranscoderDescriptor,
+};
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Per-cluster frame-rate cap: cycles, so ≥ 6 clusters guarantee ties.
+fn cluster_cap(cluster: usize) -> f64 {
+    [30.0, 25.0, 20.0, 15.0, 10.0][cluster % 5]
+}
+
+struct World {
+    formats: FormatRegistry,
+    network: Network,
+    profiles: ProfileSet,
+    sender: NodeId,
+    receiver: NodeId,
+    proxy: NodeId,
+    src: Vec<FormatId>,
+    mid: Vec<FormatId>,
+    dst: FormatId,
+}
+
+fn fps_domain(cap: f64) -> DomainVector {
+    DomainVector::new().with(
+        Axis::FrameRate,
+        AxisDomain::Continuous { min: 0.0, max: cap },
+    )
+}
+
+fn world(clusters: usize) -> World {
+    let mut formats = FormatRegistry::new();
+    let bitrate = BitrateModel::LinearOnAxis {
+        axis: Axis::FrameRate,
+        slope: 1000.0,
+    };
+    let src: Vec<FormatId> = (0..2)
+        .map(|g| {
+            formats.register(FormatSpec::new(
+                format!("src{g}"),
+                MediaKind::Video,
+                bitrate,
+            ))
+        })
+        .collect();
+    let mid: Vec<FormatId> = (0..clusters)
+        .map(|c| {
+            formats.register(FormatSpec::new(
+                format!("mid{c}"),
+                MediaKind::Video,
+                bitrate,
+            ))
+        })
+        .collect();
+    let dst = formats.register(FormatSpec::new("dst", MediaKind::Video, bitrate));
+
+    let mut topo = Topology::new();
+    let sender = topo.add_node(Node::unconstrained("host-sender"));
+    let proxy = topo.add_node(Node::unconstrained("host-proxy"));
+    let receiver = topo.add_node(Node::unconstrained("host-receiver"));
+    for (a, b) in [(sender, proxy), (proxy, receiver)] {
+        topo.connect(Link {
+            a,
+            b,
+            capacity_bps: 1e9,
+            delay_us: 1_000,
+            loss: 0.0,
+            price_per_mbit: 0.0,
+            price_flat: 1.0,
+        })
+        .expect("static links are valid");
+    }
+    let network = Network::new(topo);
+
+    let content = ContentProfile::new(
+        "clip",
+        src.iter()
+            .map(|&f| VariantSpec {
+                format: formats.name(f).to_string(),
+                offered: fps_domain(30.0),
+            })
+            .collect(),
+    );
+    let device = DeviceProfile::new(
+        "screen",
+        vec![formats.name(dst).to_string()],
+        HardwareCaps::desktop(),
+    );
+    let satisfaction = SatisfactionProfile::new().with(AxisPreference::new(
+        Axis::FrameRate,
+        SatisfactionFn::Linear {
+            min_acceptable: 0.0,
+            ideal: 30.0,
+        },
+    ));
+    let profiles = ProfileSet {
+        user: UserProfile::new("user", satisfaction),
+        content,
+        device,
+        context: ContextProfile::default(),
+        network: NetworkProfile::lan(),
+    };
+    World {
+        formats,
+        network,
+        profiles,
+        sender,
+        receiver,
+        proxy,
+        src,
+        mid,
+        dst,
+    }
+}
+
+/// A head (`src{c%2} → mid{c}`) or tail (`mid{c} → dst`) transcoder.
+fn descriptor(world: &World, cluster: usize, head: bool, name: String) -> TranscoderDescriptor {
+    let (input, output) = if head {
+        (world.src[cluster % world.src.len()], world.mid[cluster])
+    } else {
+        (world.mid[cluster], world.dst)
+    };
+    TranscoderDescriptor {
+        name,
+        host: world.proxy,
+        conversions: vec![Conversion {
+            input,
+            output,
+            output_domain: fps_domain(cluster_cap(cluster)),
+        }],
+        cpu_mips_per_mbps: 0.0,
+        memory_bytes: 0.0,
+        price: PriceModel {
+            per_second: 0.0,
+            per_mbit: 0.0,
+        },
+    }
+}
+
+/// Identically populated registries, one per shard count.
+fn build_registries(
+    world: &World,
+    clusters: usize,
+    heads: usize,
+    tails: usize,
+) -> Vec<ShardedServiceRegistry> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let mut services = ShardedServiceRegistry::new(shards);
+            services.set_quarantine_config(QuarantineConfig {
+                failure_threshold: 1,
+                cooldown_us: 1_000_000,
+            });
+            for c in 0..clusters {
+                for k in 0..heads {
+                    services.register_static(descriptor(world, c, true, format!("h{c}.{k}")));
+                }
+                for k in 0..tails {
+                    services.register_static(descriptor(world, c, false, format!("t{c}.{k}")));
+                }
+            }
+            services
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChurnOp {
+    /// Register a fresh head/tail in some cluster.
+    Register { pick: u8, head: bool },
+    /// Permanent deregister of a live service.
+    Deregister(u8),
+    /// `report_failure` with a threshold-1 breaker: quarantines at once.
+    Quarantine(u8),
+    /// `release_quarantines` past every cooldown.
+    Release,
+    /// Put a live service on probation (observed QoS far below SLA).
+    Probate(u8),
+    /// One successful probe for a probationary service.
+    ProbeSuccess(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = ChurnOp> {
+    (0u8..6, 0u8..=255, proptest::bool::ANY).prop_map(|(kind, pick, head)| match kind {
+        0 => ChurnOp::Register { pick, head },
+        1 => ChurnOp::Deregister(pick),
+        2 => ChurnOp::Quarantine(pick),
+        3 => ChurnOp::Release,
+        4 => ChurnOp::Probate(pick),
+        _ => ChurnOp::ProbeSuccess(pick),
+    })
+}
+
+/// Flat compose vs two-level compose at every shard count, plus the
+/// frontier and epoch invariants. `Debug` equality is bit equality.
+fn check_all(
+    world: &World,
+    registries: &[ShardedServiceRegistry],
+    stores: &[GraphStore],
+    flat_store: &GraphStore,
+    options: &SelectOptions,
+) {
+    let flat = Composer {
+        formats: &world.formats,
+        services: registries[0].flat(),
+        network: &world.network,
+    }
+    .compose_with_store(
+        flat_store,
+        &world.profiles,
+        world.sender,
+        world.receiver,
+        options,
+    );
+
+    for (services, store) in registries.iter().zip(stores) {
+        for shard in 0..services.shard_count() {
+            assert_eq!(
+                format!("{:?}", services.frontier(shard)),
+                format!("{:?}", services.frontier_from_scratch(shard)),
+                "incremental frontier diverged from scratch recompute (shard {shard} of {})",
+                services.shard_count()
+            );
+        }
+        let epoch_sum: u64 = services.shard_epochs().iter().map(|&(_, e)| e).sum();
+        assert_eq!(
+            epoch_sum,
+            services.flat().epoch(),
+            "shard epochs must partition the flat epoch"
+        );
+
+        let two = ShardedComposer {
+            formats: &world.formats,
+            services,
+            network: &world.network,
+        }
+        .compose_with_store(
+            store,
+            &world.profiles,
+            world.sender,
+            world.receiver,
+            options,
+        );
+        match (&flat, &two) {
+            (Ok(flat), Ok(two)) => {
+                assert_eq!(
+                    format!("{:?}", flat.plan),
+                    format!("{:?}", two.composition.plan),
+                    "plan diverged from flat at {} shards",
+                    services.shard_count()
+                );
+                if two.full_expansion {
+                    // Same unscoped graph ⇒ the whole selection must
+                    // replay byte for byte: chain, tie-breaks, trace.
+                    assert_eq!(
+                        format!("{:?}", flat.selection.chain),
+                        format!("{:?}", two.composition.selection.chain),
+                        "full-expansion chain diverged at {} shards",
+                        services.shard_count()
+                    );
+                    assert_eq!(
+                        format!("{:?}", flat.selection.trace.rows),
+                        format!("{:?}", two.composition.selection.trace.rows),
+                        "full-expansion trace diverged at {} shards",
+                        services.shard_count()
+                    );
+                }
+            }
+            (flat, two) => {
+                assert_eq!(
+                    format!("{:?}", flat.as_ref().err()),
+                    format!("{:?}", two.as_ref().err()),
+                    "error outcome diverged at {} shards",
+                    services.shard_count()
+                );
+            }
+        }
+    }
+}
+
+fn run_case(clusters: usize, heads: usize, tails: usize, ops: &[ChurnOp]) {
+    let world = world(clusters);
+    let mut registries = build_registries(&world, clusters, heads, tails);
+    let stores: Vec<GraphStore> = SHARD_COUNTS.iter().map(|_| GraphStore::new()).collect();
+    let flat_store = GraphStore::new();
+    let options = SelectOptions {
+        record_trace: true,
+        ..SelectOptions::default()
+    };
+    let mut now_us = 1_000u64;
+    let mut register_seq = 0usize;
+
+    check_all(&world, &registries, &stores, &flat_store, &options);
+
+    for &op in ops {
+        now_us += 1_000;
+        // Same target in every registry: ids are allocated by the
+        // shared flat logic, so the live list is identical across
+        // shard counts.
+        let live: Vec<ServiceId> = registries[0]
+            .flat()
+            .live_services()
+            .map(|(id, _)| id)
+            .collect();
+        let pick_live = |payload: u8| -> Option<ServiceId> {
+            if live.is_empty() {
+                None
+            } else {
+                Some(live[payload as usize % live.len()])
+            }
+        };
+        for services in &mut registries {
+            match op {
+                ChurnOp::Register { pick, head } => {
+                    let cluster = pick as usize % clusters;
+                    services.register(
+                        descriptor(&world, cluster, head, format!("x{register_seq}")),
+                        SimTime(now_us),
+                        3_600_000_000,
+                    );
+                }
+                ChurnOp::Deregister(payload) => {
+                    if let Some(id) = pick_live(payload) {
+                        let _ = services.deregister(id);
+                    }
+                }
+                ChurnOp::Quarantine(payload) => {
+                    if let Some(id) = pick_live(payload) {
+                        let _ = services.report_failure(id, SimTime(now_us));
+                    }
+                }
+                ChurnOp::Release => {
+                    services.release_quarantines(SimTime(now_us + 2_000_000));
+                }
+                ChurnOp::Probate(payload) => {
+                    if let Some(id) = pick_live(payload) {
+                        let _ = services.probate(id, 400_000, SimTime(now_us));
+                    }
+                }
+                ChurnOp::ProbeSuccess(payload) => {
+                    if let Some(id) = pick_live(payload) {
+                        let _ = services.probe_success(id, SimTime(now_us));
+                    }
+                }
+            }
+        }
+        if matches!(op, ChurnOp::Release) {
+            now_us += 2_000_000;
+        }
+        if matches!(op, ChurnOp::Register { .. }) {
+            register_seq += 1;
+        }
+        // First check applies deltas; the second must reuse everything
+        // with zero pending events.
+        check_all(&world, &registries, &stores, &flat_store, &options);
+        check_all(&world, &registries, &stores, &flat_store, &options);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The headline property: plans (and on full expansion, traces)
+    /// bitwise identical to flat across 1/2/4/8 shards under churn.
+    #[test]
+    fn sharded_two_level_is_bitwise_identical_to_flat(
+        clusters in 2usize..=7,
+        heads in 1usize..=2,
+        tails in 1usize..=2,
+        ops in proptest::collection::vec(arb_op(), 1..10),
+    ) {
+        run_case(clusters, heads, tails, &ops);
+    }
+
+    /// Degenerate worlds (every tail gone) must replay the flat
+    /// failure verbatim through the full-expansion fallback.
+    #[test]
+    fn tail_less_worlds_replay_flat_failures(
+        clusters in 2usize..=4,
+        ops in proptest::collection::vec(arb_op(), 1..6),
+    ) {
+        let world = world(clusters);
+        let mut registries = build_registries(&world, clusters, 1, 1);
+        // Deregister every tail: no chain can reach the decoder.
+        let tails: Vec<ServiceId> = registries[0]
+            .flat()
+            .live_services()
+            .filter(|(_, d)| d.conversions.iter().all(|c| c.output == world.dst))
+            .map(|(id, _)| id)
+            .collect();
+        for services in &mut registries {
+            for &id in &tails {
+                let _ = services.deregister(id);
+            }
+        }
+        let stores: Vec<GraphStore> = SHARD_COUNTS.iter().map(|_| GraphStore::new()).collect();
+        let flat_store = GraphStore::new();
+        let options = SelectOptions { record_trace: true, ..SelectOptions::default() };
+        check_all(&world, &registries, &stores, &flat_store, &options);
+        let _ = ops;
+    }
+}
